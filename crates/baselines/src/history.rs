@@ -1,0 +1,120 @@
+//! Shared per-(task type, machine) history bookkeeping used by all baseline
+//! methods.
+
+use sizey_provenance::{TaskMachineKey, TaskOutcome, TaskRecord};
+use std::collections::HashMap;
+
+/// Observation history of successful executions, grouped per
+/// (task type, machine) combination.
+#[derive(Debug, Default, Clone)]
+pub struct History {
+    observations: HashMap<TaskMachineKey, Vec<Observation>>,
+}
+
+/// One successful task execution as seen by a baseline method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Input size in bytes.
+    pub input_bytes: f64,
+    /// Measured peak memory in bytes.
+    pub peak_bytes: f64,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Records a finished attempt. Only successful executions carry a true
+    /// peak measurement and are stored; failed attempts are ignored here
+    /// (failure handling is the responsibility of each method).
+    pub fn observe(&mut self, record: &TaskRecord) {
+        if record.outcome != TaskOutcome::Succeeded {
+            return;
+        }
+        self.observations
+            .entry(record.key())
+            .or_default()
+            .push(Observation {
+                input_bytes: record.input_bytes,
+                peak_bytes: record.peak_memory_bytes,
+            });
+    }
+
+    /// All successful observations for a key, in arrival order.
+    pub fn get(&self, key: &TaskMachineKey) -> &[Observation] {
+        self.observations.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of successful observations for a key.
+    pub fn count(&self, key: &TaskMachineKey) -> usize {
+        self.get(key).len()
+    }
+
+    /// The peak memory values for a key.
+    pub fn peaks(&self, key: &TaskMachineKey) -> Vec<f64> {
+        self.get(key).iter().map(|o| o.peak_bytes).collect()
+    }
+
+    /// The maximum observed peak for a key, if any.
+    pub fn max_peak(&self, key: &TaskMachineKey) -> Option<f64> {
+        self.get(key)
+            .iter()
+            .map(|o| o.peak_bytes)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizey_provenance::{MachineId, TaskTypeId};
+
+    fn record(peak: f64, outcome: TaskOutcome) -> TaskRecord {
+        TaskRecord {
+            workflow: "wf".into(),
+            task_type: TaskTypeId::new("t"),
+            machine: MachineId::new("m"),
+            sequence: 0,
+            input_bytes: 1e9,
+            peak_memory_bytes: peak,
+            allocated_memory_bytes: peak * 2.0,
+            runtime_seconds: 60.0,
+            concurrent_tasks: 0,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn only_successful_records_are_stored() {
+        let mut h = History::new();
+        h.observe(&record(1e9, TaskOutcome::Succeeded));
+        h.observe(&record(9e9, TaskOutcome::FailedOutOfMemory));
+        let key = TaskMachineKey::new("t", "m");
+        assert_eq!(h.count(&key), 1);
+        assert_eq!(h.peaks(&key), vec![1e9]);
+        assert_eq!(h.max_peak(&key), Some(1e9));
+    }
+
+    #[test]
+    fn unknown_key_is_empty() {
+        let h = History::new();
+        let key = TaskMachineKey::new("unknown", "m");
+        assert!(h.get(&key).is_empty());
+        assert_eq!(h.count(&key), 0);
+        assert_eq!(h.max_peak(&key), None);
+    }
+
+    #[test]
+    fn observations_preserve_order() {
+        let mut h = History::new();
+        for i in 1..=5 {
+            h.observe(&record(i as f64 * 1e9, TaskOutcome::Succeeded));
+        }
+        let key = TaskMachineKey::new("t", "m");
+        let peaks = h.peaks(&key);
+        assert_eq!(peaks, vec![1e9, 2e9, 3e9, 4e9, 5e9]);
+        assert_eq!(h.max_peak(&key), Some(5e9));
+    }
+}

@@ -1,0 +1,173 @@
+//! The Witt-Percentile baseline.
+//!
+//! Witt et al. (HPCS 2019, "Feedback-based resource allocation for batch
+//! scheduling of scientific workflows") propose a percentile predictor: the
+//! allocation for a task is the p-th percentile of all historical peak memory
+//! values of the same task type. The paper's evaluation uses the conservative
+//! 95th percentile. Before any history exists the user preset is used, and a
+//! failed attempt doubles the previous allocation.
+
+use crate::history::History;
+use sizey_ml::metrics::percentile;
+use sizey_provenance::{TaskMachineKey, TaskRecord};
+use sizey_sim::{MemoryPredictor, Prediction, TaskSubmission};
+
+/// Configuration of [`WittPercentile`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WittPercentileConfig {
+    /// Which percentile of the historical peaks to allocate (0-100).
+    pub percentile: f64,
+    /// Minimum number of historical observations before the percentile is
+    /// trusted; below this the preset is used.
+    pub min_history: usize,
+}
+
+impl Default for WittPercentileConfig {
+    fn default() -> Self {
+        WittPercentileConfig {
+            percentile: 95.0,
+            min_history: 2,
+        }
+    }
+}
+
+/// Percentile-based peak memory predictor.
+#[derive(Debug, Default, Clone)]
+pub struct WittPercentile {
+    config: WittPercentileConfig,
+    history: History,
+}
+
+impl WittPercentile {
+    /// Creates the predictor with the paper's default (95th percentile).
+    pub fn new() -> Self {
+        WittPercentile {
+            config: WittPercentileConfig::default(),
+            history: History::new(),
+        }
+    }
+
+    /// Creates the predictor with a custom configuration.
+    pub fn with_config(config: WittPercentileConfig) -> Self {
+        WittPercentile {
+            config,
+            history: History::new(),
+        }
+    }
+
+    fn key(task: &TaskSubmission) -> TaskMachineKey {
+        TaskMachineKey {
+            task_type: task.task_type.clone(),
+            machine: task.machine.clone(),
+        }
+    }
+
+    fn base_estimate(&self, task: &TaskSubmission) -> f64 {
+        let key = Self::key(task);
+        if self.history.count(&key) < self.config.min_history {
+            return task.preset_memory_bytes;
+        }
+        percentile(&self.history.peaks(&key), self.config.percentile)
+    }
+}
+
+impl MemoryPredictor for WittPercentile {
+    fn name(&self) -> String {
+        "Witt-Percentile".to_string()
+    }
+
+    fn predict(&mut self, task: &TaskSubmission, attempt: u32) -> Prediction {
+        let base = self.base_estimate(task);
+        let allocation = base * 2.0_f64.powi(attempt as i32);
+        Prediction {
+            allocation_bytes: allocation,
+            raw_estimate_bytes: Some(base),
+            selected_model: None,
+        }
+    }
+
+    fn observe(&mut self, record: &TaskRecord) {
+        self.history.observe(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizey_provenance::{MachineId, TaskOutcome, TaskTypeId};
+
+    fn submission() -> TaskSubmission {
+        TaskSubmission {
+            workflow: "wf".into(),
+            task_type: TaskTypeId::new("t"),
+            machine: MachineId::new("m"),
+            sequence: 0,
+            input_bytes: 1e9,
+            preset_memory_bytes: 10e9,
+        }
+    }
+
+    fn success(peak: f64) -> TaskRecord {
+        TaskRecord {
+            workflow: "wf".into(),
+            task_type: TaskTypeId::new("t"),
+            machine: MachineId::new("m"),
+            sequence: 0,
+            input_bytes: 1e9,
+            peak_memory_bytes: peak,
+            allocated_memory_bytes: peak * 2.0,
+            runtime_seconds: 60.0,
+            concurrent_tasks: 0,
+            outcome: TaskOutcome::Succeeded,
+        }
+    }
+
+    #[test]
+    fn uses_preset_without_history() {
+        let mut p = WittPercentile::new();
+        assert_eq!(p.predict(&submission(), 0).allocation_bytes, 10e9);
+    }
+
+    #[test]
+    fn uses_95th_percentile_of_history() {
+        let mut p = WittPercentile::new();
+        for i in 1..=100 {
+            p.observe(&success(i as f64 * 1e8));
+        }
+        let alloc = p.predict(&submission(), 0).allocation_bytes;
+        // 95th percentile of 0.1..10 GB is ~9.5 GB.
+        assert!((alloc - 9.505e9).abs() < 0.1e9, "alloc = {alloc}");
+    }
+
+    #[test]
+    fn doubles_on_retry() {
+        let mut p = WittPercentile::new();
+        p.observe(&success(2e9));
+        p.observe(&success(4e9));
+        let first = p.predict(&submission(), 0).allocation_bytes;
+        let second = p.predict(&submission(), 1).allocation_bytes;
+        assert!((second - first * 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ignores_failed_records() {
+        let mut p = WittPercentile::new();
+        let mut failed = success(50e9);
+        failed.outcome = TaskOutcome::FailedOutOfMemory;
+        p.observe(&failed);
+        assert_eq!(p.predict(&submission(), 0).allocation_bytes, 10e9);
+    }
+
+    #[test]
+    fn custom_percentile_is_respected() {
+        let mut p = WittPercentile::with_config(WittPercentileConfig {
+            percentile: 50.0,
+            min_history: 2,
+        });
+        for peak in [1e9, 2e9, 3e9] {
+            p.observe(&success(peak));
+        }
+        let alloc = p.predict(&submission(), 0).allocation_bytes;
+        assert!((alloc - 2e9).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the ML substrate: model fitting and
+//! prediction cost for the four pool member classes at typical Sizey history
+//! sizes (tens to hundreds of observations of a single feature).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sizey_ml::dataset::Dataset;
+use sizey_ml::forest::{ForestConfig, RandomForestRegression};
+use sizey_ml::knn::KnnRegression;
+use sizey_ml::linear::LinearRegression;
+use sizey_ml::mlp::{MlpConfig, MlpRegression};
+use sizey_ml::model::Regressor;
+
+fn dataset(n: usize) -> Dataset {
+    let xs: Vec<f64> = (0..n).map(|i| 1e9 + i as f64 * 3e7).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 1.7 * x + 5e8 + ((x / 1e8).sin() * 1e8))
+        .collect();
+    Dataset::from_univariate(&xs, &ys)
+}
+
+fn models() -> Vec<(&'static str, Box<dyn Regressor>)> {
+    vec![
+        ("linear", Box::new(LinearRegression::with_defaults()) as Box<dyn Regressor>),
+        ("knn", Box::new(KnnRegression::with_defaults())),
+        (
+            "mlp",
+            Box::new(MlpRegression::new(MlpConfig {
+                hidden_layers: vec![16],
+                max_epochs: 120,
+                ..MlpConfig::default()
+            })),
+        ),
+        (
+            "random_forest",
+            Box::new(RandomForestRegression::new(ForestConfig {
+                n_trees: 24,
+                max_depth: 8,
+                ..ForestConfig::default()
+            })),
+        ),
+    ]
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_fit");
+    group.sample_size(10);
+    for &n in &[32usize, 128usize] {
+        let data = dataset(n);
+        for (name, model) in models() {
+            group.bench_with_input(BenchmarkId::new(name, n), &data, |b, data| {
+                b.iter_batched(
+                    || model.clone_box(),
+                    |mut m| {
+                        m.fit(data).expect("fit");
+                        m
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_predict");
+    group.sample_size(20);
+    let data = dataset(128);
+    for (name, mut model) in models() {
+        model.fit(&data).expect("fit");
+        group.bench_function(name, |b| {
+            b.iter(|| model.predict(std::hint::black_box(&[2.5e9])).expect("predict"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

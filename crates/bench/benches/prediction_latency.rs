@@ -1,0 +1,69 @@
+//! Criterion micro-benchmark of Sizey's end-to-end sizing latency: the cost
+//! of producing one allocation decision (pool estimates + RAQ scoring +
+//! gating + offset) for a warm predictor. This is the per-submission overhead
+//! Sizey adds to the workflow management system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sizey_core::{GatingStrategy, SizeyConfig, SizeyPredictor};
+use sizey_provenance::{MachineId, TaskOutcome, TaskRecord, TaskTypeId};
+use sizey_sim::{MemoryPredictor, TaskSubmission};
+
+fn warmed(config: SizeyConfig, history: u64) -> SizeyPredictor {
+    let mut p = SizeyPredictor::new(config);
+    for seq in 0..history {
+        let input = 1e9 + (seq as f64 % 29.0) * 1.2e8;
+        p.observe(&TaskRecord {
+            workflow: "bench".into(),
+            task_type: TaskTypeId::new("bench-task"),
+            machine: MachineId::new("bench-machine"),
+            sequence: seq,
+            input_bytes: input,
+            peak_memory_bytes: 2.0 * input + 1e9,
+            allocated_memory_bytes: 8e9,
+            runtime_seconds: 60.0,
+            concurrent_tasks: 1,
+            outcome: TaskOutcome::Succeeded,
+        });
+    }
+    p
+}
+
+fn submission(seq: u64) -> TaskSubmission {
+    TaskSubmission {
+        workflow: "bench".into(),
+        task_type: TaskTypeId::new("bench-task"),
+        machine: MachineId::new("bench-machine"),
+        sequence: seq,
+        input_bytes: 2.7e9,
+        preset_memory_bytes: 16e9,
+    }
+}
+
+fn bench_prediction_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sizey_prediction_latency");
+    group.sample_size(20);
+
+    for (label, gating) in [
+        ("interpolation", GatingStrategy::Interpolation { beta: 4.0 }),
+        ("argmax", GatingStrategy::Argmax),
+    ] {
+        for &history in &[32u64, 256u64] {
+            let mut predictor = warmed(SizeyConfig::default().with_gating(gating), history);
+            let mut seq = history;
+            group.bench_with_input(
+                BenchmarkId::new(label, history),
+                &history,
+                |b, _| {
+                    b.iter(|| {
+                        seq += 1;
+                        predictor.predict(std::hint::black_box(&submission(seq)), 0)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction_latency);
+criterion_main!(benches);

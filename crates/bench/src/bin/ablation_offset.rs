@@ -1,0 +1,52 @@
+//! Ablation — offset strategy: each of the four fixed offset strategies vs.
+//! the dynamic selection vs. no offset at all (DESIGN.md §5).
+//!
+//! Run with `cargo run -p sizey-bench --release --bin ablation_offset`.
+
+use sizey_bench::{banner, fmt, generate_workloads, render_table, HarnessSettings};
+use sizey_core::{OffsetMode, OffsetStrategy, SizeyConfig, SizeyPredictor};
+use sizey_sim::{replay_workflow, SimulationConfig};
+
+fn main() {
+    let settings = HarnessSettings::from_env();
+    banner("Ablation: offset strategies (fixed vs dynamic vs none)", &settings);
+
+    let workloads = generate_workloads(&HarnessSettings {
+        scale: settings.scale.min(0.1),
+        ..settings
+    });
+    let sim = SimulationConfig::default();
+
+    let mut variants: Vec<(String, OffsetMode)> = vec![
+        ("Dynamic (paper default)".to_string(), OffsetMode::Dynamic),
+        ("No offset".to_string(), OffsetMode::None),
+    ];
+    for strategy in OffsetStrategy::ALL {
+        variants.push((format!("Fixed: {strategy}"), OffsetMode::Fixed(strategy)));
+    }
+
+    let mut rows = Vec::new();
+    for (label, offset) in variants {
+        let mut wastage = 0.0;
+        let mut failures = 0usize;
+        for workload in &workloads {
+            let config = SizeyConfig {
+                offset,
+                ..SizeyConfig::default()
+            };
+            let mut sizey = SizeyPredictor::new(config);
+            let report = replay_workflow(&workload.spec.name, &workload.instances, &mut sizey, &sim);
+            wastage += report.total_wastage_gbh();
+            failures += report.total_failures();
+        }
+        rows.push(vec![label, fmt(wastage, 2), failures.to_string()]);
+    }
+
+    println!(
+        "{}",
+        render_table(&["Offset mode", "Total Wastage GBh", "Failures"], &rows)
+    );
+    println!("Expected shape: no offset causes clearly more failures (and their retry");
+    println!("wastage); the dynamic selection should be competitive with the best fixed");
+    println!("strategy on every workload mix.");
+}

@@ -1,0 +1,52 @@
+//! Ablation — model-pool composition: the full four-class pool vs. every
+//! single-model pool (DESIGN.md §5). This isolates the benefit of Sizey's
+//! core idea (dynamically selecting among diverse models) over committing to
+//! any single model class, as the related work does.
+//!
+//! Run with `cargo run -p sizey-bench --release --bin ablation_pool`.
+
+use sizey_bench::{banner, fmt, generate_workloads, render_table, HarnessSettings};
+use sizey_core::{SizeyConfig, SizeyPredictor};
+use sizey_ml::model::ModelClass;
+use sizey_sim::{replay_workflow, SimulationConfig};
+
+fn main() {
+    let settings = HarnessSettings::from_env();
+    banner("Ablation: model-pool composition (full pool vs single classes)", &settings);
+
+    let workloads = generate_workloads(&HarnessSettings {
+        scale: settings.scale.min(0.1),
+        ..settings
+    });
+    let sim = SimulationConfig::default();
+
+    let mut variants: Vec<(String, Vec<ModelClass>)> = vec![(
+        "Full pool (paper)".to_string(),
+        ModelClass::ALL.to_vec(),
+    )];
+    for class in ModelClass::ALL {
+        variants.push((format!("Only {}", class.name()), vec![class]));
+    }
+
+    let mut rows = Vec::new();
+    for (label, classes) in variants {
+        let mut wastage = 0.0;
+        let mut failures = 0usize;
+        for workload in &workloads {
+            let config = SizeyConfig::default().with_model_classes(classes.clone());
+            let mut sizey = SizeyPredictor::new(config);
+            let report = replay_workflow(&workload.spec.name, &workload.instances, &mut sizey, &sim);
+            wastage += report.total_wastage_gbh();
+            failures += report.total_failures();
+        }
+        rows.push(vec![label, fmt(wastage, 2), failures.to_string()]);
+    }
+
+    println!(
+        "{}",
+        render_table(&["Pool", "Total Wastage GBh", "Failures"], &rows)
+    );
+    println!("Expected shape: the full pool is at least as good as the best single class");
+    println!("and clearly better than the worst one — no single model class fits every");
+    println!("task type, which is the paper's motivation (Fig. 2).");
+}

@@ -1,0 +1,50 @@
+//! Fig. 7 — distribution of memory, CPU and I/O utilisation of the six
+//! executed workflows.
+//!
+//! Run with `cargo run -p sizey-bench --release --bin fig07_workflow_resource_profiles`.
+
+use sizey_bench::{banner, fmt, render_table, HarnessSettings};
+use sizey_workflows::{all_workflows, generate_workflow, workflow_resource_profile, GeneratorConfig};
+
+fn main() {
+    let settings = HarnessSettings::from_env();
+    banner("Fig. 7: per-workflow resource utilisation distributions", &settings);
+
+    let mut cpu_rows = Vec::new();
+    let mut mem_rows = Vec::new();
+    let mut read_rows = Vec::new();
+    let mut write_rows = Vec::new();
+
+    for spec in all_workflows() {
+        let instances = generate_workflow(&spec, &GeneratorConfig::scaled(settings.scale.max(0.2), settings.seed));
+        let profile = workflow_resource_profile(&spec.name, &instances);
+
+        let row = |d: &sizey_workflows::Distribution, decimals: usize| -> Vec<String> {
+            vec![
+                spec.name.clone(),
+                fmt(d.min, decimals),
+                fmt(d.q1, decimals),
+                fmt(d.median, decimals),
+                fmt(d.q3, decimals),
+                fmt(d.max, decimals),
+            ]
+        };
+        cpu_rows.push(row(&profile.cpu_utilization_pct, 0));
+        mem_rows.push(row(&profile.memory_mb, 0));
+        read_rows.push(row(&profile.io_read_mb, 0));
+        write_rows.push(row(&profile.io_write_mb, 0));
+    }
+
+    let headers = ["Workflow", "min", "q1", "median", "q3", "max"];
+    println!("CPU utilisation in %:");
+    println!("{}", render_table(&headers, &cpu_rows));
+    println!("Memory utilisation in MB:");
+    println!("{}", render_table(&headers, &mem_rows));
+    println!("I/O read in MB:");
+    println!("{}", render_table(&headers, &read_rows));
+    println!("I/O write in MB:");
+    println!("{}", render_table(&headers, &write_rows));
+
+    println!("Paper reference (Fig. 7): all workflows differ; methylseq is both I/O- and");
+    println!("CPU-intensive, mag has the largest memory spread, iwd the smallest footprint.");
+}

@@ -1,0 +1,57 @@
+//! Fig. 8a — total memory wastage over time (GBh) aggregated over all six
+//! workflows, for every method, with a time-to-failure of 1.0.
+//!
+//! Run with `cargo run -p sizey-bench --release --bin fig08a_wastage_ttf10`.
+
+use sizey_bench::{
+    banner, evaluate_all_methods, fmt, generate_workloads, render_table, HarnessSettings,
+};
+use sizey_sim::{aggregate_method, SimulationConfig};
+
+fn main() {
+    let settings = HarnessSettings::from_env();
+    banner(
+        "Fig. 8a: total memory wastage (GBh), all workflows, time-to-failure 1.0",
+        &settings,
+    );
+
+    let workloads = generate_workloads(&settings);
+    let sim = SimulationConfig::default().with_time_to_failure(1.0);
+    let results = evaluate_all_methods(&workloads, &sim);
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(method, reports)| {
+            let agg = aggregate_method(reports);
+            vec![
+                method.name().to_string(),
+                fmt(agg.total_wastage_gbh, 2),
+                agg.total_failures.to_string(),
+            ]
+        })
+        .collect();
+
+    println!(
+        "{}",
+        render_table(&["Method", "Total Wastage GBh", "Failures"], &rows)
+    );
+
+    let sizey = aggregate_method(&results[0].1).total_wastage_gbh;
+    let best_baseline = results
+        .iter()
+        .skip(1)
+        .filter(|(m, _)| m.name() != "Workflow-Presets")
+        .map(|(_, r)| aggregate_method(r).total_wastage_gbh)
+        .fold(f64::INFINITY, f64::min);
+    let presets = aggregate_method(&results.last().expect("presets present").1).total_wastage_gbh;
+    println!(
+        "Sizey vs best baseline: {}% lower wastage (paper: 64.58% lower than Witt-Wastage).",
+        fmt((1.0 - sizey / best_baseline) * 100.0, 2)
+    );
+    println!(
+        "Workflow-Presets vs Sizey: {}x higher wastage (paper: ~17x).",
+        fmt(presets / sizey, 1)
+    );
+    println!("Paper reference (Fig. 8a): Sizey 1684.21, Witt-Wastage 5437.08, Witt-LR 4754.85,");
+    println!("Tovar-PPM 5072.26, Witt-Percentile 5767.20, Workflow-Presets 28370.77 GBh.");
+}

@@ -1,0 +1,33 @@
+//! Table I — number of task types and average number of task instances per
+//! task type for each experimental workflow.
+//!
+//! Run with `cargo run -p sizey-bench --release --bin table01_workflow_inventory`.
+
+use sizey_bench::{banner, fmt, render_table, HarnessSettings};
+use sizey_workflows::{all_workflows, inventory};
+
+fn main() {
+    let settings = HarnessSettings::from_env();
+    banner("Table I: workflow inventory", &settings);
+
+    let rows: Vec<Vec<String>> = inventory(&all_workflows())
+        .into_iter()
+        .map(|row| {
+            vec![
+                row.workflow,
+                row.task_types.to_string(),
+                fmt(row.avg_instances_per_type, 0),
+            ]
+        })
+        .collect();
+
+    println!(
+        "{}",
+        render_table(
+            &["Workflow", "# Task Types", "AVG # Task Instances per Task Type"],
+            &rows
+        )
+    );
+    println!("Paper reference (Table I): eager 13/121, methylseq 9/100, chipseq 30/82,");
+    println!("rnaseq 30/39, mag 8/720, iwd 5/332.");
+}

@@ -1,0 +1,290 @@
+//! # sizey-bench
+//!
+//! Benchmark harness regenerating every table and figure of the Sizey
+//! evaluation. Each experiment is a small binary under `src/bin/` (see
+//! `DESIGN.md` §4 for the experiment ↔ binary index); this library holds the
+//! shared machinery: method construction, full-evaluation sweeps across the
+//! six workflows, and plain-text table rendering.
+//!
+//! All harness binaries honour two environment variables so the same code
+//! serves quick smoke runs and full-fidelity reproductions:
+//!
+//! * `SIZEY_BENCH_SCALE` — fraction of the paper's task-instance volume to
+//!   generate (default `0.1`),
+//! * `SIZEY_BENCH_SEED` — workload generation seed (default `42`).
+
+#![warn(missing_docs)]
+
+use sizey_baselines::{PresetPredictor, TovarPpm, WittLr, WittPercentile, WittWastage};
+use sizey_core::{SizeyConfig, SizeyPredictor};
+use sizey_sim::{replay_workflow, MemoryPredictor, ReplayReport, SimulationConfig};
+use sizey_workflows::{all_workflows, generate_workflow, GeneratorConfig, TaskInstance, WorkflowSpec};
+
+/// The evaluation methods in the order used by the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// The Sizey method with the paper's default configuration.
+    Sizey,
+    /// Witt et al. low-wastage regression.
+    WittWastage,
+    /// Witt et al. linear regression with offset.
+    WittLr,
+    /// Tovar et al. peak-probability sizing.
+    TovarPpm,
+    /// Witt et al. 95th-percentile predictor.
+    WittPercentile,
+    /// The workflow developers' memory requests.
+    WorkflowPresets,
+}
+
+impl Method {
+    /// All methods in figure order.
+    pub const ALL: [Method; 6] = [
+        Method::Sizey,
+        Method::WittWastage,
+        Method::WittLr,
+        Method::TovarPpm,
+        Method::WittPercentile,
+        Method::WorkflowPresets,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Sizey => "Sizey",
+            Method::WittWastage => "Witt-Wastage",
+            Method::WittLr => "Witt-LR",
+            Method::TovarPpm => "Tovar-PPM",
+            Method::WittPercentile => "Witt-Percentile",
+            Method::WorkflowPresets => "Workflow-Presets",
+        }
+    }
+
+    /// Builds a fresh predictor instance for this method.
+    pub fn build(&self) -> Box<dyn MemoryPredictor> {
+        match self {
+            Method::Sizey => Box::new(SizeyPredictor::with_defaults()),
+            Method::WittWastage => Box::new(WittWastage::new()),
+            Method::WittLr => Box::new(WittLr::new()),
+            Method::TovarPpm => Box::new(TovarPpm::new()),
+            Method::WittPercentile => Box::new(WittPercentile::new()),
+            Method::WorkflowPresets => Box::new(PresetPredictor),
+        }
+    }
+
+    /// Builds a Sizey predictor with a custom configuration (used by the
+    /// ablation and parameter-sweep harnesses); other methods ignore the
+    /// configuration.
+    pub fn build_sizey_with(config: SizeyConfig) -> Box<dyn MemoryPredictor> {
+        Box::new(SizeyPredictor::new(config))
+    }
+}
+
+/// Harness-wide settings read from the environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarnessSettings {
+    /// Fraction of the paper's task volume to generate.
+    pub scale: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessSettings {
+    fn default() -> Self {
+        HarnessSettings {
+            scale: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+impl HarnessSettings {
+    /// Reads `SIZEY_BENCH_SCALE` and `SIZEY_BENCH_SEED` from the environment,
+    /// falling back to the defaults (scale 0.1, seed 42).
+    pub fn from_env() -> Self {
+        let mut settings = HarnessSettings::default();
+        if let Ok(scale) = std::env::var("SIZEY_BENCH_SCALE") {
+            if let Ok(v) = scale.parse::<f64>() {
+                if v > 0.0 && v <= 2.0 {
+                    settings.scale = v;
+                }
+            }
+        }
+        if let Ok(seed) = std::env::var("SIZEY_BENCH_SEED") {
+            if let Ok(v) = seed.parse::<u64>() {
+                settings.seed = v;
+            }
+        }
+        settings
+    }
+
+    /// The generator configuration corresponding to these settings.
+    pub fn generator(&self) -> GeneratorConfig {
+        GeneratorConfig::scaled(self.scale, self.seed)
+    }
+}
+
+/// One workflow's generated workload.
+pub struct Workload {
+    /// The workflow specification.
+    pub spec: WorkflowSpec,
+    /// The generated task instances in submission order.
+    pub instances: Vec<TaskInstance>,
+}
+
+/// Generates the workloads of all six evaluation workflows.
+pub fn generate_workloads(settings: &HarnessSettings) -> Vec<Workload> {
+    all_workflows()
+        .into_iter()
+        .map(|spec| {
+            let instances = generate_workflow(&spec, &settings.generator());
+            Workload { spec, instances }
+        })
+        .collect()
+}
+
+/// Replays one method over all workloads, returning one report per workflow.
+pub fn evaluate_method(
+    method: Method,
+    workloads: &[Workload],
+    sim: &SimulationConfig,
+) -> Vec<ReplayReport> {
+    workloads
+        .iter()
+        .map(|w| {
+            let mut predictor = method.build();
+            replay_workflow(&w.spec.name, &w.instances, predictor.as_mut(), sim)
+        })
+        .collect()
+}
+
+/// Replays every method over all workloads — the full Fig. 8 / Table II
+/// sweep. Returns `(method, per-workflow reports)` in figure order.
+pub fn evaluate_all_methods(
+    workloads: &[Workload],
+    sim: &SimulationConfig,
+) -> Vec<(Method, Vec<ReplayReport>)> {
+    Method::ALL
+        .iter()
+        .map(|&m| (m, evaluate_method(m, workloads, sim)))
+        .collect()
+}
+
+/// Renders a plain-text table with right-aligned numeric columns.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with the given number of decimal places.
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Prints the standard harness banner (experiment id, scale, seed) so every
+/// binary's output is self-describing.
+pub fn banner(experiment: &str, settings: &HarnessSettings) {
+    println!("=== {experiment} ===");
+    println!(
+        "workload scale: {} of the paper's task volume, seed: {}",
+        settings.scale, settings.seed
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn methods_have_unique_names_and_builders() {
+        let names: std::collections::HashSet<_> = Method::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 6);
+        for m in Method::ALL {
+            assert_eq!(m.build().name(), m.name());
+        }
+    }
+
+    #[test]
+    fn settings_from_env_fall_back_to_defaults() {
+        std::env::remove_var("SIZEY_BENCH_SCALE");
+        std::env::remove_var("SIZEY_BENCH_SEED");
+        let s = HarnessSettings::from_env();
+        assert_eq!(s.scale, 0.1);
+        assert_eq!(s.seed, 42);
+    }
+
+    #[test]
+    fn generate_workloads_covers_all_six_workflows() {
+        let settings = HarnessSettings {
+            scale: 0.02,
+            seed: 3,
+        };
+        let workloads = generate_workloads(&settings);
+        assert_eq!(workloads.len(), 6);
+        assert!(workloads.iter().all(|w| !w.instances.is_empty()));
+    }
+
+    #[test]
+    fn evaluate_method_produces_one_report_per_workflow() {
+        let settings = HarnessSettings {
+            scale: 0.02,
+            seed: 3,
+        };
+        let workloads = generate_workloads(&settings);
+        let reports = evaluate_method(
+            Method::WorkflowPresets,
+            &workloads,
+            &SimulationConfig::default(),
+        );
+        assert_eq!(reports.len(), 6);
+        assert!(reports.iter().all(|r| r.method == "Workflow-Presets"));
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let table = render_table(
+            &["Method", "GBh"],
+            &[
+                vec!["Sizey".to_string(), "12.3".to_string()],
+                vec!["Workflow-Presets".to_string(), "456.7".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Method"));
+        assert!(lines[2].ends_with("12.3"));
+        assert!(lines[3].ends_with("456.7"));
+    }
+
+    #[test]
+    fn fmt_rounds_to_requested_decimals() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(10.0, 0), "10");
+    }
+}

@@ -1,0 +1,194 @@
+//! Configuration of the Sizey predictor.
+
+use crate::offset::OffsetStrategy;
+use sizey_ml::model::ModelClass;
+
+/// How the gating mechanism combines the pool's individual predictions
+/// (Section II-D of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GatingStrategy {
+    /// Use only the model with the highest RAQ score.
+    Argmax,
+    /// Softmax-weight all models by `exp(beta * RAQ)` (Eq. 4).
+    Interpolation {
+        /// Sharpness of the softmax; larger values approach Argmax.
+        beta: f64,
+    },
+}
+
+impl Default for GatingStrategy {
+    fn default() -> Self {
+        // The paper's experiments use the Interpolation strategy.
+        GatingStrategy::Interpolation { beta: 8.0 }
+    }
+}
+
+/// How the safety offset added on top of the aggregated prediction is chosen
+/// (Section II-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffsetMode {
+    /// Dynamically pick, per task type, the offset strategy that would have
+    /// caused the least wastage on the history (the paper's default).
+    Dynamic,
+    /// Always use one fixed strategy.
+    Fixed(OffsetStrategy),
+    /// Do not add any offset (used for the raw-error analysis of Fig. 12).
+    None,
+}
+
+impl Default for OffsetMode {
+    fn default() -> Self {
+        OffsetMode::Dynamic
+    }
+}
+
+/// How models are updated when new task measurements arrive (Section II-B /
+/// Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnlineMode {
+    /// Fully retrain every model (optionally with hyper-parameter
+    /// optimisation) after every completed task.
+    FullRetrain,
+    /// Perform lightweight incremental updates, with a full retrain every
+    /// `retrain_interval` completions (0 = never).
+    Incremental {
+        /// Completions between two full retrains.
+        retrain_interval: usize,
+    },
+}
+
+impl Default for OnlineMode {
+    fn default() -> Self {
+        OnlineMode::Incremental {
+            retrain_interval: 25,
+        }
+    }
+}
+
+/// Complete configuration of the Sizey predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeyConfig {
+    /// The RAQ weighting hyper-parameter α ∈ [0, 1] (Eq. 3): 0 favours
+    /// accurate models, 1 punishes large outlying estimates. The paper's
+    /// experiments use 0.0.
+    pub alpha: f64,
+    /// Gating strategy combining the pool outputs.
+    pub gating: GatingStrategy,
+    /// Offset strategy protecting against under-prediction.
+    pub offset: OffsetMode,
+    /// Online learning mode.
+    pub online: OnlineMode,
+    /// Model classes in the pool (defaults to all four of Fig. 5).
+    pub model_classes: Vec<ModelClass>,
+    /// Minimum number of successful observations of a task type before the
+    /// models are used; below this the user preset is allocated (the paper's
+    /// behaviour for unknown task types).
+    pub min_history: usize,
+    /// While a task type has fewer successful observations than this, the
+    /// allocation is floored at the largest peak observed so far. This guards
+    /// the cold-start phase, where the offset histories are still too short
+    /// to protect against under-prediction; once enough data exists the
+    /// models and offsets take over completely.
+    pub cold_start_observations: usize,
+    /// Whether a full retrain runs grid-search hyper-parameter optimisation.
+    pub hyperparameter_optimization: bool,
+    /// Seed for the stochastic pool members (MLP, random forest).
+    pub seed: u64,
+}
+
+impl Default for SizeyConfig {
+    fn default() -> Self {
+        SizeyConfig {
+            alpha: 0.0,
+            gating: GatingStrategy::default(),
+            offset: OffsetMode::default(),
+            online: OnlineMode::default(),
+            model_classes: ModelClass::ALL.to_vec(),
+            min_history: 3,
+            cold_start_observations: 10,
+            hyperparameter_optimization: false,
+            seed: 42,
+        }
+    }
+}
+
+impl SizeyConfig {
+    /// The paper's experimental configuration: α = 0, Interpolation gating,
+    /// dynamic offset, all four model classes.
+    pub fn paper_defaults() -> Self {
+        SizeyConfig::default()
+    }
+
+    /// Configuration for the full-retraining variant of Fig. 9 ("Sizey-Full"),
+    /// including hyper-parameter optimisation.
+    pub fn full_retraining() -> Self {
+        SizeyConfig {
+            online: OnlineMode::FullRetrain,
+            hyperparameter_optimization: true,
+            ..SizeyConfig::default()
+        }
+    }
+
+    /// Configuration for the incremental variant of Fig. 9
+    /// ("Sizey-Incremental").
+    pub fn incremental() -> Self {
+        SizeyConfig::default()
+    }
+
+    /// Returns a copy with a different α.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with a different gating strategy.
+    pub fn with_gating(mut self, gating: GatingStrategy) -> Self {
+        self.gating = gating;
+        self
+    }
+
+    /// Returns a copy restricted to a subset of model classes (used by the
+    /// pool-composition ablation).
+    pub fn with_model_classes(mut self, classes: Vec<ModelClass>) -> Self {
+        self.model_classes = classes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper_setup() {
+        let c = SizeyConfig::default();
+        assert_eq!(c.alpha, 0.0);
+        assert!(matches!(c.gating, GatingStrategy::Interpolation { .. }));
+        assert_eq!(c.offset, OffsetMode::Dynamic);
+        assert_eq!(c.model_classes.len(), 4);
+        assert_eq!(c.min_history, 3);
+    }
+
+    #[test]
+    fn with_alpha_clamps_to_unit_interval() {
+        assert_eq!(SizeyConfig::default().with_alpha(2.0).alpha, 1.0);
+        assert_eq!(SizeyConfig::default().with_alpha(-1.0).alpha, 0.0);
+        assert_eq!(SizeyConfig::default().with_alpha(0.3).alpha, 0.3);
+    }
+
+    #[test]
+    fn named_configurations_differ_in_online_mode() {
+        assert_eq!(SizeyConfig::full_retraining().online, OnlineMode::FullRetrain);
+        assert!(matches!(
+            SizeyConfig::incremental().online,
+            OnlineMode::Incremental { .. }
+        ));
+        assert!(SizeyConfig::full_retraining().hyperparameter_optimization);
+    }
+
+    #[test]
+    fn with_model_classes_restricts_pool() {
+        let c = SizeyConfig::default().with_model_classes(vec![ModelClass::Linear]);
+        assert_eq!(c.model_classes, vec![ModelClass::Linear]);
+    }
+}

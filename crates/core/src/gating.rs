@@ -1,0 +1,154 @@
+//! The gating mechanism combining pool outputs (Section II-D).
+//!
+//! Given the pool's individual estimates and their RAQ scores, the gating
+//! mechanism assigns each predictor a weight and produces a single aggregate
+//! estimate — either by picking the best model (Argmax) or by a softmax
+//! consensus over the RAQ scores (Interpolation, Eq. 4).
+
+use crate::config::GatingStrategy;
+
+/// Result of gating: the aggregate estimate, the per-model weights, and the
+/// index of the dominant model (used for the Fig. 11 model-share analysis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatingDecision {
+    /// The aggregated memory estimate in bytes.
+    pub estimate: f64,
+    /// One weight per pool member, summing to 1.
+    pub weights: Vec<f64>,
+    /// Index of the model with the largest weight.
+    pub dominant_model: usize,
+}
+
+/// Applies the gating strategy to the pool estimates and their RAQ scores.
+///
+/// # Panics
+/// Panics if `estimates` and `raq_scores` have different lengths or are
+/// empty — the pool never calls the gate without at least one fitted model.
+pub fn gate(strategy: GatingStrategy, estimates: &[f64], raq_scores: &[f64]) -> GatingDecision {
+    assert_eq!(
+        estimates.len(),
+        raq_scores.len(),
+        "one RAQ score per estimate required"
+    );
+    assert!(!estimates.is_empty(), "cannot gate an empty pool");
+
+    match strategy {
+        GatingStrategy::Argmax => {
+            let best = argmax(raq_scores);
+            let mut weights = vec![0.0; estimates.len()];
+            weights[best] = 1.0;
+            GatingDecision {
+                estimate: estimates[best],
+                weights,
+                dominant_model: best,
+            }
+        }
+        GatingStrategy::Interpolation { beta } => {
+            let beta = beta.max(1.0);
+            let weights = softmax(raq_scores, beta);
+            let estimate = estimates
+                .iter()
+                .zip(weights.iter())
+                .map(|(e, w)| e * w)
+                .sum();
+            let dominant_model = argmax(&weights);
+            GatingDecision {
+                estimate,
+                weights,
+                dominant_model,
+            }
+        }
+    }
+}
+
+/// Index of the maximum value (first one wins ties).
+fn argmax(values: &[f64]) -> usize {
+    let mut best = 0usize;
+    for (i, v) in values.iter().enumerate() {
+        if *v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Numerically stable softmax with sharpness `beta` (Eq. 4).
+fn softmax(scores: &[f64], beta: f64) -> Vec<f64> {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|s| (beta * (s - max)).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_strategy_selects_highest_raq() {
+        let d = gate(GatingStrategy::Argmax, &[1e9, 2e9, 3e9], &[0.2, 0.9, 0.5]);
+        assert_eq!(d.estimate, 2e9);
+        assert_eq!(d.dominant_model, 1);
+        assert_eq!(d.weights, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_ties_pick_the_first() {
+        let d = gate(GatingStrategy::Argmax, &[1e9, 2e9], &[0.5, 0.5]);
+        assert_eq!(d.dominant_model, 0);
+    }
+
+    #[test]
+    fn interpolation_weights_form_a_simplex() {
+        let d = gate(
+            GatingStrategy::Interpolation { beta: 3.0 },
+            &[1e9, 2e9, 4e9],
+            &[0.3, 0.6, 0.1],
+        );
+        let sum: f64 = d.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(d.weights.iter().all(|&w| (0.0..=1.0).contains(&w)));
+        assert_eq!(d.dominant_model, 1);
+    }
+
+    #[test]
+    fn interpolation_estimate_is_between_extremes() {
+        let estimates = [1e9, 5e9];
+        let d = gate(
+            GatingStrategy::Interpolation { beta: 2.0 },
+            &estimates,
+            &[0.5, 0.5],
+        );
+        assert!(d.estimate > 1e9 && d.estimate < 5e9);
+        // Equal scores => simple average.
+        assert!((d.estimate - 3e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn large_beta_approaches_argmax() {
+        let estimates = [1e9, 5e9];
+        let raq = [0.4, 0.6];
+        let soft = gate(GatingStrategy::Interpolation { beta: 200.0 }, &estimates, &raq);
+        let hard = gate(GatingStrategy::Argmax, &estimates, &raq);
+        assert!((soft.estimate - hard.estimate).abs() / hard.estimate < 1e-6);
+    }
+
+    #[test]
+    fn beta_below_one_is_clamped() {
+        let a = gate(GatingStrategy::Interpolation { beta: 0.0 }, &[1e9, 2e9], &[0.2, 0.8]);
+        let b = gate(GatingStrategy::Interpolation { beta: 1.0 }, &[1e9, 2e9], &[0.2, 0.8]);
+        assert!((a.estimate - b.estimate).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot gate an empty pool")]
+    fn gating_empty_pool_panics() {
+        let _ = gate(GatingStrategy::Argmax, &[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one RAQ score per estimate")]
+    fn mismatched_lengths_panic() {
+        let _ = gate(GatingStrategy::Argmax, &[1.0], &[0.1, 0.2]);
+    }
+}

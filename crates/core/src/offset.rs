@@ -1,0 +1,209 @@
+//! Prediction offsets and their dynamic selection (Section II-E).
+//!
+//! Sizey aims for accurate predictions, so small under-predictions would
+//! immediately cause task failures. A safety offset is therefore added to the
+//! aggregated estimate. Four candidate strategies are maintained — the
+//! standard deviation of the prediction errors, the standard deviation of the
+//! under-prediction errors, the median absolute error, and the median
+//! under-prediction error — and during online learning the strategy that
+//! *would have* caused the least wastage on the already executed tasks is
+//! selected.
+
+use sizey_ml::metrics::{median, std_dev};
+
+/// The four offset strategies of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OffsetStrategy {
+    /// Standard deviation of all prediction errors.
+    StdDev,
+    /// Standard deviation of the under-prediction errors only.
+    StdDevUnderpredictions,
+    /// Median absolute prediction error.
+    MedianError,
+    /// Median under-prediction error.
+    MedianErrorUnderpredictions,
+}
+
+impl OffsetStrategy {
+    /// All candidate strategies considered by the dynamic selection.
+    pub const ALL: [OffsetStrategy; 4] = [
+        OffsetStrategy::StdDev,
+        OffsetStrategy::StdDevUnderpredictions,
+        OffsetStrategy::MedianError,
+        OffsetStrategy::MedianErrorUnderpredictions,
+    ];
+
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OffsetStrategy::StdDev => "std-dev",
+            OffsetStrategy::StdDevUnderpredictions => "std-dev-under",
+            OffsetStrategy::MedianError => "median-error",
+            OffsetStrategy::MedianErrorUnderpredictions => "median-error-under",
+        }
+    }
+
+    /// Computes the offset (in bytes) this strategy derives from the history
+    /// of `(prediction, actual)` pairs.
+    pub fn offset(&self, history: &[(f64, f64)]) -> f64 {
+        if history.is_empty() {
+            return 0.0;
+        }
+        // error > 0 means the model under-predicted (actual above estimate).
+        let errors: Vec<f64> = history.iter().map(|&(pred, actual)| actual - pred).collect();
+        let under: Vec<f64> = errors.iter().copied().filter(|e| *e > 0.0).collect();
+        let value = match self {
+            OffsetStrategy::StdDev => std_dev(&errors),
+            OffsetStrategy::StdDevUnderpredictions => std_dev(&under),
+            OffsetStrategy::MedianError => {
+                let abs: Vec<f64> = errors.iter().map(|e| e.abs()).collect();
+                median(&abs)
+            }
+            OffsetStrategy::MedianErrorUnderpredictions => median(&under),
+        };
+        value.max(0.0)
+    }
+}
+
+impl std::fmt::Display for OffsetStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Hypothetical wastage (in bytes, duration-free) of sizing the historical
+/// tasks with `prediction + offset`: sufficient allocations waste their
+/// surplus, insufficient allocations waste the whole allocation plus the
+/// overshoot of the subsequent retry. The retry follows Sizey's failure
+/// handling (maximum ever observed, roughly twice the typical peak), so its
+/// cost is approximated as `2 × actual`.
+pub fn hypothetical_wastage(history: &[(f64, f64)], offset: f64) -> f64 {
+    history
+        .iter()
+        .map(|&(pred, actual)| {
+            let alloc = pred + offset;
+            if alloc >= actual {
+                alloc - actual
+            } else {
+                alloc + 2.0 * actual
+            }
+        })
+        .sum()
+}
+
+/// Selects the offset strategy that would have caused the least wastage on
+/// the observed history (the paper's dynamic offset selection), together with
+/// the offset value it yields.
+pub fn select_dynamic_offset(history: &[(f64, f64)]) -> (OffsetStrategy, f64) {
+    let mut best = (OffsetStrategy::StdDev, OffsetStrategy::StdDev.offset(history));
+    let mut best_cost = f64::INFINITY;
+    for strategy in OffsetStrategy::ALL {
+        let offset = strategy.offset(history);
+        let cost = hypothetical_wastage(history, offset);
+        if cost < best_cost {
+            best_cost = cost;
+            best = (strategy, offset);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_history_gives_zero_offset() {
+        for s in OffsetStrategy::ALL {
+            assert_eq!(s.offset(&[]), 0.0);
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_need_no_offset() {
+        let history = vec![(1e9, 1e9), (2e9, 2e9)];
+        for s in OffsetStrategy::ALL {
+            assert_eq!(s.offset(&history), 0.0, "{s}");
+        }
+    }
+
+    #[test]
+    fn median_error_under_matches_manual_value() {
+        // Errors: +1 GB, +3 GB, -2 GB → under-predictions {1, 3} → median 2.
+        let history = vec![(1e9, 2e9), (1e9, 4e9), (5e9, 3e9)];
+        let s = OffsetStrategy::MedianErrorUnderpredictions;
+        assert!((s.offset(&history) - 2e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn median_error_uses_absolute_errors() {
+        let history = vec![(1e9, 2e9), (5e9, 3e9)];
+        // |errors| = {1 GB, 2 GB} → median 1.5 GB.
+        assert!((OffsetStrategy::MedianError.offset(&history) - 1.5e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn std_dev_strategies_are_nonnegative() {
+        let history = vec![(1e9, 0.5e9), (1e9, 1.5e9), (1e9, 3e9)];
+        for s in OffsetStrategy::ALL {
+            assert!(s.offset(&history) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn only_overpredictions_yield_zero_underprediction_offsets() {
+        let history = vec![(5e9, 1e9), (6e9, 2e9)];
+        assert_eq!(OffsetStrategy::StdDevUnderpredictions.offset(&history), 0.0);
+        assert_eq!(
+            OffsetStrategy::MedianErrorUnderpredictions.offset(&history),
+            0.0
+        );
+    }
+
+    #[test]
+    fn hypothetical_wastage_penalises_failures() {
+        let history = vec![(1e9, 2e9)];
+        // offset 0: alloc 1 < 2 → waste 1 + 2·2 = 5.
+        assert!((hypothetical_wastage(&history, 0.0) - 5e9).abs() < 1e-3);
+        // offset 1.5 GB: alloc 2.5 ≥ 2 → waste 0.5.
+        assert!((hypothetical_wastage(&history, 1.5e9) - 0.5e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dynamic_selection_prefers_covering_systematic_underprediction() {
+        // Model systematically under-predicts by ~2 GB: strategies that
+        // produce a ~2 GB offset should win over near-zero offsets.
+        let history: Vec<(f64, f64)> = (1..=20)
+            .map(|i| (i as f64 * 1e9, i as f64 * 1e9 + 2e9))
+            .collect();
+        let (strategy, offset) = select_dynamic_offset(&history);
+        assert!(offset >= 1.9e9, "{strategy} offset {offset}");
+        let cost_selected = hypothetical_wastage(&history, offset);
+        for s in OffsetStrategy::ALL {
+            let cost = hypothetical_wastage(&history, s.offset(&history));
+            assert!(cost_selected <= cost + 1e-6);
+        }
+    }
+
+    #[test]
+    fn dynamic_selection_avoids_oversized_offsets_for_accurate_models() {
+        // Accurate model with small symmetric noise: the cheapest offset is a
+        // small one (median-based), not a large one.
+        let history: Vec<(f64, f64)> = (1..=50)
+            .map(|i| {
+                let actual = 10e9;
+                let noise = if i % 2 == 0 { 0.1e9 } else { -0.1e9 };
+                (actual + noise, actual)
+            })
+            .collect();
+        let (_, offset) = select_dynamic_offset(&history);
+        assert!(offset <= 0.2e9, "offset {offset} should stay small");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            OffsetStrategy::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

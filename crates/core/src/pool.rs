@@ -1,0 +1,418 @@
+//! The per-(task type, machine) model pool.
+//!
+//! Sizey's model granularity is the finest of Fig. 4: every (task type,
+//! machine) combination gets its own pool containing one model of every
+//! configured class. The pool keeps
+//!
+//! * the successful observation history (the training data),
+//! * each model's prequential accuracy history — the `(prediction, actual)`
+//!   pairs it produced *before* seeing the task, feeding the accuracy score
+//!   of Eq. 1,
+//! * the aggregate-estimate history feeding the offset selection,
+//!
+//! and performs the online-learning update (incremental or full retrain,
+//! optionally with hyper-parameter optimisation).
+
+use crate::config::{OnlineMode, SizeyConfig};
+use crate::gating::{gate, GatingDecision};
+use crate::raq::pool_raq_scores;
+use sizey_ml::dataset::Dataset;
+use sizey_ml::forest::{ForestConfig, RandomForestRegression};
+use sizey_ml::hpo::{grid_search, ModelSpec};
+use sizey_ml::knn::KnnRegression;
+use sizey_ml::linear::LinearRegression;
+use sizey_ml::mlp::{MlpConfig, MlpRegression};
+use sizey_ml::model::{ModelClass, Regressor};
+use std::time::{Duration, Instant};
+
+/// One pool member: a model plus its prequential accuracy history.
+struct PoolMember {
+    class: ModelClass,
+    model: Box<dyn Regressor>,
+    /// `(prediction, actual)` pairs collected online.
+    accuracy_history: Vec<(f64, f64)>,
+}
+
+/// The model pool of one (task type, machine) combination.
+pub struct ModelPool {
+    members: Vec<PoolMember>,
+    /// Successful observations: features → peak bytes.
+    data: Dataset,
+    /// History of `(aggregate raw estimate, actual)` pairs for the offset
+    /// selection.
+    aggregate_history: Vec<(f64, f64)>,
+    /// Completions since the last full retrain (drives incremental mode).
+    since_full_retrain: usize,
+    /// Largest peak ever observed (successful or exhausted allocation).
+    max_observed: Option<f64>,
+    /// Wall-clock time spent in the most recent model update.
+    last_training_time: Duration,
+}
+
+impl std::fmt::Debug for ModelPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelPool")
+            .field("members", &self.members.len())
+            .field("observations", &self.data.len())
+            .field("max_observed", &self.max_observed)
+            .finish()
+    }
+}
+
+fn build_model(class: ModelClass, seed: u64) -> Box<dyn Regressor> {
+    match class {
+        ModelClass::Linear => Box::new(LinearRegression::with_defaults()),
+        ModelClass::Knn => Box::new(KnnRegression::with_defaults()),
+        ModelClass::Mlp => Box::new(MlpRegression::new(MlpConfig {
+            hidden_layers: vec![16],
+            max_epochs: 120,
+            incremental_epochs: 20,
+            seed,
+            ..MlpConfig::default()
+        })),
+        ModelClass::RandomForest => Box::new(RandomForestRegression::new(ForestConfig {
+            n_trees: 24,
+            max_depth: 8,
+            seed,
+            ..ForestConfig::default()
+        })),
+    }
+}
+
+impl ModelPool {
+    /// Creates an empty pool with one model per configured class.
+    pub fn new(config: &SizeyConfig) -> Self {
+        ModelPool {
+            members: config
+                .model_classes
+                .iter()
+                .map(|&class| PoolMember {
+                    class,
+                    model: build_model(class, config.seed),
+                    accuracy_history: Vec::new(),
+                })
+                .collect(),
+            data: Dataset::new(),
+            aggregate_history: Vec::new(),
+            since_full_retrain: 0,
+            max_observed: None,
+            last_training_time: Duration::ZERO,
+        }
+    }
+
+    /// Number of successful observations.
+    pub fn n_observations(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The largest peak memory (or exhausted allocation) ever observed.
+    pub fn max_observed(&self) -> Option<f64> {
+        self.max_observed
+    }
+
+    /// Wall-clock duration of the most recent online-learning step.
+    pub fn last_training_time(&self) -> Duration {
+        self.last_training_time
+    }
+
+    /// The aggregate-estimate history used for offset selection.
+    pub fn aggregate_history(&self) -> &[(f64, f64)] {
+        &self.aggregate_history
+    }
+
+    /// True once the pool has enough data and fitted models to predict.
+    pub fn is_ready(&self, min_history: usize) -> bool {
+        self.data.len() >= min_history.max(1) && self.members.iter().any(|m| m.model.is_fitted())
+    }
+
+    /// Produces each fitted member's estimate for the given features,
+    /// clamped to be non-negative. Returns `None` when no member can predict.
+    pub fn individual_estimates(&self, features: &[f64]) -> Option<Vec<(ModelClass, f64)>> {
+        let estimates: Vec<(ModelClass, f64)> = self
+            .members
+            .iter()
+            .filter(|m| m.model.is_fitted())
+            .filter_map(|m| {
+                m.model
+                    .predict(features)
+                    .ok()
+                    .filter(|p| p.is_finite())
+                    .map(|p| (m.class, p.max(0.0)))
+            })
+            .collect();
+        if estimates.is_empty() {
+            None
+        } else {
+            Some(estimates)
+        }
+    }
+
+    /// Runs the full prediction pipeline for one query: individual estimates,
+    /// RAQ scores, gating. Returns `None` when the pool is not ready.
+    pub fn gated_estimate(
+        &self,
+        features: &[f64],
+        config: &SizeyConfig,
+    ) -> Option<(GatingDecision, Vec<(ModelClass, f64)>)> {
+        if !self.is_ready(config.min_history) {
+            return None;
+        }
+        let estimates = self.individual_estimates(features)?;
+        // The accuracy score follows the model's *current* quality: only the
+        // most recent prequential errors enter Eq. 1, so a model that drifts
+        // (or recovers) is re-rated quickly.
+        const ACCURACY_WINDOW: usize = 50;
+        let histories: Vec<Vec<(f64, f64)>> = estimates
+            .iter()
+            .map(|(class, _)| {
+                self.members
+                    .iter()
+                    .find(|m| m.class == *class)
+                    .map(|m| {
+                        let h = &m.accuracy_history;
+                        h[h.len().saturating_sub(ACCURACY_WINDOW)..].to_vec()
+                    })
+                    .unwrap_or_default()
+            })
+            .collect();
+        let values: Vec<f64> = estimates.iter().map(|(_, v)| *v).collect();
+        let raq = pool_raq_scores(&histories, &values, config.alpha);
+        Some((gate(config.gating, &values, &raq), estimates))
+    }
+
+    /// Records the observed peak of a *failed* attempt (the exhausted
+    /// allocation) so that failure handling can escalate above it.
+    pub fn observe_failure(&mut self, exhausted_allocation: f64) {
+        self.max_observed = Some(
+            self.max_observed
+                .map_or(exhausted_allocation, |m| m.max(exhausted_allocation)),
+        );
+    }
+
+    /// Incorporates a successful execution: prequential score bookkeeping,
+    /// dataset growth and the online model update. Returns the time spent
+    /// training.
+    pub fn observe_success(
+        &mut self,
+        features: &[f64],
+        peak_bytes: f64,
+        config: &SizeyConfig,
+    ) -> Duration {
+        // 1. Prequential accuracy update: ask every fitted member what it
+        //    would have predicted *before* learning from this task.
+        for member in &mut self.members {
+            if member.model.is_fitted() {
+                if let Ok(pred) = member.model.predict(features) {
+                    if pred.is_finite() {
+                        member.accuracy_history.push((pred.max(0.0), peak_bytes));
+                    }
+                }
+            }
+        }
+        // 2. Offset bookkeeping with the aggregate estimate.
+        if let Some((decision, _)) = self.gated_estimate(features, config) {
+            self.aggregate_history.push((decision.estimate, peak_bytes));
+        }
+
+        // 3. Grow the training data.
+        self.data.push(features.to_vec(), peak_bytes);
+        self.max_observed = Some(self.max_observed.map_or(peak_bytes, |m| m.max(peak_bytes)));
+
+        // 4. Online model update.
+        let start = Instant::now();
+        let new_point = Dataset::from_parts(vec![features.to_vec()], vec![peak_bytes]);
+        match config.online {
+            OnlineMode::FullRetrain => self.full_retrain(config),
+            OnlineMode::Incremental { retrain_interval } => {
+                self.since_full_retrain += 1;
+                if retrain_interval > 0 && self.since_full_retrain >= retrain_interval {
+                    self.full_retrain(config);
+                    self.since_full_retrain = 0;
+                } else {
+                    // The MLP's warm-start update is run on a recent window of
+                    // the data rather than the single new observation; a
+                    // gradient step on one point would drag the network
+                    // towards it and destabilise the pool between full
+                    // retrains. The other classes have exact or append-style
+                    // incremental updates and receive only the new point.
+                    let recent = self.data.tail(16);
+                    for member in &mut self.members {
+                        let update = if member.class == ModelClass::Mlp {
+                            &recent
+                        } else {
+                            &new_point
+                        };
+                        let result = if member.model.is_fitted() {
+                            member.model.partial_fit(update)
+                        } else {
+                            member.model.fit(&self.data)
+                        };
+                        // A failed incremental update falls back to a refit.
+                        if result.is_err() {
+                            let _ = member.model.fit(&self.data);
+                        }
+                    }
+                }
+            }
+        }
+        self.last_training_time = start.elapsed();
+        self.last_training_time
+    }
+
+    fn full_retrain(&mut self, config: &SizeyConfig) {
+        for member in &mut self.members {
+            if config.hyperparameter_optimization && self.data.len() >= 6 {
+                let specs = ModelSpec::default_grid(member.class);
+                if let Ok(result) = grid_search(&specs, &self.data, 3) {
+                    member.model = result.model;
+                    continue;
+                }
+            }
+            if member.model.fit(&self.data).is_err() {
+                // Keep the previous model if the refit fails; it is still the
+                // best information we have.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GatingStrategy;
+
+    fn config() -> SizeyConfig {
+        SizeyConfig::default()
+    }
+
+    fn feed_linear(pool: &mut ModelPool, cfg: &SizeyConfig, n: usize) {
+        for i in 1..=n {
+            let input = i as f64 * 1e9;
+            pool.observe_success(&[input], 2.0 * input + 1e9, cfg);
+        }
+    }
+
+    #[test]
+    fn empty_pool_is_not_ready() {
+        let cfg = config();
+        let pool = ModelPool::new(&cfg);
+        assert!(!pool.is_ready(cfg.min_history));
+        assert!(pool.individual_estimates(&[1e9]).is_none());
+        assert!(pool.gated_estimate(&[1e9], &cfg).is_none());
+        assert_eq!(pool.max_observed(), None);
+    }
+
+    #[test]
+    fn pool_becomes_ready_after_min_history() {
+        let cfg = config();
+        let mut pool = ModelPool::new(&cfg);
+        feed_linear(&mut pool, &cfg, 3);
+        assert!(pool.is_ready(cfg.min_history));
+        assert_eq!(pool.n_observations(), 3);
+    }
+
+    #[test]
+    fn estimates_cover_all_configured_classes() {
+        let cfg = config();
+        let mut pool = ModelPool::new(&cfg);
+        feed_linear(&mut pool, &cfg, 8);
+        let estimates = pool.individual_estimates(&[4e9]).unwrap();
+        assert_eq!(estimates.len(), 4);
+        for (_, value) in &estimates {
+            assert!(*value > 0.0);
+        }
+    }
+
+    #[test]
+    fn gated_estimate_is_reasonable_on_linear_data() {
+        let cfg = config();
+        let mut pool = ModelPool::new(&cfg);
+        feed_linear(&mut pool, &cfg, 15);
+        let (decision, _) = pool.gated_estimate(&[8e9], &cfg).unwrap();
+        let truth = 2.0 * 8e9 + 1e9;
+        assert!(
+            (decision.estimate - truth).abs() / truth < 0.5,
+            "estimate {} vs truth {}",
+            decision.estimate,
+            truth
+        );
+        let weight_sum: f64 = decision.weights.iter().sum();
+        assert!((weight_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn argmax_gating_reports_a_dominant_model() {
+        let cfg = config().with_gating(GatingStrategy::Argmax);
+        let mut pool = ModelPool::new(&cfg);
+        feed_linear(&mut pool, &cfg, 12);
+        let (decision, estimates) = pool.gated_estimate(&[5e9], &cfg).unwrap();
+        assert!(decision.dominant_model < estimates.len());
+        assert_eq!(
+            decision.weights.iter().filter(|&&w| w == 1.0).count(),
+            1,
+            "argmax puts all weight on one model"
+        );
+    }
+
+    #[test]
+    fn accuracy_history_grows_prequentially() {
+        let cfg = config();
+        let mut pool = ModelPool::new(&cfg);
+        feed_linear(&mut pool, &cfg, 6);
+        // The first observation fits unfitted models, so accuracy history
+        // starts with the second observation.
+        for member in &pool.members {
+            assert!(member.accuracy_history.len() >= 4);
+            assert!(member.accuracy_history.len() < 6);
+        }
+        assert!(!pool.aggregate_history().is_empty());
+    }
+
+    #[test]
+    fn max_observed_tracks_successes_and_failures() {
+        let cfg = config();
+        let mut pool = ModelPool::new(&cfg);
+        pool.observe_success(&[1e9], 3e9, &cfg);
+        assert_eq!(pool.max_observed(), Some(3e9));
+        pool.observe_failure(8e9);
+        assert_eq!(pool.max_observed(), Some(8e9));
+        pool.observe_success(&[1e9], 5e9, &cfg);
+        assert_eq!(pool.max_observed(), Some(8e9));
+    }
+
+    #[test]
+    fn full_retrain_mode_trains_every_time() {
+        let cfg = SizeyConfig {
+            online: OnlineMode::FullRetrain,
+            ..SizeyConfig::default()
+        };
+        let mut pool = ModelPool::new(&cfg);
+        feed_linear(&mut pool, &cfg, 5);
+        assert!(pool.is_ready(cfg.min_history));
+        assert!(pool.last_training_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn restricted_pool_only_builds_requested_classes() {
+        let cfg = config().with_model_classes(vec![ModelClass::Linear, ModelClass::Knn]);
+        let mut pool = ModelPool::new(&cfg);
+        feed_linear(&mut pool, &cfg, 6);
+        let estimates = pool.individual_estimates(&[3e9]).unwrap();
+        assert_eq!(estimates.len(), 2);
+        let classes: Vec<ModelClass> = estimates.iter().map(|(c, _)| *c).collect();
+        assert!(classes.contains(&ModelClass::Linear));
+        assert!(classes.contains(&ModelClass::Knn));
+    }
+
+    #[test]
+    fn incremental_mode_periodically_retrains() {
+        let cfg = SizeyConfig {
+            online: OnlineMode::Incremental { retrain_interval: 3 },
+            ..SizeyConfig::default()
+        };
+        let mut pool = ModelPool::new(&cfg);
+        feed_linear(&mut pool, &cfg, 10);
+        // After 10 observations with interval 3 the counter must have cycled.
+        assert!(pool.since_full_retrain < 3);
+    }
+}

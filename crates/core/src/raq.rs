@@ -1,0 +1,146 @@
+//! The Resource Allocation Quality (RAQ) score (Section II-C).
+//!
+//! The RAQ score rates each pool member for the task currently being sized.
+//! It combines
+//!
+//! * the **accuracy score** (Eq. 1) — the model's mean bounded relative error
+//!   over the historical task instances of the same (task type, machine)
+//!   combination, and
+//! * the **efficiency score** (Eq. 2) — how small the model's current
+//!   estimate is relative to the largest estimate in the pool, punishing
+//!   outlying overestimates.
+//!
+//! Both sub-scores and the combined RAQ (Eq. 3) are normalised to `[0, 1]`.
+
+use sizey_ml::metrics::bounded_relative_error;
+
+/// Computes the accuracy score of one model (Eq. 1) from the pairs of
+/// historical `(prediction, actual)` values it produced for this
+/// (task type, machine) combination. Returns 0 when no history exists —
+/// a model we know nothing about should never be preferred on accuracy.
+pub fn accuracy_score(history: &[(f64, f64)]) -> f64 {
+    if history.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = history
+        .iter()
+        .map(|&(pred, actual)| 1.0 - bounded_relative_error(pred, actual, 1.0))
+        .sum();
+    (sum / history.len() as f64).clamp(0.0, 1.0)
+}
+
+/// Computes the efficiency scores of all pool members (Eq. 2) from their
+/// current estimates. The model with the largest estimate always scores 0.
+/// Degenerate cases (empty pool, all-zero estimates) return all-zero scores.
+pub fn efficiency_scores(estimates: &[f64]) -> Vec<f64> {
+    let max = estimates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if estimates.is_empty() || !max.is_finite() || max <= 0.0 {
+        return vec![0.0; estimates.len()];
+    }
+    estimates
+        .iter()
+        .map(|&e| (1.0 - e / max).clamp(0.0, 1.0))
+        .collect()
+}
+
+/// Combines accuracy and efficiency into the RAQ score (Eq. 3):
+/// `RAQ = (1 - alpha) * AS + alpha * ES`.
+pub fn raq_score(accuracy: f64, efficiency: f64, alpha: f64) -> f64 {
+    let alpha = alpha.clamp(0.0, 1.0);
+    ((1.0 - alpha) * accuracy + alpha * efficiency).clamp(0.0, 1.0)
+}
+
+/// Convenience: computes the RAQ scores of the whole pool from each model's
+/// accuracy history and current estimate.
+pub fn pool_raq_scores(
+    accuracy_histories: &[Vec<(f64, f64)>],
+    estimates: &[f64],
+    alpha: f64,
+) -> Vec<f64> {
+    debug_assert_eq!(accuracy_histories.len(), estimates.len());
+    let efficiencies = efficiency_scores(estimates);
+    accuracy_histories
+        .iter()
+        .zip(efficiencies.iter())
+        .map(|(hist, &eff)| raq_score(accuracy_score(hist), eff, alpha))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_give_accuracy_one() {
+        let history = vec![(2e9, 2e9), (4e9, 4e9)];
+        assert_eq!(accuracy_score(&history), 1.0);
+    }
+
+    #[test]
+    fn accuracy_bounds_large_errors_at_zero_contribution() {
+        // A 10x overestimate contributes 0 (bounded at 1), so with one
+        // perfect prediction the mean is 0.5.
+        let history = vec![(20e9, 2e9), (4e9, 4e9)];
+        assert!((accuracy_score(&history) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_of_empty_history_is_zero() {
+        assert_eq!(accuracy_score(&[]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_matches_equation_one_example() {
+        // Errors of 10% and 30% => scores 0.9 and 0.7 => mean 0.8.
+        let history = vec![(1.1e9, 1.0e9), (0.7e9, 1.0e9)];
+        assert!((accuracy_score(&history) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_of_largest_estimate_is_zero() {
+        let scores = efficiency_scores(&[2e9, 4e9, 8e9]);
+        assert_eq!(scores[2], 0.0);
+        assert!((scores[0] - 0.75).abs() < 1e-12);
+        assert!((scores[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_handles_equal_and_degenerate_estimates() {
+        let equal = efficiency_scores(&[3e9, 3e9]);
+        assert_eq!(equal, vec![0.0, 0.0]);
+        assert_eq!(efficiency_scores(&[]), Vec::<f64>::new());
+        assert_eq!(efficiency_scores(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn raq_interpolates_between_accuracy_and_efficiency() {
+        assert_eq!(raq_score(0.8, 0.2, 0.0), 0.8);
+        assert_eq!(raq_score(0.8, 0.2, 1.0), 0.2);
+        assert!((raq_score(0.8, 0.2, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raq_clamps_alpha_and_result() {
+        assert_eq!(raq_score(0.8, 0.2, 7.0), 0.2);
+        assert!(raq_score(2.0, 2.0, 0.5) <= 1.0);
+    }
+
+    #[test]
+    fn pool_scores_combine_both_components() {
+        let histories = vec![
+            vec![(1.0e9, 1.0e9)], // perfectly accurate
+            vec![(3.0e9, 1.0e9)], // wildly inaccurate
+        ];
+        let estimates = vec![1.0e9, 5.0e9];
+        // alpha = 0: pure accuracy.
+        let raq0 = pool_raq_scores(&histories, &estimates, 0.0);
+        assert!(raq0[0] > raq0[1]);
+        // alpha = 1: pure efficiency — the smaller estimate wins.
+        let raq1 = pool_raq_scores(&histories, &estimates, 1.0);
+        assert!(raq1[0] > raq1[1]);
+        assert_eq!(raq1[1], 0.0);
+        for s in raq0.iter().chain(raq1.iter()) {
+            assert!((0.0..=1.0).contains(s));
+        }
+    }
+}

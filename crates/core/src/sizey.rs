@@ -1,0 +1,384 @@
+//! The Sizey predictor: the paper's method end to end.
+//!
+//! For every submitted task, Sizey
+//!
+//! 1. looks up the provenance history of the (task type, machine)
+//!    combination; unknown task types fall back to the user preset,
+//! 2. lets every pool member produce an estimate, scores them with the RAQ
+//!    score, and gates them into a single estimate (Argmax or Interpolation),
+//! 3. adds a dynamically selected safety offset,
+//! 4. on failure escalates to the maximum memory ever observed and then
+//!    doubles,
+//! 5. after every completed task updates its models online (incremental or
+//!    full retrain).
+
+use crate::config::{OffsetMode, SizeyConfig};
+use crate::failure::failure_allocation;
+use crate::offset::{select_dynamic_offset, OffsetStrategy};
+use crate::pool::ModelPool;
+use sizey_provenance::{ProvenanceStore, TaskMachineKey, TaskOutcome, TaskRecord};
+use sizey_sim::{MemoryPredictor, Prediction, TaskSubmission};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// The Sizey online memory predictor.
+pub struct SizeyPredictor {
+    config: SizeyConfig,
+    pools: HashMap<TaskMachineKey, ModelPool>,
+    store: ProvenanceStore,
+    /// Allocation granted to the most recent attempt of each in-flight task
+    /// (keyed by submission sequence), used by the failure handling.
+    inflight_allocations: HashMap<u64, f64>,
+    /// Wall-clock time of every online-learning step (Fig. 9 telemetry).
+    training_times: Vec<Duration>,
+    /// How often each offset strategy was selected (diagnostics).
+    offset_selections: HashMap<OffsetStrategy, usize>,
+}
+
+impl std::fmt::Debug for SizeyPredictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SizeyPredictor")
+            .field("pools", &self.pools.len())
+            .field("records", &self.store.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl SizeyPredictor {
+    /// Creates a Sizey predictor with the given configuration.
+    pub fn new(config: SizeyConfig) -> Self {
+        SizeyPredictor {
+            config,
+            pools: HashMap::new(),
+            store: ProvenanceStore::new(),
+            inflight_allocations: HashMap::new(),
+            training_times: Vec::new(),
+            offset_selections: HashMap::new(),
+        }
+    }
+
+    /// Creates a Sizey predictor with the paper's default configuration
+    /// (α = 0, Interpolation gating, dynamic offset, incremental updates).
+    pub fn with_defaults() -> Self {
+        SizeyPredictor::new(SizeyConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SizeyConfig {
+        &self.config
+    }
+
+    /// The internal provenance store (all observed records).
+    pub fn provenance(&self) -> &ProvenanceStore {
+        &self.store
+    }
+
+    /// Wall-clock durations of every online-learning step performed so far.
+    pub fn training_times(&self) -> &[Duration] {
+        &self.training_times
+    }
+
+    /// How often each offset strategy won the dynamic selection.
+    pub fn offset_selections(&self) -> &HashMap<OffsetStrategy, usize> {
+        &self.offset_selections
+    }
+
+    /// Number of (task type, machine) pools instantiated so far.
+    pub fn n_pools(&self) -> usize {
+        self.pools.len()
+    }
+
+    fn key(task: &TaskSubmission) -> TaskMachineKey {
+        TaskMachineKey {
+            task_type: task.task_type.clone(),
+            machine: task.machine.clone(),
+        }
+    }
+
+    /// Number of most recent aggregate-estimate observations considered by
+    /// the offset strategies: a sliding window keeps the offsets tracking the
+    /// pool's *current* prediction quality instead of long-gone early errors.
+    const OFFSET_WINDOW: usize = 40;
+
+    /// Computes the offset for the current pool state.
+    fn offset_for(&mut self, key: &TaskMachineKey) -> f64 {
+        let history: Vec<(f64, f64)> = self
+            .pools
+            .get(key)
+            .map(|p| {
+                let h = p.aggregate_history();
+                h[h.len().saturating_sub(Self::OFFSET_WINDOW)..].to_vec()
+            })
+            .unwrap_or_default();
+        if history.is_empty() {
+            return 0.0;
+        }
+        match self.config.offset {
+            OffsetMode::None => 0.0,
+            OffsetMode::Fixed(strategy) => strategy.offset(&history),
+            OffsetMode::Dynamic => {
+                let (strategy, offset) = select_dynamic_offset(&history);
+                *self.offset_selections.entry(strategy).or_insert(0) += 1;
+                offset
+            }
+        }
+    }
+}
+
+impl MemoryPredictor for SizeyPredictor {
+    fn name(&self) -> String {
+        "Sizey".to_string()
+    }
+
+    fn predict(&mut self, task: &TaskSubmission, attempt: u32) -> Prediction {
+        let key = Self::key(task);
+
+        if attempt > 0 {
+            // Failure handling: maximum ever observed, then doubling.
+            let last = self
+                .inflight_allocations
+                .get(&task.sequence)
+                .copied()
+                .unwrap_or(task.preset_memory_bytes);
+            let max_observed = self.pools.get(&key).and_then(ModelPool::max_observed);
+            let allocation = failure_allocation(max_observed, last, attempt);
+            self.inflight_allocations.insert(task.sequence, allocation);
+            return Prediction {
+                allocation_bytes: allocation,
+                raw_estimate_bytes: None,
+                selected_model: None,
+            };
+        }
+
+        let decision = self
+            .pools
+            .get(&key)
+            .and_then(|pool| pool.gated_estimate(&task.features(), &self.config));
+
+        match decision {
+            None => {
+                // Unknown task type (or not enough history): submit with the
+                // user-provided, usually conservative estimate.
+                self.inflight_allocations
+                    .insert(task.sequence, task.preset_memory_bytes);
+                Prediction {
+                    allocation_bytes: task.preset_memory_bytes,
+                    raw_estimate_bytes: None,
+                    selected_model: None,
+                }
+            }
+            Some((gating, estimates)) => {
+                let offset = self.offset_for(&key);
+                let mut allocation = (gating.estimate + offset).max(0.0);
+                // Cold-start guard: while the offset histories are still too
+                // short to be trustworthy, keep a relative head-room above
+                // the raw estimate. A failure of a large, long-running task
+                // costs far more than a few percent of temporary
+                // over-allocation, and the regular offsets take over once
+                // enough history exists.
+                if let Some(pool) = self.pools.get(&key) {
+                    if pool.n_observations() < self.config.cold_start_observations {
+                        allocation = allocation.max(gating.estimate * 1.15);
+                    }
+                }
+                let selected_class = estimates
+                    .get(gating.dominant_model)
+                    .map(|(class, _)| class.name().to_string());
+                self.inflight_allocations.insert(task.sequence, allocation);
+                Prediction {
+                    allocation_bytes: allocation,
+                    raw_estimate_bytes: Some(gating.estimate),
+                    selected_model: selected_class,
+                }
+            }
+        }
+    }
+
+    fn observe(&mut self, record: &TaskRecord) {
+        self.store.insert(record.clone());
+        let key = record.key();
+        let pool = self
+            .pools
+            .entry(key)
+            .or_insert_with(|| ModelPool::new(&self.config));
+
+        match record.outcome {
+            TaskOutcome::Succeeded => {
+                let duration = pool.observe_success(
+                    &record.features(),
+                    record.peak_memory_bytes,
+                    &self.config,
+                );
+                self.training_times.push(duration);
+                self.inflight_allocations.remove(&record.sequence);
+            }
+            TaskOutcome::FailedOutOfMemory => {
+                // The exhausted allocation is a lower bound on the true peak.
+                pool.observe_failure(record.allocated_memory_bytes);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GatingStrategy;
+    use sizey_provenance::{MachineId, TaskTypeId};
+
+    fn submission(seq: u64, input: f64) -> TaskSubmission {
+        TaskSubmission {
+            workflow: "wf".into(),
+            task_type: TaskTypeId::new("t"),
+            machine: MachineId::new("m"),
+            sequence: seq,
+            input_bytes: input,
+            preset_memory_bytes: 20e9,
+        }
+    }
+
+    fn success(seq: u64, input: f64, peak: f64) -> TaskRecord {
+        TaskRecord {
+            workflow: "wf".into(),
+            task_type: TaskTypeId::new("t"),
+            machine: MachineId::new("m"),
+            sequence: seq,
+            input_bytes: input,
+            peak_memory_bytes: peak,
+            allocated_memory_bytes: peak * 1.5,
+            runtime_seconds: 60.0,
+            concurrent_tasks: 1,
+            outcome: TaskOutcome::Succeeded,
+        }
+    }
+
+    /// Teaches the predictor a clean linear relationship peak = 2·input + 1 GB.
+    fn train(p: &mut SizeyPredictor, n: u64) {
+        for i in 1..=n {
+            let input = i as f64 * 1e9;
+            p.observe(&success(i, input, 2.0 * input + 1e9));
+        }
+    }
+
+    #[test]
+    fn unknown_task_type_uses_preset() {
+        let mut p = SizeyPredictor::with_defaults();
+        let pred = p.predict(&submission(0, 1e9), 0);
+        assert_eq!(pred.allocation_bytes, 20e9);
+        assert!(pred.raw_estimate_bytes.is_none());
+        assert!(pred.selected_model.is_none());
+    }
+
+    #[test]
+    fn learns_and_beats_the_preset() {
+        let mut p = SizeyPredictor::with_defaults();
+        train(&mut p, 15);
+        let pred = p.predict(&submission(100, 5e9), 0);
+        let truth = 11e9;
+        assert!(pred.raw_estimate_bytes.is_some());
+        assert!(
+            pred.allocation_bytes < 20e9,
+            "learned allocation {} should beat the 20 GB preset",
+            pred.allocation_bytes
+        );
+        assert!(
+            pred.allocation_bytes >= truth * 0.6,
+            "allocation {} suspiciously below the true peak {}",
+            pred.allocation_bytes,
+            truth
+        );
+        assert!(pred.selected_model.is_some());
+    }
+
+    #[test]
+    fn offset_makes_allocation_at_least_the_raw_estimate() {
+        let mut p = SizeyPredictor::with_defaults();
+        train(&mut p, 20);
+        let pred = p.predict(&submission(200, 7e9), 0);
+        let raw = pred.raw_estimate_bytes.unwrap();
+        assert!(pred.allocation_bytes >= raw);
+    }
+
+    #[test]
+    fn failure_handling_escalates_to_max_observed_then_doubles() {
+        let mut p = SizeyPredictor::with_defaults();
+        train(&mut p, 10);
+        // Max observed peak so far: 2*10 GB + 1 GB = 21 GB.
+        let first_retry = p.predict(&submission(50, 3e9), 1);
+        assert!((first_retry.allocation_bytes - 21e9).abs() < 1e-3);
+        let second_retry = p.predict(&submission(50, 3e9), 2);
+        assert!((second_retry.allocation_bytes - 42e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn failed_attempts_raise_the_failure_baseline() {
+        let mut p = SizeyPredictor::with_defaults();
+        train(&mut p, 5);
+        let mut failed = success(60, 3e9, 30e9);
+        failed.outcome = TaskOutcome::FailedOutOfMemory;
+        failed.allocated_memory_bytes = 30e9;
+        p.observe(&failed);
+        let retry = p.predict(&submission(61, 3e9), 1);
+        assert!(retry.allocation_bytes >= 30e9);
+    }
+
+    #[test]
+    fn argmax_configuration_reports_model_classes() {
+        let cfg = SizeyConfig::default().with_gating(GatingStrategy::Argmax);
+        let mut p = SizeyPredictor::new(cfg);
+        train(&mut p, 12);
+        let pred = p.predict(&submission(80, 4e9), 0);
+        let model = pred.selected_model.unwrap();
+        assert!(
+            [
+                "linear-regression",
+                "knn-regression",
+                "mlp-regression",
+                "random-forest-regression"
+            ]
+            .contains(&model.as_str()),
+            "unexpected model name {model}"
+        );
+    }
+
+    #[test]
+    fn training_times_are_recorded_per_completion() {
+        let mut p = SizeyPredictor::with_defaults();
+        train(&mut p, 8);
+        assert_eq!(p.training_times().len(), 8);
+        assert_eq!(p.provenance().len(), 8);
+        assert_eq!(p.n_pools(), 1);
+    }
+
+    #[test]
+    fn dynamic_offset_selection_is_tracked() {
+        let mut p = SizeyPredictor::with_defaults();
+        train(&mut p, 15);
+        let _ = p.predict(&submission(99, 3e9), 0);
+        let total: usize = p.offset_selections().values().sum();
+        assert!(total >= 1);
+    }
+
+    #[test]
+    fn no_offset_mode_returns_raw_estimate() {
+        let cfg = SizeyConfig {
+            offset: OffsetMode::None,
+            ..SizeyConfig::default()
+        };
+        let mut p = SizeyPredictor::new(cfg);
+        train(&mut p, 10);
+        let pred = p.predict(&submission(70, 6e9), 0);
+        assert_eq!(pred.allocation_bytes, pred.raw_estimate_bytes.unwrap());
+    }
+
+    #[test]
+    fn separate_machines_get_separate_pools() {
+        let mut p = SizeyPredictor::with_defaults();
+        train(&mut p, 5);
+        let mut other = success(200, 1e9, 3e9);
+        other.machine = MachineId::new("other-machine");
+        p.observe(&other);
+        assert_eq!(p.n_pools(), 2);
+    }
+}

@@ -1,0 +1,231 @@
+//! Training data containers shared by all regressors.
+
+use crate::matrix::Matrix;
+
+/// A supervised regression dataset: a design matrix of feature rows and a
+/// response vector of targets (peak memory in bytes for the Sizey use case).
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Creates a dataset from parallel feature/target vectors.
+    ///
+    /// # Panics
+    /// Panics if the two vectors have different lengths or the feature rows
+    /// have inconsistent widths.
+    pub fn from_parts(features: Vec<Vec<f64>>, targets: Vec<f64>) -> Self {
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "features and targets must have the same number of rows"
+        );
+        if let Some(first) = features.first() {
+            let w = first.len();
+            assert!(
+                features.iter().all(|f| f.len() == w),
+                "all feature rows must have the same width"
+            );
+        }
+        Dataset { features, targets }
+    }
+
+    /// Convenience constructor for single-feature data (the common Sizey case:
+    /// input size → peak memory).
+    pub fn from_univariate(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        Dataset {
+            features: xs.iter().map(|&x| vec![x]).collect(),
+            targets: ys.to_vec(),
+        }
+    }
+
+    /// Appends one observation.
+    pub fn push(&mut self, features: Vec<f64>, target: f64) {
+        if let Some(first) = self.features.first() {
+            assert_eq!(
+                first.len(),
+                features.len(),
+                "feature width must be consistent"
+            );
+        }
+        self.features.push(features);
+        self.targets.push(target);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True when there are no observations.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Number of feature columns (0 for an empty dataset).
+    pub fn n_features(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Borrow the feature rows.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// Borrow the targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// Returns the i-th observation.
+    pub fn get(&self, i: usize) -> (&[f64], f64) {
+        (&self.features[i], self.targets[i])
+    }
+
+    /// Builds the design matrix (one row per observation).
+    pub fn design_matrix(&self) -> Matrix {
+        Matrix::from_rows(&self.features)
+    }
+
+    /// Builds the design matrix with a leading intercept column of ones.
+    pub fn design_matrix_with_intercept(&self) -> Matrix {
+        let rows: Vec<Vec<f64>> = self
+            .features
+            .iter()
+            .map(|f| {
+                let mut row = Vec::with_capacity(f.len() + 1);
+                row.push(1.0);
+                row.extend_from_slice(f);
+                row
+            })
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    /// Returns a new dataset containing only the observations at `indices`.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            targets: indices.iter().map(|&i| self.targets[i]).collect(),
+        }
+    }
+
+    /// Returns the last `n` observations (or all of them when fewer exist).
+    pub fn tail(&self, n: usize) -> Dataset {
+        let start = self.len().saturating_sub(n);
+        Dataset {
+            features: self.features[start..].to_vec(),
+            targets: self.targets[start..].to_vec(),
+        }
+    }
+
+    /// Splits into `(train, test)` where the first `train_len` observations go
+    /// into the training part. Order is preserved (important for online
+    /// replay-style evaluation).
+    pub fn split_at(&self, train_len: usize) -> (Dataset, Dataset) {
+        let train_len = train_len.min(self.len());
+        (
+            Dataset {
+                features: self.features[..train_len].to_vec(),
+                targets: self.targets[..train_len].to_vec(),
+            },
+            Dataset {
+                features: self.features[train_len..].to_vec(),
+                targets: self.targets[train_len..].to_vec(),
+            },
+        )
+    }
+
+    /// Iterates over `(features, target)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], f64)> {
+        self.features
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.targets.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_parts_and_accessors() {
+        let ds = Dataset::from_parts(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![10.0, 20.0]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.get(1), (&[3.0, 4.0][..], 20.0));
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of rows")]
+    fn from_parts_rejects_length_mismatch() {
+        let _ = Dataset::from_parts(vec![vec![1.0]], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_univariate_wraps_each_value() {
+        let ds = Dataset::from_univariate(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(ds.n_features(), 1);
+        assert_eq!(ds.features()[1], vec![2.0]);
+    }
+
+    #[test]
+    fn push_appends_and_checks_width() {
+        let mut ds = Dataset::new();
+        ds.push(vec![1.0, 2.0], 5.0);
+        ds.push(vec![3.0, 4.0], 6.0);
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width")]
+    fn push_rejects_inconsistent_width() {
+        let mut ds = Dataset::new();
+        ds.push(vec![1.0, 2.0], 5.0);
+        ds.push(vec![3.0], 6.0);
+    }
+
+    #[test]
+    fn design_matrix_with_intercept_prepends_ones() {
+        let ds = Dataset::from_univariate(&[2.0, 3.0], &[1.0, 1.0]);
+        let m = ds.design_matrix_with_intercept();
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 1)], 3.0);
+    }
+
+    #[test]
+    fn subset_selects_indices() {
+        let ds = Dataset::from_univariate(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]);
+        let sub = ds.subset(&[2, 0]);
+        assert_eq!(sub.targets(), &[30.0, 10.0]);
+    }
+
+    #[test]
+    fn tail_returns_last_n() {
+        let ds = Dataset::from_univariate(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]);
+        let t = ds.tail(2);
+        assert_eq!(t.targets(), &[20.0, 30.0]);
+        let all = ds.tail(10);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn split_at_preserves_order() {
+        let ds = Dataset::from_univariate(&[1.0, 2.0, 3.0, 4.0], &[1.0, 2.0, 3.0, 4.0]);
+        let (train, test) = ds.split_at(3);
+        assert_eq!(train.len(), 3);
+        assert_eq!(test.len(), 1);
+        assert_eq!(test.targets()[0], 4.0);
+    }
+}

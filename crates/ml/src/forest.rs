@@ -1,0 +1,398 @@
+//! Random-forest regression.
+//!
+//! The paper includes a random forest in the model pool because ensembles of
+//! decorrelated trees are robust to overfitting when only a few historical
+//! task executions exist. Trees are trained on bootstrap resamples with
+//! per-tree feature subsampling and are fitted in parallel.
+//!
+//! The incremental update ([`Regressor::partial_fit`]) appends the new
+//! observations to the retained training set and refits only a rotating
+//! subset of trees, which is the classic cheap approximation of online random
+//! forests and is what gives the "Sizey-Incremental" variant its speed
+//! advantage in Fig. 9.
+
+use crate::dataset::Dataset;
+use crate::model::{validate_query, validate_training_data, ModelClass, ModelError, Regressor};
+use crate::parallel::{default_parallelism, parallel_map};
+use crate::tree::{RegressionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters for [`RandomForestRegression`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestConfig {
+    /// Number of trees in the ensemble.
+    pub n_trees: usize,
+    /// Maximum depth of each tree.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Fraction of features considered per split (1.0 = all features).
+    pub max_features_fraction: f64,
+    /// Fraction of trees refitted on a `partial_fit` call (rounded up, at
+    /// least one tree).
+    pub incremental_refresh_fraction: f64,
+    /// Seed for bootstrap resampling and feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 32,
+            max_depth: 10,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features_fraction: 1.0,
+            incremental_refresh_fraction: 0.25,
+            seed: 42,
+        }
+    }
+}
+
+/// Random-forest regressor.
+#[derive(Clone)]
+pub struct RandomForestRegression {
+    config: ForestConfig,
+    trees: Vec<RegressionTree>,
+    /// Retained training data so incremental updates and tree refreshes can
+    /// resample from the full history.
+    history: Dataset,
+    n_features: usize,
+    fitted: bool,
+    /// Index of the next tree to refresh on an incremental update.
+    refresh_cursor: usize,
+    /// Monotonic counter so each (re)fit uses fresh bootstrap seeds.
+    fit_generation: u64,
+}
+
+impl std::fmt::Debug for RandomForestRegression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RandomForestRegression")
+            .field("config", &self.config)
+            .field("n_trees", &self.trees.len())
+            .field("history_len", &self.history.len())
+            .field("fitted", &self.fitted)
+            .finish()
+    }
+}
+
+impl RandomForestRegression {
+    /// Creates an unfitted forest with the given configuration.
+    pub fn new(config: ForestConfig) -> Self {
+        RandomForestRegression {
+            config,
+            trees: Vec::new(),
+            history: Dataset::new(),
+            n_features: 0,
+            fitted: false,
+            refresh_cursor: 0,
+            fit_generation: 0,
+        }
+    }
+
+    /// Creates an unfitted forest with default configuration.
+    pub fn with_defaults() -> Self {
+        RandomForestRegression::new(ForestConfig::default())
+    }
+
+    /// The configuration used by this forest.
+    pub fn config(&self) -> ForestConfig {
+        self.config
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of retained training observations.
+    pub fn n_observations(&self) -> usize {
+        self.history.len()
+    }
+
+    fn tree_config(&self, n_features: usize) -> TreeConfig {
+        let max_features = if self.config.max_features_fraction >= 1.0 {
+            None
+        } else {
+            let k = ((n_features as f64) * self.config.max_features_fraction).ceil() as usize;
+            Some(k.max(1))
+        };
+        TreeConfig {
+            max_depth: self.config.max_depth,
+            min_samples_split: self.config.min_samples_split,
+            min_samples_leaf: self.config.min_samples_leaf,
+            max_features,
+        }
+    }
+
+    /// Trains a single tree on a bootstrap resample drawn with `seed`.
+    fn train_tree(&self, seed: u64) -> Result<RegressionTree, ModelError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.history.len();
+        let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+        let sample = self.history.subset(&indices);
+        let mut tree = RegressionTree::new(self.tree_config(self.history.n_features()));
+        let mut order: Vec<usize> = (0..self.history.n_features()).collect();
+        order.shuffle(&mut rng);
+        tree.set_feature_order(order);
+        tree.fit(&sample)?;
+        Ok(tree)
+    }
+
+    fn fit_trees(&mut self, tree_indices: &[usize]) -> Result<(), ModelError> {
+        let generation = self.fit_generation;
+        let seeds: Vec<(usize, u64)> = tree_indices
+            .iter()
+            .map(|&i| {
+                (
+                    i,
+                    self.config
+                        .seed
+                        .wrapping_add(generation.wrapping_mul(10_007))
+                        .wrapping_add(i as u64 * 7919),
+                )
+            })
+            .collect();
+        let this = &*self;
+        let results = parallel_map(&seeds, default_parallelism(), |&(_, seed)| {
+            this.train_tree(seed)
+        });
+        let mut trained = Vec::with_capacity(results.len());
+        for r in results {
+            trained.push(r?);
+        }
+        if self.trees.len() != self.config.n_trees {
+            self.trees = vec![RegressionTree::new(self.tree_config(self.n_features)); self.config.n_trees];
+        }
+        for ((i, _), tree) in seeds.iter().zip(trained.into_iter()) {
+            self.trees[*i] = tree;
+        }
+        self.fit_generation += 1;
+        Ok(())
+    }
+}
+
+impl Regressor for RandomForestRegression {
+    fn fit(&mut self, data: &Dataset) -> Result<(), ModelError> {
+        validate_training_data(data)?;
+        self.history = data.clone();
+        self.n_features = data.n_features();
+        self.trees.clear();
+        let all: Vec<usize> = (0..self.config.n_trees).collect();
+        self.fit_trees(&all)?;
+        self.fitted = true;
+        self.refresh_cursor = 0;
+        Ok(())
+    }
+
+    fn partial_fit(&mut self, data: &Dataset) -> Result<(), ModelError> {
+        validate_training_data(data)?;
+        if !self.fitted {
+            return self.fit(data);
+        }
+        if data.n_features() != self.n_features {
+            return Err(ModelError::FeatureMismatch {
+                expected: self.n_features,
+                got: data.n_features(),
+            });
+        }
+        for (f, t) in data.iter() {
+            self.history.push(f.to_vec(), t);
+        }
+        let refresh = ((self.config.n_trees as f64 * self.config.incremental_refresh_fraction)
+            .ceil() as usize)
+            .clamp(1, self.config.n_trees);
+        let indices: Vec<usize> = (0..refresh)
+            .map(|i| (self.refresh_cursor + i) % self.config.n_trees)
+            .collect();
+        self.refresh_cursor = (self.refresh_cursor + refresh) % self.config.n_trees;
+        self.fit_trees(&indices)
+    }
+
+    fn predict(&self, features: &[f64]) -> Result<f64, ModelError> {
+        if !self.fitted || self.trees.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        validate_query(features, self.n_features)?;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for tree in &self.trees {
+            if tree.is_fitted() {
+                sum += tree.predict(features)?;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            return Err(ModelError::NotFitted);
+        }
+        Ok(sum / count as f64)
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    fn class(&self) -> ModelClass {
+        ModelClass::RandomForest
+    }
+
+    fn clone_box(&self) -> Box<dyn Regressor> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_dataset(n: usize) -> Dataset {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x < n as f64 / 2.0 { 100.0 } else { 500.0 })
+            .collect();
+        Dataset::from_univariate(&xs, &ys)
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let data = step_dataset(60);
+        let mut f = RandomForestRegression::new(ForestConfig {
+            n_trees: 16,
+            ..ForestConfig::default()
+        });
+        f.fit(&data).unwrap();
+        assert!((f.predict(&[5.0]).unwrap() - 100.0).abs() < 40.0);
+        assert!((f.predict(&[55.0]).unwrap() - 500.0).abs() < 40.0);
+    }
+
+    #[test]
+    fn prediction_is_bounded_by_observed_targets() {
+        let data = step_dataset(40);
+        let mut f = RandomForestRegression::with_defaults();
+        f.fit(&data).unwrap();
+        let p = f.predict(&[1_000.0]).unwrap();
+        assert!(p >= 100.0 - 1e-9 && p <= 500.0 + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = step_dataset(50);
+        let cfg = ForestConfig {
+            n_trees: 8,
+            seed: 7,
+            ..ForestConfig::default()
+        };
+        let mut a = RandomForestRegression::new(cfg);
+        let mut b = RandomForestRegression::new(cfg);
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        for x in [3.0, 20.0, 45.0] {
+            assert_eq!(a.predict(&[x]).unwrap(), b.predict(&[x]).unwrap());
+        }
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let xs: Vec<f64> = (0..80).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| x * 3.0 + (x * 0.7).sin() * 10.0).collect();
+        let data = Dataset::from_univariate(&xs, &ys);
+        let mut a = RandomForestRegression::new(ForestConfig {
+            seed: 1,
+            n_trees: 4,
+            ..ForestConfig::default()
+        });
+        let mut b = RandomForestRegression::new(ForestConfig {
+            seed: 2,
+            n_trees: 4,
+            ..ForestConfig::default()
+        });
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        let pa = a.predict(&[40.5]).unwrap();
+        let pb = b.predict(&[40.5]).unwrap();
+        assert!((pa - pb).abs() > 1e-12, "bootstrap should differ across seeds");
+    }
+
+    #[test]
+    fn partial_fit_incorporates_new_observations() {
+        let data = step_dataset(30);
+        let mut f = RandomForestRegression::new(ForestConfig {
+            n_trees: 8,
+            incremental_refresh_fraction: 1.0,
+            ..ForestConfig::default()
+        });
+        f.fit(&data).unwrap();
+        // Teach it a new, much larger regime.
+        let new = Dataset::from_univariate(&[100.0, 101.0, 102.0, 103.0], &[5_000.0; 4]);
+        f.partial_fit(&new).unwrap();
+        assert_eq!(f.n_observations(), 34);
+        let p = f.predict(&[102.0]).unwrap();
+        assert!(p > 500.0, "new regime should raise the prediction, got {p}");
+    }
+
+    #[test]
+    fn partial_fit_refreshes_only_a_subset() {
+        let data = step_dataset(30);
+        let mut f = RandomForestRegression::new(ForestConfig {
+            n_trees: 8,
+            incremental_refresh_fraction: 0.25,
+            ..ForestConfig::default()
+        });
+        f.fit(&data).unwrap();
+        let new = Dataset::from_univariate(&[40.0], &[900.0]);
+        f.partial_fit(&new).unwrap();
+        assert_eq!(f.n_trees(), 8);
+        assert_eq!(f.n_observations(), 31);
+    }
+
+    #[test]
+    fn partial_fit_before_fit_acts_as_fit() {
+        let mut f = RandomForestRegression::new(ForestConfig {
+            n_trees: 4,
+            ..ForestConfig::default()
+        });
+        f.partial_fit(&step_dataset(20)).unwrap();
+        assert!(f.is_fitted());
+    }
+
+    #[test]
+    fn errors_before_fit_and_on_bad_query() {
+        let f = RandomForestRegression::with_defaults();
+        assert!(matches!(f.predict(&[1.0]), Err(ModelError::NotFitted)));
+        let mut fitted = RandomForestRegression::new(ForestConfig {
+            n_trees: 2,
+            ..ForestConfig::default()
+        });
+        fitted.fit(&step_dataset(10)).unwrap();
+        assert!(matches!(
+            fitted.predict(&[1.0, 2.0]),
+            Err(ModelError::FeatureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn feature_fraction_below_one_still_learns() {
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..60 {
+            let x = i as f64;
+            features.push(vec![x, (i % 5) as f64, (i % 3) as f64]);
+            targets.push(if x < 30.0 { 10.0 } else { 90.0 });
+        }
+        let data = Dataset::from_parts(features, targets);
+        let mut f = RandomForestRegression::new(ForestConfig {
+            n_trees: 24,
+            max_features_fraction: 0.4,
+            ..ForestConfig::default()
+        });
+        f.fit(&data).unwrap();
+        let low = f.predict(&[5.0, 1.0, 1.0]).unwrap();
+        let high = f.predict(&[55.0, 1.0, 1.0]).unwrap();
+        assert!(high > low + 30.0);
+    }
+}

@@ -1,0 +1,307 @@
+//! k-nearest-neighbour regression.
+//!
+//! The paper motivates k-NN as the model class that lets historical task
+//! executions similar to the one being sized influence the estimate directly.
+//! Features are min-max scaled internally so that neighbourhoods are
+//! meaningful when feature columns live on very different scales (input bytes
+//! vs. running-task counts). `partial_fit` simply appends the new
+//! observations, which makes the incremental update O(new points).
+
+use crate::dataset::Dataset;
+use crate::matrix::squared_distance;
+use crate::model::{validate_query, validate_training_data, ModelClass, ModelError, Regressor};
+use crate::scaler::{Scaler, ScalerKind};
+
+/// How neighbour targets are combined into a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnWeighting {
+    /// Plain average of the k nearest targets.
+    Uniform,
+    /// Weight each neighbour by the inverse of its distance (exact matches
+    /// dominate).
+    InverseDistance,
+}
+
+/// Hyper-parameters for [`KnnRegression`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnConfig {
+    /// Number of neighbours considered (clamped to the number of stored
+    /// observations at prediction time).
+    pub k: usize,
+    /// Neighbour weighting scheme.
+    pub weighting: KnnWeighting,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        KnnConfig {
+            k: 5,
+            weighting: KnnWeighting::InverseDistance,
+        }
+    }
+}
+
+/// k-nearest-neighbour regressor over the full observation history.
+#[derive(Debug, Clone)]
+pub struct KnnRegression {
+    config: KnnConfig,
+    features: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+    scaler: Scaler,
+    n_features: usize,
+    fitted: bool,
+}
+
+impl KnnRegression {
+    /// Creates an unfitted model with the given configuration.
+    pub fn new(config: KnnConfig) -> Self {
+        KnnRegression {
+            config,
+            features: Vec::new(),
+            targets: Vec::new(),
+            scaler: Scaler::new(ScalerKind::MinMax),
+            n_features: 0,
+            fitted: false,
+        }
+    }
+
+    /// Creates an unfitted model with default configuration (k = 5, inverse
+    /// distance weighting).
+    pub fn with_defaults() -> Self {
+        KnnRegression::new(KnnConfig::default())
+    }
+
+    /// The configuration used by this model.
+    pub fn config(&self) -> KnnConfig {
+        self.config
+    }
+
+    /// Number of stored observations.
+    pub fn n_observations(&self) -> usize {
+        self.targets.len()
+    }
+
+    fn refresh_scaler(&mut self) {
+        self.scaler = Scaler::new(ScalerKind::MinMax);
+        self.scaler.fit(&self.features);
+    }
+
+    /// Returns the indices and distances of the `k` nearest stored
+    /// observations to `query` (in scaled space), closest first.
+    fn nearest(&self, query: &[f64]) -> Vec<(usize, f64)> {
+        let scaled_query = self.scaler.transform(query);
+        let mut dists: Vec<(usize, f64)> = self
+            .features
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let scaled_row = self.scaler.transform(row);
+                (i, squared_distance(&scaled_row, &scaled_query))
+            })
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        let k = self.config.k.max(1).min(dists.len());
+        dists.truncate(k);
+        dists
+    }
+}
+
+impl Regressor for KnnRegression {
+    fn fit(&mut self, data: &Dataset) -> Result<(), ModelError> {
+        validate_training_data(data)?;
+        self.features = data.features().to_vec();
+        self.targets = data.targets().to_vec();
+        self.n_features = data.n_features();
+        self.refresh_scaler();
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn partial_fit(&mut self, data: &Dataset) -> Result<(), ModelError> {
+        validate_training_data(data)?;
+        if !self.fitted {
+            return self.fit(data);
+        }
+        if data.n_features() != self.n_features {
+            return Err(ModelError::FeatureMismatch {
+                expected: self.n_features,
+                got: data.n_features(),
+            });
+        }
+        for (f, t) in data.iter() {
+            self.features.push(f.to_vec());
+            self.targets.push(t);
+        }
+        self.refresh_scaler();
+        Ok(())
+    }
+
+    fn predict(&self, features: &[f64]) -> Result<f64, ModelError> {
+        if !self.fitted || self.targets.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        validate_query(features, self.n_features)?;
+        let neighbours = self.nearest(features);
+        match self.config.weighting {
+            KnnWeighting::Uniform => {
+                let sum: f64 = neighbours.iter().map(|&(i, _)| self.targets[i]).sum();
+                Ok(sum / neighbours.len() as f64)
+            }
+            KnnWeighting::InverseDistance => {
+                // If any neighbour is an exact match, average the exact
+                // matches (mirrors scikit-learn's behaviour and avoids
+                // dividing by zero).
+                let exact: Vec<usize> = neighbours
+                    .iter()
+                    .filter(|(_, d)| *d == 0.0)
+                    .map(|&(i, _)| i)
+                    .collect();
+                if !exact.is_empty() {
+                    let sum: f64 = exact.iter().map(|&i| self.targets[i]).sum();
+                    return Ok(sum / exact.len() as f64);
+                }
+                let mut weight_sum = 0.0;
+                let mut value_sum = 0.0;
+                for &(i, d2) in &neighbours {
+                    let w = 1.0 / d2.sqrt();
+                    weight_sum += w;
+                    value_sum += w * self.targets[i];
+                }
+                Ok(value_sum / weight_sum)
+            }
+        }
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    fn class(&self) -> ModelClass {
+        ModelClass::Knn
+    }
+
+    fn clone_box(&self) -> Box<dyn Regressor> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_returns_stored_target() {
+        let data = Dataset::from_univariate(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]);
+        let mut m = KnnRegression::with_defaults();
+        m.fit(&data).unwrap();
+        assert_eq!(m.predict(&[2.0]).unwrap(), 20.0);
+    }
+
+    #[test]
+    fn uniform_weighting_averages_neighbours() {
+        let data = Dataset::from_univariate(&[0.0, 1.0, 10.0], &[0.0, 10.0, 100.0]);
+        let mut m = KnnRegression::new(KnnConfig {
+            k: 2,
+            weighting: KnnWeighting::Uniform,
+        });
+        m.fit(&data).unwrap();
+        // Nearest two to 0.4 are x=0 and x=1.
+        assert!((m.predict(&[0.4]).unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_distance_weights_closer_points_more() {
+        let data = Dataset::from_univariate(&[0.0, 10.0], &[0.0, 100.0]);
+        let mut m = KnnRegression::new(KnnConfig {
+            k: 2,
+            weighting: KnnWeighting::InverseDistance,
+        });
+        m.fit(&data).unwrap();
+        let near_zero = m.predict(&[1.0]).unwrap();
+        let near_ten = m.predict(&[9.0]).unwrap();
+        assert!(near_zero < 50.0);
+        assert!(near_ten > 50.0);
+    }
+
+    #[test]
+    fn prediction_stays_within_target_range() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x + 100.0).collect();
+        let data = Dataset::from_univariate(&xs, &ys);
+        let mut m = KnnRegression::with_defaults();
+        m.fit(&data).unwrap();
+        // k-NN cannot extrapolate: even for a far query, the prediction is
+        // bounded by the observed targets.
+        let p = m.predict(&[1000.0]).unwrap();
+        assert!(p <= 5.0 * 49.0 + 100.0 + 1e-9);
+        assert!(p >= 100.0 - 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let data = Dataset::from_univariate(&[1.0, 2.0], &[10.0, 20.0]);
+        let mut m = KnnRegression::new(KnnConfig {
+            k: 50,
+            weighting: KnnWeighting::Uniform,
+        });
+        m.fit(&data).unwrap();
+        assert!((m.predict(&[1.5]).unwrap() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_fit_appends_observations() {
+        let data = Dataset::from_univariate(&[1.0, 2.0], &[10.0, 20.0]);
+        let mut m = KnnRegression::with_defaults();
+        m.fit(&data).unwrap();
+        let more = Dataset::from_univariate(&[3.0], &[30.0]);
+        m.partial_fit(&more).unwrap();
+        assert_eq!(m.n_observations(), 3);
+        assert_eq!(m.predict(&[3.0]).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn partial_fit_on_unfitted_model_behaves_like_fit() {
+        let mut m = KnnRegression::with_defaults();
+        let data = Dataset::from_univariate(&[1.0], &[11.0]);
+        m.partial_fit(&data).unwrap();
+        assert!(m.is_fitted());
+        assert_eq!(m.predict(&[1.0]).unwrap(), 11.0);
+    }
+
+    #[test]
+    fn scaling_makes_large_magnitude_columns_comparable() {
+        // Feature 0 in bytes (huge), feature 1 small but decisive.
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..10 {
+            features.push(vec![1e9 + i as f64, 0.0]);
+            targets.push(100.0);
+            features.push(vec![1e9 + i as f64, 1.0]);
+            targets.push(200.0);
+        }
+        let data = Dataset::from_parts(features, targets);
+        let mut m = KnnRegression::new(KnnConfig {
+            k: 3,
+            weighting: KnnWeighting::Uniform,
+        });
+        m.fit(&data).unwrap();
+        // Without scaling the second feature would be irrelevant; with
+        // min-max scaling the neighbourhood follows it.
+        let p = m.predict(&[1e9 + 5.0, 1.0]).unwrap();
+        assert!((p - 200.0).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn errors_before_fit_and_on_bad_query() {
+        let m = KnnRegression::with_defaults();
+        assert!(matches!(m.predict(&[1.0]), Err(ModelError::NotFitted)));
+        let mut fitted = KnnRegression::with_defaults();
+        fitted
+            .fit(&Dataset::from_univariate(&[1.0], &[1.0]))
+            .unwrap();
+        assert!(matches!(
+            fitted.predict(&[1.0, 2.0]),
+            Err(ModelError::FeatureMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,339 @@
+//! Ordinary-least-squares / ridge linear regression.
+//!
+//! The paper motivates the linear model class with the frequently observed
+//! linear relationship between input data size and peak memory (Fig. 2,
+//! MarkDuplicates). The model is fitted by solving the (optionally ridge
+//! regularised) normal equations; incremental updates maintain the Gram
+//! matrix `X^T X` and moment vector `X^T y`, so a `partial_fit` only costs a
+//! rank-one update plus one small solve.
+
+use crate::dataset::Dataset;
+use crate::matrix::Matrix;
+use crate::model::{validate_query, validate_training_data, ModelClass, ModelError, Regressor};
+
+/// Hyper-parameters for [`LinearRegression`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearConfig {
+    /// Ridge regularisation strength added to the diagonal of the Gram
+    /// matrix. `0.0` gives plain OLS; a small positive value keeps the solve
+    /// well-conditioned when all observed input sizes are identical.
+    pub l2: f64,
+    /// Whether to fit an intercept term.
+    pub fit_intercept: bool,
+}
+
+impl Default for LinearConfig {
+    fn default() -> Self {
+        LinearConfig {
+            l2: 1e-8,
+            fit_intercept: true,
+        }
+    }
+}
+
+/// Linear regression model (OLS / ridge) with incremental normal-equation
+/// updates.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    config: LinearConfig,
+    /// Fitted coefficients, intercept first when `fit_intercept` is set.
+    coefficients: Vec<f64>,
+    /// Accumulated Gram matrix `X^T X` (in augmented feature space).
+    gram: Option<Matrix>,
+    /// Accumulated moment vector `X^T y` (in augmented feature space).
+    moments: Vec<f64>,
+    /// Number of observations the sufficient statistics cover.
+    n_observations: usize,
+    n_features: usize,
+    fitted: bool,
+}
+
+impl LinearRegression {
+    /// Creates an unfitted model with the given configuration.
+    pub fn new(config: LinearConfig) -> Self {
+        LinearRegression {
+            config,
+            coefficients: Vec::new(),
+            gram: None,
+            moments: Vec::new(),
+            n_observations: 0,
+            n_features: 0,
+            fitted: false,
+        }
+    }
+
+    /// Creates an unfitted model with default configuration.
+    pub fn with_defaults() -> Self {
+        LinearRegression::new(LinearConfig::default())
+    }
+
+    /// The fitted coefficients (intercept first when enabled). Empty before
+    /// fitting.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// The configuration used by this model.
+    pub fn config(&self) -> LinearConfig {
+        self.config
+    }
+
+    /// Number of observations incorporated in the sufficient statistics.
+    pub fn n_observations(&self) -> usize {
+        self.n_observations
+    }
+
+    fn augment(&self, features: &[f64]) -> Vec<f64> {
+        if self.config.fit_intercept {
+            let mut row = Vec::with_capacity(features.len() + 1);
+            row.push(1.0);
+            row.extend_from_slice(features);
+            row
+        } else {
+            features.to_vec()
+        }
+    }
+
+    fn accumulate(&mut self, data: &Dataset) {
+        let width = data.n_features() + usize::from(self.config.fit_intercept);
+        if self.gram.is_none() {
+            self.gram = Some(Matrix::zeros(width, width));
+            self.moments = vec![0.0; width];
+            self.n_features = data.n_features();
+            self.n_observations = 0;
+        }
+        let gram = self.gram.as_mut().expect("gram initialised above");
+        for (features, target) in data.iter() {
+            let row = if self.config.fit_intercept {
+                let mut r = Vec::with_capacity(features.len() + 1);
+                r.push(1.0);
+                r.extend_from_slice(features);
+                r
+            } else {
+                features.to_vec()
+            };
+            for (i, &xi) in row.iter().enumerate() {
+                self.moments[i] += xi * target;
+                for (j, &xj) in row.iter().enumerate() {
+                    gram[(i, j)] += xi * xj;
+                }
+            }
+        }
+        self.n_observations += data.len();
+    }
+
+    fn solve(&mut self) -> Result<(), ModelError> {
+        let gram = self.gram.as_ref().ok_or(ModelError::NotFitted)?;
+        let mut regularised = gram.clone();
+        // Always add at least a tiny ridge term: a task type whose observed
+        // input sizes are all identical produces a rank-deficient Gram matrix.
+        let lambda = self.config.l2.max(1e-10);
+        regularised.add_diagonal(lambda);
+        match regularised.solve(&self.moments) {
+            Ok(coeffs) => {
+                self.coefficients = coeffs;
+                self.fitted = true;
+                Ok(())
+            }
+            Err(_) => {
+                // Escalate the regularisation once before giving up; this
+                // keeps early-workflow fits (1-2 data points) usable.
+                let mut heavier = gram.clone();
+                heavier.add_diagonal(lambda.max(1e-3) * 1e3);
+                let coeffs = heavier
+                    .solve(&self.moments)
+                    .map_err(|e| ModelError::Numerical(e.to_string()))?;
+                self.coefficients = coeffs;
+                self.fitted = true;
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, data: &Dataset) -> Result<(), ModelError> {
+        validate_training_data(data)?;
+        self.gram = None;
+        self.moments.clear();
+        self.coefficients.clear();
+        self.fitted = false;
+        self.accumulate(data);
+        self.solve()
+    }
+
+    fn partial_fit(&mut self, data: &Dataset) -> Result<(), ModelError> {
+        validate_training_data(data)?;
+        if self.gram.is_some() && data.n_features() != self.n_features {
+            return Err(ModelError::FeatureMismatch {
+                expected: self.n_features,
+                got: data.n_features(),
+            });
+        }
+        self.accumulate(data);
+        self.solve()
+    }
+
+    fn predict(&self, features: &[f64]) -> Result<f64, ModelError> {
+        if !self.fitted {
+            return Err(ModelError::NotFitted);
+        }
+        validate_query(features, self.n_features)?;
+        let row = self.augment(features);
+        Ok(row
+            .iter()
+            .zip(self.coefficients.iter())
+            .map(|(x, c)| x * c)
+            .sum())
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    fn class(&self) -> ModelClass {
+        ModelClass::Linear
+    }
+
+    fn clone_box(&self) -> Box<dyn Regressor> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_dataset(slope: f64, intercept: f64, n: usize) -> Dataset {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        Dataset::from_univariate(&xs, &ys)
+    }
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        let data = linear_dataset(3.0, 10.0, 50);
+        let mut m = LinearRegression::with_defaults();
+        m.fit(&data).unwrap();
+        let pred = m.predict(&[100.0]).unwrap();
+        assert!((pred - 310.0).abs() < 1e-3, "pred = {pred}");
+    }
+
+    #[test]
+    fn without_intercept_goes_through_origin() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        let data = Dataset::from_univariate(&xs, &ys);
+        let mut m = LinearRegression::new(LinearConfig {
+            l2: 0.0,
+            fit_intercept: false,
+        });
+        m.fit(&data).unwrap();
+        assert_eq!(m.coefficients().len(), 1);
+        assert!((m.predict(&[10.0]).unwrap() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multivariate_fit_recovers_coefficients() {
+        // y = 2*x0 - 3*x1 + 5
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let x0 = i as f64;
+                let x1 = j as f64;
+                features.push(vec![x0, x1]);
+                targets.push(2.0 * x0 - 3.0 * x1 + 5.0);
+            }
+        }
+        let data = Dataset::from_parts(features, targets);
+        let mut m = LinearRegression::with_defaults();
+        m.fit(&data).unwrap();
+        let pred = m.predict(&[7.0, 11.0]).unwrap();
+        assert!((pred - (14.0 - 33.0 + 5.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn partial_fit_matches_full_fit() {
+        let data = linear_dataset(2.0, 1.0, 40);
+        let (first, second) = data.split_at(20);
+
+        let mut incremental = LinearRegression::with_defaults();
+        incremental.fit(&first).unwrap();
+        incremental.partial_fit(&second).unwrap();
+
+        let mut full = LinearRegression::with_defaults();
+        full.fit(&data).unwrap();
+
+        for x in [0.0, 5.0, 50.0] {
+            let a = incremental.predict(&[x]).unwrap();
+            let b = full.predict(&[x]).unwrap();
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        assert_eq!(incremental.n_observations(), 40);
+    }
+
+    #[test]
+    fn single_observation_is_usable() {
+        let data = Dataset::from_univariate(&[4.0], &[400.0]);
+        let mut m = LinearRegression::with_defaults();
+        m.fit(&data).unwrap();
+        let pred = m.predict(&[4.0]).unwrap();
+        // With heavy rank-deficiency the ridge fallback should still predict
+        // something close to the only observed value at the observed input.
+        assert!(pred.is_finite());
+        assert!(pred > 0.0);
+    }
+
+    #[test]
+    fn constant_inputs_do_not_fail() {
+        let data = Dataset::from_univariate(&[5.0, 5.0, 5.0], &[100.0, 110.0, 90.0]);
+        let mut m = LinearRegression::with_defaults();
+        m.fit(&data).unwrap();
+        let pred = m.predict(&[5.0]).unwrap();
+        assert!(pred.is_finite());
+        assert!((pred - 100.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let m = LinearRegression::with_defaults();
+        assert!(matches!(m.predict(&[1.0]), Err(ModelError::NotFitted)));
+    }
+
+    #[test]
+    fn predict_rejects_wrong_width() {
+        let data = linear_dataset(1.0, 0.0, 10);
+        let mut m = LinearRegression::with_defaults();
+        m.fit(&data).unwrap();
+        assert!(matches!(
+            m.predict(&[1.0, 2.0]),
+            Err(ModelError::FeatureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_fit_rejects_changed_width() {
+        let data = linear_dataset(1.0, 0.0, 10);
+        let mut m = LinearRegression::with_defaults();
+        m.fit(&data).unwrap();
+        let wide = Dataset::from_parts(vec![vec![1.0, 2.0]], vec![3.0]);
+        assert!(matches!(
+            m.partial_fit(&wide),
+            Err(ModelError::FeatureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn clone_box_preserves_predictions() {
+        let data = linear_dataset(2.0, 3.0, 30);
+        let mut m = LinearRegression::with_defaults();
+        m.fit(&data).unwrap();
+        let cloned = m.clone_box();
+        assert_eq!(
+            m.predict(&[12.0]).unwrap(),
+            cloned.predict(&[12.0]).unwrap()
+        );
+        assert_eq!(cloned.class(), ModelClass::Linear);
+    }
+}

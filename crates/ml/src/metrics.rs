@@ -1,0 +1,319 @@
+//! Regression quality metrics and summary statistics.
+//!
+//! These are used both by the hyper-parameter search (validation scores) and
+//! by the Sizey core crate (accuracy sub-score, offset strategies, figure
+//! reproduction statistics).
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred.iter())
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Mean squared error.
+pub fn mse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred.iter())
+        .map(|(t, p)| {
+            let d = t - p;
+            d * d
+        })
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    mse(y_true, y_pred).sqrt()
+}
+
+/// Coefficient of determination R².
+///
+/// Returns 0 when the target variance is zero and the predictions are exact,
+/// and can be negative for models worse than predicting the mean.
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let mean = mean(y_true);
+    let ss_tot: f64 = y_true.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred.iter())
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            return 1.0;
+        }
+        return 0.0;
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Mean absolute percentage error (as a fraction, not percent). Observations
+/// with a zero true value are skipped.
+pub fn mape(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (t, p) in y_true.iter().zip(y_pred.iter()) {
+        if *t != 0.0 {
+            sum += ((t - p) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Relative error of one prediction, `|pred - actual| / actual`, bounded at
+/// `cap` as in Eq. (1) of the paper. Returns `cap` when the actual value is
+/// zero but the prediction is not.
+pub fn bounded_relative_error(pred: f64, actual: f64, cap: f64) -> f64 {
+    if actual == 0.0 {
+        return if pred == 0.0 { 0.0 } else { cap };
+    }
+    ((pred - actual) / actual).abs().min(cap)
+}
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population variance. Returns 0 for slices shorter than 2.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Median of a slice (averaging the two central elements for even lengths).
+/// Returns 0 for an empty slice.
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 50.0)
+}
+
+/// Percentile using linear interpolation between closest ranks, matching the
+/// default behaviour of `numpy.percentile`. `p` is in `[0, 100]`.
+/// Returns 0 for an empty slice.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite value in percentile"));
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Minimum of a slice; 0 when empty.
+pub fn min(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+        .pipe_finite_or(0.0)
+}
+
+/// Maximum of a slice; 0 when empty.
+pub fn max(values: &[f64]) -> f64 {
+    values
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .pipe_finite_or(0.0)
+}
+
+trait FiniteOr {
+    fn pipe_finite_or(self, default: f64) -> f64;
+}
+
+impl FiniteOr for f64 {
+    fn pipe_finite_or(self, default: f64) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            default
+        }
+    }
+}
+
+/// Five-number-style summary of a sample, used by the figure harnesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummaryStats {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl SummaryStats {
+    /// Computes summary statistics over a sample. Returns an all-zero summary
+    /// for an empty slice.
+    pub fn from_values(values: &[f64]) -> Self {
+        SummaryStats {
+            count: values.len(),
+            mean: mean(values),
+            std_dev: std_dev(values),
+            min: min(values),
+            p25: percentile(values, 25.0),
+            median: median(values),
+            p75: percentile(values, 75.0),
+            p95: percentile(values, 95.0),
+            max: max(values),
+        }
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.p75 - self.p25
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_mse_rmse_match_hand_computation() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [1.0, 3.0, 5.0];
+        assert!((mae(&t, &p) - 1.0).abs() < 1e-12);
+        assert!((mse(&t, &p) - 5.0 / 3.0).abs() < 1e-12);
+        assert!((rmse(&t, &p) - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_is_one_for_perfect_prediction() {
+        let t = [1.0, 2.0, 3.0];
+        assert!((r2(&t, &t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_is_zero_for_mean_prediction() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!(r2(&t, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_handles_constant_targets() {
+        let t = [5.0, 5.0];
+        assert_eq!(r2(&t, &[5.0, 5.0]), 1.0);
+        assert_eq!(r2(&t, &[4.0, 6.0]), 0.0);
+    }
+
+    #[test]
+    fn mape_skips_zero_targets() {
+        let t = [0.0, 2.0];
+        let p = [1.0, 3.0];
+        assert!((mape(&t, &p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_relative_error_caps_outliers() {
+        assert_eq!(bounded_relative_error(10.0, 1.0, 1.0), 1.0);
+        assert!((bounded_relative_error(1.5, 1.0, 1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(bounded_relative_error(0.0, 0.0, 1.0), 0.0);
+        assert_eq!(bounded_relative_error(3.0, 0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn mean_variance_std_dev() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((variance(&v) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.0).abs() < 1e-12);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_and_percentiles() {
+        let v = [1.0, 3.0, 2.0, 4.0];
+        assert!((median(&v) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_linearly() {
+        let v = [0.0, 10.0];
+        assert!((percentile(&v, 25.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&v, 95.0) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_handle_empty() {
+        assert_eq!(min(&[]), 0.0);
+        assert_eq!(max(&[]), 0.0);
+        assert_eq!(min(&[3.0, -1.0]), -1.0);
+        assert_eq!(max(&[3.0, -1.0]), 3.0);
+    }
+
+    #[test]
+    fn summary_stats_are_consistent() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = SummaryStats::from_values(&v);
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.median - 50.5).abs() < 1e-12);
+        assert!(s.iqr() > 0.0);
+        assert!(s.p95 > s.p75 && s.p75 > s.median && s.median > s.p25);
+    }
+}

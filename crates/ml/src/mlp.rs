@@ -1,0 +1,512 @@
+//! Multi-layer-perceptron regression.
+//!
+//! The MLP is the pool member that captures complex non-linear relationships
+//! (e.g. memory that grows with the square of the input size, the
+//! BaseRecalibrator example from the paper's introduction). The network is a
+//! small fully connected net trained with mini-batch Adam on standardised
+//! features and targets. `partial_fit` runs a few epochs over the new data
+//! (warm start), which is what keeps the incremental Sizey variant fast.
+
+use crate::dataset::Dataset;
+use crate::model::{validate_query, validate_training_data, ModelClass, ModelError, Regressor};
+use crate::scaler::{Scaler, ScalerKind, TargetScaler};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Activation function used in the hidden layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    #[inline]
+    fn forward(&self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    #[inline]
+    fn derivative(&self, activated: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if activated > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - activated * activated,
+        }
+    }
+}
+
+/// Hyper-parameters for [`MlpRegression`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Sizes of the hidden layers.
+    pub hidden_layers: Vec<usize>,
+    /// Hidden-layer activation.
+    pub activation: Activation,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// L2 weight decay.
+    pub weight_decay: f64,
+    /// Maximum number of passes over the training data for a full fit.
+    pub max_epochs: usize,
+    /// Number of passes used by `partial_fit`.
+    pub incremental_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Stop early when the training loss improves by less than this value
+    /// for `patience` consecutive epochs.
+    pub tolerance: f64,
+    /// Early-stopping patience in epochs.
+    pub patience: usize,
+    /// RNG seed for weight initialisation and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden_layers: vec![16, 16],
+            activation: Activation::Relu,
+            learning_rate: 0.01,
+            weight_decay: 1e-4,
+            max_epochs: 300,
+            incremental_epochs: 30,
+            batch_size: 16,
+            tolerance: 1e-6,
+            patience: 12,
+            seed: 42,
+        }
+    }
+}
+
+/// One fully connected layer with Adam optimiser state.
+#[derive(Debug, Clone)]
+struct Layer {
+    /// Row-major weights: `outputs x inputs`.
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+    inputs: usize,
+    outputs: usize,
+    // Adam moments.
+    m_w: Vec<f64>,
+    v_w: Vec<f64>,
+    m_b: Vec<f64>,
+    v_b: Vec<f64>,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Self {
+        // He-style initialisation keeps ReLU nets trainable.
+        let scale = (2.0 / inputs.max(1) as f64).sqrt();
+        let weights: Vec<f64> = (0..inputs * outputs)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
+        Layer {
+            weights,
+            biases: vec![0.0; outputs],
+            inputs,
+            outputs,
+            m_w: vec![0.0; inputs * outputs],
+            v_w: vec![0.0; inputs * outputs],
+            m_b: vec![0.0; outputs],
+            v_b: vec![0.0; outputs],
+        }
+    }
+
+    fn forward(&self, input: &[f64], output: &mut Vec<f64>) {
+        output.clear();
+        output.reserve(self.outputs);
+        for o in 0..self.outputs {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let mut sum = self.biases[o];
+            for (w, x) in row.iter().zip(input.iter()) {
+                sum += w * x;
+            }
+            output.push(sum);
+        }
+    }
+}
+
+/// Gradient accumulators for one layer.
+#[derive(Debug, Clone)]
+struct LayerGrad {
+    d_w: Vec<f64>,
+    d_b: Vec<f64>,
+}
+
+/// MLP regressor with Adam optimisation.
+#[derive(Debug, Clone)]
+pub struct MlpRegression {
+    config: MlpConfig,
+    layers: Vec<Layer>,
+    feature_scaler: Scaler,
+    target_scaler: TargetScaler,
+    n_features: usize,
+    fitted: bool,
+    adam_step: u64,
+}
+
+impl MlpRegression {
+    /// Creates an unfitted MLP with the given configuration.
+    pub fn new(config: MlpConfig) -> Self {
+        MlpRegression {
+            config,
+            layers: Vec::new(),
+            feature_scaler: Scaler::new(ScalerKind::Standard),
+            target_scaler: TargetScaler::new(),
+            n_features: 0,
+            fitted: false,
+            adam_step: 0,
+        }
+    }
+
+    /// Creates an unfitted MLP with default configuration.
+    pub fn with_defaults() -> Self {
+        MlpRegression::new(MlpConfig::default())
+    }
+
+    /// The configuration used by this model.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    fn init_layers(&mut self, n_features: usize) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut sizes = Vec::with_capacity(self.config.hidden_layers.len() + 2);
+        sizes.push(n_features);
+        sizes.extend_from_slice(&self.config.hidden_layers);
+        sizes.push(1);
+        self.layers = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+        self.adam_step = 0;
+    }
+
+    /// Forward pass returning the activations of every layer (input first).
+    fn forward_all(&self, input: &[f64]) -> Vec<Vec<f64>> {
+        let mut activations: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(input.to_vec());
+        let mut buffer = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(activations.last().expect("non-empty"), &mut buffer);
+            let is_output = li == self.layers.len() - 1;
+            let activated: Vec<f64> = if is_output {
+                buffer.clone()
+            } else {
+                buffer.iter().map(|&z| self.config.activation.forward(z)).collect()
+            };
+            activations.push(activated);
+        }
+        activations
+    }
+
+    fn forward_scalar(&self, input: &[f64]) -> f64 {
+        let acts = self.forward_all(input);
+        acts.last().expect("output layer")[0]
+    }
+
+    /// Runs one Adam update over a mini-batch. Returns the batch mean squared
+    /// error (in scaled target space).
+    fn train_batch(&mut self, batch: &[(Vec<f64>, f64)]) -> f64 {
+        let mut grads: Vec<LayerGrad> = self
+            .layers
+            .iter()
+            .map(|l| LayerGrad {
+                d_w: vec![0.0; l.weights.len()],
+                d_b: vec![0.0; l.biases.len()],
+            })
+            .collect();
+        let mut loss = 0.0;
+
+        for (features, target) in batch {
+            let activations = self.forward_all(features);
+            let prediction = activations.last().expect("output")[0];
+            let error = prediction - target;
+            loss += error * error;
+
+            // Backward pass: delta for the output layer is just the error
+            // (linear output + squared loss).
+            let mut delta = vec![error];
+            for li in (0..self.layers.len()).rev() {
+                let layer = &self.layers[li];
+                let input_act = &activations[li];
+                let grad = &mut grads[li];
+                for o in 0..layer.outputs {
+                    grad.d_b[o] += delta[o];
+                    let row = &mut grad.d_w[o * layer.inputs..(o + 1) * layer.inputs];
+                    for (g, x) in row.iter_mut().zip(input_act.iter()) {
+                        *g += delta[o] * x;
+                    }
+                }
+                if li == 0 {
+                    break;
+                }
+                // Propagate delta to the previous layer.
+                let mut new_delta = vec![0.0; layer.inputs];
+                for o in 0..layer.outputs {
+                    let row = &layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
+                    for (nd, w) in new_delta.iter_mut().zip(row.iter()) {
+                        *nd += w * delta[o];
+                    }
+                }
+                // Multiply by the activation derivative of the previous
+                // layer's (activated) outputs.
+                let prev_act = &activations[li];
+                for (nd, a) in new_delta.iter_mut().zip(prev_act.iter()) {
+                    *nd *= self.config.activation.derivative(*a);
+                }
+                delta = new_delta;
+            }
+        }
+
+        // Adam update.
+        let n = batch.len() as f64;
+        self.adam_step += 1;
+        let t = self.adam_step as f64;
+        let (beta1, beta2, eps) = (0.9, 0.999, 1e-8);
+        let lr = self.config.learning_rate;
+        let decay = self.config.weight_decay;
+        for (layer, grad) in self.layers.iter_mut().zip(grads.iter()) {
+            for i in 0..layer.weights.len() {
+                let g = grad.d_w[i] / n + decay * layer.weights[i];
+                layer.m_w[i] = beta1 * layer.m_w[i] + (1.0 - beta1) * g;
+                layer.v_w[i] = beta2 * layer.v_w[i] + (1.0 - beta2) * g * g;
+                let m_hat = layer.m_w[i] / (1.0 - beta1.powf(t));
+                let v_hat = layer.v_w[i] / (1.0 - beta2.powf(t));
+                layer.weights[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            for i in 0..layer.biases.len() {
+                let g = grad.d_b[i] / n;
+                layer.m_b[i] = beta1 * layer.m_b[i] + (1.0 - beta1) * g;
+                layer.v_b[i] = beta2 * layer.v_b[i] + (1.0 - beta2) * g * g;
+                let m_hat = layer.m_b[i] / (1.0 - beta1.powf(t));
+                let v_hat = layer.v_b[i] / (1.0 - beta2.powf(t));
+                layer.biases[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+        loss / n
+    }
+
+    /// Trains for up to `epochs` passes over `data` (already raw-space).
+    fn train_epochs(&mut self, data: &Dataset, epochs: usize) {
+        let scaled_features = self.feature_scaler.transform_batch(data.features());
+        let scaled_targets = self.target_scaler.transform_batch(data.targets());
+        let mut samples: Vec<(Vec<f64>, f64)> = scaled_features
+            .into_iter()
+            .zip(scaled_targets)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(self.adam_step));
+        let mut best_loss = f64::INFINITY;
+        let mut stall = 0usize;
+        for _ in 0..epochs {
+            samples.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for batch in samples.chunks(self.config.batch_size.max(1)) {
+                epoch_loss += self.train_batch(batch);
+                batches += 1;
+            }
+            let epoch_loss = epoch_loss / batches.max(1) as f64;
+            if best_loss - epoch_loss > self.config.tolerance {
+                best_loss = epoch_loss;
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall >= self.config.patience {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl Regressor for MlpRegression {
+    fn fit(&mut self, data: &Dataset) -> Result<(), ModelError> {
+        validate_training_data(data)?;
+        self.n_features = data.n_features();
+        self.feature_scaler = Scaler::new(ScalerKind::Standard);
+        self.feature_scaler.fit(data.features());
+        self.target_scaler = TargetScaler::new();
+        self.target_scaler.fit(data.targets());
+        self.init_layers(self.n_features);
+        self.train_epochs(data, self.config.max_epochs);
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn partial_fit(&mut self, data: &Dataset) -> Result<(), ModelError> {
+        validate_training_data(data)?;
+        if !self.fitted {
+            return self.fit(data);
+        }
+        if data.n_features() != self.n_features {
+            return Err(ModelError::FeatureMismatch {
+                expected: self.n_features,
+                got: data.n_features(),
+            });
+        }
+        // Warm start: keep the existing weights and scalers, run a few epochs
+        // on the new observations only.
+        self.train_epochs(data, self.config.incremental_epochs);
+        Ok(())
+    }
+
+    fn predict(&self, features: &[f64]) -> Result<f64, ModelError> {
+        if !self.fitted || self.layers.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        validate_query(features, self.n_features)?;
+        let scaled = self.feature_scaler.transform(features);
+        let out = self.forward_scalar(&scaled);
+        if !out.is_finite() {
+            return Err(ModelError::Numerical(
+                "MLP produced a non-finite prediction".to_string(),
+            ));
+        }
+        Ok(self.target_scaler.inverse(out))
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    fn class(&self) -> ModelClass {
+        ModelClass::Mlp
+    }
+
+    fn clone_box(&self) -> Box<dyn Regressor> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mape;
+
+    fn small_config() -> MlpConfig {
+        MlpConfig {
+            hidden_layers: vec![16],
+            max_epochs: 400,
+            learning_rate: 0.02,
+            ..MlpConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_linear_relationship() {
+        let xs: Vec<f64> = (0..80).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 50.0).collect();
+        let data = Dataset::from_univariate(&xs, &ys);
+        let mut m = MlpRegression::new(small_config());
+        m.fit(&data).unwrap();
+        let preds: Vec<f64> = xs.iter().map(|&x| m.predict(&[x]).unwrap()).collect();
+        assert!(mape(&ys, &preds) < 0.12, "mape = {}", mape(&ys, &preds));
+    }
+
+    #[test]
+    fn learns_quadratic_relationship_better_than_linear_extreme() {
+        // Quadratic growth, as in the BaseRecalibrator motivation.
+        let xs: Vec<f64> = (1..=60).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 100.0 * x * x).collect();
+        let data = Dataset::from_univariate(&xs, &ys);
+        let mut m = MlpRegression::new(small_config());
+        m.fit(&data).unwrap();
+        // Interpolation inside the training range should be within ~30%.
+        let p = m.predict(&[3.05]).unwrap();
+        let truth = 100.0 * 3.05 * 3.05;
+        assert!(
+            (p - truth).abs() / truth < 0.3,
+            "pred {p} too far from {truth}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * 2.0).collect();
+        let data = Dataset::from_univariate(&xs, &ys);
+        let mut a = MlpRegression::new(small_config());
+        let mut b = MlpRegression::new(small_config());
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        assert_eq!(a.predict(&[17.0]).unwrap(), b.predict(&[17.0]).unwrap());
+    }
+
+    #[test]
+    fn partial_fit_keeps_model_usable_and_shifts_towards_new_data() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x + 10.0).collect();
+        let data = Dataset::from_univariate(&xs, &ys);
+        let mut m = MlpRegression::new(small_config());
+        m.fit(&data).unwrap();
+        let before = m.predict(&[25.0]).unwrap();
+        // New observations at x=25 are much larger.
+        let new = Dataset::from_univariate(&[25.0; 8], &[200.0; 8]);
+        m.partial_fit(&new).unwrap();
+        let after = m.predict(&[25.0]).unwrap();
+        assert!(after > before, "incremental update should move the estimate up");
+    }
+
+    #[test]
+    fn partial_fit_before_fit_acts_as_fit() {
+        let mut m = MlpRegression::new(small_config());
+        let data = Dataset::from_univariate(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]);
+        m.partial_fit(&data).unwrap();
+        assert!(m.is_fitted());
+        assert!(m.predict(&[2.0]).unwrap().is_finite());
+    }
+
+    #[test]
+    fn errors_before_fit_and_on_bad_query() {
+        let m = MlpRegression::with_defaults();
+        assert!(matches!(m.predict(&[1.0]), Err(ModelError::NotFitted)));
+        let mut fitted = MlpRegression::new(small_config());
+        fitted
+            .fit(&Dataset::from_univariate(&[1.0, 2.0], &[1.0, 2.0]))
+            .unwrap();
+        assert!(matches!(
+            fitted.predict(&[1.0, 2.0]),
+            Err(ModelError::FeatureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tanh_activation_also_trains() {
+        let xs: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x + 100.0).collect();
+        let data = Dataset::from_univariate(&xs, &ys);
+        let mut m = MlpRegression::new(MlpConfig {
+            activation: Activation::Tanh,
+            hidden_layers: vec![24],
+            max_epochs: 500,
+            learning_rate: 0.02,
+            ..MlpConfig::default()
+        });
+        m.fit(&data).unwrap();
+        let preds: Vec<f64> = xs.iter().map(|&x| m.predict(&[x]).unwrap()).collect();
+        assert!(mape(&ys, &preds) < 0.2);
+    }
+
+    #[test]
+    fn activation_functions_behave() {
+        assert_eq!(Activation::Relu.forward(-1.0), 0.0);
+        assert_eq!(Activation::Relu.forward(2.0), 2.0);
+        assert_eq!(Activation::Relu.derivative(0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(3.0), 1.0);
+        let t = Activation::Tanh.forward(0.5);
+        assert!((Activation::Tanh.derivative(t) - (1.0 - t * t)).abs() < 1e-12);
+    }
+}

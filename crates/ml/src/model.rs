@@ -1,0 +1,234 @@
+//! The [`Regressor`] trait implemented by every model class in the Sizey pool.
+
+use crate::dataset::Dataset;
+use std::fmt;
+
+/// Errors produced while fitting or predicting with a regressor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The model has not been fitted yet.
+    NotFitted,
+    /// The training data is empty or otherwise unusable.
+    InvalidTrainingData(String),
+    /// The query point has the wrong number of features.
+    FeatureMismatch {
+        /// Number of features the model was trained with.
+        expected: usize,
+        /// Number of features in the query.
+        got: usize,
+    },
+    /// A numerical problem occurred (singular system, divergence, ...).
+    Numerical(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NotFitted => write!(f, "model has not been fitted"),
+            ModelError::InvalidTrainingData(msg) => write!(f, "invalid training data: {msg}"),
+            ModelError::FeatureMismatch { expected, got } => {
+                write!(f, "feature mismatch: expected {expected}, got {got}")
+            }
+            ModelError::Numerical(msg) => write!(f, "numerical error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Identifier for the model classes Sizey uses (Fig. 5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModelClass {
+    /// Ordinary least squares / ridge linear regression.
+    Linear,
+    /// k-nearest-neighbour regression.
+    Knn,
+    /// Multi-layer perceptron regression.
+    Mlp,
+    /// Random-forest regression.
+    RandomForest,
+}
+
+impl ModelClass {
+    /// All model classes in the default Sizey pool.
+    pub const ALL: [ModelClass; 4] = [
+        ModelClass::Linear,
+        ModelClass::Knn,
+        ModelClass::Mlp,
+        ModelClass::RandomForest,
+    ];
+
+    /// A short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelClass::Linear => "linear-regression",
+            ModelClass::Knn => "knn-regression",
+            ModelClass::Mlp => "mlp-regression",
+            ModelClass::RandomForest => "random-forest-regression",
+        }
+    }
+}
+
+impl fmt::Display for ModelClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A trainable regression model mapping a feature vector to a scalar target.
+///
+/// All Sizey pool members implement this trait. The contract mirrors the
+/// paper's online-learning loop:
+///
+/// * [`Regressor::fit`] performs a full (re)training on the given dataset.
+/// * [`Regressor::partial_fit`] performs a lightweight incremental update
+///   with newly observed task executions; implementations fall back to a full
+///   refit when they cannot update incrementally.
+/// * [`Regressor::predict`] produces a point estimate for one query.
+pub trait Regressor: Send + Sync {
+    /// Fully (re)trains the model on `data`.
+    fn fit(&mut self, data: &Dataset) -> Result<(), ModelError>;
+
+    /// Incrementally updates the model with additional observations.
+    ///
+    /// The default implementation is a full refit on the new data only, which
+    /// is rarely what a caller wants; every pool model overrides this.
+    fn partial_fit(&mut self, data: &Dataset) -> Result<(), ModelError> {
+        self.fit(data)
+    }
+
+    /// Predicts the target for a single feature vector.
+    fn predict(&self, features: &[f64]) -> Result<f64, ModelError>;
+
+    /// Predicts the targets for a batch of feature vectors.
+    fn predict_batch(&self, features: &[Vec<f64>]) -> Result<Vec<f64>, ModelError> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// True once the model has been fitted and can predict.
+    fn is_fitted(&self) -> bool;
+
+    /// The model class this regressor belongs to.
+    fn class(&self) -> ModelClass;
+
+    /// A short human readable name (defaults to the class name).
+    fn name(&self) -> String {
+        self.class().name().to_string()
+    }
+
+    /// Creates a boxed clone of this regressor (trait objects cannot use
+    /// `Clone` directly).
+    fn clone_box(&self) -> Box<dyn Regressor>;
+}
+
+impl Clone for Box<dyn Regressor> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Validates a dataset before fitting: it must be non-empty, contain at least
+/// one feature column and only finite values.
+pub fn validate_training_data(data: &Dataset) -> Result<(), ModelError> {
+    if data.is_empty() {
+        return Err(ModelError::InvalidTrainingData(
+            "dataset is empty".to_string(),
+        ));
+    }
+    if data.n_features() == 0 {
+        return Err(ModelError::InvalidTrainingData(
+            "dataset has no feature columns".to_string(),
+        ));
+    }
+    for (features, target) in data.iter() {
+        if !target.is_finite() {
+            return Err(ModelError::InvalidTrainingData(format!(
+                "non-finite target value {target}"
+            )));
+        }
+        if features.iter().any(|f| !f.is_finite()) {
+            return Err(ModelError::InvalidTrainingData(
+                "non-finite feature value".to_string(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a query point against the expected feature width.
+pub fn validate_query(features: &[f64], expected: usize) -> Result<(), ModelError> {
+    if features.len() != expected {
+        return Err(ModelError::FeatureMismatch {
+            expected,
+            got: features.len(),
+        });
+    }
+    if features.iter().any(|f| !f.is_finite()) {
+        return Err(ModelError::Numerical(
+            "non-finite query feature".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_class_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            ModelClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), ModelClass::ALL.len());
+    }
+
+    #[test]
+    fn validate_training_data_rejects_empty() {
+        let ds = Dataset::new();
+        assert!(matches!(
+            validate_training_data(&ds),
+            Err(ModelError::InvalidTrainingData(_))
+        ));
+    }
+
+    #[test]
+    fn validate_training_data_rejects_nan_target() {
+        let ds = Dataset::from_univariate(&[1.0], &[f64::NAN]);
+        assert!(validate_training_data(&ds).is_err());
+    }
+
+    #[test]
+    fn validate_training_data_rejects_infinite_feature() {
+        let ds = Dataset::from_univariate(&[f64::INFINITY], &[1.0]);
+        assert!(validate_training_data(&ds).is_err());
+    }
+
+    #[test]
+    fn validate_training_data_accepts_clean_data() {
+        let ds = Dataset::from_univariate(&[1.0, 2.0], &[3.0, 4.0]);
+        assert!(validate_training_data(&ds).is_ok());
+    }
+
+    #[test]
+    fn validate_query_checks_width_and_finiteness() {
+        assert!(validate_query(&[1.0, 2.0], 2).is_ok());
+        assert!(matches!(
+            validate_query(&[1.0], 2),
+            Err(ModelError::FeatureMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
+        assert!(validate_query(&[f64::NAN, 1.0], 2).is_err());
+    }
+
+    #[test]
+    fn model_error_display_is_informative() {
+        let e = ModelError::FeatureMismatch {
+            expected: 3,
+            got: 1,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(ModelError::NotFitted.to_string().contains("not been fitted"));
+    }
+}

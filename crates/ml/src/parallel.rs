@@ -1,0 +1,126 @@
+//! Small scoped-thread parallel helpers.
+//!
+//! The workspace deliberately avoids a heavyweight task scheduler: the
+//! parallelism we need (training a handful of models or a few dozen forest
+//! trees at once) maps directly onto `std::thread::scope` with static
+//! chunking. Results are returned in input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on worker threads used by the ML substrate. Kept modest
+/// because the simulator replays many workflows concurrently at a higher
+/// level.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// Applies `f` to every item of `items` in parallel (dynamic work stealing via
+/// an atomic index) and returns the results in input order.
+///
+/// Falls back to a sequential loop for small inputs where thread spawn
+/// overhead would dominate.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 || n <= 2 {
+        return items.iter().map(|item| f(item)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let results_ptr = SendPtr(results.as_mut_ptr());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let next = &next;
+            let f = &f;
+            let results_ptr = results_ptr;
+            scope.spawn(move || loop {
+                // Bind the wrapper itself so edition-2021 disjoint capture
+                // moves the `Send` wrapper into the closure, not its raw
+                // pointer field.
+                let results_ptr = results_ptr;
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                // SAFETY: each index i is claimed by exactly one worker via
+                // the atomic counter, so no two threads write the same slot,
+                // and the vector outlives the scope.
+                unsafe {
+                    *results_ptr.0.add(i) = Some(r);
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every index was processed"))
+        .collect()
+}
+
+/// Wrapper making a raw pointer `Send`/`Copy` for the disjoint-write pattern
+/// used by [`parallel_map`].
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn single_thread_falls_back_to_sequential() {
+        let items: Vec<u64> = (0..10).collect();
+        let out = parallel_map(&items, 1, |&x| x + 1);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[9], 10);
+    }
+
+    #[test]
+    fn results_match_sequential_for_nontrivial_work() {
+        let items: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let seq: Vec<f64> = items.iter().map(|x| (x * 1.5).sin()).collect();
+        let par = parallel_map(&items, default_parallelism(), |x| (x * 1.5).sin());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn default_parallelism_is_positive() {
+        assert!(default_parallelism() >= 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Feature scaling utilities.
+//!
+//! The MLP and k-NN models are sensitive to the absolute magnitude of the
+//! inputs (peak memory in bytes spans nine orders of magnitude), so both are
+//! trained on scaled features and targets.
+
+/// Scaling strategy applied to each feature column (and optionally the target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalerKind {
+    /// Scale each column to zero mean and unit variance.
+    Standard,
+    /// Scale each column into the `[0, 1]` interval.
+    MinMax,
+    /// Leave values untouched.
+    Identity,
+}
+
+/// Per-column affine transform `x -> (x - shift) / scale` fitted on training
+/// data and applied to training and query points alike.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scaler {
+    kind: ScalerKind,
+    shift: Vec<f64>,
+    scale: Vec<f64>,
+    fitted: bool,
+}
+
+impl Scaler {
+    /// Creates an unfitted scaler of the given kind.
+    pub fn new(kind: ScalerKind) -> Self {
+        Scaler {
+            kind,
+            shift: Vec::new(),
+            scale: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    /// The scaler kind.
+    pub fn kind(&self) -> ScalerKind {
+        self.kind
+    }
+
+    /// True once [`Scaler::fit`] has been called.
+    pub fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    /// Fits the per-column parameters on a set of feature rows.
+    pub fn fit(&mut self, rows: &[Vec<f64>]) {
+        let n_cols = rows.first().map_or(0, Vec::len);
+        self.shift = vec![0.0; n_cols];
+        self.scale = vec![1.0; n_cols];
+        if rows.is_empty() || n_cols == 0 {
+            self.fitted = true;
+            return;
+        }
+        match self.kind {
+            ScalerKind::Identity => {}
+            ScalerKind::Standard => {
+                let n = rows.len() as f64;
+                for c in 0..n_cols {
+                    let mean = rows.iter().map(|r| r[c]).sum::<f64>() / n;
+                    let var = rows.iter().map(|r| (r[c] - mean) * (r[c] - mean)).sum::<f64>() / n;
+                    let std = var.sqrt();
+                    self.shift[c] = mean;
+                    self.scale[c] = if std > 1e-12 { std } else { 1.0 };
+                }
+            }
+            ScalerKind::MinMax => {
+                for c in 0..n_cols {
+                    let mut lo = f64::INFINITY;
+                    let mut hi = f64::NEG_INFINITY;
+                    for r in rows {
+                        lo = lo.min(r[c]);
+                        hi = hi.max(r[c]);
+                    }
+                    let range = hi - lo;
+                    self.shift[c] = lo;
+                    self.scale[c] = if range > 1e-12 { range } else { 1.0 };
+                }
+            }
+        }
+        self.fitted = true;
+    }
+
+    /// Transforms one feature row into scaled space.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        if !self.fitted || self.kind == ScalerKind::Identity {
+            return row.to_vec();
+        }
+        row.iter()
+            .enumerate()
+            .map(|(c, &v)| {
+                if c < self.shift.len() {
+                    (v - self.shift[c]) / self.scale[c]
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    /// Transforms a batch of rows.
+    pub fn transform_batch(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+
+    /// Fits and immediately transforms the training rows.
+    pub fn fit_transform(&mut self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.fit(rows);
+        self.transform_batch(rows)
+    }
+}
+
+/// Scalar target transform used so the MLP trains on values of magnitude ~1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetScaler {
+    shift: f64,
+    scale: f64,
+    fitted: bool,
+}
+
+impl Default for TargetScaler {
+    fn default() -> Self {
+        TargetScaler {
+            shift: 0.0,
+            scale: 1.0,
+            fitted: false,
+        }
+    }
+}
+
+impl TargetScaler {
+    /// Creates an unfitted target scaler.
+    pub fn new() -> Self {
+        TargetScaler::default()
+    }
+
+    /// Fits a standard (mean / std) transform to the targets.
+    pub fn fit(&mut self, targets: &[f64]) {
+        if targets.is_empty() {
+            self.shift = 0.0;
+            self.scale = 1.0;
+            self.fitted = true;
+            return;
+        }
+        let n = targets.len() as f64;
+        let mean = targets.iter().sum::<f64>() / n;
+        let var = targets.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / n;
+        let std = var.sqrt();
+        self.shift = mean;
+        self.scale = if std > 1e-12 { std } else { 1.0 };
+        self.fitted = true;
+    }
+
+    /// True once fitted.
+    pub fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    /// Maps a raw target to scaled space.
+    pub fn transform(&self, y: f64) -> f64 {
+        (y - self.shift) / self.scale
+    }
+
+    /// Maps a scaled prediction back to raw space.
+    pub fn inverse(&self, y_scaled: f64) -> f64 {
+        y_scaled * self.scale + self.shift
+    }
+
+    /// Transforms a batch of targets.
+    pub fn transform_batch(&self, ys: &[f64]) -> Vec<f64> {
+        ys.iter().map(|&y| self.transform(y)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_scaler_centres_and_scales() {
+        let rows = vec![vec![1.0, 100.0], vec![3.0, 300.0], vec![5.0, 500.0]];
+        let mut s = Scaler::new(ScalerKind::Standard);
+        let t = s.fit_transform(&rows);
+        // Column means of the transformed data must be ~0.
+        for c in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[c]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+        }
+        // And variance ~1.
+        for c in 0..2 {
+            let var: f64 = t.iter().map(|r| r[c] * r[c]).sum::<f64>() / 3.0;
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn minmax_scaler_maps_to_unit_interval() {
+        let rows = vec![vec![2.0], vec![4.0], vec![6.0]];
+        let mut s = Scaler::new(ScalerKind::MinMax);
+        let t = s.fit_transform(&rows);
+        assert_eq!(t[0][0], 0.0);
+        assert_eq!(t[2][0], 1.0);
+        assert!((t[1][0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_does_not_divide_by_zero() {
+        let rows = vec![vec![7.0], vec![7.0]];
+        let mut s = Scaler::new(ScalerKind::Standard);
+        let t = s.fit_transform(&rows);
+        assert!(t.iter().all(|r| r[0].is_finite()));
+        let mut m = Scaler::new(ScalerKind::MinMax);
+        let t2 = m.fit_transform(&rows);
+        assert!(t2.iter().all(|r| r[0].is_finite()));
+    }
+
+    #[test]
+    fn identity_scaler_is_a_noop() {
+        let rows = vec![vec![1.0, 2.0]];
+        let mut s = Scaler::new(ScalerKind::Identity);
+        let t = s.fit_transform(&rows);
+        assert_eq!(t, rows);
+    }
+
+    #[test]
+    fn unfitted_scaler_passes_through() {
+        let s = Scaler::new(ScalerKind::Standard);
+        assert_eq!(s.transform(&[5.0]), vec![5.0]);
+        assert!(!s.is_fitted());
+    }
+
+    #[test]
+    fn target_scaler_round_trips() {
+        let ys = [100.0, 200.0, 300.0, 400.0];
+        let mut s = TargetScaler::new();
+        s.fit(&ys);
+        for &y in &ys {
+            let back = s.inverse(s.transform(y));
+            assert!((back - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn target_scaler_handles_constant_and_empty() {
+        let mut s = TargetScaler::new();
+        s.fit(&[5.0, 5.0]);
+        assert!(s.transform(5.0).abs() < 1e-12);
+        let mut e = TargetScaler::new();
+        e.fit(&[]);
+        assert_eq!(e.inverse(e.transform(3.0)), 3.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the ML substrate invariants.
+
+use proptest::prelude::*;
+use sizey_ml::dataset::Dataset;
+use sizey_ml::forest::{ForestConfig, RandomForestRegression};
+use sizey_ml::knn::KnnRegression;
+use sizey_ml::linear::LinearRegression;
+use sizey_ml::matrix::{dot, euclidean_distance, Matrix};
+use sizey_ml::metrics::{bounded_relative_error, median, percentile, std_dev};
+use sizey_ml::model::Regressor;
+use sizey_ml::scaler::{Scaler, ScalerKind, TargetScaler};
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e6f64..1.0e6, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dot_is_commutative(a in finite_vec(1..20), b in finite_vec(1..20)) {
+        let n = a.len().min(b.len());
+        let x = &a[..n];
+        let y = &b[..n];
+        let d1 = dot(x, y);
+        let d2 = dot(y, x);
+        prop_assert!((d1 - d2).abs() <= 1e-6 * (1.0 + d1.abs()));
+    }
+
+    #[test]
+    fn euclidean_distance_is_symmetric_and_nonnegative(
+        a in finite_vec(1..20), b in finite_vec(1..20)
+    ) {
+        let n = a.len().min(b.len());
+        let x = &a[..n];
+        let y = &b[..n];
+        let d = euclidean_distance(x, y);
+        prop_assert!(d >= 0.0);
+        prop_assert!((d - euclidean_distance(y, x)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_transpose_is_involution(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i as u64 + seed) % 97) as f64 - 48.0)
+            .collect();
+        let m = Matrix::from_vec(rows, cols, data);
+        let tt = m.transpose().transpose();
+        prop_assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn solve_round_trips_spd_systems(n in 1usize..6, seed in 0u64..500) {
+        // Build a symmetric positive-definite matrix A = B^T B + I.
+        let data: Vec<f64> = (0..n * n)
+            .map(|i| (((i as u64 * 31 + seed * 17) % 13) as f64 - 6.0) / 3.0)
+            .collect();
+        let b = Matrix::from_vec(n, n, data);
+        let mut a = b.transpose().matmul(&b).unwrap();
+        a.add_diagonal(1.0);
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 1.5).collect();
+        let rhs = a.matvec(&x_true).unwrap();
+        let x = a.solve(&rhs).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            prop_assert!((xi - ti).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p(values in finite_vec(1..50), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile(&values, lo) <= percentile(&values, hi) + 1e-9);
+    }
+
+    #[test]
+    fn median_is_within_min_max(values in finite_vec(1..50)) {
+        let m = median(&values);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn std_dev_is_nonnegative(values in finite_vec(0..50)) {
+        prop_assert!(std_dev(&values) >= 0.0);
+    }
+
+    #[test]
+    fn bounded_relative_error_stays_in_cap(pred in -1e9f64..1e9, actual in -1e9f64..1e9) {
+        let e = bounded_relative_error(pred, actual, 1.0);
+        prop_assert!((0.0..=1.0).contains(&e));
+    }
+
+    #[test]
+    fn minmax_scaler_output_is_in_unit_interval(rows in prop::collection::vec(finite_vec(3..4), 2..30)) {
+        let mut s = Scaler::new(ScalerKind::MinMax);
+        let t = s.fit_transform(&rows);
+        for row in &t {
+            for &v in row {
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn target_scaler_round_trip(values in finite_vec(1..40), probe in -1e6f64..1e6) {
+        let mut s = TargetScaler::new();
+        s.fit(&values);
+        let back = s.inverse(s.transform(probe));
+        prop_assert!((back - probe).abs() < 1e-6 * (1.0 + probe.abs()));
+    }
+
+    #[test]
+    fn knn_prediction_bounded_by_targets(
+        xs in prop::collection::vec(0.0f64..1000.0, 3..40),
+        query in 0.0f64..2000.0
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 10.0).collect();
+        let data = Dataset::from_univariate(&xs, &ys);
+        let mut m = KnnRegression::with_defaults();
+        m.fit(&data).unwrap();
+        let p = m.predict(&[query]).unwrap();
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= lo - 1e-6 && p <= hi + 1e-6);
+    }
+
+    #[test]
+    fn forest_prediction_bounded_by_targets(
+        seed in 0u64..100,
+        n in 8usize..40,
+        query in 0.0f64..500.0
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 * 3.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 100.0 + x * x * 0.5).collect();
+        let data = Dataset::from_univariate(&xs, &ys);
+        let mut f = RandomForestRegression::new(ForestConfig {
+            n_trees: 8,
+            seed,
+            ..ForestConfig::default()
+        });
+        f.fit(&data).unwrap();
+        let p = f.predict(&[query]).unwrap();
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= lo - 1e-6 && p <= hi + 1e-6);
+    }
+
+    #[test]
+    fn linear_regression_interpolates_noiseless_lines(
+        slope in -100.0f64..100.0,
+        intercept in -1000.0f64..1000.0,
+        query in 0.0f64..100.0
+    ) {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let data = Dataset::from_univariate(&xs, &ys);
+        let mut m = LinearRegression::with_defaults();
+        m.fit(&data).unwrap();
+        let p = m.predict(&[query]).unwrap();
+        let truth = slope * query + intercept;
+        prop_assert!((p - truth).abs() < 1e-3 * (1.0 + truth.abs()),
+            "pred {} truth {}", p, truth);
+    }
+}

@@ -1,0 +1,51 @@
+//! # sizey-provenance
+//!
+//! Provenance substrate for the Sizey reproduction.
+//!
+//! In the paper (Fig. 3), Sizey is attached to the provenance database of a
+//! scientific workflow management system: on every task submission it
+//! retrieves the historical executions of the same task type on the same
+//! machine configuration, and on every task completion new monitoring data is
+//! appended. This crate provides:
+//!
+//! * [`record::TaskRecord`] — one finished physical task execution with its
+//!   measured input size, peak memory, allocation, runtime and outcome,
+//! * [`store::ProvenanceStore`] — a thread-safe, indexed in-memory store with
+//!   the query surface Sizey needs,
+//! * [`trace_io`] — a plain-text trace format for persisting and replaying
+//!   collections of records.
+//!
+//! ## Example
+//!
+//! ```
+//! use sizey_provenance::{ProvenanceStore, TaskRecord, TaskTypeId, MachineId, TaskOutcome, TaskMachineKey};
+//!
+//! let store = ProvenanceStore::new();
+//! store.insert(TaskRecord {
+//!     workflow: "rnaseq".into(),
+//!     task_type: TaskTypeId::new("FastQC"),
+//!     machine: MachineId::new("node-1"),
+//!     sequence: 0,
+//!     input_bytes: 1.5e9,
+//!     peak_memory_bytes: 0.8e9,
+//!     allocated_memory_bytes: 4.0e9,
+//!     runtime_seconds: 300.0,
+//!     concurrent_tasks: 2,
+//!     outcome: TaskOutcome::Succeeded,
+//! });
+//! let history = store.history(&TaskMachineKey::new("FastQC", "node-1"));
+//! assert_eq!(history.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod record;
+pub mod store;
+pub mod trace_io;
+
+pub use record::{
+    bytes_to_gb, bytes_to_mb, gb_to_bytes, mb_to_bytes, MachineId, TaskMachineKey, TaskOutcome,
+    TaskRecord, TaskTypeId,
+};
+pub use store::ProvenanceStore;
+pub use trace_io::{from_trace_string, read_trace, to_trace_string, write_trace, TraceError};

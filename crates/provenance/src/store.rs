@@ -1,0 +1,269 @@
+//! The in-memory provenance store.
+//!
+//! The store plays the role of the provenance database attached to the
+//! scientific workflow management system in the paper's Fig. 3: when a task
+//! is submitted, Sizey retrieves all historical executions of the same
+//! (task type, machine) combination; when a task finishes, its monitoring
+//! data is appended. The store is thread-safe so the simulator can complete
+//! tasks from several worker threads while predictors query concurrently.
+
+use crate::record::{TaskMachineKey, TaskOutcome, TaskRecord, TaskTypeId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Thread-safe, indexed provenance store.
+#[derive(Debug, Default)]
+pub struct ProvenanceStore {
+    inner: RwLock<StoreInner>,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    /// All records in insertion order.
+    records: Vec<Arc<TaskRecord>>,
+    /// Index: (task type, machine) -> record positions.
+    by_key: HashMap<TaskMachineKey, Vec<usize>>,
+    /// Index: task type -> record positions (across machines).
+    by_task_type: HashMap<TaskTypeId, Vec<usize>>,
+    /// Number of currently running tasks, maintained by the execution
+    /// environment and exposed to predictors as context.
+    running_tasks: u32,
+}
+
+impl ProvenanceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ProvenanceStore::default()
+    }
+
+    /// Appends a finished task record.
+    pub fn insert(&self, record: TaskRecord) {
+        let mut inner = self.inner.write();
+        let idx = inner.records.len();
+        let key = record.key();
+        let task_type = record.task_type.clone();
+        inner.records.push(Arc::new(record));
+        inner.by_key.entry(key).or_default().push(idx);
+        inner.by_task_type.entry(task_type).or_default().push(idx);
+    }
+
+    /// Total number of stored records.
+    pub fn len(&self) -> usize {
+        self.inner.read().records.len()
+    }
+
+    /// True when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All records for one (task type, machine) combination, in insertion
+    /// order. This is the query Sizey issues on every task submission.
+    pub fn history(&self, key: &TaskMachineKey) -> Vec<Arc<TaskRecord>> {
+        let inner = self.inner.read();
+        inner
+            .by_key
+            .get(key)
+            .map(|idxs| idxs.iter().map(|&i| Arc::clone(&inner.records[i])).collect())
+            .unwrap_or_default()
+    }
+
+    /// All records of a task type regardless of machine, in insertion order.
+    pub fn history_for_task_type(&self, task_type: &TaskTypeId) -> Vec<Arc<TaskRecord>> {
+        let inner = self.inner.read();
+        inner
+            .by_task_type
+            .get(task_type)
+            .map(|idxs| idxs.iter().map(|&i| Arc::clone(&inner.records[i])).collect())
+            .unwrap_or_default()
+    }
+
+    /// Only the successful records for a (task type, machine) combination.
+    /// Models are trained on successful executions — failed attempts never
+    /// observed the true peak.
+    pub fn successful_history(&self, key: &TaskMachineKey) -> Vec<Arc<TaskRecord>> {
+        self.history(key)
+            .into_iter()
+            .filter(|r| r.outcome == TaskOutcome::Succeeded)
+            .collect()
+    }
+
+    /// Number of executions recorded for a (task type, machine) combination.
+    pub fn count(&self, key: &TaskMachineKey) -> usize {
+        self.inner.read().by_key.get(key).map_or(0, Vec::len)
+    }
+
+    /// True when the task type has been observed before on any machine.
+    pub fn knows_task_type(&self, task_type: &TaskTypeId) -> bool {
+        self.inner.read().by_task_type.contains_key(task_type)
+    }
+
+    /// Largest peak memory ever observed for a (task type, machine)
+    /// combination, if any. Used by the failure-handling strategy.
+    pub fn max_observed_peak(&self, key: &TaskMachineKey) -> Option<f64> {
+        self.history(key)
+            .iter()
+            .map(|r| r.peak_memory_bytes)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// All distinct task types seen so far.
+    pub fn task_types(&self) -> Vec<TaskTypeId> {
+        let inner = self.inner.read();
+        let mut types: Vec<TaskTypeId> = inner.by_task_type.keys().cloned().collect();
+        types.sort();
+        types
+    }
+
+    /// A snapshot of every stored record in insertion order.
+    pub fn all_records(&self) -> Vec<Arc<TaskRecord>> {
+        self.inner.read().records.iter().map(Arc::clone).collect()
+    }
+
+    /// Sets the number of currently running tasks (maintained by the
+    /// execution environment).
+    pub fn set_running_tasks(&self, n: u32) {
+        self.inner.write().running_tasks = n;
+    }
+
+    /// The number of currently running tasks.
+    pub fn running_tasks(&self) -> u32 {
+        self.inner.read().running_tasks
+    }
+
+    /// Removes all records (used between simulated workflow executions).
+    pub fn clear(&self) {
+        let mut inner = self.inner.write();
+        inner.records.clear();
+        inner.by_key.clear();
+        inner.by_task_type.clear();
+        inner.running_tasks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::MachineId;
+
+    fn record(task: &str, machine: &str, seq: u64, peak: f64, outcome: TaskOutcome) -> TaskRecord {
+        TaskRecord {
+            workflow: "wf".to_string(),
+            task_type: TaskTypeId::new(task),
+            machine: MachineId::new(machine),
+            sequence: seq,
+            input_bytes: 1e9 + seq as f64,
+            peak_memory_bytes: peak,
+            allocated_memory_bytes: peak * 2.0,
+            runtime_seconds: 60.0,
+            concurrent_tasks: 1,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn insert_and_query_by_key() {
+        let store = ProvenanceStore::new();
+        store.insert(record("a", "m1", 0, 1e9, TaskOutcome::Succeeded));
+        store.insert(record("a", "m2", 1, 2e9, TaskOutcome::Succeeded));
+        store.insert(record("b", "m1", 2, 3e9, TaskOutcome::Succeeded));
+        assert_eq!(store.len(), 3);
+
+        let key = TaskMachineKey::new("a", "m1");
+        let hist = store.history(&key);
+        assert_eq!(hist.len(), 1);
+        assert_eq!(hist[0].peak_memory_bytes, 1e9);
+        assert_eq!(store.count(&key), 1);
+        assert_eq!(store.count(&TaskMachineKey::new("a", "m2")), 1);
+        assert_eq!(store.count(&TaskMachineKey::new("z", "m1")), 0);
+    }
+
+    #[test]
+    fn history_preserves_insertion_order() {
+        let store = ProvenanceStore::new();
+        for seq in 0..10 {
+            store.insert(record("a", "m1", seq, seq as f64, TaskOutcome::Succeeded));
+        }
+        let hist = store.history(&TaskMachineKey::new("a", "m1"));
+        let seqs: Vec<u64> = hist.iter().map(|r| r.sequence).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn successful_history_filters_failures() {
+        let store = ProvenanceStore::new();
+        store.insert(record("a", "m1", 0, 1e9, TaskOutcome::Succeeded));
+        store.insert(record("a", "m1", 1, 2e9, TaskOutcome::FailedOutOfMemory));
+        let key = TaskMachineKey::new("a", "m1");
+        assert_eq!(store.history(&key).len(), 2);
+        assert_eq!(store.successful_history(&key).len(), 1);
+    }
+
+    #[test]
+    fn history_for_task_type_spans_machines() {
+        let store = ProvenanceStore::new();
+        store.insert(record("a", "m1", 0, 1e9, TaskOutcome::Succeeded));
+        store.insert(record("a", "m2", 1, 2e9, TaskOutcome::Succeeded));
+        assert_eq!(store.history_for_task_type(&TaskTypeId::new("a")).len(), 2);
+        assert!(store.knows_task_type(&TaskTypeId::new("a")));
+        assert!(!store.knows_task_type(&TaskTypeId::new("b")));
+    }
+
+    #[test]
+    fn max_observed_peak_tracks_maximum() {
+        let store = ProvenanceStore::new();
+        let key = TaskMachineKey::new("a", "m1");
+        assert_eq!(store.max_observed_peak(&key), None);
+        store.insert(record("a", "m1", 0, 1e9, TaskOutcome::Succeeded));
+        store.insert(record("a", "m1", 1, 5e9, TaskOutcome::FailedOutOfMemory));
+        store.insert(record("a", "m1", 2, 3e9, TaskOutcome::Succeeded));
+        assert_eq!(store.max_observed_peak(&key), Some(5e9));
+    }
+
+    #[test]
+    fn task_types_are_sorted_and_unique() {
+        let store = ProvenanceStore::new();
+        store.insert(record("b", "m1", 0, 1.0, TaskOutcome::Succeeded));
+        store.insert(record("a", "m1", 1, 1.0, TaskOutcome::Succeeded));
+        store.insert(record("a", "m2", 2, 1.0, TaskOutcome::Succeeded));
+        let types = store.task_types();
+        assert_eq!(types, vec![TaskTypeId::new("a"), TaskTypeId::new("b")]);
+    }
+
+    #[test]
+    fn running_tasks_counter() {
+        let store = ProvenanceStore::new();
+        assert_eq!(store.running_tasks(), 0);
+        store.set_running_tasks(7);
+        assert_eq!(store.running_tasks(), 7);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let store = ProvenanceStore::new();
+        store.insert(record("a", "m1", 0, 1.0, TaskOutcome::Succeeded));
+        store.set_running_tasks(3);
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.running_tasks(), 0);
+        assert!(store.task_types().is_empty());
+    }
+
+    #[test]
+    fn concurrent_inserts_and_reads() {
+        let store = Arc::new(ProvenanceStore::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        store.insert(record("a", "m1", t * 100 + i, 1e9, TaskOutcome::Succeeded));
+                        let _ = store.history(&TaskMachineKey::new("a", "m1"));
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 200);
+    }
+}

@@ -1,0 +1,246 @@
+//! Plain-text trace format for task execution records.
+//!
+//! The format is a simple tab-separated file with a header line, one record
+//! per line. It is intentionally trivial — the paper's provenance data is a
+//! table of task metrics — and avoids pulling a serialisation format crate
+//! into the workspace. Round-tripping is covered by unit and property tests.
+
+use crate::record::{MachineId, TaskOutcome, TaskRecord, TaskTypeId};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Column header written to and expected from trace files.
+const HEADER: &str = "workflow\ttask_type\tmachine\tsequence\tinput_bytes\tpeak_memory_bytes\tallocated_memory_bytes\truntime_seconds\tconcurrent_tasks\toutcome";
+
+/// Errors produced while reading a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line (wrong column count, unparsable number, unknown
+    /// outcome, missing header).
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Serialises records into the tab-separated trace format.
+pub fn to_trace_string(records: &[TaskRecord]) -> String {
+    let mut out = String::with_capacity(64 + records.len() * 96);
+    out.push_str(HEADER);
+    out.push('\n');
+    for r in records {
+        let outcome = match r.outcome {
+            TaskOutcome::Succeeded => "ok",
+            TaskOutcome::FailedOutOfMemory => "oom",
+        };
+        // Writing to a String cannot fail.
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.workflow,
+            r.task_type.as_str(),
+            r.machine.as_str(),
+            r.sequence,
+            r.input_bytes,
+            r.peak_memory_bytes,
+            r.allocated_memory_bytes,
+            r.runtime_seconds,
+            r.concurrent_tasks,
+            outcome
+        );
+    }
+    out
+}
+
+/// Parses records from the tab-separated trace format.
+pub fn from_trace_string(content: &str) -> Result<Vec<TaskRecord>, TraceError> {
+    let mut lines = content.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim() == HEADER => {}
+        Some((_, first)) => {
+            return Err(TraceError::Parse {
+                line: 1,
+                message: format!("unexpected header: {first:?}"),
+            })
+        }
+        None => return Ok(Vec::new()),
+    }
+
+    let mut records = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 10 {
+            return Err(TraceError::Parse {
+                line: line_no,
+                message: format!("expected 10 columns, found {}", fields.len()),
+            });
+        }
+        let parse_f64 = |s: &str, name: &str| -> Result<f64, TraceError> {
+            s.parse::<f64>().map_err(|e| TraceError::Parse {
+                line: line_no,
+                message: format!("invalid {name} {s:?}: {e}"),
+            })
+        };
+        let outcome = match fields[9] {
+            "ok" => TaskOutcome::Succeeded,
+            "oom" => TaskOutcome::FailedOutOfMemory,
+            other => {
+                return Err(TraceError::Parse {
+                    line: line_no,
+                    message: format!("unknown outcome {other:?}"),
+                })
+            }
+        };
+        records.push(TaskRecord {
+            workflow: fields[0].to_string(),
+            task_type: TaskTypeId::new(fields[1]),
+            machine: MachineId::new(fields[2]),
+            sequence: fields[3].parse().map_err(|e| TraceError::Parse {
+                line: line_no,
+                message: format!("invalid sequence {:?}: {e}", fields[3]),
+            })?,
+            input_bytes: parse_f64(fields[4], "input_bytes")?,
+            peak_memory_bytes: parse_f64(fields[5], "peak_memory_bytes")?,
+            allocated_memory_bytes: parse_f64(fields[6], "allocated_memory_bytes")?,
+            runtime_seconds: parse_f64(fields[7], "runtime_seconds")?,
+            concurrent_tasks: fields[8].parse().map_err(|e| TraceError::Parse {
+                line: line_no,
+                message: format!("invalid concurrent_tasks {:?}: {e}", fields[8]),
+            })?,
+            outcome,
+        });
+    }
+    Ok(records)
+}
+
+/// Writes records to a trace file.
+pub fn write_trace(path: &Path, records: &[TaskRecord]) -> Result<(), TraceError> {
+    fs::write(path, to_trace_string(records))?;
+    Ok(())
+}
+
+/// Reads records from a trace file.
+pub fn read_trace(path: &Path) -> Result<Vec<TaskRecord>, TraceError> {
+    let content = fs::read_to_string(path)?;
+    from_trace_string(&content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<TaskRecord> {
+        (0..5)
+            .map(|i| TaskRecord {
+                workflow: "mag".to_string(),
+                task_type: TaskTypeId::new(format!("task-{}", i % 2)),
+                machine: MachineId::new("node-1"),
+                sequence: i,
+                input_bytes: 1e9 * (i + 1) as f64,
+                peak_memory_bytes: 2e9 + i as f64,
+                allocated_memory_bytes: 4e9,
+                runtime_seconds: 120.5 + i as f64,
+                concurrent_tasks: i as u32,
+                outcome: if i % 3 == 0 {
+                    TaskOutcome::FailedOutOfMemory
+                } else {
+                    TaskOutcome::Succeeded
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_through_string() {
+        let records = sample_records();
+        let text = to_trace_string(&records);
+        let parsed = from_trace_string(&text).unwrap();
+        assert_eq!(records, parsed);
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let records = sample_records();
+        let dir = std::env::temp_dir().join("sizey-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.tsv");
+        write_trace(&path, &records).unwrap();
+        let parsed = read_trace(&path).unwrap();
+        assert_eq!(records, parsed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_input_parses_to_empty() {
+        assert!(from_trace_string("").unwrap().is_empty());
+        let header_only = format!("{HEADER}\n");
+        assert!(from_trace_string(&header_only).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = from_trace_string("nope\n1\t2\n").unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_column_count() {
+        let text = format!("{HEADER}\na\tb\tc\n");
+        let err = from_trace_string(&text).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_outcome() {
+        let mut records = sample_records();
+        records.truncate(1);
+        let text = to_trace_string(&records).replace("oom", "exploded");
+        let err = from_trace_string(&text).unwrap_err();
+        assert!(err.to_string().contains("unknown outcome"));
+    }
+
+    #[test]
+    fn rejects_unparsable_number() {
+        let mut records = sample_records();
+        records.truncate(1);
+        let text = to_trace_string(&records).replace("4000000000", "not-a-number");
+        assert!(from_trace_string(&text).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let records = sample_records();
+        let mut text = to_trace_string(&records);
+        text.push_str("\n\n");
+        assert_eq!(from_trace_string(&text).unwrap().len(), records.len());
+    }
+}

@@ -1,0 +1,288 @@
+//! Wastage, failure and runtime accounting for replayed workflows.
+//!
+//! The paper's evaluation reports everything in terms of these aggregates:
+//! memory wastage over time in gigabyte-hours (Fig. 8a/8b, Table II), the
+//! distribution of task failures per task type (Fig. 8c), aggregated task
+//! runtimes (Fig. 8d), the share of selected model classes (Fig. 11) and the
+//! relative prediction error over time (Fig. 12). All of them are derived
+//! from the per-attempt events collected here.
+
+use sizey_provenance::TaskTypeId;
+use std::collections::BTreeMap;
+
+/// One attempt of one task instance, as observed by the replay engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptEvent {
+    /// Task type of the instance.
+    pub task_type: TaskTypeId,
+    /// Submission sequence of the instance within the workflow.
+    pub sequence: u64,
+    /// Attempt number (0 = first submission).
+    pub attempt: u32,
+    /// Memory allocated for this attempt, in bytes.
+    pub allocated_bytes: f64,
+    /// Ground-truth peak memory of the task, in bytes.
+    pub true_peak_bytes: f64,
+    /// Duration of this attempt in seconds (full runtime on success,
+    /// time-to-failure fraction on failure).
+    pub duration_seconds: f64,
+    /// Whether the attempt succeeded.
+    pub success: bool,
+    /// Memory wastage of this attempt in gigabyte-hours.
+    pub wastage_gbh: f64,
+    /// The raw model estimate before offsets, when the method reports one.
+    pub raw_estimate_bytes: Option<f64>,
+    /// The model (class) selected for this prediction, when reported.
+    pub selected_model: Option<String>,
+    /// Simulated submission time of the attempt, in seconds since replay
+    /// start.
+    pub submit_time_seconds: f64,
+}
+
+impl AttemptEvent {
+    /// Relative prediction error of the raw estimate, `|raw - true| / true`,
+    /// when a raw estimate was reported (Fig. 12).
+    pub fn relative_prediction_error(&self) -> Option<f64> {
+        self.raw_estimate_bytes.map(|raw| {
+            if self.true_peak_bytes <= 0.0 {
+                0.0
+            } else {
+                (raw - self.true_peak_bytes).abs() / self.true_peak_bytes
+            }
+        })
+    }
+}
+
+/// Complete result of replaying one workflow with one sizing method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Name of the sizing method.
+    pub method: String,
+    /// Name of the workflow.
+    pub workflow: String,
+    /// Time-to-failure value used.
+    pub time_to_failure: f64,
+    /// Every attempt in replay order.
+    pub events: Vec<AttemptEvent>,
+    /// Number of task instances replayed.
+    pub instances: usize,
+    /// Number of instances that never succeeded within the attempt budget.
+    pub unfinished_instances: usize,
+    /// Simulated makespan in seconds (end of the last attempt).
+    pub makespan_seconds: f64,
+}
+
+impl ReplayReport {
+    /// Total memory wastage over time in gigabyte-hours.
+    pub fn total_wastage_gbh(&self) -> f64 {
+        self.events.iter().map(|e| e.wastage_gbh).sum()
+    }
+
+    /// Total task runtime (all attempts) in hours — the Fig. 8d metric.
+    pub fn total_runtime_hours(&self) -> f64 {
+        self.events.iter().map(|e| e.duration_seconds).sum::<f64>() / 3600.0
+    }
+
+    /// Total number of failed attempts.
+    pub fn total_failures(&self) -> usize {
+        self.events.iter().filter(|e| !e.success).count()
+    }
+
+    /// Number of failed attempts per task type (Fig. 8c).
+    pub fn failures_by_task_type(&self) -> BTreeMap<TaskTypeId, usize> {
+        let mut map = BTreeMap::new();
+        for e in &self.events {
+            if !e.success {
+                *map.entry(e.task_type.clone()).or_insert(0) += 1;
+            }
+        }
+        map
+    }
+
+    /// Memory wastage per task type in gigabyte-hours.
+    pub fn wastage_by_task_type(&self) -> BTreeMap<TaskTypeId, f64> {
+        let mut map = BTreeMap::new();
+        for e in &self.events {
+            *map.entry(e.task_type.clone()).or_insert(0.0) += e.wastage_gbh;
+        }
+        map
+    }
+
+    /// Share of selected models among first attempts that reported one
+    /// (Fig. 11). Returns (model name, fraction) sorted by descending share.
+    pub fn model_selection_share(&self) -> Vec<(String, f64)> {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut total = 0usize;
+        for e in &self.events {
+            if e.attempt == 0 {
+                if let Some(model) = &e.selected_model {
+                    *counts.entry(model.clone()).or_insert(0) += 1;
+                    total += 1;
+                }
+            }
+        }
+        let mut shares: Vec<(String, f64)> = counts
+            .into_iter()
+            .map(|(m, c)| (m, c as f64 / total.max(1) as f64))
+            .collect();
+        shares.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite shares"));
+        shares
+    }
+
+    /// Relative prediction error of the raw estimates over the course of the
+    /// replay, restricted to one task type (Fig. 12). Returns
+    /// `(execution index, relative error)` pairs for first attempts.
+    pub fn prediction_error_over_time(&self, task_type: &str) -> Vec<(usize, f64)> {
+        self.events
+            .iter()
+            .filter(|e| e.attempt == 0 && e.task_type.as_str() == task_type)
+            .filter_map(|e| e.relative_prediction_error())
+            .enumerate()
+            .collect()
+    }
+
+    /// Number of successfully finished instances.
+    pub fn finished_instances(&self) -> usize {
+        self.instances - self.unfinished_instances
+    }
+}
+
+/// Aggregates reports of the same method across workflows (Fig. 8a/8b/8d).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodAggregate {
+    /// Method name.
+    pub method: String,
+    /// Total wastage over all workflows in GBh.
+    pub total_wastage_gbh: f64,
+    /// Total runtime over all workflows in hours.
+    pub total_runtime_hours: f64,
+    /// Total number of failed attempts over all workflows.
+    pub total_failures: usize,
+    /// Wastage per workflow in GBh (Table II row).
+    pub wastage_per_workflow: BTreeMap<String, f64>,
+}
+
+/// Builds the per-method aggregate from per-workflow reports.
+pub fn aggregate_method(reports: &[ReplayReport]) -> MethodAggregate {
+    let method = reports
+        .first()
+        .map(|r| r.method.clone())
+        .unwrap_or_else(|| "unknown".to_string());
+    let mut wastage_per_workflow = BTreeMap::new();
+    for r in reports {
+        *wastage_per_workflow.entry(r.workflow.clone()).or_insert(0.0) += r.total_wastage_gbh();
+    }
+    MethodAggregate {
+        method,
+        total_wastage_gbh: reports.iter().map(ReplayReport::total_wastage_gbh).sum(),
+        total_runtime_hours: reports.iter().map(ReplayReport::total_runtime_hours).sum(),
+        total_failures: reports.iter().map(ReplayReport::total_failures).sum(),
+        wastage_per_workflow,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(task: &str, attempt: u32, success: bool, wastage: f64) -> AttemptEvent {
+        AttemptEvent {
+            task_type: TaskTypeId::new(task),
+            sequence: 0,
+            attempt,
+            allocated_bytes: 4e9,
+            true_peak_bytes: 2e9,
+            duration_seconds: 3600.0,
+            success,
+            wastage_gbh: wastage,
+            raw_estimate_bytes: Some(3e9),
+            selected_model: Some(if attempt == 0 { "mlp" } else { "linear" }.to_string()),
+            submit_time_seconds: 0.0,
+        }
+    }
+
+    fn report() -> ReplayReport {
+        ReplayReport {
+            method: "test".into(),
+            workflow: "wf".into(),
+            time_to_failure: 1.0,
+            events: vec![
+                event("a", 0, false, 4.0),
+                event("a", 1, true, 2.0),
+                event("b", 0, true, 1.0),
+            ],
+            instances: 2,
+            unfinished_instances: 0,
+            makespan_seconds: 7200.0,
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_events() {
+        let r = report();
+        assert!((r.total_wastage_gbh() - 7.0).abs() < 1e-12);
+        assert!((r.total_runtime_hours() - 3.0).abs() < 1e-12);
+        assert_eq!(r.total_failures(), 1);
+        assert_eq!(r.finished_instances(), 2);
+    }
+
+    #[test]
+    fn failures_and_wastage_group_by_task_type() {
+        let r = report();
+        let fails = r.failures_by_task_type();
+        assert_eq!(fails.get(&TaskTypeId::new("a")), Some(&1));
+        assert_eq!(fails.get(&TaskTypeId::new("b")), None);
+        let wastage = r.wastage_by_task_type();
+        assert!((wastage[&TaskTypeId::new("a")] - 6.0).abs() < 1e-12);
+        assert!((wastage[&TaskTypeId::new("b")] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_share_counts_first_attempts_only() {
+        let r = report();
+        let share = r.model_selection_share();
+        assert_eq!(share.len(), 1);
+        assert_eq!(share[0].0, "mlp");
+        assert!((share[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_error_over_time_filters_task_type() {
+        let r = report();
+        let errors = r.prediction_error_over_time("a");
+        assert_eq!(errors.len(), 1);
+        // raw 3e9 vs true 2e9 => 50% error.
+        assert!((errors[0].1 - 0.5).abs() < 1e-12);
+        assert!(r.prediction_error_over_time("zzz").is_empty());
+    }
+
+    #[test]
+    fn relative_error_handles_zero_truth() {
+        let mut e = event("a", 0, true, 0.0);
+        e.true_peak_bytes = 0.0;
+        assert_eq!(e.relative_prediction_error(), Some(0.0));
+        e.raw_estimate_bytes = None;
+        assert_eq!(e.relative_prediction_error(), None);
+    }
+
+    #[test]
+    fn aggregate_sums_across_workflows() {
+        let mut r1 = report();
+        r1.workflow = "wf1".into();
+        let mut r2 = report();
+        r2.workflow = "wf2".into();
+        let agg = aggregate_method(&[r1, r2]);
+        assert_eq!(agg.method, "test");
+        assert!((agg.total_wastage_gbh - 14.0).abs() < 1e-12);
+        assert!((agg.total_runtime_hours - 6.0).abs() < 1e-12);
+        assert_eq!(agg.total_failures, 2);
+        assert_eq!(agg.wastage_per_workflow.len(), 2);
+    }
+
+    #[test]
+    fn aggregate_of_empty_is_unknown() {
+        let agg = aggregate_method(&[]);
+        assert_eq!(agg.method, "unknown");
+        assert_eq!(agg.total_wastage_gbh, 0.0);
+    }
+}

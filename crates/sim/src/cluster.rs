@@ -1,0 +1,199 @@
+//! A minimal cluster capacity model.
+//!
+//! Scheduling (ordering and placement) is explicitly out of scope for the
+//! paper (assumption A2), but the simulator still needs a notion of nodes
+//! with finite memory: allocations are clamped to a node's capacity, and the
+//! engine tracks how many tasks are running concurrently so that learned
+//! methods can use that as context (the provenance store exposes it). The
+//! cluster uses a simple first-fit placement over identical nodes.
+
+use crate::config::SimulationConfig;
+
+/// State of one cluster node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Node index.
+    pub id: usize,
+    /// Total memory in bytes.
+    pub memory_bytes: f64,
+    /// Memory currently allocated to running tasks, in bytes.
+    pub allocated_bytes: f64,
+    /// Task slots (hardware threads).
+    pub slots: usize,
+    /// Slots currently in use.
+    pub used_slots: usize,
+}
+
+impl Node {
+    /// Free memory on this node.
+    pub fn free_bytes(&self) -> f64 {
+        (self.memory_bytes - self.allocated_bytes).max(0.0)
+    }
+
+    /// True when the node can host a task with the given allocation.
+    pub fn fits(&self, allocation_bytes: f64) -> bool {
+        self.used_slots < self.slots && allocation_bytes <= self.free_bytes() + 1e-6
+    }
+}
+
+/// A running-task lease handed out by [`Cluster::try_place`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Index of the node hosting the task.
+    pub node: usize,
+}
+
+/// The cluster capacity model: a set of identical nodes.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+}
+
+impl Cluster {
+    /// Builds the cluster described by a simulation config.
+    pub fn new(config: &SimulationConfig) -> Self {
+        Cluster {
+            nodes: (0..config.node_count)
+                .map(|id| Node {
+                    id,
+                    memory_bytes: config.node_memory_bytes,
+                    allocated_bytes: 0.0,
+                    slots: config.slots_per_node,
+                    used_slots: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The memory capacity of a single node (the upper bound for any single
+    /// allocation).
+    pub fn node_memory_bytes(&self) -> f64 {
+        self.nodes.first().map_or(0.0, |n| n.memory_bytes)
+    }
+
+    /// Number of currently running tasks across the cluster.
+    pub fn running_tasks(&self) -> usize {
+        self.nodes.iter().map(|n| n.used_slots).sum()
+    }
+
+    /// Total allocated memory across the cluster in bytes.
+    pub fn allocated_bytes(&self) -> f64 {
+        self.nodes.iter().map(|n| n.allocated_bytes).sum()
+    }
+
+    /// Attempts to place a task with the given allocation using first fit.
+    /// Returns `None` when no node currently has room (the engine then
+    /// releases the oldest running task first — replay is not a scheduler,
+    /// it just needs occupancy numbers).
+    pub fn try_place(&mut self, allocation_bytes: f64) -> Option<Placement> {
+        for node in &mut self.nodes {
+            if node.fits(allocation_bytes) {
+                node.allocated_bytes += allocation_bytes;
+                node.used_slots += 1;
+                return Some(Placement { node: node.id });
+            }
+        }
+        None
+    }
+
+    /// Releases a placement obtained from [`Cluster::try_place`].
+    pub fn release(&mut self, placement: Placement, allocation_bytes: f64) {
+        let node = &mut self.nodes[placement.node];
+        node.allocated_bytes = (node.allocated_bytes - allocation_bytes).max(0.0);
+        node.used_slots = node.used_slots.saturating_sub(1);
+    }
+
+    /// View of all nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster() -> Cluster {
+        Cluster::new(&SimulationConfig {
+            node_count: 2,
+            node_memory_bytes: 10e9,
+            slots_per_node: 2,
+            ..SimulationConfig::default()
+        })
+    }
+
+    #[test]
+    fn new_cluster_matches_config() {
+        let c = small_cluster();
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.node_memory_bytes(), 10e9);
+        assert_eq!(c.running_tasks(), 0);
+        assert_eq!(c.allocated_bytes(), 0.0);
+    }
+
+    #[test]
+    fn first_fit_fills_first_node_then_second() {
+        let mut c = small_cluster();
+        let p1 = c.try_place(6e9).unwrap();
+        assert_eq!(p1.node, 0);
+        // 6 GB left on node 0 is not enough for 8 GB, spill to node 1.
+        let p2 = c.try_place(8e9).unwrap();
+        assert_eq!(p2.node, 1);
+        assert_eq!(c.running_tasks(), 2);
+        assert_eq!(c.allocated_bytes(), 14e9);
+    }
+
+    #[test]
+    fn placement_fails_when_no_capacity() {
+        let mut c = small_cluster();
+        assert!(c.try_place(11e9).is_none(), "larger than any node");
+        // Fill all slots.
+        let _ = c.try_place(1e9).unwrap();
+        let _ = c.try_place(1e9).unwrap();
+        let _ = c.try_place(1e9).unwrap();
+        let _ = c.try_place(1e9).unwrap();
+        assert!(c.try_place(1e9).is_none(), "all slots busy");
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let mut c = small_cluster();
+        let p = c.try_place(9e9).unwrap();
+        assert!(c.try_place(9e9).is_some(), "second node still free");
+        c.release(p, 9e9);
+        assert_eq!(c.running_tasks(), 1);
+        let free_node0 = c.nodes()[0].free_bytes();
+        assert!((free_node0 - 10e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn release_never_goes_negative() {
+        let mut c = small_cluster();
+        let p = c.try_place(1e9).unwrap();
+        c.release(p, 5e9);
+        assert!(c.nodes()[0].allocated_bytes >= 0.0);
+        assert_eq!(c.running_tasks(), 0);
+        c.release(Placement { node: 0 }, 1e9);
+        assert_eq!(c.running_tasks(), 0);
+    }
+
+    #[test]
+    fn fits_respects_slots_and_memory() {
+        let n = Node {
+            id: 0,
+            memory_bytes: 8e9,
+            allocated_bytes: 6e9,
+            slots: 1,
+            used_slots: 0,
+        };
+        assert!(n.fits(2e9));
+        assert!(!n.fits(3e9));
+        let full = Node { used_slots: 1, ..n };
+        assert!(!full.fits(1e9));
+    }
+}

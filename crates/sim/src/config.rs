@@ -1,0 +1,79 @@
+//! Simulation parameters.
+
+use sizey_workflows::profiles::{NODE_COUNT, NODE_MEMORY_BYTES};
+
+/// Parameters of an online replay, mirroring the knobs the paper's simulated
+/// environment exposes (Section III-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationConfig {
+    /// Fraction of a task's runtime after which an under-provisioned task
+    /// fails. `1.0` means the failure is only detected at the very end of the
+    /// execution (worst case, Fig. 8a); `0.5` means tasks fail halfway
+    /// (Fig. 8b).
+    pub time_to_failure: f64,
+    /// Maximum number of attempts per task instance before the simulator
+    /// gives up (safety net; with doubling every method reaches the node
+    /// limit well before this).
+    pub max_attempts: u32,
+    /// Memory capacity of a single node in bytes; allocations are clamped to
+    /// this value (assumption A3: strict limits, a task cannot be given more
+    /// than a node has).
+    pub node_memory_bytes: f64,
+    /// Number of nodes in the cluster (used by the concurrency model).
+    pub node_count: usize,
+    /// Number of hardware threads per node available for concurrent tasks.
+    pub slots_per_node: usize,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            time_to_failure: 1.0,
+            max_attempts: 12,
+            node_memory_bytes: NODE_MEMORY_BYTES,
+            node_count: NODE_COUNT,
+            slots_per_node: 32,
+        }
+    }
+}
+
+impl SimulationConfig {
+    /// Returns a copy with a different time-to-failure value.
+    pub fn with_time_to_failure(mut self, ttf: f64) -> Self {
+        self.time_to_failure = ttf;
+        self
+    }
+
+    /// Total memory capacity of the cluster in bytes.
+    pub fn cluster_memory_bytes(&self) -> f64 {
+        self.node_memory_bytes * self.node_count as f64
+    }
+
+    /// Total task slots in the cluster.
+    pub fn cluster_slots(&self) -> usize {
+        self.node_count * self.slots_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_evaluation_cluster() {
+        let c = SimulationConfig::default();
+        assert_eq!(c.node_count, 8);
+        assert_eq!(c.node_memory_bytes, 128e9);
+        assert_eq!(c.slots_per_node, 32);
+        assert_eq!(c.time_to_failure, 1.0);
+        assert_eq!(c.cluster_memory_bytes(), 1024e9);
+        assert_eq!(c.cluster_slots(), 256);
+    }
+
+    #[test]
+    fn with_time_to_failure_overrides_only_ttf() {
+        let c = SimulationConfig::default().with_time_to_failure(0.5);
+        assert_eq!(c.time_to_failure, 0.5);
+        assert_eq!(c.node_count, 8);
+    }
+}

@@ -1,0 +1,45 @@
+//! # sizey-sim
+//!
+//! Online execution simulator substrate for the Sizey reproduction.
+//!
+//! The paper evaluates memory sizing methods by replaying measured workflow
+//! traces through a simulated online environment with strict memory limits
+//! and a configurable time-to-failure (Section III-A). This crate is that
+//! environment:
+//!
+//! * [`predictor::MemoryPredictor`] — the interface every sizing method
+//!   (Sizey and all baselines) implements,
+//! * [`config::SimulationConfig`] — time-to-failure, attempt budget and the
+//!   8-node / 128 GB cluster dimensions,
+//! * [`cluster`] — the node capacity / occupancy model,
+//! * [`replay`] — the replay engine that sizes, executes, fails, retries and
+//!   feeds provenance records back for online learning,
+//! * [`accounting`] — wastage (GBh), failure, runtime, model-selection and
+//!   prediction-error aggregation used by every figure of the evaluation.
+//!
+//! ## Example
+//!
+//! ```
+//! use sizey_sim::{replay_workflow, PresetPredictor, SimulationConfig};
+//! use sizey_workflows::{generate_workflow, GeneratorConfig, profiles};
+//!
+//! let spec = profiles::iwd();
+//! let instances = generate_workflow(&spec, &GeneratorConfig::scaled(0.02, 1));
+//! let mut presets = PresetPredictor;
+//! let report = replay_workflow("iwd", &instances, &mut presets, &SimulationConfig::default());
+//! assert!(report.total_wastage_gbh() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod cluster;
+pub mod config;
+pub mod predictor;
+pub mod replay;
+
+pub use accounting::{aggregate_method, AttemptEvent, MethodAggregate, ReplayReport};
+pub use cluster::{Cluster, Node, Placement};
+pub use config::SimulationConfig;
+pub use predictor::{MemoryPredictor, Prediction, PresetPredictor, TaskSubmission};
+pub use replay::{replay_with, replay_workflow, MIN_ALLOCATION_BYTES};

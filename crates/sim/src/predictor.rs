@@ -1,0 +1,137 @@
+//! The predictor interface every memory-sizing method implements.
+//!
+//! Sizey, the four state-of-the-art baselines and the workflow presets all
+//! plug into the replay engine through [`MemoryPredictor`]: the engine asks
+//! for an allocation when a task is submitted (and again for every retry
+//! after an out-of-memory failure), and feeds back a provenance record when
+//! an attempt finishes.
+
+use sizey_provenance::{MachineId, TaskRecord, TaskTypeId};
+
+/// The information a sizing method sees when a task is submitted — exactly
+/// what a resource manager knows before execution: identity, input size and
+/// the workflow developer's requested memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSubmission {
+    /// Workflow the task belongs to.
+    pub workflow: String,
+    /// Abstract task type.
+    pub task_type: TaskTypeId,
+    /// Machine configuration the task will run on.
+    pub machine: MachineId,
+    /// Submission order within the workflow execution.
+    pub sequence: u64,
+    /// Input size in bytes.
+    pub input_bytes: f64,
+    /// The user-provided memory request for this task type, in bytes.
+    pub preset_memory_bytes: f64,
+}
+
+impl TaskSubmission {
+    /// Feature vector exposed to learning-based predictors.
+    pub fn features(&self) -> Vec<f64> {
+        vec![self.input_bytes]
+    }
+}
+
+/// A sizing decision for one attempt of one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The memory the task should be allocated, in bytes.
+    pub allocation_bytes: f64,
+    /// The raw model estimate before any safety offset was applied (used by
+    /// the Fig. 12 prediction-error analysis). `None` when the method has no
+    /// notion of a raw estimate (e.g. presets).
+    pub raw_estimate_bytes: Option<f64>,
+    /// Name of the model (class) that produced the estimate, when the method
+    /// selects among several (used by the Fig. 11 analysis).
+    pub selected_model: Option<String>,
+}
+
+impl Prediction {
+    /// Convenience constructor for methods without raw-estimate/model
+    /// telemetry.
+    pub fn simple(allocation_bytes: f64) -> Self {
+        Prediction {
+            allocation_bytes,
+            raw_estimate_bytes: None,
+            selected_model: None,
+        }
+    }
+}
+
+/// A memory sizing method that can be replayed through the online simulator.
+pub trait MemoryPredictor: Send {
+    /// Human-readable method name (used in result tables).
+    fn name(&self) -> String;
+
+    /// Produces the allocation for an attempt of a task. `attempt` is 0 for
+    /// the first submission and increments after every out-of-memory failure
+    /// of the same task instance; methods implement their own failure
+    /// handling (doubling, node maximum, ...) based on it.
+    fn predict(&mut self, task: &TaskSubmission, attempt: u32) -> Prediction;
+
+    /// Called after every finished attempt (successful or failed) with the
+    /// monitoring record; online methods update their models here.
+    fn observe(&mut self, record: &TaskRecord);
+}
+
+/// A trivial predictor that always allocates the user preset — the
+/// `Workflow-Presets` sanity baseline of the paper. It lives here (rather
+/// than in the baselines crate) because the simulator's own tests need a
+/// predictor.
+#[derive(Debug, Default, Clone)]
+pub struct PresetPredictor;
+
+impl MemoryPredictor for PresetPredictor {
+    fn name(&self) -> String {
+        "Workflow-Presets".to_string()
+    }
+
+    fn predict(&mut self, task: &TaskSubmission, attempt: u32) -> Prediction {
+        // Presets are already conservative; on the (rare) failure double.
+        let factor = 2.0_f64.powi(attempt as i32);
+        Prediction::simple(task.preset_memory_bytes * factor)
+    }
+
+    fn observe(&mut self, _record: &TaskRecord) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submission() -> TaskSubmission {
+        TaskSubmission {
+            workflow: "rnaseq".into(),
+            task_type: TaskTypeId::new("FastQC"),
+            machine: MachineId::new("node"),
+            sequence: 5,
+            input_bytes: 2e9,
+            preset_memory_bytes: 8e9,
+        }
+    }
+
+    #[test]
+    fn submission_features_are_input_size() {
+        assert_eq!(submission().features(), vec![2e9]);
+    }
+
+    #[test]
+    fn simple_prediction_has_no_telemetry() {
+        let p = Prediction::simple(4e9);
+        assert_eq!(p.allocation_bytes, 4e9);
+        assert!(p.raw_estimate_bytes.is_none());
+        assert!(p.selected_model.is_none());
+    }
+
+    #[test]
+    fn preset_predictor_allocates_preset_and_doubles_on_retry() {
+        let mut p = PresetPredictor;
+        let task = submission();
+        assert_eq!(p.predict(&task, 0).allocation_bytes, 8e9);
+        assert_eq!(p.predict(&task, 1).allocation_bytes, 16e9);
+        assert_eq!(p.predict(&task, 2).allocation_bytes, 32e9);
+        assert_eq!(p.name(), "Workflow-Presets");
+    }
+}

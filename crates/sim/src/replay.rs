@@ -1,0 +1,369 @@
+//! The online replay engine.
+//!
+//! The engine replays the task instances of a workflow in submission order
+//! against a [`MemoryPredictor`], exactly like the paper's simulated online
+//! environment: the predictor sizes each attempt, the engine checks the
+//! allocation against the ground-truth peak under strict limits (assumption
+//! A3), failed attempts cost `time_to_failure × runtime` and are retried with
+//! the predictor's own failure-handling policy, and every finished attempt is
+//! fed back to the predictor as a provenance record for online learning.
+//!
+//! A light event-driven occupancy model (the [`Cluster`]) tracks how many
+//! tasks run concurrently and produces a simulated makespan; placement has no
+//! influence on wastage, which only depends on allocation × duration.
+
+use crate::accounting::{AttemptEvent, ReplayReport};
+use crate::cluster::Cluster;
+use crate::config::SimulationConfig;
+use crate::predictor::{MemoryPredictor, TaskSubmission};
+use sizey_provenance::{TaskOutcome, TaskRecord};
+use sizey_workflows::TaskInstance;
+use std::collections::BinaryHeap;
+
+/// Minimum allocation the resource manager accepts (64 MB), so degenerate
+/// predictions cannot request zero memory.
+pub const MIN_ALLOCATION_BYTES: f64 = 64e6;
+
+/// A running task in the occupancy model, ordered by finish time (min-heap).
+#[derive(Debug, Clone, PartialEq)]
+struct RunningTask {
+    finish_time: f64,
+    allocation: f64,
+    placement: crate::cluster::Placement,
+}
+
+impl Eq for RunningTask {}
+
+impl Ord for RunningTask {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse so the BinaryHeap pops the earliest finish time first.
+        other
+            .finish_time
+            .partial_cmp(&self.finish_time)
+            .expect("finite finish times")
+    }
+}
+
+impl PartialOrd for RunningTask {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Replays one workflow against one sizing method.
+pub fn replay_workflow(
+    workflow: &str,
+    instances: &[TaskInstance],
+    predictor: &mut dyn MemoryPredictor,
+    config: &SimulationConfig,
+) -> ReplayReport {
+    let mut cluster = Cluster::new(config);
+    let mut running: BinaryHeap<RunningTask> = BinaryHeap::new();
+    let mut clock = 0.0_f64;
+    let mut makespan = 0.0_f64;
+    let mut events = Vec::with_capacity(instances.len());
+    let mut unfinished = 0usize;
+
+    for inst in instances {
+        let submission = TaskSubmission {
+            workflow: inst.workflow.clone(),
+            task_type: inst.task_type.clone(),
+            machine: inst.machine.clone(),
+            sequence: inst.sequence,
+            input_bytes: inst.input_bytes,
+            preset_memory_bytes: inst.preset_memory_bytes,
+        };
+
+        let mut attempt = 0u32;
+        let mut finished = false;
+        while attempt < config.max_attempts {
+            let prediction = predictor.predict(&submission, attempt);
+            let allocation = prediction
+                .allocation_bytes
+                .clamp(MIN_ALLOCATION_BYTES, config.node_memory_bytes);
+
+            // Occupancy model: make room, then place.
+            while cluster.try_place(allocation).is_none() {
+                match running.pop() {
+                    Some(done) => {
+                        clock = clock.max(done.finish_time);
+                        cluster.release(done.placement, done.allocation);
+                    }
+                    None => break,
+                }
+            }
+            let placement = cluster
+                .try_place(allocation)
+                .or_else(|| {
+                    // Drain everything if a single huge allocation still does
+                    // not fit next to leftovers.
+                    while let Some(done) = running.pop() {
+                        clock = clock.max(done.finish_time);
+                        cluster.release(done.placement, done.allocation);
+                    }
+                    cluster.try_place(allocation)
+                })
+                .unwrap_or(crate::cluster::Placement { node: 0 });
+
+            let success = allocation + 1e-6 >= inst.true_peak_bytes;
+            let duration = if success {
+                inst.base_runtime_seconds
+            } else {
+                inst.base_runtime_seconds * config.time_to_failure
+            };
+            let wasted_bytes = if success {
+                (allocation - inst.true_peak_bytes).max(0.0)
+            } else {
+                allocation
+            };
+            let wastage_gbh = wasted_bytes / 1e9 * duration / 3600.0;
+
+            let finish_time = clock + duration;
+            makespan = makespan.max(finish_time);
+            running.push(RunningTask {
+                finish_time,
+                allocation,
+                placement,
+            });
+
+            events.push(AttemptEvent {
+                task_type: inst.task_type.clone(),
+                sequence: inst.sequence,
+                attempt,
+                allocated_bytes: allocation,
+                true_peak_bytes: inst.true_peak_bytes,
+                duration_seconds: duration,
+                success,
+                wastage_gbh,
+                raw_estimate_bytes: prediction.raw_estimate_bytes,
+                selected_model: prediction.selected_model.clone(),
+                submit_time_seconds: clock,
+            });
+
+            // Feed the monitoring record back for online learning. On
+            // failure the monitored "peak" is the allocation that was
+            // exhausted — the true peak was never observed.
+            let record = TaskRecord {
+                workflow: workflow.to_string(),
+                task_type: inst.task_type.clone(),
+                machine: inst.machine.clone(),
+                sequence: inst.sequence,
+                input_bytes: inst.input_bytes,
+                peak_memory_bytes: if success {
+                    inst.true_peak_bytes
+                } else {
+                    allocation
+                },
+                allocated_memory_bytes: allocation,
+                runtime_seconds: duration,
+                concurrent_tasks: cluster.running_tasks() as u32,
+                outcome: if success {
+                    TaskOutcome::Succeeded
+                } else {
+                    TaskOutcome::FailedOutOfMemory
+                },
+            };
+            predictor.observe(&record);
+
+            if success {
+                finished = true;
+                break;
+            }
+            attempt += 1;
+        }
+        if !finished {
+            unfinished += 1;
+        }
+    }
+
+    ReplayReport {
+        method: predictor.name(),
+        workflow: workflow.to_string(),
+        time_to_failure: config.time_to_failure,
+        events,
+        instances: instances.len(),
+        unfinished_instances: unfinished,
+        makespan_seconds: makespan,
+    }
+}
+
+/// Replays a workflow with a fresh predictor produced by `make_predictor` —
+/// convenience wrapper used by the benchmark harnesses, which compare many
+/// methods over many workflows.
+pub fn replay_with<F, P>(
+    workflow: &str,
+    instances: &[TaskInstance],
+    config: &SimulationConfig,
+    make_predictor: F,
+) -> ReplayReport
+where
+    F: FnOnce() -> P,
+    P: MemoryPredictor,
+{
+    let mut predictor = make_predictor();
+    replay_workflow(workflow, instances, &mut predictor, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{Prediction, PresetPredictor};
+    use sizey_provenance::{MachineId, TaskTypeId};
+
+    fn instance(seq: u64, input: f64, peak: f64, runtime: f64, preset: f64) -> TaskInstance {
+        TaskInstance {
+            workflow: "wf".into(),
+            task_type: TaskTypeId::new("t"),
+            machine: MachineId::new("m"),
+            sequence: seq,
+            input_bytes: input,
+            true_peak_bytes: peak,
+            base_runtime_seconds: runtime,
+            preset_memory_bytes: preset,
+            cpu_utilization_pct: 100.0,
+            io_read_bytes: input,
+            io_write_bytes: input,
+        }
+    }
+
+    /// A predictor that always allocates a fixed amount (doubling on retry).
+    struct Fixed {
+        bytes: f64,
+    }
+
+    impl MemoryPredictor for Fixed {
+        fn name(&self) -> String {
+            "fixed".to_string()
+        }
+        fn predict(&mut self, _task: &TaskSubmission, attempt: u32) -> Prediction {
+            Prediction {
+                allocation_bytes: self.bytes * 2.0_f64.powi(attempt as i32),
+                raw_estimate_bytes: Some(self.bytes),
+                selected_model: Some("fixed".to_string()),
+            }
+        }
+        fn observe(&mut self, _record: &TaskRecord) {}
+    }
+
+    #[test]
+    fn perfectly_sized_tasks_waste_nothing() {
+        let instances = vec![instance(0, 1e9, 4e9, 3600.0, 8e9)];
+        let mut p = Fixed { bytes: 4e9 };
+        let report = replay_workflow("wf", &instances, &mut p, &SimulationConfig::default());
+        assert_eq!(report.total_failures(), 0);
+        assert!(report.total_wastage_gbh() < 1e-9);
+        assert!((report.total_runtime_hours() - 1.0).abs() < 1e-9);
+        assert_eq!(report.finished_instances(), 1);
+    }
+
+    #[test]
+    fn overprovisioning_wastes_the_surplus() {
+        let instances = vec![instance(0, 1e9, 2e9, 3600.0, 8e9)];
+        let mut p = PresetPredictor;
+        let report = replay_workflow("wf", &instances, &mut p, &SimulationConfig::default());
+        // 8 GB allocated, 2 GB used, 1 hour => 6 GBh wasted.
+        assert!((report.total_wastage_gbh() - 6.0).abs() < 1e-9);
+        assert_eq!(report.total_failures(), 0);
+    }
+
+    #[test]
+    fn underprovisioning_fails_then_retries_until_success() {
+        let instances = vec![instance(0, 1e9, 7e9, 3600.0, 8e9)];
+        let mut p = Fixed { bytes: 2e9 };
+        let report = replay_workflow("wf", &instances, &mut p, &SimulationConfig::default());
+        // Attempts: 2 GB (fail), 4 GB (fail), 8 GB (success).
+        assert_eq!(report.events.len(), 3);
+        assert_eq!(report.total_failures(), 2);
+        assert_eq!(report.unfinished_instances, 0);
+        // Failed attempts waste the whole allocation for the full runtime
+        // (ttf = 1.0): 2 + 4 GBh, success wastes 1 GBh.
+        assert!((report.total_wastage_gbh() - 7.0).abs() < 1e-6);
+        // Runtime: 1h + 1h + 1h.
+        assert!((report.total_runtime_hours() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_to_failure_halves_failed_attempt_cost() {
+        let instances = vec![instance(0, 1e9, 7e9, 3600.0, 8e9)];
+        let config = SimulationConfig::default().with_time_to_failure(0.5);
+        let mut p = Fixed { bytes: 2e9 };
+        let report = replay_workflow("wf", &instances, &mut p, &config);
+        // Failed attempts now cost half an hour each: 1 + 2 GBh, success 1 GBh.
+        assert!((report.total_wastage_gbh() - 4.0).abs() < 1e-6);
+        assert!((report.total_runtime_hours() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocations_are_clamped_to_node_memory() {
+        let instances = vec![instance(0, 1e9, 2e9, 3600.0, 500e9)];
+        let mut p = PresetPredictor;
+        let config = SimulationConfig::default();
+        let report = replay_workflow("wf", &instances, &mut p, &config);
+        assert!(report.events[0].allocated_bytes <= config.node_memory_bytes);
+    }
+
+    #[test]
+    fn impossible_tasks_exhaust_attempts_and_are_reported() {
+        // True peak larger than a node: can never succeed.
+        let instances = vec![instance(0, 1e9, 200e9, 60.0, 1e9)];
+        let mut p = Fixed { bytes: 1e9 };
+        let config = SimulationConfig {
+            max_attempts: 3,
+            ..SimulationConfig::default()
+        };
+        let report = replay_workflow("wf", &instances, &mut p, &config);
+        assert_eq!(report.unfinished_instances, 1);
+        assert_eq!(report.events.len(), 3);
+        assert_eq!(report.finished_instances(), 0);
+    }
+
+    #[test]
+    fn observe_receives_failure_then_success_records() {
+        struct Recorder {
+            records: Vec<TaskRecord>,
+        }
+        impl MemoryPredictor for Recorder {
+            fn name(&self) -> String {
+                "recorder".into()
+            }
+            fn predict(&mut self, _t: &TaskSubmission, attempt: u32) -> Prediction {
+                Prediction::simple(if attempt == 0 { 1e9 } else { 10e9 })
+            }
+            fn observe(&mut self, record: &TaskRecord) {
+                self.records.push(record.clone());
+            }
+        }
+        let instances = vec![instance(0, 1e9, 5e9, 600.0, 8e9)];
+        let mut p = Recorder { records: vec![] };
+        let _ = replay_workflow("wf", &instances, &mut p, &SimulationConfig::default());
+        assert_eq!(p.records.len(), 2);
+        assert_eq!(p.records[0].outcome, TaskOutcome::FailedOutOfMemory);
+        // The failed attempt's observed peak is its allocation, not the truth.
+        assert_eq!(p.records[0].peak_memory_bytes, 1e9);
+        assert_eq!(p.records[1].outcome, TaskOutcome::Succeeded);
+        assert_eq!(p.records[1].peak_memory_bytes, 5e9);
+    }
+
+    #[test]
+    fn makespan_and_concurrency_are_tracked() {
+        let instances: Vec<TaskInstance> = (0..20)
+            .map(|i| instance(i, 1e9, 1e9, 3600.0, 2e9))
+            .collect();
+        let mut p = PresetPredictor;
+        let report = replay_workflow("wf", &instances, &mut p, &SimulationConfig::default());
+        // Plenty of capacity: all 20 tasks fit concurrently, makespan is one
+        // task runtime, while total runtime is 20 task-hours.
+        assert!((report.makespan_seconds - 3600.0).abs() < 1e-6);
+        assert!((report.total_runtime_hours() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_with_builds_a_fresh_predictor() {
+        let instances = vec![instance(0, 1e9, 1e9, 60.0, 4e9)];
+        let report = replay_with("wf", &instances, &SimulationConfig::default(), || {
+            PresetPredictor
+        });
+        assert_eq!(report.method, "Workflow-Presets");
+        assert_eq!(report.instances, 1);
+    }
+}

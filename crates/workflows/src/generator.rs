@@ -1,0 +1,292 @@
+//! Workload generation: turning a [`WorkflowSpec`] into a concrete, ordered
+//! stream of physical task instances.
+//!
+//! The generator is deterministic given a seed, supports scaling the number
+//! of instances (so benchmarks can trade fidelity for runtime), and
+//! interleaves the task types the way a real DAG execution does: instances of
+//! different types arrive roughly round-robin instead of one type at a time,
+//! which is what makes *online* learning across types meaningful.
+
+use crate::model::{TaskInstance, TaskTypeSpec, WorkflowSpec};
+use crate::profiles::MACHINE_NAME;
+use crate::sampling;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sizey_provenance::MachineId;
+
+/// Configuration of the workload generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// RNG seed; the same seed always produces the same workload.
+    pub seed: u64,
+    /// Scale factor applied to every task type's instance count. `1.0`
+    /// reproduces the full Table I volume; benchmarks typically use a smaller
+    /// value. Each type keeps at least [`GeneratorConfig::min_instances`]
+    /// instances.
+    pub scale: f64,
+    /// Lower bound on instances per task type after scaling. The paper
+    /// filters out task types with only a single or very few executions, so
+    /// the default is 4.
+    pub min_instances: usize,
+    /// When true, the arrival order interleaves task types (wave-by-wave,
+    /// like a data-parallel DAG); when false, instances arrive grouped by
+    /// task type.
+    pub interleave: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 42,
+            scale: 1.0,
+            min_instances: 4,
+            interleave: true,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Convenience constructor for a scaled-down workload.
+    pub fn scaled(scale: f64, seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            scale,
+            ..GeneratorConfig::default()
+        }
+    }
+}
+
+/// Generates the physical task instances of one workflow execution.
+pub fn generate_workflow(spec: &WorkflowSpec, config: &GeneratorConfig) -> Vec<TaskInstance> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ hash_name(&spec.name));
+    let machine = MachineId::new(MACHINE_NAME);
+
+    // Draw every instance per task type first.
+    let mut per_type: Vec<Vec<TaskInstance>> = Vec::with_capacity(spec.task_types.len());
+    for task_type in &spec.task_types {
+        let count = scaled_count(task_type.instances, config);
+        let mut instances = Vec::with_capacity(count);
+        for _ in 0..count {
+            instances.push(instantiate(spec, task_type, &machine, &mut rng));
+        }
+        per_type.push(instances);
+    }
+
+    // Interleave into an arrival order.
+    let mut ordered: Vec<TaskInstance> = Vec::with_capacity(per_type.iter().map(Vec::len).sum());
+    if config.interleave {
+        let mut cursors: Vec<usize> = vec![0; per_type.len()];
+        loop {
+            let mut progressed = false;
+            // Visit task types in a shuffled order each wave so no type is
+            // systematically first.
+            let mut order: Vec<usize> = (0..per_type.len()).collect();
+            order.shuffle(&mut rng);
+            for &ti in &order {
+                // Each wave emits a small burst per type, proportional to how
+                // many instances the type has left relative to others.
+                let remaining = per_type[ti].len() - cursors[ti];
+                if remaining == 0 {
+                    continue;
+                }
+                let burst = (remaining / 8).clamp(1, 16);
+                for _ in 0..burst {
+                    if cursors[ti] < per_type[ti].len() {
+                        ordered.push(per_type[ti][cursors[ti]].clone());
+                        cursors[ti] += 1;
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    } else {
+        for instances in &per_type {
+            ordered.extend(instances.iter().cloned());
+        }
+    }
+
+    // Assign the submission sequence in arrival order.
+    for (i, inst) in ordered.iter_mut().enumerate() {
+        inst.sequence = i as u64;
+    }
+    ordered
+}
+
+/// Generates all six evaluation workflows with the same configuration.
+pub fn generate_all(
+    specs: &[WorkflowSpec],
+    config: &GeneratorConfig,
+) -> Vec<(WorkflowSpec, Vec<TaskInstance>)> {
+    specs
+        .iter()
+        .map(|s| (s.clone(), generate_workflow(s, config)))
+        .collect()
+}
+
+fn scaled_count(instances: usize, config: &GeneratorConfig) -> usize {
+    ((instances as f64 * config.scale).round() as usize).max(config.min_instances)
+}
+
+fn instantiate(
+    spec: &WorkflowSpec,
+    task_type: &TaskTypeSpec,
+    machine: &MachineId,
+    rng: &mut StdRng,
+) -> TaskInstance {
+    let input_bytes = task_type.input_model.sample(rng);
+    let true_peak_bytes = task_type.memory_model.sample(rng, input_bytes);
+    let base_runtime_seconds = task_type.runtime_model.sample(rng, input_bytes);
+    let fp = task_type.footprint;
+    let cpu = sampling::truncated_normal(
+        rng,
+        fp.cpu_utilization_pct,
+        fp.cpu_utilization_pct * fp.cpu_cv,
+        1.0,
+    );
+    let io_read = input_bytes * fp.io_read_factor * sampling::multiplicative_noise(rng, 0.2);
+    let io_write = input_bytes * fp.io_write_factor * sampling::multiplicative_noise(rng, 0.3);
+    TaskInstance {
+        workflow: spec.name.clone(),
+        task_type: task_type.id(),
+        machine: machine.clone(),
+        sequence: 0, // assigned later in arrival order
+        input_bytes,
+        true_peak_bytes,
+        base_runtime_seconds,
+        preset_memory_bytes: task_type.preset_memory_bytes,
+        cpu_utilization_pct: cpu,
+        io_read_bytes: io_read,
+        io_write_bytes: io_write,
+    }
+}
+
+/// Cheap stable hash of the workflow name so different workflows get
+/// different RNG streams from the same seed.
+fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    #[test]
+    fn generation_is_deterministic_given_seed() {
+        let spec = profiles::iwd();
+        let cfg = GeneratorConfig::scaled(0.1, 7);
+        let a = generate_workflow(&spec, &cfg);
+        let b = generate_workflow(&spec, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_produce_different_workloads() {
+        let spec = profiles::iwd();
+        let a = generate_workflow(&spec, &GeneratorConfig::scaled(0.1, 1));
+        let b = generate_workflow(&spec, &GeneratorConfig::scaled(0.1, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn full_scale_matches_spec_totals() {
+        let spec = profiles::methylseq();
+        let instances = generate_workflow(&spec, &GeneratorConfig::default());
+        assert_eq!(instances.len(), spec.total_instances());
+    }
+
+    #[test]
+    fn scaling_reduces_instances_but_keeps_minimum() {
+        let spec = profiles::rnaseq();
+        let cfg = GeneratorConfig {
+            scale: 0.01,
+            min_instances: 4,
+            ..GeneratorConfig::default()
+        };
+        let instances = generate_workflow(&spec, &cfg);
+        // Every task type must still appear at least min_instances times.
+        for t in &spec.task_types {
+            let count = instances.iter().filter(|i| i.task_type == t.id()).count();
+            assert!(count >= 4, "{} has only {count} instances", t.name);
+        }
+        assert!(instances.len() < spec.total_instances());
+    }
+
+    #[test]
+    fn sequences_are_consecutive_from_zero() {
+        let spec = profiles::iwd();
+        let instances = generate_workflow(&spec, &GeneratorConfig::scaled(0.05, 3));
+        for (i, inst) in instances.iter().enumerate() {
+            assert_eq!(inst.sequence, i as u64);
+        }
+    }
+
+    #[test]
+    fn interleaving_mixes_task_types_early() {
+        let spec = profiles::mag();
+        let cfg = GeneratorConfig::scaled(0.05, 11);
+        let instances = generate_workflow(&spec, &cfg);
+        // Within the first 15% of arrivals we expect to see more than half of
+        // the task types already.
+        let prefix = instances.len() * 15 / 100;
+        let seen: std::collections::HashSet<_> = instances[..prefix]
+            .iter()
+            .map(|i| i.task_type.clone())
+            .collect();
+        assert!(
+            seen.len() * 2 >= spec.n_task_types(),
+            "only {} of {} types in the first 15%",
+            seen.len(),
+            spec.n_task_types()
+        );
+    }
+
+    #[test]
+    fn grouped_order_keeps_types_contiguous() {
+        let spec = profiles::iwd();
+        let cfg = GeneratorConfig {
+            interleave: false,
+            scale: 0.05,
+            ..GeneratorConfig::default()
+        };
+        let instances = generate_workflow(&spec, &cfg);
+        // Count transitions between different task types; grouped order has
+        // exactly n_types - 1 transitions.
+        let transitions = instances
+            .windows(2)
+            .filter(|w| w[0].task_type != w[1].task_type)
+            .count();
+        assert_eq!(transitions, spec.n_task_types() - 1);
+    }
+
+    #[test]
+    fn instances_have_positive_resources() {
+        for (spec, instances) in generate_all(&profiles::all_workflows(), &GeneratorConfig::scaled(0.02, 5)) {
+            assert!(!instances.is_empty(), "{} generated nothing", spec.name);
+            for inst in &instances {
+                assert!(inst.input_bytes > 0.0);
+                assert!(inst.true_peak_bytes > 0.0);
+                assert!(inst.base_runtime_seconds >= 1.0);
+                assert!(inst.preset_memory_bytes > 0.0);
+                assert!(inst.cpu_utilization_pct > 0.0);
+                assert_eq!(inst.machine, MachineId::new(MACHINE_NAME));
+                assert_eq!(inst.workflow, spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_name_differs_for_different_names() {
+        assert_ne!(hash_name("eager"), hash_name("rnaseq"));
+        assert_eq!(hash_name("mag"), hash_name("mag"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Random sampling helpers (uniform, log-uniform, normal, log-normal).
+//!
+//! The workload generators need a handful of standard distributions. `rand`
+//! only provides uniform sampling out of the box, so the Gaussian variants
+//! are implemented here via the Box-Muller transform; that keeps the
+//! dependency list to the approved offline crates.
+
+use rand::Rng;
+
+/// Samples a standard normal variate using the Box-Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Samples a normal variate truncated from below at `min`.
+pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64, min: f64) -> f64 {
+    normal(rng, mean, std_dev).max(min)
+}
+
+/// Samples a log-normal variate parameterised by the mean and coefficient of
+/// variation of the *multiplicative* noise: the result has median 1.0 when
+/// `cv` is interpreted as the sigma of the underlying normal.
+pub fn multiplicative_noise<R: Rng + ?Sized>(rng: &mut R, cv: f64) -> f64 {
+    if cv <= 0.0 {
+        return 1.0;
+    }
+    (standard_normal(rng) * cv).exp()
+}
+
+/// Samples uniformly from `[lo, hi)`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    if hi <= lo {
+        return lo;
+    }
+    rng.gen_range(lo..hi)
+}
+
+/// Samples log-uniformly from `[lo, hi)` — useful for input sizes spanning
+/// orders of magnitude.
+pub fn log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    if hi <= lo || lo <= 0.0 {
+        return lo.max(0.0);
+    }
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    uniform(rng, llo, lhi).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_has_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 100.0, 10.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 100.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn truncated_normal_respects_floor() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(truncated_normal(&mut rng, 0.0, 5.0, 1.0) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn multiplicative_noise_is_positive_and_centred() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<f64> = (0..20_000).map(|_| multiplicative_noise(&mut rng, 0.1)).collect();
+        assert!(samples.iter().all(|&s| s > 0.0));
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!((median - 1.0).abs() < 0.02, "median = {median}");
+        assert_eq!(multiplicative_noise(&mut rng, 0.0), 1.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_handles_degenerate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = uniform(&mut rng, 2.0, 3.0);
+            assert!((2.0..3.0).contains(&v));
+        }
+        assert_eq!(uniform(&mut rng, 5.0, 5.0), 5.0);
+        assert_eq!(uniform(&mut rng, 5.0, 4.0), 5.0);
+    }
+
+    #[test]
+    fn log_uniform_spans_orders_of_magnitude() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let samples: Vec<f64> = (0..5000).map(|_| log_uniform(&mut rng, 1e6, 1e9)).collect();
+        assert!(samples.iter().all(|&s| (1e6..1e9).contains(&s)));
+        // Roughly a third of the mass should fall in each decade.
+        let below_1e7 = samples.iter().filter(|&&s| s < 1e7).count() as f64 / 5000.0;
+        assert!((below_1e7 - 1.0 / 3.0).abs() < 0.06, "fraction = {below_1e7}");
+        assert_eq!(log_uniform(&mut rng, 0.0, 10.0), 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Explore the RAQ α parameter (Eq. 3): α = 0 weights only the accuracy
+//! score, α = 1 weights only the efficiency score that punishes outlying
+//! overestimates. The paper (Fig. 10) finds no universally best value — this
+//! example reproduces that analysis for one workflow.
+//!
+//! Run with `cargo run --release --example alpha_tuning [workflow]`.
+
+use sizey_suite::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workflow = args.get(1).map(String::as_str).unwrap_or("rnaseq");
+    let Some(spec) = sizey_workflows::workflow_by_name(workflow) else {
+        eprintln!("unknown workflow {workflow:?}");
+        std::process::exit(1);
+    };
+
+    let instances = generate_workflow(&spec, &GeneratorConfig::scaled(0.15, 7));
+    let sim = SimulationConfig::default();
+    println!(
+        "alpha sweep on {} ({} instances)\n",
+        spec.name,
+        instances.len()
+    );
+    println!("{:>6} {:>14} {:>10} {:>12}", "alpha", "wastage GBh", "failures", "runtime h");
+
+    let mut best = (f64::NAN, f64::INFINITY);
+    for step in 0..=10 {
+        let alpha = step as f64 / 10.0;
+        let mut sizey = SizeyPredictor::new(SizeyConfig::default().with_alpha(alpha));
+        let report = replay_workflow(&spec.name, &instances, &mut sizey, &sim);
+        let wastage = report.total_wastage_gbh();
+        println!(
+            "{alpha:>6.1} {wastage:>14.2} {:>10} {:>12.2}",
+            report.total_failures(),
+            report.total_runtime_hours()
+        );
+        if wastage < best.1 {
+            best = (alpha, wastage);
+        }
+    }
+    println!(
+        "\nLowest wastage at alpha = {:.1} ({:.2} GBh) for this workload — the paper finds the",
+        best.0, best.1
+    );
+    println!("best alpha is task-dependent (Fig. 10), so the default stays at 0.0.");
+}

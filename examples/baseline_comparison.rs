@@ -1,0 +1,68 @@
+//! Compare Sizey against all four state-of-the-art baselines and the
+//! workflow presets on a single workflow — a miniature version of the
+//! paper's Fig. 8 / Table II experiment.
+//!
+//! Run with `cargo run --release --example baseline_comparison [workflow] [scale]`.
+
+use sizey_suite::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workflow = args.get(1).map(String::as_str).unwrap_or("mag");
+    let scale: f64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05_f64)
+        .clamp(0.01, 1.0);
+    let Some(spec) = sizey_workflows::workflow_by_name(workflow) else {
+        eprintln!("unknown workflow {workflow:?}");
+        std::process::exit(1);
+    };
+
+    let instances = generate_workflow(&spec, &GeneratorConfig::scaled(scale, 42));
+    let sim = SimulationConfig::default();
+    println!(
+        "{} at scale {scale}: {} task instances, {} task types\n",
+        spec.name,
+        instances.len(),
+        spec.n_task_types()
+    );
+
+    let mut methods: Vec<Box<dyn MemoryPredictor>> = vec![
+        Box::new(SizeyPredictor::with_defaults()),
+        Box::new(WittWastage::new()),
+        Box::new(WittLr::new()),
+        Box::new(TovarPpm::new()),
+        Box::new(WittPercentile::new()),
+        Box::new(PresetPredictor),
+    ];
+
+    println!(
+        "{:<18} {:>14} {:>10} {:>12} {:>14}",
+        "method", "wastage GBh", "failures", "runtime h", "unfinished"
+    );
+    let mut results: Vec<(String, f64)> = Vec::new();
+    for method in methods.iter_mut() {
+        let report = replay_workflow(&spec.name, &instances, method.as_mut(), &sim);
+        println!(
+            "{:<18} {:>14.2} {:>10} {:>12.2} {:>14}",
+            report.method,
+            report.total_wastage_gbh(),
+            report.total_failures(),
+            report.total_runtime_hours(),
+            report.unfinished_instances
+        );
+        results.push((report.method.clone(), report.total_wastage_gbh()));
+    }
+
+    let sizey = results[0].1;
+    let best_baseline = results[1..results.len() - 1]
+        .iter()
+        .map(|(_, w)| *w)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nSizey vs best baseline on {}: {:.1}% lower wastage.",
+        spec.name,
+        (1.0 - sizey / best_baseline) * 100.0
+    );
+}

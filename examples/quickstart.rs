@@ -1,0 +1,73 @@
+//! Quickstart: size workflow tasks with Sizey.
+//!
+//! This example shows the smallest useful loop: feed Sizey the monitoring
+//! records of finished tasks and ask it to size the next submission. In a
+//! real deployment the records come from the workflow management system's
+//! provenance database; here we fabricate a linear task type.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use sizey_suite::prelude::*;
+
+fn main() {
+    let mut sizey = SizeyPredictor::with_defaults();
+
+    // A task we want to size: 3.2 GB of input, and the workflow developer
+    // requested a generous 16 GB for this task type.
+    let submission = TaskSubmission {
+        workflow: "rnaseq".into(),
+        task_type: TaskTypeId::new("MarkDuplicates"),
+        machine: MachineId::new("epyc7282-128g"),
+        sequence: 1000,
+        input_bytes: 3.2e9,
+        preset_memory_bytes: 16e9,
+    };
+
+    // Before any history exists, Sizey falls back to the user preset.
+    let cold = sizey.predict(&submission, 0);
+    println!(
+        "cold start     : allocate {:>6.2} GB (user preset, no history yet)",
+        cold.allocation_bytes / 1e9
+    );
+
+    // Feed monitoring data of finished tasks: peak ≈ 1.3 × input + 0.8 GB.
+    for i in 0..30u64 {
+        let input = 1.0e9 + i as f64 * 0.15e9;
+        let peak = 1.3 * input + 0.8e9;
+        sizey.observe(&TaskRecord {
+            workflow: "rnaseq".into(),
+            task_type: TaskTypeId::new("MarkDuplicates"),
+            machine: MachineId::new("epyc7282-128g"),
+            sequence: i,
+            input_bytes: input,
+            peak_memory_bytes: peak,
+            allocated_memory_bytes: 16e9,
+            runtime_seconds: 420.0,
+            concurrent_tasks: 4,
+            outcome: TaskOutcome::Succeeded,
+        });
+    }
+
+    // With history, Sizey's model pool takes over.
+    let warm = sizey.predict(&submission, 0);
+    let truth = 1.3 * submission.input_bytes + 0.8e9;
+    println!(
+        "after 30 tasks : allocate {:>6.2} GB (raw estimate {:.2} GB, model: {}, true peak {:.2} GB)",
+        warm.allocation_bytes / 1e9,
+        warm.raw_estimate_bytes.unwrap_or(0.0) / 1e9,
+        warm.selected_model.as_deref().unwrap_or("-"),
+        truth / 1e9
+    );
+    println!(
+        "memory saved vs preset: {:.2} GB per task",
+        (16e9 - warm.allocation_bytes) / 1e9
+    );
+
+    // If the task still fails, Sizey escalates to the largest peak it has
+    // ever seen, then doubles.
+    let retry = sizey.predict(&submission, 1);
+    println!(
+        "after a failure: allocate {:>6.2} GB (max observed so far)",
+        retry.allocation_bytes / 1e9
+    );
+}

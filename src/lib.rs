@@ -1,0 +1,51 @@
+//! # sizey-suite
+//!
+//! Workspace-level façade for the Sizey reproduction. The actual
+//! functionality lives in the member crates; this crate re-exports the most
+//! commonly used entry points so that the examples under `examples/` and the
+//! integration tests under `tests/` can use one coherent prelude.
+//!
+//! ```
+//! use sizey_suite::prelude::*;
+//!
+//! let instances = generate_workflow(&profiles::iwd(), &GeneratorConfig::scaled(0.02, 1));
+//! let mut sizey = SizeyPredictor::with_defaults();
+//! let report = replay_workflow("iwd", &instances, &mut sizey, &SimulationConfig::default());
+//! assert_eq!(report.method, "Sizey");
+//! ```
+
+#![warn(missing_docs)]
+
+/// One-stop imports for examples and integration tests.
+pub mod prelude {
+    pub use sizey_baselines::{PresetPredictor, TovarPpm, WittLr, WittPercentile, WittWastage};
+    pub use sizey_core::{
+        GatingStrategy, OffsetMode, OffsetStrategy, OnlineMode, SizeyConfig, SizeyPredictor,
+    };
+    pub use sizey_ml::{Dataset, ModelClass, Regressor};
+    pub use sizey_provenance::{
+        MachineId, ProvenanceStore, TaskMachineKey, TaskOutcome, TaskRecord, TaskTypeId,
+    };
+    pub use sizey_sim::{
+        aggregate_method, replay_workflow, MemoryPredictor, Prediction, ReplayReport,
+        SimulationConfig, TaskSubmission,
+    };
+    pub use sizey_workflows::{
+        all_workflows, generate_workflow, profiles, GeneratorConfig, TaskInstance, WorkflowSpec,
+    };
+}
+
+pub use prelude::*;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_a_working_pipeline() {
+        let instances = generate_workflow(&profiles::iwd(), &GeneratorConfig::scaled(0.02, 5));
+        let mut sizey = SizeyPredictor::with_defaults();
+        let report = replay_workflow("iwd", &instances, &mut sizey, &SimulationConfig::default());
+        assert_eq!(report.instances, instances.len());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based integration tests: invariants of the replay pipeline that
+//! must hold for any workload, seed and (sane) configuration.
+
+use proptest::prelude::*;
+use sizey_suite::prelude::*;
+
+fn small_workload(name: &str, seed: u64) -> Vec<TaskInstance> {
+    let spec = sizey_workflows::workflow_by_name(name).expect("known workflow");
+    generate_workflow(
+        &spec,
+        &GeneratorConfig {
+            scale: 0.01,
+            seed,
+            min_instances: 4,
+            interleave: true,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn replay_conserves_instances_and_wastage_is_nonnegative(
+        seed in 0u64..5000,
+        wf_idx in 0usize..6,
+    ) {
+        let name = sizey_workflows::WORKFLOW_NAMES[wf_idx];
+        let instances = small_workload(name, seed);
+        let mut presets = PresetPredictor;
+        let report = replay_workflow(name, &instances, &mut presets, &SimulationConfig::default());
+
+        prop_assert_eq!(report.instances, instances.len());
+        prop_assert!(report.total_wastage_gbh() >= 0.0);
+        prop_assert!(report.total_runtime_hours() >= 0.0);
+        // Number of first attempts equals the number of instances.
+        let first_attempts = report.events.iter().filter(|e| e.attempt == 0).count();
+        prop_assert_eq!(first_attempts, instances.len());
+        // Per-event wastage is consistent with allocation, truth and duration.
+        for e in &report.events {
+            let expected = if e.success {
+                (e.allocated_bytes - e.true_peak_bytes).max(0.0)
+            } else {
+                e.allocated_bytes
+            } / 1e9 * e.duration_seconds / 3600.0;
+            prop_assert!((e.wastage_gbh - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sizey_replay_is_deterministic(seed in 0u64..2000) {
+        let instances = small_workload("iwd", seed);
+        let sim = SimulationConfig::default();
+        let mut a = SizeyPredictor::with_defaults();
+        let mut b = SizeyPredictor::with_defaults();
+        let ra = replay_workflow("iwd", &instances, &mut a, &sim);
+        let rb = replay_workflow("iwd", &instances, &mut b, &sim);
+        prop_assert!((ra.total_wastage_gbh() - rb.total_wastage_gbh()).abs() < 1e-9);
+        prop_assert_eq!(ra.total_failures(), rb.total_failures());
+        prop_assert_eq!(ra.events.len(), rb.events.len());
+    }
+
+    #[test]
+    fn failure_handling_escalation_is_monotone(
+        max_observed in 1.0e9f64..100.0e9,
+        failed_alloc in 1.0e9f64..100.0e9,
+        attempt in 1u32..6,
+    ) {
+        let a = sizey_core::failure_allocation(Some(max_observed), failed_alloc, attempt);
+        let b = sizey_core::failure_allocation(Some(max_observed), failed_alloc, attempt + 1);
+        prop_assert!(a >= failed_alloc);
+        prop_assert!(a >= max_observed.min(failed_alloc));
+        prop_assert!(b > a);
+    }
+
+    #[test]
+    fn raq_scores_stay_normalised(
+        estimates in prop::collection::vec(1.0e6f64..200.0e9, 1..6),
+        alpha in 0.0f64..1.0,
+        history_len in 0usize..10,
+    ) {
+        let histories: Vec<Vec<(f64, f64)>> = estimates
+            .iter()
+            .map(|&e| (0..history_len).map(|i| (e * (1.0 + i as f64 * 0.01), e)).collect())
+            .collect();
+        let scores = sizey_core::pool_raq_scores(&histories, &estimates, alpha);
+        prop_assert_eq!(scores.len(), estimates.len());
+        for s in scores {
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gating_weights_always_sum_to_one(
+        estimates in prop::collection::vec(1.0e6f64..200.0e9, 1..6),
+        beta in 1.0f64..32.0,
+        seed in 0u64..100,
+    ) {
+        let raq: Vec<f64> = estimates
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ((seed as usize + i * 37) % 100) as f64 / 100.0)
+            .collect();
+        for strategy in [GatingStrategy::Argmax, GatingStrategy::Interpolation { beta }] {
+            let decision = sizey_core::gate(strategy, &estimates, &raq);
+            let sum: f64 = decision.weights.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            let min = estimates.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = estimates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(decision.estimate >= min - 1e-6);
+            prop_assert!(decision.estimate <= max + 1e-6);
+        }
+    }
+
+    #[test]
+    fn offset_strategies_are_nonnegative_and_dynamic_is_optimal(
+        history in prop::collection::vec((1.0e8f64..50.0e9, 1.0e8f64..50.0e9), 1..30)
+    ) {
+        for strategy in OffsetStrategy::ALL {
+            prop_assert!(strategy.offset(&history) >= 0.0);
+        }
+        let (_, chosen_offset) = sizey_core::select_dynamic_offset(&history);
+        let chosen_cost = sizey_core::hypothetical_wastage(&history, chosen_offset);
+        for strategy in OffsetStrategy::ALL {
+            let cost = sizey_core::hypothetical_wastage(&history, strategy.offset(&history));
+            prop_assert!(chosen_cost <= cost + 1e-6);
+        }
+    }
+}

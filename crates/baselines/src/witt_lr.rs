@@ -81,7 +81,12 @@ impl WittLr {
         // Offset: the spread of the residuals on the training data.
         let residuals: Vec<f64> = observations
             .iter()
-            .filter_map(|o| model.predict(&[o.input_bytes]).ok().map(|p| o.peak_bytes - p))
+            .filter_map(|o| {
+                model
+                    .predict(&[o.input_bytes])
+                    .ok()
+                    .map(|p| o.peak_bytes - p)
+            })
             .collect();
         let offset = std_dev(&residuals) * self.config.offset_sigmas;
         // Floor at a small positive allocation so the doubling-based failure
@@ -160,7 +165,11 @@ mod tests {
         }
         let pred = p.predict(&submission(20e9), 0);
         // Noiseless data => zero residual spread => no offset.
-        assert!((pred.allocation_bytes - 41e9).abs() < 0.5e9, "{}", pred.allocation_bytes);
+        assert!(
+            (pred.allocation_bytes - 41e9).abs() < 0.5e9,
+            "{}",
+            pred.allocation_bytes
+        );
     }
 
     #[test]

@@ -14,7 +14,9 @@ use sizey_core::{ModelPool, OnlineMode, SizeyConfig};
 /// updates, so the measured step isolates the configured learning mode.
 fn warmed_pool(history: usize) -> ModelPool {
     let warm_config = SizeyConfig {
-        online: OnlineMode::Incremental { retrain_interval: 0 },
+        online: OnlineMode::Incremental {
+            retrain_interval: 0,
+        },
         hyperparameter_optimization: false,
         ..SizeyConfig::default()
     };
@@ -33,7 +35,9 @@ fn bench_training_step(c: &mut Criterion) {
 
     let full = SizeyConfig::full_retraining();
     let incremental = SizeyConfig {
-        online: OnlineMode::Incremental { retrain_interval: 0 },
+        online: OnlineMode::Incremental {
+            retrain_interval: 0,
+        },
         ..SizeyConfig::default()
     };
 
@@ -52,16 +56,20 @@ fn bench_training_step(c: &mut Criterion) {
                 );
             },
         );
-        group.bench_with_input(BenchmarkId::new("incremental", history), &history, |b, &h| {
-            b.iter_batched(
-                || warmed_pool(h),
-                |mut pool| {
-                    pool.observe_success(&[3.3e9], 7.7e9, &incremental);
-                    pool
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::new("incremental", history),
+            &history,
+            |b, &h| {
+                b.iter_batched(
+                    || warmed_pool(h),
+                    |mut pool| {
+                        pool.observe_success(&[3.3e9], 7.7e9, &incremental);
+                        pool
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
     }
     group.finish();
 }

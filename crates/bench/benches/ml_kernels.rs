@@ -21,7 +21,10 @@ fn dataset(n: usize) -> Dataset {
 
 fn models() -> Vec<(&'static str, Box<dyn Regressor>)> {
     vec![
-        ("linear", Box::new(LinearRegression::with_defaults()) as Box<dyn Regressor>),
+        (
+            "linear",
+            Box::new(LinearRegression::with_defaults()) as Box<dyn Regressor>,
+        ),
         ("knn", Box::new(KnnRegression::with_defaults())),
         (
             "mlp",
@@ -70,7 +73,11 @@ fn bench_predict(c: &mut Criterion) {
     for (name, mut model) in models() {
         model.fit(&data).expect("fit");
         group.bench_function(name, |b| {
-            b.iter(|| model.predict(std::hint::black_box(&[2.5e9])).expect("predict"));
+            b.iter(|| {
+                model
+                    .predict(std::hint::black_box(&[2.5e9]))
+                    .expect("predict")
+            });
         });
     }
     group.finish();

@@ -50,16 +50,12 @@ fn bench_prediction_latency(c: &mut Criterion) {
         for &history in &[32u64, 256u64] {
             let mut predictor = warmed(SizeyConfig::default().with_gating(gating), history);
             let mut seq = history;
-            group.bench_with_input(
-                BenchmarkId::new(label, history),
-                &history,
-                |b, _| {
-                    b.iter(|| {
-                        seq += 1;
-                        predictor.predict(std::hint::black_box(&submission(seq)), 0)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, history), &history, |b, _| {
+                b.iter(|| {
+                    seq += 1;
+                    predictor.predict(std::hint::black_box(&submission(seq)), 0)
+                });
+            });
         }
     }
     group.finish();

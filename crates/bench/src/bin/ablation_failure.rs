@@ -73,8 +73,12 @@ fn main() {
                 policy,
                 node_memory_bytes: sim.node_memory_bytes,
             };
-            let report =
-                replay_workflow(&workload.spec.name, &workload.instances, &mut predictor, &sim);
+            let report = replay_workflow(
+                &workload.spec.name,
+                &workload.instances,
+                &mut predictor,
+                &sim,
+            );
             wastage += report.total_wastage_gbh();
             failures += report.total_failures();
             name = report.method.clone();

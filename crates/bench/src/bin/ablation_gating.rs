@@ -10,7 +10,10 @@ use sizey_sim::{replay_workflow, SimulationConfig};
 
 fn main() {
     let settings = HarnessSettings::from_env();
-    banner("Ablation: gating strategy (Argmax vs Interpolation beta sweep)", &settings);
+    banner(
+        "Ablation: gating strategy (Argmax vs Interpolation beta sweep)",
+        &settings,
+    );
 
     let workloads = generate_workloads(&HarnessSettings {
         scale: settings.scale.min(0.1),
@@ -20,9 +23,18 @@ fn main() {
 
     let variants: Vec<(String, GatingStrategy)> = vec![
         ("Argmax".to_string(), GatingStrategy::Argmax),
-        ("Interpolation beta=1".to_string(), GatingStrategy::Interpolation { beta: 1.0 }),
-        ("Interpolation beta=4".to_string(), GatingStrategy::Interpolation { beta: 4.0 }),
-        ("Interpolation beta=16".to_string(), GatingStrategy::Interpolation { beta: 16.0 }),
+        (
+            "Interpolation beta=1".to_string(),
+            GatingStrategy::Interpolation { beta: 1.0 },
+        ),
+        (
+            "Interpolation beta=4".to_string(),
+            GatingStrategy::Interpolation { beta: 4.0 },
+        ),
+        (
+            "Interpolation beta=16".to_string(),
+            GatingStrategy::Interpolation { beta: 16.0 },
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -31,7 +43,8 @@ fn main() {
         let mut failures = 0usize;
         for workload in &workloads {
             let mut sizey = SizeyPredictor::new(SizeyConfig::default().with_gating(gating));
-            let report = replay_workflow(&workload.spec.name, &workload.instances, &mut sizey, &sim);
+            let report =
+                replay_workflow(&workload.spec.name, &workload.instances, &mut sizey, &sim);
             wastage += report.total_wastage_gbh();
             failures += report.total_failures();
         }

@@ -9,7 +9,10 @@ use sizey_sim::{replay_workflow, SimulationConfig};
 
 fn main() {
     let settings = HarnessSettings::from_env();
-    banner("Ablation: offset strategies (fixed vs dynamic vs none)", &settings);
+    banner(
+        "Ablation: offset strategies (fixed vs dynamic vs none)",
+        &settings,
+    );
 
     let workloads = generate_workloads(&HarnessSettings {
         scale: settings.scale.min(0.1),
@@ -35,7 +38,8 @@ fn main() {
                 ..SizeyConfig::default()
             };
             let mut sizey = SizeyPredictor::new(config);
-            let report = replay_workflow(&workload.spec.name, &workload.instances, &mut sizey, &sim);
+            let report =
+                replay_workflow(&workload.spec.name, &workload.instances, &mut sizey, &sim);
             wastage += report.total_wastage_gbh();
             failures += report.total_failures();
         }

@@ -11,7 +11,10 @@ use sizey_sim::{replay_workflow, SimulationConfig};
 
 fn main() {
     let settings = HarnessSettings::from_env();
-    banner("Ablation: online-learning mode (incremental vs full retraining)", &settings);
+    banner(
+        "Ablation: online-learning mode (incremental vs full retraining)",
+        &settings,
+    );
 
     // Full retraining after every completion is expensive; keep the volume
     // small so the comparison finishes quickly.
@@ -22,15 +25,23 @@ fn main() {
     let sim = SimulationConfig::default();
 
     let variants: Vec<(String, SizeyConfig)> = vec![
-        ("Incremental (paper default)".to_string(), SizeyConfig::incremental()),
+        (
+            "Incremental (paper default)".to_string(),
+            SizeyConfig::incremental(),
+        ),
         (
             "Incremental, never retrain".to_string(),
             SizeyConfig {
-                online: OnlineMode::Incremental { retrain_interval: 0 },
+                online: OnlineMode::Incremental {
+                    retrain_interval: 0,
+                },
                 ..SizeyConfig::default()
             },
         ),
-        ("Full retraining + HPO".to_string(), SizeyConfig::full_retraining()),
+        (
+            "Full retraining + HPO".to_string(),
+            SizeyConfig::full_retraining(),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -40,7 +51,8 @@ fn main() {
         let mut train_ms = Vec::new();
         for workload in &workloads {
             let mut sizey = SizeyPredictor::new(config.clone());
-            let report = replay_workflow(&workload.spec.name, &workload.instances, &mut sizey, &sim);
+            let report =
+                replay_workflow(&workload.spec.name, &workload.instances, &mut sizey, &sim);
             wastage += report.total_wastage_gbh();
             failures += report.total_failures();
             train_ms.extend(sizey.training_times().iter().map(|d| d.as_secs_f64() * 1e3));
@@ -58,7 +70,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Online mode", "Total Wastage GBh", "Failures", "Median training ms"],
+            &[
+                "Online mode",
+                "Total Wastage GBh",
+                "Failures",
+                "Median training ms"
+            ],
             &rows
         )
     );

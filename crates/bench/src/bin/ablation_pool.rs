@@ -12,7 +12,10 @@ use sizey_sim::{replay_workflow, SimulationConfig};
 
 fn main() {
     let settings = HarnessSettings::from_env();
-    banner("Ablation: model-pool composition (full pool vs single classes)", &settings);
+    banner(
+        "Ablation: model-pool composition (full pool vs single classes)",
+        &settings,
+    );
 
     let workloads = generate_workloads(&HarnessSettings {
         scale: settings.scale.min(0.1),
@@ -20,10 +23,8 @@ fn main() {
     });
     let sim = SimulationConfig::default();
 
-    let mut variants: Vec<(String, Vec<ModelClass>)> = vec![(
-        "Full pool (paper)".to_string(),
-        ModelClass::ALL.to_vec(),
-    )];
+    let mut variants: Vec<(String, Vec<ModelClass>)> =
+        vec![("Full pool (paper)".to_string(), ModelClass::ALL.to_vec())];
     for class in ModelClass::ALL {
         variants.push((format!("Only {}", class.name()), vec![class]));
     }
@@ -35,7 +36,8 @@ fn main() {
         for workload in &workloads {
             let config = SizeyConfig::default().with_model_classes(classes.clone());
             let mut sizey = SizeyPredictor::new(config);
-            let report = replay_workflow(&workload.spec.name, &workload.instances, &mut sizey, &sim);
+            let report =
+                replay_workflow(&workload.spec.name, &workload.instances, &mut sizey, &sim);
             wastage += report.total_wastage_gbh();
             failures += report.total_failures();
         }

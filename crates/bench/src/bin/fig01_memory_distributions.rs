@@ -6,7 +6,9 @@
 
 use sizey_bench::{banner, fmt, render_table, HarnessSettings};
 use sizey_provenance::TaskTypeId;
-use sizey_workflows::{generate_workflow, peak_memory_by_task_type, workflow_by_name, GeneratorConfig};
+use sizey_workflows::{
+    generate_workflow, peak_memory_by_task_type, workflow_by_name, GeneratorConfig,
+};
 
 /// The four task types shown in the paper's Fig. 1 and the workflows they
 /// belong to in this reproduction.
@@ -19,7 +21,10 @@ const FIG1_TASKS: [(&str, &str); 4] = [
 
 fn main() {
     let settings = HarnessSettings::from_env();
-    banner("Fig. 1: peak-memory distributions of four task types", &settings);
+    banner(
+        "Fig. 1: peak-memory distributions of four task types",
+        &settings,
+    );
 
     let mut rows = Vec::new();
     for (workflow, task) in FIG1_TASKS {
@@ -45,7 +50,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Task", "n", "min MB", "q1 MB", "median MB", "q3 MB", "max MB"],
+            &[
+                "Task",
+                "n",
+                "min MB",
+                "q1 MB",
+                "median MB",
+                "q3 MB",
+                "max MB"
+            ],
             &rows
         )
     );

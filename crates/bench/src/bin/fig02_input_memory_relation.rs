@@ -16,7 +16,10 @@ const FIG2_TASKS: [(&str, &str); 2] = [("eager", "MarkDuplicates"), ("rnaseq", "
 
 fn main() {
     let settings = HarnessSettings::from_env();
-    banner("Fig. 2: input size vs. peak memory with a linear fit", &settings);
+    banner(
+        "Fig. 2: input size vs. peak memory with a linear fit",
+        &settings,
+    );
 
     let mut rows = Vec::new();
     for (workflow, task) in FIG2_TASKS {
@@ -34,11 +37,7 @@ fn main() {
             .map(|&x| linear.predict(&[x]).expect("predict"))
             .collect();
         // How many tasks would fail if sized exactly with the linear fit?
-        let underestimated = ys
-            .iter()
-            .zip(preds.iter())
-            .filter(|(y, p)| p < y)
-            .count();
+        let underestimated = ys.iter().zip(preds.iter()).filter(|(y, p)| p < y).count();
 
         let min_in = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max_in = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);

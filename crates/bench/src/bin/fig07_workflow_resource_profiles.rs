@@ -4,11 +4,16 @@
 //! Run with `cargo run -p sizey-bench --release --bin fig07_workflow_resource_profiles`.
 
 use sizey_bench::{banner, fmt, render_table, HarnessSettings};
-use sizey_workflows::{all_workflows, generate_workflow, workflow_resource_profile, GeneratorConfig};
+use sizey_workflows::{
+    all_workflows, generate_workflow, workflow_resource_profile, GeneratorConfig,
+};
 
 fn main() {
     let settings = HarnessSettings::from_env();
-    banner("Fig. 7: per-workflow resource utilisation distributions", &settings);
+    banner(
+        "Fig. 7: per-workflow resource utilisation distributions",
+        &settings,
+    );
 
     let mut cpu_rows = Vec::new();
     let mut mem_rows = Vec::new();
@@ -16,7 +21,10 @@ fn main() {
     let mut write_rows = Vec::new();
 
     for spec in all_workflows() {
-        let instances = generate_workflow(&spec, &GeneratorConfig::scaled(settings.scale.max(0.2), settings.seed));
+        let instances = generate_workflow(
+            &spec,
+            &GeneratorConfig::scaled(settings.scale.max(0.2), settings.seed),
+        );
         let profile = workflow_resource_profile(&spec.name, &instances);
 
         let row = |d: &sizey_workflows::Distribution, decimals: usize| -> Vec<String> {

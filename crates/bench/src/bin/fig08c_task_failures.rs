@@ -54,7 +54,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Method", "Total Failures", "Median per Type", "Q3 per Type", "Max per Type"],
+            &[
+                "Method",
+                "Total Failures",
+                "Median per Type",
+                "Q3 per Type",
+                "Max per Type"
+            ],
             &rows
         )
     );

@@ -41,7 +41,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Method", "Total Runtime h", "Overhead vs failure-free h", "Failures"],
+            &[
+                "Method",
+                "Total Runtime h",
+                "Overhead vs failure-free h",
+                "Failures"
+            ],
             &rows
         )
     );

@@ -55,7 +55,11 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Workflow", "Sizey-Full median ms", "Sizey-Incremental median ms"],
+            &[
+                "Workflow",
+                "Sizey-Full median ms",
+                "Sizey-Incremental median ms"
+            ],
             &rows
         )
     );
@@ -69,5 +73,8 @@ fn main() {
     );
     println!("Paper reference (Fig. 9): median 1.09 s for full retraining (with HPO) and");
     println!("17.5 ms for incremental updates, a 98.39% reduction; both are comparable");
-    println!("across workflows. ({} is the Sizey method name used here.)", Method::Sizey.name());
+    println!(
+        "across workflows. ({} is the Sizey method name used here.)",
+        Method::Sizey.name()
+    );
 }

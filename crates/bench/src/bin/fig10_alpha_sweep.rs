@@ -45,7 +45,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["alpha", "FastQC GBh", "MarkDuplicates (Picard) GBh", "rnaseq total GBh"],
+            &[
+                "alpha",
+                "FastQC GBh",
+                "MarkDuplicates (Picard) GBh",
+                "rnaseq total GBh"
+            ],
             &rows
         )
     );

@@ -20,8 +20,7 @@ fn main() {
         &spec,
         &GeneratorConfig::scaled(settings.scale.max(0.3), settings.seed),
     );
-    let mut sizey =
-        SizeyPredictor::new(SizeyConfig::default().with_gating(GatingStrategy::Argmax));
+    let mut sizey = SizeyPredictor::new(SizeyConfig::default().with_gating(GatingStrategy::Argmax));
     let report = replay_workflow(
         "rnaseq",
         &instances,

@@ -13,7 +13,10 @@ use sizey_workflows::WORKFLOW_NAMES;
 
 fn main() {
     let settings = HarnessSettings::from_env();
-    banner("Headline: Sizey's wastage reduction vs the best baseline", &settings);
+    banner(
+        "Headline: Sizey's wastage reduction vs the best baseline",
+        &settings,
+    );
 
     let workloads = generate_workloads(&settings);
     let sim = SimulationConfig::default();
@@ -37,7 +40,10 @@ fn main() {
             .map(|(name, agg)| {
                 (
                     *name,
-                    agg.wastage_per_workflow.get(wf).copied().unwrap_or(f64::INFINITY),
+                    agg.wastage_per_workflow
+                        .get(wf)
+                        .copied()
+                        .unwrap_or(f64::INFINITY),
                 )
             })
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite wastage"))

@@ -24,7 +24,11 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Workflow", "# Task Types", "AVG # Task Instances per Task Type"],
+            &[
+                "Workflow",
+                "# Task Types",
+                "AVG # Task Instances per Task Type"
+            ],
             &rows
         )
     );

@@ -11,7 +11,10 @@ use sizey_workflows::WORKFLOW_NAMES;
 
 fn main() {
     let settings = HarnessSettings::from_env();
-    banner("Table II: memory wastage (GBh) per workflow and method", &settings);
+    banner(
+        "Table II: memory wastage (GBh) per workflow and method",
+        &settings,
+    );
 
     let workloads = generate_workloads(&settings);
     let sim = SimulationConfig::default();
@@ -26,7 +29,10 @@ fn main() {
         let agg = aggregate_method(reports);
         let mut row = vec![method.name().to_string()];
         for wf in WORKFLOW_NAMES {
-            row.push(fmt(agg.wastage_per_workflow.get(wf).copied().unwrap_or(0.0), 2));
+            row.push(fmt(
+                agg.wastage_per_workflow.get(wf).copied().unwrap_or(0.0),
+                2,
+            ));
         }
         rows.push(row);
     }

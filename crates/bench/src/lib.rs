@@ -18,7 +18,9 @@
 use sizey_baselines::{PresetPredictor, TovarPpm, WittLr, WittPercentile, WittWastage};
 use sizey_core::{SizeyConfig, SizeyPredictor};
 use sizey_sim::{replay_workflow, MemoryPredictor, ReplayReport, SimulationConfig};
-use sizey_workflows::{all_workflows, generate_workflow, GeneratorConfig, TaskInstance, WorkflowSpec};
+use sizey_workflows::{
+    all_workflows, generate_workflow, GeneratorConfig, TaskInstance, WorkflowSpec,
+};
 
 /// The evaluation methods in the order used by the paper's figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

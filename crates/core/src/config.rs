@@ -178,7 +178,10 @@ mod tests {
 
     #[test]
     fn named_configurations_differ_in_online_mode() {
-        assert_eq!(SizeyConfig::full_retraining().online, OnlineMode::FullRetrain);
+        assert_eq!(
+            SizeyConfig::full_retraining().online,
+            OnlineMode::FullRetrain
+        );
         assert!(matches!(
             SizeyConfig::incremental().online,
             OnlineMode::Incremental { .. }

@@ -128,16 +128,87 @@ mod tests {
     fn large_beta_approaches_argmax() {
         let estimates = [1e9, 5e9];
         let raq = [0.4, 0.6];
-        let soft = gate(GatingStrategy::Interpolation { beta: 200.0 }, &estimates, &raq);
+        let soft = gate(
+            GatingStrategy::Interpolation { beta: 200.0 },
+            &estimates,
+            &raq,
+        );
         let hard = gate(GatingStrategy::Argmax, &estimates, &raq);
         assert!((soft.estimate - hard.estimate).abs() / hard.estimate < 1e-6);
     }
 
     #[test]
     fn beta_below_one_is_clamped() {
-        let a = gate(GatingStrategy::Interpolation { beta: 0.0 }, &[1e9, 2e9], &[0.2, 0.8]);
-        let b = gate(GatingStrategy::Interpolation { beta: 1.0 }, &[1e9, 2e9], &[0.2, 0.8]);
+        let a = gate(
+            GatingStrategy::Interpolation { beta: 0.0 },
+            &[1e9, 2e9],
+            &[0.2, 0.8],
+        );
+        let b = gate(
+            GatingStrategy::Interpolation { beta: 1.0 },
+            &[1e9, 2e9],
+            &[0.2, 0.8],
+        );
         assert!((a.estimate - b.estimate).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interpolation_matches_hand_computed_softmax() {
+        // Eq. 4 with beta = 2 over RAQ scores [0.9, 0.5]: the weight of the
+        // better model is the logistic of beta * (0.9 - 0.5) = 0.8,
+        //   w0 = 1 / (1 + e^-0.8) = 0.6899744811276125,
+        // and the aggregate over estimates [2, 6] GB is
+        //   0.6899744811276125 * 2e9 + 0.3100255188723875 * 6e9
+        //   = 3.24010207548955e9.
+        let d = gate(
+            GatingStrategy::Interpolation { beta: 2.0 },
+            &[2.0e9, 6.0e9],
+            &[0.9, 0.5],
+        );
+        assert!((d.weights[0] - 0.6899744811276125).abs() < 1e-12);
+        assert!((d.weights[1] - 0.3100255188723875).abs() < 1e-12);
+        assert!((d.estimate - 3.24010207548955e9).abs() < 0.5);
+        assert_eq!(d.dominant_model, 0);
+    }
+
+    #[test]
+    fn argmax_and_interpolation_agree_on_the_dominant_model() {
+        // Softmax is monotone, so whenever the RAQ maximum is unique the two
+        // strategies must name the same dominant model even though their
+        // aggregate estimates differ.
+        let estimates = [1.0e9, 2.0e9, 3.0e9];
+        let raq = [0.2, 0.8, 0.6];
+        let hard = gate(GatingStrategy::Argmax, &estimates, &raq);
+        let soft = gate(
+            GatingStrategy::Interpolation { beta: 4.0 },
+            &estimates,
+            &raq,
+        );
+        assert_eq!(hard.dominant_model, 1);
+        assert_eq!(soft.dominant_model, 1);
+        // Argmax returns the winner's estimate verbatim; interpolation blends.
+        assert_eq!(hard.estimate, 2.0e9);
+        assert!(soft.estimate > 1.0e9 && soft.estimate < 3.0e9);
+    }
+
+    #[test]
+    fn equal_raq_scores_average_the_estimates() {
+        // With identical scores every weight is 1/n, so the interpolated
+        // estimate is the plain mean while Argmax falls back to the first.
+        let estimates = [1.0e9, 2.0e9, 6.0e9];
+        let raq = [0.4, 0.4, 0.4];
+        let soft = gate(
+            GatingStrategy::Interpolation { beta: 8.0 },
+            &estimates,
+            &raq,
+        );
+        assert!((soft.estimate - 3.0e9).abs() < 1e-3);
+        for w in &soft.weights {
+            assert!((w - 1.0 / 3.0).abs() < 1e-12);
+        }
+        let hard = gate(GatingStrategy::Argmax, &estimates, &raq);
+        assert_eq!(hard.dominant_model, 0);
+        assert_eq!(hard.estimate, 1.0e9);
     }
 
     #[test]

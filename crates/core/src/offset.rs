@@ -50,7 +50,10 @@ impl OffsetStrategy {
             return 0.0;
         }
         // error > 0 means the model under-predicted (actual above estimate).
-        let errors: Vec<f64> = history.iter().map(|&(pred, actual)| actual - pred).collect();
+        let errors: Vec<f64> = history
+            .iter()
+            .map(|&(pred, actual)| actual - pred)
+            .collect();
         let under: Vec<f64> = errors.iter().copied().filter(|e| *e > 0.0).collect();
         let value = match self {
             OffsetStrategy::StdDev => std_dev(&errors),
@@ -95,7 +98,10 @@ pub fn hypothetical_wastage(history: &[(f64, f64)], offset: f64) -> f64 {
 /// the observed history (the paper's dynamic offset selection), together with
 /// the offset value it yields.
 pub fn select_dynamic_offset(history: &[(f64, f64)]) -> (OffsetStrategy, f64) {
-    let mut best = (OffsetStrategy::StdDev, OffsetStrategy::StdDev.offset(history));
+    let mut best = (
+        OffsetStrategy::StdDev,
+        OffsetStrategy::StdDev.offset(history),
+    );
     let mut best_cost = f64::INFINITY;
     for strategy in OffsetStrategy::ALL {
         let offset = strategy.offset(history);

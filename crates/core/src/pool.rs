@@ -407,7 +407,9 @@ mod tests {
     #[test]
     fn incremental_mode_periodically_retrains() {
         let cfg = SizeyConfig {
-            online: OnlineMode::Incremental { retrain_interval: 3 },
+            online: OnlineMode::Incremental {
+                retrain_interval: 3,
+            },
             ..SizeyConfig::default()
         };
         let mut pool = ModelPool::new(&cfg);

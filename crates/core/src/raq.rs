@@ -126,6 +126,42 @@ mod tests {
     }
 
     #[test]
+    fn accuracy_denominator_is_the_actual_value() {
+        // Eq. 1 normalises by the actual peak: a 2x overestimate of a 1 GB
+        // peak caps at error 1 (score 0), while a half-sized underestimate is
+        // error 0.5 (score 0.5).
+        assert!((accuracy_score(&[(2.0e9, 1.0e9)]) - 0.0).abs() < 1e-12);
+        assert!((accuracy_score(&[(0.5e9, 1.0e9)]) - 0.5).abs() < 1e-12);
+        // Zero actual and zero prediction is a perfect score.
+        assert_eq!(accuracy_score(&[(0.0, 0.0)]), 1.0);
+    }
+
+    #[test]
+    fn worked_example_through_equations_one_to_three() {
+        // Three models sized for the same submission, alpha = 0.25.
+        //
+        // Accuracy (Eq. 1):
+        //   model 0: errors 0.2 and 0.1      -> AS = (0.8 + 0.9) / 2 = 0.85
+        //   model 1: error 0.5               -> AS = 0.5
+        //   model 2: error 3.0, capped at 1  -> AS = 0.0
+        // Efficiency (Eq. 2) for estimates [2, 3, 4] GB:
+        //   ES = [1 - 2/4, 1 - 3/4, 1 - 4/4] = [0.5, 0.25, 0.0]
+        // RAQ (Eq. 3) = 0.75 * AS + 0.25 * ES:
+        //   [0.75*0.85 + 0.25*0.5, 0.75*0.5 + 0.25*0.25, 0.0]
+        //   = [0.7625, 0.4375, 0.0]
+        let histories = vec![
+            vec![(1.2e9, 1.0e9), (0.9e9, 1.0e9)],
+            vec![(1.5e9, 1.0e9)],
+            vec![(4.0e9, 1.0e9)],
+        ];
+        let estimates = vec![2.0e9, 3.0e9, 4.0e9];
+        let raq = pool_raq_scores(&histories, &estimates, 0.25);
+        assert!((raq[0] - 0.7625).abs() < 1e-12, "raq[0] = {}", raq[0]);
+        assert!((raq[1] - 0.4375).abs() < 1e-12, "raq[1] = {}", raq[1]);
+        assert!((raq[2] - 0.0).abs() < 1e-12, "raq[2] = {}", raq[2]);
+    }
+
+    #[test]
     fn pool_scores_combine_both_components() {
         let histories = vec![
             vec![(1.0e9, 1.0e9)], // perfectly accurate

@@ -166,7 +166,8 @@ impl RandomForestRegression {
             trained.push(r?);
         }
         if self.trees.len() != self.config.n_trees {
-            self.trees = vec![RegressionTree::new(self.tree_config(self.n_features)); self.config.n_trees];
+            self.trees =
+                vec![RegressionTree::new(self.tree_config(self.n_features)); self.config.n_trees];
         }
         for ((i, _), tree) in seeds.iter().zip(trained.into_iter()) {
             self.trees[*i] = tree;
@@ -299,7 +300,10 @@ mod tests {
     #[test]
     fn different_seeds_usually_differ() {
         let xs: Vec<f64> = (0..80).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| x * 3.0 + (x * 0.7).sin() * 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| x * 3.0 + (x * 0.7).sin() * 10.0)
+            .collect();
         let data = Dataset::from_univariate(&xs, &ys);
         let mut a = RandomForestRegression::new(ForestConfig {
             seed: 1,
@@ -315,7 +319,10 @@ mod tests {
         b.fit(&data).unwrap();
         let pa = a.predict(&[40.5]).unwrap();
         let pb = b.predict(&[40.5]).unwrap();
-        assert!((pa - pb).abs() > 1e-12, "bootstrap should differ across seeds");
+        assert!(
+            (pa - pb).abs() > 1e-12,
+            "bootstrap should differ across seeds"
+        );
     }
 
     #[test]

@@ -187,7 +187,10 @@ impl Matrix {
         if self.cols != other.rows {
             return Err(MatrixError::ShapeMismatch {
                 expected: format!("left cols == right rows ({})", self.cols),
-                got: format!("{}x{} * {}x{}", self.rows, self.cols, other.rows, other.cols),
+                got: format!(
+                    "{}x{} * {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
@@ -560,7 +563,11 @@ mod tests {
         let b = [4.0, 5.0, 6.0];
         assert_eq!(dot(&a, &b), 32.0);
         assert_eq!(squared_distance(&a, &b), 27.0);
-        assert!(approx_eq(euclidean_distance(&a, &b), 27.0_f64.sqrt(), 1e-12));
+        assert!(approx_eq(
+            euclidean_distance(&a, &b),
+            27.0_f64.sqrt(),
+            1e-12
+        ));
     }
 
     #[test]

@@ -148,7 +148,10 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
 
 /// Minimum of a slice; 0 when empty.
 pub fn min(values: &[f64]) -> f64 {
-    values.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+    values
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
         .pipe_finite_or(0.0)
 }
 

@@ -205,7 +205,10 @@ impl MlpRegression {
             let activated: Vec<f64> = if is_output {
                 buffer.clone()
             } else {
-                buffer.iter().map(|&z| self.config.activation.forward(z)).collect()
+                buffer
+                    .iter()
+                    .map(|&z| self.config.activation.forward(z))
+                    .collect()
             };
             activations.push(activated);
         }
@@ -303,10 +306,8 @@ impl MlpRegression {
     fn train_epochs(&mut self, data: &Dataset, epochs: usize) {
         let scaled_features = self.feature_scaler.transform_batch(data.features());
         let scaled_targets = self.target_scaler.transform_batch(data.targets());
-        let mut samples: Vec<(Vec<f64>, f64)> = scaled_features
-            .into_iter()
-            .zip(scaled_targets)
-            .collect();
+        let mut samples: Vec<(Vec<f64>, f64)> =
+            scaled_features.into_iter().zip(scaled_targets).collect();
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(self.adam_step));
         let mut best_loss = f64::INFINITY;
         let mut stall = 0usize;
@@ -457,7 +458,10 @@ mod tests {
         let new = Dataset::from_univariate(&[25.0; 8], &[200.0; 8]);
         m.partial_fit(&new).unwrap();
         let after = m.predict(&[25.0]).unwrap();
-        assert!(after > before, "incremental update should move the estimate up");
+        assert!(
+            after > before,
+            "incremental update should move the estimate up"
+        );
     }
 
     #[test]

@@ -229,6 +229,8 @@ mod tests {
             got: 1,
         };
         assert!(e.to_string().contains("expected 3"));
-        assert!(ModelError::NotFitted.to_string().contains("not been fitted"));
+        assert!(ModelError::NotFitted
+            .to_string()
+            .contains("not been fitted"));
     }
 }

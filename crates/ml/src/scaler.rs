@@ -61,7 +61,11 @@ impl Scaler {
                 let n = rows.len() as f64;
                 for c in 0..n_cols {
                     let mean = rows.iter().map(|r| r[c]).sum::<f64>() / n;
-                    let var = rows.iter().map(|r| (r[c] - mean) * (r[c] - mean)).sum::<f64>() / n;
+                    let var = rows
+                        .iter()
+                        .map(|r| (r[c] - mean) * (r[c] - mean))
+                        .sum::<f64>()
+                        / n;
                     let std = var.sqrt();
                     self.shift[c] = mean;
                     self.scale[c] = if std > 1e-12 { std } else { 1.0 };

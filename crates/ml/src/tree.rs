@@ -168,8 +168,7 @@ impl RegressionTree {
                 }
                 let n_left = split_pos;
                 let n_right = n - split_pos;
-                if n_left < self.config.min_samples_leaf || n_right < self.config.min_samples_leaf
-                {
+                if n_left < self.config.min_samples_leaf || n_right < self.config.min_samples_leaf {
                     continue;
                 }
                 let right_sum = parent_sum - left_sum;
@@ -288,7 +287,10 @@ mod tests {
     fn fits_piecewise_constant_function_exactly() {
         // y = 10 for x < 5, y = 20 for x >= 5
         let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| if x < 5.0 { 10.0 } else { 20.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x < 5.0 { 10.0 } else { 20.0 })
+            .collect();
         let data = Dataset::from_univariate(&xs, &ys);
         let mut t = RegressionTree::with_defaults();
         t.fit(&data).unwrap();

@@ -158,7 +158,9 @@ impl TaskRecord {
     /// must be redone).
     pub fn wasted_bytes(&self) -> f64 {
         match self.outcome {
-            TaskOutcome::Succeeded => (self.allocated_memory_bytes - self.peak_memory_bytes).max(0.0),
+            TaskOutcome::Succeeded => {
+                (self.allocated_memory_bytes - self.peak_memory_bytes).max(0.0)
+            }
             TaskOutcome::FailedOutOfMemory => self.allocated_memory_bytes,
         }
     }

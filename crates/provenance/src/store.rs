@@ -65,7 +65,11 @@ impl ProvenanceStore {
         inner
             .by_key
             .get(key)
-            .map(|idxs| idxs.iter().map(|&i| Arc::clone(&inner.records[i])).collect())
+            .map(|idxs| {
+                idxs.iter()
+                    .map(|&i| Arc::clone(&inner.records[i]))
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -75,7 +79,11 @@ impl ProvenanceStore {
         inner
             .by_task_type
             .get(task_type)
-            .map(|idxs| idxs.iter().map(|&i| Arc::clone(&inner.records[i])).collect())
+            .map(|idxs| {
+                idxs.iter()
+                    .map(|&i| Arc::clone(&inner.records[i]))
+                    .collect()
+            })
             .unwrap_or_default()
     }
 

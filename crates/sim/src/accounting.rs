@@ -170,7 +170,9 @@ pub fn aggregate_method(reports: &[ReplayReport]) -> MethodAggregate {
         .unwrap_or_else(|| "unknown".to_string());
     let mut wastage_per_workflow = BTreeMap::new();
     for r in reports {
-        *wastage_per_workflow.entry(r.workflow.clone()).or_insert(0.0) += r.total_wastage_gbh();
+        *wastage_per_workflow
+            .entry(r.workflow.clone())
+            .or_insert(0.0) += r.total_wastage_gbh();
     }
     MethodAggregate {
         method,

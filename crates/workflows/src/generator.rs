@@ -270,7 +270,10 @@ mod tests {
 
     #[test]
     fn instances_have_positive_resources() {
-        for (spec, instances) in generate_all(&profiles::all_workflows(), &GeneratorConfig::scaled(0.02, 5)) {
+        for (spec, instances) in generate_all(
+            &profiles::all_workflows(),
+            &GeneratorConfig::scaled(0.02, 5),
+        ) {
             assert!(!instances.is_empty(), "{} generated nothing", spec.name);
             for inst in &instances {
                 assert!(inst.input_bytes > 0.0);

@@ -43,7 +43,9 @@ pub mod stats;
 pub use generator::{generate_all, generate_workflow, GeneratorConfig};
 pub use memfn::{InputModel, MemoryModel, RuntimeModel};
 pub use model::{ResourceFootprint, TaskInstance, TaskTypeSpec, WorkflowSpec};
-pub use profiles::{all_workflows, workflow_by_name, MACHINE_NAME, NODE_COUNT, NODE_MEMORY_BYTES, WORKFLOW_NAMES};
+pub use profiles::{
+    all_workflows, workflow_by_name, MACHINE_NAME, NODE_COUNT, NODE_MEMORY_BYTES, WORKFLOW_NAMES,
+};
 pub use stats::{
     inventory, peak_memory_by_task_type, workflow_resource_profile, Distribution, InventoryRow,
     WorkflowResourceProfile,

@@ -134,7 +134,9 @@ impl MemoryModel {
     /// The noise-free expected peak memory for a given input size.
     pub fn expected(&self, input_bytes: f64) -> f64 {
         match *self {
-            MemoryModel::Linear { slope, intercept, .. } => slope * input_bytes + intercept,
+            MemoryModel::Linear {
+                slope, intercept, ..
+            } => slope * input_bytes + intercept,
             MemoryModel::Power {
                 coefficient,
                 scale,

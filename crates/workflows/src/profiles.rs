@@ -123,7 +123,9 @@ fn filler_task(workflow: &str, idx: usize, instances: usize, size_class: f64) ->
         },
     };
     let preset = match memory_model {
-        MemoryModel::Linear { slope, intercept, .. } => slope * input_hi + intercept,
+        MemoryModel::Linear {
+            slope, intercept, ..
+        } => slope * input_hi + intercept,
         MemoryModel::Constant { mean, .. } => mean,
         MemoryModel::Power {
             coefficient,
@@ -141,7 +143,10 @@ fn filler_task(workflow: &str, idx: usize, instances: usize, size_class: f64) ->
         instances,
         input_model,
         memory_model,
-        runtime_model: runtime(45.0 + 20.0 * (idx % 4) as f64, 25.0 + 10.0 * (idx % 3) as f64),
+        runtime_model: runtime(
+            45.0 + 20.0 * (idx % 4) as f64,
+            25.0 + 10.0 * (idx % 3) as f64,
+        ),
         footprint: footprint(
             60.0 + 90.0 * (idx % 4) as f64,
             0.8 + 0.4 * (idx % 3) as f64,
@@ -196,7 +201,10 @@ pub fn eager() -> WorkflowSpec {
         named_task(
             "MarkDuplicates",
             140,
-            InputModel::Uniform { lo: 2.0 * GB, hi: 5.0 * GB },
+            InputModel::Uniform {
+                lo: 2.0 * GB,
+                hi: 5.0 * GB,
+            },
             // Fig. 2 (left): 2-5 GB of input map linearly onto 18-22 GB peaks.
             MemoryModel::Linear {
                 slope: 1.33,
@@ -210,7 +218,10 @@ pub fn eager() -> WorkflowSpec {
         named_task(
             "mpileup",
             150,
-            InputModel::LogUniform { lo: 50.0 * MB, hi: 2.0 * GB },
+            InputModel::LogUniform {
+                lo: 50.0 * MB,
+                hi: 2.0 * GB,
+            },
             // Fig. 1: peaks between ~0 and 400 MB.
             MemoryModel::Linear {
                 slope: 0.12,
@@ -224,7 +235,10 @@ pub fn eager() -> WorkflowSpec {
         named_task(
             "adapter_removal",
             130,
-            InputModel::Uniform { lo: 1.0 * GB, hi: 6.0 * GB },
+            InputModel::Uniform {
+                lo: 1.0 * GB,
+                hi: 6.0 * GB,
+            },
             MemoryModel::Saturating {
                 ceiling: 6.0 * GB,
                 floor: 0.8 * GB,
@@ -238,7 +252,10 @@ pub fn eager() -> WorkflowSpec {
         named_task(
             "bwa_align",
             160,
-            InputModel::Uniform { lo: 1.0 * GB, hi: 8.0 * GB },
+            InputModel::Uniform {
+                lo: 1.0 * GB,
+                hi: 8.0 * GB,
+            },
             MemoryModel::Linear {
                 slope: 0.9,
                 intercept: 5.5 * GB,
@@ -270,7 +287,10 @@ pub fn methylseq() -> WorkflowSpec {
         named_task(
             "bismark_align",
             120,
-            InputModel::Uniform { lo: 3.0 * GB, hi: 12.0 * GB },
+            InputModel::Uniform {
+                lo: 3.0 * GB,
+                hi: 12.0 * GB,
+            },
             MemoryModel::Linear {
                 slope: 1.6,
                 intercept: 9.0 * GB,
@@ -283,7 +303,10 @@ pub fn methylseq() -> WorkflowSpec {
         named_task(
             "bismark_deduplicate",
             110,
-            InputModel::Uniform { lo: 2.0 * GB, hi: 8.0 * GB },
+            InputModel::Uniform {
+                lo: 2.0 * GB,
+                hi: 8.0 * GB,
+            },
             MemoryModel::Power {
                 coefficient: 6.0 * GB,
                 scale: 8.0 * GB,
@@ -298,7 +321,10 @@ pub fn methylseq() -> WorkflowSpec {
         named_task(
             "methylation_extractor",
             115,
-            InputModel::Uniform { lo: 1.0 * GB, hi: 6.0 * GB },
+            InputModel::Uniform {
+                lo: 1.0 * GB,
+                hi: 6.0 * GB,
+            },
             MemoryModel::Linear {
                 slope: 0.8,
                 intercept: 1.5 * GB,
@@ -328,7 +354,10 @@ pub fn chipseq() -> WorkflowSpec {
         named_task(
             "lcextrap",
             90,
-            InputModel::LogUniform { lo: 100.0 * MB, hi: 3.0 * GB },
+            InputModel::LogUniform {
+                lo: 100.0 * MB,
+                hi: 3.0 * GB,
+            },
             // Fig. 1: 200 MB - 1 GB with a median around 550 MB.
             MemoryModel::Linear {
                 slope: 0.28,
@@ -342,7 +371,10 @@ pub fn chipseq() -> WorkflowSpec {
         named_task(
             "genomecov",
             85,
-            InputModel::Uniform { lo: 2.0 * GB, hi: 9.0 * GB },
+            InputModel::Uniform {
+                lo: 2.0 * GB,
+                hi: 9.0 * GB,
+            },
             // Fig. 1: 4 - 7 GB peaks.
             MemoryModel::Linear {
                 slope: 0.42,
@@ -356,7 +388,10 @@ pub fn chipseq() -> WorkflowSpec {
         named_task(
             "bowtie2_align",
             100,
-            InputModel::Uniform { lo: 1.0 * GB, hi: 10.0 * GB },
+            InputModel::Uniform {
+                lo: 1.0 * GB,
+                hi: 10.0 * GB,
+            },
             MemoryModel::Linear {
                 slope: 0.7,
                 intercept: 3.5 * GB,
@@ -369,7 +404,10 @@ pub fn chipseq() -> WorkflowSpec {
         named_task(
             "macs2_callpeak",
             80,
-            InputModel::Uniform { lo: 0.5 * GB, hi: 4.0 * GB },
+            InputModel::Uniform {
+                lo: 0.5 * GB,
+                hi: 4.0 * GB,
+            },
             MemoryModel::Power {
                 coefficient: 2.5 * GB,
                 scale: 4.0 * GB,
@@ -403,7 +441,10 @@ pub fn rnaseq() -> WorkflowSpec {
         named_task(
             "FastQC",
             60,
-            InputModel::Uniform { lo: 0.3 * GB, hi: 2.5 * GB },
+            InputModel::Uniform {
+                lo: 0.3 * GB,
+                hi: 2.5 * GB,
+            },
             MemoryModel::Constant {
                 mean: 550.0 * MB,
                 noise_cv: 0.10,
@@ -415,7 +456,10 @@ pub fn rnaseq() -> WorkflowSpec {
         named_task(
             "MarkDuplicates (Picard)",
             55,
-            InputModel::Uniform { lo: 2.0 * GB, hi: 6.0 * GB },
+            InputModel::Uniform {
+                lo: 2.0 * GB,
+                hi: 6.0 * GB,
+            },
             MemoryModel::Linear {
                 slope: 1.2,
                 intercept: 14.0 * GB,
@@ -428,7 +472,10 @@ pub fn rnaseq() -> WorkflowSpec {
         named_task(
             "BaseRecalibrator",
             50,
-            InputModel::Uniform { lo: 0.2 * GB, hi: 1.0 * GB },
+            InputModel::Uniform {
+                lo: 0.2 * GB,
+                hi: 1.0 * GB,
+            },
             // Fig. 2 (right): 0.2 - 1.0 GB of input produce 0.5 - 3.5 GB
             // peaks along a clearly super-linear curve.
             MemoryModel::Power {
@@ -445,7 +492,10 @@ pub fn rnaseq() -> WorkflowSpec {
         named_task(
             "star_align",
             45,
-            InputModel::Uniform { lo: 1.0 * GB, hi: 8.0 * GB },
+            InputModel::Uniform {
+                lo: 1.0 * GB,
+                hi: 8.0 * GB,
+            },
             MemoryModel::Constant {
                 mean: 31.0 * GB,
                 noise_cv: 0.015,
@@ -457,7 +507,10 @@ pub fn rnaseq() -> WorkflowSpec {
         named_task(
             "salmon_quant",
             50,
-            InputModel::Uniform { lo: 0.5 * GB, hi: 5.0 * GB },
+            InputModel::Uniform {
+                lo: 0.5 * GB,
+                hi: 5.0 * GB,
+            },
             MemoryModel::Saturating {
                 ceiling: 12.0 * GB,
                 floor: 3.0 * GB,
@@ -489,7 +542,10 @@ pub fn mag() -> WorkflowSpec {
         named_task(
             "Prokka",
             1171,
-            InputModel::LogUniform { lo: 20.0 * MB, hi: 1.5 * GB },
+            InputModel::LogUniform {
+                lo: 20.0 * MB,
+                hi: 1.5 * GB,
+            },
             MemoryModel::Linear {
                 slope: 2.2,
                 intercept: 450.0 * MB,
@@ -502,7 +558,10 @@ pub fn mag() -> WorkflowSpec {
         named_task(
             "megahit_assembly",
             650,
-            InputModel::Uniform { lo: 2.0 * GB, hi: 14.0 * GB },
+            InputModel::Uniform {
+                lo: 2.0 * GB,
+                hi: 14.0 * GB,
+            },
             MemoryModel::Linear {
                 slope: 2.4,
                 intercept: 6.0 * GB,
@@ -515,7 +574,10 @@ pub fn mag() -> WorkflowSpec {
         named_task(
             "bowtie2_binning",
             700,
-            InputModel::Uniform { lo: 1.0 * GB, hi: 9.0 * GB },
+            InputModel::Uniform {
+                lo: 1.0 * GB,
+                hi: 9.0 * GB,
+            },
             MemoryModel::Linear {
                 slope: 0.6,
                 intercept: 2.8 * GB,
@@ -547,7 +609,10 @@ pub fn iwd() -> WorkflowSpec {
         named_task(
             "Preprocessing",
             340,
-            InputModel::Uniform { lo: 200.0 * MB, hi: 1.2 * GB },
+            InputModel::Uniform {
+                lo: 200.0 * MB,
+                hi: 1.2 * GB,
+            },
             // Fig. 1: roughly 2.0 - 4.5 GB peaks.
             MemoryModel::Linear {
                 slope: 2.0,
@@ -561,7 +626,10 @@ pub fn iwd() -> WorkflowSpec {
         named_task(
             "segmentation",
             330,
-            InputModel::Uniform { lo: 100.0 * MB, hi: 900.0 * MB },
+            InputModel::Uniform {
+                lo: 100.0 * MB,
+                hi: 900.0 * MB,
+            },
             MemoryModel::Power {
                 coefficient: 2.2 * GB,
                 scale: 900.0 * MB,
@@ -576,7 +644,10 @@ pub fn iwd() -> WorkflowSpec {
         named_task(
             "graph_analysis",
             320,
-            InputModel::LogUniform { lo: 10.0 * MB, hi: 500.0 * MB },
+            InputModel::LogUniform {
+                lo: 10.0 * MB,
+                hi: 500.0 * MB,
+            },
             MemoryModel::Linear {
                 slope: 3.0,
                 intercept: 150.0 * MB,
@@ -718,7 +789,10 @@ mod tests {
         let br = rnaseq.task_type("BaseRecalibrator").unwrap();
         let low = br.memory_model.expected(0.2 * GB) / GB;
         let high = br.memory_model.expected(1.0 * GB) / GB;
-        assert!(low < 1.0, "BaseRecalibrator small inputs stay below 1 GB, got {low}");
+        assert!(
+            low < 1.0,
+            "BaseRecalibrator small inputs stay below 1 GB, got {low}"
+        );
         assert!((3.0..4.0).contains(&high), "high = {high}");
         // Non-linearity: the mid-point must lie well below the linear
         // interpolation between the two endpoints.

@@ -89,7 +89,9 @@ mod tests {
     #[test]
     fn multiplicative_noise_is_positive_and_centred() {
         let mut rng = StdRng::seed_from_u64(4);
-        let samples: Vec<f64> = (0..20_000).map(|_| multiplicative_noise(&mut rng, 0.1)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| multiplicative_noise(&mut rng, 0.1))
+            .collect();
         assert!(samples.iter().all(|&s| s > 0.0));
         let mut sorted = samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -116,7 +118,10 @@ mod tests {
         assert!(samples.iter().all(|&s| (1e6..1e9).contains(&s)));
         // Roughly a third of the mass should fall in each decade.
         let below_1e7 = samples.iter().filter(|&&s| s < 1e7).count() as f64 / 5000.0;
-        assert!((below_1e7 - 1.0 / 3.0).abs() < 0.06, "fraction = {below_1e7}");
+        assert!(
+            (below_1e7 - 1.0 / 3.0).abs() < 0.06,
+            "fraction = {below_1e7}"
+        );
         assert_eq!(log_uniform(&mut rng, 0.0, 10.0), 0.0);
     }
 }

@@ -68,9 +68,7 @@ impl Distribution {
 }
 
 /// Peak-memory distribution per task type (Fig. 1).
-pub fn peak_memory_by_task_type(
-    instances: &[TaskInstance],
-) -> BTreeMap<TaskTypeId, Distribution> {
+pub fn peak_memory_by_task_type(instances: &[TaskInstance]) -> BTreeMap<TaskTypeId, Distribution> {
     let mut grouped: BTreeMap<TaskTypeId, Vec<f64>> = BTreeMap::new();
     for inst in instances {
         grouped

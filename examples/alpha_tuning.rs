@@ -22,7 +22,10 @@ fn main() {
         spec.name,
         instances.len()
     );
-    println!("{:>6} {:>14} {:>10} {:>12}", "alpha", "wastage GBh", "failures", "runtime h");
+    println!(
+        "{:>6} {:>14} {:>10} {:>12}",
+        "alpha", "wastage GBh", "failures", "runtime h"
+    );
 
     let mut best = (f64::NAN, f64::INFINITY);
     for step in 0..=10 {

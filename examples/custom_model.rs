@@ -118,15 +118,27 @@ fn main() {
     let mut rows: Vec<(String, f64, usize)> = Vec::new();
     let mut custom = MedianRatioSizer::default();
     let report = replay_workflow(&spec.name, &instances, &mut custom, &sim);
-    rows.push((report.method.clone(), report.total_wastage_gbh(), report.total_failures()));
+    rows.push((
+        report.method.clone(),
+        report.total_wastage_gbh(),
+        report.total_failures(),
+    ));
 
     let mut sizey = SizeyPredictor::with_defaults();
     let report = replay_workflow(&spec.name, &instances, &mut sizey, &sim);
-    rows.push((report.method.clone(), report.total_wastage_gbh(), report.total_failures()));
+    rows.push((
+        report.method.clone(),
+        report.total_wastage_gbh(),
+        report.total_failures(),
+    ));
 
     let mut presets = PresetPredictor;
     let report = replay_workflow(&spec.name, &instances, &mut presets, &sim);
-    rows.push((report.method.clone(), report.total_wastage_gbh(), report.total_failures()));
+    rows.push((
+        report.method.clone(),
+        report.total_wastage_gbh(),
+        report.total_failures(),
+    ));
 
     println!("{:<24} {:>14} {:>10}", "method", "wastage GBh", "failures");
     for (name, wastage, failures) in rows {

@@ -27,10 +27,11 @@ fn main() {
     let mut witt = WittWastage::new();
     let witt_report = replay_workflow(&spec.name, &instances, &mut witt, &sim);
 
-    let count_by_type: BTreeMap<String, usize> = instances.iter().fold(BTreeMap::new(), |mut m, i| {
-        *m.entry(i.task_type.to_string()).or_insert(0) += 1;
-        m
-    });
+    let count_by_type: BTreeMap<String, usize> =
+        instances.iter().fold(BTreeMap::new(), |mut m, i| {
+            *m.entry(i.task_type.to_string()).or_insert(0) += 1;
+            m
+        });
 
     println!(
         "{} at scale {scale}: Sizey {:.1} GBh / {} failures, Witt-Wastage {:.1} GBh / {} failures\n",

@@ -39,14 +39,24 @@ fn main() {
 
     for report in [&preset_report, &sizey_report] {
         println!("method: {}", report.method);
-        println!("  wastage over time : {:>10.2} GBh", report.total_wastage_gbh());
+        println!(
+            "  wastage over time : {:>10.2} GBh",
+            report.total_wastage_gbh()
+        );
         println!("  task failures     : {:>10}", report.total_failures());
-        println!("  total task runtime: {:>10.2} h", report.total_runtime_hours());
-        println!("  simulated makespan: {:>10.2} h", report.makespan_seconds / 3600.0);
+        println!(
+            "  total task runtime: {:>10.2} h",
+            report.total_runtime_hours()
+        );
+        println!(
+            "  simulated makespan: {:>10.2} h",
+            report.makespan_seconds / 3600.0
+        );
         println!();
     }
 
-    let reduction = (1.0 - sizey_report.total_wastage_gbh() / preset_report.total_wastage_gbh()) * 100.0;
+    let reduction =
+        (1.0 - sizey_report.total_wastage_gbh() / preset_report.total_wastage_gbh()) * 100.0;
     println!("Sizey reduces memory wastage by {reduction:.1}% compared to the workflow presets.");
 
     // Show where the remaining wastage sits.

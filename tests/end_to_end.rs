@@ -26,7 +26,10 @@ fn sizey_beats_presets_on_every_workflow() {
             learned.total_wastage_gbh(),
             preset.total_wastage_gbh()
         );
-        assert_eq!(learned.unfinished_instances, 0, "{name}: tasks left unfinished");
+        assert_eq!(
+            learned.unfinished_instances, 0,
+            "{name}: tasks left unfinished"
+        );
         assert_eq!(learned.instances, instances.len());
     }
 }
@@ -101,7 +104,12 @@ fn allocations_never_exceed_node_memory() {
 fn model_telemetry_is_populated_once_history_exists() {
     let (spec, instances) = workload("mag", 0.05, 23);
     let mut sizey = SizeyPredictor::with_defaults();
-    let report = replay_workflow(&spec.name, &instances, &mut sizey, &SimulationConfig::default());
+    let report = replay_workflow(
+        &spec.name,
+        &instances,
+        &mut sizey,
+        &SimulationConfig::default(),
+    );
     let with_model = report
         .events
         .iter()
@@ -121,7 +129,12 @@ fn model_telemetry_is_populated_once_history_exists() {
 fn provenance_trace_round_trips_through_the_store_and_file_format() {
     let (spec, instances) = workload("iwd", 0.03, 31);
     let mut sizey = SizeyPredictor::with_defaults();
-    let _ = replay_workflow(&spec.name, &instances, &mut sizey, &SimulationConfig::default());
+    let _ = replay_workflow(
+        &spec.name,
+        &instances,
+        &mut sizey,
+        &SimulationConfig::default(),
+    );
 
     let records: Vec<TaskRecord> = sizey
         .provenance()
@@ -150,20 +163,41 @@ fn provenance_trace_round_trips_through_the_store_and_file_format() {
 fn sizey_prediction_error_decreases_with_experience() {
     // Replay the mag workflow (the Fig. 12 setting) without offsets and check
     // that the mean relative error over the last third of Prokka executions
-    // is lower than over the first third.
-    let (spec, instances) = workload("mag", 0.12, 2);
-    let config = SizeyConfig {
-        offset: OffsetMode::None,
-        ..SizeyConfig::default()
-    };
-    let mut sizey = SizeyPredictor::new(config);
-    let report = replay_workflow(&spec.name, &instances, &mut sizey, &SimulationConfig::default());
-    let errors = report.prediction_error_over_time("Prokka");
-    assert!(errors.len() > 30, "need enough Prokka executions, got {}", errors.len());
-    let third = errors.len() / 3;
-    let early: f64 = errors[..third].iter().map(|(_, e)| e).sum::<f64>() / third as f64;
-    let late: f64 =
-        errors[errors.len() - third..].iter().map(|(_, e)| e).sum::<f64>() / third as f64;
+    // is no worse than over the first third. A single seed makes this a coin
+    // flip on workload noise, so the errors are pooled over several seeds.
+    let mut early_sum = 0.0;
+    let mut late_sum = 0.0;
+    let mut pooled = 0usize;
+    for seed in [2, 3, 5, 7, 11] {
+        let (spec, instances) = workload("mag", 0.12, seed);
+        let config = SizeyConfig {
+            offset: OffsetMode::None,
+            ..SizeyConfig::default()
+        };
+        let mut sizey = SizeyPredictor::new(config);
+        let report = replay_workflow(
+            &spec.name,
+            &instances,
+            &mut sizey,
+            &SimulationConfig::default(),
+        );
+        let errors = report.prediction_error_over_time("Prokka");
+        assert!(
+            errors.len() > 30,
+            "need enough Prokka executions, got {}",
+            errors.len()
+        );
+        let third = errors.len() / 3;
+        early_sum += errors[..third].iter().map(|(_, e)| e).sum::<f64>() / third as f64;
+        late_sum += errors[errors.len() - third..]
+            .iter()
+            .map(|(_, e)| e)
+            .sum::<f64>()
+            / third as f64;
+        pooled += 1;
+    }
+    let early = early_sum / pooled as f64;
+    let late = late_sum / pooled as f64;
     assert!(
         late < early * 1.05,
         "error should not grow with experience: early {early:.3}, late {late:.3}"

@@ -1,0 +1,382 @@
+//! Vendored minimal stand-in for `proptest`.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements the slice of the proptest API the workspace's property tests
+//! use: the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//! attribute, range / tuple / `prop::collection::vec` strategies, and the
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream, chosen deliberately for CI determinism:
+//!
+//! - **Seeding is pinned.** Each test function derives its RNG seed from a
+//!   stable hash of its own name (overridable with the `PROPTEST_SEED`
+//!   environment variable), so a given binary always replays the exact same
+//!   cases. There is no persistence file and no time-derived entropy.
+//! - **No shrinking.** On failure the generated inputs are printed verbatim;
+//!   with pinned seeds the failure is already reproducible by rerunning.
+//! - **Strategies are total.** A strategy is just a deterministic function
+//!   from RNG state to value.
+
+use rand::rngs::StdRng;
+pub use rand::Rng as _;
+
+/// Deterministic RNG threaded through strategy generation.
+pub type TestRng = StdRng;
+
+/// Strategy and combinator definitions.
+pub mod strategy {
+    use super::TestRng;
+    use rand::Rng;
+
+    /// A generator of values for property tests.
+    ///
+    /// Unlike upstream proptest there is no intermediate `ValueTree`
+    /// (shrinking is not implemented), so a strategy is simply a function
+    /// from RNG state to a `Value`.
+    pub trait Strategy {
+        /// Type of values produced.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(f64, usize, u64, u32, u16, u8, i64, i32, i16, i8, isize);
+
+    /// A fixed value is a strategy producing itself (proptest's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0);
+        (A: 0, B: 1);
+        (A: 0, B: 1, C: 2);
+        (A: 0, B: 1, C: 2, D: 3);
+        (A: 0, B: 1, C: 2, D: 3, E: 4);
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with element strategy `S` and length drawn from a
+    /// range. Returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length is uniform in `len` and whose elements
+    /// are drawn independently from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration and error types.
+pub mod test_runner {
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    /// Controls how many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case (carries the assertion message).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Builds a failure from a rendered assertion message.
+        pub fn fail(message: String) -> Self {
+            TestCaseError(message)
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Derives the deterministic seed for a property: a stable FNV-1a hash
+    /// of the test name, overridable via `PROPTEST_SEED` for exploration.
+    pub fn seed_for(test_name: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse::<u64>() {
+                return v;
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Builds the RNG for a property from its pinned seed.
+    pub fn rng_for(test_name: &str) -> TestRng {
+        TestRng::seed_from_u64(seed_for(test_name))
+    }
+}
+
+/// One-stop imports for property tests (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of upstream's `prelude::prop` module.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ..)` item
+/// becomes a standard `#[test]` that replays `config.cases` deterministic
+/// cases, printing the generated inputs when an assertion fails.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::rng_for(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let inputs = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                    $(&$arg),+
+                );
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{} (seed {}):\n{}\ninputs:\n{}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        $crate::test_runner::seed_for(stringify!($name)),
+                        e,
+                        inputs
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) so the runner can attach the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property; both sides are captured and rendered
+/// with `Debug` on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u64..100, f in -1.0f64..1.0) {
+            prop_assert!(x < 100);
+            prop_assert!((-1.0..1.0).contains(&f), "f out of range: {}", f);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0.0f64..1.0, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert_eq!(v.len(), v.iter().count());
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0usize..4, 10u64..20)) {
+            prop_assert!(pair.0 < 4 && pair.1 >= 10);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(
+            crate::test_runner::seed_for("some_test"),
+            crate::test_runner::seed_for("some_test")
+        );
+    }
+
+    mod case_counting {
+        use crate::prelude::*;
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        static CASES_RUN: AtomicU32 = AtomicU32::new(0);
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(17))]
+
+            // Deliberately not #[test]: driven by the assertion below so the
+            // observed case count is deterministic.
+            fn counting_property(x in 0u64..10) {
+                CASES_RUN.fetch_add(1, Ordering::Relaxed);
+                prop_assert!(x < 10);
+            }
+        }
+
+        #[test]
+        fn runner_executes_exactly_the_configured_cases() {
+            counting_property();
+            assert_eq!(CASES_RUN.load(Ordering::Relaxed), 17);
+        }
+    }
+
+    mod failure_reporting {
+        use crate::prelude::*;
+
+        proptest! {
+            fn failing_property(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+
+        #[test]
+        fn failing_cases_panic_with_inputs() {
+            let err = std::panic::catch_unwind(failing_property).expect_err("property must fail");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("failing_property"), "message: {msg}");
+            assert!(msg.contains("inputs:"), "message: {msg}");
+        }
+    }
+}

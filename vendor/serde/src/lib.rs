@@ -1,0 +1,24 @@
+//! Vendored no-op stand-in for the `serde` derive macros.
+//!
+//! The build environment has no network access to crates.io. The workspace
+//! derives `Serialize`/`Deserialize` on its data model types as forward
+//! compatibility markers, but never calls a serializer: persistent traces go
+//! through the hand-rolled TSV codec in `sizey-provenance::trace_io`. These
+//! derives therefore expand to nothing, which keeps the types' derive lists
+//! source-compatible with the real `serde` for when a registry is available
+//! (swap this vendored crate for `serde = { version = "1", features =
+//! ["derive"] }` and everything still compiles).
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: accepted and discarded.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: accepted and discarded.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -165,6 +165,7 @@ mod tests {
             allocated_memory_bytes: peak * 2.0,
             runtime_seconds: 60.0,
             concurrent_tasks: 0,
+            queue_delay_seconds: 0.0,
             outcome: TaskOutcome::Succeeded,
         }
     }
@@ -194,8 +195,10 @@ mod tests {
 
     #[test]
     fn rare_huge_outlier_may_be_left_uncovered() {
-        let mut cfg = TovarPpmConfig::default();
-        cfg.node_memory_bytes = 16e9;
+        let cfg = TovarPpmConfig {
+            node_memory_bytes: 16e9,
+            ..TovarPpmConfig::default()
+        };
         let mut p = TovarPpm::with_config(cfg);
         // 99 small peaks at ~1 GB and one at 15 GB: covering the outlier
         // would waste ~14 GB on every task, which costs more than one retry.

@@ -118,6 +118,7 @@ mod tests {
             allocated_memory_bytes: peak * 2.0,
             runtime_seconds: 60.0,
             concurrent_tasks: 0,
+            queue_delay_seconds: 0.0,
             outcome: TaskOutcome::Succeeded,
         }
     }

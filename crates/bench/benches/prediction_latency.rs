@@ -22,6 +22,7 @@ fn warmed(config: SizeyConfig, history: u64) -> SizeyPredictor {
             allocated_memory_bytes: 8e9,
             runtime_seconds: 60.0,
             concurrent_tasks: 1,
+            queue_delay_seconds: 0.0,
             outcome: TaskOutcome::Succeeded,
         });
     }

@@ -15,11 +15,18 @@
 
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use sizey_baselines::{PresetPredictor, TovarPpm, WittLr, WittPercentile, WittWastage};
 use sizey_core::{SizeyConfig, SizeyPredictor};
+use sizey_ml::parallel::{default_parallelism, parallel_map};
 use sizey_sim::{replay_workflow, MemoryPredictor, ReplayReport, SimulationConfig};
 use sizey_workflows::{
     all_workflows, generate_workflow, GeneratorConfig, TaskInstance, WorkflowSpec,
+};
+
+pub use sweep::{
+    aggregate_sweep, run_sweep, run_sweep_with_threads, SweepCell, SweepRow, SweepSpec,
 };
 
 /// The evaluation methods in the order used by the paper's figures.
@@ -145,30 +152,43 @@ pub fn generate_workloads(settings: &HarnessSettings) -> Vec<Workload> {
         .collect()
 }
 
-/// Replays one method over all workloads, returning one report per workflow.
+/// Replays one method over all workloads **in parallel** (every replay is
+/// independent: each workload gets a fresh predictor), returning one report
+/// per workflow in workload order.
 pub fn evaluate_method(
     method: Method,
     workloads: &[Workload],
     sim: &SimulationConfig,
 ) -> Vec<ReplayReport> {
-    workloads
-        .iter()
-        .map(|w| {
-            let mut predictor = method.build();
-            replay_workflow(&w.spec.name, &w.instances, predictor.as_mut(), sim)
-        })
-        .collect()
+    parallel_map(workloads, default_parallelism(), |w| {
+        let mut predictor = method.build();
+        replay_workflow(&w.spec.name, &w.instances, predictor.as_mut(), sim)
+    })
 }
 
 /// Replays every method over all workloads — the full Fig. 8 / Table II
-/// sweep. Returns `(method, per-workflow reports)` in figure order.
+/// sweep. The whole method × workload product is fanned out across the
+/// [`sizey_ml::parallel`] thread pool (the serial loop this replaces walked
+/// 36 replays one at a time). Returns `(method, per-workflow reports)` in
+/// figure order.
 pub fn evaluate_all_methods(
     workloads: &[Workload],
     sim: &SimulationConfig,
 ) -> Vec<(Method, Vec<ReplayReport>)> {
+    let cells: Vec<(Method, &Workload)> = Method::ALL
+        .iter()
+        .flat_map(|&m| workloads.iter().map(move |w| (m, w)))
+        .collect();
+    let mut reports = parallel_map(&cells, default_parallelism(), |(m, w)| {
+        let mut predictor = m.build();
+        replay_workflow(&w.spec.name, &w.instances, predictor.as_mut(), sim)
+    })
+    .into_iter();
+    // `cells` is method-major and `parallel_map` preserves input order, so
+    // the reports regroup into per-method chunks directly.
     Method::ALL
         .iter()
-        .map(|&m| (m, evaluate_method(m, workloads, sim)))
+        .map(|&m| (m, reports.by_ref().take(workloads.len()).collect()))
         .collect()
 }
 

@@ -1,0 +1,246 @@
+//! The parallel experiment sweep runner.
+//!
+//! The paper's evaluation is a cartesian product: workflows × sizing methods
+//! (× seeds × scheduling policies, now that the simulator has a real
+//! scheduler). Each cell of that product is an independent replay, so the
+//! sweep fans the cells out across the [`sizey_ml::parallel`] thread pool
+//! and collects one flat table — replacing the serial per-bin loops that
+//! used to walk the product one replay at a time.
+
+use crate::{HarnessSettings, Method};
+use sizey_ml::parallel::{default_parallelism, parallel_map};
+use sizey_sim::{replay_workflow, SchedulePolicy, SimulationConfig};
+use sizey_workflows::{generate_workflow, workflow_by_name, GeneratorConfig};
+
+/// One cartesian sweep over workflows × methods × seeds × policies.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Workflow names to replay (must exist in
+    /// [`sizey_workflows::WORKFLOW_NAMES`]).
+    pub workflows: Vec<String>,
+    /// Sizing methods to compare.
+    pub methods: Vec<Method>,
+    /// Workload-generation seeds; every seed yields an independent workload.
+    pub seeds: Vec<u64>,
+    /// Scheduling policies to compare.
+    pub policies: Vec<SchedulePolicy>,
+    /// Fraction of the paper's task volume to generate per workload.
+    pub scale: f64,
+    /// Base simulation configuration; the policy field is overridden per
+    /// cell.
+    pub sim: SimulationConfig,
+}
+
+impl SweepSpec {
+    /// The full evaluation sweep: all six workflows, every method, one seed,
+    /// every scheduling policy, at the harness scale.
+    pub fn full(settings: &HarnessSettings, sim: SimulationConfig) -> Self {
+        SweepSpec {
+            workflows: sizey_workflows::WORKFLOW_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            methods: Method::ALL.to_vec(),
+            seeds: vec![settings.seed],
+            policies: SchedulePolicy::ALL.to_vec(),
+            scale: settings.scale,
+            sim,
+        }
+    }
+
+    /// Number of cells in the cartesian product.
+    pub fn len(&self) -> usize {
+        self.workflows.len() * self.methods.len() * self.seeds.len() * self.policies.len()
+    }
+
+    /// True when the product is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Result of one sweep cell: one workflow replayed with one method under one
+/// policy and seed.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Workflow name.
+    pub workflow: String,
+    /// Sizing method.
+    pub method: Method,
+    /// Workload seed.
+    pub seed: u64,
+    /// Scheduling policy.
+    pub policy: SchedulePolicy,
+    /// Total memory wastage in GBh.
+    pub wastage_gbh: f64,
+    /// Number of failed attempts.
+    pub failures: usize,
+    /// Instances that never finished.
+    pub unfinished: usize,
+    /// Simulated makespan in hours.
+    pub makespan_hours: f64,
+    /// Mean queue delay per attempt in seconds.
+    pub mean_queue_delay_seconds: f64,
+    /// Total task runtime in hours.
+    pub runtime_hours: f64,
+}
+
+/// Runs the sweep, fanning the cells out across `threads` workers (use
+/// [`default_parallelism`] when unsure). Results come back in cartesian
+/// order: workflows-major, then methods, seeds, policies.
+pub fn run_sweep_with_threads(spec: &SweepSpec, threads: usize) -> Vec<SweepCell> {
+    let mut cells: Vec<(String, Method, u64, SchedulePolicy)> = Vec::with_capacity(spec.len());
+    for wf in &spec.workflows {
+        for &method in &spec.methods {
+            for &seed in &spec.seeds {
+                for &policy in &spec.policies {
+                    cells.push((wf.clone(), method, seed, policy));
+                }
+            }
+        }
+    }
+
+    parallel_map(&cells, threads, |(wf, method, seed, policy)| {
+        let wf_spec = workflow_by_name(wf).expect("sweep names a known workflow");
+        let instances = generate_workflow(
+            &wf_spec,
+            &GeneratorConfig {
+                scale: spec.scale,
+                seed: *seed,
+                ..GeneratorConfig::default()
+            },
+        );
+        let sim = spec.sim.clone().with_policy(*policy);
+        let mut predictor = method.build();
+        let report = replay_workflow(wf, &instances, predictor.as_mut(), &sim);
+        SweepCell {
+            workflow: wf.clone(),
+            method: *method,
+            seed: *seed,
+            policy: *policy,
+            wastage_gbh: report.total_wastage_gbh(),
+            failures: report.total_failures(),
+            unfinished: report.unfinished_instances,
+            makespan_hours: report.makespan_seconds / 3600.0,
+            mean_queue_delay_seconds: report.mean_queue_delay_seconds(),
+            runtime_hours: report.total_runtime_hours(),
+        }
+    })
+}
+
+/// Runs the sweep on the default thread pool.
+pub fn run_sweep(spec: &SweepSpec) -> Vec<SweepCell> {
+    run_sweep_with_threads(spec, default_parallelism())
+}
+
+/// One aggregated row of a sweep: a (method, policy) pair summed over
+/// workflows and averaged over seeds.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Sizing method.
+    pub method: Method,
+    /// Scheduling policy.
+    pub policy: SchedulePolicy,
+    /// Mean (over seeds) of the total wastage across workflows, GBh.
+    pub wastage_gbh: f64,
+    /// Mean total failures.
+    pub failures: f64,
+    /// Mean of the summed per-workflow makespans, hours.
+    pub makespan_hours: f64,
+    /// Mean queue delay per attempt, seconds (averaged over cells).
+    pub mean_queue_delay_seconds: f64,
+}
+
+/// Aggregates sweep cells into one row per (method, policy), in the order
+/// the methods and policies appear in the cells.
+pub fn aggregate_sweep(cells: &[SweepCell]) -> Vec<SweepRow> {
+    let mut order: Vec<(Method, SchedulePolicy)> = Vec::new();
+    for cell in cells {
+        if !order.contains(&(cell.method, cell.policy)) {
+            order.push((cell.method, cell.policy));
+        }
+    }
+    order
+        .into_iter()
+        .map(|(method, policy)| {
+            let group: Vec<&SweepCell> = cells
+                .iter()
+                .filter(|c| c.method == method && c.policy == policy)
+                .collect();
+            let seeds: Vec<u64> = {
+                let mut s: Vec<u64> = group.iter().map(|c| c.seed).collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            };
+            let n_seeds = seeds.len().max(1) as f64;
+            let n_cells = group.len().max(1) as f64;
+            SweepRow {
+                method,
+                policy,
+                wastage_gbh: group.iter().map(|c| c.wastage_gbh).sum::<f64>() / n_seeds,
+                failures: group.iter().map(|c| c.failures as f64).sum::<f64>() / n_seeds,
+                makespan_hours: group.iter().map(|c| c.makespan_hours).sum::<f64>() / n_seeds,
+                mean_queue_delay_seconds: group
+                    .iter()
+                    .map(|c| c.mean_queue_delay_seconds)
+                    .sum::<f64>()
+                    / n_cells,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            workflows: vec!["iwd".to_string()],
+            methods: vec![Method::WorkflowPresets],
+            seeds: vec![3, 4],
+            policies: vec![SchedulePolicy::FirstFit, SchedulePolicy::BestFit],
+            scale: 0.02,
+            sim: SimulationConfig::default(),
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_cell_per_product_entry() {
+        let spec = tiny_spec();
+        let cells = run_sweep(&spec);
+        assert_eq!(cells.len(), spec.len());
+        assert_eq!(cells.len(), 4);
+        assert!(cells.iter().all(|c| c.wastage_gbh >= 0.0));
+        assert!(cells.iter().all(|c| c.unfinished == 0));
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_thread_counts() {
+        let spec = tiny_spec();
+        let serial = run_sweep_with_threads(&spec, 1);
+        let parallel = run_sweep_with_threads(&spec, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.workflow, b.workflow);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.policy, b.policy);
+            assert_eq!(a.wastage_gbh, b.wastage_gbh);
+            assert_eq!(a.failures, b.failures);
+            assert_eq!(a.makespan_hours, b.makespan_hours);
+        }
+    }
+
+    #[test]
+    fn aggregate_groups_by_method_and_policy() {
+        let spec = tiny_spec();
+        let cells = run_sweep(&spec);
+        let rows = aggregate_sweep(&cells);
+        assert_eq!(rows.len(), 2, "one row per (method, policy)");
+        for row in &rows {
+            assert_eq!(row.method, Method::WorkflowPresets);
+            assert!(row.wastage_gbh > 0.0);
+        }
+    }
+}

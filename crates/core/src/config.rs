@@ -25,21 +25,16 @@ impl Default for GatingStrategy {
 
 /// How the safety offset added on top of the aggregated prediction is chosen
 /// (Section II-E).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OffsetMode {
     /// Dynamically pick, per task type, the offset strategy that would have
     /// caused the least wastage on the history (the paper's default).
+    #[default]
     Dynamic,
     /// Always use one fixed strategy.
     Fixed(OffsetStrategy),
     /// Do not add any offset (used for the raw-error analysis of Fig. 12).
     None,
-}
-
-impl Default for OffsetMode {
-    fn default() -> Self {
-        OffsetMode::Dynamic
-    }
 }
 
 /// How models are updated when new task measurements arrive (Section II-B /
@@ -94,6 +89,12 @@ pub struct SizeyConfig {
     pub hyperparameter_optimization: bool,
     /// Seed for the stochastic pool members (MLP, random forest).
     pub seed: u64,
+    /// Memory capacity of the largest cluster node, when known. Failure
+    /// handling saturates its max-then-double escalation at this ceiling
+    /// (via [`failure_allocation_clamped`](crate::failure_allocation_clamped))
+    /// instead of requesting unschedulable allocations; `None` leaves the
+    /// clamp to the replay engine.
+    pub node_capacity_bytes: Option<f64>,
 }
 
 impl Default for SizeyConfig {
@@ -108,6 +109,7 @@ impl Default for SizeyConfig {
             cold_start_observations: 10,
             hyperparameter_optimization: false,
             seed: 42,
+            node_capacity_bytes: None,
         }
     }
 }

@@ -48,7 +48,7 @@ pub mod raq;
 pub mod sizey;
 
 pub use config::{GatingStrategy, OffsetMode, OnlineMode, SizeyConfig};
-pub use failure::failure_allocation;
+pub use failure::{failure_allocation, failure_allocation_clamped};
 pub use gating::{gate, GatingDecision};
 pub use offset::{hypothetical_wastage, select_dynamic_offset, OffsetStrategy};
 pub use pool::ModelPool;

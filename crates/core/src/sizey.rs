@@ -13,7 +13,7 @@
 //!    full retrain).
 
 use crate::config::{OffsetMode, SizeyConfig};
-use crate::failure::failure_allocation;
+use crate::failure::{failure_allocation, failure_allocation_clamped};
 use crate::offset::{select_dynamic_offset, OffsetStrategy};
 use crate::pool::ModelPool;
 use sizey_provenance::{ProvenanceStore, TaskMachineKey, TaskOutcome, TaskRecord};
@@ -33,6 +33,12 @@ pub struct SizeyPredictor {
     training_times: Vec<Duration>,
     /// How often each offset strategy was selected (diagnostics).
     offset_selections: HashMap<OffsetStrategy, usize>,
+    /// Cumulative queue delay reported by observed records, and the number of
+    /// records carrying it — contention telemetry from the event-driven
+    /// scheduler (a tenant whose tasks keep waiting is being starved by
+    /// someone's over-allocation).
+    queue_delay_total_seconds: f64,
+    queue_delay_observations: usize,
 }
 
 impl std::fmt::Debug for SizeyPredictor {
@@ -55,6 +61,8 @@ impl SizeyPredictor {
             inflight_allocations: HashMap::new(),
             training_times: Vec::new(),
             offset_selections: HashMap::new(),
+            queue_delay_total_seconds: 0.0,
+            queue_delay_observations: 0,
         }
     }
 
@@ -87,6 +95,22 @@ impl SizeyPredictor {
     /// Number of (task type, machine) pools instantiated so far.
     pub fn n_pools(&self) -> usize {
         self.pools.len()
+    }
+
+    /// Cumulative queue delay (seconds) across all observed attempts — the
+    /// contention this predictor's tasks experienced in the cluster queue.
+    pub fn total_queue_delay_seconds(&self) -> f64 {
+        self.queue_delay_total_seconds
+    }
+
+    /// Mean queue delay per observed attempt in seconds (zero before any
+    /// observation).
+    pub fn mean_queue_delay_seconds(&self) -> f64 {
+        if self.queue_delay_observations == 0 {
+            0.0
+        } else {
+            self.queue_delay_total_seconds / self.queue_delay_observations as f64
+        }
     }
 
     fn key(task: &TaskSubmission) -> TaskMachineKey {
@@ -135,14 +159,18 @@ impl MemoryPredictor for SizeyPredictor {
         let key = Self::key(task);
 
         if attempt > 0 {
-            // Failure handling: maximum ever observed, then doubling.
+            // Failure handling: maximum ever observed, then doubling —
+            // saturating at the largest node when the capacity is known.
             let last = self
                 .inflight_allocations
                 .get(&task.sequence)
                 .copied()
                 .unwrap_or(task.preset_memory_bytes);
             let max_observed = self.pools.get(&key).and_then(ModelPool::max_observed);
-            let allocation = failure_allocation(max_observed, last, attempt);
+            let allocation = match self.config.node_capacity_bytes {
+                Some(capacity) => failure_allocation_clamped(max_observed, last, attempt, capacity),
+                None => failure_allocation(max_observed, last, attempt),
+            };
             self.inflight_allocations.insert(task.sequence, allocation);
             return Prediction {
                 allocation_bytes: allocation,
@@ -197,6 +225,8 @@ impl MemoryPredictor for SizeyPredictor {
 
     fn observe(&mut self, record: &TaskRecord) {
         self.store.insert(record.clone());
+        self.queue_delay_total_seconds += record.queue_delay_seconds.max(0.0);
+        self.queue_delay_observations += 1;
         let key = record.key();
         let pool = self
             .pools
@@ -249,6 +279,7 @@ mod tests {
             allocated_memory_bytes: peak * 1.5,
             runtime_seconds: 60.0,
             concurrent_tasks: 1,
+            queue_delay_seconds: 0.0,
             outcome: TaskOutcome::Succeeded,
         }
     }
@@ -259,6 +290,24 @@ mod tests {
             let input = i as f64 * 1e9;
             p.observe(&success(i, input, 2.0 * input + 1e9));
         }
+    }
+
+    #[test]
+    fn retry_escalation_saturates_at_the_configured_node_capacity() {
+        let cfg = SizeyConfig {
+            node_capacity_bytes: Some(32e9),
+            ..SizeyConfig::default()
+        };
+        let mut p = SizeyPredictor::new(cfg);
+        // No history: escalation starts from the 20 GB preset. Doubling
+        // would reach 40/80 GB on attempts 2/3; the clamp holds it at 32 GB.
+        let task = submission(0, 1e9);
+        assert_eq!(p.predict(&task, 1).allocation_bytes, 20e9);
+        assert_eq!(p.predict(&task, 2).allocation_bytes, 32e9);
+        assert_eq!(p.predict(&task, 3).allocation_bytes, 32e9);
+        // Without a configured capacity the escalation is unbounded.
+        let mut unclamped = SizeyPredictor::with_defaults();
+        assert_eq!(unclamped.predict(&task, 2).allocation_bytes, 40e9);
     }
 
     #[test]

@@ -169,7 +169,7 @@ impl RandomForestRegression {
             self.trees =
                 vec![RegressionTree::new(self.tree_config(self.n_features)); self.config.n_trees];
         }
-        for ((i, _), tree) in seeds.iter().zip(trained.into_iter()) {
+        for ((i, _), tree) in seeds.iter().zip(trained) {
             self.trees[*i] = tree;
         }
         self.fit_generation += 1;
@@ -277,7 +277,7 @@ mod tests {
         let mut f = RandomForestRegression::with_defaults();
         f.fit(&data).unwrap();
         let p = f.predict(&[1_000.0]).unwrap();
-        assert!(p >= 100.0 - 1e-9 && p <= 500.0 + 1e-9);
+        assert!((100.0 - 1e-9..=500.0 + 1e-9).contains(&p));
     }
 
     #[test]

@@ -214,7 +214,7 @@ pub fn grid_search(
     let mut best: Option<(usize, f64)> = None;
     for (i, score) in scores.iter().enumerate() {
         if let Ok(s) = score {
-            if best.map_or(true, |(_, b)| *s < b) {
+            if best.is_none_or(|(_, b)| *s < b) {
                 best = Some((i, *s));
             }
         }

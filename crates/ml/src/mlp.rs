@@ -246,11 +246,11 @@ impl MlpRegression {
                 let layer = &self.layers[li];
                 let input_act = &activations[li];
                 let grad = &mut grads[li];
-                for o in 0..layer.outputs {
-                    grad.d_b[o] += delta[o];
+                for (o, &d) in delta.iter().enumerate().take(layer.outputs) {
+                    grad.d_b[o] += d;
                     let row = &mut grad.d_w[o * layer.inputs..(o + 1) * layer.inputs];
                     for (g, x) in row.iter_mut().zip(input_act.iter()) {
-                        *g += delta[o] * x;
+                        *g += d * x;
                     }
                 }
                 if li == 0 {
@@ -258,10 +258,10 @@ impl MlpRegression {
                 }
                 // Propagate delta to the previous layer.
                 let mut new_delta = vec![0.0; layer.inputs];
-                for o in 0..layer.outputs {
+                for (o, &d) in delta.iter().enumerate().take(layer.outputs) {
                     let row = &layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
                     for (nd, w) in new_delta.iter_mut().zip(row.iter()) {
-                        *nd += w * delta[o];
+                        *nd += w * d;
                     }
                 }
                 // Multiply by the activation derivative of the previous

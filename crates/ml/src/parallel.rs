@@ -34,7 +34,7 @@ where
     }
     let threads = threads.max(1).min(n);
     if threads == 1 || n <= 2 {
-        return items.iter().map(|item| f(item)).collect();
+        return items.iter().map(&f).collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -45,11 +45,11 @@ where
         for _ in 0..threads {
             let next = &next;
             let f = &f;
-            let results_ptr = results_ptr;
             scope.spawn(move || loop {
                 // Bind the wrapper itself so edition-2021 disjoint capture
                 // moves the `Send` wrapper into the closure, not its raw
                 // pointer field.
+                #[allow(clippy::redundant_locals)]
                 let results_ptr = results_ptr;
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {

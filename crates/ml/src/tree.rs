@@ -357,7 +357,7 @@ mod tests {
         let mut t = RegressionTree::with_defaults();
         t.fit(&data).unwrap();
         let p = t.predict(&[1000.0]).unwrap();
-        assert!(p <= 99.0 * 99.0 && p >= 0.0);
+        assert!((0.0..=99.0 * 99.0).contains(&p));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //!     allocated_memory_bytes: 4.0e9,
 //!     runtime_seconds: 300.0,
 //!     concurrent_tasks: 2,
+//!     queue_delay_seconds: 0.0,
 //!     outcome: TaskOutcome::Succeeded,
 //! });
 //! let history = store.history(&TaskMachineKey::new("FastQC", "node-1"));

@@ -128,6 +128,12 @@ pub struct TaskRecord {
     /// Number of tasks concurrently running when this one was submitted
     /// (available to models as an additional feature).
     pub concurrent_tasks: u32,
+    /// Time the attempt spent waiting in the cluster's pending queue before
+    /// resources were granted, in seconds. Zero when the task started
+    /// immediately (or when the record predates the event-driven scheduler).
+    /// Predictors can use this as a contention signal: over-allocation by one
+    /// tenant shows up as queue delay for everyone.
+    pub queue_delay_seconds: f64,
     /// Outcome of the attempt.
     pub outcome: TaskOutcome,
 }
@@ -208,6 +214,7 @@ mod tests {
             allocated_memory_bytes: 4e9,
             runtime_seconds: 1800.0,
             concurrent_tasks: 4,
+            queue_delay_seconds: 0.0,
             outcome,
         }
     }

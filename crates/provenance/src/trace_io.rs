@@ -12,7 +12,12 @@ use std::io;
 use std::path::Path;
 
 /// Column header written to and expected from trace files.
-const HEADER: &str = "workflow\ttask_type\tmachine\tsequence\tinput_bytes\tpeak_memory_bytes\tallocated_memory_bytes\truntime_seconds\tconcurrent_tasks\toutcome";
+const HEADER: &str = "workflow\ttask_type\tmachine\tsequence\tinput_bytes\tpeak_memory_bytes\tallocated_memory_bytes\truntime_seconds\tconcurrent_tasks\tqueue_delay_seconds\toutcome";
+
+/// Header of the pre-scheduler trace format (no queue-delay column). Traces
+/// written before the event-driven scheduler existed are still readable;
+/// their records get a queue delay of zero.
+const LEGACY_HEADER: &str = "workflow\ttask_type\tmachine\tsequence\tinput_bytes\tpeak_memory_bytes\tallocated_memory_bytes\truntime_seconds\tconcurrent_tasks\toutcome";
 
 /// Errors produced while reading a trace.
 #[derive(Debug)]
@@ -61,7 +66,7 @@ pub fn to_trace_string(records: &[TaskRecord]) -> String {
         // Writing to a String cannot fail.
         let _ = writeln!(
             out,
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             r.workflow,
             r.task_type.as_str(),
             r.machine.as_str(),
@@ -71,6 +76,7 @@ pub fn to_trace_string(records: &[TaskRecord]) -> String {
             r.allocated_memory_bytes,
             r.runtime_seconds,
             r.concurrent_tasks,
+            r.queue_delay_seconds,
             outcome
         );
     }
@@ -80,8 +86,9 @@ pub fn to_trace_string(records: &[TaskRecord]) -> String {
 /// Parses records from the tab-separated trace format.
 pub fn from_trace_string(content: &str) -> Result<Vec<TaskRecord>, TraceError> {
     let mut lines = content.lines().enumerate();
-    match lines.next() {
-        Some((_, first)) if first.trim() == HEADER => {}
+    let legacy = match lines.next() {
+        Some((_, first)) if first.trim() == HEADER => false,
+        Some((_, first)) if first.trim() == LEGACY_HEADER => true,
         Some((_, first)) => {
             return Err(TraceError::Parse {
                 line: 1,
@@ -89,8 +96,9 @@ pub fn from_trace_string(content: &str) -> Result<Vec<TaskRecord>, TraceError> {
             })
         }
         None => return Ok(Vec::new()),
-    }
+    };
 
+    let columns = if legacy { 10 } else { 11 };
     let mut records = Vec::new();
     for (idx, line) in lines {
         let line_no = idx + 1;
@@ -98,10 +106,10 @@ pub fn from_trace_string(content: &str) -> Result<Vec<TaskRecord>, TraceError> {
             continue;
         }
         let fields: Vec<&str> = line.split('\t').collect();
-        if fields.len() != 10 {
+        if fields.len() != columns {
             return Err(TraceError::Parse {
                 line: line_no,
-                message: format!("expected 10 columns, found {}", fields.len()),
+                message: format!("expected {columns} columns, found {}", fields.len()),
             });
         }
         let parse_f64 = |s: &str, name: &str| -> Result<f64, TraceError> {
@@ -110,7 +118,7 @@ pub fn from_trace_string(content: &str) -> Result<Vec<TaskRecord>, TraceError> {
                 message: format!("invalid {name} {s:?}: {e}"),
             })
         };
-        let outcome = match fields[9] {
+        let outcome = match fields[columns - 1] {
             "ok" => TaskOutcome::Succeeded,
             "oom" => TaskOutcome::FailedOutOfMemory,
             other => {
@@ -136,6 +144,11 @@ pub fn from_trace_string(content: &str) -> Result<Vec<TaskRecord>, TraceError> {
                 line: line_no,
                 message: format!("invalid concurrent_tasks {:?}: {e}", fields[8]),
             })?,
+            queue_delay_seconds: if legacy {
+                0.0
+            } else {
+                parse_f64(fields[9], "queue_delay_seconds")?
+            },
             outcome,
         });
     }
@@ -170,6 +183,7 @@ mod tests {
                 allocated_memory_bytes: 4e9,
                 runtime_seconds: 120.5 + i as f64,
                 concurrent_tasks: i as u32,
+                queue_delay_seconds: i as f64 * 1.5,
                 outcome: if i % 3 == 0 {
                     TaskOutcome::FailedOutOfMemory
                 } else {
@@ -234,6 +248,17 @@ mod tests {
         records.truncate(1);
         let text = to_trace_string(&records).replace("4000000000", "not-a-number");
         assert!(from_trace_string(&text).is_err());
+    }
+
+    #[test]
+    fn legacy_traces_without_queue_delay_still_parse() {
+        let text =
+            format!("{LEGACY_HEADER}\nmag\tassembly\tnode-1\t7\t1e9\t2e9\t4e9\t120.5\t3\tok\n");
+        let records = from_trace_string(&text).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].sequence, 7);
+        assert_eq!(records[0].queue_delay_seconds, 0.0);
+        assert_eq!(records[0].outcome, TaskOutcome::Succeeded);
     }
 
     #[test]

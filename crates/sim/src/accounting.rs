@@ -34,9 +34,12 @@ pub struct AttemptEvent {
     pub raw_estimate_bytes: Option<f64>,
     /// The model (class) selected for this prediction, when reported.
     pub selected_model: Option<String>,
-    /// Simulated submission time of the attempt, in seconds since replay
-    /// start.
+    /// Simulated start time of the attempt (when resources were granted), in
+    /// seconds since replay start.
     pub submit_time_seconds: f64,
+    /// Time the attempt spent waiting in the pending queue before resources
+    /// were granted, in seconds.
+    pub queue_delay_seconds: f64,
 }
 
 impl AttemptEvent {
@@ -86,6 +89,21 @@ impl ReplayReport {
     /// Total number of failed attempts.
     pub fn total_failures(&self) -> usize {
         self.events.iter().filter(|e| !e.success).count()
+    }
+
+    /// Total time attempts spent waiting for cluster resources, in seconds —
+    /// the contention cost the occupancy sketch could not see.
+    pub fn total_queue_delay_seconds(&self) -> f64 {
+        self.events.iter().map(|e| e.queue_delay_seconds).sum()
+    }
+
+    /// Mean queue delay per attempt in seconds (zero for an empty replay).
+    pub fn mean_queue_delay_seconds(&self) -> f64 {
+        if self.events.is_empty() {
+            0.0
+        } else {
+            self.total_queue_delay_seconds() / self.events.len() as f64
+        }
     }
 
     /// Number of failed attempts per task type (Fig. 8c).
@@ -158,6 +176,8 @@ pub struct MethodAggregate {
     pub total_runtime_hours: f64,
     /// Total number of failed attempts over all workflows.
     pub total_failures: usize,
+    /// Total queue delay over all workflows in seconds.
+    pub total_queue_delay_seconds: f64,
     /// Wastage per workflow in GBh (Table II row).
     pub wastage_per_workflow: BTreeMap<String, f64>,
 }
@@ -179,6 +199,10 @@ pub fn aggregate_method(reports: &[ReplayReport]) -> MethodAggregate {
         total_wastage_gbh: reports.iter().map(ReplayReport::total_wastage_gbh).sum(),
         total_runtime_hours: reports.iter().map(ReplayReport::total_runtime_hours).sum(),
         total_failures: reports.iter().map(ReplayReport::total_failures).sum(),
+        total_queue_delay_seconds: reports
+            .iter()
+            .map(ReplayReport::total_queue_delay_seconds)
+            .sum(),
         wastage_per_workflow,
     }
 }
@@ -200,6 +224,7 @@ mod tests {
             raw_estimate_bytes: Some(3e9),
             selected_model: Some(if attempt == 0 { "mlp" } else { "linear" }.to_string()),
             submit_time_seconds: 0.0,
+            queue_delay_seconds: 30.0,
         }
     }
 
@@ -226,6 +251,8 @@ mod tests {
         assert!((r.total_runtime_hours() - 3.0).abs() < 1e-12);
         assert_eq!(r.total_failures(), 1);
         assert_eq!(r.finished_instances(), 2);
+        assert!((r.total_queue_delay_seconds() - 90.0).abs() < 1e-12);
+        assert!((r.mean_queue_delay_seconds() - 30.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,10 +1,23 @@
 //! Simulation parameters.
 
+use crate::scheduler::SchedulePolicy;
 use sizey_workflows::profiles::{NODE_COUNT, NODE_MEMORY_BYTES};
 
-/// Parameters of an online replay, mirroring the knobs the paper's simulated
-/// environment exposes (Section III-A).
+/// One homogeneous group of nodes inside a (possibly heterogeneous) cluster.
 #[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodePoolSpec {
+    /// Number of identical nodes in this pool.
+    pub count: usize,
+    /// Memory capacity of each node in bytes.
+    pub memory_bytes: f64,
+    /// Task slots (hardware threads) per node.
+    pub slots: usize,
+}
+
+/// Parameters of an online replay, mirroring the knobs the paper's simulated
+/// environment exposes (Section III-A), extended with the event-driven
+/// scheduler's policy and cluster-shape knobs.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulationConfig {
     /// Fraction of a task's runtime after which an under-provisioned task
     /// fails. `1.0` means the failure is only detected at the very end of the
@@ -15,14 +28,32 @@ pub struct SimulationConfig {
     /// gives up (safety net; with doubling every method reaches the node
     /// limit well before this).
     pub max_attempts: u32,
-    /// Memory capacity of a single node in bytes; allocations are clamped to
-    /// this value (assumption A3: strict limits, a task cannot be given more
-    /// than a node has).
+    /// Memory capacity of a node in the default pool, in bytes. Allocations
+    /// are clamped to the largest node of the cluster (assumption A3: strict
+    /// limits, a task cannot be given more than a node has).
     pub node_memory_bytes: f64,
-    /// Number of nodes in the cluster (used by the concurrency model).
+    /// Number of nodes in the default pool.
     pub node_count: usize,
-    /// Number of hardware threads per node available for concurrent tasks.
+    /// Number of hardware threads per node in the default pool.
     pub slots_per_node: usize,
+    /// Additional heterogeneous node pools beyond the default one (e.g. a
+    /// couple of big-memory nodes next to the standard fleet). Empty for the
+    /// paper's homogeneous 8 × 128 GB cluster.
+    pub extra_node_pools: Vec<NodePoolSpec>,
+    /// Scheduling policy used by the event-driven scheduler.
+    pub policy: SchedulePolicy,
+    /// How many queued tasks behind the head of the pending queue the
+    /// [`SchedulePolicy::Backfill`] policy may inspect when the head does not
+    /// fit. Bounds the dispatch cost per completion event. Only the
+    /// event-driven engine (`schedule_workflows`) maintains a materialised
+    /// pending queue; the synchronous replay engine approximates backfill
+    /// without a window (see [`SchedulePolicy::Backfill`]).
+    pub backfill_window: usize,
+    /// Simulated inter-arrival time between consecutive task submissions of
+    /// one workflow, in seconds. The paper's replay submits everything
+    /// upfront (0.0); multi-tenant experiments can use a positive value to
+    /// spread arrivals.
+    pub submit_interval_seconds: f64,
 }
 
 impl Default for SimulationConfig {
@@ -33,6 +64,10 @@ impl Default for SimulationConfig {
             node_memory_bytes: NODE_MEMORY_BYTES,
             node_count: NODE_COUNT,
             slots_per_node: 32,
+            extra_node_pools: Vec::new(),
+            policy: SchedulePolicy::FirstFit,
+            backfill_window: 64,
+            submit_interval_seconds: 0.0,
         }
     }
 }
@@ -44,14 +79,83 @@ impl SimulationConfig {
         self
     }
 
+    /// Returns a copy with a different scheduling policy.
+    pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns a copy with a different default node pool (count × memory ×
+    /// slots) — the quickest way to model a constrained cluster.
+    pub fn with_nodes(mut self, count: usize, memory_bytes: f64, slots: usize) -> Self {
+        self.node_count = count;
+        self.node_memory_bytes = memory_bytes;
+        self.slots_per_node = slots;
+        self
+    }
+
+    /// Returns a copy with an additional heterogeneous node pool.
+    pub fn with_extra_pool(mut self, pool: NodePoolSpec) -> Self {
+        self.extra_node_pools.push(pool);
+        self
+    }
+
+    /// A configuration with effectively unlimited capacity: one node with
+    /// infinite memory and an unbounded slot count, so no task ever waits.
+    /// This is the reference mode under which the event-driven scheduler and
+    /// the legacy occupancy model must produce identical wastage.
+    pub fn unbounded() -> Self {
+        SimulationConfig {
+            node_count: 1,
+            node_memory_bytes: f64::INFINITY,
+            slots_per_node: usize::MAX,
+            ..SimulationConfig::default()
+        }
+    }
+
+    /// All node pools of the cluster: the default pool followed by the extra
+    /// heterogeneous pools (empty pools are skipped).
+    pub fn node_pools(&self) -> Vec<NodePoolSpec> {
+        let mut pools = Vec::with_capacity(1 + self.extra_node_pools.len());
+        if self.node_count > 0 {
+            pools.push(NodePoolSpec {
+                count: self.node_count,
+                memory_bytes: self.node_memory_bytes,
+                slots: self.slots_per_node,
+            });
+        }
+        pools.extend(
+            self.extra_node_pools
+                .iter()
+                .copied()
+                .filter(|p| p.count > 0),
+        );
+        pools
+    }
+
+    /// Memory capacity of the largest node in the cluster — the hard upper
+    /// bound for any single allocation.
+    pub fn largest_node_memory_bytes(&self) -> f64 {
+        self.node_pools()
+            .iter()
+            .map(|p| p.memory_bytes)
+            .fold(0.0, f64::max)
+    }
+
     /// Total memory capacity of the cluster in bytes.
     pub fn cluster_memory_bytes(&self) -> f64 {
-        self.node_memory_bytes * self.node_count as f64
+        self.node_pools()
+            .iter()
+            .map(|p| p.memory_bytes * p.count as f64)
+            .sum()
     }
 
     /// Total task slots in the cluster.
     pub fn cluster_slots(&self) -> usize {
-        self.node_count * self.slots_per_node
+        self.node_pools()
+            .iter()
+            .map(|p| p.count.saturating_mul(p.slots))
+            .fold(0usize, usize::saturating_add)
     }
 }
 
@@ -68,6 +172,8 @@ mod tests {
         assert_eq!(c.time_to_failure, 1.0);
         assert_eq!(c.cluster_memory_bytes(), 1024e9);
         assert_eq!(c.cluster_slots(), 256);
+        assert_eq!(c.policy, SchedulePolicy::FirstFit);
+        assert!(c.extra_node_pools.is_empty());
     }
 
     #[test]
@@ -75,5 +181,47 @@ mod tests {
         let c = SimulationConfig::default().with_time_to_failure(0.5);
         assert_eq!(c.time_to_failure, 0.5);
         assert_eq!(c.node_count, 8);
+    }
+
+    #[test]
+    fn extra_pools_extend_capacity_and_largest_node() {
+        let c = SimulationConfig::default().with_extra_pool(NodePoolSpec {
+            count: 2,
+            memory_bytes: 512e9,
+            slots: 64,
+        });
+        assert_eq!(c.node_pools().len(), 2);
+        assert_eq!(c.largest_node_memory_bytes(), 512e9);
+        assert_eq!(c.cluster_memory_bytes(), 1024e9 + 1024e9);
+        assert_eq!(c.cluster_slots(), 256 + 128);
+    }
+
+    #[test]
+    fn homogeneous_largest_node_is_the_default_pool() {
+        let c = SimulationConfig::default();
+        assert_eq!(c.largest_node_memory_bytes(), c.node_memory_bytes);
+    }
+
+    #[test]
+    fn unbounded_config_never_limits_allocations() {
+        let c = SimulationConfig::unbounded();
+        assert_eq!(c.node_pools().len(), 1);
+        assert!(c.largest_node_memory_bytes().is_infinite());
+        assert!(c.cluster_slots() >= usize::MAX / 2);
+    }
+
+    #[test]
+    fn empty_pools_are_skipped() {
+        let c = SimulationConfig {
+            node_count: 0,
+            extra_node_pools: vec![NodePoolSpec {
+                count: 0,
+                memory_bytes: 1e9,
+                slots: 1,
+            }],
+            ..SimulationConfig::default()
+        };
+        assert!(c.node_pools().is_empty());
+        assert_eq!(c.largest_node_memory_bytes(), 0.0);
     }
 }

@@ -5,17 +5,25 @@
 //! The paper evaluates memory sizing methods by replaying measured workflow
 //! traces through a simulated online environment with strict memory limits
 //! and a configurable time-to-failure (Section III-A). This crate is that
-//! environment:
+//! environment, grown into a real discrete-event cluster simulator:
 //!
 //! * [`predictor::MemoryPredictor`] — the interface every sizing method
 //!   (Sizey and all baselines) implements,
-//! * [`config::SimulationConfig`] — time-to-failure, attempt budget and the
-//!   8-node / 128 GB cluster dimensions,
-//! * [`cluster`] — the node capacity / occupancy model,
-//! * [`replay`] — the replay engine that sizes, executes, fails, retries and
-//!   feeds provenance records back for online learning,
-//! * [`accounting`] — wastage (GBh), failure, runtime, model-selection and
-//!   prediction-error aggregation used by every figure of the evaluation.
+//! * [`config::SimulationConfig`] — time-to-failure, attempt budget, the
+//!   8-node / 128 GB cluster dimensions, heterogeneous extra node pools and
+//!   the scheduling policy,
+//! * [`cluster`] — per-node occupancy with policy-driven node selection,
+//! * [`queue`] — the virtual-time event heap and the pending-task queue,
+//! * [`scheduler`] — the event-driven scheduler: tasks wait when no node
+//!   fits (over-allocation costs makespan), [`SchedulePolicy`] picks how the
+//!   queue drains, and [`schedule_workflows`] replays several workflows
+//!   *concurrently* against one shared cluster,
+//! * [`replay`] — the paper's single-workflow replay engine (now backed by
+//!   the scheduler, with the legacy occupancy sketch kept as
+//!   [`replay_workflow_occupancy`] for reference),
+//! * [`accounting`] — wastage (GBh), failure, runtime, queue-delay,
+//!   model-selection and prediction-error aggregation used by every figure
+//!   of the evaluation.
 //!
 //! ## Example
 //!
@@ -36,10 +44,16 @@ pub mod accounting;
 pub mod cluster;
 pub mod config;
 pub mod predictor;
+pub mod queue;
 pub mod replay;
+pub mod scheduler;
 
 pub use accounting::{aggregate_method, AttemptEvent, MethodAggregate, ReplayReport};
-pub use cluster::{Cluster, Node, Placement};
-pub use config::SimulationConfig;
+pub use cluster::{Cluster, Node, Placement, FIT_TOLERANCE};
+pub use config::{NodePoolSpec, SimulationConfig};
 pub use predictor::{MemoryPredictor, Prediction, PresetPredictor, TaskSubmission};
-pub use replay::{replay_with, replay_workflow, MIN_ALLOCATION_BYTES};
+pub use replay::{replay_with, replay_workflow, replay_workflow_occupancy, MIN_ALLOCATION_BYTES};
+pub use scheduler::{
+    schedule_workflows, MultiReplayReport, SchedulePolicy, ScheduledAttempt, Scheduler,
+    SchedulerStats, WorkflowTenant,
+};

@@ -1,0 +1,234 @@
+//! Discrete-event primitives: the virtual-time event heap and the pending
+//! (waiting) task queue.
+//!
+//! Both structures are deliberately deterministic: the event heap breaks
+//! simultaneous-event ties by insertion order, and the pending queue is a
+//! plain FIFO that policies inspect (head-only for first/best fit, a bounded
+//! window for backfill). Determinism matters — the property suite replays
+//! identical workloads and expects identical schedules.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// An entry in the virtual-time event heap: a payload that becomes due at
+/// `time`. Ties are broken by `seq`, the monotonically increasing insertion
+/// index assigned by [`EventHeap::push`].
+#[derive(Debug, Clone)]
+struct HeapEntry<T> {
+    time: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for HeapEntry<T> {}
+
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so the BinaryHeap pops the earliest (time, seq) first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("finite event times")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A min-heap of timed events over virtual simulation time.
+#[derive(Debug, Clone)]
+pub struct EventHeap<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventHeap<T> {
+    fn default() -> Self {
+        EventHeap {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<T> EventHeap<T> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `payload` at virtual time `time`.
+    pub fn push(&mut self, time: f64, payload: T) {
+        debug_assert!(time.is_finite(), "event times must be finite");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Virtual time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// A task waiting for cluster resources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingTask<T> {
+    /// Virtual time at which the task was submitted (entered the queue).
+    pub submit_time: f64,
+    /// Memory the task requests, in bytes (already clamped to the largest
+    /// node by the caller).
+    pub allocation_bytes: f64,
+    /// Opaque scheduler payload (tenant, instance, attempt, prediction …).
+    pub payload: T,
+}
+
+/// FIFO queue of tasks waiting for resources.
+///
+/// The queue itself has no policy; the scheduler decides whether only the
+/// head may dispatch (strict FIFO — first fit / best fit) or whether a
+/// bounded window behind a blocked head may be scanned (backfill).
+#[derive(Debug, Clone, Default)]
+pub struct PendingQueue<T> {
+    tasks: VecDeque<PendingTask<T>>,
+    /// High-water mark of the queue depth.
+    peak_len: usize,
+}
+
+impl<T> PendingQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        PendingQueue {
+            tasks: VecDeque::new(),
+            peak_len: 0,
+        }
+    }
+
+    /// Appends a task at the tail.
+    pub fn push_back(&mut self, task: PendingTask<T>) {
+        self.tasks.push_back(task);
+        self.peak_len = self.peak_len.max(self.tasks.len());
+    }
+
+    /// Inserts a task at the head — used for retries, which re-enter the
+    /// queue with their original priority instead of waiting behind
+    /// everything submitted while they ran.
+    pub fn push_front(&mut self, task: PendingTask<T>) {
+        self.tasks.push_front(task);
+        self.peak_len = self.peak_len.max(self.tasks.len());
+    }
+
+    /// The task at the head of the queue, if any.
+    pub fn front(&self) -> Option<&PendingTask<T>> {
+        self.tasks.front()
+    }
+
+    /// Removes and returns the task at `index` (0 = head).
+    pub fn remove(&mut self, index: usize) -> Option<PendingTask<T>> {
+        self.tasks.remove(index)
+    }
+
+    /// Iterates the queued tasks from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &PendingTask<T>> {
+        self.tasks.iter()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// High-water mark of the queue depth over the simulation.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut h = EventHeap::new();
+        h.push(3.0, "c");
+        h.push(1.0, "a");
+        h.push(2.0, "b");
+        assert_eq!(h.peek_time(), Some(1.0));
+        assert_eq!(h.pop(), Some((1.0, "a")));
+        assert_eq!(h.pop(), Some((2.0, "b")));
+        assert_eq!(h.pop(), Some((3.0, "c")));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_insertion_order() {
+        let mut h = EventHeap::new();
+        for i in 0..20 {
+            h.push(5.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| h.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn heap_len_and_empty() {
+        let mut h: EventHeap<u8> = EventHeap::new();
+        assert!(h.is_empty());
+        h.push(0.0, 1);
+        assert_eq!(h.len(), 1);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn pending_queue_is_fifo_with_peak_tracking() {
+        let mut q = PendingQueue::new();
+        for i in 0..3 {
+            q.push_back(PendingTask {
+                submit_time: i as f64,
+                allocation_bytes: 1e9,
+                payload: i,
+            });
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peak_len(), 3);
+        assert_eq!(q.front().unwrap().payload, 0);
+        // Remove from the middle (backfill) keeps order of the rest.
+        let mid = q.remove(1).unwrap();
+        assert_eq!(mid.payload, 1);
+        assert_eq!(q.remove(0).unwrap().payload, 0);
+        assert_eq!(q.remove(0).unwrap().payload, 2);
+        assert!(q.is_empty());
+        assert_eq!(q.peak_len(), 3);
+    }
+}

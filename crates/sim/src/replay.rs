@@ -8,14 +8,25 @@
 //! the predictor's own failure-handling policy, and every finished attempt is
 //! fed back to the predictor as a provenance record for online learning.
 //!
-//! A light event-driven occupancy model (the [`Cluster`]) tracks how many
-//! tasks run concurrently and produces a simulated makespan; placement has no
-//! influence on wastage, which only depends on allocation × duration.
+//! Timing is delegated to the event-driven [`Scheduler`]: each attempt is
+//! submitted to a FIFO queue over a cluster of finite nodes, waits when no
+//! node fits, and occupies its node for the attempt duration. Over-allocation
+//! therefore costs *makespan* (and queue delay, which the provenance records
+//! carry back to the predictors), not just GB·h. The allocation *decisions* —
+//! and with them wastage and failure counts, the paper's Fig. 8 aggregates —
+//! are unaffected by timing: the predict→observe ordering is the strict
+//! per-instance sequence the paper uses, regardless of cluster capacity.
+//!
+//! The pre-scheduler capacity sketch survives as
+//! [`replay_workflow_occupancy`]: a lazy-release first-fit occupancy model
+//! with no queueing. The property suite asserts that it and the scheduler
+//! produce identical wastage under unbounded capacity.
 
 use crate::accounting::{AttemptEvent, ReplayReport};
 use crate::cluster::Cluster;
 use crate::config::SimulationConfig;
 use crate::predictor::{MemoryPredictor, TaskSubmission};
+use crate::scheduler::Scheduler;
 use sizey_provenance::{TaskOutcome, TaskRecord};
 use sizey_workflows::TaskInstance;
 use std::collections::BinaryHeap;
@@ -24,7 +35,150 @@ use std::collections::BinaryHeap;
 /// predictions cannot request zero memory.
 pub const MIN_ALLOCATION_BYTES: f64 = 64e6;
 
-/// A running task in the occupancy model, ordered by finish time (min-heap).
+/// Replays one workflow against one sizing method.
+///
+/// All first attempts are submitted at virtual time zero in instance order
+/// (the paper replays a finished trace, not a timed arrival process); a
+/// retry is submitted when its failed predecessor finishes. The scheduler
+/// dispatches FIFO in that submission order under the configured policy.
+pub fn replay_workflow(
+    workflow: &str,
+    instances: &[TaskInstance],
+    predictor: &mut dyn MemoryPredictor,
+    config: &SimulationConfig,
+) -> ReplayReport {
+    let mut scheduler = Scheduler::new(config);
+    let largest_node = config.largest_node_memory_bytes();
+    let mut makespan = 0.0_f64;
+    let mut events = Vec::with_capacity(instances.len());
+    let mut unfinished = 0usize;
+
+    for inst in instances {
+        let submission = TaskSubmission {
+            workflow: inst.workflow.clone(),
+            task_type: inst.task_type.clone(),
+            machine: inst.machine.clone(),
+            sequence: inst.sequence,
+            input_bytes: inst.input_bytes,
+            preset_memory_bytes: inst.preset_memory_bytes,
+        };
+
+        let mut attempt = 0u32;
+        let mut finished = false;
+        // First attempts arrive at time zero; retries arrive when the failed
+        // attempt finishes.
+        let mut submit_time = 0.0_f64;
+        while attempt < config.max_attempts {
+            let prediction = predictor.predict(&submission, attempt);
+            let allocation = prediction
+                .allocation_bytes
+                .clamp(MIN_ALLOCATION_BYTES, largest_node);
+
+            let success = allocation + 1e-6 >= inst.true_peak_bytes;
+            let duration = if success {
+                inst.base_runtime_seconds
+            } else {
+                inst.base_runtime_seconds * config.time_to_failure
+            };
+            let wasted_bytes = if success {
+                (allocation - inst.true_peak_bytes).max(0.0)
+            } else {
+                allocation
+            };
+            let wastage_gbh = wasted_bytes / 1e9 * duration / 3600.0;
+
+            let scheduled = if attempt == 0 {
+                scheduler.run_task(submit_time, allocation, duration)
+            } else {
+                // Retries re-enter with their original queue priority: they
+                // wait for capacity, not behind the FIFO floor.
+                scheduler.run_retry(submit_time, allocation, duration)
+            };
+            makespan = makespan.max(scheduled.finish_seconds);
+
+            events.push(AttemptEvent {
+                task_type: inst.task_type.clone(),
+                sequence: inst.sequence,
+                attempt,
+                allocated_bytes: allocation,
+                true_peak_bytes: inst.true_peak_bytes,
+                duration_seconds: duration,
+                success,
+                wastage_gbh,
+                raw_estimate_bytes: prediction.raw_estimate_bytes,
+                selected_model: prediction.selected_model.clone(),
+                submit_time_seconds: scheduled.start_seconds,
+                queue_delay_seconds: scheduled.queue_delay_seconds,
+            });
+
+            // Feed the monitoring record back for online learning. On
+            // failure the monitored "peak" is the allocation that was
+            // exhausted — the true peak was never observed.
+            let record = TaskRecord {
+                workflow: workflow.to_string(),
+                task_type: inst.task_type.clone(),
+                machine: inst.machine.clone(),
+                sequence: inst.sequence,
+                input_bytes: inst.input_bytes,
+                peak_memory_bytes: if success {
+                    inst.true_peak_bytes
+                } else {
+                    allocation
+                },
+                allocated_memory_bytes: allocation,
+                runtime_seconds: duration,
+                concurrent_tasks: scheduler.running_tasks() as u32,
+                queue_delay_seconds: scheduled.queue_delay_seconds,
+                outcome: if success {
+                    TaskOutcome::Succeeded
+                } else {
+                    TaskOutcome::FailedOutOfMemory
+                },
+            };
+            predictor.observe(&record);
+
+            if success {
+                finished = true;
+                break;
+            }
+            submit_time = scheduled.finish_seconds;
+            attempt += 1;
+        }
+        if !finished {
+            unfinished += 1;
+        }
+    }
+
+    ReplayReport {
+        method: predictor.name(),
+        workflow: workflow.to_string(),
+        time_to_failure: config.time_to_failure,
+        events,
+        instances: instances.len(),
+        unfinished_instances: unfinished,
+        makespan_seconds: makespan,
+    }
+}
+
+/// Replays a workflow with a fresh predictor produced by `make_predictor` —
+/// convenience wrapper used by the benchmark harnesses, which compare many
+/// methods over many workflows.
+pub fn replay_with<F, P>(
+    workflow: &str,
+    instances: &[TaskInstance],
+    config: &SimulationConfig,
+    make_predictor: F,
+) -> ReplayReport
+where
+    F: FnOnce() -> P,
+    P: MemoryPredictor,
+{
+    let mut predictor = make_predictor();
+    replay_workflow(workflow, instances, &mut predictor, config)
+}
+
+/// A running task in the legacy occupancy model, ordered by finish time
+/// (min-heap).
 #[derive(Debug, Clone, PartialEq)]
 struct RunningTask {
     finish_time: f64,
@@ -50,8 +204,12 @@ impl PartialOrd for RunningTask {
     }
 }
 
-/// Replays one workflow against one sizing method.
-pub fn replay_workflow(
+/// The pre-scheduler replay: the paper's light first-fit occupancy sketch
+/// with lazy release and no pending queue (tasks never wait; capacity is
+/// drained on demand). Kept as the reference model the event-driven
+/// scheduler is property-tested against: under unbounded capacity both must
+/// produce identical wastage, failures and per-attempt decisions.
+pub fn replay_workflow_occupancy(
     workflow: &str,
     instances: &[TaskInstance],
     predictor: &mut dyn MemoryPredictor,
@@ -138,11 +296,9 @@ pub fn replay_workflow(
                 raw_estimate_bytes: prediction.raw_estimate_bytes,
                 selected_model: prediction.selected_model.clone(),
                 submit_time_seconds: clock,
+                queue_delay_seconds: 0.0,
             });
 
-            // Feed the monitoring record back for online learning. On
-            // failure the monitored "peak" is the allocation that was
-            // exhausted — the true peak was never observed.
             let record = TaskRecord {
                 workflow: workflow.to_string(),
                 task_type: inst.task_type.clone(),
@@ -157,6 +313,7 @@ pub fn replay_workflow(
                 allocated_memory_bytes: allocation,
                 runtime_seconds: duration,
                 concurrent_tasks: cluster.running_tasks() as u32,
+                queue_delay_seconds: 0.0,
                 outcome: if success {
                     TaskOutcome::Succeeded
                 } else {
@@ -185,23 +342,6 @@ pub fn replay_workflow(
         unfinished_instances: unfinished,
         makespan_seconds: makespan,
     }
-}
-
-/// Replays a workflow with a fresh predictor produced by `make_predictor` —
-/// convenience wrapper used by the benchmark harnesses, which compare many
-/// methods over many workflows.
-pub fn replay_with<F, P>(
-    workflow: &str,
-    instances: &[TaskInstance],
-    config: &SimulationConfig,
-    make_predictor: F,
-) -> ReplayReport
-where
-    F: FnOnce() -> P,
-    P: MemoryPredictor,
-{
-    let mut predictor = make_predictor();
-    replay_workflow(workflow, instances, &mut predictor, config)
 }
 
 #[cfg(test)]
@@ -280,6 +420,9 @@ mod tests {
         assert!((report.total_wastage_gbh() - 7.0).abs() < 1e-6);
         // Runtime: 1h + 1h + 1h.
         assert!((report.total_runtime_hours() - 3.0).abs() < 1e-9);
+        // The retry chain serializes on the virtual clock: 3 back-to-back
+        // attempts of one hour each.
+        assert!((report.makespan_seconds - 3.0 * 3600.0).abs() < 1e-6);
     }
 
     #[test]
@@ -300,6 +443,20 @@ mod tests {
         let config = SimulationConfig::default();
         let report = replay_workflow("wf", &instances, &mut p, &config);
         assert!(report.events[0].allocated_bytes <= config.node_memory_bytes);
+    }
+
+    #[test]
+    fn allocations_are_clamped_to_the_largest_heterogeneous_node() {
+        let instances = vec![instance(0, 1e9, 2e9, 3600.0, 500e9)];
+        let mut p = PresetPredictor;
+        let config = SimulationConfig::default().with_extra_pool(crate::config::NodePoolSpec {
+            count: 1,
+            memory_bytes: 256e9,
+            slots: 8,
+        });
+        let report = replay_workflow("wf", &instances, &mut p, &config);
+        // The big-memory node raises the clamp from 128 GB to 256 GB.
+        assert_eq!(report.events[0].allocated_bytes, 256e9);
     }
 
     #[test]
@@ -355,6 +512,21 @@ mod tests {
         // task runtime, while total runtime is 20 task-hours.
         assert!((report.makespan_seconds - 3600.0).abs() < 1e-6);
         assert!((report.total_runtime_hours() - 20.0).abs() < 1e-9);
+        assert!(report.total_queue_delay_seconds() < 1e-9);
+    }
+
+    #[test]
+    fn finite_capacity_queueing_stretches_makespan() {
+        // 4 tasks of 8 GB / 1 h on a single 10 GB node: they serialize.
+        let instances: Vec<TaskInstance> =
+            (0..4).map(|i| instance(i, 1e9, 1e9, 3600.0, 8e9)).collect();
+        let config = SimulationConfig::default().with_nodes(1, 10e9, 32);
+        let mut p = PresetPredictor;
+        let report = replay_workflow("wf", &instances, &mut p, &config);
+        assert!((report.makespan_seconds - 4.0 * 3600.0).abs() < 1e-6);
+        // Queue delays: 0 + 1 + 2 + 3 hours.
+        assert!((report.total_queue_delay_seconds() - 6.0 * 3600.0).abs() < 1e-6);
+        assert_eq!(report.total_failures(), 0);
     }
 
     #[test]
@@ -365,5 +537,20 @@ mod tests {
         });
         assert_eq!(report.method, "Workflow-Presets");
         assert_eq!(report.instances, 1);
+    }
+
+    #[test]
+    fn occupancy_and_scheduler_replays_agree_under_unbounded_capacity() {
+        let instances: Vec<TaskInstance> = (0..12)
+            .map(|i| instance(i, 1e9 * (i + 1) as f64, 3e9, 600.0, 4e9))
+            .collect();
+        let config = SimulationConfig::unbounded();
+        let mut a = PresetPredictor;
+        let mut b = PresetPredictor;
+        let new = replay_workflow("wf", &instances, &mut a, &config);
+        let old = replay_workflow_occupancy("wf", &instances, &mut b, &config);
+        assert_eq!(new.events.len(), old.events.len());
+        assert_eq!(new.total_failures(), old.total_failures());
+        assert_eq!(new.total_wastage_gbh(), old.total_wastage_gbh());
     }
 }

@@ -1,0 +1,1047 @@
+//! The event-driven cluster scheduler.
+//!
+//! The paper's evaluation replays one workflow at a time against a capacity
+//! sketch that ignores queueing (assumption A2 declares scheduling out of
+//! scope). That sketch cannot answer contention questions: when one tenant
+//! over-allocates, the cost shows up as *queue delay* for everyone sharing
+//! the cluster, not just as GB·h on the over-allocator's bill. This module
+//! adds a real discrete-event scheduler:
+//!
+//! * a virtual clock driven by an [`EventHeap`](crate::queue::EventHeap) of
+//!   submissions and completions,
+//! * a [`PendingQueue`](crate::queue::PendingQueue) where tasks wait when no
+//!   node fits — over-allocation now costs makespan,
+//! * pluggable [`SchedulePolicy`] variants (first fit, best fit, bounded
+//!   backfill),
+//! * heterogeneous node pools via
+//!   [`SimulationConfig::extra_node_pools`](crate::SimulationConfig),
+//! * concurrent multi-workflow replay ([`schedule_workflows`]): several
+//!   tenants share one cluster, interleaved by submission time, each with
+//!   its own predictor learning online from its own records.
+//!
+//! Two engines share the cluster model. The *synchronous* [`Scheduler`] is
+//! used by [`replay_workflow`](crate::replay::replay_workflow): the replay's
+//! sequential predict→observe loop (which fixes the paper's decision
+//! ordering, and with it the Fig. 8 aggregates) calls
+//! [`Scheduler::run_task`] per attempt and gets back start/finish times and
+//! queue delay. The *event-driven* engine underneath [`schedule_workflows`]
+//! goes further: predictions happen at submission, observations at
+//! completion, and tenants interleave arbitrarily — the decision order is
+//! whatever the virtual clock makes it.
+
+use crate::accounting::{AttemptEvent, ReplayReport};
+use crate::cluster::{Cluster, Node};
+use crate::config::SimulationConfig;
+use crate::predictor::{MemoryPredictor, TaskSubmission};
+use crate::queue::{EventHeap, PendingQueue, PendingTask};
+use crate::replay::MIN_ALLOCATION_BYTES;
+use sizey_provenance::{TaskOutcome, TaskRecord};
+use sizey_workflows::TaskInstance;
+
+/// Scheduling policy for picking when and where a pending task starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulePolicy {
+    /// Strict FIFO dispatch; the task is placed on the first node with room.
+    FirstFit,
+    /// Strict FIFO dispatch; the task is placed on the fitting node with the
+    /// least leftover free memory (tightest packing).
+    BestFit,
+    /// FIFO with backfilling: a task whose resources are free right now may
+    /// start ahead of a blocked head-of-queue (aggressive backfill, no
+    /// reservation for the head). In the event-driven engine
+    /// ([`schedule_workflows`]) the scan behind the head is bounded by
+    /// [`SimulationConfig::backfill_window`]; the synchronous
+    /// [`Scheduler`] used by `replay_workflow` approximates backfill by
+    /// dropping the FIFO start-order constraint entirely — every task
+    /// starts as soon as capacity allows at its own submission time.
+    Backfill,
+}
+
+impl SchedulePolicy {
+    /// All policies, in comparison order.
+    pub const ALL: [SchedulePolicy; 3] = [
+        SchedulePolicy::FirstFit,
+        SchedulePolicy::BestFit,
+        SchedulePolicy::Backfill,
+    ];
+
+    /// Display name for result tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulePolicy::FirstFit => "first-fit",
+            SchedulePolicy::BestFit => "best-fit",
+            SchedulePolicy::Backfill => "backfill",
+        }
+    }
+}
+
+/// Aggregate scheduler telemetry for one simulation run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SchedulerStats {
+    /// Number of attempts dispatched onto the cluster.
+    pub dispatched_attempts: usize,
+    /// Sum of all queue delays in seconds.
+    pub total_queue_delay_seconds: f64,
+    /// Largest single queue delay in seconds.
+    pub max_queue_delay_seconds: f64,
+    /// High-water mark of concurrently running tasks.
+    pub peak_running_tasks: usize,
+    /// High-water mark of cluster-wide allocated memory in bytes.
+    pub peak_allocated_bytes: f64,
+    /// High-water mark of the pending-queue depth.
+    pub peak_pending_tasks: usize,
+    /// Placements forced past a full cluster (only possible when a caller
+    /// bypasses the largest-node clamp; the property suite asserts zero).
+    pub forced_placements: usize,
+}
+
+impl SchedulerStats {
+    fn record_dispatch(&mut self, queue_delay: f64, cluster: &Cluster) {
+        self.dispatched_attempts += 1;
+        self.total_queue_delay_seconds += queue_delay;
+        self.max_queue_delay_seconds = self.max_queue_delay_seconds.max(queue_delay);
+        self.peak_running_tasks = self.peak_running_tasks.max(cluster.running_tasks());
+        self.peak_allocated_bytes = self.peak_allocated_bytes.max(cluster.allocated_bytes());
+    }
+
+    /// Mean queue delay per dispatched attempt in seconds.
+    pub fn mean_queue_delay_seconds(&self) -> f64 {
+        if self.dispatched_attempts == 0 {
+            0.0
+        } else {
+            self.total_queue_delay_seconds / self.dispatched_attempts as f64
+        }
+    }
+}
+
+/// Timing of one attempt as decided by the synchronous [`Scheduler`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledAttempt {
+    /// Virtual time at which the attempt started running.
+    pub start_seconds: f64,
+    /// Virtual time at which the attempt finishes.
+    pub finish_seconds: f64,
+    /// Node hosting the attempt.
+    pub node: usize,
+    /// Time spent waiting for resources (`start - submit`).
+    pub queue_delay_seconds: f64,
+}
+
+/// A completion in the synchronous engine's running set.
+#[derive(Debug, Clone, Copy)]
+struct SyncFinish {
+    node: usize,
+    allocation_bytes: f64,
+}
+
+/// The synchronous scheduling core: a virtual clock plus a running set,
+/// consumed one task at a time in submission order (FIFO).
+///
+/// [`Scheduler::run_task`] answers "given everything scheduled so far, when
+/// does this task start and where?". Tasks wait when no node fits — the
+/// clock advances to completions until capacity frees up — so memory
+/// over-allocation directly costs makespan. `FirstFit`/`BestFit` keep strict
+/// FIFO start-order (a task never starts before an earlier-submitted one);
+/// `Backfill` lets a task start at its own submission time when capacity is
+/// already free, jumping the FIFO floor.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    cluster: Cluster,
+    policy: SchedulePolicy,
+    running: EventHeap<SyncFinish>,
+    /// Start time of the most recently dispatched task (the FIFO floor).
+    fifo_floor: f64,
+    stats: SchedulerStats,
+}
+
+impl Scheduler {
+    /// Builds a scheduler over the cluster described by `config`.
+    pub fn new(config: &SimulationConfig) -> Self {
+        let cluster = Cluster::new(config);
+        assert!(
+            cluster.node_count() > 0,
+            "simulation config describes a cluster with no nodes"
+        );
+        Scheduler {
+            cluster,
+            policy: config.policy,
+            running: EventHeap::new(),
+            fifo_floor: 0.0,
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// Schedules one task: finds the earliest start time at or after
+    /// `submit_time_seconds` when a node can host `allocation_bytes`, places
+    /// it there for `duration_seconds`, and returns the timing.
+    ///
+    /// `allocation_bytes` must not exceed the largest node's capacity (the
+    /// replay engine clamps before calling); an unplaceable task is forced
+    /// onto node 0 and counted in [`SchedulerStats::forced_placements`]
+    /// rather than looping forever.
+    pub fn run_task(
+        &mut self,
+        submit_time_seconds: f64,
+        allocation_bytes: f64,
+        duration_seconds: f64,
+    ) -> ScheduledAttempt {
+        let respect_floor = self.policy != SchedulePolicy::Backfill;
+        self.schedule(
+            submit_time_seconds,
+            allocation_bytes,
+            duration_seconds,
+            respect_floor,
+            respect_floor,
+        )
+    }
+
+    /// Schedules a **requeued** (retry) attempt. Retries re-enter the queue
+    /// with their original priority — standard resource-manager behaviour —
+    /// so they neither wait behind the FIFO floor nor raise it for
+    /// first-submission tasks; they only wait for actual capacity.
+    pub fn run_retry(
+        &mut self,
+        submit_time_seconds: f64,
+        allocation_bytes: f64,
+        duration_seconds: f64,
+    ) -> ScheduledAttempt {
+        self.schedule(
+            submit_time_seconds,
+            allocation_bytes,
+            duration_seconds,
+            false,
+            false,
+        )
+    }
+
+    fn schedule(
+        &mut self,
+        submit_time_seconds: f64,
+        allocation_bytes: f64,
+        duration_seconds: f64,
+        respect_floor: bool,
+        update_floor: bool,
+    ) -> ScheduledAttempt {
+        let mut t = if respect_floor {
+            // FIFO: a first-submission task never starts before one
+            // submitted ahead of it. (Backfill relaxes this: a task may
+            // start at its own submission time when capacity is free.)
+            submit_time_seconds.max(self.fifo_floor)
+        } else {
+            submit_time_seconds
+        };
+        self.release_until(t);
+
+        let node = loop {
+            if let Some(n) = self.cluster.select_node(allocation_bytes, self.policy) {
+                break n;
+            }
+            match self.running.pop() {
+                Some((finish, done)) => {
+                    t = t.max(finish);
+                    self.cluster.release(
+                        crate::cluster::Placement { node: done.node },
+                        done.allocation_bytes,
+                    );
+                }
+                None => {
+                    // Even an empty cluster cannot host this allocation —
+                    // the caller bypassed the largest-node clamp. Force it
+                    // through so the replay still terminates.
+                    self.stats.forced_placements += 1;
+                    break 0;
+                }
+            }
+        };
+
+        self.cluster.place_on(node, allocation_bytes);
+        if update_floor {
+            self.fifo_floor = self.fifo_floor.max(t);
+        }
+        let finish = t + duration_seconds;
+        self.running.push(
+            finish,
+            SyncFinish {
+                node,
+                allocation_bytes,
+            },
+        );
+        let queue_delay = (t - submit_time_seconds).max(0.0);
+        self.stats.record_dispatch(queue_delay, &self.cluster);
+        ScheduledAttempt {
+            start_seconds: t,
+            finish_seconds: finish,
+            node,
+            queue_delay_seconds: queue_delay,
+        }
+    }
+
+    /// Releases every task that finishes at or before `time`.
+    fn release_until(&mut self, time: f64) {
+        while self.running.peek_time().is_some_and(|t| t <= time) {
+            let (_, done) = self.running.pop().expect("peeked event exists");
+            self.cluster.release(
+                crate::cluster::Placement { node: done.node },
+                done.allocation_bytes,
+            );
+        }
+    }
+
+    /// Number of currently running tasks.
+    pub fn running_tasks(&self) -> usize {
+        self.cluster.running_tasks()
+    }
+
+    /// The cluster state (including per-node high-water marks).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Scheduler telemetry collected so far.
+    pub fn stats(&self) -> &SchedulerStats {
+        &self.stats
+    }
+}
+
+/// One workflow sharing the cluster in a multi-tenant replay: its task
+/// instances, the sizing method making its allocation decisions, and the
+/// virtual time at which it starts submitting.
+pub struct WorkflowTenant {
+    /// Workflow (tenant) name used in the per-tenant report.
+    pub workflow: String,
+    /// Task instances in submission order.
+    pub instances: Vec<TaskInstance>,
+    /// The sizing method deciding this tenant's allocations.
+    pub predictor: Box<dyn MemoryPredictor>,
+    /// Virtual time at which the tenant's first task arrives.
+    pub arrival_offset_seconds: f64,
+}
+
+impl WorkflowTenant {
+    /// Creates a tenant arriving at time zero.
+    pub fn new(
+        workflow: impl Into<String>,
+        instances: Vec<TaskInstance>,
+        predictor: Box<dyn MemoryPredictor>,
+    ) -> Self {
+        WorkflowTenant {
+            workflow: workflow.into(),
+            instances,
+            predictor,
+            arrival_offset_seconds: 0.0,
+        }
+    }
+
+    /// Returns the tenant with a different arrival offset.
+    pub fn with_arrival_offset(mut self, seconds: f64) -> Self {
+        self.arrival_offset_seconds = seconds;
+        self
+    }
+}
+
+/// Result of a multi-tenant replay: one [`ReplayReport`] per tenant plus
+/// cluster-wide telemetry.
+#[derive(Debug)]
+pub struct MultiReplayReport {
+    /// Per-tenant reports, in the order the tenants were passed in.
+    pub reports: Vec<ReplayReport>,
+    /// End of the last attempt across all tenants, in seconds.
+    pub makespan_seconds: f64,
+    /// Cluster-wide scheduler telemetry.
+    pub stats: SchedulerStats,
+    /// Final node states, including per-node allocation/slot high-water
+    /// marks (the property suite asserts `peak ≤ capacity` per node).
+    pub nodes: Vec<Node>,
+}
+
+/// Payload of a queued attempt in the event-driven engine.
+#[derive(Debug, Clone)]
+struct QueuedAttempt {
+    tenant: usize,
+    instance: usize,
+    attempt: u32,
+    allocation_bytes: f64,
+    raw_estimate_bytes: Option<f64>,
+    selected_model: Option<String>,
+    success: bool,
+    duration_seconds: f64,
+}
+
+/// Payload of a completion event in the event-driven engine.
+#[derive(Debug, Clone)]
+struct RunningAttempt {
+    task: QueuedAttempt,
+    node: usize,
+    submit_time: f64,
+    start_time: f64,
+    concurrent_at_start: usize,
+}
+
+/// An event in the multi-tenant engine.
+#[derive(Debug)]
+enum Event {
+    /// A task attempt enters the pending queue.
+    Submit {
+        tenant: usize,
+        instance: usize,
+        attempt: u32,
+    },
+    /// A running attempt completes and releases its resources.
+    Finish(RunningAttempt),
+}
+
+/// Replays several workflows **concurrently** against one shared cluster.
+///
+/// Tenants submit their task instances over virtual time (offset plus
+/// [`SimulationConfig::submit_interval_seconds`] between consecutive
+/// instances; simultaneous arrivals interleave round-robin). Each attempt is
+/// sized by its tenant's predictor at submission, waits in the pending queue
+/// until the scheduling policy grants it a node, runs, and feeds its
+/// provenance record (including the experienced queue delay) back to the
+/// predictor at completion. Failed attempts are resubmitted until they
+/// succeed or exhaust [`SimulationConfig::max_attempts`].
+///
+/// Because allocations are fixed at submission, online methods only benefit
+/// from completions that happen *before* a task arrives: with the default
+/// `submit_interval_seconds = 0.0` every first attempt is sized cold. Spread
+/// arrivals with a positive interval to replay an online-learning scenario.
+///
+/// This is the entry point for contention studies: memory over-allocation by
+/// one tenant delays every tenant's start times and stretches the shared
+/// makespan.
+///
+/// ```
+/// use sizey_sim::{schedule_workflows, PresetPredictor, SimulationConfig, WorkflowTenant};
+/// use sizey_workflows::{generate_workflow, profiles, GeneratorConfig};
+///
+/// let make = |seed| generate_workflow(&profiles::iwd(), &GeneratorConfig::scaled(0.02, seed));
+/// let tenants = vec![
+///     WorkflowTenant::new("iwd-a", make(1), Box::new(PresetPredictor)),
+///     WorkflowTenant::new("iwd-b", make(2), Box::new(PresetPredictor))
+///         .with_arrival_offset(1800.0),
+/// ];
+/// let result = schedule_workflows(tenants, &SimulationConfig::default());
+/// assert_eq!(result.reports.len(), 2);
+/// assert!(result.makespan_seconds > 1800.0);
+/// assert_eq!(result.stats.forced_placements, 0);
+/// ```
+pub fn schedule_workflows(
+    mut tenants: Vec<WorkflowTenant>,
+    config: &SimulationConfig,
+) -> MultiReplayReport {
+    let mut cluster = Cluster::new(config);
+    assert!(
+        cluster.node_count() > 0,
+        "simulation config describes a cluster with no nodes"
+    );
+    let largest_node = cluster.largest_node_memory_bytes();
+    let mut events: EventHeap<Event> = EventHeap::new();
+    let mut pending: PendingQueue<QueuedAttempt> = PendingQueue::new();
+    let mut stats = SchedulerStats::default();
+    let mut makespan = 0.0_f64;
+
+    let mut tenant_events: Vec<Vec<AttemptEvent>> = tenants.iter().map(|_| Vec::new()).collect();
+    let mut unfinished: Vec<usize> = vec![0; tenants.len()];
+
+    // Seed the submission events, round-robin across tenants so simultaneous
+    // arrivals interleave fairly instead of draining tenant 0 first.
+    let max_len = tenants.iter().map(|t| t.instances.len()).max().unwrap_or(0);
+    for idx in 0..max_len {
+        for (ti, tenant) in tenants.iter().enumerate() {
+            if idx < tenant.instances.len() {
+                let time =
+                    tenant.arrival_offset_seconds + idx as f64 * config.submit_interval_seconds;
+                events.push(
+                    time,
+                    Event::Submit {
+                        tenant: ti,
+                        instance: idx,
+                        attempt: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    // Dispatches every queued task the policy allows at virtual time `now`.
+    let try_dispatch = |now: f64,
+                        cluster: &mut Cluster,
+                        pending: &mut PendingQueue<QueuedAttempt>,
+                        events: &mut EventHeap<Event>,
+                        stats: &mut SchedulerStats,
+                        tenant_events: &mut [Vec<AttemptEvent>],
+                        tenants: &[WorkflowTenant]| {
+        loop {
+            // Head of the queue first: every policy dispatches it if it fits.
+            let head_node = pending
+                .front()
+                .and_then(|t| cluster.select_node(t.allocation_bytes, config.policy));
+            let picked = if let Some(node) = head_node {
+                Some((0, node))
+            } else if config.policy == SchedulePolicy::Backfill {
+                // Head blocked: scan a bounded window behind it for a task
+                // that fits right now.
+                pending
+                    .iter()
+                    .enumerate()
+                    .skip(1)
+                    .take(config.backfill_window)
+                    .find_map(|(idx, t)| {
+                        cluster
+                            .select_node(t.allocation_bytes, config.policy)
+                            .map(|node| (idx, node))
+                    })
+            } else {
+                None
+            };
+            let Some((idx, node)) = picked else { break };
+            let queued = pending.remove(idx).expect("picked index exists");
+            dispatch(
+                queued,
+                node,
+                now,
+                cluster,
+                events,
+                stats,
+                tenant_events,
+                tenants,
+            );
+        }
+    };
+
+    while let Some((now, event)) = events.pop() {
+        match event {
+            Event::Submit {
+                tenant: ti,
+                instance,
+                attempt,
+            } => {
+                let tenant = &mut tenants[ti];
+                let inst = &tenant.instances[instance];
+                let true_peak = inst.true_peak_bytes;
+                let base_runtime = inst.base_runtime_seconds;
+                let submission = TaskSubmission {
+                    workflow: inst.workflow.clone(),
+                    task_type: inst.task_type.clone(),
+                    machine: inst.machine.clone(),
+                    sequence: inst.sequence,
+                    input_bytes: inst.input_bytes,
+                    preset_memory_bytes: inst.preset_memory_bytes,
+                };
+                let prediction = tenant.predictor.predict(&submission, attempt);
+                let allocation = prediction
+                    .allocation_bytes
+                    .clamp(MIN_ALLOCATION_BYTES, largest_node);
+                let success = allocation + 1e-6 >= true_peak;
+                let duration = if success {
+                    base_runtime
+                } else {
+                    base_runtime * config.time_to_failure
+                };
+                let queued = PendingTask {
+                    submit_time: now,
+                    allocation_bytes: allocation,
+                    payload: QueuedAttempt {
+                        tenant: ti,
+                        instance,
+                        attempt,
+                        allocation_bytes: allocation,
+                        raw_estimate_bytes: prediction.raw_estimate_bytes,
+                        selected_model: prediction.selected_model,
+                        success,
+                        duration_seconds: duration,
+                    },
+                };
+                if attempt == 0 {
+                    pending.push_back(queued);
+                } else {
+                    // Retries re-enter with their original priority (head of
+                    // the queue), matching the synchronous engine's
+                    // `run_retry` semantics.
+                    pending.push_front(queued);
+                }
+                try_dispatch(
+                    now,
+                    &mut cluster,
+                    &mut pending,
+                    &mut events,
+                    &mut stats,
+                    &mut tenant_events,
+                    &tenants,
+                );
+            }
+            Event::Finish(run) => {
+                cluster.release(
+                    crate::cluster::Placement { node: run.node },
+                    run.task.allocation_bytes,
+                );
+                makespan = makespan.max(now);
+                let ti = run.task.tenant;
+                let inst = &tenants[ti].instances[run.task.instance];
+                let record = TaskRecord {
+                    workflow: tenants[ti].workflow.clone(),
+                    task_type: inst.task_type.clone(),
+                    machine: inst.machine.clone(),
+                    sequence: inst.sequence,
+                    input_bytes: inst.input_bytes,
+                    peak_memory_bytes: if run.task.success {
+                        inst.true_peak_bytes
+                    } else {
+                        run.task.allocation_bytes
+                    },
+                    allocated_memory_bytes: run.task.allocation_bytes,
+                    runtime_seconds: run.task.duration_seconds,
+                    concurrent_tasks: run.concurrent_at_start as u32,
+                    queue_delay_seconds: run.start_time - run.submit_time,
+                    outcome: if run.task.success {
+                        TaskOutcome::Succeeded
+                    } else {
+                        TaskOutcome::FailedOutOfMemory
+                    },
+                };
+                tenants[ti].predictor.observe(&record);
+                if !run.task.success {
+                    let next_attempt = run.task.attempt + 1;
+                    if next_attempt < config.max_attempts {
+                        events.push(
+                            now,
+                            Event::Submit {
+                                tenant: ti,
+                                instance: run.task.instance,
+                                attempt: next_attempt,
+                            },
+                        );
+                    } else {
+                        unfinished[ti] += 1;
+                    }
+                }
+                try_dispatch(
+                    now,
+                    &mut cluster,
+                    &mut pending,
+                    &mut events,
+                    &mut stats,
+                    &mut tenant_events,
+                    &tenants,
+                );
+            }
+        }
+
+        // Defensive: a drained event heap with tasks still pending means the
+        // head can never fit (caller bypassed the clamp). Force it through
+        // so the replay terminates.
+        if events.is_empty() && !pending.is_empty() {
+            let queued = pending.remove(0).expect("non-empty queue");
+            stats.forced_placements += 1;
+            dispatch(
+                queued,
+                0,
+                makespan,
+                &mut cluster,
+                &mut events,
+                &mut stats,
+                &mut tenant_events,
+                &tenants,
+            );
+        }
+    }
+
+    stats.peak_pending_tasks = pending.peak_len();
+
+    let reports = tenants
+        .iter()
+        .zip(tenant_events)
+        .zip(unfinished)
+        .map(|((tenant, events), unfinished_instances)| {
+            let tenant_makespan = events
+                .iter()
+                .map(|e| e.submit_time_seconds + e.duration_seconds)
+                .fold(0.0, f64::max);
+            ReplayReport {
+                method: tenant.predictor.name(),
+                workflow: tenant.workflow.clone(),
+                time_to_failure: config.time_to_failure,
+                events,
+                instances: tenant.instances.len(),
+                unfinished_instances,
+                makespan_seconds: tenant_makespan,
+            }
+        })
+        .collect();
+
+    MultiReplayReport {
+        reports,
+        makespan_seconds: makespan,
+        stats,
+        nodes: cluster.nodes().to_vec(),
+    }
+}
+
+/// Starts a queued attempt on `node` at virtual time `now`: places it,
+/// records the attempt event for its tenant, and schedules its completion.
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    queued: PendingTask<QueuedAttempt>,
+    node: usize,
+    now: f64,
+    cluster: &mut Cluster,
+    events: &mut EventHeap<Event>,
+    stats: &mut SchedulerStats,
+    tenant_events: &mut [Vec<AttemptEvent>],
+    tenants: &[WorkflowTenant],
+) {
+    let task = queued.payload;
+    cluster.place_on(node, task.allocation_bytes);
+    let queue_delay = (now - queued.submit_time).max(0.0);
+    stats.record_dispatch(queue_delay, cluster);
+    let inst = &tenants[task.tenant].instances[task.instance];
+    let wasted_bytes = if task.success {
+        (task.allocation_bytes - inst.true_peak_bytes).max(0.0)
+    } else {
+        task.allocation_bytes
+    };
+    tenant_events[task.tenant].push(AttemptEvent {
+        task_type: inst.task_type.clone(),
+        sequence: inst.sequence,
+        attempt: task.attempt,
+        allocated_bytes: task.allocation_bytes,
+        true_peak_bytes: inst.true_peak_bytes,
+        duration_seconds: task.duration_seconds,
+        success: task.success,
+        wastage_gbh: wasted_bytes / 1e9 * task.duration_seconds / 3600.0,
+        raw_estimate_bytes: task.raw_estimate_bytes,
+        selected_model: task.selected_model.clone(),
+        submit_time_seconds: now,
+        queue_delay_seconds: queue_delay,
+    });
+    let concurrent = cluster.running_tasks();
+    events.push(
+        now + task.duration_seconds,
+        Event::Finish(RunningAttempt {
+            node,
+            submit_time: queued.submit_time,
+            start_time: now,
+            concurrent_at_start: concurrent,
+            task,
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{Prediction, PresetPredictor};
+    use sizey_provenance::{MachineId, TaskTypeId};
+
+    fn instance(seq: u64, peak: f64, runtime: f64, preset: f64) -> TaskInstance {
+        TaskInstance {
+            workflow: "wf".into(),
+            task_type: TaskTypeId::new("t"),
+            machine: MachineId::new("m"),
+            sequence: seq,
+            input_bytes: 1e9,
+            true_peak_bytes: peak,
+            base_runtime_seconds: runtime,
+            preset_memory_bytes: preset,
+            cpu_utilization_pct: 100.0,
+            io_read_bytes: 1e9,
+            io_write_bytes: 1e9,
+        }
+    }
+
+    fn tiny_cluster(policy: SchedulePolicy) -> SimulationConfig {
+        // One node, 10 GB, 2 slots: contention is easy to provoke.
+        SimulationConfig::default()
+            .with_nodes(1, 10e9, 2)
+            .with_policy(policy)
+    }
+
+    #[test]
+    fn sync_scheduler_runs_tasks_immediately_when_capacity_allows() {
+        let mut s = Scheduler::new(&tiny_cluster(SchedulePolicy::FirstFit));
+        let a = s.run_task(0.0, 4e9, 100.0);
+        assert_eq!(a.start_seconds, 0.0);
+        assert_eq!(a.finish_seconds, 100.0);
+        assert_eq!(a.queue_delay_seconds, 0.0);
+        let b = s.run_task(0.0, 4e9, 50.0);
+        assert_eq!(b.start_seconds, 0.0);
+        assert_eq!(s.running_tasks(), 2);
+    }
+
+    #[test]
+    fn sync_scheduler_queues_when_memory_is_exhausted() {
+        let mut s = Scheduler::new(&tiny_cluster(SchedulePolicy::FirstFit));
+        s.run_task(0.0, 8e9, 100.0);
+        // 8 of 10 GB taken: the next 8 GB task must wait for the completion.
+        let b = s.run_task(0.0, 8e9, 50.0);
+        assert_eq!(b.start_seconds, 100.0);
+        assert_eq!(b.finish_seconds, 150.0);
+        assert_eq!(b.queue_delay_seconds, 100.0);
+        assert_eq!(s.stats().max_queue_delay_seconds, 100.0);
+    }
+
+    #[test]
+    fn sync_scheduler_queues_when_slots_are_exhausted() {
+        let mut s = Scheduler::new(&tiny_cluster(SchedulePolicy::FirstFit));
+        s.run_task(0.0, 1e9, 100.0);
+        s.run_task(0.0, 1e9, 200.0);
+        // Both slots busy; third task waits for the earliest completion.
+        let c = s.run_task(0.0, 1e9, 10.0);
+        assert_eq!(c.start_seconds, 100.0);
+    }
+
+    #[test]
+    fn fifo_floor_prevents_overtaking() {
+        let mut s = Scheduler::new(&tiny_cluster(SchedulePolicy::FirstFit));
+        s.run_task(0.0, 8e9, 100.0);
+        let waited = s.run_task(0.0, 8e9, 50.0);
+        assert_eq!(waited.start_seconds, 100.0);
+        // A later 1 GB submission would fit at t = 0, but FIFO keeps order.
+        let small = s.run_task(0.0, 1e9, 10.0);
+        assert!(small.start_seconds >= waited.start_seconds);
+    }
+
+    #[test]
+    fn retries_bypass_and_do_not_raise_the_fifo_floor() {
+        let mut s = Scheduler::new(&tiny_cluster(SchedulePolicy::FirstFit));
+        s.run_task(0.0, 4e9, 100.0);
+        // A retry submitted at t = 500 (after its failed attempt) starts at
+        // its own submission time…
+        let retry = s.run_retry(500.0, 4e9, 100.0);
+        assert_eq!(retry.start_seconds, 500.0);
+        // …and does not push the FIFO floor forward: a first-submission
+        // task arriving at 0 still starts immediately.
+        let first = s.run_task(0.0, 1e9, 10.0);
+        assert_eq!(first.start_seconds, 0.0);
+    }
+
+    #[test]
+    fn backfill_lets_small_tasks_jump_the_floor() {
+        let mut s = Scheduler::new(&tiny_cluster(SchedulePolicy::Backfill));
+        s.run_task(0.0, 8e9, 100.0);
+        let waited = s.run_task(0.0, 8e9, 50.0);
+        assert_eq!(waited.start_seconds, 100.0);
+        // Backfill: the 1 GB task starts at its own submission time.
+        let small = s.run_task(0.0, 1e9, 10.0);
+        assert_eq!(small.start_seconds, 0.0);
+    }
+
+    #[test]
+    fn forced_placement_counts_unschedulable_tasks() {
+        let mut s = Scheduler::new(&tiny_cluster(SchedulePolicy::FirstFit));
+        let a = s.run_task(0.0, 20e9, 10.0);
+        assert_eq!(a.node, 0);
+        assert_eq!(s.stats().forced_placements, 1);
+    }
+
+    #[test]
+    fn schedule_workflows_single_tenant_completes_everything() {
+        let instances: Vec<TaskInstance> = (0..10).map(|i| instance(i, 1e9, 60.0, 2e9)).collect();
+        let result = schedule_workflows(
+            vec![WorkflowTenant::new(
+                "wf",
+                instances,
+                Box::new(PresetPredictor),
+            )],
+            &tiny_cluster(SchedulePolicy::FirstFit),
+        );
+        let report = &result.reports[0];
+        assert_eq!(report.instances, 10);
+        assert_eq!(report.unfinished_instances, 0);
+        assert_eq!(report.total_failures(), 0);
+        // 2 GB each on a 10 GB node with 2 slots: 2 at a time, 5 waves.
+        assert_eq!(result.makespan_seconds, 300.0);
+        assert_eq!(result.stats.forced_placements, 0);
+        assert!(result.stats.total_queue_delay_seconds > 0.0);
+    }
+
+    #[test]
+    fn retries_run_through_the_shared_queue() {
+        // Peak 7 GB, preset 2 GB: attempts 2 (fail), 4 (fail), 8 (success).
+        let result = schedule_workflows(
+            vec![WorkflowTenant::new(
+                "wf",
+                vec![instance(0, 7e9, 100.0, 2e9)],
+                Box::new(PresetPredictor),
+            )],
+            &tiny_cluster(SchedulePolicy::FirstFit),
+        );
+        let report = &result.reports[0];
+        assert_eq!(report.events.len(), 3);
+        assert_eq!(report.total_failures(), 2);
+        assert_eq!(report.unfinished_instances, 0);
+        // Attempts run back to back on the virtual clock.
+        assert_eq!(result.makespan_seconds, 300.0);
+    }
+
+    #[test]
+    fn exhausted_retries_are_reported_unfinished() {
+        let config = SimulationConfig {
+            max_attempts: 2,
+            ..tiny_cluster(SchedulePolicy::FirstFit)
+        };
+        // Peak beyond the node: clamped attempts can never succeed.
+        let result = schedule_workflows(
+            vec![WorkflowTenant::new(
+                "wf",
+                vec![instance(0, 50e9, 10.0, 1e9)],
+                Box::new(PresetPredictor),
+            )],
+            &config,
+        );
+        assert_eq!(result.reports[0].unfinished_instances, 1);
+        assert_eq!(result.reports[0].events.len(), 2);
+        assert_eq!(result.stats.forced_placements, 0);
+    }
+
+    #[test]
+    fn tenants_share_the_cluster_and_interleave() {
+        let a: Vec<TaskInstance> = (0..4).map(|i| instance(i, 1e9, 100.0, 4e9)).collect();
+        let b: Vec<TaskInstance> = (0..4).map(|i| instance(i, 1e9, 100.0, 4e9)).collect();
+        let result = schedule_workflows(
+            vec![
+                WorkflowTenant::new("a", a, Box::new(PresetPredictor)),
+                WorkflowTenant::new("b", b, Box::new(PresetPredictor)),
+            ],
+            &tiny_cluster(SchedulePolicy::FirstFit),
+        );
+        assert_eq!(result.reports.len(), 2);
+        // 8 tasks × 4 GB on a 10 GB / 2-slot node: 2 at a time, 4 waves.
+        assert_eq!(result.makespan_seconds, 400.0);
+        // Round-robin arrival: both tenants run one task in the first wave.
+        let first_a = result.reports[0].events[0].submit_time_seconds;
+        let first_b = result.reports[1].events[0].submit_time_seconds;
+        assert_eq!(first_a, 0.0);
+        assert_eq!(first_b, 0.0);
+    }
+
+    #[test]
+    fn overallocating_tenant_delays_the_other() {
+        // Tenant "hog" requests the whole node per task; tenant "lean"
+        // requests a sliver. With the hog present, lean's tasks queue.
+        let hog: Vec<TaskInstance> = (0..3).map(|i| instance(i, 1e9, 100.0, 10e9)).collect();
+        let lean: Vec<TaskInstance> = (0..3).map(|i| instance(i, 1e9, 100.0, 1e9)).collect();
+        let both = schedule_workflows(
+            vec![
+                WorkflowTenant::new("hog", hog, Box::new(PresetPredictor)),
+                WorkflowTenant::new("lean", lean.clone(), Box::new(PresetPredictor)),
+            ],
+            &tiny_cluster(SchedulePolicy::FirstFit),
+        );
+        let alone = schedule_workflows(
+            vec![WorkflowTenant::new("lean", lean, Box::new(PresetPredictor))],
+            &tiny_cluster(SchedulePolicy::FirstFit),
+        );
+        let lean_delay_with_hog = both.reports[1]
+            .events
+            .iter()
+            .map(|e| e.queue_delay_seconds)
+            .sum::<f64>();
+        let lean_delay_alone = alone.reports[0]
+            .events
+            .iter()
+            .map(|e| e.queue_delay_seconds)
+            .sum::<f64>();
+        assert!(
+            lean_delay_with_hog > lean_delay_alone,
+            "over-allocation must cost the co-tenant queue delay \
+             ({lean_delay_with_hog} vs {lean_delay_alone})"
+        );
+    }
+
+    #[test]
+    fn backfill_reduces_makespan_when_head_blocks() {
+        // Head-of-line blocking: an 8 GB task occupies the node, another
+        // 8 GB task blocks the queue head, and a 1 GB / 150 s sliver behind
+        // it fits right now. FIFO makes the sliver wait for the head;
+        // backfill starts it immediately.
+        let mk = || {
+            vec![
+                instance(0, 1e9, 100.0, 8e9),
+                instance(1, 1e9, 100.0, 8e9),
+                instance(2, 1e9, 150.0, 1e9),
+            ]
+        };
+        let fifo = schedule_workflows(
+            vec![WorkflowTenant::new("wf", mk(), Box::new(PresetPredictor))],
+            &tiny_cluster(SchedulePolicy::FirstFit),
+        );
+        let backfill = schedule_workflows(
+            vec![WorkflowTenant::new("wf", mk(), Box::new(PresetPredictor))],
+            &tiny_cluster(SchedulePolicy::Backfill),
+        );
+        // FIFO: sliver starts at 100 → makespan 250. Backfill: sliver runs
+        // 0–150 alongside, makespan 200 (second 8 GB task 100–200).
+        assert_eq!(fifo.makespan_seconds, 250.0);
+        assert_eq!(backfill.makespan_seconds, 200.0);
+    }
+
+    #[test]
+    fn queue_delay_reaches_the_predictor_and_the_report() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        /// Forwards the observed queue delays out of the consumed predictor.
+        struct DelayProbe {
+            total_millis: Arc<AtomicU64>,
+        }
+        impl MemoryPredictor for DelayProbe {
+            fn name(&self) -> String {
+                "probe".into()
+            }
+            fn predict(&mut self, _t: &TaskSubmission, _attempt: u32) -> Prediction {
+                Prediction::simple(8e9)
+            }
+            fn observe(&mut self, record: &TaskRecord) {
+                self.total_millis.fetch_add(
+                    (record.queue_delay_seconds * 1000.0) as u64,
+                    Ordering::Relaxed,
+                );
+            }
+        }
+
+        // Two 8 GB tasks on a 10 GB node: the second waits 100 s.
+        let instances = vec![instance(0, 1e9, 100.0, 8e9), instance(1, 1e9, 100.0, 8e9)];
+        let total_millis = Arc::new(AtomicU64::new(0));
+        let result = schedule_workflows(
+            vec![WorkflowTenant::new(
+                "wf",
+                instances,
+                Box::new(DelayProbe {
+                    total_millis: Arc::clone(&total_millis),
+                }),
+            )],
+            &tiny_cluster(SchedulePolicy::FirstFit),
+        );
+        assert_eq!(total_millis.load(Ordering::Relaxed), 100_000);
+        assert_eq!(result.stats.total_queue_delay_seconds, 100.0);
+        assert_eq!(
+            result.reports[0]
+                .events
+                .iter()
+                .map(|e| e.queue_delay_seconds)
+                .sum::<f64>(),
+            100.0
+        );
+    }
+
+    #[test]
+    fn per_node_peaks_never_exceed_capacity() {
+        let instances: Vec<TaskInstance> = (0..30).map(|i| instance(i, 3e9, 50.0, 4e9)).collect();
+        let result = schedule_workflows(
+            vec![WorkflowTenant::new(
+                "wf",
+                instances,
+                Box::new(PresetPredictor),
+            )],
+            &SimulationConfig::default()
+                .with_nodes(2, 10e9, 4)
+                .with_policy(SchedulePolicy::BestFit),
+        );
+        for node in &result.nodes {
+            assert!(node.peak_allocated_bytes <= node.memory_bytes * (1.0 + 1e-9));
+            assert!(node.peak_used_slots <= node.slots);
+        }
+        assert_eq!(result.stats.forced_placements, 0);
+    }
+}

@@ -83,7 +83,7 @@ fn filler_task(workflow: &str, idx: usize, instances: usize, size_class: f64) ->
     let name = format!("{workflow}_task_{idx:02}");
     let input_lo = (0.2 + 0.15 * (idx % 5) as f64) * size_class * GB;
     let input_hi = input_lo * (2.0 + (idx % 3) as f64);
-    let input_model = if idx % 4 == 0 {
+    let input_model = if idx.is_multiple_of(4) {
         InputModel::LogUniform {
             lo: input_lo.max(10.0 * MB),
             hi: input_hi,

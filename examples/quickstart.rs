@@ -44,6 +44,7 @@ fn main() {
             allocated_memory_bytes: 16e9,
             runtime_seconds: 420.0,
             concurrent_tasks: 4,
+            queue_delay_seconds: 0.0,
             outcome: TaskOutcome::Succeeded,
         });
     }

@@ -27,8 +27,9 @@ pub mod prelude {
         MachineId, ProvenanceStore, TaskMachineKey, TaskOutcome, TaskRecord, TaskTypeId,
     };
     pub use sizey_sim::{
-        aggregate_method, replay_workflow, MemoryPredictor, Prediction, ReplayReport,
-        SimulationConfig, TaskSubmission,
+        aggregate_method, replay_workflow, replay_workflow_occupancy, schedule_workflows,
+        MemoryPredictor, MultiReplayReport, NodePoolSpec, Prediction, ReplayReport, SchedulePolicy,
+        Scheduler, SchedulerStats, SimulationConfig, TaskSubmission, WorkflowTenant,
     };
     pub use sizey_workflows::{
         all_workflows, generate_workflow, profiles, GeneratorConfig, TaskInstance, WorkflowSpec,

@@ -74,6 +74,39 @@ proptest! {
     }
 
     #[test]
+    fn clamped_failure_handling_respects_the_largest_node(
+        max_observed in 1.0e9f64..200.0e9,
+        failed_alloc in 1.0e9f64..200.0e9,
+        attempt in 1u32..8,
+        capacity in 64.0e9f64..256.0e9,
+    ) {
+        let a = sizey_core::failure_allocation_clamped(
+            Some(max_observed), failed_alloc, attempt, capacity);
+        let b = sizey_core::failure_allocation_clamped(
+            Some(max_observed), failed_alloc, attempt + 1, capacity);
+        prop_assert!(a <= capacity);
+        prop_assert!(b <= capacity);
+        prop_assert!(b >= a, "clamped escalation must stay monotone");
+    }
+
+    // With capacity out of the picture, the event-driven scheduler must not
+    // change a single Sizey decision relative to the legacy occupancy model:
+    // wastage is bit-identical under unbounded capacity.
+    #[test]
+    fn scheduler_replay_matches_occupancy_model_with_sizey(seed in 0u64..1000) {
+        let instances = small_workload("iwd", seed);
+        let config = SimulationConfig::unbounded();
+        let mut a = SizeyPredictor::with_defaults();
+        let mut b = SizeyPredictor::with_defaults();
+        let scheduled = replay_workflow("iwd", &instances, &mut a, &config);
+        let occupancy = replay_workflow_occupancy("iwd", &instances, &mut b, &config);
+        prop_assert_eq!(scheduled.events.len(), occupancy.events.len());
+        prop_assert_eq!(scheduled.total_wastage_gbh(), occupancy.total_wastage_gbh());
+        prop_assert_eq!(scheduled.total_failures(), occupancy.total_failures());
+        prop_assert_eq!(scheduled.unfinished_instances, occupancy.unfinished_instances);
+    }
+
+    #[test]
     fn raq_scores_stay_normalised(
         estimates in prop::collection::vec(1.0e6f64..200.0e9, 1..6),
         alpha in 0.0f64..1.0,

@@ -12,7 +12,7 @@
 
 use crate::history::History;
 use sizey_provenance::{TaskMachineKey, TaskRecord};
-use sizey_sim::{MemoryPredictor, Prediction, TaskSubmission};
+use sizey_sim::{AttemptContext, MemoryPredictor, Prediction, TaskSubmission};
 
 /// Default node memory used for the conservative retry (the evaluation
 /// cluster's 128 GB nodes); override via [`TovarPpmConfig`] when simulating a
@@ -115,8 +115,8 @@ impl MemoryPredictor for TovarPpm {
         "Tovar-PPM".to_string()
     }
 
-    fn predict(&mut self, task: &TaskSubmission, attempt: u32) -> Prediction {
-        if attempt > 0 {
+    fn predict(&self, task: &TaskSubmission, ctx: AttemptContext) -> Prediction {
+        if ctx.attempt > 0 {
             // Conservative failure handling: jump straight to the node
             // maximum.
             return Prediction {
@@ -172,10 +172,15 @@ mod tests {
 
     #[test]
     fn preset_before_history_and_node_max_on_retry() {
-        let mut p = TovarPpm::new();
-        assert_eq!(p.predict(&submission(), 0).allocation_bytes, 12e9);
+        let p = TovarPpm::new();
         assert_eq!(
-            p.predict(&submission(), 1).allocation_bytes,
+            p.predict(&submission(), AttemptContext::first())
+                .allocation_bytes,
+            12e9
+        );
+        assert_eq!(
+            p.predict(&submission(), AttemptContext::retry(1, 12e9))
+                .allocation_bytes,
             NODE_MEMORY_BYTES
         );
     }
@@ -186,7 +191,9 @@ mod tests {
         for peak in [4.0e9, 4.1e9, 4.2e9, 4.05e9, 4.15e9] {
             p.observe(&success(peak));
         }
-        let alloc = p.predict(&submission(), 0).allocation_bytes;
+        let alloc = p
+            .predict(&submission(), AttemptContext::first())
+            .allocation_bytes;
         // With a tight distribution the expected-cost minimiser covers all
         // observed peaks (failures are expensive).
         assert!(alloc >= 4.2e9, "alloc = {alloc}");
@@ -206,7 +213,9 @@ mod tests {
             p.observe(&success(1e9));
         }
         p.observe(&success(15e9));
-        let alloc = p.predict(&submission(), 0).allocation_bytes;
+        let alloc = p
+            .predict(&submission(), AttemptContext::first())
+            .allocation_bytes;
         assert!(alloc < 5e9, "alloc = {alloc}");
     }
 
@@ -229,6 +238,10 @@ mod tests {
         p.observe(&failed);
         p.observe(&success(2e9));
         // Only one successful observation < min_history → preset.
-        assert_eq!(p.predict(&submission(), 0).allocation_bytes, 12e9);
+        assert_eq!(
+            p.predict(&submission(), AttemptContext::first())
+                .allocation_bytes,
+            12e9
+        );
     }
 }

@@ -12,7 +12,7 @@ use sizey_ml::linear::LinearRegression;
 use sizey_ml::metrics::std_dev;
 use sizey_ml::model::Regressor;
 use sizey_provenance::{TaskMachineKey, TaskRecord};
-use sizey_sim::{MemoryPredictor, Prediction, TaskSubmission};
+use sizey_sim::{AttemptContext, MemoryPredictor, Prediction, TaskSubmission};
 
 /// Configuration of [`WittLr`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,11 +100,11 @@ impl MemoryPredictor for WittLr {
         "Witt-LR".to_string()
     }
 
-    fn predict(&mut self, task: &TaskSubmission, attempt: u32) -> Prediction {
+    fn predict(&self, task: &TaskSubmission, ctx: AttemptContext) -> Prediction {
         let raw = self.estimate(task);
         let base = raw.unwrap_or(task.preset_memory_bytes);
         Prediction {
-            allocation_bytes: base * 2.0_f64.powi(attempt as i32),
+            allocation_bytes: base * 2.0_f64.powi(ctx.attempt as i32),
             raw_estimate_bytes: raw,
             selected_model: None,
         }
@@ -151,7 +151,7 @@ mod tests {
     fn uses_preset_before_enough_history() {
         let mut p = WittLr::new();
         p.observe(&success(1e9, 2e9));
-        let pred = p.predict(&submission(1e9), 0);
+        let pred = p.predict(&submission(1e9), AttemptContext::first());
         assert_eq!(pred.allocation_bytes, 20e9);
         assert!(pred.raw_estimate_bytes.is_none());
     }
@@ -164,7 +164,7 @@ mod tests {
             let input = i as f64 * 1e9;
             p.observe(&success(input, 2.0 * input + 1e9));
         }
-        let pred = p.predict(&submission(20e9), 0);
+        let pred = p.predict(&submission(20e9), AttemptContext::first());
         // Noiseless data => zero residual spread => no offset.
         assert!(
             (pred.allocation_bytes - 41e9).abs() < 0.5e9,
@@ -183,8 +183,12 @@ mod tests {
             let noise = if i % 2 == 0 { 2e9 } else { -2e9 };
             noisy.observe(&success(input, input + 1e9 + noise));
         }
-        let clean_alloc = clean.predict(&submission(10.5e9), 0).allocation_bytes;
-        let noisy_alloc = noisy.predict(&submission(10.5e9), 0).allocation_bytes;
+        let clean_alloc = clean
+            .predict(&submission(10.5e9), AttemptContext::first())
+            .allocation_bytes;
+        let noisy_alloc = noisy
+            .predict(&submission(10.5e9), AttemptContext::first())
+            .allocation_bytes;
         assert!(
             noisy_alloc > clean_alloc + 1e9,
             "noisy {noisy_alloc} should exceed clean {clean_alloc}"
@@ -197,8 +201,12 @@ mod tests {
         for i in 1..=5 {
             p.observe(&success(i as f64 * 1e9, i as f64 * 1e9));
         }
-        let base = p.predict(&submission(3e9), 0).allocation_bytes;
-        let retried = p.predict(&submission(3e9), 2).allocation_bytes;
+        let base = p
+            .predict(&submission(3e9), AttemptContext::first())
+            .allocation_bytes;
+        let retried = p
+            .predict(&submission(3e9), AttemptContext::retry(2, base * 2.0))
+            .allocation_bytes;
         assert!((retried - base * 4.0).abs() < 1e-3);
     }
 }

@@ -10,7 +10,7 @@
 use crate::history::History;
 use sizey_ml::metrics::percentile;
 use sizey_provenance::{TaskMachineKey, TaskRecord};
-use sizey_sim::{MemoryPredictor, Prediction, TaskSubmission};
+use sizey_sim::{AttemptContext, MemoryPredictor, Prediction, TaskSubmission};
 
 /// Configuration of [`WittPercentile`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,9 +76,9 @@ impl MemoryPredictor for WittPercentile {
         "Witt-Percentile".to_string()
     }
 
-    fn predict(&mut self, task: &TaskSubmission, attempt: u32) -> Prediction {
+    fn predict(&self, task: &TaskSubmission, ctx: AttemptContext) -> Prediction {
         let base = self.base_estimate(task);
-        let allocation = base * 2.0_f64.powi(attempt as i32);
+        let allocation = base * 2.0_f64.powi(ctx.attempt as i32);
         Prediction {
             allocation_bytes: allocation,
             raw_estimate_bytes: Some(base),
@@ -125,8 +125,12 @@ mod tests {
 
     #[test]
     fn uses_preset_without_history() {
-        let mut p = WittPercentile::new();
-        assert_eq!(p.predict(&submission(), 0).allocation_bytes, 10e9);
+        let p = WittPercentile::new();
+        assert_eq!(
+            p.predict(&submission(), AttemptContext::first())
+                .allocation_bytes,
+            10e9
+        );
     }
 
     #[test]
@@ -135,7 +139,9 @@ mod tests {
         for i in 1..=100 {
             p.observe(&success(i as f64 * 1e8));
         }
-        let alloc = p.predict(&submission(), 0).allocation_bytes;
+        let alloc = p
+            .predict(&submission(), AttemptContext::first())
+            .allocation_bytes;
         // 95th percentile of 0.1..10 GB is ~9.5 GB.
         assert!((alloc - 9.505e9).abs() < 0.1e9, "alloc = {alloc}");
     }
@@ -145,8 +151,12 @@ mod tests {
         let mut p = WittPercentile::new();
         p.observe(&success(2e9));
         p.observe(&success(4e9));
-        let first = p.predict(&submission(), 0).allocation_bytes;
-        let second = p.predict(&submission(), 1).allocation_bytes;
+        let first = p
+            .predict(&submission(), AttemptContext::first())
+            .allocation_bytes;
+        let second = p
+            .predict(&submission(), AttemptContext::retry(1, first))
+            .allocation_bytes;
         assert!((second - first * 2.0).abs() < 1e-6);
     }
 
@@ -156,7 +166,11 @@ mod tests {
         let mut failed = success(50e9);
         failed.outcome = TaskOutcome::FailedOutOfMemory;
         p.observe(&failed);
-        assert_eq!(p.predict(&submission(), 0).allocation_bytes, 10e9);
+        assert_eq!(
+            p.predict(&submission(), AttemptContext::first())
+                .allocation_bytes,
+            10e9
+        );
     }
 
     #[test]
@@ -168,7 +182,9 @@ mod tests {
         for peak in [1e9, 2e9, 3e9] {
             p.observe(&success(peak));
         }
-        let alloc = p.predict(&submission(), 0).allocation_bytes;
+        let alloc = p
+            .predict(&submission(), AttemptContext::first())
+            .allocation_bytes;
         assert!((alloc - 2e9).abs() < 1e-6);
     }
 }

@@ -17,7 +17,7 @@ use sizey_ml::linear::LinearRegression;
 use sizey_ml::metrics::percentile;
 use sizey_ml::model::Regressor;
 use sizey_provenance::{TaskMachineKey, TaskRecord};
-use sizey_sim::{MemoryPredictor, Prediction, TaskSubmission};
+use sizey_sim::{AttemptContext, MemoryPredictor, Prediction, TaskSubmission};
 
 /// Configuration of [`WittWastage`].
 #[derive(Debug, Clone, PartialEq)]
@@ -142,11 +142,11 @@ impl MemoryPredictor for WittWastage {
         "Witt-Wastage".to_string()
     }
 
-    fn predict(&mut self, task: &TaskSubmission, attempt: u32) -> Prediction {
+    fn predict(&self, task: &TaskSubmission, ctx: AttemptContext) -> Prediction {
         let raw = self.estimate(task);
         let base = raw.unwrap_or(task.preset_memory_bytes);
         Prediction {
-            allocation_bytes: base * 2.0_f64.powi(attempt as i32),
+            allocation_bytes: base * 2.0_f64.powi(ctx.attempt as i32),
             raw_estimate_bytes: raw,
             selected_model: None,
         }
@@ -191,8 +191,12 @@ mod tests {
 
     #[test]
     fn falls_back_to_preset_without_history() {
-        let mut p = WittWastage::new();
-        assert_eq!(p.predict(&submission(1e9), 0).allocation_bytes, 30e9);
+        let p = WittWastage::new();
+        assert_eq!(
+            p.predict(&submission(1e9), AttemptContext::first())
+                .allocation_bytes,
+            30e9
+        );
     }
 
     #[test]
@@ -218,7 +222,9 @@ mod tests {
             let noise = if i % 2 == 0 { 0.5e9 } else { -0.5e9 };
             p.observe(&success(input, input + 1e9 + noise));
         }
-        let alloc = p.predict(&submission(15e9), 0).allocation_bytes;
+        let alloc = p
+            .predict(&submission(15e9), AttemptContext::first())
+            .allocation_bytes;
         // Estimate should cover the upper envelope (~16.5 GB) but stay far
         // below the 30 GB preset.
         assert!(alloc >= 15.5e9, "alloc = {alloc}");
@@ -235,7 +241,9 @@ mod tests {
             let peak = if i % 5 == 0 { 8e9 } else { 4e9 };
             p.observe(&success(input, peak));
         }
-        let alloc = p.predict(&submission(1e9), 0).allocation_bytes;
+        let alloc = p
+            .predict(&submission(1e9), AttemptContext::first())
+            .allocation_bytes;
         assert!(alloc >= 4e9, "must at least cover the common case: {alloc}");
     }
 
@@ -247,8 +255,12 @@ mod tests {
         }
         let key = TaskMachineKey::new("t", "m");
         assert_eq!(p.observations(&key).len(), 5);
-        let base = p.predict(&submission(3e9), 0).allocation_bytes;
-        let doubled = p.predict(&submission(3e9), 1).allocation_bytes;
+        let base = p
+            .predict(&submission(3e9), AttemptContext::first())
+            .allocation_bytes;
+        let doubled = p
+            .predict(&submission(3e9), AttemptContext::retry(1, base))
+            .allocation_bytes;
         assert!((doubled - 2.0 * base).abs() < 1e-3);
     }
 }

@@ -1,0 +1,111 @@
+//! Criterion benchmark of the concurrent prediction service: batch-predict
+//! throughput of the sharded [`ConcurrentSizey`] across thread counts,
+//! against the serial single-predictor path sizing the same batch one task
+//! at a time. This is the tentpole number of the serving layer — how much
+//! a multi-tenant resource manager gains from fanning submissions across
+//! the thread pool instead of queueing them on one predictor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sizey_core::{BatchRequest, ConcurrentSizey, SizeyConfig, SizeyPredictor};
+use sizey_provenance::{MachineId, TaskOutcome, TaskRecord, TaskTypeId};
+use sizey_sim::{AttemptContext, MemoryPredictor, TaskSubmission};
+
+/// Distinct task types so the batch actually spreads across shards.
+const TASK_TYPES: usize = 12;
+/// Warm history per task type.
+const HISTORY: u64 = 64;
+/// Requests per measured batch.
+const BATCH: usize = 256;
+
+fn record(task_type: usize, seq: u64) -> TaskRecord {
+    let input = 1e9 + (seq as f64 % 31.0) * 1.1e8;
+    TaskRecord {
+        workflow: "bench".into(),
+        task_type: TaskTypeId::new(format!("type-{task_type}")),
+        machine: MachineId::new("bench-machine"),
+        sequence: seq,
+        input_bytes: input,
+        peak_memory_bytes: 2.0 * input + 1e9,
+        allocated_memory_bytes: 8e9,
+        runtime_seconds: 60.0,
+        concurrent_tasks: 1,
+        queue_delay_seconds: 0.0,
+        outcome: TaskOutcome::Succeeded,
+    }
+}
+
+fn submission(task_type: usize, seq: u64) -> TaskSubmission {
+    TaskSubmission {
+        workflow: "bench".into(),
+        task_type: TaskTypeId::new(format!("type-{task_type}")),
+        machine: MachineId::new("bench-machine"),
+        sequence: seq,
+        input_bytes: 2.7e9,
+        preset_memory_bytes: 16e9,
+    }
+}
+
+fn batch() -> Vec<BatchRequest> {
+    (0..BATCH)
+        .map(|i| BatchRequest::first(submission(i % TASK_TYPES, 10_000 + i as u64)))
+        .collect()
+}
+
+fn bench_batch_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_predict_256");
+    group.sample_size(10);
+
+    // Serial path: one exclusive predictor sizes the batch task by task.
+    let mut serial = SizeyPredictor::with_defaults();
+    for t in 0..TASK_TYPES {
+        for seq in 0..HISTORY {
+            serial.observe(&record(t, seq));
+        }
+    }
+    let requests = batch();
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(requests.len());
+            for request in &requests {
+                out.push(serial.predict(std::hint::black_box(&request.task), request.ctx));
+            }
+            out
+        });
+    });
+
+    // Concurrent service: same warm state per shard key, fanned across the
+    // thread pool.
+    for &threads in &[1usize, 2, 4, 8] {
+        let service = ConcurrentSizey::sizey(SizeyConfig::default(), 16).with_threads(threads);
+        for t in 0..TASK_TYPES {
+            for seq in 0..HISTORY {
+                service.observe(&record(t, seq));
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("concurrent", threads), &threads, |b, _| {
+            b.iter(|| service.predict_batch(std::hint::black_box(&requests)));
+        });
+    }
+
+    // Single-prediction latency through the service, for the read-lock
+    // overhead vs the bare predictor.
+    let service = ConcurrentSizey::sizey(SizeyConfig::default(), 16);
+    for t in 0..TASK_TYPES {
+        for seq in 0..HISTORY {
+            service.observe(&record(t, seq));
+        }
+    }
+    group.bench_function("single_predict_service", |b| {
+        let task = submission(3, 99_999);
+        b.iter(|| service.predict(std::hint::black_box(&task), AttemptContext::first()));
+    });
+    group.bench_function("single_predict_bare", |b| {
+        let task = submission(3, 99_999);
+        b.iter(|| serial.predict(std::hint::black_box(&task), AttemptContext::first()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_predict);
+criterion_main!(benches);

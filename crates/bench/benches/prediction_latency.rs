@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sizey_core::{GatingStrategy, SizeyConfig, SizeyPredictor};
 use sizey_provenance::{MachineId, TaskOutcome, TaskRecord, TaskTypeId};
-use sizey_sim::{MemoryPredictor, TaskSubmission};
+use sizey_sim::{AttemptContext, MemoryPredictor, TaskSubmission};
 
 fn warmed(config: SizeyConfig, history: u64) -> SizeyPredictor {
     let mut p = SizeyPredictor::new(config);
@@ -49,12 +49,15 @@ fn bench_prediction_latency(c: &mut Criterion) {
         ("argmax", GatingStrategy::Argmax),
     ] {
         for &history in &[32u64, 256u64] {
-            let mut predictor = warmed(SizeyConfig::default().with_gating(gating), history);
+            let predictor = warmed(SizeyConfig::default().with_gating(gating), history);
             let mut seq = history;
             group.bench_with_input(BenchmarkId::new(label, history), &history, |b, _| {
                 b.iter(|| {
                     seq += 1;
-                    predictor.predict(std::hint::black_box(&submission(seq)), 0)
+                    predictor.predict(
+                        std::hint::black_box(&submission(seq)),
+                        AttemptContext::first(),
+                    )
                 });
             });
         }

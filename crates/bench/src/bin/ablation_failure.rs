@@ -7,7 +7,9 @@
 use sizey_bench::{banner, fmt, generate_workloads, render_table, HarnessSettings};
 use sizey_core::{SizeyConfig, SizeyPredictor};
 use sizey_provenance::TaskRecord;
-use sizey_sim::{replay_workflow, MemoryPredictor, Prediction, SimulationConfig, TaskSubmission};
+use sizey_sim::{
+    replay_workflow, AttemptContext, MemoryPredictor, Prediction, SimulationConfig, TaskSubmission,
+};
 
 /// Wraps Sizey but overrides the retry policy, so only failure handling
 /// differs between the variants.
@@ -36,11 +38,11 @@ impl MemoryPredictor for RetryPolicyOverride {
         }
     }
 
-    fn predict(&mut self, task: &TaskSubmission, attempt: u32) -> Prediction {
-        match (self.policy, attempt) {
-            (Policy::Sizey, _) | (_, 0) => self.inner.predict(task, attempt),
-            (Policy::PlainDoubling, _) => {
-                let base = self.inner.predict(task, 0);
+    fn predict(&self, task: &TaskSubmission, ctx: AttemptContext) -> Prediction {
+        match (self.policy, ctx.attempt) {
+            (Policy::Sizey, _) | (_, 0) => self.inner.predict(task, ctx),
+            (Policy::PlainDoubling, attempt) => {
+                let base = self.inner.predict(task, AttemptContext::first());
                 Prediction::simple(base.allocation_bytes * 2.0_f64.powi(attempt as i32))
             }
             (Policy::NodeMaximum, _) => Prediction::simple(self.node_memory_bytes),

@@ -26,7 +26,8 @@ use sizey_workflows::{
 };
 
 pub use sweep::{
-    aggregate_sweep, run_sweep, run_sweep_with_threads, SweepCell, SweepRow, SweepSpec,
+    aggregate_sweep, run_sweep, run_sweep_shared_sizey, run_sweep_shared_sizey_with_threads,
+    run_sweep_with_threads, SweepCell, SweepRow, SweepSpec,
 };
 
 /// The evaluation methods in the order used by the paper's figures.

@@ -8,8 +8,11 @@
 //! used to walk the product one replay at a time.
 
 use crate::{HarnessSettings, Method};
+use sizey_core::{SharedSizey, SizeyConfig};
 use sizey_ml::parallel::{default_parallelism, parallel_map};
-use sizey_sim::{replay_workflow, SchedulePolicy, SimulationConfig};
+use sizey_sim::{
+    replay_workflow, schedule_workflows, SchedulePolicy, SimulationConfig, WorkflowTenant,
+};
 use sizey_workflows::{generate_workflow, workflow_by_name, GeneratorConfig};
 
 /// One cartesian sweep over workflows × methods × seeds × policies.
@@ -133,6 +136,75 @@ pub fn run_sweep(spec: &SweepSpec) -> Vec<SweepCell> {
     run_sweep_with_threads(spec, default_parallelism())
 }
 
+/// The sweep's **shared-predictor mode**: instead of replaying every
+/// (workflow, method) cell in isolation with a fresh predictor, each
+/// (seed, policy) cell replays *all* of the spec's workflows concurrently as
+/// tenants of one shared cluster ([`schedule_workflows`]), every tenant
+/// sized by clones of **one** concurrent sharded Sizey service — the
+/// deployment model of a cluster-wide prediction service, where tenant A's
+/// completions train the models tenant B predicts from.
+///
+/// `spec.methods` is ignored (the shared service is always Sizey); one
+/// [`SweepCell`] per workflow is emitted per (seed, policy), in seed-major
+/// then policy then workflow order. The (seed, policy) cells fan out across
+/// `threads` workers; within a cell the event-driven replay is sequential,
+/// so results are deterministic regardless of the thread count.
+pub fn run_sweep_shared_sizey_with_threads(
+    spec: &SweepSpec,
+    shards: usize,
+    threads: usize,
+) -> Vec<SweepCell> {
+    let mut cells: Vec<(u64, SchedulePolicy)> = Vec::new();
+    for &seed in &spec.seeds {
+        for &policy in &spec.policies {
+            cells.push((seed, policy));
+        }
+    }
+    let grouped = parallel_map(&cells, threads, |(seed, policy)| {
+        let service = SharedSizey::sizey(SizeyConfig::default(), shards);
+        let tenants: Vec<WorkflowTenant> = spec
+            .workflows
+            .iter()
+            .map(|wf| {
+                let wf_spec = workflow_by_name(wf).expect("sweep names a known workflow");
+                let instances = generate_workflow(
+                    &wf_spec,
+                    &GeneratorConfig {
+                        scale: spec.scale,
+                        seed: *seed,
+                        ..GeneratorConfig::default()
+                    },
+                );
+                WorkflowTenant::new(wf.clone(), instances, Box::new(service.clone()))
+            })
+            .collect();
+        let sim = spec.sim.clone().with_policy(*policy);
+        let result = schedule_workflows(tenants, &sim);
+        result
+            .reports
+            .iter()
+            .map(|report| SweepCell {
+                workflow: report.workflow.clone(),
+                method: Method::Sizey,
+                seed: *seed,
+                policy: *policy,
+                wastage_gbh: report.total_wastage_gbh(),
+                failures: report.total_failures(),
+                unfinished: report.unfinished_instances,
+                makespan_hours: report.makespan_seconds / 3600.0,
+                mean_queue_delay_seconds: report.mean_queue_delay_seconds(),
+                runtime_hours: report.total_runtime_hours(),
+            })
+            .collect::<Vec<_>>()
+    });
+    grouped.into_iter().flatten().collect()
+}
+
+/// [`run_sweep_shared_sizey_with_threads`] on the default thread pool.
+pub fn run_sweep_shared_sizey(spec: &SweepSpec, shards: usize) -> Vec<SweepCell> {
+    run_sweep_shared_sizey_with_threads(spec, shards, default_parallelism())
+}
+
 /// One aggregated row of a sweep: a (method, policy) pair summed over
 /// workflows and averaged over seeds.
 #[derive(Debug, Clone)]
@@ -225,6 +297,32 @@ mod tests {
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.workflow, b.workflow);
             assert_eq!(a.seed, b.seed);
+            assert_eq!(a.policy, b.policy);
+            assert_eq!(a.wastage_gbh, b.wastage_gbh);
+            assert_eq!(a.failures, b.failures);
+            assert_eq!(a.makespan_hours, b.makespan_hours);
+        }
+    }
+
+    #[test]
+    fn shared_sizey_sweep_emits_one_cell_per_workflow_seed_policy() {
+        let spec = SweepSpec {
+            workflows: vec!["iwd".to_string(), "rnaseq".to_string()],
+            methods: vec![],
+            seeds: vec![3],
+            policies: vec![SchedulePolicy::FirstFit, SchedulePolicy::Backfill],
+            scale: 0.02,
+            sim: SimulationConfig::default(),
+        };
+        let cells = run_sweep_shared_sizey(&spec, 4);
+        assert_eq!(cells.len(), 4, "2 workflows x 1 seed x 2 policies");
+        assert!(cells.iter().all(|c| c.method == Method::Sizey));
+        assert!(cells.iter().all(|c| c.wastage_gbh.is_finite()));
+        // Deterministic regardless of worker count: each (seed, policy)
+        // cell's event-driven replay is sequential.
+        let serial = run_sweep_shared_sizey_with_threads(&spec, 4, 1);
+        for (a, b) in cells.iter().zip(&serial) {
+            assert_eq!(a.workflow, b.workflow);
             assert_eq!(a.policy, b.policy);
             assert_eq!(a.wastage_gbh, b.wastage_gbh);
             assert_eq!(a.failures, b.failures);

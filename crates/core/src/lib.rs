@@ -21,7 +21,12 @@
 //! * [`failure`] — max-observed-then-double failure handling,
 //! * [`pool`] — the per-(task type, machine) model pool,
 //! * [`sizey`] — the [`SizeyPredictor`] implementing
-//!   [`sizey_sim::MemoryPredictor`].
+//!   [`sizey_sim::MemoryPredictor`] (read-path `predict`, write-path
+//!   `observe`),
+//! * [`serve`] — the concurrent serving layer: [`ConcurrentPredictor`]
+//!   shards predictors by (task type, machine) behind per-shard read-write
+//!   locks and batches predictions across a thread pool;
+//!   [`SharedPredictor`] handles let several tenants share one service.
 //!
 //! ## Example
 //!
@@ -45,6 +50,7 @@ pub mod gating;
 pub mod offset;
 pub mod pool;
 pub mod raq;
+pub mod serve;
 pub mod sizey;
 
 pub use config::{GatingStrategy, OffsetMode, OnlineMode, SizeyConfig};
@@ -53,6 +59,10 @@ pub use gating::{gate, GatingDecision};
 pub use offset::{hypothetical_wastage, select_dynamic_offset, OffsetStrategy};
 pub use pool::ModelPool;
 pub use raq::{accuracy_score, efficiency_scores, pool_raq_scores, raq_score};
+pub use serve::{
+    BatchRequest, ConcurrentPredictor, ConcurrentSizey, SharedPredictor, SharedSizey,
+    DEFAULT_SHARDS,
+};
 pub use sizey::SizeyPredictor;
 
 #[cfg(test)]

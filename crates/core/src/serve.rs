@@ -1,0 +1,423 @@
+//! Concurrent sharded prediction service.
+//!
+//! The split predictor API (`predict` on `&self`, `observe` on `&mut self`)
+//! makes a single predictor safe to read from many threads, but one global
+//! lock would serialize every observe against every predict. This module
+//! adds the serving layer for heavy multi-tenant traffic:
+//!
+//! * **Sharding** — the key space is partitioned across `shards` independent
+//!   predictor instances by a deterministic hash of
+//!   [`TaskMachineKey`](sizey_provenance::TaskMachineKey) (task type ×
+//!   machine). All learned state in Sizey
+//!   and the baselines is keyed per (task type, machine), so routing every
+//!   predict *and* observe of a key to the same shard reproduces the serial
+//!   predictor's decisions bit for bit while letting unrelated keys proceed
+//!   in parallel.
+//! * **Locking discipline** — each shard sits behind its own
+//!   `parking_lot::RwLock`. Predictions take the shard's read lock (many
+//!   concurrent readers); model updates take its write lock. A write stalls
+//!   only the readers of its own shard, never the other `shards - 1`.
+//! * **Batching** — [`ConcurrentPredictor::predict_batch`] fans a slice of
+//!   submissions across scoped worker threads ([`sizey_ml::parallel`]
+//!   spawns per call — small batches run inline instead), and
+//!   [`ConcurrentPredictor::observe_batch`] groups records by shard so each
+//!   write lock is taken once per batch instead of once per record (shards
+//!   are updated in parallel, records within a shard in input order).
+//!
+//! [`SharedPredictor`] is a cheap cloneable handle implementing
+//! [`MemoryPredictor`], so one concurrent service instance can sit behind
+//! several [`WorkflowTenant`](sizey_sim::WorkflowTenant)s of a multi-tenant
+//! replay — every tenant then learns from every tenant's completions.
+
+use sizey_provenance::{MachineId, TaskRecord, TaskTypeId};
+use sizey_sim::{AttemptContext, MemoryPredictor, Prediction, TaskSubmission};
+
+use crate::config::SizeyConfig;
+use crate::sizey::SizeyPredictor;
+use parking_lot::RwLock;
+use sizey_ml::parallel::{default_parallelism, parallel_map};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Default number of shards: enough to keep a 16-thread pool busy without
+/// fragmenting small key spaces.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// One prediction request of a batch: a task submission plus the
+/// engine-owned retry context of this attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRequest {
+    /// The submitted task.
+    pub task: TaskSubmission,
+    /// Retry state of this attempt (use [`AttemptContext::first`] for first
+    /// submissions).
+    pub ctx: AttemptContext,
+}
+
+impl BatchRequest {
+    /// A first-submission request.
+    pub fn first(task: TaskSubmission) -> Self {
+        BatchRequest {
+            task,
+            ctx: AttemptContext::first(),
+        }
+    }
+}
+
+/// A sharded, lock-striped predictor service.
+///
+/// Generic over the predictor type: any [`MemoryPredictor`] whose learned
+/// state is partitioned by (task type, machine) — Sizey and all the
+/// baselines — can be served concurrently. See the
+/// [module docs](self) for the sharding and locking discipline.
+pub struct ConcurrentPredictor<P> {
+    shards: Vec<RwLock<P>>,
+    threads: usize,
+}
+
+/// The concurrent Sizey service.
+pub type ConcurrentSizey = ConcurrentPredictor<SizeyPredictor>;
+
+impl<P: MemoryPredictor + Sync> ConcurrentPredictor<P> {
+    /// Builds a service with `shards` independent predictor instances
+    /// produced by `factory` (called once per shard, in shard order). Batch
+    /// calls fan out across [`default_parallelism`] threads; tune with
+    /// [`with_threads`](ConcurrentPredictor::with_threads).
+    pub fn new(shards: usize, factory: impl FnMut(usize) -> P) -> Self {
+        assert!(shards > 0, "a predictor service needs at least one shard");
+        ConcurrentPredictor {
+            shards: (0..shards).map(factory).map(RwLock::new).collect(),
+            threads: default_parallelism(),
+        }
+    }
+
+    /// Sets the number of worker threads used by the batch APIs.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Deterministic shard routing: every predict and observe of one
+    /// (task type, machine) key lands on the same shard for the lifetime of
+    /// the service ([`DefaultHasher::new`] is unkeyed, unlike `RandomState`).
+    /// Std does not pin the algorithm across Rust releases, so shard indices
+    /// must never be persisted or compared across binaries.
+    ///
+    /// Hashing the two components directly is equivalent to hashing a
+    /// [`TaskMachineKey`](sizey_provenance::TaskMachineKey) (derived `Hash`
+    /// feeds the fields in declaration
+    /// order) but avoids cloning two `String`s per request on the hot path.
+    fn shard_of_parts(&self, task_type: &TaskTypeId, machine: &MachineId) -> usize {
+        let mut hasher = DefaultHasher::new();
+        task_type.hash(&mut hasher);
+        machine.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    fn shard_of_task(&self, task: &TaskSubmission) -> usize {
+        self.shard_of_parts(&task.task_type, &task.machine)
+    }
+
+    fn shard_of_record(&self, record: &TaskRecord) -> usize {
+        self.shard_of_parts(&record.task_type, &record.machine)
+    }
+
+    /// Sizes one attempt: takes the read lock of the task's shard, so any
+    /// number of predictions proceed concurrently between model updates.
+    pub fn predict(&self, task: &TaskSubmission, ctx: AttemptContext) -> Prediction {
+        self.shards[self.shard_of_task(task)]
+            .read()
+            .predict(task, ctx)
+    }
+
+    /// Feeds one finished attempt to the owning shard (write lock).
+    pub fn observe(&self, record: &TaskRecord) {
+        self.shards[self.shard_of_record(record)]
+            .write()
+            .observe(record);
+    }
+
+    /// Batches below this size are sized inline: [`parallel_map`] spawns
+    /// scoped OS threads per call (there is no persistent pool), and for a
+    /// handful of microsecond-scale predictions the spawn/join cost would
+    /// exceed the work being fanned out.
+    const SEQUENTIAL_BATCH_CUTOFF: usize = 32;
+
+    /// Sizes a whole batch of submissions, fanning the requests across
+    /// scoped worker threads. Results come back in request order. This is
+    /// the hot path of a prediction service: per-request cost is one shard
+    /// read lock, so throughput scales with cores once the batch is large
+    /// enough to amortize the per-call thread spawns (small batches run
+    /// inline — `SEQUENTIAL_BATCH_CUTOFF`).
+    pub fn predict_batch(&self, requests: &[BatchRequest]) -> Vec<Prediction> {
+        if self.threads == 1 || requests.len() < Self::SEQUENTIAL_BATCH_CUTOFF {
+            return requests
+                .iter()
+                .map(|request| self.predict(&request.task, request.ctx))
+                .collect();
+        }
+        parallel_map(requests, self.threads, |request| {
+            self.predict(&request.task, request.ctx)
+        })
+    }
+
+    /// Applies a batch of monitoring records with write batching: records
+    /// are grouped by shard, each shard's write lock is taken **once**, and
+    /// the shards update in parallel. Within a shard, records apply in input
+    /// order, so single-shard batches are indistinguishable from serial
+    /// observes.
+    pub fn observe_batch(&self, records: &[TaskRecord]) {
+        let mut by_shard: Vec<Vec<&TaskRecord>> = vec![Vec::new(); self.shards.len()];
+        for record in records {
+            by_shard[self.shard_of_record(record)].push(record);
+        }
+        let groups: Vec<(usize, Vec<&TaskRecord>)> = by_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, group)| !group.is_empty())
+            .collect();
+        parallel_map(&groups, self.threads, |(shard, group)| {
+            let mut guard = self.shards[*shard].write();
+            for record in group {
+                guard.observe(record);
+            }
+        });
+    }
+
+    /// Runs `f` on every shard under its read lock, in shard order —
+    /// aggregation hook for telemetry (e.g. summing provenance sizes).
+    pub fn map_shards<R>(&self, f: impl Fn(&P) -> R) -> Vec<R> {
+        self.shards.iter().map(|shard| f(&shard.read())).collect()
+    }
+
+    /// Wraps the service in a cheap cloneable [`SharedPredictor`] handle.
+    pub fn into_shared(self) -> SharedPredictor<P> {
+        SharedPredictor(Arc::new(self))
+    }
+}
+
+impl ConcurrentSizey {
+    /// A concurrent Sizey service: `shards` independent [`SizeyPredictor`]s
+    /// with identical configuration.
+    pub fn sizey(config: SizeyConfig, shards: usize) -> Self {
+        ConcurrentPredictor::new(shards, |_| SizeyPredictor::new(config.clone()))
+    }
+
+    /// A concurrent Sizey service with the paper's default configuration and
+    /// [`DEFAULT_SHARDS`] shards.
+    pub fn sizey_defaults() -> Self {
+        Self::sizey(SizeyConfig::default(), DEFAULT_SHARDS)
+    }
+}
+
+/// A cloneable handle to a [`ConcurrentPredictor`] that itself implements
+/// [`MemoryPredictor`]: hand clones to several
+/// [`WorkflowTenant`](sizey_sim::WorkflowTenant)s and they will share one
+/// learned state across the whole cluster. `observe` through the handle
+/// takes the owning shard's write lock internally, so `&mut self` on the
+/// trait is satisfied without exclusive ownership.
+pub struct SharedPredictor<P>(Arc<ConcurrentPredictor<P>>);
+
+impl<P> Clone for SharedPredictor<P> {
+    fn clone(&self) -> Self {
+        SharedPredictor(Arc::clone(&self.0))
+    }
+}
+
+impl<P> SharedPredictor<P> {
+    /// The underlying service (for batch APIs and telemetry).
+    pub fn service(&self) -> &ConcurrentPredictor<P> {
+        &self.0
+    }
+}
+
+/// The shared concurrent Sizey handle.
+pub type SharedSizey = SharedPredictor<SizeyPredictor>;
+
+impl SharedSizey {
+    /// A shared concurrent Sizey service (see [`ConcurrentSizey::sizey`]).
+    pub fn sizey(config: SizeyConfig, shards: usize) -> Self {
+        ConcurrentSizey::sizey(config, shards).into_shared()
+    }
+}
+
+impl<P: MemoryPredictor + Sync> MemoryPredictor for SharedPredictor<P> {
+    fn name(&self) -> String {
+        self.0.shards[0].read().name()
+    }
+
+    fn predict(&self, task: &TaskSubmission, ctx: AttemptContext) -> Prediction {
+        self.0.predict(task, ctx)
+    }
+
+    fn observe(&mut self, record: &TaskRecord) {
+        self.0.observe(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizey_provenance::{MachineId, TaskMachineKey, TaskOutcome, TaskTypeId};
+
+    fn submission(task_type: &str, seq: u64, input: f64) -> TaskSubmission {
+        TaskSubmission {
+            workflow: "wf".into(),
+            task_type: TaskTypeId::new(task_type),
+            machine: MachineId::new("m"),
+            sequence: seq,
+            input_bytes: input,
+            preset_memory_bytes: 20e9,
+        }
+    }
+
+    fn record(task_type: &str, seq: u64, input: f64, peak: f64) -> TaskRecord {
+        TaskRecord {
+            workflow: "wf".into(),
+            task_type: TaskTypeId::new(task_type),
+            machine: MachineId::new("m"),
+            sequence: seq,
+            input_bytes: input,
+            peak_memory_bytes: peak,
+            allocated_memory_bytes: peak * 1.5,
+            runtime_seconds: 60.0,
+            concurrent_tasks: 1,
+            queue_delay_seconds: 0.0,
+            outcome: TaskOutcome::Succeeded,
+        }
+    }
+
+    fn train(observe: &mut dyn FnMut(&TaskRecord), task_type: &str, n: u64) {
+        for i in 1..=n {
+            let input = i as f64 * 1e9;
+            observe(&record(task_type, i, input, 2.0 * input + 1e9));
+        }
+    }
+
+    #[test]
+    fn sharded_decisions_match_the_serial_predictor() {
+        let mut serial = SizeyPredictor::with_defaults();
+        let concurrent = ConcurrentSizey::sizey_defaults();
+        for task_type in ["align", "sort", "call", "merge", "plot"] {
+            train(&mut |r| serial.observe(r), task_type, 14);
+            train(&mut |r| concurrent.observe(r), task_type, 14);
+        }
+        for task_type in ["align", "sort", "call", "merge", "plot"] {
+            for (seq, input) in [(100, 3e9), (101, 7.5e9), (102, 11e9)] {
+                let task = submission(task_type, seq, input);
+                let a = serial.predict(&task, AttemptContext::first());
+                let b = concurrent.predict(&task, AttemptContext::first());
+                assert_eq!(a, b, "decision diverged for {task_type}/{seq}");
+                let ra = serial.predict(&task, AttemptContext::retry(1, a.allocation_bytes));
+                let rb = concurrent.predict(&task, AttemptContext::retry(1, b.allocation_bytes));
+                assert_eq!(ra, rb);
+            }
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_sequential_predicts_in_order() {
+        let concurrent = ConcurrentSizey::sizey_defaults().with_threads(4);
+        for task_type in ["a", "b", "c"] {
+            train(&mut |r| concurrent.observe(r), task_type, 12);
+        }
+        let requests: Vec<BatchRequest> = (0..60)
+            .map(|i| {
+                let task_type = ["a", "b", "c"][i % 3];
+                BatchRequest::first(submission(task_type, 200 + i as u64, (i + 1) as f64 * 5e8))
+            })
+            .collect();
+        let batched = concurrent.predict_batch(&requests);
+        assert_eq!(batched.len(), requests.len());
+        for (request, prediction) in requests.iter().zip(&batched) {
+            assert_eq!(*prediction, concurrent.predict(&request.task, request.ctx));
+        }
+        // Small batches take the inline path; same contract.
+        let tiny = &requests[..5];
+        for (request, prediction) in tiny.iter().zip(concurrent.predict_batch(tiny)) {
+            assert_eq!(prediction, concurrent.predict(&request.task, request.ctx));
+        }
+    }
+
+    #[test]
+    fn observe_batch_is_equivalent_to_serial_observes() {
+        let batched = ConcurrentSizey::sizey_defaults();
+        let serial = ConcurrentSizey::sizey_defaults();
+        let mut records = Vec::new();
+        for task_type in ["x", "y"] {
+            for i in 1..=15u64 {
+                let input = i as f64 * 1e9;
+                records.push(record(task_type, i, input, 1.5 * input + 5e8));
+            }
+        }
+        batched.observe_batch(&records);
+        for r in &records {
+            serial.observe(r);
+        }
+        for task_type in ["x", "y"] {
+            let task = submission(task_type, 900, 6e9);
+            assert_eq!(
+                batched.predict(&task, AttemptContext::first()),
+                serial.predict(&task, AttemptContext::first())
+            );
+        }
+        // Every record landed in exactly one shard.
+        let total: usize = batched.map_shards(|p| p.provenance().len()).iter().sum();
+        assert_eq!(total, records.len());
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic_and_in_range() {
+        let service = ConcurrentSizey::sizey(SizeyConfig::default(), 7);
+        for i in 0..50 {
+            let task = submission(&format!("t{i}"), i, 1e9);
+            let shard = service.shard_of_task(&task);
+            assert!(shard < 7);
+            assert_eq!(shard, service.shard_of_task(&task));
+            // Component hashing must agree with hashing the struct key —
+            // the allocation-free routing relies on derived `Hash` feeding
+            // the fields in declaration order.
+            let mut hasher = DefaultHasher::new();
+            TaskMachineKey {
+                task_type: task.task_type.clone(),
+                machine: task.machine.clone(),
+            }
+            .hash(&mut hasher);
+            assert_eq!(shard, (hasher.finish() % 7) as usize);
+        }
+    }
+
+    #[test]
+    fn shared_handle_clones_share_learned_state() {
+        let mut handle_a = SharedSizey::sizey(SizeyConfig::default(), 4);
+        let handle_b = handle_a.clone();
+        // Tenant A observes; tenant B predicts from the shared state.
+        train(&mut |r| handle_a.observe(r), "shared", 14);
+        let task = submission("shared", 500, 5e9);
+        let through_b =
+            sizey_sim::MemoryPredictor::predict(&handle_b, &task, AttemptContext::first());
+        assert!(through_b.raw_estimate_bytes.is_some());
+        assert!(through_b.allocation_bytes < 20e9);
+        assert_eq!(handle_b.name(), "Sizey");
+    }
+
+    #[test]
+    fn single_shard_still_works() {
+        let service = ConcurrentSizey::sizey(SizeyConfig::default(), 1);
+        train(&mut |r| service.observe(r), "only", 12);
+        let p = service.predict(&submission("only", 50, 4e9), AttemptContext::first());
+        assert!(p.raw_estimate_bytes.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ConcurrentSizey::sizey(SizeyConfig::default(), 0);
+    }
+}

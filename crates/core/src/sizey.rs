@@ -1,4 +1,5 @@
-//! The Sizey predictor: the paper's method end to end.
+//! The Sizey predictor: the paper's method end to end, behind the split
+//! read/write predictor API.
 //!
 //! For every submitted task, Sizey
 //!
@@ -11,14 +12,26 @@
 //!    doubles,
 //! 5. after every completed task updates its models online (incremental or
 //!    full retrain).
+//!
+//! Steps 1–4 are the **read path**: [`SizeyPredictor`] implements
+//! [`MemoryPredictor::predict`] on `&self`, so any number of threads can
+//! size tasks concurrently (the concurrent serving layer in
+//! [`crate::serve`] relies on this). Step 5 is the **write path**,
+//! [`MemoryPredictor::observe`] on `&mut self` — the only place model state
+//! changes. The predictor holds **no per-task retry state**: the allocation
+//! a retry escalates from arrives in the engine-owned
+//! [`AttemptContext`], which is what makes leaks
+//! of in-flight bookkeeping structurally impossible (terminally failed
+//! tasks used to strand an `inflight_allocations` entry forever).
 
 use crate::config::{OffsetMode, SizeyConfig};
 use crate::failure::{failure_allocation, failure_allocation_clamped};
 use crate::offset::{select_dynamic_offset, OffsetStrategy};
 use crate::pool::ModelPool;
 use sizey_provenance::{ProvenanceStore, TaskMachineKey, TaskOutcome, TaskRecord};
-use sizey_sim::{MemoryPredictor, Prediction, TaskSubmission};
+use sizey_sim::{AttemptContext, MemoryPredictor, Prediction, TaskSubmission};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// The Sizey online memory predictor.
@@ -26,13 +39,12 @@ pub struct SizeyPredictor {
     config: SizeyConfig,
     pools: HashMap<TaskMachineKey, ModelPool>,
     store: ProvenanceStore,
-    /// Allocation granted to the most recent attempt of each in-flight task
-    /// (keyed by submission sequence), used by the failure handling.
-    inflight_allocations: HashMap<u64, f64>,
     /// Wall-clock time of every online-learning step (Fig. 9 telemetry).
     training_times: Vec<Duration>,
-    /// How often each offset strategy was selected (diagnostics).
-    offset_selections: HashMap<OffsetStrategy, usize>,
+    /// How often each offset strategy was selected (diagnostics), indexed by
+    /// position in [`OffsetStrategy::ALL`]. Atomic because the selection
+    /// happens on the lock-free read path.
+    offset_selections: [AtomicUsize; OffsetStrategy::ALL.len()],
     /// Cumulative queue delay reported by observed records, and the number of
     /// records carrying it — contention telemetry from the event-driven
     /// scheduler (a tenant whose tasks keep waiting is being starved by
@@ -58,9 +70,8 @@ impl SizeyPredictor {
             config,
             pools: HashMap::new(),
             store: ProvenanceStore::new(),
-            inflight_allocations: HashMap::new(),
             training_times: Vec::new(),
-            offset_selections: HashMap::new(),
+            offset_selections: Default::default(),
             queue_delay_total_seconds: 0.0,
             queue_delay_observations: 0,
         }
@@ -87,9 +98,17 @@ impl SizeyPredictor {
         &self.training_times
     }
 
-    /// How often each offset strategy won the dynamic selection.
-    pub fn offset_selections(&self) -> &HashMap<OffsetStrategy, usize> {
-        &self.offset_selections
+    /// How often each offset strategy won the dynamic selection (strategies
+    /// that never won are omitted).
+    pub fn offset_selections(&self) -> HashMap<OffsetStrategy, usize> {
+        OffsetStrategy::ALL
+            .iter()
+            .zip(&self.offset_selections)
+            .filter_map(|(&strategy, count)| {
+                let n = count.load(Ordering::Relaxed);
+                (n > 0).then_some((strategy, n))
+            })
+            .collect()
     }
 
     /// Number of (task type, machine) pools instantiated so far.
@@ -125,8 +144,9 @@ impl SizeyPredictor {
     /// pool's *current* prediction quality instead of long-gone early errors.
     const OFFSET_WINDOW: usize = 40;
 
-    /// Computes the offset for the current pool state.
-    fn offset_for(&mut self, key: &TaskMachineKey) -> f64 {
+    /// Computes the offset for the current pool state. Read-path method: the
+    /// selection diagnostics are the only thing written, through an atomic.
+    fn offset_for(&self, key: &TaskMachineKey) -> f64 {
         let history: Vec<(f64, f64)> = self
             .pools
             .get(key)
@@ -143,7 +163,11 @@ impl SizeyPredictor {
             OffsetMode::Fixed(strategy) => strategy.offset(&history),
             OffsetMode::Dynamic => {
                 let (strategy, offset) = select_dynamic_offset(&history);
-                *self.offset_selections.entry(strategy).or_insert(0) += 1;
+                let idx = OffsetStrategy::ALL
+                    .iter()
+                    .position(|s| *s == strategy)
+                    .expect("selected strategy is a known candidate");
+                self.offset_selections[idx].fetch_add(1, Ordering::Relaxed);
                 offset
             }
         }
@@ -155,23 +179,25 @@ impl MemoryPredictor for SizeyPredictor {
         "Sizey".to_string()
     }
 
-    fn predict(&mut self, task: &TaskSubmission, attempt: u32) -> Prediction {
+    fn predict(&self, task: &TaskSubmission, ctx: AttemptContext) -> Prediction {
         let key = Self::key(task);
 
-        if attempt > 0 {
+        if ctx.attempt > 0 {
             // Failure handling: maximum ever observed, then doubling —
-            // saturating at the largest node when the capacity is known.
-            let last = self
-                .inflight_allocations
-                .get(&task.sequence)
-                .copied()
+            // saturating at the largest node when the capacity is known. The
+            // failed attempt's allocation is engine-owned state handed in
+            // through the context; with no record of it, escalation starts
+            // from the user preset.
+            let last = ctx
+                .last_allocation_bytes
                 .unwrap_or(task.preset_memory_bytes);
             let max_observed = self.pools.get(&key).and_then(ModelPool::max_observed);
             let allocation = match self.config.node_capacity_bytes {
-                Some(capacity) => failure_allocation_clamped(max_observed, last, attempt, capacity),
-                None => failure_allocation(max_observed, last, attempt),
+                Some(capacity) => {
+                    failure_allocation_clamped(max_observed, last, ctx.attempt, capacity)
+                }
+                None => failure_allocation(max_observed, last, ctx.attempt),
             };
-            self.inflight_allocations.insert(task.sequence, allocation);
             return Prediction {
                 allocation_bytes: allocation,
                 raw_estimate_bytes: None,
@@ -188,8 +214,6 @@ impl MemoryPredictor for SizeyPredictor {
             None => {
                 // Unknown task type (or not enough history): submit with the
                 // user-provided, usually conservative estimate.
-                self.inflight_allocations
-                    .insert(task.sequence, task.preset_memory_bytes);
                 Prediction {
                     allocation_bytes: task.preset_memory_bytes,
                     raw_estimate_bytes: None,
@@ -204,16 +228,19 @@ impl MemoryPredictor for SizeyPredictor {
                 // the raw estimate. A failure of a large, long-running task
                 // costs far more than a few percent of temporary
                 // over-allocation, and the regular offsets take over once
-                // enough history exists.
-                if let Some(pool) = self.pools.get(&key) {
-                    if pool.n_observations() < self.config.cold_start_observations {
-                        allocation = allocation.max(gating.estimate * 1.15);
+                // enough history exists. `OffsetMode::None` promises the raw
+                // estimate untouched, so the guard only applies when an
+                // offset policy is active.
+                if self.config.offset != OffsetMode::None {
+                    if let Some(pool) = self.pools.get(&key) {
+                        if pool.n_observations() < self.config.cold_start_observations {
+                            allocation = allocation.max(gating.estimate * 1.15);
+                        }
                     }
                 }
                 let selected_class = estimates
                     .get(gating.dominant_model)
                     .map(|(class, _)| class.name().to_string());
-                self.inflight_allocations.insert(task.sequence, allocation);
                 Prediction {
                     allocation_bytes: allocation,
                     raw_estimate_bytes: Some(gating.estimate),
@@ -241,7 +268,6 @@ impl MemoryPredictor for SizeyPredictor {
                     &self.config,
                 );
                 self.training_times.push(duration);
-                self.inflight_allocations.remove(&record.sequence);
             }
             TaskOutcome::FailedOutOfMemory => {
                 // The exhausted allocation is a lower bound on the true peak.
@@ -298,22 +324,45 @@ mod tests {
             node_capacity_bytes: Some(32e9),
             ..SizeyConfig::default()
         };
-        let mut p = SizeyPredictor::new(cfg);
-        // No history: escalation starts from the 20 GB preset. Doubling
-        // would reach 40/80 GB on attempts 2/3; the clamp holds it at 32 GB.
+        let p = SizeyPredictor::new(cfg);
+        // No history and no engine context: escalation starts from the 20 GB
+        // preset. Doubling would reach 40/80 GB on attempts 2/3; the clamp
+        // holds it at 32 GB. The engine feeds each granted allocation back
+        // through the context.
         let task = submission(0, 1e9);
-        assert_eq!(p.predict(&task, 1).allocation_bytes, 20e9);
-        assert_eq!(p.predict(&task, 2).allocation_bytes, 32e9);
-        assert_eq!(p.predict(&task, 3).allocation_bytes, 32e9);
+        let a1 = p
+            .predict(&task, AttemptContext::retry(1, 20e9))
+            .allocation_bytes;
+        assert_eq!(a1, 20e9);
+        let a2 = p
+            .predict(&task, AttemptContext::retry(2, a1))
+            .allocation_bytes;
+        assert_eq!(a2, 32e9);
+        let a3 = p
+            .predict(&task, AttemptContext::retry(3, a2))
+            .allocation_bytes;
+        assert_eq!(a3, 32e9);
+        // A retry without a recorded previous allocation falls back to the
+        // preset as the escalation base.
+        let ctx = AttemptContext {
+            attempt: 1,
+            last_allocation_bytes: None,
+        };
+        assert_eq!(p.predict(&task, ctx).allocation_bytes, 20e9);
         // Without a configured capacity the escalation is unbounded.
-        let mut unclamped = SizeyPredictor::with_defaults();
-        assert_eq!(unclamped.predict(&task, 2).allocation_bytes, 40e9);
+        let unclamped = SizeyPredictor::with_defaults();
+        assert_eq!(
+            unclamped
+                .predict(&task, AttemptContext::retry(2, 20e9))
+                .allocation_bytes,
+            40e9
+        );
     }
 
     #[test]
     fn unknown_task_type_uses_preset() {
-        let mut p = SizeyPredictor::with_defaults();
-        let pred = p.predict(&submission(0, 1e9), 0);
+        let p = SizeyPredictor::with_defaults();
+        let pred = p.predict(&submission(0, 1e9), AttemptContext::first());
         assert_eq!(pred.allocation_bytes, 20e9);
         assert!(pred.raw_estimate_bytes.is_none());
         assert!(pred.selected_model.is_none());
@@ -323,7 +372,7 @@ mod tests {
     fn learns_and_beats_the_preset() {
         let mut p = SizeyPredictor::with_defaults();
         train(&mut p, 15);
-        let pred = p.predict(&submission(100, 5e9), 0);
+        let pred = p.predict(&submission(100, 5e9), AttemptContext::first());
         let truth = 11e9;
         assert!(pred.raw_estimate_bytes.is_some());
         assert!(
@@ -344,7 +393,7 @@ mod tests {
     fn offset_makes_allocation_at_least_the_raw_estimate() {
         let mut p = SizeyPredictor::with_defaults();
         train(&mut p, 20);
-        let pred = p.predict(&submission(200, 7e9), 0);
+        let pred = p.predict(&submission(200, 7e9), AttemptContext::first());
         let raw = pred.raw_estimate_bytes.unwrap();
         assert!(pred.allocation_bytes >= raw);
     }
@@ -354,9 +403,12 @@ mod tests {
         let mut p = SizeyPredictor::with_defaults();
         train(&mut p, 10);
         // Max observed peak so far: 2*10 GB + 1 GB = 21 GB.
-        let first_retry = p.predict(&submission(50, 3e9), 1);
+        let first_retry = p.predict(&submission(50, 3e9), AttemptContext::retry(1, 20e9));
         assert!((first_retry.allocation_bytes - 21e9).abs() < 1e-3);
-        let second_retry = p.predict(&submission(50, 3e9), 2);
+        let second_retry = p.predict(
+            &submission(50, 3e9),
+            AttemptContext::retry(2, first_retry.allocation_bytes),
+        );
         assert!((second_retry.allocation_bytes - 42e9).abs() < 1e-3);
     }
 
@@ -368,7 +420,7 @@ mod tests {
         failed.outcome = TaskOutcome::FailedOutOfMemory;
         failed.allocated_memory_bytes = 30e9;
         p.observe(&failed);
-        let retry = p.predict(&submission(61, 3e9), 1);
+        let retry = p.predict(&submission(61, 3e9), AttemptContext::retry(1, 20e9));
         assert!(retry.allocation_bytes >= 30e9);
     }
 
@@ -377,7 +429,7 @@ mod tests {
         let cfg = SizeyConfig::default().with_gating(GatingStrategy::Argmax);
         let mut p = SizeyPredictor::new(cfg);
         train(&mut p, 12);
-        let pred = p.predict(&submission(80, 4e9), 0);
+        let pred = p.predict(&submission(80, 4e9), AttemptContext::first());
         let model = pred.selected_model.unwrap();
         assert!(
             [
@@ -404,7 +456,7 @@ mod tests {
     fn dynamic_offset_selection_is_tracked() {
         let mut p = SizeyPredictor::with_defaults();
         train(&mut p, 15);
-        let _ = p.predict(&submission(99, 3e9), 0);
+        let _ = p.predict(&submission(99, 3e9), AttemptContext::first());
         let total: usize = p.offset_selections().values().sum();
         assert!(total >= 1);
     }
@@ -417,8 +469,82 @@ mod tests {
         };
         let mut p = SizeyPredictor::new(cfg);
         train(&mut p, 10);
-        let pred = p.predict(&submission(70, 6e9), 0);
+        let pred = p.predict(&submission(70, 6e9), AttemptContext::first());
         assert_eq!(pred.allocation_bytes, pred.raw_estimate_bytes.unwrap());
+    }
+
+    /// Satellite regression: the 1.15× cold-start head-room used to be
+    /// applied even under `OffsetMode::None`, so a pool with fewer than
+    /// `cold_start_observations` (default 10) observations violated the
+    /// "raw estimate" contract. The old `no_offset_mode_returns_raw_estimate`
+    /// test only passed because it trained exactly 10 tasks.
+    #[test]
+    fn no_offset_mode_returns_raw_estimate_during_cold_start() {
+        let cfg = SizeyConfig {
+            offset: OffsetMode::None,
+            ..SizeyConfig::default()
+        };
+        assert_eq!(cfg.cold_start_observations, 10);
+        let mut p = SizeyPredictor::new(cfg);
+        // Fewer observations than the cold-start threshold, but enough for
+        // the pool to produce a gated estimate.
+        train(&mut p, 6);
+        let pred = p.predict(&submission(70, 4e9), AttemptContext::first());
+        let raw = pred.raw_estimate_bytes.expect("pool is warm enough");
+        assert_eq!(
+            pred.allocation_bytes, raw,
+            "OffsetMode::None must return the raw estimate even before \
+             cold_start_observations tasks have been observed"
+        );
+        // The guard still protects cold starts whenever offsets are active.
+        let mut dynamic = SizeyPredictor::with_defaults();
+        train(&mut dynamic, 6);
+        let guarded = dynamic.predict(&submission(70, 4e9), AttemptContext::first());
+        let raw = guarded.raw_estimate_bytes.unwrap();
+        assert!(guarded.allocation_bytes >= raw * 1.15 - 1e-3);
+    }
+
+    /// Regression for the in-flight allocation leak: the predictor used to
+    /// keep a per-task `inflight_allocations` entry that was only evicted on
+    /// success, so every task that exhausted `max_attempts` leaked one entry
+    /// forever. Retry state is engine-owned now — predict is `&self` and
+    /// cannot retain anything — so a terminally failed task leaves no trace:
+    /// a later retry of the same sequence number with no engine context
+    /// escalates from the preset, never from a stale allocation.
+    #[test]
+    fn terminally_failed_tasks_leave_no_retry_state_behind() {
+        let p = SizeyPredictor::with_defaults();
+        let task = submission(7, 3e9);
+        // Simulate an exhausted retry chain: escalating failures, none of
+        // which succeed. Records carry the escalated allocations.
+        let mut allocation = 20e9;
+        for attempt in 1..=4u32 {
+            allocation = p
+                .predict(&task, AttemptContext::retry(attempt, allocation))
+                .allocation_bytes;
+        }
+        assert!(allocation > 100e9, "escalation reached {allocation}");
+        // The task is abandoned. A fresh task recycling sequence 7 with no
+        // engine-recorded previous attempt starts from the preset, exactly
+        // like a brand-new predictor — stale in-flight state cannot exist.
+        let ctx = AttemptContext {
+            attempt: 1,
+            last_allocation_bytes: None,
+        };
+        let fresh = SizeyPredictor::with_defaults();
+        assert_eq!(
+            p.predict(&task, ctx).allocation_bytes,
+            fresh.predict(&task, ctx).allocation_bytes
+        );
+        assert_eq!(p.predict(&task, ctx).allocation_bytes, 20e9);
+    }
+
+    /// The read path is `&self` and the predictor is `Sync`: concurrent
+    /// predictions between observes are safe by construction.
+    #[test]
+    fn predictor_is_sync_and_send() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<SizeyPredictor>();
     }
 
     #[test]

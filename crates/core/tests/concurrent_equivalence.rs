@@ -1,0 +1,104 @@
+//! Property tests for the concurrent serving layer and the offset
+//! strategies' empty-history contract.
+//!
+//! The sharded [`SharedSizey`] service must be a *drop-in* replacement for
+//! the serial [`SizeyPredictor`]: driven single-threaded through the same
+//! replay, every allocation decision must be bit-identical. This holds
+//! because all of Sizey's learned state is keyed by (task type, machine)
+//! and the service routes every predict and observe of a key to the same
+//! shard — the property test is the proof that no hidden cross-key state
+//! was missed.
+
+use proptest::prelude::*;
+use sizey_core::OffsetStrategy;
+use sizey_core::{SharedSizey, SizeyConfig, SizeyPredictor};
+use sizey_ml::metrics::{median, std_dev};
+use sizey_sim::{replay_workflow, SimulationConfig};
+use sizey_workflows::{generate_workflow, workflow_by_name, GeneratorConfig, WORKFLOW_NAMES};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The sharded concurrent predictor produces bit-identical decisions to
+    /// the serial `SizeyPredictor` when driven single-threaded through the
+    /// same replay, for any workload, seed and shard count.
+    #[test]
+    fn sharded_service_is_bit_identical_to_serial_sizey(
+        seed in 0u64..3000,
+        wf_idx in 0usize..6,
+        shards in 1usize..9,
+    ) {
+        let name = WORKFLOW_NAMES[wf_idx];
+        let spec = workflow_by_name(name).expect("known workflow");
+        let instances = generate_workflow(
+            &spec,
+            &GeneratorConfig {
+                scale: 0.01,
+                seed,
+                min_instances: 6,
+                interleave: true,
+            },
+        );
+        let sim = SimulationConfig::default();
+
+        let mut serial = SizeyPredictor::with_defaults();
+        let serial_report = replay_workflow(name, &instances, &mut serial, &sim);
+
+        let mut shared = SharedSizey::sizey(SizeyConfig::default(), shards);
+        let shared_report = replay_workflow(name, &instances, &mut shared, &sim);
+
+        prop_assert_eq!(serial_report.events.len(), shared_report.events.len());
+        for (a, b) in serial_report.events.iter().zip(&shared_report.events) {
+            prop_assert_eq!(a.sequence, b.sequence);
+            prop_assert_eq!(a.attempt, b.attempt);
+            // Bitwise equality, not tolerance: the shard must run the exact
+            // same arithmetic on the exact same state.
+            prop_assert_eq!(a.allocated_bytes, b.allocated_bytes);
+            prop_assert_eq!(a.raw_estimate_bytes, b.raw_estimate_bytes);
+            prop_assert_eq!(&a.selected_model, &b.selected_model);
+            prop_assert_eq!(a.success, b.success);
+            prop_assert_eq!(a.wastage_gbh, b.wastage_gbh);
+        }
+        prop_assert_eq!(
+            serial_report.unfinished_instances,
+            shared_report.unfinished_instances
+        );
+    }
+
+    /// Histories with no under-predictions must keep yielding a 0.0 offset
+    /// for the under-prediction strategies: they filter the error list down
+    /// to an empty slice and silently rely on `std_dev`/`median` returning
+    /// 0 for it. Lock that contract in for arbitrary over-predicting
+    /// histories.
+    #[test]
+    fn overpredicting_histories_yield_exactly_zero_underprediction_offsets(
+        margins in proptest::collection::vec(0.0f64..5e9, 1..40),
+    ) {
+        // actual = 10 GB, prediction over-shoots by `margin` ≥ 0: no entry
+        // is an under-prediction.
+        let history: Vec<(f64, f64)> = margins
+            .iter()
+            .map(|&margin| (10e9 + margin, 10e9))
+            .collect();
+        prop_assert_eq!(
+            OffsetStrategy::StdDevUnderpredictions.offset(&history),
+            0.0
+        );
+        prop_assert_eq!(
+            OffsetStrategy::MedianErrorUnderpredictions.offset(&history),
+            0.0
+        );
+    }
+}
+
+/// The empty-slice behavior the offset strategies depend on, asserted at
+/// the metrics level so a future "more correct" NaN-returning refactor
+/// cannot slip through.
+#[test]
+fn empty_slice_metrics_are_zero_not_nan() {
+    assert_eq!(std_dev(&[]), 0.0);
+    assert_eq!(median(&[]), 0.0);
+    for strategy in OffsetStrategy::ALL {
+        assert_eq!(strategy.offset(&[]), 0.0, "{strategy}");
+    }
+}

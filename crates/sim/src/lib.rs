@@ -8,7 +8,11 @@
 //! environment, grown into a real discrete-event cluster simulator:
 //!
 //! * [`predictor::MemoryPredictor`] — the interface every sizing method
-//!   (Sizey and all baselines) implements,
+//!   (Sizey and all baselines) implements, split into a `&self` read path
+//!   (`predict`) and a `&mut self` write path (`observe`); per-attempt retry
+//!   state is engine-owned and passed in via [`predictor::AttemptContext`],
+//! * [`inflight::RetryLedger`] — the engine's in-flight retry state, with
+//!   eviction on success *and* terminal failure,
 //! * [`config::SimulationConfig`] — time-to-failure, attempt budget, the
 //!   8-node / 128 GB cluster dimensions, heterogeneous extra node pools and
 //!   the scheduling policy,
@@ -43,6 +47,7 @@
 pub mod accounting;
 pub mod cluster;
 pub mod config;
+pub mod inflight;
 pub mod predictor;
 pub mod queue;
 pub mod replay;
@@ -51,7 +56,8 @@ pub mod scheduler;
 pub use accounting::{aggregate_method, AttemptEvent, MethodAggregate, ReplayReport};
 pub use cluster::{Cluster, Node, Placement, FIT_TOLERANCE};
 pub use config::{NodePoolSpec, SimulationConfig};
-pub use predictor::{MemoryPredictor, Prediction, PresetPredictor, TaskSubmission};
+pub use inflight::RetryLedger;
+pub use predictor::{AttemptContext, MemoryPredictor, Prediction, PresetPredictor, TaskSubmission};
 pub use replay::{replay_with, replay_workflow, replay_workflow_occupancy, MIN_ALLOCATION_BYTES};
 pub use scheduler::{
     schedule_workflows, MultiReplayReport, SchedulePolicy, ScheduledAttempt, Scheduler,

@@ -5,6 +5,16 @@
 //! for an allocation when a task is submitted (and again for every retry
 //! after an out-of-memory failure), and feeds back a provenance record when
 //! an attempt finishes.
+//!
+//! The interface is split into a **read path** and a **write path**:
+//! [`MemoryPredictor::predict`] takes `&self` and must not mutate learned
+//! state, while [`MemoryPredictor::observe`] takes `&mut self` and is the
+//! only place models update. Per-attempt retry state (the allocation of the
+//! attempt that just failed) is owned by the *engine*, not the predictor,
+//! and handed in through [`AttemptContext`] — predictors are pure functions
+//! of their learned state plus the context, which is what makes them
+//! shareable behind read-write locks (see `sizey_core`'s concurrent serving
+//! layer) and structurally unable to leak per-task bookkeeping.
 
 use sizey_provenance::{MachineId, TaskRecord, TaskTypeId};
 
@@ -60,16 +70,61 @@ impl Prediction {
     }
 }
 
+/// Engine-owned retry state for one attempt of one task.
+///
+/// The replay engine (not the predictor) remembers what happened to the
+/// previous attempt of an in-flight task and hands it to
+/// [`MemoryPredictor::predict`]. Keeping this state out of the predictors
+/// eliminates a whole leak class: a predictor cannot forget to evict a
+/// per-task map entry when a task terminally fails, because it never holds
+/// one.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AttemptContext {
+    /// 0 for the first submission, incremented after every out-of-memory
+    /// failure of the same task instance.
+    pub attempt: u32,
+    /// The allocation actually granted to the previous (failed) attempt, as
+    /// the engine ran it — i.e. after any node-capacity clamping. `None` on
+    /// the first attempt, or when the caller has no record of the failed
+    /// attempt (methods then fall back to the user preset).
+    pub last_allocation_bytes: Option<f64>,
+}
+
+impl AttemptContext {
+    /// The context of a first submission.
+    pub fn first() -> Self {
+        AttemptContext::default()
+    }
+
+    /// The context of retry `attempt` (≥ 1) whose previous attempt ran with
+    /// `last_allocation_bytes`.
+    pub fn retry(attempt: u32, last_allocation_bytes: f64) -> Self {
+        AttemptContext {
+            attempt,
+            last_allocation_bytes: Some(last_allocation_bytes),
+        }
+    }
+}
+
 /// A memory sizing method that can be replayed through the online simulator.
+///
+/// The trait is split into a lock-friendly read path ([`predict`] on
+/// `&self`) and a write path ([`observe`] on `&mut self`): many threads may
+/// predict concurrently between model updates.
+///
+/// [`predict`]: MemoryPredictor::predict
+/// [`observe`]: MemoryPredictor::observe
 pub trait MemoryPredictor: Send {
     /// Human-readable method name (used in result tables).
     fn name(&self) -> String;
 
-    /// Produces the allocation for an attempt of a task. `attempt` is 0 for
-    /// the first submission and increments after every out-of-memory failure
-    /// of the same task instance; methods implement their own failure
-    /// handling (doubling, node maximum, ...) based on it.
-    fn predict(&mut self, task: &TaskSubmission, attempt: u32) -> Prediction;
+    /// Produces the allocation for an attempt of a task. Retry state — the
+    /// attempt number and the previous attempt's allocation — arrives in
+    /// `ctx`, owned by the engine; methods implement their own failure
+    /// handling (doubling, node maximum, ...) based on it. Must not mutate
+    /// learned state: all model updates belong in
+    /// [`observe`](MemoryPredictor::observe).
+    fn predict(&self, task: &TaskSubmission, ctx: AttemptContext) -> Prediction;
 
     /// Called after every finished attempt (successful or failed) with the
     /// monitoring record; online methods update their models here.
@@ -88,9 +143,9 @@ impl MemoryPredictor for PresetPredictor {
         "Workflow-Presets".to_string()
     }
 
-    fn predict(&mut self, task: &TaskSubmission, attempt: u32) -> Prediction {
+    fn predict(&self, task: &TaskSubmission, ctx: AttemptContext) -> Prediction {
         // Presets are already conservative; on the (rare) failure double.
-        let factor = 2.0_f64.powi(attempt as i32);
+        let factor = 2.0_f64.powi(ctx.attempt as i32);
         Prediction::simple(task.preset_memory_bytes * factor)
     }
 
@@ -127,11 +182,31 @@ mod tests {
 
     #[test]
     fn preset_predictor_allocates_preset_and_doubles_on_retry() {
-        let mut p = PresetPredictor;
+        let p = PresetPredictor;
         let task = submission();
-        assert_eq!(p.predict(&task, 0).allocation_bytes, 8e9);
-        assert_eq!(p.predict(&task, 1).allocation_bytes, 16e9);
-        assert_eq!(p.predict(&task, 2).allocation_bytes, 32e9);
+        assert_eq!(
+            p.predict(&task, AttemptContext::first()).allocation_bytes,
+            8e9
+        );
+        assert_eq!(
+            p.predict(&task, AttemptContext::retry(1, 8e9))
+                .allocation_bytes,
+            16e9
+        );
+        assert_eq!(
+            p.predict(&task, AttemptContext::retry(2, 16e9))
+                .allocation_bytes,
+            32e9
+        );
         assert_eq!(p.name(), "Workflow-Presets");
+    }
+
+    #[test]
+    fn attempt_context_constructors() {
+        assert_eq!(AttemptContext::first().attempt, 0);
+        assert!(AttemptContext::first().last_allocation_bytes.is_none());
+        let retry = AttemptContext::retry(2, 4e9);
+        assert_eq!(retry.attempt, 2);
+        assert_eq!(retry.last_allocation_bytes, Some(4e9));
     }
 }

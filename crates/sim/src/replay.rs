@@ -25,7 +25,7 @@
 use crate::accounting::{AttemptEvent, ReplayReport};
 use crate::cluster::Cluster;
 use crate::config::SimulationConfig;
-use crate::predictor::{MemoryPredictor, TaskSubmission};
+use crate::predictor::{AttemptContext, MemoryPredictor, TaskSubmission};
 use crate::scheduler::Scheduler;
 use sizey_provenance::{TaskOutcome, TaskRecord};
 use sizey_workflows::TaskInstance;
@@ -68,11 +68,21 @@ pub fn replay_workflow(
         // First attempts arrive at time zero; retries arrive when the failed
         // attempt finishes.
         let mut submit_time = 0.0_f64;
+        // Engine-owned retry state: the allocation the previous (failed)
+        // attempt actually ran with. A stack local suffices here — the
+        // sequential loop retires it with the instance, so terminal failures
+        // cannot leak per-task entries anywhere.
+        let mut last_allocation: Option<f64> = None;
         while attempt < config.max_attempts {
-            let prediction = predictor.predict(&submission, attempt);
+            let ctx = AttemptContext {
+                attempt,
+                last_allocation_bytes: last_allocation,
+            };
+            let prediction = predictor.predict(&submission, ctx);
             let allocation = prediction
                 .allocation_bytes
                 .clamp(MIN_ALLOCATION_BYTES, largest_node);
+            last_allocation = Some(allocation);
 
             let success = allocation + 1e-6 >= inst.true_peak_bytes;
             let duration = if success {
@@ -234,11 +244,17 @@ pub fn replay_workflow_occupancy(
 
         let mut attempt = 0u32;
         let mut finished = false;
+        let mut last_allocation: Option<f64> = None;
         while attempt < config.max_attempts {
-            let prediction = predictor.predict(&submission, attempt);
+            let ctx = AttemptContext {
+                attempt,
+                last_allocation_bytes: last_allocation,
+            };
+            let prediction = predictor.predict(&submission, ctx);
             let allocation = prediction
                 .allocation_bytes
                 .clamp(MIN_ALLOCATION_BYTES, config.node_memory_bytes);
+            last_allocation = Some(allocation);
 
             // Occupancy model: make room, then place.
             while cluster.try_place(allocation).is_none() {
@@ -375,9 +391,9 @@ mod tests {
         fn name(&self) -> String {
             "fixed".to_string()
         }
-        fn predict(&mut self, _task: &TaskSubmission, attempt: u32) -> Prediction {
+        fn predict(&self, _task: &TaskSubmission, ctx: AttemptContext) -> Prediction {
             Prediction {
-                allocation_bytes: self.bytes * 2.0_f64.powi(attempt as i32),
+                allocation_bytes: self.bytes * 2.0_f64.powi(ctx.attempt as i32),
                 raw_estimate_bytes: Some(self.bytes),
                 selected_model: Some("fixed".to_string()),
             }
@@ -483,8 +499,8 @@ mod tests {
             fn name(&self) -> String {
                 "recorder".into()
             }
-            fn predict(&mut self, _t: &TaskSubmission, attempt: u32) -> Prediction {
-                Prediction::simple(if attempt == 0 { 1e9 } else { 10e9 })
+            fn predict(&self, _t: &TaskSubmission, ctx: AttemptContext) -> Prediction {
+                Prediction::simple(if ctx.attempt == 0 { 1e9 } else { 10e9 })
             }
             fn observe(&mut self, record: &TaskRecord) {
                 self.records.push(record.clone());

@@ -7,9 +7,9 @@
 //! the cluster, not just as GB·h on the over-allocator's bill. This module
 //! adds a real discrete-event scheduler:
 //!
-//! * a virtual clock driven by an [`EventHeap`](crate::queue::EventHeap) of
+//! * a virtual clock driven by an [`EventHeap`] of
 //!   submissions and completions,
-//! * a [`PendingQueue`](crate::queue::PendingQueue) where tasks wait when no
+//! * a [`PendingQueue`] where tasks wait when no
 //!   node fits — over-allocation now costs makespan,
 //! * pluggable [`SchedulePolicy`] variants (first fit, best fit, bounded
 //!   backfill),
@@ -32,7 +32,8 @@
 use crate::accounting::{AttemptEvent, ReplayReport};
 use crate::cluster::{Cluster, Node};
 use crate::config::SimulationConfig;
-use crate::predictor::{MemoryPredictor, TaskSubmission};
+use crate::inflight::RetryLedger;
+use crate::predictor::{AttemptContext, MemoryPredictor, TaskSubmission};
 use crate::queue::{EventHeap, PendingQueue, PendingTask};
 use crate::replay::MIN_ALLOCATION_BYTES;
 use sizey_provenance::{TaskOutcome, TaskRecord};
@@ -93,6 +94,14 @@ pub struct SchedulerStats {
     /// Placements forced past a full cluster (only possible when a caller
     /// bypasses the largest-node clamp; the property suite asserts zero).
     pub forced_placements: usize,
+    /// High-water mark of the engine's [`RetryLedger`]: how many tasks were
+    /// simultaneously awaiting a retry.
+    pub peak_inflight_retries: usize,
+    /// Retry-ledger entries still present when the replay drained — leaked
+    /// per-task state. Always zero: entries are evicted on success and on
+    /// terminal failure alike (the regression suite asserts this for
+    /// workloads where *every* task exhausts its attempt budget).
+    pub leaked_inflight_retries: usize,
 }
 
 impl SchedulerStats {
@@ -439,6 +448,11 @@ pub fn schedule_workflows(
     let mut pending: PendingQueue<QueuedAttempt> = PendingQueue::new();
     let mut stats = SchedulerStats::default();
     let mut makespan = 0.0_f64;
+    // Engine-owned retry state, keyed by (tenant, instance): the allocation
+    // the previous failed attempt ran with. Entries are evicted on success
+    // and on terminal failure alike, so the ledger drains to empty with the
+    // event heap.
+    let mut retries: RetryLedger<(usize, usize)> = RetryLedger::new();
 
     let mut tenant_events: Vec<Vec<AttemptEvent>> = tenants.iter().map(|_| Vec::new()).collect();
     let mut unfinished: Vec<usize> = vec![0; tenants.len()];
@@ -528,7 +542,11 @@ pub fn schedule_workflows(
                     input_bytes: inst.input_bytes,
                     preset_memory_bytes: inst.preset_memory_bytes,
                 };
-                let prediction = tenant.predictor.predict(&submission, attempt);
+                let ctx = AttemptContext {
+                    attempt,
+                    last_allocation_bytes: retries.last_allocation((ti, instance)),
+                };
+                let prediction = tenant.predictor.predict(&submission, ctx);
                 let allocation = prediction
                     .allocation_bytes
                     .clamp(MIN_ALLOCATION_BYTES, largest_node);
@@ -600,9 +618,13 @@ pub fn schedule_workflows(
                     },
                 };
                 tenants[ti].predictor.observe(&record);
-                if !run.task.success {
+                if run.task.success {
+                    // Terminal state: retire any pending retry baseline.
+                    retries.finish((ti, run.task.instance));
+                } else {
                     let next_attempt = run.task.attempt + 1;
                     if next_attempt < config.max_attempts {
+                        retries.record_failure((ti, run.task.instance), run.task.allocation_bytes);
                         events.push(
                             now,
                             Event::Submit {
@@ -612,6 +634,10 @@ pub fn schedule_workflows(
                             },
                         );
                     } else {
+                        // Attempt budget exhausted: equally terminal. Before
+                        // the split-API refactor this path leaked the task's
+                        // in-flight allocation entry forever.
+                        retries.finish((ti, run.task.instance));
                         unfinished[ti] += 1;
                     }
                 }
@@ -647,6 +673,12 @@ pub fn schedule_workflows(
     }
 
     stats.peak_pending_tasks = pending.peak_len();
+    stats.peak_inflight_retries = retries.peak_entries();
+    stats.leaked_inflight_retries = retries.len();
+    debug_assert_eq!(
+        stats.leaked_inflight_retries, 0,
+        "every task reaches a terminal state, so the retry ledger must drain"
+    );
 
     let reports = tenants
         .iter()
@@ -989,7 +1021,7 @@ mod tests {
             fn name(&self) -> String {
                 "probe".into()
             }
-            fn predict(&mut self, _t: &TaskSubmission, _attempt: u32) -> Prediction {
+            fn predict(&self, _t: &TaskSubmission, _ctx: AttemptContext) -> Prediction {
                 Prediction::simple(8e9)
             }
             fn observe(&mut self, record: &TaskRecord) {

@@ -15,8 +15,9 @@
 use proptest::prelude::*;
 use sizey_provenance::{MachineId, TaskRecord, TaskTypeId};
 use sizey_sim::{
-    replay_workflow, replay_workflow_occupancy, schedule_workflows, MemoryPredictor, Prediction,
-    PresetPredictor, SchedulePolicy, SimulationConfig, TaskSubmission, WorkflowTenant,
+    replay_workflow, replay_workflow_occupancy, schedule_workflows, AttemptContext,
+    MemoryPredictor, Prediction, PresetPredictor, SchedulePolicy, SimulationConfig, TaskSubmission,
+    WorkflowTenant,
 };
 use sizey_workflows::TaskInstance;
 
@@ -197,8 +198,8 @@ impl MemoryPredictor for DoublingFrom {
     fn name(&self) -> String {
         "doubling".into()
     }
-    fn predict(&mut self, _task: &TaskSubmission, attempt: u32) -> Prediction {
-        Prediction::simple(self.base * 2.0_f64.powi(attempt as i32))
+    fn predict(&self, _task: &TaskSubmission, ctx: AttemptContext) -> Prediction {
+        Prediction::simple(self.base * 2.0_f64.powi(ctx.attempt as i32))
     }
     fn observe(&mut self, _record: &TaskRecord) {}
 }

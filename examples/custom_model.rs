@@ -78,7 +78,7 @@ impl MemoryPredictor for MedianRatioSizer {
         "MedianRatio (custom)".to_string()
     }
 
-    fn predict(&mut self, task: &TaskSubmission, attempt: u32) -> Prediction {
+    fn predict(&self, task: &TaskSubmission, ctx: AttemptContext) -> Prediction {
         let key = TaskMachineKey {
             task_type: task.task_type.clone(),
             machine: task.machine.clone(),
@@ -89,7 +89,7 @@ impl MemoryPredictor for MedianRatioSizer {
             .and_then(|m| m.predict(&task.features()).ok());
         let base = raw.map(|r| r * 1.2).unwrap_or(task.preset_memory_bytes);
         Prediction {
-            allocation_bytes: base * 2.0_f64.powi(attempt as i32),
+            allocation_bytes: base * 2.0_f64.powi(ctx.attempt as i32),
             raw_estimate_bytes: raw,
             selected_model: Some("median-ratio".to_string()),
         }

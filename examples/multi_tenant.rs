@@ -8,6 +8,11 @@
 //! lean tenant's tasks and stretches its makespan, compared to the same iwd
 //! replay running alone on the same cluster.
 //!
+//! The final run replaces both tenants' private predictors with clones of
+//! **one** shared concurrent Sizey service ([`SharedSizey`]): every tenant's
+//! completions train the shards every tenant predicts from, the deployment
+//! model of a cluster-wide sizing service.
+//!
 //! Run with `cargo run --release --example multi_tenant [scale]`.
 
 use sizey_suite::prelude::*;
@@ -82,5 +87,37 @@ fn main() {
         shared_iwd.total_queue_delay_seconds() - alone_iwd.total_queue_delay_seconds(),
         (shared_iwd.makespan_seconds - alone_iwd.makespan_seconds) / 3600.0,
     );
-    println!("— contention the paper's queue-free capacity model cannot express.");
+    println!("— contention the paper's queue-free capacity model cannot express.\n");
+
+    // Cluster-wide sizing service: both tenants share ONE concurrent Sizey
+    // instance (sharded by task type × machine behind read-write locks), so
+    // rnaseq benefits from the provenance iwd produced and vice versa.
+    let service = SharedSizey::sizey(SizeyConfig::default(), 8);
+    let mk = |name: &str, spec: &WorkflowSpec| {
+        WorkflowTenant::new(
+            name,
+            generate_workflow(spec, &GeneratorConfig::scaled(scale, 42)),
+            Box::new(service.clone()),
+        )
+    };
+    let pooled = schedule_workflows(
+        vec![
+            mk("rnaseq", &sizey_workflows::profiles::rnaseq()),
+            mk("iwd", &sizey_workflows::profiles::iwd()),
+        ],
+        &sim,
+    );
+    print_run(
+        "both tenants on ONE shared concurrent Sizey service",
+        &pooled,
+    );
+    let records: usize = service
+        .service()
+        .map_shards(|p| p.provenance().len())
+        .iter()
+        .sum();
+    println!(
+        "shared service observed {records} records across {} shards",
+        service.service().shard_count()
+    );
 }

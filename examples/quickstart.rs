@@ -24,7 +24,7 @@ fn main() {
     };
 
     // Before any history exists, Sizey falls back to the user preset.
-    let cold = sizey.predict(&submission, 0);
+    let cold = sizey.predict(&submission, AttemptContext::first());
     println!(
         "cold start     : allocate {:>6.2} GB (user preset, no history yet)",
         cold.allocation_bytes / 1e9
@@ -50,7 +50,7 @@ fn main() {
     }
 
     // With history, Sizey's model pool takes over.
-    let warm = sizey.predict(&submission, 0);
+    let warm = sizey.predict(&submission, AttemptContext::first());
     let truth = 1.3 * submission.input_bytes + 0.8e9;
     println!(
         "after 30 tasks : allocate {:>6.2} GB (raw estimate {:.2} GB, model: {}, true peak {:.2} GB)",
@@ -65,8 +65,9 @@ fn main() {
     );
 
     // If the task still fails, Sizey escalates to the largest peak it has
-    // ever seen, then doubles.
-    let retry = sizey.predict(&submission, 1);
+    // ever seen, then doubles. The allocation the failed attempt ran with is
+    // engine-owned state, passed in through the retry context.
+    let retry = sizey.predict(&submission, AttemptContext::retry(1, warm.allocation_bytes));
     println!(
         "after a failure: allocate {:>6.2} GB (max observed so far)",
         retry.allocation_bytes / 1e9

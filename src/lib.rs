@@ -20,7 +20,8 @@
 pub mod prelude {
     pub use sizey_baselines::{PresetPredictor, TovarPpm, WittLr, WittPercentile, WittWastage};
     pub use sizey_core::{
-        GatingStrategy, OffsetMode, OffsetStrategy, OnlineMode, SizeyConfig, SizeyPredictor,
+        BatchRequest, ConcurrentPredictor, ConcurrentSizey, GatingStrategy, OffsetMode,
+        OffsetStrategy, OnlineMode, SharedPredictor, SharedSizey, SizeyConfig, SizeyPredictor,
     };
     pub use sizey_ml::{Dataset, ModelClass, Regressor};
     pub use sizey_provenance::{
@@ -28,8 +29,9 @@ pub mod prelude {
     };
     pub use sizey_sim::{
         aggregate_method, replay_workflow, replay_workflow_occupancy, schedule_workflows,
-        MemoryPredictor, MultiReplayReport, NodePoolSpec, Prediction, ReplayReport, SchedulePolicy,
-        Scheduler, SchedulerStats, SimulationConfig, TaskSubmission, WorkflowTenant,
+        AttemptContext, MemoryPredictor, MultiReplayReport, NodePoolSpec, Prediction, ReplayReport,
+        SchedulePolicy, Scheduler, SchedulerStats, SimulationConfig, TaskSubmission,
+        WorkflowTenant,
     };
     pub use sizey_workflows::{
         all_workflows, generate_workflow, profiles, GeneratorConfig, TaskInstance, WorkflowSpec,

@@ -1,0 +1,86 @@
+//! End-to-end regression for the Sizey in-flight allocation leak
+//! (`SizeyPredictor::inflight_allocations` used to evict only on
+//! `TaskOutcome::Succeeded`, so tasks that exhausted `max_attempts` leaked
+//! one entry each, forever).
+//!
+//! The retry baseline is engine-owned now; replaying a workload of
+//! never-satisfiable tasks with the real Sizey predictor must (a) terminate
+//! with every instance reported unfinished, (b) leave the event-driven
+//! engine's retry ledger empty, and (c) leave the predictor itself free of
+//! any per-task retry state — its retry decisions depend only on learned
+//! pools plus the context the engine hands in.
+
+use sizey_suite::prelude::*;
+
+fn impossible(seq: u64) -> TaskInstance {
+    TaskInstance {
+        workflow: "wf".into(),
+        task_type: TaskTypeId::new("hungry"),
+        machine: MachineId::new("m"),
+        sequence: seq,
+        input_bytes: 2e9,
+        // Beyond the 128 GB largest node: every clamped attempt fails.
+        true_peak_bytes: 400e9,
+        base_runtime_seconds: 30.0,
+        preset_memory_bytes: 8e9,
+        cpu_utilization_pct: 100.0,
+        io_read_bytes: 2e9,
+        io_write_bytes: 2e9,
+    }
+}
+
+#[test]
+fn sizey_retry_state_stays_bounded_when_tasks_terminally_fail() {
+    let n = 40u64;
+    let instances: Vec<TaskInstance> = (0..n).map(impossible).collect();
+    let config = SimulationConfig {
+        max_attempts: 5,
+        ..SimulationConfig::default()
+    };
+
+    // Sequential engine: the retry baseline is a stack local per instance.
+    let mut sizey = SizeyPredictor::with_defaults();
+    let report = replay_workflow("wf", &instances, &mut sizey, &config);
+    assert_eq!(report.unfinished_instances, n as usize);
+    assert_eq!(report.events.len(), 5 * n as usize);
+    // The predictor accumulated learned artifacts only: one pool for the
+    // single (task type, machine) key and one provenance record per attempt
+    // — bounded by observations, not by abandoned in-flight tasks.
+    assert_eq!(sizey.n_pools(), 1);
+    assert_eq!(sizey.provenance().len(), report.events.len());
+
+    // Event-driven engine: the ledger must drain despite zero successes.
+    let instances: Vec<TaskInstance> = (0..n).map(impossible).collect();
+    let result = schedule_workflows(
+        vec![WorkflowTenant::new(
+            "wf",
+            instances,
+            Box::new(SizeyPredictor::with_defaults()),
+        )],
+        &config,
+    );
+    assert_eq!(result.reports[0].unfinished_instances, n as usize);
+    assert!(result.stats.peak_inflight_retries >= 1);
+    assert_eq!(
+        result.stats.leaked_inflight_retries, 0,
+        "terminal failures must evict their in-flight retry entries"
+    );
+
+    // The shared concurrent service is equally stateless per task: after the
+    // carnage above, a retry with no engine context starts from the preset
+    // escalation base for an unknown key, same as a fresh service.
+    let service = SharedSizey::sizey(SizeyConfig::default(), 4);
+    let task = TaskSubmission {
+        workflow: "wf".into(),
+        task_type: TaskTypeId::new("unseen"),
+        machine: MachineId::new("m"),
+        sequence: 0,
+        input_bytes: 1e9,
+        preset_memory_bytes: 8e9,
+    };
+    let ctx = AttemptContext {
+        attempt: 1,
+        last_allocation_bytes: None,
+    };
+    assert_eq!(service.service().predict(&task, ctx).allocation_bytes, 8e9);
+}

@@ -98,7 +98,7 @@ pub mod collection {
     use rand::Rng;
 
     /// Strategy for `Vec`s with element strategy `S` and length drawn from a
-    /// range. Returned by [`vec`].
+    /// range. Returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

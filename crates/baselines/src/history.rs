@@ -6,9 +6,26 @@ use std::collections::HashMap;
 
 /// Observation history of successful executions, grouped per
 /// (task type, machine) combination.
+///
+/// Alongside the per-key indices, the history keeps a **journal** of every
+/// record passed to [`History::observe`] (including failed attempts, which
+/// contribute nothing to the indices) in observation order. The journal is
+/// the event source backing the snapshot/restore lifecycle
+/// ([`sizey_sim::lifecycle`]): all baseline state is a deterministic function
+/// of it, so replaying it through a fresh predictor reconstructs the learned
+/// state bit for bit.
+///
+/// The journal grows with every observation — a deliberate trade-off: the
+/// baselines now mirror the provenance-database model the paper attaches to
+/// the workflow system (Sizey's `ProvenanceStore` retains exactly the same
+/// records), and retaining the full record is what makes any moment's state
+/// checkpointable without a second serialisation of derived structures. A
+/// deployment that needs bounded memory and no checkpoints can periodically
+/// swap the predictor for a fresh one restored from a truncated journal.
 #[derive(Debug, Default, Clone)]
 pub struct History {
     observations: HashMap<TaskMachineKey, Vec<Observation>>,
+    journal: Vec<TaskRecord>,
 }
 
 /// One successful task execution as seen by a baseline method.
@@ -27,9 +44,12 @@ impl History {
     }
 
     /// Records a finished attempt. Only successful executions carry a true
-    /// peak measurement and are stored; failed attempts are ignored here
-    /// (failure handling is the responsibility of each method).
+    /// peak measurement and enter the per-key indices; failed attempts are
+    /// ignored there (failure handling is the responsibility of each
+    /// method), but every record enters the journal so snapshots stay a
+    /// faithful event log.
     pub fn observe(&mut self, record: &TaskRecord) {
+        self.journal.push(record.clone());
         if record.outcome != TaskOutcome::Succeeded {
             return;
         }
@@ -40,6 +60,17 @@ impl History {
                 input_bytes: record.input_bytes,
                 peak_bytes: record.peak_memory_bytes,
             });
+    }
+
+    /// Every record ever observed, in observation order — the event source
+    /// for the snapshot/restore lifecycle.
+    pub fn journal(&self) -> &[TaskRecord] {
+        &self.journal
+    }
+
+    /// True when nothing has been observed yet (fresh instance).
+    pub fn is_fresh(&self) -> bool {
+        self.journal.is_empty()
     }
 
     /// All successful observations for a key, in arrival order.
@@ -65,6 +96,46 @@ impl History {
             .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 }
+
+/// Implements [`sizey_sim::lifecycle::CheckpointPredictor`] for a baseline
+/// whose entire learned state lives in a `history: History` field: the
+/// snapshot is the history's journal, and restore replays it through
+/// `observe` on a fresh instance. Baselines keep no predict-path counters,
+/// so any counter in the state is rejected as foreign.
+macro_rules! impl_history_checkpoint {
+    ($ty:ty) => {
+        impl sizey_sim::lifecycle::CheckpointPredictor for $ty {
+            fn snapshot(&self) -> sizey_sim::lifecycle::PredictorState {
+                sizey_sim::lifecycle::PredictorState {
+                    journal: self.history.journal().to_vec(),
+                    counters: Vec::new(),
+                }
+            }
+
+            fn restore(
+                &mut self,
+                state: &sizey_sim::lifecycle::PredictorState,
+            ) -> Result<(), sizey_sim::lifecycle::StateError> {
+                if !self.history.is_fresh() {
+                    return Err(sizey_sim::lifecycle::StateError::NotFresh {
+                        observed: self.history.journal().len(),
+                    });
+                }
+                if let Some((name, _)) = state.counters.first() {
+                    return Err(sizey_sim::lifecycle::StateError::UnknownCounter {
+                        name: name.clone(),
+                    });
+                }
+                for record in &state.journal {
+                    sizey_sim::MemoryPredictor::observe(self, record);
+                }
+                Ok(())
+            }
+        }
+    };
+}
+
+pub(crate) use impl_history_checkpoint;
 
 #[cfg(test)]
 mod tests {
@@ -105,6 +176,25 @@ mod tests {
         assert!(h.get(&key).is_empty());
         assert_eq!(h.count(&key), 0);
         assert_eq!(h.max_peak(&key), None);
+    }
+
+    #[test]
+    fn journal_keeps_every_record_in_order() {
+        let mut h = History::new();
+        assert!(h.is_fresh());
+        h.observe(&record(1e9, TaskOutcome::Succeeded));
+        h.observe(&record(9e9, TaskOutcome::FailedOutOfMemory));
+        h.observe(&record(2e9, TaskOutcome::Succeeded));
+        assert!(!h.is_fresh());
+        assert_eq!(h.journal().len(), 3, "failures enter the journal too");
+        assert_eq!(h.journal()[1].outcome, TaskOutcome::FailedOutOfMemory);
+        // Replaying the journal into a fresh history reproduces the indices.
+        let mut replayed = History::new();
+        for r in h.journal() {
+            replayed.observe(r);
+        }
+        let key = TaskMachineKey::new("t", "m");
+        assert_eq!(replayed.peaks(&key), h.peaks(&key));
     }
 
     #[test]

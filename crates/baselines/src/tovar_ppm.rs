@@ -138,6 +138,8 @@ impl MemoryPredictor for TovarPpm {
     }
 }
 
+crate::history::impl_history_checkpoint!(TovarPpm);
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -115,6 +115,8 @@ impl MemoryPredictor for WittLr {
     }
 }
 
+crate::history::impl_history_checkpoint!(WittLr);
+
 #[cfg(test)]
 mod tests {
     use super::*;

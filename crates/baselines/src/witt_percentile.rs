@@ -91,6 +91,8 @@ impl MemoryPredictor for WittPercentile {
     }
 }
 
+crate::history::impl_history_checkpoint!(WittPercentile);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +173,30 @@ mod tests {
                 .allocation_bytes,
             10e9
         );
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        use sizey_sim::lifecycle::{CheckpointPredictor, StateError};
+        let mut original = WittPercentile::new();
+        for i in 1..=20 {
+            original.observe(&success(i as f64 * 1e8));
+        }
+        let state = original.snapshot();
+        assert_eq!(state.journal.len(), 20);
+        let mut restored = WittPercentile::new();
+        restored.restore(&state).unwrap();
+        let task = submission();
+        assert_eq!(
+            original.predict(&task, AttemptContext::first()),
+            restored.predict(&task, AttemptContext::first())
+        );
+        assert_eq!(restored.snapshot(), state);
+        // Restoring onto a non-fresh instance is refused.
+        assert!(matches!(
+            restored.restore(&state),
+            Err(StateError::NotFresh { observed: 20 })
+        ));
     }
 
     #[test]

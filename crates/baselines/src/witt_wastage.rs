@@ -157,6 +157,8 @@ impl MemoryPredictor for WittWastage {
     }
 }
 
+crate::history::impl_history_checkpoint!(WittWastage);
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,8 +4,8 @@
 //!
 //! Run with `cargo run -p sizey-bench --release --bin ablation_failure`.
 
-use sizey_bench::{banner, fmt, generate_workloads, render_table, HarnessSettings};
-use sizey_core::{SizeyConfig, SizeyPredictor};
+use sizey_bench::{banner, fmt, generate_workloads, render_table, HarnessSettings, MethodSpec};
+use sizey_core::SizeyPredictor;
 use sizey_provenance::TaskRecord;
 use sizey_sim::{
     replay_workflow, AttemptContext, MemoryPredictor, Prediction, SimulationConfig, TaskSubmission,
@@ -71,7 +71,9 @@ fn main() {
         let mut name = String::new();
         for workload in &workloads {
             let mut predictor = RetryPolicyOverride {
-                inner: SizeyPredictor::new(SizeyConfig::default()),
+                inner: MethodSpec::sizey_defaults()
+                    .build_sizey()
+                    .expect("a Sizey spec builds a Sizey predictor"),
                 policy,
                 node_memory_bytes: sim.node_memory_bytes,
             };

@@ -4,8 +4,8 @@
 //!
 //! Run with `cargo run -p sizey-bench --release --bin ablation_gating`.
 
-use sizey_bench::{banner, fmt, generate_workloads, render_table, HarnessSettings};
-use sizey_core::{GatingStrategy, SizeyConfig, SizeyPredictor};
+use sizey_bench::{banner, fmt, generate_workloads, render_table, HarnessSettings, MethodSpec};
+use sizey_core::{GatingStrategy, SizeyConfig};
 use sizey_sim::{replay_workflow, SimulationConfig};
 
 fn main() {
@@ -42,9 +42,13 @@ fn main() {
         let mut wastage = 0.0;
         let mut failures = 0usize;
         for workload in &workloads {
-            let mut sizey = SizeyPredictor::new(SizeyConfig::default().with_gating(gating));
-            let report =
-                replay_workflow(&workload.spec.name, &workload.instances, &mut sizey, &sim);
+            let mut sizey = MethodSpec::Sizey(SizeyConfig::default().with_gating(gating)).build();
+            let report = replay_workflow(
+                &workload.spec.name,
+                &workload.instances,
+                sizey.as_mut(),
+                &sim,
+            );
             wastage += report.total_wastage_gbh();
             failures += report.total_failures();
         }

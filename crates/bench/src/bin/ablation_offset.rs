@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run -p sizey-bench --release --bin ablation_offset`.
 
-use sizey_bench::{banner, fmt, generate_workloads, render_table, HarnessSettings};
-use sizey_core::{OffsetMode, OffsetStrategy, SizeyConfig, SizeyPredictor};
+use sizey_bench::{banner, fmt, generate_workloads, render_table, HarnessSettings, MethodSpec};
+use sizey_core::{OffsetMode, OffsetStrategy, SizeyConfig};
 use sizey_sim::{replay_workflow, SimulationConfig};
 
 fn main() {
@@ -37,9 +37,13 @@ fn main() {
                 offset,
                 ..SizeyConfig::default()
             };
-            let mut sizey = SizeyPredictor::new(config);
-            let report =
-                replay_workflow(&workload.spec.name, &workload.instances, &mut sizey, &sim);
+            let mut sizey = MethodSpec::Sizey(config).build();
+            let report = replay_workflow(
+                &workload.spec.name,
+                &workload.instances,
+                sizey.as_mut(),
+                &sim,
+            );
             wastage += report.total_wastage_gbh();
             failures += report.total_failures();
         }

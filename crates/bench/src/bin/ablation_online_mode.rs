@@ -5,8 +5,8 @@
 //!
 //! Run with `cargo run -p sizey-bench --release --bin ablation_online_mode`.
 
-use sizey_bench::{banner, fmt, generate_workloads, render_table, HarnessSettings};
-use sizey_core::{OnlineMode, SizeyConfig, SizeyPredictor};
+use sizey_bench::{banner, fmt, generate_workloads, render_table, HarnessSettings, MethodSpec};
+use sizey_core::{OnlineMode, SizeyConfig};
 use sizey_sim::{replay_workflow, SimulationConfig};
 
 fn main() {
@@ -50,7 +50,9 @@ fn main() {
         let mut failures = 0usize;
         let mut train_ms = Vec::new();
         for workload in &workloads {
-            let mut sizey = SizeyPredictor::new(config.clone());
+            let mut sizey = MethodSpec::Sizey(config.clone())
+                .build_sizey()
+                .expect("a Sizey spec builds a Sizey predictor");
             let report =
                 replay_workflow(&workload.spec.name, &workload.instances, &mut sizey, &sim);
             wastage += report.total_wastage_gbh();

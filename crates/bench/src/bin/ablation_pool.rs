@@ -5,8 +5,8 @@
 //!
 //! Run with `cargo run -p sizey-bench --release --bin ablation_pool`.
 
-use sizey_bench::{banner, fmt, generate_workloads, render_table, HarnessSettings};
-use sizey_core::{SizeyConfig, SizeyPredictor};
+use sizey_bench::{banner, fmt, generate_workloads, render_table, HarnessSettings, MethodSpec};
+use sizey_core::SizeyConfig;
 use sizey_ml::model::ModelClass;
 use sizey_sim::{replay_workflow, SimulationConfig};
 
@@ -35,9 +35,13 @@ fn main() {
         let mut failures = 0usize;
         for workload in &workloads {
             let config = SizeyConfig::default().with_model_classes(classes.clone());
-            let mut sizey = SizeyPredictor::new(config);
-            let report =
-                replay_workflow(&workload.spec.name, &workload.instances, &mut sizey, &sim);
+            let mut sizey = MethodSpec::Sizey(config).build();
+            let report = replay_workflow(
+                &workload.spec.name,
+                &workload.instances,
+                sizey.as_mut(),
+                &sim,
+            );
             wastage += report.total_wastage_gbh();
             failures += report.total_failures();
         }

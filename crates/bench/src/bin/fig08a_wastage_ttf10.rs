@@ -5,6 +5,7 @@
 
 use sizey_bench::{
     banner, evaluate_all_methods, fmt, generate_workloads, render_table, HarnessSettings,
+    MethodSpec,
 };
 use sizey_sim::{aggregate_method, SimulationConfig};
 
@@ -40,7 +41,7 @@ fn main() {
     let best_baseline = results
         .iter()
         .skip(1)
-        .filter(|(m, _)| m.name() != "Workflow-Presets")
+        .filter(|(m, _)| !matches!(m, MethodSpec::Preset))
         .map(|(_, r)| aggregate_method(r).total_wastage_gbh)
         .fold(f64::INFINITY, f64::min);
     let presets = aggregate_method(&results.last().expect("presets present").1).total_wastage_gbh;

@@ -6,6 +6,7 @@
 
 use sizey_bench::{
     banner, evaluate_all_methods, fmt, generate_workloads, render_table, HarnessSettings,
+    MethodSpec,
 };
 use sizey_sim::{aggregate_method, SimulationConfig};
 
@@ -41,7 +42,7 @@ fn main() {
     let best_baseline = results
         .iter()
         .skip(1)
-        .filter(|(m, _)| m.name() != "Workflow-Presets")
+        .filter(|(m, _)| !matches!(m, MethodSpec::Preset))
         .map(|(_, r)| aggregate_method(r).total_wastage_gbh)
         .fold(f64::INFINITY, f64::min);
     println!(

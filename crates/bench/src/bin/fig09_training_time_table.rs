@@ -6,8 +6,8 @@
 //! A Criterion micro-benchmark of the same quantity lives in
 //! `benches/fig09_training_time.rs`.
 
-use sizey_bench::{banner, fmt, render_table, HarnessSettings, Method};
-use sizey_core::{SizeyConfig, SizeyPredictor};
+use sizey_bench::{banner, fmt, render_table, HarnessSettings, MethodSpec};
+use sizey_core::SizeyConfig;
 use sizey_sim::{replay_workflow, SimulationConfig};
 use sizey_workflows::{all_workflows, generate_workflow, GeneratorConfig};
 
@@ -37,10 +37,14 @@ fn main() {
     for spec in all_workflows() {
         let instances = generate_workflow(&spec, &GeneratorConfig::scaled(scale, settings.seed));
 
-        let mut full = SizeyPredictor::new(SizeyConfig::full_retraining());
+        let mut full = MethodSpec::Sizey(SizeyConfig::full_retraining())
+            .build_sizey()
+            .expect("a Sizey spec builds a Sizey predictor");
         let _ = replay_workflow(&spec.name, &instances, &mut full, &sim);
 
-        let mut incremental = SizeyPredictor::new(SizeyConfig::incremental());
+        let mut incremental = MethodSpec::Sizey(SizeyConfig::incremental())
+            .build_sizey()
+            .expect("a Sizey spec builds a Sizey predictor");
         let _ = replay_workflow(&spec.name, &instances, &mut incremental, &sim);
 
         rows.push(vec![
@@ -75,6 +79,6 @@ fn main() {
     println!("17.5 ms for incremental updates, a 98.39% reduction; both are comparable");
     println!(
         "across workflows. ({} is the Sizey method name used here.)",
-        Method::Sizey.name()
+        MethodSpec::sizey_defaults().name()
     );
 }

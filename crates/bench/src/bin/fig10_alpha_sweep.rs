@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run -p sizey-bench --release --bin fig10_alpha_sweep`.
 
-use sizey_bench::{banner, fmt, render_table, HarnessSettings};
-use sizey_core::{SizeyConfig, SizeyPredictor};
+use sizey_bench::{banner, fmt, render_table, HarnessSettings, MethodSpec};
+use sizey_core::SizeyConfig;
 use sizey_provenance::TaskTypeId;
 use sizey_sim::{replay_workflow, SimulationConfig};
 use sizey_workflows::{generate_workflow, workflow_by_name, GeneratorConfig};
@@ -28,8 +28,8 @@ fn main() {
 
     let mut rows = Vec::new();
     for alpha in ALPHAS {
-        let mut sizey = SizeyPredictor::new(SizeyConfig::default().with_alpha(alpha));
-        let report = replay_workflow("rnaseq", &instances, &mut sizey, &sim);
+        let mut sizey = MethodSpec::Sizey(SizeyConfig::default().with_alpha(alpha)).build();
+        let report = replay_workflow("rnaseq", &instances, sizey.as_mut(), &sim);
         let per_type = report.wastage_by_task_type();
         let mut row = vec![fmt(alpha, 2)];
         for task in TASKS {

@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run -p sizey-bench --release --bin fig11_model_selection_share`.
 
-use sizey_bench::{banner, fmt, render_table, HarnessSettings};
-use sizey_core::{GatingStrategy, SizeyConfig, SizeyPredictor};
+use sizey_bench::{banner, fmt, render_table, HarnessSettings, MethodSpec};
+use sizey_core::{GatingStrategy, SizeyConfig};
 use sizey_sim::{replay_workflow, SimulationConfig};
 use sizey_workflows::{generate_workflow, workflow_by_name, GeneratorConfig};
 
@@ -20,11 +20,12 @@ fn main() {
         &spec,
         &GeneratorConfig::scaled(settings.scale.max(0.3), settings.seed),
     );
-    let mut sizey = SizeyPredictor::new(SizeyConfig::default().with_gating(GatingStrategy::Argmax));
+    let mut sizey =
+        MethodSpec::Sizey(SizeyConfig::default().with_gating(GatingStrategy::Argmax)).build();
     let report = replay_workflow(
         "rnaseq",
         &instances,
-        &mut sizey,
+        sizey.as_mut(),
         &SimulationConfig::default(),
     );
 

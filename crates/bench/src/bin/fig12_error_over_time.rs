@@ -4,8 +4,8 @@
 //!
 //! Run with `cargo run -p sizey-bench --release --bin fig12_error_over_time`.
 
-use sizey_bench::{banner, fmt, render_table, HarnessSettings};
-use sizey_core::{OffsetMode, SizeyConfig, SizeyPredictor};
+use sizey_bench::{banner, fmt, render_table, HarnessSettings, MethodSpec};
+use sizey_core::{OffsetMode, SizeyConfig};
 use sizey_ml::dataset::Dataset;
 use sizey_ml::linear::LinearRegression;
 use sizey_ml::model::Regressor;
@@ -29,8 +29,13 @@ fn main() {
         offset: OffsetMode::None,
         ..SizeyConfig::default()
     };
-    let mut sizey = SizeyPredictor::new(config);
-    let report = replay_workflow("mag", &instances, &mut sizey, &SimulationConfig::default());
+    let mut sizey = MethodSpec::Sizey(config).build();
+    let report = replay_workflow(
+        "mag",
+        &instances,
+        sizey.as_mut(),
+        &SimulationConfig::default(),
+    );
 
     let errors = report.prediction_error_over_time("Prokka");
     if errors.is_empty() {

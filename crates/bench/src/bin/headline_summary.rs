@@ -6,6 +6,7 @@
 
 use sizey_bench::{
     banner, evaluate_all_methods, fmt, generate_workloads, render_table, HarnessSettings,
+    MethodSpec,
 };
 use sizey_ml::metrics::median;
 use sizey_sim::{aggregate_method, SimulationConfig};
@@ -26,7 +27,7 @@ fn main() {
     let baselines: Vec<_> = results
         .iter()
         .skip(1)
-        .filter(|(m, _)| m.name() != "Workflow-Presets")
+        .filter(|(m, _)| !matches!(m, MethodSpec::Preset))
         .map(|(m, r)| (m.name(), aggregate_method(r)))
         .collect();
 

@@ -11,7 +11,7 @@
 //! Run with `cargo run -p sizey-bench --release --bin policy_sweep`.
 
 use sizey_bench::{
-    aggregate_sweep, banner, fmt, render_table, run_sweep, HarnessSettings, Method, SweepSpec,
+    aggregate_sweep, banner, fmt, render_table, run_sweep, HarnessSettings, MethodSpec, SweepSpec,
 };
 use sizey_sim::{SchedulePolicy, SimulationConfig};
 
@@ -32,9 +32,9 @@ fn main() {
             .map(|s| s.to_string())
             .collect(),
         methods: vec![
-            Method::Sizey,
-            Method::WittPercentile,
-            Method::WorkflowPresets,
+            MethodSpec::sizey_defaults(),
+            MethodSpec::WittPercentile(Default::default()),
+            MethodSpec::Preset,
         ],
         seeds: vec![settings.seed, settings.seed + 1],
         policies: SchedulePolicy::ALL.to_vec(),
@@ -81,17 +81,17 @@ fn main() {
 
     // Headline comparison: the queue-delay gap between the best-sized and
     // the preset-sized replays under first fit.
-    let delay = |method: Method| {
+    let delay = |method: &MethodSpec| {
         cells
             .iter()
-            .filter(|c| c.method == method && c.policy == SchedulePolicy::FirstFit)
+            .filter(|c| c.method == *method && c.policy == SchedulePolicy::FirstFit)
             .map(|c| c.mean_queue_delay_seconds)
             .sum::<f64>()
             / spec.workflows.len() as f64
             / spec.seeds.len() as f64
     };
-    let sizey = delay(Method::Sizey);
-    let presets = delay(Method::WorkflowPresets);
+    let sizey = delay(&MethodSpec::sizey_defaults());
+    let presets = delay(&MethodSpec::Preset);
     println!(
         "mean queue delay per attempt (first fit): Sizey {} s, Workflow-Presets {} s",
         fmt(sizey, 1),

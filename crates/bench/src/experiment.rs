@@ -1,0 +1,614 @@
+//! The spec-driven experiment entry point.
+//!
+//! An [`ExperimentSpec`] is the single description of one evaluation run:
+//! methods × workflow profiles × seeds × scheduling policies, plus the
+//! simulated cluster. It can be
+//!
+//! * built in code with [`Experiment::builder`]
+//!   (`Experiment::builder().method(..).profile(..).seeds(..).run()`),
+//! * loaded from a TOML file ([`ExperimentSpec::from_toml`] /
+//!   [`from_toml_file`](ExperimentSpec::from_toml_file)) — the format the
+//!   `experiment` binary consumes,
+//! * serialised back out losslessly ([`ExperimentSpec::to_toml`]), which is
+//!   how the `experiment` binary stamps its checkpoint directory with the
+//!   exact spec that produced it.
+//!
+//! Running a spec delegates to the parallel [sweep runner](crate::sweep):
+//! [`run`](ExperimentSpec::run) returns the same cells `run_sweep` would for
+//! the equivalent [`SweepSpec`] (the integration suite pins this), and
+//! [`run_checkpointed`](ExperimentSpec::run_checkpointed) additionally hands
+//! back each cell's trained-predictor checkpoint for warm starts.
+//!
+//! # Spec format
+//!
+//! ```toml
+//! name = "smoke"
+//! scale = 0.02              # fraction of the paper's task volume
+//! seeds = [3, 4]
+//! profiles = ["iwd"]        # workflow profiles (WORKFLOW_NAMES)
+//! policies = ["first-fit"]  # scheduling policies
+//!
+//! [sim]                     # optional; defaults to the paper's cluster
+//! time_to_failure = 1.0
+//! max_attempts = 12
+//!
+//! [[method]]
+//! kind = "sizey"            # any registry kind; omitted keys keep defaults
+//! alpha = 0.0
+//!
+//! [[method]]
+//! kind = "witt-percentile"
+//! percentile = 95.0
+//! ```
+//!
+//! Omitting `methods` entirely runs the paper's six-method suite; omitting
+//! `profiles` runs all six workflows.
+
+use crate::registry::{invalid, need_float, need_str, need_usize, MethodSpec, SpecError};
+use crate::sweep::{run_sweep, run_sweep_with_states, SweepCell, SweepSpec};
+use crate::toml_lite::{write as toml_write, TomlDocument, TomlTable};
+use sizey_sim::{NodePoolSpec, PredictorState, SchedulePolicy, SimulationConfig};
+use std::path::Path;
+
+/// A complete, validated experiment description. See the [module
+/// docs](self).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Experiment name (used in banners and checkpoint directories).
+    pub name: String,
+    /// Sizing methods to compare.
+    pub methods: Vec<MethodSpec>,
+    /// Workflow profiles to replay (entries of
+    /// [`sizey_workflows::WORKFLOW_NAMES`]).
+    pub profiles: Vec<String>,
+    /// Workload-generation seeds.
+    pub seeds: Vec<u64>,
+    /// Scheduling policies to compare.
+    pub policies: Vec<SchedulePolicy>,
+    /// Fraction of the paper's task volume to generate per workload.
+    pub scale: f64,
+    /// Simulated cluster configuration (the policy field is overridden per
+    /// cell by `policies`).
+    pub sim: SimulationConfig,
+}
+
+/// Alias for [`ExperimentSpec`] matching the builder-style entry point
+/// (`Experiment::builder()…run()`).
+pub type Experiment = ExperimentSpec;
+
+impl Default for ExperimentSpec {
+    /// The paper's full evaluation at smoke scale: six methods, six
+    /// workflows, one seed, first-fit.
+    fn default() -> Self {
+        ExperimentSpec {
+            name: "experiment".to_string(),
+            methods: MethodSpec::default_suite(),
+            profiles: sizey_workflows::WORKFLOW_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            seeds: vec![42],
+            policies: vec![SchedulePolicy::FirstFit],
+            scale: 0.1,
+            sim: SimulationConfig::default(),
+        }
+    }
+}
+
+impl ExperimentSpec {
+    /// Starts a builder pre-populated with the defaults of
+    /// [`ExperimentSpec::default`]; the first call to `method`/`profile`/
+    /// `seed`/`policy` clears the corresponding default list.
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::default()
+    }
+
+    /// Validates the spec: non-empty product, known profiles, positive
+    /// scale.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        for list in [
+            ("methods", self.methods.is_empty()),
+            ("profiles", self.profiles.is_empty()),
+            ("seeds", self.seeds.is_empty()),
+            ("policies", self.policies.is_empty()),
+        ] {
+            if list.1 {
+                return Err(SpecError::Empty {
+                    what: list.0.to_string(),
+                });
+            }
+        }
+        // NaN fails both comparisons, so it is rejected alongside zero and
+        // negative scales.
+        if !(self.scale.is_finite() && self.scale > 0.0) {
+            return Err(SpecError::Empty {
+                what: format!("scale ({})", self.scale),
+            });
+        }
+        for profile in &self.profiles {
+            if sizey_workflows::workflow_by_name(profile).is_none() {
+                return Err(SpecError::UnknownWorkflow {
+                    name: profile.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The equivalent [`SweepSpec`] the sweep runner executes.
+    pub fn sweep_spec(&self) -> SweepSpec {
+        SweepSpec {
+            workflows: self.profiles.clone(),
+            methods: self.methods.clone(),
+            seeds: self.seeds.clone(),
+            policies: self.policies.clone(),
+            scale: self.scale,
+            sim: self.sim.clone(),
+        }
+    }
+
+    /// Validates and runs the experiment, returning one [`SweepCell`] per
+    /// (profile, method, seed, policy) in cartesian order — bit-identical to
+    /// [`run_sweep`] on [`sweep_spec`](ExperimentSpec::sweep_spec).
+    pub fn run(&self) -> Result<Vec<SweepCell>, SpecError> {
+        self.validate()?;
+        Ok(run_sweep(&self.sweep_spec()))
+    }
+
+    /// Like [`run`](ExperimentSpec::run), but each cell also returns the
+    /// trained predictor's checkpoint for the checkpoint directory /
+    /// warm-start path.
+    pub fn run_checkpointed(&self) -> Result<Vec<(SweepCell, PredictorState)>, SpecError> {
+        self.validate()?;
+        Ok(run_sweep_with_states(&self.sweep_spec()))
+    }
+
+    /// Number of cells in the cartesian product.
+    pub fn len(&self) -> usize {
+        self.methods.len() * self.profiles.len() * self.seeds.len() * self.policies.len()
+    }
+
+    /// True when the product is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Parses a spec from TOML text (see the [module docs](self) for the
+    /// format). The result is validated.
+    pub fn from_toml(text: &str) -> Result<Self, SpecError> {
+        let doc = TomlDocument::parse(text)?;
+        let mut spec = ExperimentSpec::default();
+        let context = "the root table";
+        for (key, value) in &doc.root.entries {
+            match key.as_str() {
+                "name" => spec.name = need_str(context, key, value)?.to_string(),
+                "scale" => spec.scale = need_float(context, key, value)?,
+                "seeds" => {
+                    let items = value
+                        .as_array()
+                        .ok_or_else(|| invalid(context, key, "expected an array of seeds"))?;
+                    spec.seeds = items
+                        .iter()
+                        .map(|v| {
+                            v.as_int()
+                                .filter(|i| *i >= 0)
+                                .map(|i| i as u64)
+                                .ok_or_else(|| {
+                                    invalid(context, key, "seeds must be non-negative integers")
+                                })
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "profiles" => {
+                    let items = value.as_array().ok_or_else(|| {
+                        invalid(context, key, "expected an array of profile names")
+                    })?;
+                    spec.profiles = items
+                        .iter()
+                        .map(|v| need_str(context, key, v).map(str::to_string))
+                        .collect::<Result<_, _>>()?;
+                }
+                "policies" => {
+                    let items = value.as_array().ok_or_else(|| {
+                        invalid(context, key, "expected an array of policy names")
+                    })?;
+                    spec.policies = items
+                        .iter()
+                        .map(|v| {
+                            let name = need_str(context, key, v)?;
+                            SchedulePolicy::from_name(name).ok_or_else(|| {
+                                SpecError::UnknownPolicy {
+                                    name: name.to_string(),
+                                }
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                _ => {
+                    return Err(SpecError::UnknownKey {
+                        context: context.to_string(),
+                        key: key.clone(),
+                    })
+                }
+            }
+        }
+        if let Some(sim_table) = doc.table("sim") {
+            spec.sim = sim_from_table(sim_table, doc.array_of("node_pool"))?;
+        } else if !doc.array_of("node_pool").is_empty() {
+            spec.sim = sim_from_table(&TomlTable::default(), doc.array_of("node_pool"))?;
+        }
+        for (name, _) in &doc.tables {
+            if name != "sim" {
+                return Err(SpecError::UnknownKey {
+                    context: "the document".to_string(),
+                    key: format!("[{name}]"),
+                });
+            }
+        }
+        for (name, _) in &doc.array_tables {
+            if name != "method" && name != "node_pool" {
+                return Err(SpecError::UnknownKey {
+                    context: "the document".to_string(),
+                    key: format!("[[{name}]]"),
+                });
+            }
+        }
+        let method_tables = doc.array_of("method");
+        if !method_tables.is_empty() {
+            spec.methods = method_tables
+                .into_iter()
+                .map(MethodSpec::from_table)
+                .collect::<Result<_, _>>()?;
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Reads and parses a spec file.
+    pub fn from_toml_file(path: impl AsRef<Path>) -> Result<Self, SpecError> {
+        let text = std::fs::read_to_string(path).map_err(SpecError::Io)?;
+        Self::from_toml(&text)
+    }
+
+    /// Serialises the spec as TOML — the lossless inverse of
+    /// [`from_toml`](ExperimentSpec::from_toml).
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("name = {}\n", toml_write::string(&self.name)));
+        out.push_str(&format!("scale = {}\n", toml_write::float(self.scale)));
+        let seeds: Vec<String> = self.seeds.iter().map(u64::to_string).collect();
+        out.push_str(&format!("seeds = [{}]\n", seeds.join(", ")));
+        let profiles: Vec<String> = self
+            .profiles
+            .iter()
+            .map(|p| toml_write::string(p))
+            .collect();
+        out.push_str(&format!("profiles = [{}]\n", profiles.join(", ")));
+        let policies: Vec<String> = self
+            .policies
+            .iter()
+            .map(|p| toml_write::string(p.name()))
+            .collect();
+        out.push_str(&format!("policies = [{}]\n", policies.join(", ")));
+        out.push('\n');
+        out.push_str("[sim]\n");
+        out.push_str(&format!(
+            "time_to_failure = {}\n",
+            toml_write::float(self.sim.time_to_failure)
+        ));
+        out.push_str(&format!("max_attempts = {}\n", self.sim.max_attempts));
+        out.push_str(&format!("node_count = {}\n", self.sim.node_count));
+        out.push_str(&format!(
+            "node_memory_bytes = {}\n",
+            toml_write::float(self.sim.node_memory_bytes)
+        ));
+        out.push_str(&format!("slots_per_node = {}\n", self.sim.slots_per_node));
+        out.push_str(&format!("backfill_window = {}\n", self.sim.backfill_window));
+        out.push_str(&format!(
+            "submit_interval_seconds = {}\n",
+            toml_write::float(self.sim.submit_interval_seconds)
+        ));
+        for pool in &self.sim.extra_node_pools {
+            out.push('\n');
+            out.push_str("[[node_pool]]\n");
+            out.push_str(&format!("count = {}\n", pool.count));
+            out.push_str(&format!(
+                "memory_bytes = {}\n",
+                toml_write::float(pool.memory_bytes)
+            ));
+            out.push_str(&format!("slots = {}\n", pool.slots));
+        }
+        for method in &self.methods {
+            out.push('\n');
+            out.push_str(&method.to_toml());
+        }
+        out
+    }
+}
+
+fn sim_from_table(
+    table: &TomlTable,
+    pool_tables: Vec<&TomlTable>,
+) -> Result<SimulationConfig, SpecError> {
+    let context = "[sim]";
+    let mut sim = SimulationConfig::default();
+    for (key, value) in &table.entries {
+        match key.as_str() {
+            "time_to_failure" => sim.time_to_failure = need_float(context, key, value)?,
+            "max_attempts" => {
+                sim.max_attempts = need_usize(context, key, value)?.min(u32::MAX as usize) as u32
+            }
+            "node_count" => sim.node_count = need_usize(context, key, value)?,
+            "node_memory_bytes" => sim.node_memory_bytes = need_float(context, key, value)?,
+            "slots_per_node" => sim.slots_per_node = need_usize(context, key, value)?,
+            "backfill_window" => sim.backfill_window = need_usize(context, key, value)?,
+            "submit_interval_seconds" => {
+                sim.submit_interval_seconds = need_float(context, key, value)?
+            }
+            _ => {
+                return Err(SpecError::UnknownKey {
+                    context: context.to_string(),
+                    key: key.clone(),
+                })
+            }
+        }
+    }
+    for pool_table in pool_tables {
+        let context = "[[node_pool]]";
+        let mut pool = NodePoolSpec {
+            count: 1,
+            memory_bytes: sim.node_memory_bytes,
+            slots: sim.slots_per_node,
+        };
+        for (key, value) in &pool_table.entries {
+            match key.as_str() {
+                "count" => pool.count = need_usize(context, key, value)?,
+                "memory_bytes" => pool.memory_bytes = need_float(context, key, value)?,
+                "slots" => pool.slots = need_usize(context, key, value)?,
+                _ => {
+                    return Err(SpecError::UnknownKey {
+                        context: context.to_string(),
+                        key: key.clone(),
+                    })
+                }
+            }
+        }
+        sim.extra_node_pools.push(pool);
+    }
+    Ok(sim)
+}
+
+/// Builder for [`ExperimentSpec`] — the programmatic twin of the TOML
+/// format.
+///
+/// ```
+/// use sizey_bench::{Experiment, MethodSpec};
+/// use sizey_sim::SchedulePolicy;
+///
+/// let cells = Experiment::builder()
+///     .name("quick-look")
+///     .method(MethodSpec::sizey_defaults())
+///     .method(MethodSpec::Preset)
+///     .profile("iwd")
+///     .seeds([3, 4])
+///     .policy(SchedulePolicy::FirstFit)
+///     .scale(0.02)
+///     .run()
+///     .unwrap();
+/// assert_eq!(cells.len(), 4, "2 methods x 1 profile x 2 seeds x 1 policy");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentBuilder {
+    name: Option<String>,
+    methods: Vec<MethodSpec>,
+    profiles: Vec<String>,
+    seeds: Vec<u64>,
+    policies: Vec<SchedulePolicy>,
+    scale: Option<f64>,
+    sim: Option<SimulationConfig>,
+}
+
+impl ExperimentBuilder {
+    /// Sets the experiment name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Adds one method (the default suite is used when none are added).
+    pub fn method(mut self, method: MethodSpec) -> Self {
+        self.methods.push(method);
+        self
+    }
+
+    /// Adds several methods.
+    pub fn methods(mut self, methods: impl IntoIterator<Item = MethodSpec>) -> Self {
+        self.methods.extend(methods);
+        self
+    }
+
+    /// Adds one workflow profile (all six are used when none are added).
+    pub fn profile(mut self, profile: impl Into<String>) -> Self {
+        self.profiles.push(profile.into());
+        self
+    }
+
+    /// Adds several workflow profiles.
+    pub fn profiles(mut self, profiles: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.profiles.extend(profiles.into_iter().map(Into::into));
+        self
+    }
+
+    /// Adds one workload seed (42 is used when none are added).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seeds.push(seed);
+        self
+    }
+
+    /// Adds several workload seeds.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds.extend(seeds);
+        self
+    }
+
+    /// Adds one scheduling policy (first-fit is used when none are added).
+    pub fn policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policies.push(policy);
+        self
+    }
+
+    /// Adds several scheduling policies.
+    pub fn policies(mut self, policies: impl IntoIterator<Item = SchedulePolicy>) -> Self {
+        self.policies.extend(policies);
+        self
+    }
+
+    /// Sets the workload scale.
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = Some(scale);
+        self
+    }
+
+    /// Sets the simulated cluster configuration.
+    pub fn sim(mut self, sim: SimulationConfig) -> Self {
+        self.sim = Some(sim);
+        self
+    }
+
+    /// Finalises and validates the spec.
+    pub fn build(self) -> Result<ExperimentSpec, SpecError> {
+        let defaults = ExperimentSpec::default();
+        let spec = ExperimentSpec {
+            name: self.name.unwrap_or(defaults.name),
+            methods: if self.methods.is_empty() {
+                defaults.methods
+            } else {
+                self.methods
+            },
+            profiles: if self.profiles.is_empty() {
+                defaults.profiles
+            } else {
+                self.profiles
+            },
+            seeds: if self.seeds.is_empty() {
+                defaults.seeds
+            } else {
+                self.seeds
+            },
+            policies: if self.policies.is_empty() {
+                defaults.policies
+            } else {
+                self.policies
+            },
+            scale: self.scale.unwrap_or(defaults.scale),
+            sim: self.sim.unwrap_or(defaults.sim),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Builds the spec and runs it (see [`ExperimentSpec::run`]).
+    pub fn run(self) -> Result<Vec<SweepCell>, SpecError> {
+        self.build()?.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizey_core::SizeyConfig;
+
+    #[test]
+    fn default_spec_is_valid_and_covers_the_paper_suite() {
+        let spec = ExperimentSpec::default();
+        spec.validate().unwrap();
+        assert_eq!(spec.methods.len(), 6);
+        assert_eq!(spec.profiles.len(), 6);
+        assert_eq!(spec.len(), 36);
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let spec = Experiment::builder()
+            .name("b")
+            .method(MethodSpec::Preset)
+            .profile("iwd")
+            .seed(7)
+            .scale(0.02)
+            .build()
+            .unwrap();
+        assert_eq!(spec.name, "b");
+        assert_eq!(spec.methods, vec![MethodSpec::Preset]);
+        assert_eq!(spec.profiles, vec!["iwd".to_string()]);
+        assert_eq!(spec.seeds, vec![7]);
+        assert_eq!(spec.policies, vec![SchedulePolicy::FirstFit]);
+    }
+
+    #[test]
+    fn validation_rejects_unknown_profiles_and_bad_scales() {
+        assert!(matches!(
+            Experiment::builder().profile("not-a-workflow").build(),
+            Err(SpecError::UnknownWorkflow { .. })
+        ));
+        assert!(matches!(
+            Experiment::builder().scale(0.0).build(),
+            Err(SpecError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn toml_round_trip_is_lossless() {
+        let spec = ExperimentSpec {
+            name: "round-trip".to_string(),
+            methods: vec![
+                MethodSpec::Sizey(SizeyConfig::default().with_alpha(0.25)),
+                MethodSpec::Preset,
+            ],
+            profiles: vec!["iwd".to_string(), "rnaseq".to_string()],
+            seeds: vec![1, 2, 3],
+            policies: vec![SchedulePolicy::BestFit, SchedulePolicy::Backfill],
+            scale: 0.02,
+            sim: SimulationConfig {
+                time_to_failure: 0.5,
+                node_count: 2,
+                ..SimulationConfig::default()
+            }
+            .with_extra_pool(NodePoolSpec {
+                count: 1,
+                memory_bytes: 512e9,
+                slots: 64,
+            }),
+        };
+        let text = spec.to_toml();
+        let parsed = ExperimentSpec::from_toml(&text).unwrap_or_else(|e| panic!("{text}\n{e}"));
+        assert_eq!(parsed, spec, "round-trip changed the spec:\n{text}");
+    }
+
+    #[test]
+    fn from_toml_applies_defaults_for_omitted_sections() {
+        let spec = ExperimentSpec::from_toml("profiles = [\"iwd\"]\nscale = 0.02\n").unwrap();
+        assert_eq!(spec.methods, MethodSpec::default_suite());
+        assert_eq!(spec.seeds, vec![42]);
+        assert_eq!(spec.sim, SimulationConfig::default());
+    }
+
+    #[test]
+    fn from_toml_rejects_unknown_sections_keys_and_policies() {
+        assert!(matches!(
+            ExperimentSpec::from_toml("scalee = 0.1\n"),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            ExperimentSpec::from_toml("[simm]\nx = 1\n"),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            ExperimentSpec::from_toml("policies = [\"round-robin\"]\n"),
+            Err(SpecError::UnknownPolicy { .. })
+        ));
+        assert!(matches!(
+            ExperimentSpec::from_toml("profiles = [\"galaxy-brain\"]\n"),
+            Err(SpecError::UnknownWorkflow { .. })
+        ));
+    }
+}

@@ -15,80 +15,24 @@
 
 #![warn(missing_docs)]
 
+pub mod experiment;
+pub mod registry;
 pub mod sweep;
+pub mod toml_lite;
 
-use sizey_baselines::{PresetPredictor, TovarPpm, WittLr, WittPercentile, WittWastage};
-use sizey_core::{SizeyConfig, SizeyPredictor};
 use sizey_ml::parallel::{default_parallelism, parallel_map};
-use sizey_sim::{replay_workflow, MemoryPredictor, ReplayReport, SimulationConfig};
+use sizey_sim::{replay_workflow, ReplayReport, SimulationConfig};
 use sizey_workflows::{
     all_workflows, generate_workflow, GeneratorConfig, TaskInstance, WorkflowSpec,
 };
 
+pub use experiment::{Experiment, ExperimentBuilder, ExperimentSpec};
+pub use registry::{MethodSpec, SpecError};
 pub use sweep::{
     aggregate_sweep, run_sweep, run_sweep_shared_sizey, run_sweep_shared_sizey_with_threads,
-    run_sweep_with_threads, SweepCell, SweepRow, SweepSpec,
+    run_sweep_with_states, run_sweep_with_states_and_threads, run_sweep_with_threads, SweepCell,
+    SweepRow, SweepSpec,
 };
-
-/// The evaluation methods in the order used by the paper's figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Method {
-    /// The Sizey method with the paper's default configuration.
-    Sizey,
-    /// Witt et al. low-wastage regression.
-    WittWastage,
-    /// Witt et al. linear regression with offset.
-    WittLr,
-    /// Tovar et al. peak-probability sizing.
-    TovarPpm,
-    /// Witt et al. 95th-percentile predictor.
-    WittPercentile,
-    /// The workflow developers' memory requests.
-    WorkflowPresets,
-}
-
-impl Method {
-    /// All methods in figure order.
-    pub const ALL: [Method; 6] = [
-        Method::Sizey,
-        Method::WittWastage,
-        Method::WittLr,
-        Method::TovarPpm,
-        Method::WittPercentile,
-        Method::WorkflowPresets,
-    ];
-
-    /// Display name matching the paper.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Method::Sizey => "Sizey",
-            Method::WittWastage => "Witt-Wastage",
-            Method::WittLr => "Witt-LR",
-            Method::TovarPpm => "Tovar-PPM",
-            Method::WittPercentile => "Witt-Percentile",
-            Method::WorkflowPresets => "Workflow-Presets",
-        }
-    }
-
-    /// Builds a fresh predictor instance for this method.
-    pub fn build(&self) -> Box<dyn MemoryPredictor> {
-        match self {
-            Method::Sizey => Box::new(SizeyPredictor::with_defaults()),
-            Method::WittWastage => Box::new(WittWastage::new()),
-            Method::WittLr => Box::new(WittLr::new()),
-            Method::TovarPpm => Box::new(TovarPpm::new()),
-            Method::WittPercentile => Box::new(WittPercentile::new()),
-            Method::WorkflowPresets => Box::new(PresetPredictor),
-        }
-    }
-
-    /// Builds a Sizey predictor with a custom configuration (used by the
-    /// ablation and parameter-sweep harnesses); other methods ignore the
-    /// configuration.
-    pub fn build_sizey_with(config: SizeyConfig) -> Box<dyn MemoryPredictor> {
-        Box::new(SizeyPredictor::new(config))
-    }
-}
 
 /// Harness-wide settings read from the environment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -154,10 +98,10 @@ pub fn generate_workloads(settings: &HarnessSettings) -> Vec<Workload> {
 }
 
 /// Replays one method over all workloads **in parallel** (every replay is
-/// independent: each workload gets a fresh predictor), returning one report
-/// per workflow in workload order.
+/// independent: each workload gets a fresh predictor built from the spec),
+/// returning one report per workflow in workload order.
 pub fn evaluate_method(
-    method: Method,
+    method: &MethodSpec,
     workloads: &[Workload],
     sim: &SimulationConfig,
 ) -> Vec<ReplayReport> {
@@ -167,18 +111,29 @@ pub fn evaluate_method(
     })
 }
 
-/// Replays every method over all workloads — the full Fig. 8 / Table II
-/// sweep. The whole method × workload product is fanned out across the
-/// [`sizey_ml::parallel`] thread pool (the serial loop this replaces walked
-/// 36 replays one at a time). Returns `(method, per-workflow reports)` in
-/// figure order.
+/// Replays the paper's six-method suite ([`MethodSpec::default_suite`]) over
+/// all workloads — the full Fig. 8 / Table II sweep. The whole
+/// method × workload product is fanned out across the [`sizey_ml::parallel`]
+/// thread pool (the serial loop this replaces walked 36 replays one at a
+/// time). Returns `(method spec, per-workflow reports)` in figure order.
 pub fn evaluate_all_methods(
     workloads: &[Workload],
     sim: &SimulationConfig,
-) -> Vec<(Method, Vec<ReplayReport>)> {
-    let cells: Vec<(Method, &Workload)> = Method::ALL
+) -> Vec<(MethodSpec, Vec<ReplayReport>)> {
+    evaluate_methods(&MethodSpec::default_suite(), workloads, sim)
+}
+
+/// Replays an arbitrary list of method specs over all workloads in parallel,
+/// returning `(method spec, per-workflow reports)` in the given method
+/// order.
+pub fn evaluate_methods(
+    methods: &[MethodSpec],
+    workloads: &[Workload],
+    sim: &SimulationConfig,
+) -> Vec<(MethodSpec, Vec<ReplayReport>)> {
+    let cells: Vec<(&MethodSpec, &Workload)> = methods
         .iter()
-        .flat_map(|&m| workloads.iter().map(move |w| (m, w)))
+        .flat_map(|m| workloads.iter().map(move |w| (m, w)))
         .collect();
     let mut reports = parallel_map(&cells, default_parallelism(), |(m, w)| {
         let mut predictor = m.build();
@@ -187,9 +142,9 @@ pub fn evaluate_all_methods(
     .into_iter();
     // `cells` is method-major and `parallel_map` preserves input order, so
     // the reports regroup into per-method chunks directly.
-    Method::ALL
+    methods
         .iter()
-        .map(|&m| (m, reports.by_ref().take(workloads.len()).collect()))
+        .map(|m| (m.clone(), reports.by_ref().take(workloads.len()).collect()))
         .collect()
 }
 
@@ -246,9 +201,10 @@ mod tests {
 
     #[test]
     fn methods_have_unique_names_and_builders() {
-        let names: std::collections::HashSet<_> = Method::ALL.iter().map(|m| m.name()).collect();
+        let suite = MethodSpec::default_suite();
+        let names: std::collections::HashSet<_> = suite.iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), 6);
-        for m in Method::ALL {
+        for m in &suite {
             assert_eq!(m.build().name(), m.name());
         }
     }
@@ -281,7 +237,7 @@ mod tests {
         };
         let workloads = generate_workloads(&settings);
         let reports = evaluate_method(
-            Method::WorkflowPresets,
+            &MethodSpec::Preset,
             &workloads,
             &SimulationConfig::default(),
         );

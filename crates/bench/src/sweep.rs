@@ -6,12 +6,20 @@
 //! sweep fans the cells out across the [`sizey_ml::parallel`] thread pool
 //! and collects one flat table — replacing the serial per-bin loops that
 //! used to walk the product one replay at a time.
+//!
+//! Methods are described by [`MethodSpec`]s (the config-driven registry),
+//! not names: a sweep over two differently configured Sizey variants is as
+//! natural as the paper's six-method comparison, and every cell can hand
+//! back the trained predictor's [`PredictorState`] for the checkpoint
+//! directory of the spec-driven `experiment` binary.
 
-use crate::{HarnessSettings, Method};
+use crate::registry::MethodSpec;
+use crate::HarnessSettings;
 use sizey_core::{SharedSizey, SizeyConfig};
 use sizey_ml::parallel::{default_parallelism, parallel_map};
 use sizey_sim::{
-    replay_workflow, schedule_workflows, SchedulePolicy, SimulationConfig, WorkflowTenant,
+    replay_workflow, schedule_workflows, CheckpointPredictor, PredictorState, SchedulePolicy,
+    SimulationConfig, WorkflowTenant,
 };
 use sizey_workflows::{generate_workflow, workflow_by_name, GeneratorConfig};
 
@@ -22,7 +30,7 @@ pub struct SweepSpec {
     /// [`sizey_workflows::WORKFLOW_NAMES`]).
     pub workflows: Vec<String>,
     /// Sizing methods to compare.
-    pub methods: Vec<Method>,
+    pub methods: Vec<MethodSpec>,
     /// Workload-generation seeds; every seed yields an independent workload.
     pub seeds: Vec<u64>,
     /// Scheduling policies to compare.
@@ -43,7 +51,7 @@ impl SweepSpec {
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
-            methods: Method::ALL.to_vec(),
+            methods: MethodSpec::default_suite(),
             seeds: vec![settings.seed],
             policies: SchedulePolicy::ALL.to_vec(),
             scale: settings.scale,
@@ -69,7 +77,7 @@ pub struct SweepCell {
     /// Workflow name.
     pub workflow: String,
     /// Sizing method.
-    pub method: Method,
+    pub method: MethodSpec,
     /// Workload seed.
     pub seed: u64,
     /// Scheduling policy.
@@ -88,52 +96,88 @@ pub struct SweepCell {
     pub runtime_hours: f64,
 }
 
-/// Runs the sweep, fanning the cells out across `threads` workers (use
-/// [`default_parallelism`] when unsure). Results come back in cartesian
-/// order: workflows-major, then methods, seeds, policies.
-pub fn run_sweep_with_threads(spec: &SweepSpec, threads: usize) -> Vec<SweepCell> {
-    let mut cells: Vec<(String, Method, u64, SchedulePolicy)> = Vec::with_capacity(spec.len());
+/// Replays one sweep cell and returns its result row plus the trained
+/// predictor (for checkpointing).
+fn run_cell(
+    spec: &SweepSpec,
+    workflow: &str,
+    method: &MethodSpec,
+    seed: u64,
+    policy: SchedulePolicy,
+) -> (SweepCell, Box<dyn CheckpointPredictor>) {
+    let wf_spec = workflow_by_name(workflow).expect("sweep names a known workflow");
+    let instances = generate_workflow(
+        &wf_spec,
+        &GeneratorConfig {
+            scale: spec.scale,
+            seed,
+            ..GeneratorConfig::default()
+        },
+    );
+    let sim = spec.sim.clone().with_policy(policy);
+    let mut predictor = method.build();
+    let report = replay_workflow(workflow, &instances, predictor.as_mut(), &sim);
+    let cell = SweepCell {
+        workflow: workflow.to_string(),
+        method: method.clone(),
+        seed,
+        policy,
+        wastage_gbh: report.total_wastage_gbh(),
+        failures: report.total_failures(),
+        unfinished: report.unfinished_instances,
+        makespan_hours: report.makespan_seconds / 3600.0,
+        mean_queue_delay_seconds: report.mean_queue_delay_seconds(),
+        runtime_hours: report.total_runtime_hours(),
+    };
+    (cell, predictor)
+}
+
+fn product(spec: &SweepSpec) -> Vec<(String, MethodSpec, u64, SchedulePolicy)> {
+    let mut cells = Vec::with_capacity(spec.len());
     for wf in &spec.workflows {
-        for &method in &spec.methods {
+        for method in &spec.methods {
             for &seed in &spec.seeds {
                 for &policy in &spec.policies {
-                    cells.push((wf.clone(), method, seed, policy));
+                    cells.push((wf.clone(), method.clone(), seed, policy));
                 }
             }
         }
     }
+    cells
+}
 
-    parallel_map(&cells, threads, |(wf, method, seed, policy)| {
-        let wf_spec = workflow_by_name(wf).expect("sweep names a known workflow");
-        let instances = generate_workflow(
-            &wf_spec,
-            &GeneratorConfig {
-                scale: spec.scale,
-                seed: *seed,
-                ..GeneratorConfig::default()
-            },
-        );
-        let sim = spec.sim.clone().with_policy(*policy);
-        let mut predictor = method.build();
-        let report = replay_workflow(wf, &instances, predictor.as_mut(), &sim);
-        SweepCell {
-            workflow: wf.clone(),
-            method: *method,
-            seed: *seed,
-            policy: *policy,
-            wastage_gbh: report.total_wastage_gbh(),
-            failures: report.total_failures(),
-            unfinished: report.unfinished_instances,
-            makespan_hours: report.makespan_seconds / 3600.0,
-            mean_queue_delay_seconds: report.mean_queue_delay_seconds(),
-            runtime_hours: report.total_runtime_hours(),
-        }
+/// Runs the sweep, fanning the cells out across `threads` workers (use
+/// [`default_parallelism`] when unsure). Results come back in cartesian
+/// order: workflows-major, then methods, seeds, policies.
+pub fn run_sweep_with_threads(spec: &SweepSpec, threads: usize) -> Vec<SweepCell> {
+    parallel_map(&product(spec), threads, |(wf, method, seed, policy)| {
+        run_cell(spec, wf, method, *seed, *policy).0
     })
 }
 
 /// Runs the sweep on the default thread pool.
 pub fn run_sweep(spec: &SweepSpec) -> Vec<SweepCell> {
     run_sweep_with_threads(spec, default_parallelism())
+}
+
+/// Like [`run_sweep_with_threads`], but each cell also hands back the
+/// trained predictor's checkpoint (see [`sizey_sim::lifecycle`]): the state
+/// a later run restores through [`MethodSpec::restore`] to warm-start from
+/// this cell's learned models.
+pub fn run_sweep_with_states_and_threads(
+    spec: &SweepSpec,
+    threads: usize,
+) -> Vec<(SweepCell, PredictorState)> {
+    parallel_map(&product(spec), threads, |(wf, method, seed, policy)| {
+        let (cell, predictor) = run_cell(spec, wf, method, *seed, *policy);
+        let state = predictor.snapshot();
+        (cell, state)
+    })
+}
+
+/// [`run_sweep_with_states_and_threads`] on the default thread pool.
+pub fn run_sweep_with_states(spec: &SweepSpec) -> Vec<(SweepCell, PredictorState)> {
+    run_sweep_with_states_and_threads(spec, default_parallelism())
 }
 
 /// The sweep's **shared-predictor mode**: instead of replaying every
@@ -144,11 +188,12 @@ pub fn run_sweep(spec: &SweepSpec) -> Vec<SweepCell> {
 /// deployment model of a cluster-wide prediction service, where tenant A's
 /// completions train the models tenant B predicts from.
 ///
-/// `spec.methods` is ignored (the shared service is always Sizey); one
-/// [`SweepCell`] per workflow is emitted per (seed, policy), in seed-major
-/// then policy then workflow order. The (seed, policy) cells fan out across
-/// `threads` workers; within a cell the event-driven replay is sequential,
-/// so results are deterministic regardless of the thread count.
+/// `spec.methods` is ignored (the shared service is always Sizey with the
+/// default configuration); one [`SweepCell`] per workflow is emitted per
+/// (seed, policy), in seed-major then policy then workflow order. The
+/// (seed, policy) cells fan out across `threads` workers; within a cell the
+/// event-driven replay is sequential, so results are deterministic
+/// regardless of the thread count.
 pub fn run_sweep_shared_sizey_with_threads(
     spec: &SweepSpec,
     shards: usize,
@@ -185,7 +230,7 @@ pub fn run_sweep_shared_sizey_with_threads(
             .iter()
             .map(|report| SweepCell {
                 workflow: report.workflow.clone(),
-                method: Method::Sizey,
+                method: MethodSpec::sizey_defaults(),
                 seed: *seed,
                 policy: *policy,
                 wastage_gbh: report.total_wastage_gbh(),
@@ -210,7 +255,7 @@ pub fn run_sweep_shared_sizey(spec: &SweepSpec, shards: usize) -> Vec<SweepCell>
 #[derive(Debug, Clone)]
 pub struct SweepRow {
     /// Sizing method.
-    pub method: Method,
+    pub method: MethodSpec,
     /// Scheduling policy.
     pub policy: SchedulePolicy,
     /// Mean (over seeds) of the total wastage across workflows, GBh.
@@ -223,15 +268,27 @@ pub struct SweepRow {
     pub mean_queue_delay_seconds: f64,
 }
 
-/// Aggregates sweep cells into one row per (method, policy), in the order
-/// the methods and policies appear in the cells.
+/// Aggregates sweep cells into one row per (method, policy).
+///
+/// The rows come back in a **deterministic order** regardless of the cell
+/// order: methods sort by [`MethodSpec::sort_key`] (the paper's figure
+/// order, parameterisation as tiebreak) and policies by their position in
+/// [`SchedulePolicy::ALL`] — so sweep tables diff cleanly across runs and
+/// thread counts.
 pub fn aggregate_sweep(cells: &[SweepCell]) -> Vec<SweepRow> {
-    let mut order: Vec<(Method, SchedulePolicy)> = Vec::new();
+    let mut order: Vec<(MethodSpec, SchedulePolicy)> = Vec::new();
     for cell in cells {
-        if !order.contains(&(cell.method, cell.policy)) {
-            order.push((cell.method, cell.policy));
+        if !order.contains(&(cell.method.clone(), cell.policy)) {
+            order.push((cell.method.clone(), cell.policy));
         }
     }
+    order.sort_by(|(method_a, policy_a), (method_b, policy_b)| {
+        method_a.sort_key().cmp(&method_b.sort_key()).then(
+            policy_a
+                .comparison_order()
+                .cmp(&policy_b.comparison_order()),
+        )
+    });
     order
         .into_iter()
         .map(|(method, policy)| {
@@ -270,7 +327,7 @@ mod tests {
     fn tiny_spec() -> SweepSpec {
         SweepSpec {
             workflows: vec!["iwd".to_string()],
-            methods: vec![Method::WorkflowPresets],
+            methods: vec![MethodSpec::Preset],
             seeds: vec![3, 4],
             policies: vec![SchedulePolicy::FirstFit, SchedulePolicy::BestFit],
             scale: 0.02,
@@ -305,6 +362,35 @@ mod tests {
     }
 
     #[test]
+    fn sweep_states_checkpoint_each_cell_predictor() {
+        let spec = SweepSpec {
+            workflows: vec!["iwd".to_string()],
+            methods: vec![MethodSpec::Preset, MethodSpec::sizey_defaults()],
+            seeds: vec![3],
+            policies: vec![SchedulePolicy::FirstFit],
+            scale: 0.02,
+            sim: SimulationConfig::default(),
+        };
+        let with_states = run_sweep_with_states(&spec);
+        assert_eq!(with_states.len(), 2);
+        // The cells match the plain sweep bit for bit.
+        let plain = run_sweep(&spec);
+        for ((cell, _), reference) in with_states.iter().zip(&plain) {
+            assert_eq!(cell.method, reference.method);
+            assert_eq!(cell.wastage_gbh, reference.wastage_gbh);
+        }
+        // The preset predictor is stateless; the Sizey cell journals every
+        // attempt of the replay and restores bit-identically.
+        let (preset_cell, preset_state) = &with_states[0];
+        assert_eq!(preset_cell.method, MethodSpec::Preset);
+        assert!(preset_state.journal.is_empty());
+        let (sizey_cell, sizey_state) = &with_states[1];
+        assert!(!sizey_state.journal.is_empty());
+        let restored = sizey_cell.method.restore(sizey_state).unwrap();
+        assert_eq!(restored.snapshot(), *sizey_state);
+    }
+
+    #[test]
     fn shared_sizey_sweep_emits_one_cell_per_workflow_seed_policy() {
         let spec = SweepSpec {
             workflows: vec!["iwd".to_string(), "rnaseq".to_string()],
@@ -316,7 +402,9 @@ mod tests {
         };
         let cells = run_sweep_shared_sizey(&spec, 4);
         assert_eq!(cells.len(), 4, "2 workflows x 1 seed x 2 policies");
-        assert!(cells.iter().all(|c| c.method == Method::Sizey));
+        assert!(cells
+            .iter()
+            .all(|c| c.method == MethodSpec::sizey_defaults()));
         assert!(cells.iter().all(|c| c.wastage_gbh.is_finite()));
         // Deterministic regardless of worker count: each (seed, policy)
         // cell's event-driven replay is sequential.
@@ -337,8 +425,76 @@ mod tests {
         let rows = aggregate_sweep(&cells);
         assert_eq!(rows.len(), 2, "one row per (method, policy)");
         for row in &rows {
-            assert_eq!(row.method, Method::WorkflowPresets);
+            assert_eq!(row.method, MethodSpec::Preset);
             assert!(row.wastage_gbh > 0.0);
+        }
+    }
+
+    /// Satellite regression: aggregate rows used to come back in
+    /// first-encounter order, so reordering the cells (e.g. a different
+    /// sweep nesting) reordered the table. The order is now pinned to
+    /// (figure order, parameter tiebreak, policy order) regardless of the
+    /// cell order.
+    #[test]
+    fn aggregate_order_is_deterministic_and_pinned() {
+        fn cell(method: MethodSpec, policy: SchedulePolicy) -> SweepCell {
+            SweepCell {
+                workflow: "iwd".to_string(),
+                method,
+                seed: 1,
+                policy,
+                wastage_gbh: 1.0,
+                failures: 0,
+                unfinished: 0,
+                makespan_hours: 1.0,
+                mean_queue_delay_seconds: 0.0,
+                runtime_hours: 1.0,
+            }
+        }
+        let alpha_sizey = MethodSpec::Sizey(SizeyConfig::default().with_alpha(0.5));
+        // Deliberately scrambled: presets before Sizey, best-fit before
+        // first-fit, the non-default Sizey variant before the default.
+        let cells = vec![
+            cell(MethodSpec::Preset, SchedulePolicy::BestFit),
+            cell(alpha_sizey.clone(), SchedulePolicy::FirstFit),
+            cell(MethodSpec::Preset, SchedulePolicy::FirstFit),
+            cell(MethodSpec::sizey_defaults(), SchedulePolicy::FirstFit),
+            cell(
+                MethodSpec::WittPercentile(Default::default()),
+                SchedulePolicy::FirstFit,
+            ),
+        ];
+        let rows = aggregate_sweep(&cells);
+        let order: Vec<(String, &str)> = rows
+            .iter()
+            .map(|r| {
+                (
+                    format!(
+                        "{}(α={})",
+                        r.method.name(),
+                        matches!(&r.method, MethodSpec::Sizey(c) if c.alpha > 0.0) as u8
+                    ),
+                    r.policy.name(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("Sizey(α=0)".to_string(), "first-fit"),
+                ("Sizey(α=1)".to_string(), "first-fit"),
+                ("Witt-Percentile(α=0)".to_string(), "first-fit"),
+                ("Workflow-Presets(α=0)".to_string(), "first-fit"),
+                ("Workflow-Presets(α=0)".to_string(), "best-fit"),
+            ]
+        );
+        // Reversing the cells must not change the row order.
+        let mut reversed = cells;
+        reversed.reverse();
+        let rows_reversed = aggregate_sweep(&reversed);
+        for (a, b) in rows.iter().zip(&rows_reversed) {
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.policy, b.policy);
         }
     }
 }

@@ -60,8 +60,8 @@ pub use offset::{hypothetical_wastage, select_dynamic_offset, OffsetStrategy};
 pub use pool::ModelPool;
 pub use raq::{accuracy_score, efficiency_scores, pool_raq_scores, raq_score};
 pub use serve::{
-    BatchRequest, ConcurrentPredictor, ConcurrentSizey, SharedPredictor, SharedSizey,
-    DEFAULT_SHARDS,
+    BatchRequest, ConcurrentPredictor, ConcurrentSizey, ServiceCheckpoint, SharedPredictor,
+    SharedSizey, DEFAULT_SHARDS,
 };
 pub use sizey::SizeyPredictor;
 

@@ -12,6 +12,12 @@
 //!
 //! and performs the online-learning update (incremental or full retrain,
 //! optionally with hyper-parameter optimisation).
+//!
+//! The pool is on the predictor hot path and is **panic-free by
+//! construction**: every model call goes through `Result`/`Option`
+//! (fallible fits fall back to a refit or keep the previous model, window
+//! slices use saturating arithmetic), so a misbehaving model class can
+//! degrade a pool's estimates but never abort a replay or a serving thread.
 
 use crate::config::{OnlineMode, SizeyConfig};
 use crate::gating::{gate, GatingDecision};

@@ -141,9 +141,14 @@ impl Cluster {
                 .iter()
                 .filter(|n| n.fits(allocation_bytes))
                 .min_by(|a, b| {
+                    // `total_cmp` keeps node selection panic-free on the hot
+                    // path: leftovers of fitting nodes are always finite
+                    // (capacities and allocations are), and a NaN allocation
+                    // never reaches this comparison because `fits` rejects
+                    // it — but a comparison that *cannot* panic beats one
+                    // that argues it won't.
                     (a.free_bytes() - allocation_bytes)
-                        .partial_cmp(&(b.free_bytes() - allocation_bytes))
-                        .expect("finite free memory")
+                        .total_cmp(&(b.free_bytes() - allocation_bytes))
                 })
                 .map(|n| n.id),
         }
@@ -334,6 +339,25 @@ mod tests {
         assert_eq!(n0.peak_allocated_bytes, 9e9);
         assert_eq!(n0.peak_used_slots, 2);
         assert_eq!(n0.used_slots, 1);
+    }
+
+    /// Satellite regression: `select_node` under best fit used to compare
+    /// leftovers with `partial_cmp(..).expect("finite free memory")`, so a
+    /// NaN allocation (e.g. from a corrupted prediction upstream) panicked
+    /// the scheduler hot path. `fits` rejects NaN (every comparison with it
+    /// is false) and the comparator is total now: the request is simply
+    /// unplaceable under every policy.
+    #[test]
+    fn nan_allocation_is_rejected_not_panicking() {
+        let mut c = small_cluster();
+        c.try_place(6e9).unwrap();
+        for policy in SchedulePolicy::ALL {
+            assert_eq!(c.select_node(f64::NAN, policy), None, "{policy:?}");
+        }
+        assert!(!c.nodes()[0].fits(f64::NAN));
+        assert!(c.try_place(f64::NAN).is_none());
+        // Infinite requests are equally unplaceable on finite nodes.
+        assert_eq!(c.select_node(f64::INFINITY, SchedulePolicy::BestFit), None);
     }
 
     #[test]

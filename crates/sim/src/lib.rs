@@ -22,6 +22,10 @@
 //!   fits (over-allocation costs makespan), [`SchedulePolicy`] picks how the
 //!   queue drains, and [`schedule_workflows`] replays several workflows
 //!   *concurrently* against one shared cluster,
+//! * [`lifecycle`] — the snapshot/restore lifecycle:
+//!   [`lifecycle::CheckpointPredictor`] captures a predictor's learned state
+//!   as an event-sourced [`lifecycle::PredictorState`] journal that restores
+//!   bit-identically on a fresh instance,
 //! * [`replay`] — the paper's single-workflow replay engine (now backed by
 //!   the scheduler, with the legacy occupancy sketch kept as
 //!   [`replay_workflow_occupancy`] for reference),
@@ -48,6 +52,7 @@ pub mod accounting;
 pub mod cluster;
 pub mod config;
 pub mod inflight;
+pub mod lifecycle;
 pub mod predictor;
 pub mod queue;
 pub mod replay;
@@ -57,6 +62,7 @@ pub use accounting::{aggregate_method, AttemptEvent, MethodAggregate, ReplayRepo
 pub use cluster::{Cluster, Node, Placement, FIT_TOLERANCE};
 pub use config::{NodePoolSpec, SimulationConfig};
 pub use inflight::RetryLedger;
+pub use lifecycle::{CheckpointPredictor, PredictorState, StateError};
 pub use predictor::{AttemptContext, MemoryPredictor, Prediction, PresetPredictor, TaskSubmission};
 pub use replay::{replay_with, replay_workflow, replay_workflow_occupancy, MIN_ALLOCATION_BYTES};
 pub use scheduler::{

@@ -74,6 +74,23 @@ impl SchedulePolicy {
             SchedulePolicy::Backfill => "backfill",
         }
     }
+
+    /// Parses the [`name`](SchedulePolicy::name) form back into a policy
+    /// (used by the spec-driven experiment loader).
+    pub fn from_name(name: &str) -> Option<Self> {
+        SchedulePolicy::ALL
+            .into_iter()
+            .find(|p| p.name() == name.trim())
+    }
+
+    /// Position in [`SchedulePolicy::ALL`] — the canonical comparison order
+    /// used for deterministic result-table sorting.
+    pub fn comparison_order(&self) -> usize {
+        SchedulePolicy::ALL
+            .iter()
+            .position(|p| p == self)
+            .unwrap_or(SchedulePolicy::ALL.len())
+    }
 }
 
 /// Aggregate scheduler telemetry for one simulation run.

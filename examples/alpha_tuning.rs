@@ -30,8 +30,8 @@ fn main() {
     let mut best = (f64::NAN, f64::INFINITY);
     for step in 0..=10 {
         let alpha = step as f64 / 10.0;
-        let mut sizey = SizeyPredictor::new(SizeyConfig::default().with_alpha(alpha));
-        let report = replay_workflow(&spec.name, &instances, &mut sizey, &sim);
+        let mut sizey = MethodSpec::Sizey(SizeyConfig::default().with_alpha(alpha)).build();
+        let report = replay_workflow(&spec.name, &instances, sizey.as_mut(), &sim);
         let wastage = report.total_wastage_gbh();
         println!(
             "{alpha:>6.1} {wastage:>14.2} {:>10} {:>12.2}",

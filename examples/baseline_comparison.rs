@@ -28,22 +28,18 @@ fn main() {
         spec.n_task_types()
     );
 
-    let mut methods: Vec<Box<dyn MemoryPredictor>> = vec![
-        Box::new(SizeyPredictor::with_defaults()),
-        Box::new(WittWastage::new()),
-        Box::new(WittLr::new()),
-        Box::new(TovarPpm::new()),
-        Box::new(WittPercentile::new()),
-        Box::new(PresetPredictor),
-    ];
+    // The config-driven method registry replaces the old hand-built list of
+    // predictors: one spec per method, `build()` per replay.
+    let methods = MethodSpec::default_suite();
 
     println!(
         "{:<18} {:>14} {:>10} {:>12} {:>14}",
         "method", "wastage GBh", "failures", "runtime h", "unfinished"
     );
     let mut results: Vec<(String, f64)> = Vec::new();
-    for method in methods.iter_mut() {
-        let report = replay_workflow(&spec.name, &instances, method.as_mut(), &sim);
+    for method in &methods {
+        let mut predictor = method.build();
+        let report = replay_workflow(&spec.name, &instances, predictor.as_mut(), &sim);
         println!(
             "{:<18} {:>14.2} {:>10} {:>12.2} {:>14}",
             report.method,

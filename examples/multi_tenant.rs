@@ -22,7 +22,7 @@ fn iwd_tenant(scale: f64) -> WorkflowTenant {
         &sizey_workflows::profiles::iwd(),
         &GeneratorConfig::scaled(scale, 42),
     );
-    WorkflowTenant::new("iwd", iwd, Box::new(SizeyPredictor::with_defaults()))
+    WorkflowTenant::new("iwd", iwd, MethodSpec::sizey_defaults().build())
 }
 
 fn rnaseq_tenant(scale: f64) -> WorkflowTenant {
@@ -30,7 +30,7 @@ fn rnaseq_tenant(scale: f64) -> WorkflowTenant {
         &sizey_workflows::profiles::rnaseq(),
         &GeneratorConfig::scaled(scale, 42),
     );
-    WorkflowTenant::new("rnaseq", rnaseq, Box::new(PresetPredictor))
+    WorkflowTenant::new("rnaseq", rnaseq, MethodSpec::Preset.build())
 }
 
 fn print_run(label: &str, result: &MultiReplayReport) {
@@ -119,5 +119,47 @@ fn main() {
     println!(
         "shared service observed {records} records across {} shards",
         service.service().shard_count()
+    );
+
+    // Warm start: checkpoint the trained service and hand the learned state
+    // to a brand-new service instance — the restored tenants replay the same
+    // workloads without a cold-start phase, and the decisions are
+    // bit-identical to re-running on the original (still-trained) service.
+    let checkpoint = service.checkpoint();
+    let warm =
+        SharedSizey::from_checkpoint(&checkpoint, |_| SizeyPredictor::new(SizeyConfig::default()))
+            .expect("checkpoint restores on a fresh service");
+    let mk_warm = |name: &str, spec: &WorkflowSpec| {
+        WorkflowTenant::new(
+            name,
+            generate_workflow(spec, &GeneratorConfig::scaled(scale, 42)),
+            Box::new(warm.clone()),
+        )
+    };
+    let warmed = schedule_workflows(
+        vec![
+            mk_warm("rnaseq", &sizey_workflows::profiles::rnaseq()),
+            mk_warm("iwd", &sizey_workflows::profiles::iwd()),
+        ],
+        &sim,
+    );
+    print_run(
+        "same tenants warm-started from the service checkpoint",
+        &warmed,
+    );
+    println!(
+        "warm start carried over {} journaled records; second-run wastage {:.2} GBh vs \
+         cold-run {:.2} GBh",
+        checkpoint.merged().journal.len(),
+        warmed
+            .reports
+            .iter()
+            .map(|r| r.total_wastage_gbh())
+            .sum::<f64>(),
+        pooled
+            .reports
+            .iter()
+            .map(|r| r.total_wastage_gbh())
+            .sum::<f64>(),
     );
 }

@@ -19,9 +19,14 @@
 /// One-stop imports for examples and integration tests.
 pub mod prelude {
     pub use sizey_baselines::{PresetPredictor, TovarPpm, WittLr, WittPercentile, WittWastage};
+    pub use sizey_bench::{
+        aggregate_sweep, run_sweep, Experiment, ExperimentBuilder, ExperimentSpec, MethodSpec,
+        SpecError, SweepCell, SweepRow, SweepSpec,
+    };
     pub use sizey_core::{
         BatchRequest, ConcurrentPredictor, ConcurrentSizey, GatingStrategy, OffsetMode,
-        OffsetStrategy, OnlineMode, SharedPredictor, SharedSizey, SizeyConfig, SizeyPredictor,
+        OffsetStrategy, OnlineMode, ServiceCheckpoint, SharedPredictor, SharedSizey, SizeyConfig,
+        SizeyPredictor,
     };
     pub use sizey_ml::{Dataset, ModelClass, Regressor};
     pub use sizey_provenance::{
@@ -29,9 +34,9 @@ pub mod prelude {
     };
     pub use sizey_sim::{
         aggregate_method, replay_workflow, replay_workflow_occupancy, schedule_workflows,
-        AttemptContext, MemoryPredictor, MultiReplayReport, NodePoolSpec, Prediction, ReplayReport,
-        SchedulePolicy, Scheduler, SchedulerStats, SimulationConfig, TaskSubmission,
-        WorkflowTenant,
+        AttemptContext, CheckpointPredictor, MemoryPredictor, MultiReplayReport, NodePoolSpec,
+        Prediction, PredictorState, ReplayReport, SchedulePolicy, Scheduler, SchedulerStats,
+        SimulationConfig, StateError, TaskSubmission, WorkflowTenant,
     };
     pub use sizey_workflows::{
         all_workflows, generate_workflow, profiles, GeneratorConfig, TaskInstance, WorkflowSpec,

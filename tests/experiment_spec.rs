@@ -1,0 +1,129 @@
+//! Integration tests for the spec-driven experiment entry point: the
+//! `ExperimentSpec` path (TOML or builder) must reproduce `run_sweep` on the
+//! equivalent `SweepSpec` bit for bit, and its checkpoints must restore
+//! bit-identically — the contract the `experiment` binary relies on.
+
+use sizey_suite::prelude::*;
+
+const SMOKE_TOML: &str = r#"
+name = "parity"
+scale = 0.02
+seeds = [3, 4]
+profiles = ["iwd"]
+policies = ["first-fit", "best-fit"]
+
+[[method]]
+kind = "sizey"
+
+[[method]]
+kind = "preset"
+"#;
+
+fn assert_cells_equal(a: &[SweepCell], b: &[SweepCell]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.workflow, y.workflow);
+        assert_eq!(x.method, y.method);
+        assert_eq!(x.seed, y.seed);
+        assert_eq!(x.policy, y.policy);
+        assert_eq!(x.wastage_gbh, y.wastage_gbh, "{}/{}", x.workflow, x.seed);
+        assert_eq!(x.failures, y.failures);
+        assert_eq!(x.makespan_hours, y.makespan_hours);
+        assert_eq!(x.unfinished, y.unfinished);
+    }
+}
+
+/// Acceptance criterion: the spec-driven runner reproduces `run_sweep` for
+/// an equivalent spec.
+#[test]
+fn experiment_spec_reproduces_run_sweep() {
+    let spec = ExperimentSpec::from_toml(SMOKE_TOML).unwrap();
+    let from_spec = spec.run().unwrap();
+
+    let sweep = SweepSpec {
+        workflows: vec!["iwd".to_string()],
+        methods: vec![MethodSpec::sizey_defaults(), MethodSpec::Preset],
+        seeds: vec![3, 4],
+        policies: vec![SchedulePolicy::FirstFit, SchedulePolicy::BestFit],
+        scale: 0.02,
+        sim: SimulationConfig::default(),
+    };
+    let from_sweep = run_sweep(&sweep);
+    assert_cells_equal(&from_spec, &from_sweep);
+
+    // The builder route produces the same spec, hence the same cells.
+    let built = Experiment::builder()
+        .name("parity")
+        .method(MethodSpec::sizey_defaults())
+        .method(MethodSpec::Preset)
+        .profile("iwd")
+        .seeds([3, 4])
+        .policies([SchedulePolicy::FirstFit, SchedulePolicy::BestFit])
+        .scale(0.02)
+        .build()
+        .unwrap();
+    assert_eq!(built.sweep_spec().methods, spec.methods);
+    assert_cells_equal(&built.run().unwrap(), &from_spec);
+}
+
+/// The checkpointed variant returns the same cells plus states that restore
+/// bit-identically through the registry — what the `experiment` binary
+/// writes to its checkpoint directory.
+#[test]
+fn experiment_checkpoints_restore_bit_identically() {
+    let spec = ExperimentSpec::from_toml(SMOKE_TOML).unwrap();
+    let plain = spec.run().unwrap();
+    let checkpointed = spec.run_checkpointed().unwrap();
+    let cells: Vec<SweepCell> = checkpointed.iter().map(|(c, _)| c.clone()).collect();
+    assert_cells_equal(&cells, &plain);
+    for (cell, state) in &checkpointed {
+        // Codec + registry restore round trip, exactly as the binary does.
+        let text = state.to_state_string();
+        let parsed = PredictorState::from_state_string(&text).unwrap();
+        assert_eq!(&parsed, state);
+        let restored = cell.method.restore(&parsed).unwrap();
+        assert_eq!(
+            restored.snapshot(),
+            *state,
+            "{} checkpoint did not restore bit-identically",
+            cell.method.id()
+        );
+    }
+}
+
+/// The aggregate table over an experiment's cells is deterministically
+/// ordered (method figure order, then policy order) — sweep tables diff
+/// cleanly across runs.
+#[test]
+fn experiment_aggregate_rows_are_ordered() {
+    let spec = ExperimentSpec::from_toml(SMOKE_TOML).unwrap();
+    let rows = aggregate_sweep(&spec.run().unwrap());
+    let order: Vec<(&str, &str)> = rows
+        .iter()
+        .map(|r| (r.method.name(), r.policy.name()))
+        .collect();
+    assert_eq!(
+        order,
+        vec![
+            ("Sizey", "first-fit"),
+            ("Sizey", "best-fit"),
+            ("Workflow-Presets", "first-fit"),
+            ("Workflow-Presets", "best-fit"),
+        ]
+    );
+}
+
+/// The checked-in CI smoke spec stays loadable and small.
+#[test]
+fn checked_in_smoke_spec_parses() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/crates/bench/specs/smoke.toml");
+    let spec = ExperimentSpec::from_toml_file(path).unwrap();
+    assert_eq!(spec.name, "smoke");
+    assert_eq!(spec.methods.len(), 2);
+    assert_eq!(spec.profiles, vec!["iwd".to_string()]);
+    assert_eq!(spec.seeds.len(), 2);
+    assert_eq!(spec.len(), 4);
+    // Round-trip: the spec the `experiment` bin stamps into its checkpoint
+    // directory reparses to the same spec.
+    assert_eq!(ExperimentSpec::from_toml(&spec.to_toml()).unwrap(), spec);
+}

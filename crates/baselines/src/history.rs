@@ -3,6 +3,7 @@
 
 use sizey_provenance::{TaskMachineKey, TaskOutcome, TaskRecord};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Observation history of successful executions, grouped per
 /// (task type, machine) combination.
@@ -25,7 +26,9 @@ use std::collections::HashMap;
 #[derive(Debug, Default, Clone)]
 pub struct History {
     observations: HashMap<TaskMachineKey, Vec<Observation>>,
-    journal: Vec<TaskRecord>,
+    /// Reference-counted so snapshots share the records instead of
+    /// deep-cloning the journal a second time.
+    journal: Vec<Arc<TaskRecord>>,
 }
 
 /// One successful task execution as seen by a baseline method.
@@ -49,7 +52,7 @@ impl History {
     /// method), but every record enters the journal so snapshots stay a
     /// faithful event log.
     pub fn observe(&mut self, record: &TaskRecord) {
-        self.journal.push(record.clone());
+        self.journal.push(Arc::new(record.clone()));
         if record.outcome != TaskOutcome::Succeeded {
             return;
         }
@@ -64,7 +67,7 @@ impl History {
 
     /// Every record ever observed, in observation order — the event source
     /// for the snapshot/restore lifecycle.
-    pub fn journal(&self) -> &[TaskRecord] {
+    pub fn journal(&self) -> &[Arc<TaskRecord>] {
         &self.journal
     }
 

@@ -1,0 +1,252 @@
+//! `perf_replay` — the reproducible performance harness for the
+//! predict/observe hot path.
+//!
+//! Replays a **pinned** multi-tenant sweep (fixed workflows, scale, seed,
+//! policy and cluster — deliberately independent of the `SIZEY_BENCH_*`
+//! environment variables, so two runs on different commits measure the same
+//! workload) through the event-driven scheduler with one online-learning
+//! Sizey predictor per tenant, and reports
+//!
+//! * end-to-end replay throughput in dispatched attempts per second,
+//! * per-call latency percentiles of `MemoryPredictor::predict` and
+//!   `MemoryPredictor::observe` (p50 / p90 / p99 / max, microseconds),
+//!
+//! then writes the measurement as `BENCH_replay.json` at the repository root
+//! — one point of the perf trajectory tracked across commits.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p sizey-bench --bin perf_replay            # full pinned sweep
+//! cargo run --release -p sizey-bench --bin perf_replay -- --smoke # small CI smoke spec
+//! cargo run --release -p sizey-bench --bin perf_replay -- --out /tmp/bench.json
+//! ```
+
+use sizey_core::SizeyPredictor;
+use sizey_sim::{
+    schedule_workflows, AttemptContext, MemoryPredictor, Prediction, SchedulePolicy,
+    SimulationConfig, TaskSubmission, WorkflowTenant,
+};
+use sizey_workflows::{all_workflows, generate_workflow, GeneratorConfig};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use sizey_provenance::TaskRecord;
+
+/// The pinned harness parameters of one mode.
+struct PinnedSpec {
+    mode: &'static str,
+    /// Fraction of the paper's task volume per workflow.
+    scale: f64,
+    /// Workload generation seed.
+    seed: u64,
+    /// Number of tenant workflows (taken in `all_workflows()` order).
+    tenants: usize,
+    /// Seconds between consecutive instance arrivals of one tenant.
+    submit_interval_seconds: f64,
+    /// Arrival stagger between tenants, in seconds.
+    arrival_stagger_seconds: f64,
+}
+
+const FULL: PinnedSpec = PinnedSpec {
+    mode: "full",
+    scale: 0.5,
+    seed: 42,
+    tenants: 6,
+    submit_interval_seconds: 5.0,
+    arrival_stagger_seconds: 600.0,
+};
+
+const SMOKE: PinnedSpec = PinnedSpec {
+    mode: "smoke",
+    scale: 0.01,
+    seed: 42,
+    tenants: 2,
+    submit_interval_seconds: 5.0,
+    arrival_stagger_seconds: 60.0,
+};
+
+/// Wraps a predictor and records the wall-clock duration of every `predict`
+/// and `observe` call in nanoseconds. The handles are shared with the
+/// harness, which reads them back after the replay consumed the tenants.
+struct TimedPredictor<P> {
+    inner: P,
+    predict_ns: Arc<Mutex<Vec<u64>>>,
+    observe_ns: Arc<Mutex<Vec<u64>>>,
+}
+
+impl<P: MemoryPredictor> MemoryPredictor for TimedPredictor<P> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn predict(&self, task: &TaskSubmission, ctx: AttemptContext) -> Prediction {
+        let start = Instant::now();
+        let prediction = self.inner.predict(task, ctx);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        self.predict_ns.lock().expect("timer lock").push(elapsed);
+        prediction
+    }
+
+    fn observe(&mut self, record: &TaskRecord) {
+        let start = Instant::now();
+        self.inner.observe(record);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        self.observe_ns.lock().expect("timer lock").push(elapsed);
+    }
+}
+
+/// Latency percentiles over one timer series, in microseconds.
+struct LatencySummary {
+    count: usize,
+    p50_us: f64,
+    p90_us: f64,
+    p99_us: f64,
+    max_us: f64,
+}
+
+fn summarize(mut nanos: Vec<u64>) -> LatencySummary {
+    nanos.sort_unstable();
+    let pick = |q: f64| -> f64 {
+        if nanos.is_empty() {
+            return 0.0;
+        }
+        let idx = (q * (nanos.len() - 1) as f64).round() as usize;
+        nanos[idx.min(nanos.len() - 1)] as f64 / 1_000.0
+    };
+    LatencySummary {
+        count: nanos.len(),
+        p50_us: pick(0.50),
+        p90_us: pick(0.90),
+        p99_us: pick(0.99),
+        max_us: nanos.last().map_or(0.0, |&n| n as f64 / 1_000.0),
+    }
+}
+
+fn json_latency(s: &LatencySummary) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_us\": {:.3}, \"p90_us\": {:.3}, \"p99_us\": {:.3}, \"max_us\": {:.3}}}",
+        s.count, s.p50_us, s.p90_us, s.p99_us, s.max_us
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let spec = if smoke { SMOKE } else { FULL };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // crates/bench/../../ == repository root.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("BENCH_replay.json")
+        });
+
+    println!("=== perf_replay ({} spec) ===", spec.mode);
+    println!(
+        "pinned workload: {} tenants, scale {}, seed {}, first-fit, \
+         submit interval {} s, stagger {} s",
+        spec.tenants,
+        spec.scale,
+        spec.seed,
+        spec.submit_interval_seconds,
+        spec.arrival_stagger_seconds
+    );
+
+    let generator = GeneratorConfig::scaled(spec.scale, spec.seed);
+    let workflows = all_workflows();
+    let predict_ns = Arc::new(Mutex::new(Vec::new()));
+    let observe_ns = Arc::new(Mutex::new(Vec::new()));
+
+    let tenants: Vec<WorkflowTenant> = workflows
+        .iter()
+        .cycle()
+        .take(spec.tenants)
+        .enumerate()
+        .map(|(i, wf)| {
+            let instances = generate_workflow(wf, &generator);
+            WorkflowTenant::new(
+                format!("{}-{i}", wf.name),
+                instances,
+                Box::new(TimedPredictor {
+                    inner: SizeyPredictor::with_defaults(),
+                    predict_ns: Arc::clone(&predict_ns),
+                    observe_ns: Arc::clone(&observe_ns),
+                }),
+            )
+            .with_arrival_offset(i as f64 * spec.arrival_stagger_seconds)
+        })
+        .collect();
+    let total_instances: usize = tenants.iter().map(|t| t.instances.len()).sum();
+
+    let sim = SimulationConfig {
+        submit_interval_seconds: spec.submit_interval_seconds,
+        ..SimulationConfig::default().with_policy(SchedulePolicy::FirstFit)
+    };
+
+    let start = Instant::now();
+    let result = schedule_workflows(tenants, &sim);
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    let attempts = result.stats.dispatched_attempts;
+    let throughput = attempts as f64 / wall_seconds;
+    let predict = summarize(
+        Arc::try_unwrap(predict_ns)
+            .expect("replay dropped its timer handles")
+            .into_inner()
+            .expect("timer lock"),
+    );
+    let observe = summarize(
+        Arc::try_unwrap(observe_ns)
+            .expect("replay dropped its timer handles")
+            .into_inner()
+            .expect("timer lock"),
+    );
+
+    println!();
+    println!(
+        "replayed {total_instances} instances / {attempts} attempts in {wall_seconds:.3} s \
+         ({throughput:.0} attempts/s)"
+    );
+    println!(
+        "predict latency: p50 {:.1} us, p90 {:.1} us, p99 {:.1} us, max {:.1} us ({} calls)",
+        predict.p50_us, predict.p90_us, predict.p99_us, predict.max_us, predict.count
+    );
+    println!(
+        "observe latency: p50 {:.1} us, p90 {:.1} us, p99 {:.1} us, max {:.1} us ({} calls)",
+        observe.p50_us, observe.p90_us, observe.p99_us, observe.max_us, observe.count
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"sizey-perf-replay/v1\",\n  \"mode\": \"{}\",\n  \
+         \"workload\": {{\"tenants\": {}, \"scale\": {}, \"seed\": {}, \
+         \"policy\": \"first-fit\", \"submit_interval_seconds\": {}, \
+         \"arrival_stagger_seconds\": {}}},\n  \
+         \"instances\": {},\n  \"attempts\": {},\n  \"wall_seconds\": {:.6},\n  \
+         \"throughput_attempts_per_sec\": {:.3},\n  \
+         \"makespan_seconds\": {:.3},\n  \
+         \"predict_latency_us\": {},\n  \"observe_latency_us\": {}\n}}\n",
+        spec.mode,
+        spec.tenants,
+        spec.scale,
+        spec.seed,
+        spec.submit_interval_seconds,
+        spec.arrival_stagger_seconds,
+        total_instances,
+        attempts,
+        wall_seconds,
+        throughput,
+        result.makespan_seconds,
+        json_latency(&predict),
+        json_latency(&observe),
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_replay.json");
+    println!();
+    println!("wrote {}", out_path.display());
+}

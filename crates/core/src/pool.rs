@@ -5,9 +5,9 @@
 //! configured class. The pool keeps
 //!
 //! * the successful observation history (the training data),
-//! * each model's prequential accuracy history — the `(prediction, actual)`
-//!   pairs it produced *before* seeing the task, feeding the accuracy score
-//!   of Eq. 1,
+//! * each model's prequential accuracy contributions — scored from the
+//!   `(prediction, actual)` pairs it produced *before* seeing each task,
+//!   feeding the accuracy score of Eq. 1,
 //! * the aggregate-estimate history feeding the offset selection,
 //!
 //! and performs the online-learning update (incremental or full retrain,
@@ -21,7 +21,7 @@
 
 use crate::config::{OnlineMode, SizeyConfig};
 use crate::gating::{gate, GatingDecision};
-use crate::raq::pool_raq_scores;
+use crate::raq::{accuracy_score_cached, pair_accuracy, pool_raq_scores_from_accuracy};
 use sizey_ml::dataset::Dataset;
 use sizey_ml::forest::{ForestConfig, RandomForestRegression};
 use sizey_ml::hpo::{grid_search, ModelSpec};
@@ -35,8 +35,13 @@ use std::time::{Duration, Instant};
 struct PoolMember {
     class: ModelClass,
     model: Box<dyn Regressor>,
-    /// `(prediction, actual)` pairs collected online.
-    accuracy_history: Vec<(f64, f64)>,
+    /// Each prequential `(prediction, actual)` pair's contribution to the
+    /// Eq. 1 accuracy score ([`pair_accuracy`]), computed once when the
+    /// pair is observed. The predict path sums a window of these cached
+    /// values instead of re-scoring raw pairs on every call — the pairs
+    /// themselves are not retained (the score is the only thing Eq. 1
+    /// ever reads).
+    accuracy_scores: Vec<f64>,
 }
 
 /// The model pool of one (task type, machine) combination.
@@ -53,6 +58,11 @@ pub struct ModelPool {
     max_observed: Option<f64>,
     /// Wall-clock time spent in the most recent model update.
     last_training_time: Duration,
+    /// Reused buffer for the single-observation update dataset.
+    point_scratch: Dataset,
+    /// Reused buffer for the recent-window dataset of the MLP's warm-start
+    /// update.
+    tail_scratch: Dataset,
 }
 
 impl std::fmt::Debug for ModelPool {
@@ -95,7 +105,7 @@ impl ModelPool {
                 .map(|&class| PoolMember {
                     class,
                     model: build_model(class, config.seed),
-                    accuracy_history: Vec::new(),
+                    accuracy_scores: Vec::new(),
                 })
                 .collect(),
             data: Dataset::new(),
@@ -103,6 +113,8 @@ impl ModelPool {
             since_full_retrain: 0,
             max_observed: None,
             last_training_time: Duration::ZERO,
+            point_scratch: Dataset::new(),
+            tail_scratch: Dataset::new(),
         }
     }
 
@@ -166,23 +178,26 @@ impl ModelPool {
         let estimates = self.individual_estimates(features)?;
         // The accuracy score follows the model's *current* quality: only the
         // most recent prequential errors enter Eq. 1, so a model that drifts
-        // (or recovers) is re-rated quickly.
+        // (or recovers) is re-rated quickly. The per-pair contributions were
+        // cached when the pairs were recorded (`accuracy_scores`), so this
+        // sums a bounded window of cached values — no per-predict re-scoring
+        // of the history, no cloned window buffers.
         const ACCURACY_WINDOW: usize = 50;
-        let histories: Vec<Vec<(f64, f64)>> = estimates
+        let accuracies: Vec<f64> = estimates
             .iter()
             .map(|(class, _)| {
                 self.members
                     .iter()
                     .find(|m| m.class == *class)
                     .map(|m| {
-                        let h = &m.accuracy_history;
-                        h[h.len().saturating_sub(ACCURACY_WINDOW)..].to_vec()
+                        let s = &m.accuracy_scores;
+                        accuracy_score_cached(&s[s.len().saturating_sub(ACCURACY_WINDOW)..])
                     })
-                    .unwrap_or_default()
+                    .unwrap_or(0.0)
             })
             .collect();
         let values: Vec<f64> = estimates.iter().map(|(_, v)| *v).collect();
-        let raq = pool_raq_scores(&histories, &values, config.alpha);
+        let raq = pool_raq_scores_from_accuracy(&accuracies, &values, config.alpha);
         Some((gate(config.gating, &values, &raq), estimates))
     }
 
@@ -205,12 +220,16 @@ impl ModelPool {
         config: &SizeyConfig,
     ) -> Duration {
         // 1. Prequential accuracy update: ask every fitted member what it
-        //    would have predicted *before* learning from this task.
+        //    would have predicted *before* learning from this task. The
+        //    pair's Eq. 1 contribution is scored once, here, so predictions
+        //    only ever sum cached values.
         for member in &mut self.members {
             if member.model.is_fitted() {
                 if let Ok(pred) = member.model.predict(features) {
                     if pred.is_finite() {
-                        member.accuracy_history.push((pred.max(0.0), peak_bytes));
+                        member
+                            .accuracy_scores
+                            .push(pair_accuracy(pred.max(0.0), peak_bytes));
                     }
                 }
             }
@@ -224,9 +243,11 @@ impl ModelPool {
         self.data.push(features.to_vec(), peak_bytes);
         self.max_observed = Some(self.max_observed.map_or(peak_bytes, |m| m.max(peak_bytes)));
 
-        // 4. Online model update.
+        // 4. Online model update. The single-point and recent-window update
+        // datasets live in pool-owned scratch buffers, reused across
+        // observations instead of being reallocated on every completion.
         let start = Instant::now();
-        let new_point = Dataset::from_parts(vec![features.to_vec()], vec![peak_bytes]);
+        self.data.tail_into(1, &mut self.point_scratch);
         match config.online {
             OnlineMode::FullRetrain => self.full_retrain(config),
             OnlineMode::Incremental { retrain_interval } => {
@@ -241,12 +262,14 @@ impl ModelPool {
                     // towards it and destabilise the pool between full
                     // retrains. The other classes have exact or append-style
                     // incremental updates and receive only the new point.
-                    let recent = self.data.tail(16);
+                    self.data.tail_into(16, &mut self.tail_scratch);
+                    let recent = &self.tail_scratch;
+                    let new_point = &self.point_scratch;
                     for member in &mut self.members {
                         let update = if member.class == ModelClass::Mlp {
-                            &recent
+                            recent
                         } else {
-                            &new_point
+                            new_point
                         };
                         let result = if member.model.is_fitted() {
                             member.model.partial_fit(update)
@@ -361,15 +384,15 @@ mod tests {
     }
 
     #[test]
-    fn accuracy_history_grows_prequentially() {
+    fn accuracy_scores_grow_prequentially() {
         let cfg = config();
         let mut pool = ModelPool::new(&cfg);
         feed_linear(&mut pool, &cfg, 6);
         // The first observation fits unfitted models, so accuracy history
         // starts with the second observation.
         for member in &pool.members {
-            assert!(member.accuracy_history.len() >= 4);
-            assert!(member.accuracy_history.len() < 6);
+            assert!(member.accuracy_scores.len() >= 4);
+            assert!(member.accuracy_scores.len() < 6);
         }
         assert!(!pool.aggregate_history().is_empty());
     }

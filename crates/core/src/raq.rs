@@ -18,15 +18,40 @@ use sizey_ml::metrics::bounded_relative_error;
 /// historical `(prediction, actual)` values it produced for this
 /// (task type, machine) combination. Returns 0 when no history exists —
 /// a model we know nothing about should never be preferred on accuracy.
+///
+/// This is the straightforward reference implementation; the predict hot
+/// path uses [`accuracy_score_cached`] over per-pair contributions computed
+/// once at observation time (the equivalence proptests assert the two are
+/// bit-identical).
 pub fn accuracy_score(history: &[(f64, f64)]) -> f64 {
     if history.is_empty() {
         return 0.0;
     }
     let sum: f64 = history
         .iter()
-        .map(|&(pred, actual)| 1.0 - bounded_relative_error(pred, actual, 1.0))
+        .map(|&(pred, actual)| pair_accuracy(pred, actual))
         .sum();
     (sum / history.len() as f64).clamp(0.0, 1.0)
+}
+
+/// The contribution of one `(prediction, actual)` pair to the accuracy score
+/// of Eq. 1. Pool members cache this value when the pair is recorded, so a
+/// prediction sums cached contributions instead of re-scoring the
+/// prequential history on every call.
+#[inline]
+pub fn pair_accuracy(pred: f64, actual: f64) -> f64 {
+    1.0 - bounded_relative_error(pred, actual, 1.0)
+}
+
+/// Accuracy score over **cached** per-pair contributions
+/// ([`pair_accuracy`]). Bit-identical to [`accuracy_score`] over the pairs
+/// the contributions were computed from: same values, same summation order.
+pub fn accuracy_score_cached(scores: &[f64]) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = scores.iter().sum();
+    (sum / scores.len() as f64).clamp(0.0, 1.0)
 }
 
 /// Computes the efficiency scores of all pool members (Eq. 2) from their
@@ -51,18 +76,36 @@ pub fn raq_score(accuracy: f64, efficiency: f64, alpha: f64) -> f64 {
 }
 
 /// Convenience: computes the RAQ scores of the whole pool from each model's
-/// accuracy history and current estimate.
+/// accuracy history and current estimate. Reference implementation — the
+/// hot path uses [`pool_raq_scores_from_accuracy`] over pre-computed
+/// accuracy scores.
 pub fn pool_raq_scores(
     accuracy_histories: &[Vec<(f64, f64)>],
     estimates: &[f64],
     alpha: f64,
 ) -> Vec<f64> {
     debug_assert_eq!(accuracy_histories.len(), estimates.len());
+    let accuracies: Vec<f64> = accuracy_histories
+        .iter()
+        .map(|hist| accuracy_score(hist))
+        .collect();
+    pool_raq_scores_from_accuracy(&accuracies, estimates, alpha)
+}
+
+/// RAQ scores of the whole pool from each model's already-computed accuracy
+/// score and current estimate — the allocation-light predict path (accuracy
+/// comes from [`accuracy_score_cached`] over cached contributions).
+pub fn pool_raq_scores_from_accuracy(
+    accuracies: &[f64],
+    estimates: &[f64],
+    alpha: f64,
+) -> Vec<f64> {
+    debug_assert_eq!(accuracies.len(), estimates.len());
     let efficiencies = efficiency_scores(estimates);
-    accuracy_histories
+    accuracies
         .iter()
         .zip(efficiencies.iter())
-        .map(|(hist, &eff)| raq_score(accuracy_score(hist), eff, alpha))
+        .map(|(&acc, &eff)| raq_score(acc, eff, alpha))
         .collect()
 }
 

@@ -175,19 +175,20 @@ impl<P: MemoryPredictor + Sync> ConcurrentPredictor<P> {
     /// the shards update in parallel. Within a shard, records apply in input
     /// order, so single-shard batches are indistinguishable from serial
     /// observes.
+    ///
+    /// Grouping uses a single tagged buffer and a stable sort (input order
+    /// within each shard is preserved) instead of one accumulation vector
+    /// per shard per call.
     pub fn observe_batch(&self, records: &[TaskRecord]) {
-        let mut by_shard: Vec<Vec<&TaskRecord>> = vec![Vec::new(); self.shards.len()];
-        for record in records {
-            by_shard[self.shard_of_record(record)].push(record);
-        }
-        let groups: Vec<(usize, Vec<&TaskRecord>)> = by_shard
-            .into_iter()
-            .enumerate()
-            .filter(|(_, group)| !group.is_empty())
+        let mut tagged: Vec<(usize, &TaskRecord)> = records
+            .iter()
+            .map(|record| (self.shard_of_record(record), record))
             .collect();
-        parallel_map(&groups, self.threads, |(shard, group)| {
-            let mut guard = self.shards[*shard].write();
-            for record in group {
+        tagged.sort_by_key(|(shard, _)| *shard);
+        let groups: Vec<&[(usize, &TaskRecord)]> = tagged.chunk_by(|a, b| a.0 == b.0).collect();
+        parallel_map(&groups, self.threads, |group| {
+            let mut guard = self.shards[group[0].0].write();
+            for (_, record) in *group {
                 guard.observe(record);
             }
         });

@@ -149,13 +149,15 @@ impl SizeyPredictor {
 
     /// Computes the offset for the current pool state. Read-path method: the
     /// selection diagnostics are the only thing written, through an atomic.
+    /// The offset window is borrowed straight from the pool's aggregate
+    /// history — no per-predict copy of the window.
     fn offset_for(&self, key: &TaskMachineKey) -> f64 {
-        let history: Vec<(f64, f64)> = self
+        let history: &[(f64, f64)] = self
             .pools
             .get(key)
             .map(|p| {
                 let h = p.aggregate_history();
-                h[h.len().saturating_sub(Self::OFFSET_WINDOW)..].to_vec()
+                &h[h.len().saturating_sub(Self::OFFSET_WINDOW)..]
             })
             .unwrap_or_default();
         if history.is_empty() {
@@ -163,9 +165,9 @@ impl SizeyPredictor {
         }
         match self.config.offset {
             OffsetMode::None => 0.0,
-            OffsetMode::Fixed(strategy) => strategy.offset(&history),
+            OffsetMode::Fixed(strategy) => strategy.offset(history),
             OffsetMode::Dynamic => {
-                let (strategy, offset) = select_dynamic_offset(&history);
+                let (strategy, offset) = select_dynamic_offset(history);
                 // `select_dynamic_offset` only returns candidates drawn from
                 // `OffsetStrategy::ALL`, so the lookup always succeeds; the
                 // telemetry is best-effort either way, so a (impossible)
@@ -299,12 +301,11 @@ const OFFSET_COUNTER_PREFIX: &str = "offset-selected.";
 /// re-measured during the replay rather than carried over.
 impl CheckpointPredictor for SizeyPredictor {
     fn snapshot(&self) -> PredictorState {
-        let journal = self
-            .store
-            .all_records()
-            .iter()
-            .map(|r| (**r).clone())
-            .collect();
+        // The journal *shares* the store's records (satellite fix for the
+        // observe/snapshot double clone): `observe` deep-clones each record
+        // exactly once into the store's `Arc`, and a snapshot only bumps
+        // reference counts.
+        let journal = self.store.all_records();
         let mut counters: Vec<(String, u64)> = OffsetStrategy::ALL
             .iter()
             .zip(&self.offset_selections)

@@ -4,10 +4,27 @@ use crate::matrix::Matrix;
 
 /// A supervised regression dataset: a design matrix of feature rows and a
 /// response vector of targets (peak memory in bytes for the Sizey use case).
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct Dataset {
     features: Vec<Vec<f64>>,
     targets: Vec<f64>,
+}
+
+impl Clone for Dataset {
+    fn clone(&self) -> Self {
+        Dataset {
+            features: self.features.clone(),
+            targets: self.targets.clone(),
+        }
+    }
+
+    /// Reuses the destination's row buffers (outer and inner vectors) —
+    /// models that retrain on a growing history call this on every update,
+    /// so the copy must not reallocate the whole training set each time.
+    fn clone_from(&mut self, source: &Self) {
+        self.features.clone_from(&source.features);
+        self.targets.clone_from(&source.targets);
+    }
 }
 
 impl Dataset {
@@ -90,24 +107,35 @@ impl Dataset {
         (&self.features[i], self.targets[i])
     }
 
-    /// Builds the design matrix (one row per observation).
+    /// Builds the design matrix (one row per observation). The flat
+    /// row-major buffer is filled directly — no intermediate per-row
+    /// vectors.
     pub fn design_matrix(&self) -> Matrix {
-        Matrix::from_rows(&self.features)
+        if self.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = self.n_features();
+        let mut data = Vec::with_capacity(self.len() * cols);
+        for row in &self.features {
+            data.extend_from_slice(row);
+        }
+        Matrix::from_vec(self.len(), cols, data)
     }
 
-    /// Builds the design matrix with a leading intercept column of ones.
+    /// Builds the design matrix with a leading intercept column of ones,
+    /// writing the flat buffer directly (the former implementation built a
+    /// temporary `Vec` per row and then copied the lot again).
     pub fn design_matrix_with_intercept(&self) -> Matrix {
-        let rows: Vec<Vec<f64>> = self
-            .features
-            .iter()
-            .map(|f| {
-                let mut row = Vec::with_capacity(f.len() + 1);
-                row.push(1.0);
-                row.extend_from_slice(f);
-                row
-            })
-            .collect();
-        Matrix::from_rows(&rows)
+        if self.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = self.n_features() + 1;
+        let mut data = Vec::with_capacity(self.len() * cols);
+        for row in &self.features {
+            data.push(1.0);
+            data.extend_from_slice(row);
+        }
+        Matrix::from_vec(self.len(), cols, data)
     }
 
     /// Returns a new dataset containing only the observations at `indices`.
@@ -125,6 +153,24 @@ impl Dataset {
             features: self.features[start..].to_vec(),
             targets: self.targets[start..].to_vec(),
         }
+    }
+
+    /// Copies the last `n` observations into `out`, reusing its buffers —
+    /// the allocation-free variant of [`Dataset::tail`] for callers that
+    /// extract a recent window on every online-learning step.
+    pub fn tail_into(&self, n: usize, out: &mut Dataset) {
+        let start = self.len().saturating_sub(n);
+        let rows = &self.features[start..];
+        out.features.truncate(rows.len());
+        let reused = out.features.len();
+        for (dst, src) in out.features.iter_mut().zip(rows) {
+            dst.clone_from(src);
+        }
+        for src in &rows[reused..] {
+            out.features.push(src.clone());
+        }
+        out.targets.clear();
+        out.targets.extend_from_slice(&self.targets[start..]);
     }
 
     /// Splits into `(train, test)` where the first `train_len` observations go

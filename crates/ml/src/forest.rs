@@ -129,17 +129,20 @@ impl RandomForestRegression {
         }
     }
 
-    /// Trains a single tree on a bootstrap resample drawn with `seed`.
+    /// Trains a single tree on a bootstrap resample drawn with `seed`. The
+    /// resample stays an index buffer into the retained history — the tree
+    /// trains through [`RegressionTree::fit_with_indices`], so no per-tree
+    /// copy of the dataset is materialised (the rng consumption and the
+    /// resulting tree are bit-identical to the former subset-cloning path).
     fn train_tree(&self, seed: u64) -> Result<RegressionTree, ModelError> {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = self.history.len();
         let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
-        let sample = self.history.subset(&indices);
         let mut tree = RegressionTree::new(self.tree_config(self.history.n_features()));
         let mut order: Vec<usize> = (0..self.history.n_features()).collect();
         order.shuffle(&mut rng);
         tree.set_feature_order(order);
-        tree.fit(&sample)?;
+        tree.fit_with_indices(&self.history, indices)?;
         Ok(tree)
     }
 
@@ -180,7 +183,10 @@ impl RandomForestRegression {
 impl Regressor for RandomForestRegression {
     fn fit(&mut self, data: &Dataset) -> Result<(), ModelError> {
         validate_training_data(data)?;
-        self.history = data.clone();
+        // `clone_from` reuses the retained row buffers across retrains
+        // instead of reallocating the whole training set on every full
+        // refit (the model pool refits the forest on its complete history).
+        self.history.clone_from(data);
         self.n_features = data.n_features();
         self.trees.clear();
         let all: Vec<usize> = (0..self.config.n_trees).collect();

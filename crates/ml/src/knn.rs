@@ -6,6 +6,15 @@
 //! meaningful when feature columns live on very different scales (input bytes
 //! vs. running-task counts). `partial_fit` simply appends the new
 //! observations, which makes the incremental update O(new points).
+//!
+//! The prediction hot path works on a **flattened, pre-scaled** feature
+//! buffer: observations are scaled once when the scaler refreshes (on
+//! `fit`/`partial_fit`), not once per stored row on every `predict`, and the
+//! distance ranking uses `select_nth_unstable` partial selection instead of
+//! sorting all n distances to extract k of them. Ties are broken by
+//! insertion index, which reproduces the ranking of the former stable full
+//! sort exactly — predictions are bit-identical to the straightforward
+//! implementation (the workspace equivalence proptests assert this).
 
 use crate::dataset::Dataset;
 use crate::matrix::squared_distance;
@@ -45,7 +54,12 @@ impl Default for KnnConfig {
 #[derive(Debug, Clone)]
 pub struct KnnRegression {
     config: KnnConfig,
-    features: Vec<Vec<f64>>,
+    /// Flattened row-major raw feature buffer (`targets.len()` rows of
+    /// `n_features` columns).
+    features: Vec<f64>,
+    /// The same rows in scaled space, refreshed together with the scaler so
+    /// `predict` never re-scales stored observations.
+    scaled: Vec<f64>,
     targets: Vec<f64>,
     scaler: Scaler,
     n_features: usize,
@@ -58,6 +72,7 @@ impl KnnRegression {
         KnnRegression {
             config,
             features: Vec::new(),
+            scaled: Vec::new(),
             targets: Vec::new(),
             scaler: Scaler::new(ScalerKind::MinMax),
             n_features: 0,
@@ -83,25 +98,37 @@ impl KnnRegression {
 
     fn refresh_scaler(&mut self) {
         self.scaler = Scaler::new(ScalerKind::MinMax);
-        self.scaler.fit(&self.features);
+        self.scaler.fit_flat(&self.features, self.n_features);
+        self.scaler
+            .transform_flat_into(&self.features, self.n_features, &mut self.scaled);
     }
 
     /// Returns the indices and distances of the `k` nearest stored
     /// observations to `query` (in scaled space), closest first.
+    ///
+    /// Partial selection: only the k nearest are moved to the front and
+    /// ordered, instead of sorting all n distances. The comparator is total
+    /// (`total_cmp`), so a NaN distance — e.g. from a corrupted feature
+    /// upstream — ranks last instead of panicking the predict hot path, and
+    /// ties break by insertion index, matching the stable full sort this
+    /// replaces bit for bit.
     fn nearest(&self, query: &[f64]) -> Vec<(usize, f64)> {
+        let width = self.n_features.max(1);
         let scaled_query = self.scaler.transform(query);
         let mut dists: Vec<(usize, f64)> = self
-            .features
-            .iter()
+            .scaled
+            .chunks_exact(width)
             .enumerate()
-            .map(|(i, row)| {
-                let scaled_row = self.scaler.transform(row);
-                (i, squared_distance(&scaled_row, &scaled_query))
-            })
+            .map(|(i, row)| (i, squared_distance(row, &scaled_query)))
             .collect();
-        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
         let k = self.config.k.max(1).min(dists.len());
-        dists.truncate(k);
+        let by_distance_then_index =
+            |a: &(usize, f64), b: &(usize, f64)| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0));
+        if k < dists.len() {
+            dists.select_nth_unstable_by(k - 1, by_distance_then_index);
+            dists.truncate(k);
+        }
+        dists.sort_unstable_by(by_distance_then_index);
         dists
     }
 }
@@ -109,9 +136,14 @@ impl KnnRegression {
 impl Regressor for KnnRegression {
     fn fit(&mut self, data: &Dataset) -> Result<(), ModelError> {
         validate_training_data(data)?;
-        self.features = data.features().to_vec();
-        self.targets = data.targets().to_vec();
         self.n_features = data.n_features();
+        self.features.clear();
+        self.features.reserve(data.len() * self.n_features);
+        for (f, _) in data.iter() {
+            self.features.extend_from_slice(f);
+        }
+        self.targets.clear();
+        self.targets.extend_from_slice(data.targets());
         self.refresh_scaler();
         self.fitted = true;
         Ok(())
@@ -129,7 +161,7 @@ impl Regressor for KnnRegression {
             });
         }
         for (f, t) in data.iter() {
-            self.features.push(f.to_vec());
+            self.features.extend_from_slice(f);
             self.targets.push(t);
         }
         self.refresh_scaler();
@@ -289,6 +321,39 @@ mod tests {
         // min-max scaling the neighbourhood follows it.
         let p = m.predict(&[1e9 + 5.0, 1.0]).unwrap();
         assert!((p - 200.0).abs() < 1e-9, "p = {p}");
+    }
+
+    /// Satellite regression: the distance ranking used
+    /// `partial_cmp(..).expect("finite distances")`, which panicked on NaN
+    /// distances. NaN slips past the finite-input validation whenever the
+    /// min-max scaler's range overflows: features spanning more than the
+    /// f64 range (`hi - lo == inf`) scale the extreme row to `inf / inf =
+    /// NaN`, and every distance involving that row is NaN. With `total_cmp`
+    /// such rows rank last and the clean observations still form the
+    /// neighbourhood.
+    #[test]
+    fn nan_distances_are_ranked_not_panicking() {
+        let mut m = KnnRegression::new(KnnConfig {
+            k: 2,
+            weighting: KnnWeighting::Uniform,
+        });
+        // All inputs finite (validation passes); the 1e308 row's scaled
+        // value is NaN because the column range overflows to infinity.
+        m.fit(&Dataset::from_univariate(
+            &[-1e308, 1e308, 0.0, 1.0],
+            &[0.0, 1e12, 10.0, 20.0],
+        ))
+        .unwrap();
+        let p = m.predict(&[0.5]).unwrap();
+        assert!(
+            p.is_finite(),
+            "NaN-distance row must not poison the estimate"
+        );
+        // An explicitly NaN query is rejected upstream, never panicking.
+        assert!(matches!(
+            m.predict(&[f64::NAN]),
+            Err(ModelError::Numerical(_))
+        ));
     }
 
     #[test]

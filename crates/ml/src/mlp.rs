@@ -215,9 +215,24 @@ impl MlpRegression {
         activations
     }
 
+    /// Forward pass returning only the output value, ping-ponging two
+    /// buffers. The training pass needs every layer's activations
+    /// ([`MlpRegression::forward_all`]); the predict hot path does not, so
+    /// it skips the per-layer activation vectors entirely. Arithmetic is
+    /// identical, so predictions match `forward_all` bit for bit.
     fn forward_scalar(&self, input: &[f64]) -> f64 {
-        let acts = self.forward_all(input);
-        acts.last().expect("output layer")[0]
+        let mut current = input.to_vec();
+        let mut next = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(&current, &mut next);
+            if li != self.layers.len() - 1 {
+                for z in next.iter_mut() {
+                    *z = self.config.activation.forward(*z);
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        current[0]
     }
 
     /// Runs one Adam update over a mini-batch. Returns the batch mean squared

@@ -49,20 +49,41 @@ impl Scaler {
     /// Fits the per-column parameters on a set of feature rows.
     pub fn fit(&mut self, rows: &[Vec<f64>]) {
         let n_cols = rows.first().map_or(0, Vec::len);
+        self.fit_columns(n_cols, rows.len(), || rows.iter().map(Vec::as_slice));
+    }
+
+    /// Fits the per-column parameters on a flattened row-major buffer of
+    /// `n_cols`-wide rows — the allocation-free path used by models that
+    /// keep flat feature buffers. Bit-identical to [`Scaler::fit`] on the
+    /// same rows: both feed the shared per-column kernel in row order.
+    pub fn fit_flat(&mut self, data: &[f64], n_cols: usize) {
+        let n_rows = data.len().checked_div(n_cols).unwrap_or(0);
+        self.fit_columns(n_cols, n_rows, || data.chunks_exact(n_cols));
+    }
+
+    /// The single implementation of the column statistics, shared by the
+    /// row-based and flat fit entry points. `make_rows` yields the feature
+    /// rows in order and is re-invoked per pass, so neither caller has to
+    /// materialise an intermediate copy of the data.
+    fn fit_columns<'a, I: Iterator<Item = &'a [f64]>>(
+        &mut self,
+        n_cols: usize,
+        n_rows: usize,
+        make_rows: impl Fn() -> I,
+    ) {
         self.shift = vec![0.0; n_cols];
         self.scale = vec![1.0; n_cols];
-        if rows.is_empty() || n_cols == 0 {
+        if n_rows == 0 || n_cols == 0 {
             self.fitted = true;
             return;
         }
         match self.kind {
             ScalerKind::Identity => {}
             ScalerKind::Standard => {
-                let n = rows.len() as f64;
+                let n = n_rows as f64;
                 for c in 0..n_cols {
-                    let mean = rows.iter().map(|r| r[c]).sum::<f64>() / n;
-                    let var = rows
-                        .iter()
+                    let mean = make_rows().map(|r| r[c]).sum::<f64>() / n;
+                    let var = make_rows()
                         .map(|r| (r[c] - mean) * (r[c] - mean))
                         .sum::<f64>()
                         / n;
@@ -75,7 +96,7 @@ impl Scaler {
                 for c in 0..n_cols {
                     let mut lo = f64::INFINITY;
                     let mut hi = f64::NEG_INFINITY;
-                    for r in rows {
+                    for r in make_rows() {
                         lo = lo.min(r[c]);
                         hi = hi.max(r[c]);
                     }
@@ -86,6 +107,27 @@ impl Scaler {
             }
         }
         self.fitted = true;
+    }
+
+    /// Transforms a flattened row-major buffer into scaled space, writing
+    /// into `out` (cleared and reused across refreshes). Values match
+    /// [`Scaler::transform`] applied row by row.
+    pub fn transform_flat_into(&self, data: &[f64], n_cols: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(data.len());
+        if !self.fitted || self.kind == ScalerKind::Identity || n_cols == 0 {
+            out.extend_from_slice(data);
+            return;
+        }
+        for row in data.chunks_exact(n_cols) {
+            for (c, &v) in row.iter().enumerate() {
+                if c < self.shift.len() {
+                    out.push((v - self.shift[c]) / self.scale[c]);
+                } else {
+                    out.push(v);
+                }
+            }
+        }
     }
 
     /// Transforms one feature row into scaled space.
@@ -234,6 +276,36 @@ mod tests {
         let s = Scaler::new(ScalerKind::Standard);
         assert_eq!(s.transform(&[5.0]), vec![5.0]);
         assert!(!s.is_fitted());
+    }
+
+    #[test]
+    fn flat_fit_and_transform_match_the_row_based_path() {
+        let rows = vec![
+            vec![1.0, 100.0],
+            vec![3.0, 250.0],
+            vec![5.0, 500.0],
+            vec![2.0, 50.0],
+        ];
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        for kind in [
+            ScalerKind::Standard,
+            ScalerKind::MinMax,
+            ScalerKind::Identity,
+        ] {
+            let mut by_rows = Scaler::new(kind);
+            by_rows.fit(&rows);
+            let mut by_flat = Scaler::new(kind);
+            by_flat.fit_flat(&flat, 2);
+            assert_eq!(by_rows, by_flat, "{kind:?} params diverged");
+            let mut scaled_flat = Vec::new();
+            by_flat.transform_flat_into(&flat, 2, &mut scaled_flat);
+            let scaled_rows: Vec<f64> = by_rows
+                .transform_batch(&rows)
+                .into_iter()
+                .flatten()
+                .collect();
+            assert_eq!(scaled_flat, scaled_rows, "{kind:?} transform diverged");
+        }
     }
 
     #[test]

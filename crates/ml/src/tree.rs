@@ -116,6 +116,26 @@ impl RegressionTree {
         }
     }
 
+    /// Fits the tree on the observations of `data` selected by `indices`
+    /// (duplicates allowed — this is how the random forest trains on a
+    /// bootstrap resample **without materialising the sample**: the former
+    /// implementation cloned every selected row into a scratch dataset per
+    /// tree). Training on `indices` is bit-identical to fitting on the
+    /// materialised subset: every split-search pass visits the selected rows
+    /// in the same order.
+    pub fn fit_with_indices(
+        &mut self,
+        data: &Dataset,
+        indices: Vec<usize>,
+    ) -> Result<(), ModelError> {
+        validate_training_data(data)?;
+        self.nodes.clear();
+        self.n_features = data.n_features();
+        self.build(data, indices, 0);
+        self.fitted = true;
+        Ok(())
+    }
+
     fn candidate_features(&self, n_features: usize) -> Vec<usize> {
         let all: Vec<usize> = if self.feature_order.is_empty() {
             (0..n_features).collect()

@@ -53,12 +53,15 @@ impl From<io::Error> for TraceError {
     }
 }
 
-/// Serialises records into the tab-separated trace format.
-pub fn to_trace_string(records: &[TaskRecord]) -> String {
+/// Serialises records into the tab-separated trace format. Generic over
+/// owned and `Arc`-shared records, so event-sourced snapshots can serialise
+/// their journals without deep-cloning them first.
+pub fn to_trace_string<R: std::borrow::Borrow<TaskRecord>>(records: &[R]) -> String {
     let mut out = String::with_capacity(64 + records.len() * 96);
     out.push_str(HEADER);
     out.push('\n');
     for r in records {
+        let r = r.borrow();
         let outcome = match r.outcome {
             TaskOutcome::Succeeded => "ok",
             TaskOutcome::FailedOutOfMemory => "oom",
@@ -156,7 +159,10 @@ pub fn from_trace_string(content: &str) -> Result<Vec<TaskRecord>, TraceError> {
 }
 
 /// Writes records to a trace file.
-pub fn write_trace(path: &Path, records: &[TaskRecord]) -> Result<(), TraceError> {
+pub fn write_trace<R: std::borrow::Borrow<TaskRecord>>(
+    path: &Path,
+    records: &[R],
+) -> Result<(), TraceError> {
     fs::write(path, to_trace_string(records))?;
     Ok(())
 }

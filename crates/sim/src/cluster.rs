@@ -9,6 +9,7 @@
 
 use crate::config::SimulationConfig;
 use crate::scheduler::SchedulePolicy;
+use std::collections::BTreeSet;
 
 /// Relative tolerance used by [`Node::fits`], expressed as a fraction of the
 /// node's capacity. Allocation counters are `f64` sums of many placements and
@@ -75,10 +76,152 @@ pub struct Placement {
     pub node: usize,
 }
 
+/// Maps an `f64` to a `u64` key whose unsigned order equals
+/// [`f64::total_cmp`] order (the standard sign-flip trick), so float-keyed
+/// ordered collections need no wrapper type.
+#[inline]
+fn total_order_key(value: f64) -> u64 {
+    let bits = value.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// The free-capacity index behind [`Cluster::select_node`]: node selection
+/// used to scan every node per placement decision, which dominates
+/// per-decision cost at cluster scale. Two ordered structures — both
+/// maintained on every placement/release — make the policies sublinear
+/// while reproducing the linear scans' decisions bit for bit:
+///
+/// * a **segment tree** over node ids storing the maximum *effective free
+///   memory* (`free_bytes + capacity × FIT_TOLERANCE`, the exact
+///   right-hand side of [`Node::fits`]; `-inf` when all slots are busy) per
+///   id range. First fit descends to the **leftmost** node satisfying
+///   `allocation <= effective_free` — the same comparison, and the same
+///   lowest-id tie handling, as walking the nodes in index order.
+/// * a **[`BTreeSet`] keyed by `(free_bytes, id)`** over nodes with a free
+///   slot. Best fit scans ascending from `allocation - max_slack` (the
+///   loosest per-node tolerance in the cluster) and returns the first
+///   entry whose node fits: the smallest fitting `free_bytes` is exactly
+///   the smallest leftover, and the id tiebreak matches `min_by`'s
+///   first-of-equals over index order. The scan window below `allocation`
+///   is tolerance-sized (bytes); the first node at or above `allocation`
+///   always fits, so the scan is O(log n + window).
+#[derive(Debug, Clone)]
+struct FreeIndex {
+    /// Number of indexed nodes (leaves).
+    len: usize,
+    /// Power-of-two leaf base of the segment tree.
+    base: usize,
+    /// 1-indexed segment tree of max effective free bytes; leaf `i` lives at
+    /// `tree[base + i]`.
+    tree: Vec<f64>,
+    /// Nodes with at least one free slot, ordered by (free bytes, id).
+    by_free: BTreeSet<(u64, usize)>,
+    /// Current `by_free` key per node (`None` while slot-saturated).
+    keys: Vec<Option<u64>>,
+    /// Largest `capacity × FIT_TOLERANCE` across the cluster — the lower
+    /// bound of the best-fit scan window.
+    max_slack: f64,
+}
+
+impl FreeIndex {
+    fn new(nodes: &[Node]) -> Self {
+        let len = nodes.len();
+        let base = len.next_power_of_two().max(1);
+        let mut index = FreeIndex {
+            len,
+            base,
+            tree: vec![f64::NEG_INFINITY; 2 * base],
+            by_free: BTreeSet::new(),
+            keys: vec![None; len],
+            max_slack: nodes
+                .iter()
+                .map(|n| n.memory_bytes * FIT_TOLERANCE)
+                .fold(0.0, f64::max),
+        };
+        for node in nodes {
+            index.update(node);
+        }
+        index
+    }
+
+    /// Re-syncs one node after its occupancy changed.
+    fn update(&mut self, node: &Node) {
+        let id = node.id;
+        let has_slot = node.used_slots < node.slots;
+        // Segment-tree leaf + path to the root.
+        let eff = if has_slot {
+            node.free_bytes() + node.memory_bytes * FIT_TOLERANCE
+        } else {
+            f64::NEG_INFINITY
+        };
+        let mut i = self.base + id;
+        self.tree[i] = eff;
+        while i > 1 {
+            i /= 2;
+            self.tree[i] = self.tree[2 * i].max(self.tree[2 * i + 1]);
+        }
+        // Ordered-by-free set.
+        if let Some(old) = self.keys[id].take() {
+            self.by_free.remove(&(old, id));
+        }
+        if has_slot {
+            let key = total_order_key(node.free_bytes());
+            self.by_free.insert((key, id));
+            self.keys[id] = Some(key);
+        }
+    }
+
+    /// Lowest-indexed node that fits the allocation (first fit).
+    ///
+    /// The negated float comparisons are deliberate (hence the lint allow):
+    /// `!(alloc <= max)` must be *true* for NaN operands so the descent
+    /// refuses NaN allocations and NaN-poisoned subtrees, mirroring
+    /// [`Node::fits`] returning false — `partial_cmp` plumbing would only
+    /// obscure that.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn first_fit(&self, allocation_bytes: f64) -> Option<usize> {
+        // NaN allocations compare false against every subtree max, exactly
+        // like `fits` rejecting them node by node.
+        if self.len == 0 || !(allocation_bytes <= self.tree[1]) {
+            return None;
+        }
+        let mut i = 1;
+        while i < self.base {
+            i *= 2;
+            if !(allocation_bytes <= self.tree[i]) {
+                i += 1;
+            }
+        }
+        Some(i - self.base)
+    }
+
+    /// Fitting node with the least leftover free memory (best fit).
+    fn best_fit(&self, allocation_bytes: f64, nodes: &[Node]) -> Option<usize> {
+        if allocation_bytes.is_nan() {
+            return None;
+        }
+        // Start at the loosest tolerance below the allocation: every
+        // fitting node satisfies `free >= allocation - capacity·tol`, and
+        // free bytes are never negative.
+        let start = (allocation_bytes - self.max_slack).max(0.0);
+        let start = if start.is_nan() { 0.0 } else { start };
+        self.by_free
+            .range((total_order_key(start), 0)..)
+            .find(|&&(_, id)| nodes[id].fits(allocation_bytes))
+            .map(|&(_, id)| id)
+    }
+}
+
 /// The cluster capacity model.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     nodes: Vec<Node>,
+    /// Free-capacity index kept in sync with every occupancy change.
+    index: FreeIndex,
 }
 
 impl Cluster {
@@ -91,7 +234,8 @@ impl Cluster {
                 nodes.push(Node::new(nodes.len(), pool.memory_bytes, pool.slots));
             }
         }
-        Cluster { nodes }
+        let index = FreeIndex::new(&nodes);
+        Cluster { nodes, index }
     }
 
     /// Number of nodes.
@@ -129,28 +273,18 @@ impl Cluster {
     /// without placing. `FirstFit` (and `Backfill`, which reuses first-fit
     /// node selection) returns the lowest-indexed node with room; `BestFit`
     /// returns the fitting node with the least leftover free memory.
+    ///
+    /// Both policies answer from the free-capacity index in O(log n) (+ a
+    /// tolerance-sized scan window for best fit) instead of walking every
+    /// node, with decisions bit-identical to the linear reference scans (the
+    /// equivalence proptests replay both against random occupancy states).
+    /// NaN allocations are unplaceable under every policy, never a panic.
     pub fn select_node(&self, allocation_bytes: f64, policy: SchedulePolicy) -> Option<usize> {
         match policy {
-            SchedulePolicy::FirstFit | SchedulePolicy::Backfill => self
-                .nodes
-                .iter()
-                .find(|n| n.fits(allocation_bytes))
-                .map(|n| n.id),
-            SchedulePolicy::BestFit => self
-                .nodes
-                .iter()
-                .filter(|n| n.fits(allocation_bytes))
-                .min_by(|a, b| {
-                    // `total_cmp` keeps node selection panic-free on the hot
-                    // path: leftovers of fitting nodes are always finite
-                    // (capacities and allocations are), and a NaN allocation
-                    // never reaches this comparison because `fits` rejects
-                    // it — but a comparison that *cannot* panic beats one
-                    // that argues it won't.
-                    (a.free_bytes() - allocation_bytes)
-                        .total_cmp(&(b.free_bytes() - allocation_bytes))
-                })
-                .map(|n| n.id),
+            SchedulePolicy::FirstFit | SchedulePolicy::Backfill => {
+                self.index.first_fit(allocation_bytes)
+            }
+            SchedulePolicy::BestFit => self.index.best_fit(allocation_bytes, &self.nodes),
         }
     }
 
@@ -162,6 +296,7 @@ impl Cluster {
         n.used_slots += 1;
         n.peak_allocated_bytes = n.peak_allocated_bytes.max(n.allocated_bytes);
         n.peak_used_slots = n.peak_used_slots.max(n.used_slots);
+        self.index.update(&self.nodes[node]);
         Placement { node }
     }
 
@@ -177,6 +312,7 @@ impl Cluster {
         let node = &mut self.nodes[placement.node];
         node.allocated_bytes = (node.allocated_bytes - allocation_bytes).max(0.0);
         node.used_slots = node.used_slots.saturating_sub(1);
+        self.index.update(&self.nodes[placement.node]);
     }
 
     /// View of all nodes.

@@ -39,6 +39,7 @@ use sizey_provenance::{from_trace_string, to_trace_string, TaskRecord, TraceErro
 use std::fs;
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Magic first line of the serialised [`PredictorState`] format.
 const STATE_HEADER: &str = "sizey-predictor-state v1";
@@ -50,8 +51,11 @@ const STATE_HEADER: &str = "sizey-predictor-state v1";
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct PredictorState {
     /// Every record the predictor has observed, in observation order — the
-    /// event source the learned state is rebuilt from.
-    pub journal: Vec<TaskRecord>,
+    /// event source the learned state is rebuilt from. Records are
+    /// reference-counted and **shared** with the predictor's own store:
+    /// snapshotting bumps `Arc` counts instead of deep-cloning the journal
+    /// a second time.
+    pub journal: Vec<Arc<TaskRecord>>,
     /// Predict-path diagnostic counters that replaying the journal cannot
     /// reproduce (e.g. Sizey's offset-strategy selection tallies), keyed by a
     /// method-defined name. Sorted by name for deterministic serialisation.
@@ -137,7 +141,10 @@ impl PredictorState {
             }
         }
         let remainder: Vec<&str> = lines.collect();
-        let journal = from_trace_string(&remainder.join("\n"))?;
+        let journal = from_trace_string(&remainder.join("\n"))?
+            .into_iter()
+            .map(Arc::new)
+            .collect();
         Ok(PredictorState { journal, counters })
     }
 
@@ -275,8 +282,8 @@ mod tests {
     fn state_round_trips_through_text() {
         let state = PredictorState {
             journal: vec![
-                record(0, TaskOutcome::Succeeded),
-                record(1, TaskOutcome::FailedOutOfMemory),
+                Arc::new(record(0, TaskOutcome::Succeeded)),
+                Arc::new(record(1, TaskOutcome::FailedOutOfMemory)),
             ],
             counters: vec![("a.counter".to_string(), 7), ("b".to_string(), 0)],
         };
@@ -330,7 +337,7 @@ mod tests {
     #[test]
     fn state_files_round_trip() {
         let state = PredictorState {
-            journal: vec![record(3, TaskOutcome::Succeeded)],
+            journal: vec![Arc::new(record(3, TaskOutcome::Succeeded))],
             counters: vec![("c".to_string(), 1)],
         };
         let dir = std::env::temp_dir().join("sizey-lifecycle-test");

@@ -116,7 +116,7 @@ pub fn replay_workflow(
                 success,
                 wastage_gbh,
                 raw_estimate_bytes: prediction.raw_estimate_bytes,
-                selected_model: prediction.selected_model.clone(),
+                selected_model: prediction.selected_model,
                 submit_time_seconds: scheduled.start_seconds,
                 queue_delay_seconds: scheduled.queue_delay_seconds,
             });
@@ -310,7 +310,7 @@ pub fn replay_workflow_occupancy(
                 success,
                 wastage_gbh,
                 raw_estimate_bytes: prediction.raw_estimate_bytes,
-                selected_model: prediction.selected_model.clone(),
+                selected_model: prediction.selected_model,
                 submit_time_seconds: clock,
                 queue_delay_seconds: 0.0,
             });

@@ -739,7 +739,7 @@ fn dispatch(
     tenant_events: &mut [Vec<AttemptEvent>],
     tenants: &[WorkflowTenant],
 ) {
-    let task = queued.payload;
+    let mut task = queued.payload;
     cluster.place_on(node, task.allocation_bytes);
     let queue_delay = (now - queued.submit_time).max(0.0);
     stats.record_dispatch(queue_delay, cluster);
@@ -759,7 +759,9 @@ fn dispatch(
         success: task.success,
         wastage_gbh: wasted_bytes / 1e9 * task.duration_seconds / 3600.0,
         raw_estimate_bytes: task.raw_estimate_bytes,
-        selected_model: task.selected_model.clone(),
+        // Moved, not cloned: nothing downstream of the attempt event reads
+        // the queued attempt's model name again.
+        selected_model: task.selected_model.take(),
         submit_time_seconds: now,
         queue_delay_seconds: queue_delay,
     });

@@ -169,10 +169,10 @@ proptest! {
         peaks in proptest::collection::vec(1e6f64..1e12, 1..20),
         counter in 0u64..1000,
     ) {
-        let journal: Vec<TaskRecord> = peaks
+        let journal: Vec<std::sync::Arc<TaskRecord>> = peaks
             .iter()
             .enumerate()
-            .map(|(i, peak)| TaskRecord {
+            .map(|(i, peak)| std::sync::Arc::new(TaskRecord {
                 workflow: "wf".to_string(),
                 task_type: TaskTypeId::new("t"),
                 machine: MachineId::new("m"),
@@ -188,7 +188,7 @@ proptest! {
                 } else {
                     TaskOutcome::Succeeded
                 },
-            })
+            }))
             .collect();
         let state = PredictorState {
             journal,

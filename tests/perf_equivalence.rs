@@ -1,0 +1,311 @@
+//! Equivalence proptests for the hot-path overhaul: every optimized kernel
+//! must be **bit-identical** to the straightforward implementation it
+//! replaced.
+//!
+//! * k-NN: flattened/pre-scaled buffer + `select_nth_unstable` partial
+//!   selection vs. scale-per-row + stable full sort,
+//! * RAQ: cached per-pair accuracy contributions vs. re-scoring the
+//!   prequential history on every call,
+//! * `Cluster::select_node`: the free-capacity index (segment tree +
+//!   ordered-by-free set) vs. the naive linear scans, across random
+//!   occupancy states, policies and degenerate allocations.
+
+use proptest::prelude::*;
+use sizey_core::raq::{
+    accuracy_score, accuracy_score_cached, pair_accuracy, pool_raq_scores,
+    pool_raq_scores_from_accuracy,
+};
+use sizey_ml::knn::{KnnConfig, KnnRegression, KnnWeighting};
+use sizey_ml::model::Regressor;
+use sizey_sim::{Node, Placement};
+use sizey_suite::prelude::*;
+
+// ---------------------------------------------------------------------------
+// k-NN: optimized selection vs. the straightforward reference.
+// ---------------------------------------------------------------------------
+
+/// The pre-overhaul k-NN, verbatim: min-max scaler fitted on the rows, every
+/// stored row re-scaled per query, distances ranked by a stable full sort.
+fn naive_knn_predict(config: KnnConfig, rows: &[Vec<f64>], targets: &[f64], query: &[f64]) -> f64 {
+    let n_cols = rows[0].len();
+    // Min-max scaler parameters, exactly as `Scaler::fit` computes them.
+    let mut shift = vec![0.0; n_cols];
+    let mut scale = vec![1.0; n_cols];
+    for c in 0..n_cols {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for r in rows {
+            lo = lo.min(r[c]);
+            hi = hi.max(r[c]);
+        }
+        let range = hi - lo;
+        shift[c] = lo;
+        scale[c] = if range > 1e-12 { range } else { 1.0 };
+    }
+    let transform = |row: &[f64]| -> Vec<f64> {
+        row.iter()
+            .enumerate()
+            .map(|(c, &v)| (v - shift[c]) / scale[c])
+            .collect()
+    };
+    let scaled_query = transform(query);
+    let mut dists: Vec<(usize, f64)> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let scaled = transform(row);
+            let d2: f64 = scaled
+                .iter()
+                .zip(scaled_query.iter())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            (i, d2)
+        })
+        .collect();
+    dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+    let k = config.k.max(1).min(dists.len());
+    dists.truncate(k);
+    match config.weighting {
+        KnnWeighting::Uniform => {
+            let sum: f64 = dists.iter().map(|&(i, _)| targets[i]).sum();
+            sum / dists.len() as f64
+        }
+        KnnWeighting::InverseDistance => {
+            let exact: Vec<usize> = dists
+                .iter()
+                .filter(|(_, d)| *d == 0.0)
+                .map(|&(i, _)| i)
+                .collect();
+            if !exact.is_empty() {
+                let sum: f64 = exact.iter().map(|&i| targets[i]).sum();
+                return sum / exact.len() as f64;
+            }
+            let mut weight_sum = 0.0;
+            let mut value_sum = 0.0;
+            for &(i, d2) in &dists {
+                let w = 1.0 / d2.sqrt();
+                weight_sum += w;
+                value_sum += w * targets[i];
+            }
+            value_sum / weight_sum
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn knn_partial_selection_is_bit_identical_to_the_full_sort(
+        raw in proptest::collection::vec(
+            (proptest::collection::vec(0.0f64..1e10, 2..3), 1e8f64..1e11),
+            1..40,
+        ),
+        query in proptest::collection::vec(0.0f64..1e10, 2..3),
+        k in 1usize..12,
+        uniform in 0u8..2,
+    ) {
+        let uniform = uniform == 1;
+        let rows: Vec<Vec<f64>> = raw.iter().map(|(f, _)| f.clone()).collect();
+        let targets: Vec<f64> = raw.iter().map(|(_, t)| *t).collect();
+        let config = KnnConfig {
+            k,
+            weighting: if uniform {
+                KnnWeighting::Uniform
+            } else {
+                KnnWeighting::InverseDistance
+            },
+        };
+        let mut model = KnnRegression::new(config);
+        model.fit(&Dataset::from_parts(rows.clone(), targets.clone())).unwrap();
+        let optimized = model.predict(&query).unwrap();
+        let reference = naive_knn_predict(config, &rows, &targets, &query);
+        prop_assert_eq!(
+            optimized.to_bits(),
+            reference.to_bits(),
+            "optimized {} vs reference {}",
+            optimized,
+            reference
+        );
+    }
+
+    #[test]
+    fn knn_partial_fit_growth_matches_the_reference(
+        first in proptest::collection::vec((0.0f64..1e10, 1e8f64..1e11), 2..20),
+        second in proptest::collection::vec((0.0f64..1e10, 1e8f64..1e11), 1..20),
+        query in 0.0f64..1e10,
+        k in 1usize..8,
+    ) {
+        let config = KnnConfig { k, weighting: KnnWeighting::InverseDistance };
+        let mut model = KnnRegression::new(config);
+        let to_ds = |pairs: &[(f64, f64)]| {
+            let xs: Vec<f64> = pairs.iter().map(|(x, _)| *x).collect();
+            let ys: Vec<f64> = pairs.iter().map(|(_, y)| *y).collect();
+            Dataset::from_univariate(&xs, &ys)
+        };
+        model.fit(&to_ds(&first)).unwrap();
+        model.partial_fit(&to_ds(&second)).unwrap();
+        let rows: Vec<Vec<f64>> = first
+            .iter()
+            .chain(second.iter())
+            .map(|(x, _)| vec![*x])
+            .collect();
+        let targets: Vec<f64> = first.iter().chain(second.iter()).map(|(_, y)| *y).collect();
+        let optimized = model.predict(&[query]).unwrap();
+        let reference = naive_knn_predict(config, &rows, &targets, &[query]);
+        prop_assert_eq!(optimized.to_bits(), reference.to_bits());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RAQ: cached per-pair contributions vs. per-call re-scoring.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cached_accuracy_and_raq_scores_are_bit_identical(
+        histories in proptest::collection::vec(
+            proptest::collection::vec((0.0f64..1e12, 1.0f64..1e12), 0..80),
+            1..5,
+        ),
+        alpha in 0.0f64..1.0,
+        window in 1usize..60,
+    ) {
+        // Estimates derived from the histories so they are arbitrary but
+        // deterministic.
+        let estimates: Vec<f64> = histories
+            .iter()
+            .map(|h| h.first().map_or(1e9, |(p, _)| *p + 1.0))
+            .collect();
+        // Full-history equivalence.
+        let naive = pool_raq_scores(&histories, &estimates, alpha);
+        let cached_accuracies: Vec<f64> = histories
+            .iter()
+            .map(|h| {
+                let scores: Vec<f64> =
+                    h.iter().map(|&(p, a)| pair_accuracy(p, a)).collect();
+                accuracy_score_cached(&scores)
+            })
+            .collect();
+        let cached = pool_raq_scores_from_accuracy(&cached_accuracies, &estimates, alpha);
+        prop_assert_eq!(naive.len(), cached.len());
+        for (n, c) in naive.iter().zip(cached.iter()) {
+            prop_assert_eq!(n.to_bits(), c.to_bits());
+        }
+        // Windowed equivalence (the predict path scores a bounded window):
+        // summing the cached tail must equal re-scoring the tail pairs.
+        for h in &histories {
+            let tail = &h[h.len().saturating_sub(window)..];
+            let scores: Vec<f64> = tail.iter().map(|&(p, a)| pair_accuracy(p, a)).collect();
+            prop_assert_eq!(
+                accuracy_score_cached(&scores).to_bits(),
+                accuracy_score(tail).to_bits()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster::select_node: free-capacity index vs. the naive linear scans.
+// ---------------------------------------------------------------------------
+
+/// The pre-overhaul node selection, verbatim.
+fn naive_select_node(
+    nodes: &[Node],
+    allocation_bytes: f64,
+    policy: SchedulePolicy,
+) -> Option<usize> {
+    match policy {
+        SchedulePolicy::FirstFit | SchedulePolicy::Backfill => nodes
+            .iter()
+            .find(|n| n.fits(allocation_bytes))
+            .map(|n| n.id),
+        SchedulePolicy::BestFit => nodes
+            .iter()
+            .filter(|n| n.fits(allocation_bytes))
+            .min_by(|a, b| {
+                (a.free_bytes() - allocation_bytes).total_cmp(&(b.free_bytes() - allocation_bytes))
+            })
+            .map(|n| n.id),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn indexed_select_node_matches_the_linear_scan(
+        node_count in 1usize..12,
+        node_mem_gb in 4.0f64..64.0,
+        slots in 1usize..4,
+        extra_pool in (0usize..4, 8.0f64..128.0, 1usize..6),
+        ops in proptest::collection::vec((0.1f64..40.0, 0u8..2), 1..60),
+        probes in proptest::collection::vec(0.05f64..80.0, 1..10),
+    ) {
+        let mut config = SimulationConfig {
+            node_count,
+            node_memory_bytes: node_mem_gb * 1e9,
+            slots_per_node: slots,
+            ..SimulationConfig::default()
+        };
+        let (extra_count, extra_mem_gb, extra_slots) = extra_pool;
+        if extra_count > 0 {
+            config = config.with_extra_pool(NodePoolSpec {
+                count: extra_count,
+                memory_bytes: extra_mem_gb * 1e9,
+                slots: extra_slots,
+            });
+        }
+        let mut cluster = sizey_sim::Cluster::new(&config);
+        let mut placements: Vec<(Placement, f64)> = Vec::new();
+
+        for (alloc_gb, place) in ops {
+            let place = place == 1;
+            let alloc = alloc_gb * 1e9;
+            // Every mutation is followed by a full policy comparison, so the
+            // index is validated across arbitrary occupancy states, not just
+            // the final one.
+            if place || placements.is_empty() {
+                if let Some(p) = cluster.try_place(alloc) {
+                    placements.push((p, alloc));
+                }
+            } else {
+                let (p, released) = placements.swap_remove(placements.len() / 2);
+                cluster.release(p, released);
+            }
+            for &probe_gb in &probes {
+                let probe = probe_gb * 1e9;
+                for policy in SchedulePolicy::ALL {
+                    prop_assert_eq!(
+                        cluster.select_node(probe, policy),
+                        naive_select_node(cluster.nodes(), probe, policy),
+                        "policy {:?}, probe {} bytes",
+                        policy,
+                        probe
+                    );
+                }
+            }
+            // Exact-boundary and degenerate allocations: free amounts
+            // themselves, NaN and infinity must agree as well.
+            let boundary: Vec<f64> = cluster
+                .nodes()
+                .iter()
+                .map(|n| n.free_bytes())
+                .chain([f64::NAN, f64::INFINITY, 0.0])
+                .collect();
+            for probe in boundary {
+                for policy in SchedulePolicy::ALL {
+                    prop_assert_eq!(
+                        cluster.select_node(probe, policy),
+                        naive_select_node(cluster.nodes(), probe, policy),
+                        "policy {:?}, boundary probe {} bytes",
+                        policy,
+                        probe
+                    );
+                }
+            }
+        }
+    }
+}

@@ -16,6 +16,7 @@ fn warmed_pool(history: usize) -> ModelPool {
     let warm_config = SizeyConfig {
         online: OnlineMode::Incremental {
             retrain_interval: 0,
+            mlp_update_interval: 1,
         },
         hyperparameter_optimization: false,
         ..SizeyConfig::default()
@@ -34,9 +35,12 @@ fn bench_training_step(c: &mut Criterion) {
     group.sample_size(10);
 
     let full = SizeyConfig::full_retraining();
+    // `mlp_update_interval: 1` keeps the benchmark measuring the full
+    // incremental step (including the MLP warm-start) on every iteration.
     let incremental = SizeyConfig {
         online: OnlineMode::Incremental {
             retrain_interval: 0,
+            mlp_update_interval: 1,
         },
         ..SizeyConfig::default()
     };

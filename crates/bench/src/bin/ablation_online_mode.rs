@@ -32,9 +32,7 @@ fn main() {
         (
             "Incremental, never retrain".to_string(),
             SizeyConfig {
-                online: OnlineMode::Incremental {
-                    retrain_interval: 0,
-                },
+                online: OnlineMode::incremental(0),
                 ..SizeyConfig::default()
             },
         ),

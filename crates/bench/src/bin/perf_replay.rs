@@ -67,6 +67,14 @@ const SMOKE: PinnedSpec = PinnedSpec {
     arrival_stagger_seconds: 60.0,
 };
 
+/// Regression gate applied in `--smoke` mode: the replay exits non-zero when
+/// the observe p50 exceeds this ceiling. The incremental learning path puts
+/// the full-spec observe p50 in the single-digit microseconds; the ceiling is
+/// set an order of magnitude above that so shared CI runners never trip it on
+/// noise, while a reversion to the former O(history)-per-observe behaviour
+/// (~290 us p50) fails loudly.
+const SMOKE_OBSERVE_P50_CEILING_US: f64 = 120.0;
+
 /// Wraps a predictor and records the wall-clock duration of every `predict`
 /// and `observe` call in nanoseconds. The handles are shared with the
 /// harness, which reads them back after the replay consumed the tenants.
@@ -249,4 +257,21 @@ fn main() {
     std::fs::write(&out_path, json).expect("write BENCH_replay.json");
     println!();
     println!("wrote {}", out_path.display());
+
+    // CI latency gate: only in smoke mode (the full sweep is a measurement,
+    // not a check), and only after the JSON landed so a failing run still
+    // leaves its numbers behind for diagnosis.
+    if smoke {
+        if observe.p50_us > SMOKE_OBSERVE_P50_CEILING_US {
+            eprintln!(
+                "FAIL: smoke observe p50 {:.1} us exceeds the {:.0} us regression ceiling",
+                observe.p50_us, SMOKE_OBSERVE_P50_CEILING_US
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "observe p50 gate: {:.1} us <= {:.0} us ceiling",
+            observe.p50_us, SMOKE_OBSERVE_P50_CEILING_US
+        );
+    }
 }

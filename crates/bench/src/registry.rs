@@ -445,9 +445,13 @@ impl MethodSpec {
                 }
                 match c.online {
                     OnlineMode::FullRetrain => out.push_str("online = \"full-retrain\"\n"),
-                    OnlineMode::Incremental { retrain_interval } => {
+                    OnlineMode::Incremental {
+                        retrain_interval,
+                        mlp_update_interval,
+                    } => {
                         out.push_str("online = \"incremental\"\n");
                         out.push_str(&format!("retrain_interval = {retrain_interval}\n"));
+                        out.push_str(&format!("mlp_update_interval = {mlp_update_interval}\n"));
                     }
                 }
                 let classes: Vec<String> = c
@@ -524,6 +528,7 @@ fn sizey_config_from_table(table: &TomlTable) -> Result<SizeyConfig, SpecError> 
     let mut beta: Option<f64> = None;
     let mut online: Option<&str> = None;
     let mut retrain_interval: Option<usize> = None;
+    let mut mlp_update_interval: Option<usize> = None;
     for (key, value) in &table.entries {
         match key.as_str() {
             "kind" => {}
@@ -552,6 +557,7 @@ fn sizey_config_from_table(table: &TomlTable) -> Result<SizeyConfig, SpecError> 
             }
             "online" => online = Some(need_str(context, key, value)?),
             "retrain_interval" => retrain_interval = Some(need_usize(context, key, value)?),
+            "mlp_update_interval" => mlp_update_interval = Some(need_usize(context, key, value)?),
             "model_classes" => {
                 let items = value
                     .as_array()
@@ -627,37 +633,49 @@ fn sizey_config_from_table(table: &TomlTable) -> Result<SizeyConfig, SpecError> 
         }
         (None, None) => {}
     }
-    match (online, retrain_interval) {
-        (Some("full-retrain"), None) => config.online = OnlineMode::FullRetrain,
-        (Some("full-retrain"), Some(_)) => {
+    let (default_interval, default_mlp_interval) = match OnlineMode::default() {
+        OnlineMode::Incremental {
+            retrain_interval,
+            mlp_update_interval,
+        } => (retrain_interval, mlp_update_interval),
+        OnlineMode::FullRetrain => (25, 4),
+    };
+    match (online, retrain_interval, mlp_update_interval) {
+        (Some("full-retrain"), None, None) => config.online = OnlineMode::FullRetrain,
+        (Some("full-retrain"), Some(_), _) => {
             return Err(invalid(
                 context,
                 "retrain_interval",
                 "retrain_interval only applies to incremental mode",
             ))
         }
-        (Some("incremental"), interval) => {
-            let default_interval = match OnlineMode::default() {
-                OnlineMode::Incremental { retrain_interval } => retrain_interval,
-                OnlineMode::FullRetrain => 25,
-            };
+        (Some("full-retrain"), _, Some(_)) => {
+            return Err(invalid(
+                context,
+                "mlp_update_interval",
+                "mlp_update_interval only applies to incremental mode",
+            ))
+        }
+        (Some("incremental"), interval, mlp) => {
             config.online = OnlineMode::Incremental {
                 retrain_interval: interval.unwrap_or(default_interval),
+                mlp_update_interval: mlp.unwrap_or(default_mlp_interval),
             };
         }
-        (Some(other), _) => {
+        (Some(other), _, _) => {
             return Err(invalid(
                 context,
                 "online",
                 format!("unknown online mode {other:?} (full-retrain or incremental)"),
             ))
         }
-        (None, Some(interval)) => {
+        (None, interval @ Some(_), mlp) | (None, interval, mlp @ Some(_)) => {
             config.online = OnlineMode::Incremental {
-                retrain_interval: interval,
+                retrain_interval: interval.unwrap_or(default_interval),
+                mlp_update_interval: mlp.unwrap_or(default_mlp_interval),
             };
         }
-        (None, None) => {}
+        (None, None, None) => {}
     }
     Ok(config)
 }
@@ -758,12 +776,7 @@ mod tests {
         match spec {
             MethodSpec::Sizey(c) => {
                 assert_eq!(c.alpha, 0.25);
-                assert_eq!(
-                    c.online,
-                    OnlineMode::Incremental {
-                        retrain_interval: 7
-                    }
-                );
+                assert_eq!(c.online, OnlineMode::incremental(7));
                 // Untouched fields keep their defaults.
                 assert_eq!(c.gating, GatingStrategy::default());
                 assert_eq!(c.model_classes.len(), 4);

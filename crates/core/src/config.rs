@@ -47,16 +47,36 @@ pub enum OnlineMode {
     /// Perform lightweight incremental updates, with a full retrain every
     /// `retrain_interval` completions (0 = never).
     Incremental {
-        /// Completions between two full retrains.
+        /// Completions between two full retrains (0 = never retrain fully).
+        /// With deferred retrains enabled (see
+        /// [`SizeyPredictor::set_deferred_retrains`](crate::SizeyPredictor::set_deferred_retrains))
+        /// the interval still governs *when* a retrain is staged, but the
+        /// training itself runs off the observe hot path.
         retrain_interval: usize,
+        /// Completions between two warm-start MLP updates on the light
+        /// (non-retrain) path. The MLP is by far the most expensive member to
+        /// nudge per observation; updating it every `mlp_update_interval`-th
+        /// completion (1 = every completion, 0 = only at full retrains)
+        /// bounds the per-observe cost while the cheap members still update
+        /// every time.
+        mlp_update_interval: usize,
     },
+}
+
+impl OnlineMode {
+    /// Incremental mode with the given full-retrain interval and the default
+    /// MLP update cadence.
+    pub fn incremental(retrain_interval: usize) -> Self {
+        OnlineMode::Incremental {
+            retrain_interval,
+            mlp_update_interval: 1,
+        }
+    }
 }
 
 impl Default for OnlineMode {
     fn default() -> Self {
-        OnlineMode::Incremental {
-            retrain_interval: 25,
-        }
+        OnlineMode::incremental(25)
     }
 }
 

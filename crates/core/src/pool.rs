@@ -31,6 +31,68 @@ use sizey_ml::mlp::{MlpConfig, MlpRegression};
 use sizey_ml::model::{ModelClass, Regressor};
 use std::time::{Duration, Instant};
 
+/// When the periodic full retrain (and its optional HPO grid search) runs
+/// relative to the observe hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetrainPolicy {
+    /// Retrain synchronously inside `observe_success` (the historical
+    /// behaviour; serial engines keep this so replays stay bit-identical).
+    #[default]
+    Inline,
+    /// Stage a [`RetrainJob`] instead; the caller drains it with
+    /// [`ModelPool::take_retrain_job`], trains off the hot path and commits
+    /// via [`ModelPool::install_retrain`]. Predictions keep serving the old
+    /// models until the install.
+    Deferred,
+}
+
+/// A staged full retrain: cloned models plus a snapshot of the training data,
+/// executable away from the pool (and its locks). The `epoch` ties the result
+/// back to the model state it was staged from.
+pub struct RetrainJob {
+    members: Vec<(ModelClass, Box<dyn Regressor>)>,
+    data: Dataset,
+    hyperparameter_optimization: bool,
+    epoch: u64,
+}
+
+/// The output of [`RetrainJob::execute`], ready for
+/// [`ModelPool::install_retrain`].
+pub struct RetrainedModels {
+    members: Vec<(ModelClass, Box<dyn Regressor>)>,
+    epoch: u64,
+}
+
+impl RetrainJob {
+    /// Trains the cloned members on the snapshot. Runs the exact same
+    /// HPO-or-refit procedure as an inline full retrain, so draining a job
+    /// immediately after each observe reproduces inline retraining bit for
+    /// bit. Takes `&self` so jobs can run on a shared thread pool.
+    pub fn execute(&self) -> RetrainedModels {
+        let members = self
+            .members
+            .iter()
+            .map(|(class, model)| {
+                if self.hyperparameter_optimization && self.data.len() >= 6 {
+                    let specs = ModelSpec::default_grid(*class);
+                    if let Ok(result) = grid_search(&specs, &self.data, 3) {
+                        return (*class, result.model);
+                    }
+                }
+                let mut model = model.clone_box();
+                // `fit` is transactional: a failed refit keeps the previous
+                // fitted state, which is still the best information we have.
+                let _ = model.fit(&self.data);
+                (*class, model)
+            })
+            .collect();
+        RetrainedModels {
+            members,
+            epoch: self.epoch,
+        }
+    }
+}
+
 /// One pool member: a model plus its prequential accuracy history.
 struct PoolMember {
     class: ModelClass,
@@ -54,6 +116,16 @@ pub struct ModelPool {
     aggregate_history: Vec<(f64, f64)>,
     /// Completions since the last full retrain (drives incremental mode).
     since_full_retrain: usize,
+    /// Completions since the MLP's last warm-start update (drives the
+    /// `mlp_update_interval` cadence of incremental mode).
+    since_mlp_update: usize,
+    /// Whether periodic retrains run inline or are staged for the caller.
+    retrain_policy: RetrainPolicy,
+    /// A staged-but-not-yet-drained retrain request.
+    pending_retrain: bool,
+    /// Bumped on every installed or inline full retrain; a staged job
+    /// carries the epoch it saw, and a stale job is discarded on install.
+    model_epoch: u64,
     /// Largest peak ever observed (successful or exhausted allocation).
     max_observed: Option<f64>,
     /// Wall-clock time spent in the most recent model update.
@@ -82,13 +154,24 @@ fn build_model(class: ModelClass, seed: u64) -> Box<dyn Regressor> {
         ModelClass::Mlp => Box::new(MlpRegression::new(MlpConfig {
             hidden_layers: vec![16],
             max_epochs: 120,
-            incremental_epochs: 20,
+            // The warm start runs on every completion (the network goes
+            // stale fast enough that thinning the cadence measurably hurts
+            // sizing quality on small workloads), so it must be shallow: a
+            // few Adam epochs over the recent tail keep the per-observe cost
+            // bounded in the tens of microseconds.
+            incremental_epochs: 5,
             seed,
             ..MlpConfig::default()
         })),
         ModelClass::RandomForest => Box::new(RandomForestRegression::new(ForestConfig {
             n_trees: 24,
             max_depth: 8,
+            // Bank a quarter tree of refresh credit per observation (one tree
+            // refit every four completions) and train refreshed trees on a
+            // bounded recent window: per-observe work stays O(window), not
+            // O(history).
+            incremental_refresh_fraction: 0.25 / 24.0,
+            incremental_window: 256,
             seed,
             ..ForestConfig::default()
         })),
@@ -111,6 +194,10 @@ impl ModelPool {
             data: Dataset::new(),
             aggregate_history: Vec::new(),
             since_full_retrain: 0,
+            since_mlp_update: 0,
+            retrain_policy: RetrainPolicy::default(),
+            pending_retrain: false,
+            model_epoch: 0,
             max_observed: None,
             last_training_time: Duration::ZERO,
             point_scratch: Dataset::new(),
@@ -136,6 +223,65 @@ impl ModelPool {
     /// The aggregate-estimate history used for offset selection.
     pub fn aggregate_history(&self) -> &[(f64, f64)] {
         &self.aggregate_history
+    }
+
+    /// Completions since the last full retrain of the whole pool.
+    pub fn since_full_retrain(&self) -> usize {
+        self.since_full_retrain
+    }
+
+    /// The current model epoch (bumped on every full retrain that lands).
+    pub fn model_epoch(&self) -> u64 {
+        self.model_epoch
+    }
+
+    /// Sets whether periodic full retrains run inline or are staged as
+    /// [`RetrainJob`]s for the caller to execute off the hot path.
+    pub fn set_retrain_policy(&mut self, policy: RetrainPolicy) {
+        self.retrain_policy = policy;
+    }
+
+    /// True when a retrain has been staged but not yet drained.
+    pub fn has_pending_retrain(&self) -> bool {
+        self.pending_retrain
+    }
+
+    /// Drains the staged retrain request, if any, into an executable job.
+    /// The job snapshots the current models and training data; run it with
+    /// [`RetrainJob::execute`] and commit via
+    /// [`ModelPool::install_retrain`].
+    pub fn take_retrain_job(&mut self, config: &SizeyConfig) -> Option<RetrainJob> {
+        if !self.pending_retrain {
+            return None;
+        }
+        self.pending_retrain = false;
+        Some(RetrainJob {
+            members: self
+                .members
+                .iter()
+                .map(|m| (m.class, m.model.clone_box()))
+                .collect(),
+            data: self.data.clone(),
+            hyperparameter_optimization: config.hyperparameter_optimization,
+            epoch: self.model_epoch,
+        })
+    }
+
+    /// Commits the models trained by a [`RetrainJob`]. Returns `false` (and
+    /// discards the result) when the pool's models were fully retrained after
+    /// the job was staged — the freshly trained models would be staler than
+    /// what is already serving.
+    pub fn install_retrain(&mut self, trained: RetrainedModels) -> bool {
+        if trained.epoch != self.model_epoch {
+            return false;
+        }
+        for (class, model) in trained.members {
+            if let Some(member) = self.members.iter_mut().find(|m| m.class == class) {
+                member.model = model;
+            }
+        }
+        self.model_epoch += 1;
+        true
     }
 
     /// True once the pool has enough data and fitted models to predict.
@@ -249,43 +395,88 @@ impl ModelPool {
         let start = Instant::now();
         self.data.tail_into(1, &mut self.point_scratch);
         match config.online {
-            OnlineMode::FullRetrain => self.full_retrain(config),
-            OnlineMode::Incremental { retrain_interval } => {
+            OnlineMode::FullRetrain => match self.retrain_policy {
+                RetrainPolicy::Inline => self.full_retrain(config),
+                RetrainPolicy::Deferred => self.stage_retrain(),
+            },
+            OnlineMode::Incremental {
+                retrain_interval,
+                mlp_update_interval,
+            } => {
                 self.since_full_retrain += 1;
                 if retrain_interval > 0 && self.since_full_retrain >= retrain_interval {
-                    self.full_retrain(config);
-                    self.since_full_retrain = 0;
-                } else {
-                    // The MLP's warm-start update is run on a recent window of
-                    // the data rather than the single new observation; a
-                    // gradient step on one point would drag the network
-                    // towards it and destabilise the pool between full
-                    // retrains. The other classes have exact or append-style
-                    // incremental updates and receive only the new point.
-                    self.data.tail_into(16, &mut self.tail_scratch);
-                    let recent = &self.tail_scratch;
-                    let new_point = &self.point_scratch;
-                    for member in &mut self.members {
-                        let update = if member.class == ModelClass::Mlp {
-                            recent
-                        } else {
-                            new_point
-                        };
-                        let result = if member.model.is_fitted() {
-                            member.model.partial_fit(update)
-                        } else {
-                            member.model.fit(&self.data)
-                        };
-                        // A failed incremental update falls back to a refit.
-                        if result.is_err() {
-                            let _ = member.model.fit(&self.data);
-                        }
+                    match self.retrain_policy {
+                        RetrainPolicy::Inline => self.full_retrain(config),
+                        RetrainPolicy::Deferred => self.stage_retrain(),
                     }
+                } else {
+                    self.incremental_update(mlp_update_interval);
                 }
             }
         }
         self.last_training_time = start.elapsed();
         self.last_training_time
+    }
+
+    /// The light (non-retrain) update of incremental mode: exact or
+    /// append-style `partial_fit`s for the cheap members, and a warm-start
+    /// update for the MLP every `mlp_update_interval`-th completion.
+    fn incremental_update(&mut self, mlp_update_interval: usize) {
+        self.since_mlp_update += 1;
+        let update_mlp = mlp_update_interval > 0 && self.since_mlp_update >= mlp_update_interval;
+        if update_mlp {
+            // The MLP's warm-start update runs on a recent window of the data
+            // rather than the single new observation; a gradient step on one
+            // point would drag the network towards it and destabilise the
+            // pool between full retrains.
+            self.data.tail_into(16, &mut self.tail_scratch);
+            self.since_mlp_update = 0;
+        }
+        // Track whether this update degenerated into refitting *every* member
+        // on the complete history (cold start, or every incremental update
+        // failing): that is a de-facto full retrain and restarts the interval
+        // counter, so the next scheduled retrain is not fired spuriously.
+        let mut pool_fully_refit = true;
+        for member in &mut self.members {
+            if member.class == ModelClass::Mlp && member.model.is_fitted() && !update_mlp {
+                pool_fully_refit = false;
+                continue;
+            }
+            let was_fitted = member.model.is_fitted();
+            let result = if was_fitted {
+                let update = if member.class == ModelClass::Mlp {
+                    &self.tail_scratch
+                } else {
+                    &self.point_scratch
+                };
+                member.model.partial_fit(update)
+            } else {
+                member.model.fit(&self.data)
+            };
+            match result {
+                // A failed incremental update falls back to a refit on the
+                // complete history; `fit` is transactional, so even a failed
+                // fallback keeps the previous fitted model serving.
+                Err(_) => {
+                    if member.model.fit(&self.data).is_err() {
+                        pool_fully_refit = false;
+                    }
+                }
+                Ok(()) if was_fitted => pool_fully_refit = false,
+                Ok(()) => {}
+            }
+        }
+        if pool_fully_refit && !self.members.is_empty() {
+            self.since_full_retrain = 0;
+        }
+    }
+
+    /// Stages a deferred full retrain and restarts the interval counter (the
+    /// staging *is* the scheduled retrain; training happens when the caller
+    /// drains the job).
+    fn stage_retrain(&mut self) {
+        self.pending_retrain = true;
+        self.since_full_retrain = 0;
     }
 
     fn full_retrain(&mut self, config: &SizeyConfig) {
@@ -298,10 +489,15 @@ impl ModelPool {
                 }
             }
             if member.model.fit(&self.data).is_err() {
-                // Keep the previous model if the refit fails; it is still the
-                // best information we have.
+                // Keep the previous model if the refit fails; `fit` is
+                // transactional, so the previous fitted state still serves.
             }
         }
+        // A full retrain ran, whatever triggered it (interval, FullRetrain
+        // mode, or an explicit call) — restart the interval counter and
+        // invalidate any in-flight deferred job.
+        self.since_full_retrain = 0;
+        self.model_epoch += 1;
     }
 }
 
@@ -436,14 +632,108 @@ mod tests {
     #[test]
     fn incremental_mode_periodically_retrains() {
         let cfg = SizeyConfig {
-            online: OnlineMode::Incremental {
-                retrain_interval: 3,
-            },
+            online: OnlineMode::incremental(3),
             ..SizeyConfig::default()
         };
         let mut pool = ModelPool::new(&cfg);
         feed_linear(&mut pool, &cfg, 10);
         // After 10 observations with interval 3 the counter must have cycled.
         assert!(pool.since_full_retrain < 3);
+    }
+
+    #[test]
+    fn full_retrain_mode_resets_the_interval_counter() {
+        // Switching a pool that ran in FullRetrain mode over to incremental
+        // mode must not fire an immediate spurious full retrain: every
+        // FullRetrain-mode observe really did retrain, so the counter is 0.
+        let full = SizeyConfig {
+            online: OnlineMode::FullRetrain,
+            ..SizeyConfig::default()
+        };
+        let mut pool = ModelPool::new(&full);
+        feed_linear(&mut pool, &full, 5);
+        assert_eq!(pool.since_full_retrain(), 0);
+        let epoch_before = pool.model_epoch();
+        assert!(
+            epoch_before > 0,
+            "every FullRetrain observe bumps the epoch"
+        );
+    }
+
+    #[test]
+    fn deferred_retrains_stage_instead_of_training_inline() {
+        let cfg = SizeyConfig {
+            online: OnlineMode::incremental(3),
+            ..SizeyConfig::default()
+        };
+        let mut pool = ModelPool::new(&cfg);
+        pool.set_retrain_policy(RetrainPolicy::Deferred);
+        // The very first observe cold-start-fits every member on the full
+        // history, which counts as a full retrain; the interval then needs
+        // three further completions to elapse.
+        feed_linear(&mut pool, &cfg, 3);
+        assert!(!pool.has_pending_retrain());
+        feed_linear(&mut pool, &cfg, 1);
+        assert!(pool.has_pending_retrain(), "interval hit must stage a job");
+        assert_eq!(pool.since_full_retrain(), 0);
+
+        let job = pool.take_retrain_job(&cfg).expect("staged job");
+        assert!(!pool.has_pending_retrain());
+        assert!(pool.take_retrain_job(&cfg).is_none());
+
+        let trained = job.execute();
+        assert!(pool.install_retrain(trained));
+        assert_eq!(pool.model_epoch(), 1);
+        assert!(pool.is_ready(cfg.min_history));
+    }
+
+    #[test]
+    fn stale_retrain_results_are_discarded() {
+        let cfg = SizeyConfig {
+            online: OnlineMode::incremental(2),
+            ..SizeyConfig::default()
+        };
+        let mut pool = ModelPool::new(&cfg);
+        pool.set_retrain_policy(RetrainPolicy::Deferred);
+        feed_linear(&mut pool, &cfg, 3);
+        let job = pool.take_retrain_job(&cfg).expect("staged job");
+        // An inline full retrain lands while the job is in flight.
+        pool.full_retrain(&cfg);
+        let stale_epoch = job.epoch;
+        assert!(pool.model_epoch() > stale_epoch);
+        assert!(
+            !pool.install_retrain(job.execute()),
+            "a job staged before the inline retrain must be discarded"
+        );
+    }
+
+    #[test]
+    fn deferred_drain_after_each_observe_matches_inline_retraining() {
+        let cfg = SizeyConfig {
+            online: OnlineMode::incremental(3),
+            ..SizeyConfig::default()
+        };
+        let mut inline = ModelPool::new(&cfg);
+        let mut deferred = ModelPool::new(&cfg);
+        deferred.set_retrain_policy(RetrainPolicy::Deferred);
+        for i in 1..=9 {
+            let input = i as f64 * 1e9;
+            let peak = 2.0 * input + 1e9;
+            inline.observe_success(&[input], peak, &cfg);
+            deferred.observe_success(&[input], peak, &cfg);
+            if let Some(job) = deferred.take_retrain_job(&cfg) {
+                assert!(deferred.install_retrain(job.execute()));
+            }
+            let query = [input + 5e8];
+            let a = inline.gated_estimate(&query, &cfg).map(|(d, _)| d.estimate);
+            let b = deferred
+                .gated_estimate(&query, &cfg)
+                .map(|(d, _)| d.estimate);
+            assert_eq!(
+                a.map(f64::to_bits),
+                b.map(f64::to_bits),
+                "draining immediately after each observe must be bit-identical to inline retrains (observe {i})"
+            );
+        }
     }
 }

@@ -7,7 +7,7 @@
 //!
 //! * **Sharding** — the key space is partitioned across `shards` independent
 //!   predictor instances by a deterministic hash of
-//!   [`TaskMachineKey`](sizey_provenance::TaskMachineKey) (task type ×
+//!   [`TaskMachineKey`] (task type ×
 //!   machine). All learned state in Sizey
 //!   and the baselines is keyed per (task type, machine), so routing every
 //!   predict *and* observe of a key to the same shard reproduces the serial
@@ -36,9 +36,11 @@ use sizey_sim::{
 };
 
 use crate::config::SizeyConfig;
+use crate::pool::RetrainJob;
 use crate::sizey::SizeyPredictor;
 use parking_lot::RwLock;
 use sizey_ml::parallel::{default_parallelism, parallel_map};
+use sizey_provenance::TaskMachineKey;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -113,7 +115,7 @@ impl<P: MemoryPredictor + Sync> ConcurrentPredictor<P> {
     /// must never be persisted or compared across binaries.
     ///
     /// Hashing the two components directly is equivalent to hashing a
-    /// [`TaskMachineKey`](sizey_provenance::TaskMachineKey) (derived `Hash`
+    /// [`TaskMachineKey`] (derived `Hash`
     /// feeds the fields in declaration
     /// order) but avoids cloning two `String`s per request on the hot path.
     fn shard_of_parts(&self, task_type: &TaskTypeId, machine: &MachineId) -> usize {
@@ -384,6 +386,57 @@ impl ConcurrentSizey {
     ) -> Result<Self, StateError> {
         ConcurrentPredictor::from_checkpoint(checkpoint, |_| SizeyPredictor::new(config.clone()))
     }
+
+    /// Opts every shard in (or out of) **deferred retrains**: `observe` only
+    /// stages the periodic full retrain and the HPO grid search instead of
+    /// running them inline, and
+    /// [`observe_batch_retraining`](ConcurrentSizey::observe_batch_retraining)
+    /// executes the staged training off the shard locks. The default (inline
+    /// retrains through plain
+    /// [`observe_batch`](ConcurrentPredictor::observe_batch)) stays
+    /// bit-identical to the serial predictor; this mode trades bounded model
+    /// staleness — predictions keep serving the previous models while the
+    /// replacements train — for an observe path free of training spikes.
+    pub fn with_background_retrains(self, enabled: bool) -> Self {
+        for shard in &self.shards {
+            shard.write().set_deferred_retrains(enabled);
+        }
+        self
+    }
+
+    /// [`observe_batch`](ConcurrentPredictor::observe_batch) plus background
+    /// retraining: after the batch is applied, staged retrain jobs are
+    /// drained under brief per-shard write locks, executed **off the locks**
+    /// on the `sizey-ml` thread pool (predictions keep serving the old
+    /// models), and the freshly trained models are committed under brief
+    /// write locks again. A pool that was fully retrained in the meantime
+    /// discards the stale result (freshness epoch). Returns the number of
+    /// retrains that landed.
+    ///
+    /// Draining after every record (batches of one) reproduces inline
+    /// retraining bit for bit; larger batches only delay *when* the retrain
+    /// runs, never which data it sees at execution time.
+    pub fn observe_batch_retraining(&self, records: &[TaskRecord]) -> usize {
+        self.observe_batch(records);
+        let mut staged: Vec<(usize, TaskMachineKey, RetrainJob)> = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut guard = shard.write();
+            for (key, job) in guard.drain_retrain_jobs() {
+                staged.push((i, key, job));
+            }
+        }
+        if staged.is_empty() {
+            return 0;
+        }
+        let trained = parallel_map(&staged, self.threads, |(_, _, job)| job.execute());
+        let mut installed = 0;
+        for ((shard, key, _), models) in staged.iter().zip(trained) {
+            if self.shards[*shard].write().install_retrain(key, models) {
+                installed += 1;
+            }
+        }
+        installed
+    }
 }
 
 /// A cloneable handle to a [`ConcurrentPredictor`] that itself implements
@@ -557,6 +610,63 @@ mod tests {
         // Every record landed in exactly one shard.
         let total: usize = batched.map_shards(|p| p.provenance().len()).iter().sum();
         assert_eq!(total, records.len());
+    }
+
+    /// Draining and installing the staged retrain after every single record
+    /// reproduces inline retraining bit for bit: the job executes on the same
+    /// data and the same prior models an inline retrain would have seen.
+    #[test]
+    fn per_record_background_retrains_match_inline_retraining() {
+        let inline = ConcurrentSizey::sizey(SizeyConfig::default(), 4);
+        let deferred =
+            ConcurrentSizey::sizey(SizeyConfig::default(), 4).with_background_retrains(true);
+        let mut installed = 0;
+        for task_type in ["x", "y"] {
+            for i in 1..=30u64 {
+                let input = i as f64 * 1e9;
+                let r = record(task_type, i, input, 1.5 * input + 5e8);
+                inline.observe(&r);
+                installed += deferred.observe_batch_retraining(std::slice::from_ref(&r));
+            }
+        }
+        assert!(
+            installed >= 2,
+            "the default interval (25) must stage at least one retrain per task type"
+        );
+        for task_type in ["x", "y"] {
+            for (seq, input) in [(900u64, 6e9), (901, 13e9)] {
+                let task = submission(task_type, seq, input);
+                assert_eq!(
+                    inline.predict(&task, AttemptContext::first()),
+                    deferred.predict(&task, AttemptContext::first()),
+                    "background retrains diverged on {task_type}/{seq}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_background_retrains_install_and_keep_serving() {
+        let service =
+            ConcurrentSizey::sizey(SizeyConfig::default(), 2).with_background_retrains(true);
+        let mut records = Vec::new();
+        for i in 1..=30u64 {
+            let input = i as f64 * 1e9;
+            records.push(record("bg", i, input, 2.0 * input + 1e9));
+        }
+        // Plain observe_batch leaves the staged retrain pending; predictions
+        // still serve from the incrementally updated models.
+        service.observe_batch(&records);
+        let task = submission("bg", 500, 6e9);
+        let before = service.predict(&task, AttemptContext::first());
+        assert!(before.raw_estimate_bytes.is_some());
+        // The retraining variant drains and installs the staged job.
+        let installed = service.observe_batch_retraining(&[]);
+        assert_eq!(installed, 1);
+        let after = service.predict(&task, AttemptContext::first());
+        assert!(after.raw_estimate_bytes.is_some());
+        // Nothing left pending: a second drain is a no-op.
+        assert_eq!(service.observe_batch_retraining(&[]), 0);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 use crate::config::{OffsetMode, SizeyConfig};
 use crate::failure::{failure_allocation, failure_allocation_clamped};
 use crate::offset::{select_dynamic_offset, OffsetStrategy};
-use crate::pool::ModelPool;
+use crate::pool::{ModelPool, RetrainJob, RetrainPolicy, RetrainedModels};
 use sizey_provenance::{ProvenanceStore, TaskMachineKey, TaskOutcome, TaskRecord};
 use sizey_sim::{
     AttemptContext, CheckpointPredictor, MemoryPredictor, Prediction, PredictorState, StateError,
@@ -41,6 +41,11 @@ use std::time::Duration;
 pub struct SizeyPredictor {
     config: SizeyConfig,
     pools: HashMap<TaskMachineKey, ModelPool>,
+    /// Retrain policy applied to every pool (existing and future). Serial
+    /// engines keep the default [`RetrainPolicy::Inline`]; the concurrent
+    /// serving layer opts pools into deferred retrains so the training runs
+    /// off the observe hot path.
+    retrain_policy: RetrainPolicy,
     store: ProvenanceStore,
     /// Wall-clock time of every online-learning step (Fig. 9 telemetry).
     training_times: Vec<Duration>,
@@ -72,6 +77,7 @@ impl SizeyPredictor {
         SizeyPredictor {
             config,
             pools: HashMap::new(),
+            retrain_policy: RetrainPolicy::default(),
             store: ProvenanceStore::new(),
             training_times: Vec::new(),
             offset_selections: Default::default(),
@@ -117,6 +123,56 @@ impl SizeyPredictor {
     /// Number of (task type, machine) pools instantiated so far.
     pub fn n_pools(&self) -> usize {
         self.pools.len()
+    }
+
+    /// Switches every pool (existing and future) between inline full
+    /// retrains and deferred ones. With deferred retrains, `observe` only
+    /// *stages* the periodic full retrain; the caller drains the staged work
+    /// with [`drain_retrain_jobs`](SizeyPredictor::drain_retrain_jobs),
+    /// executes it off the hot path and commits results via
+    /// [`install_retrain`](SizeyPredictor::install_retrain). Predictions
+    /// keep serving the previous models until the install.
+    pub fn set_deferred_retrains(&mut self, deferred: bool) {
+        self.retrain_policy = if deferred {
+            RetrainPolicy::Deferred
+        } else {
+            RetrainPolicy::Inline
+        };
+        for pool in self.pools.values_mut() {
+            pool.set_retrain_policy(self.retrain_policy);
+        }
+    }
+
+    /// Drains every staged retrain into executable jobs, key-sorted for
+    /// deterministic execution order.
+    pub fn drain_retrain_jobs(&mut self) -> Vec<(TaskMachineKey, RetrainJob)> {
+        let mut jobs: Vec<(TaskMachineKey, RetrainJob)> = Vec::new();
+        for (key, pool) in &mut self.pools {
+            if let Some(job) = pool.take_retrain_job(&self.config) {
+                jobs.push((key.clone(), job));
+            }
+        }
+        jobs.sort_by(|(a, _), (b, _)| a.cmp(b));
+        jobs
+    }
+
+    /// Commits the models trained by a drained [`RetrainJob`]. Returns
+    /// `false` when the pool no longer exists or already retrained past the
+    /// job's epoch (the stale result is discarded).
+    pub fn install_retrain(&mut self, key: &TaskMachineKey, trained: RetrainedModels) -> bool {
+        self.pools
+            .get_mut(key)
+            .is_some_and(|pool| pool.install_retrain(trained))
+    }
+
+    /// Per-pool completions since the last full retrain (diagnostics; also
+    /// exercised by the lifecycle round-trip tests to pin the counter's
+    /// snapshot/restore behaviour).
+    pub fn since_full_retrain(&self) -> HashMap<TaskMachineKey, usize> {
+        self.pools
+            .iter()
+            .map(|(key, pool)| (key.clone(), pool.since_full_retrain()))
+            .collect()
     }
 
     /// Cumulative queue delay (seconds) across all observed attempts — the
@@ -262,10 +318,12 @@ impl MemoryPredictor for SizeyPredictor {
         self.queue_delay_total_seconds += record.queue_delay_seconds.max(0.0);
         self.queue_delay_observations += 1;
         let key = record.key();
-        let pool = self
-            .pools
-            .entry(key)
-            .or_insert_with(|| ModelPool::new(&self.config));
+        let policy = self.retrain_policy;
+        let pool = self.pools.entry(key).or_insert_with(|| {
+            let mut pool = ModelPool::new(&self.config);
+            pool.set_retrain_policy(policy);
+            pool
+        });
 
         match record.outcome {
             TaskOutcome::Succeeded => {

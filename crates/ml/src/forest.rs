@@ -32,9 +32,15 @@ pub struct ForestConfig {
     pub min_samples_leaf: usize,
     /// Fraction of features considered per split (1.0 = all features).
     pub max_features_fraction: f64,
-    /// Fraction of trees refitted on a `partial_fit` call (rounded up, at
-    /// least one tree).
+    /// Fraction of trees refitted per observation fed to `partial_fit`.
+    /// Fractional budgets are banked as credit across calls, so values below
+    /// `1 / n_trees` refresh a tree only every few observations — this is
+    /// what caps per-observe work on the hot path.
     pub incremental_refresh_fraction: f64,
+    /// Trees refreshed by `partial_fit` bootstrap-resample only from the most
+    /// recent `incremental_window` observations (`0` = full history). A full
+    /// `fit` always trains on the complete dataset.
+    pub incremental_window: usize,
     /// Seed for bootstrap resampling and feature subsampling.
     pub seed: u64,
 }
@@ -48,6 +54,7 @@ impl Default for ForestConfig {
             min_samples_leaf: 1,
             max_features_fraction: 1.0,
             incremental_refresh_fraction: 0.25,
+            incremental_window: 512,
             seed: 42,
         }
     }
@@ -65,6 +72,9 @@ pub struct RandomForestRegression {
     fitted: bool,
     /// Index of the next tree to refresh on an incremental update.
     refresh_cursor: usize,
+    /// Banked fractional refresh budget; `partial_fit` refreshes
+    /// `floor(credit)` trees and carries the remainder forward.
+    refresh_credit: f64,
     /// Monotonic counter so each (re)fit uses fresh bootstrap seeds.
     fit_generation: u64,
 }
@@ -90,6 +100,7 @@ impl RandomForestRegression {
             n_features: 0,
             fitted: false,
             refresh_cursor: 0,
+            refresh_credit: 0.0,
             fit_generation: 0,
         }
     }
@@ -134,10 +145,15 @@ impl RandomForestRegression {
     /// trains through [`RegressionTree::fit_with_indices`], so no per-tree
     /// copy of the dataset is materialised (the rng consumption and the
     /// resulting tree are bit-identical to the former subset-cloning path).
-    fn train_tree(&self, seed: u64) -> Result<RegressionTree, ModelError> {
+    fn train_tree(&self, seed: u64, window_start: usize) -> Result<RegressionTree, ModelError> {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = self.history.len();
-        let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+        // The bootstrap draws only from `window_start..n`; a full fit passes
+        // `window_start == 0`, which consumes the rng identically to the
+        // pre-window implementation.
+        let indices: Vec<usize> = (0..n - window_start)
+            .map(|_| rng.gen_range(window_start..n))
+            .collect();
         let mut tree = RegressionTree::new(self.tree_config(self.history.n_features()));
         let mut order: Vec<usize> = (0..self.history.n_features()).collect();
         order.shuffle(&mut rng);
@@ -146,7 +162,7 @@ impl RandomForestRegression {
         Ok(tree)
     }
 
-    fn fit_trees(&mut self, tree_indices: &[usize]) -> Result<(), ModelError> {
+    fn fit_trees(&mut self, tree_indices: &[usize], window_start: usize) -> Result<(), ModelError> {
         let generation = self.fit_generation;
         let seeds: Vec<(usize, u64)> = tree_indices
             .iter()
@@ -162,7 +178,7 @@ impl RandomForestRegression {
             .collect();
         let this = &*self;
         let results = parallel_map(&seeds, default_parallelism(), |&(_, seed)| {
-            this.train_tree(seed)
+            this.train_tree(seed, window_start)
         });
         let mut trained = Vec::with_capacity(results.len());
         for r in results {
@@ -183,16 +199,24 @@ impl RandomForestRegression {
 impl Regressor for RandomForestRegression {
     fn fit(&mut self, data: &Dataset) -> Result<(), ModelError> {
         validate_training_data(data)?;
-        // `clone_from` reuses the retained row buffers across retrains
-        // instead of reallocating the whole training set on every full
-        // refit (the model pool refits the forest on its complete history).
-        self.history.clone_from(data);
-        self.n_features = data.n_features();
-        self.trees.clear();
+        // Train the replacement ensemble into a staging forest before
+        // touching any fitted state: a failed refit must leave the previous
+        // model serving. The staging forest inherits this instance's seed
+        // generation so a successful refit is bit-identical to the former
+        // in-place path.
+        let mut staged = RandomForestRegression::new(self.config);
+        staged.history.clone_from(data);
+        staged.n_features = data.n_features();
+        staged.fit_generation = self.fit_generation;
         let all: Vec<usize> = (0..self.config.n_trees).collect();
-        self.fit_trees(&all)?;
+        staged.fit_trees(&all, 0)?;
+        self.history = staged.history;
+        self.n_features = staged.n_features;
+        self.trees = staged.trees;
+        self.fit_generation = staged.fit_generation;
         self.fitted = true;
         self.refresh_cursor = 0;
+        self.refresh_credit = 0.0;
         Ok(())
     }
 
@@ -210,14 +234,30 @@ impl Regressor for RandomForestRegression {
         for (f, t) in data.iter() {
             self.history.push(f.to_vec(), t);
         }
-        let refresh = ((self.config.n_trees as f64 * self.config.incremental_refresh_fraction)
-            .ceil() as usize)
-            .clamp(1, self.config.n_trees);
+        // Bank the per-observation refresh budget and spend whole trees; a
+        // fraction below `1 / n_trees` therefore refreshes nothing on most
+        // observes, keeping the hot path cheap.
+        let earned = self.config.n_trees as f64
+            * self.config.incremental_refresh_fraction
+            * data.len() as f64;
+        self.refresh_credit = (self.refresh_credit + earned).min(self.config.n_trees as f64);
+        let refresh = (self.refresh_credit.floor() as usize).min(self.config.n_trees);
+        if refresh == 0 {
+            return Ok(());
+        }
+        self.refresh_credit -= refresh as f64;
         let indices: Vec<usize> = (0..refresh)
             .map(|i| (self.refresh_cursor + i) % self.config.n_trees)
             .collect();
         self.refresh_cursor = (self.refresh_cursor + refresh) % self.config.n_trees;
-        self.fit_trees(&indices)
+        let window_start = if self.config.incremental_window == 0 {
+            0
+        } else {
+            self.history
+                .len()
+                .saturating_sub(self.config.incremental_window)
+        };
+        self.fit_trees(&indices, window_start)
     }
 
     fn predict(&self, features: &[f64]) -> Result<f64, ModelError> {
@@ -386,6 +426,68 @@ mod tests {
             fitted.predict(&[1.0, 2.0]),
             Err(ModelError::FeatureMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn fractional_refresh_credit_is_banked_across_observes() {
+        let data = step_dataset(30);
+        let cfg = ForestConfig {
+            n_trees: 4,
+            // 4 * 0.1 = 0.4 trees of credit per observation: the first two
+            // observes refresh nothing, the third spends one tree.
+            incremental_refresh_fraction: 0.1,
+            ..ForestConfig::default()
+        };
+        let mut f = RandomForestRegression::new(cfg);
+        f.fit(&data).unwrap();
+        let baseline = f.predict(&[15.0]).unwrap();
+        let row = |x: f64| Dataset::from_univariate(&[x], &[9_000.0]);
+        f.partial_fit(&row(50.0)).unwrap();
+        f.partial_fit(&row(51.0)).unwrap();
+        assert_eq!(
+            f.predict(&[15.0]).unwrap().to_bits(),
+            baseline.to_bits(),
+            "no tree should refresh before a whole credit accrues"
+        );
+        f.partial_fit(&row(52.0)).unwrap();
+        assert!(
+            f.predict(&[52.0]).unwrap() > 500.0,
+            "the banked credit should eventually refresh a tree"
+        );
+    }
+
+    #[test]
+    fn windowed_refresh_trains_on_recent_history_only() {
+        let data = step_dataset(20);
+        let mut f = RandomForestRegression::new(ForestConfig {
+            n_trees: 4,
+            incremental_refresh_fraction: 1.0,
+            incremental_window: 4,
+            ..ForestConfig::default()
+        });
+        f.fit(&data).unwrap();
+        // Saturate the window with a constant new regime: every refreshed
+        // tree bootstraps only from rows whose target is exactly 7000.
+        for i in 0..6 {
+            let new = Dataset::from_univariate(&[100.0 + i as f64], &[7_000.0]);
+            f.partial_fit(&new).unwrap();
+        }
+        assert_eq!(f.predict(&[3.0]).unwrap(), 7_000.0);
+    }
+
+    #[test]
+    fn failed_refit_keeps_the_previous_forest_serving() {
+        let data = step_dataset(30);
+        let mut f = RandomForestRegression::new(ForestConfig {
+            n_trees: 4,
+            ..ForestConfig::default()
+        });
+        f.fit(&data).unwrap();
+        let before = f.predict(&[10.0]).unwrap();
+        assert!(f.fit(&Dataset::new()).is_err());
+        assert!(f.is_fitted());
+        assert_eq!(f.predict(&[10.0]).unwrap().to_bits(), before.to_bits());
+        assert_eq!(f.n_observations(), 30);
     }
 
     #[test]

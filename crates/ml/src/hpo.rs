@@ -73,18 +73,22 @@ impl ModelSpec {
                 ModelSpec::Knn(KnnConfig {
                     k: 3,
                     weighting: KnnWeighting::InverseDistance,
+                    ..KnnConfig::default()
                 }),
                 ModelSpec::Knn(KnnConfig {
                     k: 5,
                     weighting: KnnWeighting::InverseDistance,
+                    ..KnnConfig::default()
                 }),
                 ModelSpec::Knn(KnnConfig {
                     k: 5,
                     weighting: KnnWeighting::Uniform,
+                    ..KnnConfig::default()
                 }),
                 ModelSpec::Knn(KnnConfig {
                     k: 9,
                     weighting: KnnWeighting::Uniform,
+                    ..KnnConfig::default()
                 }),
             ],
             ModelClass::Mlp => vec![

@@ -39,6 +39,14 @@ pub struct KnnConfig {
     pub k: usize,
     /// Neighbour weighting scheme.
     pub weighting: KnnWeighting,
+    /// Relative scaler-parameter drift above which a `partial_fit` rescales
+    /// the whole stored buffer against the live min-max parameters (see
+    /// [`Scaler::param_drift`]). `0.0` rescales on any parameter change,
+    /// reproducing the eager pre-amortisation behaviour bit for bit.
+    pub rescale_drift_threshold: f64,
+    /// Upper bound on observations between two full rescales regardless of
+    /// drift (`0` disables the periodic bound).
+    pub rescale_interval: usize,
 }
 
 impl Default for KnnConfig {
@@ -46,6 +54,8 @@ impl Default for KnnConfig {
         KnnConfig {
             k: 5,
             weighting: KnnWeighting::InverseDistance,
+            rescale_drift_threshold: 0.02,
+            rescale_interval: 64,
         }
     }
 }
@@ -58,10 +68,23 @@ pub struct KnnRegression {
     /// `n_features` columns).
     features: Vec<f64>,
     /// The same rows in scaled space, refreshed together with the scaler so
-    /// `predict` never re-scales stored observations.
+    /// `predict` never re-scales stored observations. Scaled with the
+    /// **epoch** scaler's parameters (frozen at the last full rescale), not
+    /// necessarily the live ones — queries scale with the same epoch
+    /// parameters, so rankings stay internally consistent.
     scaled: Vec<f64>,
     targets: Vec<f64>,
+    /// The epoch scaler: the parameters the `scaled` buffer was produced
+    /// with.
     scaler: Scaler,
+    /// The live scaler, updated exactly per observation
+    /// ([`Scaler::observe_row`]). When its parameters drift too far from the
+    /// epoch's — or after `rescale_interval` appends — it becomes the new
+    /// epoch and the buffer is rescaled once, amortising the former
+    /// O(history) per-observe rescale.
+    live_scaler: Scaler,
+    /// Observations appended since the last full rescale.
+    rows_since_rescale: usize,
     n_features: usize,
     fitted: bool,
 }
@@ -75,6 +98,8 @@ impl KnnRegression {
             scaled: Vec::new(),
             targets: Vec::new(),
             scaler: Scaler::new(ScalerKind::MinMax),
+            live_scaler: Scaler::new(ScalerKind::MinMax),
+            rows_since_rescale: 0,
             n_features: 0,
             fitted: false,
         }
@@ -96,11 +121,28 @@ impl KnnRegression {
         self.targets.len()
     }
 
+    /// Batch-refits the scaler on the full raw buffer and rescales every
+    /// stored row — the O(n·d) epoch reset, run on `fit` and whenever the
+    /// amortisation policy triggers, never per observation.
     fn refresh_scaler(&mut self) {
         self.scaler = Scaler::new(ScalerKind::MinMax);
         self.scaler.fit_flat(&self.features, self.n_features);
+        self.live_scaler = self.scaler.clone();
         self.scaler
             .transform_flat_into(&self.features, self.n_features, &mut self.scaled);
+        self.rows_since_rescale = 0;
+    }
+
+    /// Live-vs-epoch scaler parameter drift (diagnostic; see
+    /// [`Scaler::param_drift`]).
+    pub fn scaler_drift(&self) -> f64 {
+        self.live_scaler.param_drift(&self.scaler)
+    }
+
+    /// Observations appended since the stored buffer was last rescaled
+    /// against fresh scaler parameters (diagnostic).
+    pub fn rows_since_rescale(&self) -> usize {
+        self.rows_since_rescale
     }
 
     /// Returns the indices and distances of the `k` nearest stored
@@ -163,8 +205,40 @@ impl Regressor for KnnRegression {
         for (f, t) in data.iter() {
             self.features.extend_from_slice(f);
             self.targets.push(t);
+            // O(d): fold the row into the live scaler's running min/max
+            // (bit-identical to a batch refit for min-max parameters).
+            self.live_scaler.observe_row(f);
         }
-        self.refresh_scaler();
+        self.rows_since_rescale += data.len();
+        let interval = self.config.rescale_interval;
+        let drift = self.live_scaler.param_drift(&self.scaler);
+        if drift > self.config.rescale_drift_threshold
+            || (interval > 0 && self.rows_since_rescale >= interval)
+        {
+            // Epoch reset: adopt the live parameters and rescale the whole
+            // buffer once. Amortised O(d) per observe. When the drift is
+            // exactly zero the epoch parameters already equal the live ones,
+            // so skipping this is bit-identical to running it.
+            self.live_scaler
+                .transform_flat_into(&self.features, self.n_features, &mut self.scaled);
+            self.scaler = self.live_scaler.clone();
+            self.rows_since_rescale = 0;
+        } else {
+            // Append the new rows scaled with the frozen epoch parameters;
+            // queries scale with the same parameters, so the ranking stays
+            // consistent (bounded-divergent from an eager rescale until the
+            // next epoch reset). Allocation-free: rows scale straight into
+            // the retained buffer.
+            let width = self.n_features.max(1);
+            let start = self.features.len() - data.len() * width;
+            let (shift, scale) = (self.scaler.shift(), self.scaler.scale());
+            self.scaled.reserve(data.len() * width);
+            for i in start..self.features.len() {
+                let c = (i - start) % width;
+                let v = self.features[i];
+                self.scaled.push((v - shift[c]) / scale[c]);
+            }
+        }
         Ok(())
     }
 
@@ -235,6 +309,7 @@ mod tests {
         let mut m = KnnRegression::new(KnnConfig {
             k: 2,
             weighting: KnnWeighting::Uniform,
+            ..KnnConfig::default()
         });
         m.fit(&data).unwrap();
         // Nearest two to 0.4 are x=0 and x=1.
@@ -247,6 +322,7 @@ mod tests {
         let mut m = KnnRegression::new(KnnConfig {
             k: 2,
             weighting: KnnWeighting::InverseDistance,
+            ..KnnConfig::default()
         });
         m.fit(&data).unwrap();
         let near_zero = m.predict(&[1.0]).unwrap();
@@ -275,6 +351,7 @@ mod tests {
         let mut m = KnnRegression::new(KnnConfig {
             k: 50,
             weighting: KnnWeighting::Uniform,
+            ..KnnConfig::default()
         });
         m.fit(&data).unwrap();
         assert!((m.predict(&[1.5]).unwrap() - 15.0).abs() < 1e-9);
@@ -315,6 +392,7 @@ mod tests {
         let mut m = KnnRegression::new(KnnConfig {
             k: 3,
             weighting: KnnWeighting::Uniform,
+            ..KnnConfig::default()
         });
         m.fit(&data).unwrap();
         // Without scaling the second feature would be irrelevant; with
@@ -336,6 +414,7 @@ mod tests {
         let mut m = KnnRegression::new(KnnConfig {
             k: 2,
             weighting: KnnWeighting::Uniform,
+            ..KnnConfig::default()
         });
         // All inputs finite (validation passes); the 1e308 row's scaled
         // value is NaN because the column range overflows to infinity.
@@ -354,6 +433,43 @@ mod tests {
             m.predict(&[f64::NAN]),
             Err(ModelError::Numerical(_))
         ));
+    }
+
+    #[test]
+    fn amortised_rescale_triggers_on_drift_or_interval() {
+        let mut m = KnnRegression::new(KnnConfig::default());
+        m.fit(&Dataset::from_univariate(&[0.0, 10.0], &[1.0, 2.0]))
+            .unwrap();
+        assert_eq!(m.rows_since_rescale(), 0);
+        // A row barely outside the range drifts the live parameters by 0.5%
+        // — below the 2% threshold, so the buffer is not rescaled.
+        m.partial_fit(&Dataset::from_univariate(&[10.05], &[3.0]))
+            .unwrap();
+        assert_eq!(m.rows_since_rescale(), 1);
+        assert!(m.scaler_drift() > 0.0 && m.scaler_drift() < 0.01);
+        // A far-out row exceeds the drift threshold and forces an epoch
+        // reset: buffer rescaled, live == epoch again.
+        m.partial_fit(&Dataset::from_univariate(&[30.0], &[4.0]))
+            .unwrap();
+        assert_eq!(m.rows_since_rescale(), 0);
+        assert_eq!(m.scaler_drift(), 0.0);
+
+        // The periodic bound rescales even when the drift never trips.
+        let mut p = KnnRegression::new(KnnConfig {
+            rescale_drift_threshold: f64::INFINITY,
+            rescale_interval: 2,
+            ..KnnConfig::default()
+        });
+        p.fit(&Dataset::from_univariate(&[0.0, 1.0], &[1.0, 2.0]))
+            .unwrap();
+        p.partial_fit(&Dataset::from_univariate(&[50.0], &[3.0]))
+            .unwrap();
+        assert_eq!(p.rows_since_rescale(), 1);
+        p.partial_fit(&Dataset::from_univariate(&[60.0], &[4.0]))
+            .unwrap();
+        assert_eq!(p.rows_since_rescale(), 0);
+        // Predictions stay exact for stored points after the reset.
+        assert_eq!(p.predict(&[60.0]).unwrap(), 4.0);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 use crate::dataset::Dataset;
 use crate::matrix::Matrix;
 use crate::model::{validate_query, validate_training_data, ModelClass, ModelError, Regressor};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::RwLock;
 
 /// Hyper-parameters for [`LinearRegression`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,11 +35,24 @@ impl Default for LinearConfig {
 
 /// Linear regression model (OLS / ridge) with incremental normal-equation
 /// updates.
-#[derive(Debug, Clone)]
+///
+/// The solve is **lazy**: `partial_fit` only folds the observation into the
+/// exact sufficient statistics (Gram matrix and moment vector) and marks the
+/// coefficients stale; the normal equations are solved on the first
+/// `predict` after an update, not on every observe. The sufficient
+/// statistics are exact, so the lazily solved coefficients are bit-identical
+/// to solving eagerly after every observation. `fit` is **transactional**: a
+/// failed refit leaves the previous fitted state (statistics and
+/// coefficients) fully intact.
 pub struct LinearRegression {
     config: LinearConfig,
     /// Fitted coefficients, intercept first when `fit_intercept` is set.
-    coefficients: Vec<f64>,
+    /// Interior-mutable so the lazy solve can run under `&self` on the
+    /// predict path; a lock (not a `RefCell`) keeps the model `Sync`.
+    coefficients: RwLock<Vec<f64>>,
+    /// Set by updates to the sufficient statistics; cleared by the lazy
+    /// solve.
+    coefficients_stale: AtomicBool,
     /// Accumulated Gram matrix `X^T X` (in augmented feature space).
     gram: Option<Matrix>,
     /// Accumulated moment vector `X^T y` (in augmented feature space).
@@ -48,12 +63,39 @@ pub struct LinearRegression {
     fitted: bool,
 }
 
+impl std::fmt::Debug for LinearRegression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinearRegression")
+            .field("config", &self.config)
+            .field("n_observations", &self.n_observations)
+            .field("n_features", &self.n_features)
+            .field("fitted", &self.fitted)
+            .finish()
+    }
+}
+
+impl Clone for LinearRegression {
+    fn clone(&self) -> Self {
+        LinearRegression {
+            config: self.config,
+            coefficients: RwLock::new(self.coefficients.read().expect("lock").clone()),
+            coefficients_stale: AtomicBool::new(self.coefficients_stale.load(Ordering::Acquire)),
+            gram: self.gram.clone(),
+            moments: self.moments.clone(),
+            n_observations: self.n_observations,
+            n_features: self.n_features,
+            fitted: self.fitted,
+        }
+    }
+}
+
 impl LinearRegression {
     /// Creates an unfitted model with the given configuration.
     pub fn new(config: LinearConfig) -> Self {
         LinearRegression {
             config,
-            coefficients: Vec::new(),
+            coefficients: RwLock::new(Vec::new()),
+            coefficients_stale: AtomicBool::new(false),
             gram: None,
             moments: Vec::new(),
             n_observations: 0,
@@ -67,10 +109,12 @@ impl LinearRegression {
         LinearRegression::new(LinearConfig::default())
     }
 
-    /// The fitted coefficients (intercept first when enabled). Empty before
+    /// The fitted coefficients (intercept first when enabled), solving the
+    /// normal equations first if updates left them stale. Empty before
     /// fitting.
-    pub fn coefficients(&self) -> &[f64] {
-        &self.coefficients
+    pub fn coefficients(&self) -> Vec<f64> {
+        self.ensure_solved();
+        self.coefficients.read().expect("lock").clone()
     }
 
     /// The configuration used by this model.
@@ -122,44 +166,81 @@ impl LinearRegression {
         self.n_observations += data.len();
     }
 
-    fn solve(&mut self) -> Result<(), ModelError> {
-        let gram = self.gram.as_ref().ok_or(ModelError::NotFitted)?;
+    /// Solves the regularised normal equations for the given sufficient
+    /// statistics. Does not touch `self` — callers commit the returned
+    /// coefficients only on success, which is what makes `fit` transactional.
+    fn solve_stats(
+        gram: &Matrix,
+        moments: &[f64],
+        config: LinearConfig,
+    ) -> Result<Vec<f64>, ModelError> {
         let mut regularised = gram.clone();
         // Always add at least a tiny ridge term: a task type whose observed
         // input sizes are all identical produces a rank-deficient Gram matrix.
-        let lambda = self.config.l2.max(1e-10);
+        let lambda = config.l2.max(1e-10);
         regularised.add_diagonal(lambda);
-        match regularised.solve(&self.moments) {
-            Ok(coeffs) => {
-                self.coefficients = coeffs;
-                self.fitted = true;
-                Ok(())
-            }
+        let coeffs = match regularised.solve(moments) {
+            Ok(coeffs) => coeffs,
             Err(_) => {
                 // Escalate the regularisation once before giving up; this
                 // keeps early-workflow fits (1-2 data points) usable.
                 let mut heavier = gram.clone();
                 heavier.add_diagonal(lambda.max(1e-3) * 1e3);
-                let coeffs = heavier
-                    .solve(&self.moments)
-                    .map_err(|e| ModelError::Numerical(e.to_string()))?;
-                self.coefficients = coeffs;
-                self.fitted = true;
-                Ok(())
+                heavier
+                    .solve(moments)
+                    .map_err(|e| ModelError::Numerical(e.to_string()))?
+            }
+        };
+        // Overflowed Gram entries (inf) sail through elimination without a
+        // small pivot and come out as NaN/inf coefficients; treat that as a
+        // solve failure rather than serving a poisoned model.
+        if coeffs.iter().any(|c| !c.is_finite()) {
+            return Err(ModelError::Numerical(
+                "normal-equation solve produced non-finite coefficients".to_string(),
+            ));
+        }
+        Ok(coeffs)
+    }
+
+    /// Runs the lazy solve if updates left the coefficients stale. If the
+    /// solve fails the previous coefficients keep serving (the staleness flag
+    /// is still cleared so the hot path does not retry on every predict).
+    fn ensure_solved(&self) {
+        if !self.coefficients_stale.load(Ordering::Acquire) {
+            return;
+        }
+        let mut coeffs = self.coefficients.write().expect("lock");
+        // Double-checked: another thread may have solved while we waited.
+        if !self.coefficients_stale.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(gram) = self.gram.as_ref() {
+            if let Ok(solved) = LinearRegression::solve_stats(gram, &self.moments, self.config) {
+                *coeffs = solved;
             }
         }
+        self.coefficients_stale.store(false, Ordering::Release);
     }
 }
 
 impl Regressor for LinearRegression {
     fn fit(&mut self, data: &Dataset) -> Result<(), ModelError> {
         validate_training_data(data)?;
-        self.gram = None;
-        self.moments.clear();
-        self.coefficients.clear();
-        self.fitted = false;
-        self.accumulate(data);
-        self.solve()
+        // Build the new sufficient statistics on the side and solve before
+        // touching any fitted state: a failed refit (e.g. overflowing
+        // features) must leave the previous model serving.
+        let mut fresh = LinearRegression::new(self.config);
+        fresh.accumulate(data);
+        let gram = fresh.gram.as_ref().expect("accumulate initialises gram");
+        let coeffs = LinearRegression::solve_stats(gram, &fresh.moments, self.config)?;
+        self.gram = fresh.gram;
+        self.moments = fresh.moments;
+        self.n_observations = fresh.n_observations;
+        self.n_features = fresh.n_features;
+        *self.coefficients.write().expect("lock") = coeffs;
+        self.coefficients_stale.store(false, Ordering::Release);
+        self.fitted = true;
+        Ok(())
     }
 
     fn partial_fit(&mut self, data: &Dataset) -> Result<(), ModelError> {
@@ -171,7 +252,12 @@ impl Regressor for LinearRegression {
             });
         }
         self.accumulate(data);
-        self.solve()
+        // Lazy solve: the exact statistics are up to date, so deferring the
+        // O(d^3) solve to the first predict yields bit-identical coefficients
+        // while keeping the observe path O(d^2).
+        self.coefficients_stale.store(true, Ordering::Release);
+        self.fitted = true;
+        Ok(())
     }
 
     fn predict(&self, features: &[f64]) -> Result<f64, ModelError> {
@@ -179,10 +265,17 @@ impl Regressor for LinearRegression {
             return Err(ModelError::NotFitted);
         }
         validate_query(features, self.n_features)?;
+        self.ensure_solved();
+        let coefficients = self.coefficients.read().expect("lock");
+        if coefficients.is_empty() {
+            // The model has only ever seen failed solves (e.g. its very first
+            // update was degenerate) — there is no usable state to serve.
+            return Err(ModelError::NotFitted);
+        }
         let row = self.augment(features);
         Ok(row
             .iter()
-            .zip(self.coefficients.iter())
+            .zip(coefficients.iter())
             .map(|(x, c)| x * c)
             .sum())
     }
@@ -322,6 +415,62 @@ mod tests {
             m.partial_fit(&wide),
             Err(ModelError::FeatureMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn failed_refit_keeps_the_previous_model_serving() {
+        let data = linear_dataset(3.0, 10.0, 50);
+        let mut m = LinearRegression::with_defaults();
+        m.fit(&data).unwrap();
+        let before = m.predict(&[100.0]).unwrap();
+
+        // Features large enough that the Gram products overflow to infinity:
+        // the inputs themselves are finite (so validation passes) but the
+        // solve produces non-finite coefficients and must fail.
+        let degenerate = Dataset::from_univariate(&[1e300, 2e300, 3e300], &[1.0, 2.0, 3.0]);
+        assert!(m.fit(&degenerate).is_err());
+
+        assert!(m.is_fitted(), "failed refit must not clear fitted state");
+        let after = m.predict(&[100.0]).unwrap();
+        assert_eq!(
+            before.to_bits(),
+            after.to_bits(),
+            "failed refit must leave predictions untouched"
+        );
+        assert_eq!(m.n_observations(), 50);
+    }
+
+    #[test]
+    fn lazy_partial_fit_chain_matches_eager_full_fit_bitwise() {
+        let data = linear_dataset(2.5, -4.0, 32);
+        let mut lazy = LinearRegression::with_defaults();
+        // Interleave updates and predicts: each predict solves lazily at the
+        // same Gram state an eager solve would have used.
+        for i in 0..data.len() {
+            let (row, _) = data.split_at(i + 1);
+            let (_, single) = row.split_at(i);
+            lazy.partial_fit(&single).unwrap();
+            if i % 5 == 0 {
+                lazy.predict(&[i as f64]).unwrap();
+            }
+        }
+
+        let mut eager = LinearRegression::with_defaults();
+        eager.fit(&data).unwrap();
+
+        for x in [0.0, 3.0, 17.0, 100.0] {
+            let a = lazy.predict(&[x]).unwrap();
+            let b = eager.predict(&[x]).unwrap();
+            assert!(
+                (a - b).abs() < 1e-6,
+                "lazy chain diverged from batch fit: {a} vs {b}"
+            );
+        }
+        // The coefficient vectors from the same sufficient statistics must be
+        // bit-identical: accumulate over the same rows in the same order.
+        let mut replay = LinearRegression::with_defaults();
+        replay.partial_fit(&data).unwrap();
+        assert_eq!(lazy.coefficients(), replay.coefficients());
     }
 
     #[test]

@@ -139,10 +139,22 @@ impl Layer {
 }
 
 /// Gradient accumulators for one layer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct LayerGrad {
     d_w: Vec<f64>,
     d_b: Vec<f64>,
+}
+
+/// Reusable buffers of the training loop — gradient accumulators, per-layer
+/// activations and the backpropagated deltas. Owned by one `train_epochs`
+/// call and threaded through every batch, so the per-sample inner loops
+/// allocate nothing.
+#[derive(Debug, Default)]
+struct TrainScratch {
+    grads: Vec<LayerGrad>,
+    activations: Vec<Vec<f64>>,
+    delta: Vec<f64>,
+    next_delta: Vec<f64>,
 }
 
 /// MLP regressor with Adam optimisation.
@@ -194,25 +206,25 @@ impl MlpRegression {
         self.adam_step = 0;
     }
 
-    /// Forward pass returning the activations of every layer (input first).
-    fn forward_all(&self, input: &[f64]) -> Vec<Vec<f64>> {
-        let mut activations: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len() + 1);
-        activations.push(input.to_vec());
-        let mut buffer = Vec::new();
-        for (li, layer) in self.layers.iter().enumerate() {
-            layer.forward(activations.last().expect("non-empty"), &mut buffer);
-            let is_output = li == self.layers.len() - 1;
-            let activated: Vec<f64> = if is_output {
-                buffer.clone()
-            } else {
-                buffer
-                    .iter()
-                    .map(|&z| self.config.activation.forward(z))
-                    .collect()
-            };
-            activations.push(activated);
+    /// Forward pass recording the activations of every layer (input first)
+    /// into `activations`, whose buffers are reused across samples — the
+    /// training loop runs thousands of forward passes per observe, and
+    /// per-sample activation vectors dominated its cost. Arithmetic matches
+    /// the predict path ([`MlpRegression::forward_scalar`]) bit for bit.
+    fn forward_into(&self, input: &[f64], activations: &mut Vec<Vec<f64>>) {
+        activations.resize(self.layers.len() + 1, Vec::new());
+        activations[0].clear();
+        activations[0].extend_from_slice(input);
+        for li in 0..self.layers.len() {
+            let (prev, rest) = activations.split_at_mut(li + 1);
+            let output = &mut rest[0];
+            self.layers[li].forward(&prev[li], output);
+            if li != self.layers.len() - 1 {
+                for z in output.iter_mut() {
+                    *z = self.config.activation.forward(*z);
+                }
+            }
         }
-        activations
     }
 
     /// Forward pass returning only the output value, ping-ponging two
@@ -236,32 +248,37 @@ impl MlpRegression {
     }
 
     /// Runs one Adam update over a mini-batch. Returns the batch mean squared
-    /// error (in scaled target space).
-    fn train_batch(&mut self, batch: &[(Vec<f64>, f64)]) -> f64 {
-        let mut grads: Vec<LayerGrad> = self
-            .layers
-            .iter()
-            .map(|l| LayerGrad {
-                d_w: vec![0.0; l.weights.len()],
-                d_b: vec![0.0; l.biases.len()],
-            })
-            .collect();
+    /// error (in scaled target space). `scratch` carries the gradient
+    /// accumulators and per-sample buffers across batches and epochs, so the
+    /// inner loop performs no allocations.
+    fn train_batch(&mut self, batch: &[(Vec<f64>, f64)], scratch: &mut TrainScratch) -> f64 {
+        scratch
+            .grads
+            .resize_with(self.layers.len(), LayerGrad::default);
+        for (layer, grad) in self.layers.iter().zip(scratch.grads.iter_mut()) {
+            grad.d_w.clear();
+            grad.d_w.resize(layer.weights.len(), 0.0);
+            grad.d_b.clear();
+            grad.d_b.resize(layer.biases.len(), 0.0);
+        }
         let mut loss = 0.0;
 
         for (features, target) in batch {
-            let activations = self.forward_all(features);
+            self.forward_into(features, &mut scratch.activations);
+            let activations = &scratch.activations;
             let prediction = activations.last().expect("output")[0];
             let error = prediction - target;
             loss += error * error;
 
             // Backward pass: delta for the output layer is just the error
             // (linear output + squared loss).
-            let mut delta = vec![error];
+            scratch.delta.clear();
+            scratch.delta.push(error);
             for li in (0..self.layers.len()).rev() {
                 let layer = &self.layers[li];
                 let input_act = &activations[li];
-                let grad = &mut grads[li];
-                for (o, &d) in delta.iter().enumerate().take(layer.outputs) {
+                let grad = &mut scratch.grads[li];
+                for (o, &d) in scratch.delta.iter().enumerate().take(layer.outputs) {
                     grad.d_b[o] += d;
                     let row = &mut grad.d_w[o * layer.inputs..(o + 1) * layer.inputs];
                     for (g, x) in row.iter_mut().zip(input_act.iter()) {
@@ -272,45 +289,50 @@ impl MlpRegression {
                     break;
                 }
                 // Propagate delta to the previous layer.
-                let mut new_delta = vec![0.0; layer.inputs];
-                for (o, &d) in delta.iter().enumerate().take(layer.outputs) {
+                scratch.next_delta.clear();
+                scratch.next_delta.resize(layer.inputs, 0.0);
+                for (o, &d) in scratch.delta.iter().enumerate().take(layer.outputs) {
                     let row = &layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
-                    for (nd, w) in new_delta.iter_mut().zip(row.iter()) {
+                    for (nd, w) in scratch.next_delta.iter_mut().zip(row.iter()) {
                         *nd += w * d;
                     }
                 }
                 // Multiply by the activation derivative of the previous
                 // layer's (activated) outputs.
                 let prev_act = &activations[li];
-                for (nd, a) in new_delta.iter_mut().zip(prev_act.iter()) {
+                for (nd, a) in scratch.next_delta.iter_mut().zip(prev_act.iter()) {
                     *nd *= self.config.activation.derivative(*a);
                 }
-                delta = new_delta;
+                std::mem::swap(&mut scratch.delta, &mut scratch.next_delta);
             }
         }
 
-        // Adam update.
+        // Adam update. The bias-correction denominators depend only on the
+        // step, not the parameter index — hoisted out of the weight loops
+        // (`powf` per weight dominated the warm-start update's cost).
         let n = batch.len() as f64;
         self.adam_step += 1;
         let t = self.adam_step as f64;
-        let (beta1, beta2, eps) = (0.9, 0.999, 1e-8);
+        let (beta1, beta2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let bias_correction1 = 1.0 - beta1.powf(t);
+        let bias_correction2 = 1.0 - beta2.powf(t);
         let lr = self.config.learning_rate;
         let decay = self.config.weight_decay;
-        for (layer, grad) in self.layers.iter_mut().zip(grads.iter()) {
+        for (layer, grad) in self.layers.iter_mut().zip(scratch.grads.iter()) {
             for i in 0..layer.weights.len() {
                 let g = grad.d_w[i] / n + decay * layer.weights[i];
                 layer.m_w[i] = beta1 * layer.m_w[i] + (1.0 - beta1) * g;
                 layer.v_w[i] = beta2 * layer.v_w[i] + (1.0 - beta2) * g * g;
-                let m_hat = layer.m_w[i] / (1.0 - beta1.powf(t));
-                let v_hat = layer.v_w[i] / (1.0 - beta2.powf(t));
+                let m_hat = layer.m_w[i] / bias_correction1;
+                let v_hat = layer.v_w[i] / bias_correction2;
                 layer.weights[i] -= lr * m_hat / (v_hat.sqrt() + eps);
             }
             for i in 0..layer.biases.len() {
                 let g = grad.d_b[i] / n;
                 layer.m_b[i] = beta1 * layer.m_b[i] + (1.0 - beta1) * g;
                 layer.v_b[i] = beta2 * layer.v_b[i] + (1.0 - beta2) * g * g;
-                let m_hat = layer.m_b[i] / (1.0 - beta1.powf(t));
-                let v_hat = layer.v_b[i] / (1.0 - beta2.powf(t));
+                let m_hat = layer.m_b[i] / bias_correction1;
+                let v_hat = layer.v_b[i] / bias_correction2;
                 layer.biases[i] -= lr * m_hat / (v_hat.sqrt() + eps);
             }
         }
@@ -323,6 +345,7 @@ impl MlpRegression {
         let scaled_targets = self.target_scaler.transform_batch(data.targets());
         let mut samples: Vec<(Vec<f64>, f64)> =
             scaled_features.into_iter().zip(scaled_targets).collect();
+        let mut scratch = TrainScratch::default();
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(self.adam_step));
         let mut best_loss = f64::INFINITY;
         let mut stall = 0usize;
@@ -331,7 +354,7 @@ impl MlpRegression {
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
             for batch in samples.chunks(self.config.batch_size.max(1)) {
-                epoch_loss += self.train_batch(batch);
+                epoch_loss += self.train_batch(batch, &mut scratch);
                 batches += 1;
             }
             let epoch_loss = epoch_loss / batches.max(1) as f64;

@@ -17,12 +17,31 @@ pub enum ScalerKind {
 
 /// Per-column affine transform `x -> (x - shift) / scale` fitted on training
 /// data and applied to training and query points alike.
+///
+/// Besides the batch [`fit`](Scaler::fit) entry points, the scaler carries
+/// per-column **running statistics** (count, Welford mean/M2, min/max) so a
+/// single new observation can update the parameters in O(columns) via
+/// [`observe_row`](Scaler::observe_row) — no pass over the history. For
+/// [`ScalerKind::MinMax`] the incremental parameters are **bit-identical**
+/// to a batch fit on the same rows (the min/max fold is order-exact); for
+/// [`ScalerKind::Standard`] the Welford variance is bounded-divergent from
+/// the batch two-pass variance (the workspace proptests pin both claims).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scaler {
     kind: ScalerKind,
     shift: Vec<f64>,
     scale: Vec<f64>,
     fitted: bool,
+    /// Rows folded into the running statistics below.
+    count: usize,
+    /// Welford running mean per column.
+    mean: Vec<f64>,
+    /// Welford running sum of squared deviations per column.
+    m2: Vec<f64>,
+    /// Running minimum per column.
+    lo: Vec<f64>,
+    /// Running maximum per column.
+    hi: Vec<f64>,
 }
 
 impl Scaler {
@@ -33,7 +52,27 @@ impl Scaler {
             shift: Vec::new(),
             scale: Vec::new(),
             fitted: false,
+            count: 0,
+            mean: Vec::new(),
+            m2: Vec::new(),
+            lo: Vec::new(),
+            hi: Vec::new(),
         }
+    }
+
+    /// The per-column shifts of the fitted transform (empty before fitting).
+    pub fn shift(&self) -> &[f64] {
+        &self.shift
+    }
+
+    /// The per-column scales of the fitted transform (empty before fitting).
+    pub fn scale(&self) -> &[f64] {
+        &self.scale
+    }
+
+    /// Number of rows folded into the running statistics.
+    pub fn n_rows(&self) -> usize {
+        self.count
     }
 
     /// The scaler kind.
@@ -56,7 +95,16 @@ impl Scaler {
     /// `n_cols`-wide rows — the allocation-free path used by models that
     /// keep flat feature buffers. Bit-identical to [`Scaler::fit`] on the
     /// same rows: both feed the shared per-column kernel in row order.
+    /// The buffer length must be a whole number of rows: a trailing partial
+    /// row would otherwise be silently dropped by the integer division,
+    /// fitting on fewer rows than the caller passed (debug-asserted).
     pub fn fit_flat(&mut self, data: &[f64], n_cols: usize) {
+        debug_assert!(
+            n_cols == 0 || data.len().is_multiple_of(n_cols),
+            "fit_flat buffer of {} values is not a whole number of {}-wide rows",
+            data.len(),
+            n_cols
+        );
         let n_rows = data.len().checked_div(n_cols).unwrap_or(0);
         self.fit_columns(n_cols, n_rows, || data.chunks_exact(n_cols));
     }
@@ -73,6 +121,23 @@ impl Scaler {
     ) {
         self.shift = vec![0.0; n_cols];
         self.scale = vec![1.0; n_cols];
+        // Rebuild the running statistics alongside the batch parameters so
+        // later `observe_row` calls continue from exactly this data. One
+        // extra pass — batch fits are off the hot path by design.
+        self.count = n_rows;
+        self.mean = vec![0.0; n_cols];
+        self.m2 = vec![0.0; n_cols];
+        self.lo = vec![f64::INFINITY; n_cols];
+        self.hi = vec![f64::NEG_INFINITY; n_cols];
+        for (r, row) in make_rows().enumerate() {
+            for (c, &x) in row.iter().enumerate().take(n_cols) {
+                let delta = x - self.mean[c];
+                self.mean[c] += delta / (r + 1) as f64;
+                self.m2[c] += delta * (x - self.mean[c]);
+                self.lo[c] = self.lo[c].min(x);
+                self.hi[c] = self.hi[c].max(x);
+            }
+        }
         if n_rows == 0 || n_cols == 0 {
             self.fitted = true;
             return;
@@ -107,6 +172,80 @@ impl Scaler {
             }
         }
         self.fitted = true;
+    }
+
+    /// Folds one feature row into the running statistics and refreshes the
+    /// affine parameters from them — the O(columns) incremental update used
+    /// by the online-learning hot path.
+    ///
+    /// For [`ScalerKind::MinMax`] the resulting parameters are bit-identical
+    /// to a batch [`fit`](Scaler::fit) on the same rows in the same order;
+    /// for [`ScalerKind::Standard`] the Welford mean/variance is
+    /// bounded-divergent from the batch two-pass statistics. A row of a
+    /// different width than the current statistics resets them (treated as
+    /// the first row of a fresh fit).
+    pub fn observe_row(&mut self, row: &[f64]) {
+        if self.mean.len() != row.len() {
+            let n_cols = row.len();
+            self.count = 0;
+            self.mean = vec![0.0; n_cols];
+            self.m2 = vec![0.0; n_cols];
+            self.lo = vec![f64::INFINITY; n_cols];
+            self.hi = vec![f64::NEG_INFINITY; n_cols];
+        }
+        self.count += 1;
+        for (c, &x) in row.iter().enumerate() {
+            let delta = x - self.mean[c];
+            self.mean[c] += delta / self.count as f64;
+            self.m2[c] += delta * (x - self.mean[c]);
+            self.lo[c] = self.lo[c].min(x);
+            self.hi[c] = self.hi[c].max(x);
+        }
+        self.refresh_params_from_stats();
+    }
+
+    /// Recomputes `shift`/`scale` from the running statistics.
+    fn refresh_params_from_stats(&mut self) {
+        let n_cols = self.mean.len();
+        self.shift = vec![0.0; n_cols];
+        self.scale = vec![1.0; n_cols];
+        match self.kind {
+            ScalerKind::Identity => {}
+            ScalerKind::Standard => {
+                for c in 0..n_cols {
+                    let var = self.m2[c] / self.count.max(1) as f64;
+                    let std = var.sqrt();
+                    self.shift[c] = self.mean[c];
+                    self.scale[c] = if std > 1e-12 { std } else { 1.0 };
+                }
+            }
+            ScalerKind::MinMax => {
+                for c in 0..n_cols {
+                    let range = self.hi[c] - self.lo[c];
+                    self.shift[c] = self.lo[c];
+                    self.scale[c] = if range > 1e-12 { range } else { 1.0 };
+                }
+            }
+        }
+        self.fitted = true;
+    }
+
+    /// Largest relative per-column difference between this scaler's affine
+    /// parameters and `frozen`'s, measured in units of the frozen scale —
+    /// the staleness signal deciding when an amortised consumer (the k-NN
+    /// buffer) must rescale its history against the live parameters.
+    /// Returns `f64::INFINITY` when the column counts differ.
+    pub fn param_drift(&self, frozen: &Scaler) -> f64 {
+        if self.shift.len() != frozen.shift.len() {
+            return f64::INFINITY;
+        }
+        let mut drift = 0.0f64;
+        for c in 0..self.shift.len() {
+            let unit = frozen.scale[c].abs().max(1e-300);
+            drift = drift.max((self.shift[c] - frozen.shift[c]).abs() / unit);
+            drift = drift.max((self.scale[c] - frozen.scale[c]).abs() / unit);
+        }
+        drift
     }
 
     /// Transforms a flattened row-major buffer into scaled space, writing
@@ -306,6 +445,78 @@ mod tests {
                 .collect();
             assert_eq!(scaled_flat, scaled_rows, "{kind:?} transform diverged");
         }
+    }
+
+    /// Satellite regression: `fit_flat` used to floor away a trailing
+    /// partial row (`data.len().checked_div(n_cols)`), silently fitting on
+    /// fewer rows than the caller passed. Non-multiple buffer lengths are a
+    /// caller bug and are debug-asserted.
+    #[test]
+    #[should_panic(expected = "whole number of")]
+    #[cfg(debug_assertions)]
+    fn fit_flat_rejects_partial_trailing_rows() {
+        let mut s = Scaler::new(ScalerKind::MinMax);
+        // Five values cannot be rows of width two.
+        s.fit_flat(&[1.0, 2.0, 3.0, 4.0, 5.0], 2);
+    }
+
+    #[test]
+    fn incremental_minmax_params_are_bit_identical_to_batch() {
+        let rows = vec![
+            vec![3.0, -7.5e9],
+            vec![1.0, 2.0e9],
+            vec![4.0, 0.0],
+            vec![1.5, 9.1e9],
+        ];
+        let mut batch = Scaler::new(ScalerKind::MinMax);
+        batch.fit(&rows);
+        let mut incremental = Scaler::new(ScalerKind::MinMax);
+        for row in &rows {
+            incremental.observe_row(row);
+        }
+        assert_eq!(batch.shift(), incremental.shift());
+        assert_eq!(batch.scale(), incremental.scale());
+        // Continuing incrementally from a batch prefix is also exact.
+        let mut resumed = Scaler::new(ScalerKind::MinMax);
+        resumed.fit(&rows[..2]);
+        for row in &rows[2..] {
+            resumed.observe_row(row);
+        }
+        assert_eq!(batch.shift(), resumed.shift());
+        assert_eq!(batch.scale(), resumed.scale());
+    }
+
+    #[test]
+    fn incremental_standard_params_track_batch_closely() {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i as f64 * 0.73).sin() * 1e9, i as f64])
+            .collect();
+        let mut batch = Scaler::new(ScalerKind::Standard);
+        batch.fit(&rows);
+        let mut incremental = Scaler::new(ScalerKind::Standard);
+        for row in &rows {
+            incremental.observe_row(row);
+        }
+        for c in 0..2 {
+            let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-12);
+            assert!(rel(incremental.shift()[c], batch.shift()[c]) < 1e-9);
+            assert!(rel(incremental.scale()[c], batch.scale()[c]) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn param_drift_is_zero_for_identical_and_grows_with_range() {
+        let rows = vec![vec![0.0], vec![10.0]];
+        let mut a = Scaler::new(ScalerKind::MinMax);
+        a.fit(&rows);
+        let frozen = a.clone();
+        assert_eq!(a.param_drift(&frozen), 0.0);
+        // A new out-of-range row moves both min and the range.
+        a.observe_row(&[20.0]);
+        assert!(a.param_drift(&frozen) > 0.5);
+        // Width mismatch is infinite drift.
+        let wide = Scaler::new(ScalerKind::MinMax);
+        assert_eq!(wide.param_drift(&frozen), f64::INFINITY);
     }
 
     #[test]

@@ -162,6 +162,40 @@ proptest! {
         )?;
     }
 
+    /// Satellite regression: `since_full_retrain` is learned state — a
+    /// restored predictor must reconstruct every pool's retrain counter from
+    /// the journal replay, or its next periodic full retrain fires at the
+    /// wrong observation and predictions drift from the original thereafter.
+    #[test]
+    fn since_full_retrain_counters_survive_snapshot_restore(
+        seed in 0u64..3000,
+        wf_idx in 0usize..6,
+    ) {
+        let name = sizey_workflows::WORKFLOW_NAMES[wf_idx];
+        let spec = sizey_workflows::workflow_by_name(name).expect("known workflow");
+        let instances = generate_workflow(
+            &spec,
+            &GeneratorConfig {
+                scale: 0.01,
+                seed,
+                min_instances: 30,
+                interleave: true,
+            },
+        );
+        let mut original = SizeyPredictor::with_defaults();
+        for inst in &instances {
+            drive(&mut original, inst);
+        }
+        let counters = original.since_full_retrain();
+        prop_assert!(!counters.is_empty());
+        let state = original.snapshot();
+        let mut restored = SizeyPredictor::with_defaults();
+        restored
+            .restore(&state)
+            .map_err(|e| TestCaseError::fail(format!("restore failed: {e}")))?;
+        prop_assert_eq!(restored.since_full_retrain(), counters);
+    }
+
     /// The serialised text form itself round-trips losslessly for states
     /// with arbitrary finite floats in the journal.
     #[test]

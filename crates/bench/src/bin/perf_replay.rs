@@ -1,40 +1,124 @@
 //! `perf_replay` — the reproducible performance harness for the
-//! predict/observe hot path.
+//! predict/observe hot path and the streaming replay engine.
 //!
-//! Replays a **pinned** multi-tenant sweep (fixed workflows, scale, seed,
-//! policy and cluster — deliberately independent of the `SIZEY_BENCH_*`
-//! environment variables, so two runs on different commits measure the same
-//! workload) through the event-driven scheduler with one online-learning
-//! Sizey predictor per tenant, and reports
+//! Two pinned scenarios (fixed workflows, scale, seed, policy and cluster —
+//! deliberately independent of the `SIZEY_BENCH_*` environment variables, so
+//! two runs on different commits measure the same workload):
 //!
-//! * end-to-end replay throughput in dispatched attempts per second,
-//! * per-call latency percentiles of `MemoryPredictor::predict` and
-//!   `MemoryPredictor::observe` (p50 / p90 / p99 / max, microseconds),
+//! * **replay** (the default): a multi-tenant sweep through the materialised
+//!   event-driven scheduler with one online-learning Sizey predictor per
+//!   tenant, reporting end-to-end throughput in dispatched attempts per
+//!   second and per-call latency percentiles of `MemoryPredictor::predict`
+//!   and `MemoryPredictor::observe` (p50 / p90 / p99 / max, microseconds).
+//! * **scale** (`--scale`): a million-instance, 50-tenant workload through
+//!   the *streaming* engine ([`schedule_workflows_streaming`]) with
+//!   bounded-history predictors and null sinks. The harness runs the same
+//!   spec at a calibration fraction first and asserts that peak heap usage
+//!   grows **at most logarithmically** with instance count — the
+//!   bounded-memory contract of the streaming pipeline. The run fails loudly
+//!   (non-zero exit) when the ratio of peaks exceeds the logarithmic bound.
 //!
-//! then writes the measurement as `BENCH_replay.json` at the repository root
-//! — one point of the perf trajectory tracked across commits.
+//! Either run rewrites its scenario inside `BENCH_replay.json` at the
+//! repository root (schema `sizey-perf-replay/v2`), preserving the other
+//! scenario's committed measurement — the perf trajectory tracked across
+//! commits.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p sizey-bench --bin perf_replay            # full pinned sweep
-//! cargo run --release -p sizey-bench --bin perf_replay -- --smoke # small CI smoke spec
+//! cargo run --release -p sizey-bench --bin perf_replay                    # full replay sweep
+//! cargo run --release -p sizey-bench --bin perf_replay -- --smoke         # small CI smoke spec
+//! cargo run --release -p sizey-bench --bin perf_replay -- --scale         # 1M-instance streaming run
+//! cargo run --release -p sizey-bench --bin perf_replay -- --scale --smoke # CI bounded-RSS gate
 //! cargo run --release -p sizey-bench --bin perf_replay -- --out /tmp/bench.json
 //! ```
 
-use sizey_core::SizeyPredictor;
+use sizey_core::{SizeyConfig, SizeyPredictor};
 use sizey_sim::{
-    schedule_workflows, AttemptContext, MemoryPredictor, Prediction, SchedulePolicy,
-    SimulationConfig, TaskSubmission, WorkflowTenant,
+    schedule_workflows, schedule_workflows_streaming, AttemptContext, MemoryPredictor,
+    NullRecordSink, NullSink, Prediction, SchedulePolicy, SimulationConfig, StreamingTenant,
+    TaskSubmission, WorkflowTenant,
 };
-use sizey_workflows::{all_workflows, generate_workflow, GeneratorConfig};
-use std::path::PathBuf;
+use sizey_workflows::{all_workflows, generate_workflow, stream_workflow, GeneratorConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use sizey_provenance::TaskRecord;
 
-/// The pinned harness parameters of one mode.
+// ---------------------------------------------------------------------------
+// Counting allocator: the measurement instrument of the bounded-RSS gate.
+// ---------------------------------------------------------------------------
+
+/// A passthrough [`System`] allocator that tracks live and peak heap bytes.
+/// Registered for the whole binary so the streaming-scale scenario can assert
+/// its bounded-memory contract without platform-specific RSS probes.
+struct CountingAllocator;
+
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+fn note_alloc(size: usize) {
+    let now = LIVE_BYTES.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let out = System.realloc(ptr, layout, new_size);
+        if !out.is_null() {
+            if new_size >= layout.size() {
+                note_alloc(new_size - layout.size());
+            } else {
+                LIVE_BYTES.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        out
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Resets the peak-heap high-water mark to the currently live bytes, so the
+/// next measurement window starts clean.
+fn heap_reset_peak() {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Peak heap bytes since the last [`heap_reset_peak`].
+fn heap_peak_bytes() -> usize {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Pinned specs.
+// ---------------------------------------------------------------------------
+
+/// The pinned harness parameters of one replay-scenario mode.
 struct PinnedSpec {
     mode: &'static str,
     /// Fraction of the paper's task volume per workflow.
@@ -67,6 +151,53 @@ const SMOKE: PinnedSpec = PinnedSpec {
     arrival_stagger_seconds: 60.0,
 };
 
+/// The pinned parameters of one streaming-scale-scenario mode. The workload
+/// is replayed twice — once at `calibration_scale`, once at `scale` — and
+/// the two peak-heap measurements carry the logarithmic-growth assertion.
+struct ScaleSpec {
+    mode: &'static str,
+    /// Fraction of the paper's task volume per workflow for the main run.
+    scale: f64,
+    /// Fraction for the smaller calibration run.
+    calibration_scale: f64,
+    /// Workload generation seed.
+    seed: u64,
+    /// Number of tenant workflows (cycling `all_workflows()`).
+    tenants: usize,
+    /// Seconds between consecutive instance arrivals of one tenant. Large
+    /// enough that the pinned cluster keeps up with 50 tenants — the pending
+    /// queue must stay bounded for the memory contract to be meaningful.
+    submit_interval_seconds: f64,
+    /// Arrival stagger between tenants, in seconds.
+    arrival_stagger_seconds: f64,
+    /// `SizeyConfig::history_window` for the per-tenant predictors.
+    history_window: usize,
+}
+
+const SCALE_FULL: ScaleSpec = ScaleSpec {
+    mode: "full",
+    // 50 tenants cycling the six workflows produce ~113k instances per unit
+    // of scale; 10x pushes the pinned run past a million task instances.
+    scale: 10.0,
+    calibration_scale: 1.25,
+    seed: 42,
+    tenants: 50,
+    submit_interval_seconds: 600.0,
+    arrival_stagger_seconds: 120.0,
+    history_window: 256,
+};
+
+const SCALE_SMOKE: ScaleSpec = ScaleSpec {
+    mode: "smoke",
+    scale: 0.02,
+    calibration_scale: 0.005,
+    seed: 42,
+    tenants: 50,
+    submit_interval_seconds: 600.0,
+    arrival_stagger_seconds: 120.0,
+    history_window: 64,
+};
+
 /// Regression gate applied in `--smoke` mode: the replay exits non-zero when
 /// the observe p50 exceeds this ceiling. The incremental learning path puts
 /// the full-spec observe p50 in the single-digit microseconds; the ceiling is
@@ -74,6 +205,17 @@ const SMOKE: PinnedSpec = PinnedSpec {
 /// noise, while a reversion to the former O(history)-per-observe behaviour
 /// (~290 us p50) fails loudly.
 const SMOKE_OBSERVE_P50_CEILING_US: f64 = 120.0;
+
+/// Slack factor of the bounded-RSS gate: the main run's peak heap must stay
+/// within `slack * ln(n_main) / ln(n_calibration)` times the calibration
+/// run's peak. A streaming pipeline whose memory is O(working set) passes
+/// with a ratio near 1; any O(n) retention (materialised workload, unbounded
+/// journal, stranded in-flight records) blows through the bound.
+const HEAP_GROWTH_SLACK: f64 = 3.0;
+
+// ---------------------------------------------------------------------------
+// Predictor timing (replay scenario).
+// ---------------------------------------------------------------------------
 
 /// Wraps a predictor and records the wall-clock duration of every `predict`
 /// and `observe` call in nanoseconds. The handles are shared with the
@@ -139,23 +281,88 @@ fn json_latency(s: &LatencySummary) -> String {
     )
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let spec = if smoke { SMOKE } else { FULL };
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
-        .unwrap_or_else(|| {
-            // crates/bench/../../ == repository root.
-            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-                .join("..")
-                .join("..")
-                .join("BENCH_replay.json")
-        });
+// ---------------------------------------------------------------------------
+// BENCH_replay.json (schema v2): one file, one object per scenario.
+// ---------------------------------------------------------------------------
 
+/// Extracts the JSON object following `"name":` from `text` (brace-matched,
+/// string-aware), so a run of one scenario can preserve the other scenario's
+/// committed measurement verbatim. Matches only the top-level scenario entry
+/// as emitted by [`write_bench_json`] (newline + four-space indent) so scalar
+/// fields like the workload's `"scale": 0.5` inside a scenario body cannot be
+/// mistaken for the `"scale"` scenario itself. Returns `None` when the key is
+/// absent — e.g. on a pre-v2 file, which carried only the replay scenario
+/// inline at a different indent.
+fn extract_scenario(text: &str, name: &str) -> Option<String> {
+    let key = format!("\n    \"{name}\": ");
+    let key_at = text.find(&key)?;
+    let after_key = &text[key_at + key.len()..];
+    let open = after_key.find('{')?;
+    let body = &after_key[open..];
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(body[..=i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Writes `BENCH_replay.json` with `scenario` replaced by `body`, keeping the
+/// other scenario from the existing file (when present). Scenarios are
+/// emitted in a fixed order so reruns produce stable diffs.
+fn write_bench_json(out_path: &Path, scenario: &str, body: &str) {
+    let other = if scenario == "replay" {
+        "scale"
+    } else {
+        "replay"
+    };
+    let preserved = std::fs::read_to_string(out_path)
+        .ok()
+        .and_then(|text| extract_scenario(&text, other));
+    let mut entries: Vec<(&str, &str)> = vec![(scenario, body)];
+    if let Some(ref kept) = preserved {
+        entries.push((other, kept));
+    }
+    entries.sort_by_key(|(name, _)| *name); // "replay" before "scale"
+    let scenarios = entries
+        .iter()
+        .map(|(name, body)| format!("    \"{name}\": {body}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"schema\": \"sizey-perf-replay/v2\",\n  \"scenarios\": {{\n{scenarios}\n  }}\n}}\n"
+    );
+    std::fs::write(out_path, json).expect("write BENCH_replay.json");
+    println!();
+    println!("wrote {}", out_path.display());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: replay (materialised engine, predict/observe latency).
+// ---------------------------------------------------------------------------
+
+fn run_replay(smoke: bool, out_path: &Path) {
+    let spec = if smoke { SMOKE } else { FULL };
     println!("=== perf_replay ({} spec) ===", spec.mode);
     println!(
         "pinned workload: {} tenants, scale {}, seed {}, first-fit, \
@@ -231,15 +438,15 @@ fn main() {
         observe.p50_us, observe.p90_us, observe.p99_us, observe.max_us, observe.count
     );
 
-    let json = format!(
-        "{{\n  \"schema\": \"sizey-perf-replay/v1\",\n  \"mode\": \"{}\",\n  \
+    let body = format!(
+        "{{\"mode\": \"{}\", \
          \"workload\": {{\"tenants\": {}, \"scale\": {}, \"seed\": {}, \
          \"policy\": \"first-fit\", \"submit_interval_seconds\": {}, \
-         \"arrival_stagger_seconds\": {}}},\n  \
-         \"instances\": {},\n  \"attempts\": {},\n  \"wall_seconds\": {:.6},\n  \
-         \"throughput_attempts_per_sec\": {:.3},\n  \
-         \"makespan_seconds\": {:.3},\n  \
-         \"predict_latency_us\": {},\n  \"observe_latency_us\": {}\n}}\n",
+         \"arrival_stagger_seconds\": {}}}, \
+         \"instances\": {}, \"attempts\": {}, \"wall_seconds\": {:.6}, \
+         \"throughput_attempts_per_sec\": {:.3}, \
+         \"makespan_seconds\": {:.3}, \
+         \"predict_latency_us\": {}, \"observe_latency_us\": {}}}",
         spec.mode,
         spec.tenants,
         spec.scale,
@@ -254,9 +461,7 @@ fn main() {
         json_latency(&predict),
         json_latency(&observe),
     );
-    std::fs::write(&out_path, json).expect("write BENCH_replay.json");
-    println!();
-    println!("wrote {}", out_path.display());
+    write_bench_json(out_path, "replay", &body);
 
     // CI latency gate: only in smoke mode (the full sweep is a measurement,
     // not a check), and only after the JSON landed so a failing run still
@@ -273,5 +478,230 @@ fn main() {
             "observe p50 gate: {:.1} us <= {:.0} us ceiling",
             observe.p50_us, SMOKE_OBSERVE_P50_CEILING_US
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: scale (streaming engine, bounded-RSS gate).
+// ---------------------------------------------------------------------------
+
+/// One measured streaming replay at a given workload fraction.
+struct ScaleRun {
+    instances: usize,
+    attempts: usize,
+    wall_seconds: f64,
+    makespan_seconds: f64,
+    peak_pending_tasks: usize,
+    peak_inflight_instances: usize,
+    peak_heap_bytes: usize,
+}
+
+fn run_scale_once(spec: &ScaleSpec, scale: f64) -> ScaleRun {
+    let generator = GeneratorConfig::scaled(scale, spec.seed);
+    let workflows = all_workflows();
+    heap_reset_peak();
+    let tenants: Vec<StreamingTenant> = workflows
+        .iter()
+        .cycle()
+        .take(spec.tenants)
+        .enumerate()
+        .map(|(i, wf)| {
+            let config = SizeyConfig::default().with_history_window(spec.history_window);
+            StreamingTenant::new(
+                format!("{}-{i}", wf.name),
+                stream_workflow(wf, &generator),
+                Box::new(SizeyPredictor::new(config)),
+            )
+            .with_arrival_offset(i as f64 * spec.arrival_stagger_seconds)
+        })
+        .collect();
+
+    let sim = SimulationConfig {
+        submit_interval_seconds: spec.submit_interval_seconds,
+        ..SimulationConfig::default().with_policy(SchedulePolicy::FirstFit)
+    };
+
+    let start = Instant::now();
+    let result = schedule_workflows_streaming(tenants, &sim, &mut NullSink, &mut NullRecordSink);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let peak_heap_bytes = heap_peak_bytes();
+
+    let instances: usize = result.reports.iter().map(|r| r.aggregates.instances).sum();
+    assert_eq!(
+        result.leaked_inflight_instances, 0,
+        "streaming replay stranded in-flight instances"
+    );
+    ScaleRun {
+        instances,
+        attempts: result.stats.dispatched_attempts,
+        wall_seconds,
+        makespan_seconds: result.makespan_seconds,
+        peak_pending_tasks: result.stats.peak_pending_tasks,
+        peak_inflight_instances: result.peak_inflight_instances,
+        peak_heap_bytes,
+    }
+}
+
+fn mb(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn run_scale(smoke: bool, out_path: &Path) {
+    let spec = if smoke { SCALE_SMOKE } else { SCALE_FULL };
+    println!("=== perf_replay --scale ({} spec) ===", spec.mode);
+    println!(
+        "pinned workload: {} tenants, scale {} (calibration {}), seed {}, first-fit, \
+         submit interval {} s, stagger {} s, history window {}",
+        spec.tenants,
+        spec.scale,
+        spec.calibration_scale,
+        spec.seed,
+        spec.submit_interval_seconds,
+        spec.arrival_stagger_seconds,
+        spec.history_window
+    );
+
+    let calibration = run_scale_once(&spec, spec.calibration_scale);
+    println!(
+        "calibration: {} instances / {} attempts in {:.3} s, peak heap {:.1} MB",
+        calibration.instances,
+        calibration.attempts,
+        calibration.wall_seconds,
+        mb(calibration.peak_heap_bytes)
+    );
+
+    let main_run = run_scale_once(&spec, spec.scale);
+    let throughput = main_run.attempts as f64 / main_run.wall_seconds;
+    println!(
+        "streamed {} instances / {} attempts in {:.3} s ({throughput:.0} attempts/s), \
+         peak heap {:.1} MB, peak pending {}, peak in-flight {}",
+        main_run.instances,
+        main_run.attempts,
+        main_run.wall_seconds,
+        mb(main_run.peak_heap_bytes),
+        main_run.peak_pending_tasks,
+        main_run.peak_inflight_instances,
+    );
+
+    // The bounded-memory contract: peak heap may grow at most
+    // logarithmically with instance count (with slack). Guard the ratio
+    // denominator — a degenerate calibration run would make the bound
+    // meaningless rather than strict.
+    assert!(
+        calibration.instances > 1 && main_run.instances > calibration.instances,
+        "scale spec must replay strictly more instances than its calibration run"
+    );
+    let growth = main_run.peak_heap_bytes as f64 / (calibration.peak_heap_bytes.max(1)) as f64;
+    let bound =
+        HEAP_GROWTH_SLACK * (main_run.instances as f64).ln() / (calibration.instances as f64).ln();
+    let passed = growth <= bound;
+
+    let body = format!(
+        "{{\"mode\": \"{}\", \
+         \"workload\": {{\"tenants\": {}, \"scale\": {}, \"calibration_scale\": {}, \
+         \"seed\": {}, \"policy\": \"first-fit\", \"submit_interval_seconds\": {}, \
+         \"arrival_stagger_seconds\": {}, \"history_window\": {}}}, \
+         \"instances\": {}, \"attempts\": {}, \"wall_seconds\": {:.6}, \
+         \"throughput_attempts_per_sec\": {:.3}, \"makespan_seconds\": {:.3}, \
+         \"peak_pending_tasks\": {}, \"peak_inflight_instances\": {}, \
+         \"peak_heap_bytes\": {}, \
+         \"calibration\": {{\"instances\": {}, \"peak_heap_bytes\": {}}}, \
+         \"heap_growth_ratio\": {:.4}, \"heap_growth_bound\": {:.4}}}",
+        spec.mode,
+        spec.tenants,
+        spec.scale,
+        spec.calibration_scale,
+        spec.seed,
+        spec.submit_interval_seconds,
+        spec.arrival_stagger_seconds,
+        spec.history_window,
+        main_run.instances,
+        main_run.attempts,
+        main_run.wall_seconds,
+        throughput,
+        main_run.makespan_seconds,
+        main_run.peak_pending_tasks,
+        main_run.peak_inflight_instances,
+        main_run.peak_heap_bytes,
+        calibration.instances,
+        calibration.peak_heap_bytes,
+        growth,
+        bound,
+    );
+    write_bench_json(out_path, "scale", &body);
+
+    // The gate itself, after the JSON landed so a failing run still leaves
+    // its numbers behind for diagnosis.
+    if !passed {
+        eprintln!(
+            "FAIL: peak heap grew {growth:.2}x from {} to {} instances, \
+             exceeding the logarithmic bound {bound:.2}x",
+            calibration.instances, main_run.instances
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bounded-RSS gate: peak heap {:.1} MB at {} instances vs {:.1} MB at {} \
+         (growth {growth:.2}x <= bound {bound:.2}x)",
+        mb(main_run.peak_heap_bytes),
+        main_run.instances,
+        mb(calibration.peak_heap_bytes),
+        calibration.instances,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale = args.iter().any(|a| a == "--scale");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // crates/bench/../../ == repository root.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("BENCH_replay.json")
+        });
+
+    if scale {
+        run_scale(smoke, &out_path);
+    } else {
+        run_replay(smoke, &out_path);
+    }
+}
+
+#[cfg(test)]
+mod extract_tests {
+    use super::extract_scenario;
+
+    #[test]
+    fn matches_only_top_level_scenario_entries() {
+        let text = "{\n  \"schema\": \"sizey-perf-replay/v2\",\n  \"scenarios\": {\n    \
+                    \"replay\": {\"workload\": {\"scale\": 0.5}, \"observe_latency_us\": {\"p50\": 1.0}},\n    \
+                    \"scale\": {\"workload\": {\"scale\": 10.0}, \"peak_heap_bytes\": 42}\n  }\n}\n";
+        assert_eq!(
+            extract_scenario(text, "replay").as_deref(),
+            Some("{\"workload\": {\"scale\": 0.5}, \"observe_latency_us\": {\"p50\": 1.0}}")
+        );
+        // The replay body's inner `"scale": 0.5` must not shadow the scenario.
+        assert_eq!(
+            extract_scenario(text, "scale").as_deref(),
+            Some("{\"workload\": {\"scale\": 10.0}, \"peak_heap_bytes\": 42}")
+        );
+    }
+
+    #[test]
+    fn legacy_v1_file_yields_none() {
+        // Pre-v2 files inlined the replay measurement at two-space indent and
+        // carried a scalar "scale" in the workload; neither may match.
+        let text =
+            "{\n  \"schema\": \"sizey-perf-replay/v1\",\n  \"workload\": {\"scale\": 0.5},\n  \
+                    \"observe_latency_us\": {\"p50\": 1.0}\n}\n";
+        assert_eq!(extract_scenario(text, "replay"), None);
+        assert_eq!(extract_scenario(text, "scale"), None);
     }
 }

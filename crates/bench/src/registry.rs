@@ -476,6 +476,9 @@ impl MethodSpec {
                         toml_write::float(capacity)
                     ));
                 }
+                if let Some(window) = c.history_window {
+                    out.push_str(&format!("history_window = {window}\n"));
+                }
             }
             MethodSpec::WittWastage(c) => {
                 let quantiles: Vec<String> = c
@@ -594,6 +597,13 @@ fn sizey_config_from_table(table: &TomlTable) -> Result<SizeyConfig, SpecError> 
             }
             "node_capacity_bytes" => {
                 config.node_capacity_bytes = Some(need_float(context, key, value)?)
+            }
+            "history_window" => {
+                let window = value
+                    .as_int()
+                    .filter(|i| *i >= 1)
+                    .ok_or_else(|| invalid(context, key, "expected a positive integer window"))?;
+                config.history_window = Some(window as usize);
             }
             _ => {
                 return Err(SpecError::UnknownKey {
@@ -725,6 +735,9 @@ mod tests {
             node_capacity_bytes: Some(64e9),
             ..SizeyConfig::default()
         }));
+        variants.push(MethodSpec::Sizey(
+            SizeyConfig::default().with_history_window(128),
+        ));
         variants.push(MethodSpec::WittPercentile(WittPercentileConfig {
             percentile: 99.5,
             min_history: 4,

@@ -18,10 +18,10 @@ use crate::HarnessSettings;
 use sizey_core::{SharedSizey, SizeyConfig};
 use sizey_ml::parallel::{default_parallelism, parallel_map};
 use sizey_sim::{
-    replay_workflow, schedule_workflows, CheckpointPredictor, PredictorState, SchedulePolicy,
-    SimulationConfig, WorkflowTenant,
+    replay_workflow_streaming, schedule_workflows_streaming, CheckpointPredictor, NullRecordSink,
+    NullSink, PredictorState, SchedulePolicy, SimulationConfig, StreamingTenant,
 };
-use sizey_workflows::{generate_workflow, workflow_by_name, GeneratorConfig};
+use sizey_workflows::{stream_workflow, workflow_by_name, GeneratorConfig};
 
 /// One cartesian sweep over workflows × methods × seeds × policies.
 #[derive(Debug, Clone)]
@@ -106,28 +106,37 @@ fn run_cell(
     policy: SchedulePolicy,
 ) -> (SweepCell, Box<dyn CheckpointPredictor>) {
     let wf_spec = workflow_by_name(workflow).expect("sweep names a known workflow");
-    let instances = generate_workflow(
-        &wf_spec,
-        &GeneratorConfig {
-            scale: spec.scale,
-            seed,
-            ..GeneratorConfig::default()
-        },
-    );
     let sim = spec.sim.clone().with_policy(policy);
     let mut predictor = method.build();
-    let report = replay_workflow(workflow, &instances, predictor.as_mut(), &sim);
+    // Streaming replay: instances are generated lazily and attempt events
+    // fold into the aggregates online, so a cell's memory is bounded by the
+    // in-flight working set — the differential suite pins the aggregates
+    // bit-identical to the former materialised report.
+    let aggregates = replay_workflow_streaming(
+        workflow,
+        stream_workflow(
+            &wf_spec,
+            &GeneratorConfig {
+                scale: spec.scale,
+                seed,
+                ..GeneratorConfig::default()
+            },
+        ),
+        predictor.as_mut(),
+        &sim,
+        &mut NullSink,
+    );
     let cell = SweepCell {
         workflow: workflow.to_string(),
         method: method.clone(),
         seed,
         policy,
-        wastage_gbh: report.total_wastage_gbh(),
-        failures: report.total_failures(),
-        unfinished: report.unfinished_instances,
-        makespan_hours: report.makespan_seconds / 3600.0,
-        mean_queue_delay_seconds: report.mean_queue_delay_seconds(),
-        runtime_hours: report.total_runtime_hours(),
+        wastage_gbh: aggregates.total_wastage_gbh,
+        failures: aggregates.failures as usize,
+        unfinished: aggregates.unfinished_instances,
+        makespan_hours: aggregates.makespan_seconds / 3600.0,
+        mean_queue_delay_seconds: aggregates.mean_queue_delay_seconds(),
+        runtime_hours: aggregates.total_runtime_hours(),
     };
     (cell, predictor)
 }
@@ -183,7 +192,7 @@ pub fn run_sweep_with_states(spec: &SweepSpec) -> Vec<(SweepCell, PredictorState
 /// The sweep's **shared-predictor mode**: instead of replaying every
 /// (workflow, method) cell in isolation with a fresh predictor, each
 /// (seed, policy) cell replays *all* of the spec's workflows concurrently as
-/// tenants of one shared cluster ([`schedule_workflows`]), every tenant
+/// tenants of one shared cluster ([`schedule_workflows_streaming`]), every tenant
 /// sized by clones of **one** concurrent sharded Sizey service — the
 /// deployment model of a cluster-wide prediction service, where tenant A's
 /// completions train the models tenant B predicts from.
@@ -207,24 +216,28 @@ pub fn run_sweep_shared_sizey_with_threads(
     }
     let grouped = parallel_map(&cells, threads, |(seed, policy)| {
         let service = SharedSizey::sizey(SizeyConfig::default(), shards);
-        let tenants: Vec<WorkflowTenant> = spec
+        let tenants: Vec<StreamingTenant> = spec
             .workflows
             .iter()
             .map(|wf| {
                 let wf_spec = workflow_by_name(wf).expect("sweep names a known workflow");
-                let instances = generate_workflow(
-                    &wf_spec,
-                    &GeneratorConfig {
-                        scale: spec.scale,
-                        seed: *seed,
-                        ..GeneratorConfig::default()
-                    },
-                );
-                WorkflowTenant::new(wf.clone(), instances, Box::new(service.clone()))
+                StreamingTenant::new(
+                    wf.clone(),
+                    stream_workflow(
+                        &wf_spec,
+                        &GeneratorConfig {
+                            scale: spec.scale,
+                            seed: *seed,
+                            ..GeneratorConfig::default()
+                        },
+                    ),
+                    Box::new(service.clone()),
+                )
             })
             .collect();
         let sim = spec.sim.clone().with_policy(*policy);
-        let result = schedule_workflows(tenants, &sim);
+        let result =
+            schedule_workflows_streaming(tenants, &sim, &mut NullSink, &mut NullRecordSink);
         result
             .reports
             .iter()
@@ -233,12 +246,12 @@ pub fn run_sweep_shared_sizey_with_threads(
                 method: MethodSpec::sizey_defaults(),
                 seed: *seed,
                 policy: *policy,
-                wastage_gbh: report.total_wastage_gbh(),
-                failures: report.total_failures(),
-                unfinished: report.unfinished_instances,
-                makespan_hours: report.makespan_seconds / 3600.0,
-                mean_queue_delay_seconds: report.mean_queue_delay_seconds(),
-                runtime_hours: report.total_runtime_hours(),
+                wastage_gbh: report.aggregates.total_wastage_gbh,
+                failures: report.aggregates.failures as usize,
+                unfinished: report.aggregates.unfinished_instances,
+                makespan_hours: report.aggregates.makespan_seconds / 3600.0,
+                mean_queue_delay_seconds: report.aggregates.mean_queue_delay_seconds(),
+                runtime_hours: report.aggregates.total_runtime_hours(),
             })
             .collect::<Vec<_>>()
     });

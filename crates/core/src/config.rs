@@ -115,6 +115,23 @@ pub struct SizeyConfig {
     /// instead of requesting unschedulable allocations; `None` leaves the
     /// clamp to the replay engine.
     pub node_capacity_bytes: Option<f64>,
+    /// Opt-in bounded history for million-task streaming replays. When set,
+    /// each pool keeps at most this many recent successful observations as
+    /// training data (trimmed amortised, with a full retrain on the trimmed
+    /// window so models never depend on dropped rows), the prequential and
+    /// offset histories are trimmed to their fixed read windows, and the
+    /// predictor's provenance store and training-time telemetry are bounded
+    /// too — total predictor memory becomes `O(pools × window)` instead of
+    /// `O(observations)`.
+    ///
+    /// `None` (the default) retains everything and reproduces the paper
+    /// setup exactly. **Trade-off:** a bounded predictor's event-sourced
+    /// snapshot only contains the retained journal suffix, so the
+    /// full-journal restore contract requires the unbounded default (or an
+    /// externally maintained
+    /// [`CompactedCheckpoint`](sizey_sim::CompactedCheckpoint) capturing the
+    /// stream from the start).
+    pub history_window: Option<usize>,
 }
 
 impl Default for SizeyConfig {
@@ -130,6 +147,7 @@ impl Default for SizeyConfig {
             hyperparameter_optimization: false,
             seed: 42,
             node_capacity_bytes: None,
+            history_window: None,
         }
     }
 }
@@ -173,6 +191,14 @@ impl SizeyConfig {
     /// pool-composition ablation).
     pub fn with_model_classes(mut self, classes: Vec<ModelClass>) -> Self {
         self.model_classes = classes;
+        self
+    }
+
+    /// Returns a copy with bounded per-pool history (see
+    /// [`history_window`](SizeyConfig::history_window)). A window of 0 is
+    /// clamped to 1.
+    pub fn with_history_window(mut self, window: usize) -> Self {
+        self.history_window = Some(window.max(1));
         self
     }
 }

@@ -31,6 +31,16 @@ use sizey_ml::mlp::{MlpConfig, MlpRegression};
 use sizey_ml::model::{ModelClass, Regressor};
 use std::time::{Duration, Instant};
 
+/// Number of most recent prequential accuracy contributions entering the
+/// Eq. 1 accuracy score: the score follows the model's *current* quality, so
+/// only a sliding window of cached pair scores is ever summed.
+pub(crate) const ACCURACY_WINDOW: usize = 50;
+
+/// Number of most recent `(aggregate estimate, actual)` pairs the offset
+/// selection considers: a sliding window keeps the offsets tracking the
+/// pool's current prediction quality instead of long-gone early errors.
+pub(crate) const OFFSET_HISTORY_WINDOW: usize = 40;
+
 /// When the periodic full retrain (and its optional HPO grid search) runs
 /// relative to the observe hot path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -328,7 +338,6 @@ impl ModelPool {
         // cached when the pairs were recorded (`accuracy_scores`), so this
         // sums a bounded window of cached values — no per-predict re-scoring
         // of the history, no cloned window buffers.
-        const ACCURACY_WINDOW: usize = 50;
         let accuracies: Vec<f64> = estimates
             .iter()
             .map(|(class, _)| {
@@ -389,28 +398,66 @@ impl ModelPool {
         self.data.push(features.to_vec(), peak_bytes);
         self.max_observed = Some(self.max_observed.map_or(peak_bytes, |m| m.max(peak_bytes)));
 
+        // 3b. Opt-in bounded history: once the training set doubles the
+        // configured window it is drained back to the window (amortised
+        // O(1) per observation), and the models are fully retrained on the
+        // trimmed window so they never depend on dropped rows. The
+        // prequential and offset histories are trimmed to their fixed read
+        // windows — the scores only ever read the most recent
+        // `ACCURACY_WINDOW` / `OFFSET_HISTORY_WINDOW` entries, so this is
+        // invisible to predictions. Everything is deterministic in the
+        // observation count, preserving replay reproducibility.
+        let mut trimmed = false;
+        if let Some(window) = config.history_window {
+            let window = window.max(1);
+            if self.data.len() >= 2 * window {
+                self.data.drain_front(self.data.len() - window);
+                trimmed = true;
+            }
+            for member in &mut self.members {
+                let scores = &mut member.accuracy_scores;
+                if scores.len() >= 2 * ACCURACY_WINDOW {
+                    let excess = scores.len() - ACCURACY_WINDOW;
+                    scores.drain(..excess);
+                }
+            }
+            if self.aggregate_history.len() >= 2 * OFFSET_HISTORY_WINDOW {
+                let excess = self.aggregate_history.len() - OFFSET_HISTORY_WINDOW;
+                self.aggregate_history.drain(..excess);
+            }
+        }
+
         // 4. Online model update. The single-point and recent-window update
         // datasets live in pool-owned scratch buffers, reused across
         // observations instead of being reallocated on every completion.
         let start = Instant::now();
         self.data.tail_into(1, &mut self.point_scratch);
-        match config.online {
-            OnlineMode::FullRetrain => match self.retrain_policy {
+        if trimmed {
+            // The window boundary is a de-facto full retrain, whatever the
+            // online mode asked for.
+            match self.retrain_policy {
                 RetrainPolicy::Inline => self.full_retrain(config),
                 RetrainPolicy::Deferred => self.stage_retrain(),
-            },
-            OnlineMode::Incremental {
-                retrain_interval,
-                mlp_update_interval,
-            } => {
-                self.since_full_retrain += 1;
-                if retrain_interval > 0 && self.since_full_retrain >= retrain_interval {
-                    match self.retrain_policy {
-                        RetrainPolicy::Inline => self.full_retrain(config),
-                        RetrainPolicy::Deferred => self.stage_retrain(),
+            }
+        } else {
+            match config.online {
+                OnlineMode::FullRetrain => match self.retrain_policy {
+                    RetrainPolicy::Inline => self.full_retrain(config),
+                    RetrainPolicy::Deferred => self.stage_retrain(),
+                },
+                OnlineMode::Incremental {
+                    retrain_interval,
+                    mlp_update_interval,
+                } => {
+                    self.since_full_retrain += 1;
+                    if retrain_interval > 0 && self.since_full_retrain >= retrain_interval {
+                        match self.retrain_policy {
+                            RetrainPolicy::Inline => self.full_retrain(config),
+                            RetrainPolicy::Deferred => self.stage_retrain(),
+                        }
+                    } else {
+                        self.incremental_update(mlp_update_interval);
                     }
-                } else {
-                    self.incremental_update(mlp_update_interval);
                 }
             }
         }
@@ -658,6 +705,40 @@ mod tests {
             epoch_before > 0,
             "every FullRetrain observe bumps the epoch"
         );
+    }
+
+    #[test]
+    fn history_window_bounds_training_data_and_histories() {
+        let cfg = config().with_history_window(16);
+        let mut pool = ModelPool::new(&cfg);
+        for i in 1..=300 {
+            let input = (i % 20 + 1) as f64 * 1e9;
+            pool.observe_success(&[input], 2.0 * input + 1e9, &cfg);
+        }
+        // Amortised trim: the dataset never doubles the window.
+        assert!(pool.n_observations() < 32, "kept {}", pool.n_observations());
+        for member in &pool.members {
+            assert!(member.accuracy_scores.len() < 2 * ACCURACY_WINDOW);
+        }
+        assert!(pool.aggregate_history().len() < 2 * OFFSET_HISTORY_WINDOW);
+        // The pool still predicts from the retained window.
+        assert!(pool.is_ready(cfg.min_history));
+        let (decision, _) = pool.gated_estimate(&[10e9], &cfg).unwrap();
+        let truth = 2.0 * 10e9 + 1e9;
+        assert!(
+            (decision.estimate - truth).abs() / truth < 0.5,
+            "estimate {} vs truth {}",
+            decision.estimate,
+            truth
+        );
+    }
+
+    #[test]
+    fn unbounded_default_retains_everything() {
+        let cfg = config();
+        let mut pool = ModelPool::new(&cfg);
+        feed_linear(&mut pool, &cfg, 120);
+        assert_eq!(pool.n_observations(), 120);
     }
 
     #[test]

@@ -72,13 +72,26 @@ impl std::fmt::Debug for SizeyPredictor {
 }
 
 impl SizeyPredictor {
+    /// Ceiling on the retained training-time telemetry when the predictor
+    /// runs with a bounded [`SizeyConfig::history_window`] (trimmed
+    /// amortised, like the training data).
+    const TRAINING_TIMES_WINDOW: usize = 256;
+
     /// Creates a Sizey predictor with the given configuration.
     pub fn new(config: SizeyConfig) -> Self {
+        // A bounded-history predictor also bounds its provenance store: the
+        // store is snapshot/diagnostic state (predictions read the pools),
+        // so retaining a recent window keeps memory O(window) while the
+        // all-time per-key peaks the store tracks survive eviction.
+        let store = match config.history_window {
+            Some(window) => ProvenanceStore::with_retention(window.max(1)),
+            None => ProvenanceStore::new(),
+        };
         SizeyPredictor {
             config,
             pools: HashMap::new(),
             retrain_policy: RetrainPolicy::default(),
-            store: ProvenanceStore::new(),
+            store,
             training_times: Vec::new(),
             offset_selections: Default::default(),
             queue_delay_total_seconds: 0.0,
@@ -198,22 +211,18 @@ impl SizeyPredictor {
         }
     }
 
-    /// Number of most recent aggregate-estimate observations considered by
-    /// the offset strategies: a sliding window keeps the offsets tracking the
-    /// pool's *current* prediction quality instead of long-gone early errors.
-    const OFFSET_WINDOW: usize = 40;
-
     /// Computes the offset for the current pool state. Read-path method: the
     /// selection diagnostics are the only thing written, through an atomic.
-    /// The offset window is borrowed straight from the pool's aggregate
-    /// history — no per-predict copy of the window.
+    /// The offset window ([`crate::pool::OFFSET_HISTORY_WINDOW`]) is
+    /// borrowed straight from the pool's aggregate history — no per-predict
+    /// copy of the window.
     fn offset_for(&self, key: &TaskMachineKey) -> f64 {
         let history: &[(f64, f64)] = self
             .pools
             .get(key)
             .map(|p| {
                 let h = p.aggregate_history();
-                &h[h.len().saturating_sub(Self::OFFSET_WINDOW)..]
+                &h[h.len().saturating_sub(crate::pool::OFFSET_HISTORY_WINDOW)..]
             })
             .unwrap_or_default();
         if history.is_empty() {
@@ -333,6 +342,12 @@ impl MemoryPredictor for SizeyPredictor {
                     &self.config,
                 );
                 self.training_times.push(duration);
+                if self.config.history_window.is_some()
+                    && self.training_times.len() >= 2 * Self::TRAINING_TIMES_WINDOW
+                {
+                    let excess = self.training_times.len() - Self::TRAINING_TIMES_WINDOW;
+                    self.training_times.drain(..excess);
+                }
             }
             TaskOutcome::FailedOutOfMemory => {
                 // The exhausted allocation is a lower bound on the true peak.
@@ -729,6 +744,35 @@ mod tests {
     fn predictor_is_sync_and_send() {
         fn assert_sync_send<T: Sync + Send>() {}
         assert_sync_send::<SizeyPredictor>();
+    }
+
+    /// The bounded-history mode behind million-task streaming replays:
+    /// provenance, training telemetry and (via the pools) training data all
+    /// stay bounded while the predictor keeps learning from the recent
+    /// window.
+    #[test]
+    fn bounded_history_window_keeps_predictor_state_bounded() {
+        let cfg = SizeyConfig::default().with_history_window(32);
+        let mut p = SizeyPredictor::new(cfg);
+        for i in 1..=700u64 {
+            let input = (i % 40 + 1) as f64 * 1e9;
+            p.observe(&success(i, input, 2.0 * input + 1e9));
+        }
+        assert!(p.provenance().len() <= 32, "store {}", p.provenance().len());
+        assert_eq!(p.provenance().total_inserted(), 700);
+        assert!(
+            p.training_times().len() < 2 * SizeyPredictor::TRAINING_TIMES_WINDOW,
+            "telemetry {}",
+            p.training_times().len()
+        );
+        // Still predicting sensibly from the retained window.
+        let pred = p.predict(&submission(1000, 5e9), AttemptContext::first());
+        assert!(pred.raw_estimate_bytes.is_some());
+        assert!(
+            pred.allocation_bytes < 20e9,
+            "learned allocation {} should beat the 20 GB preset",
+            pred.allocation_bytes
+        );
     }
 
     #[test]

@@ -146,6 +146,17 @@ impl Dataset {
         }
     }
 
+    /// Removes the first `n` observations (all of them when `n >= len`),
+    /// preserving the order of the remainder — the primitive behind bounded
+    /// training histories (`SizeyConfig::history_window`): the dataset is
+    /// drained from the front once it doubles the window, so the cost is
+    /// amortised `O(1)` per observation.
+    pub fn drain_front(&mut self, n: usize) {
+        let n = n.min(self.len());
+        self.features.drain(..n);
+        self.targets.drain(..n);
+    }
+
     /// Returns the last `n` observations (or all of them when fewer exist).
     pub fn tail(&self, n: usize) -> Dataset {
         let start = self.len().saturating_sub(n);
@@ -264,6 +275,17 @@ mod tests {
         assert_eq!(t.targets(), &[20.0, 30.0]);
         let all = ds.tail(10);
         assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn drain_front_drops_oldest_and_preserves_order() {
+        let mut ds = Dataset::from_univariate(&[1.0, 2.0, 3.0, 4.0], &[10.0, 20.0, 30.0, 40.0]);
+        ds.drain_front(2);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.targets(), &[30.0, 40.0]);
+        assert_eq!(ds.features()[0], vec![3.0]);
+        ds.drain_front(10);
+        assert!(ds.is_empty());
     }
 
     #[test]

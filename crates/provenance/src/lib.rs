@@ -49,4 +49,7 @@ pub use record::{
     TaskRecord, TaskTypeId,
 };
 pub use store::ProvenanceStore;
-pub use trace_io::{from_trace_string, read_trace, to_trace_string, write_trace, TraceError};
+pub use trace_io::{
+    from_trace_string, read_trace, to_trace_string, trace_reader_from_file, trace_writer_to_file,
+    write_trace, TraceError, TraceReader, TraceWriter,
+};

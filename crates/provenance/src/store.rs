@@ -6,10 +6,28 @@
 //! (task type, machine) combination; when a task finishes, its monitoring
 //! data is appended. The store is thread-safe so the simulator can complete
 //! tasks from several worker threads while predictors query concurrently.
+//!
+//! ## Bounded retention
+//!
+//! By default the store retains every record forever. For streaming replays
+//! whose working set must stay bounded (million-task traces), a **retention
+//! limit** turns the record log into a ring buffer: once more than `limit`
+//! records are stored, the oldest are evicted. Records keep stable,
+//! monotonically increasing ids, so the per-key indexes stay consistent
+//! across evictions; [`ProvenanceStore::total_inserted`] and
+//! [`ProvenanceStore::evicted`] expose the all-time counters. Two pieces of
+//! state deliberately survive eviction so that bounding the store never
+//! weakens safety-critical answers:
+//!
+//! * [`max_observed_peak`](ProvenanceStore::max_observed_peak) is a running
+//!   maximum over **all** inserted records, evicted or not (the
+//!   failure-handling escalation must never forget a large peak), and
+//! * [`knows_task_type`](ProvenanceStore::knows_task_type) stays true for a
+//!   task type whose records have all been evicted.
 
 use crate::record::{TaskMachineKey, TaskOutcome, TaskRecord, TaskTypeId};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Thread-safe, indexed provenance store.
@@ -20,76 +38,168 @@ pub struct ProvenanceStore {
 
 #[derive(Debug, Default)]
 struct StoreInner {
-    /// All records in insertion order.
-    records: Vec<Arc<TaskRecord>>,
-    /// Index: (task type, machine) -> record positions.
-    by_key: HashMap<TaskMachineKey, Vec<usize>>,
-    /// Index: task type -> record positions (across machines).
-    by_task_type: HashMap<TaskTypeId, Vec<usize>>,
+    /// Retained records in insertion order. Record `i` of the deque has the
+    /// stable id `base + i`.
+    records: VecDeque<Arc<TaskRecord>>,
+    /// Stable id of the oldest retained record (number of evictions so far).
+    base: u64,
+    /// Index: (task type, machine) -> stable record ids, insertion order.
+    by_key: HashMap<TaskMachineKey, VecDeque<u64>>,
+    /// Index: task type -> stable record ids (across machines).
+    by_task_type: HashMap<TaskTypeId, VecDeque<u64>>,
+    /// All-time maximum peak per key; survives eviction.
+    max_peak_by_key: HashMap<TaskMachineKey, f64>,
+    /// All-time number of inserted records (retained + evicted).
+    total_inserted: u64,
+    /// Retention limit; `None` keeps everything (the default).
+    retention: Option<usize>,
     /// Number of currently running tasks, maintained by the execution
     /// environment and exposed to predictors as context.
     running_tasks: u32,
 }
 
+impl StoreInner {
+    fn get(&self, id: u64) -> Option<&Arc<TaskRecord>> {
+        id.checked_sub(self.base)
+            .and_then(|offset| self.records.get(offset as usize))
+    }
+
+    /// Evicts the oldest retained record, unlinking it from both indexes
+    /// (the oldest record's id is by construction at the front of its
+    /// per-key lists).
+    fn evict_front(&mut self) {
+        let Some(record) = self.records.pop_front() else {
+            return;
+        };
+        let id = self.base;
+        self.base += 1;
+        if let Some(ids) = self.by_key.get_mut(&record.key()) {
+            if ids.front() == Some(&id) {
+                ids.pop_front();
+            }
+        }
+        if let Some(ids) = self.by_task_type.get_mut(&record.task_type) {
+            if ids.front() == Some(&id) {
+                ids.pop_front();
+            }
+        }
+        // Empty index entries are kept on purpose: `knows_task_type` must
+        // keep answering true after the type's records age out.
+    }
+}
+
 impl ProvenanceStore {
-    /// Creates an empty store.
+    /// Creates an empty store with unlimited retention.
     pub fn new() -> Self {
         ProvenanceStore::default()
+    }
+
+    /// Creates an empty store that retains at most `limit` records,
+    /// evicting the oldest beyond that (ring-buffer behaviour).
+    pub fn with_retention(limit: usize) -> Self {
+        let store = ProvenanceStore::default();
+        store.inner.write().retention = Some(limit.max(1));
+        store
+    }
+
+    /// Changes the retention limit. `None` disables eviction; a limit
+    /// smaller than the current size evicts immediately.
+    pub fn set_retention(&self, limit: Option<usize>) {
+        let mut inner = self.inner.write();
+        inner.retention = limit.map(|l| l.max(1));
+        if let Some(cap) = inner.retention {
+            while inner.records.len() > cap {
+                inner.evict_front();
+            }
+        }
+    }
+
+    /// The current retention limit (`None` = unlimited).
+    pub fn retention(&self) -> Option<usize> {
+        self.inner.read().retention
     }
 
     /// Appends a finished task record.
     pub fn insert(&self, record: TaskRecord) {
         let mut inner = self.inner.write();
-        let idx = inner.records.len();
+        let id = inner.base + inner.records.len() as u64;
         let key = record.key();
         let task_type = record.task_type.clone();
-        inner.records.push(Arc::new(record));
-        inner.by_key.entry(key).or_default().push(idx);
-        inner.by_task_type.entry(task_type).or_default().push(idx);
+        let peak = record.peak_memory_bytes;
+        inner.records.push_back(Arc::new(record));
+        inner.by_key.entry(key.clone()).or_default().push_back(id);
+        inner
+            .by_task_type
+            .entry(task_type)
+            .or_default()
+            .push_back(id);
+        inner
+            .max_peak_by_key
+            .entry(key)
+            .and_modify(|m| *m = m.max(peak))
+            .or_insert(peak);
+        inner.total_inserted += 1;
+        if let Some(cap) = inner.retention {
+            while inner.records.len() > cap {
+                inner.evict_front();
+            }
+        }
     }
 
-    /// Total number of stored records.
+    /// Number of currently retained records.
     pub fn len(&self) -> usize {
         self.inner.read().records.len()
     }
 
-    /// True when no records are stored.
+    /// True when no records are retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// All records for one (task type, machine) combination, in insertion
-    /// order. This is the query Sizey issues on every task submission.
+    /// All-time number of inserted records, including evicted ones.
+    pub fn total_inserted(&self) -> u64 {
+        self.inner.read().total_inserted
+    }
+
+    /// Number of records evicted by the retention limit so far.
+    pub fn evicted(&self) -> u64 {
+        self.inner.read().base
+    }
+
+    /// All retained records for one (task type, machine) combination, in
+    /// insertion order. This is the query Sizey issues on every task
+    /// submission.
     pub fn history(&self, key: &TaskMachineKey) -> Vec<Arc<TaskRecord>> {
         let inner = self.inner.read();
         inner
             .by_key
             .get(key)
-            .map(|idxs| {
-                idxs.iter()
-                    .map(|&i| Arc::clone(&inner.records[i]))
+            .map(|ids| {
+                ids.iter()
+                    .filter_map(|&id| inner.get(id).cloned())
                     .collect()
             })
             .unwrap_or_default()
     }
 
-    /// All records of a task type regardless of machine, in insertion order.
+    /// All retained records of a task type regardless of machine, in
+    /// insertion order.
     pub fn history_for_task_type(&self, task_type: &TaskTypeId) -> Vec<Arc<TaskRecord>> {
         let inner = self.inner.read();
         inner
             .by_task_type
             .get(task_type)
-            .map(|idxs| {
-                idxs.iter()
-                    .map(|&i| Arc::clone(&inner.records[i]))
+            .map(|ids| {
+                ids.iter()
+                    .filter_map(|&id| inner.get(id).cloned())
                     .collect()
             })
             .unwrap_or_default()
     }
 
-    /// Only the successful records for a (task type, machine) combination.
-    /// Models are trained on successful executions — failed attempts never
-    /// observed the true peak.
+    /// Only the successful retained records for a (task type, machine)
+    /// combination. Models are trained on successful executions — failed
+    /// attempts never observed the true peak.
     pub fn successful_history(&self, key: &TaskMachineKey) -> Vec<Arc<TaskRecord>> {
         self.history(key)
             .into_iter()
@@ -97,26 +207,25 @@ impl ProvenanceStore {
             .collect()
     }
 
-    /// Number of executions recorded for a (task type, machine) combination.
+    /// Number of retained executions for a (task type, machine) combination.
     pub fn count(&self, key: &TaskMachineKey) -> usize {
-        self.inner.read().by_key.get(key).map_or(0, Vec::len)
+        self.inner.read().by_key.get(key).map_or(0, VecDeque::len)
     }
 
-    /// True when the task type has been observed before on any machine.
+    /// True when the task type has been observed before on any machine —
+    /// including types whose records have since been evicted.
     pub fn knows_task_type(&self, task_type: &TaskTypeId) -> bool {
         self.inner.read().by_task_type.contains_key(task_type)
     }
 
     /// Largest peak memory ever observed for a (task type, machine)
-    /// combination, if any. Used by the failure-handling strategy.
+    /// combination, if any — an all-time maximum that survives eviction, so
+    /// the failure-handling strategy never forgets a large peak.
     pub fn max_observed_peak(&self, key: &TaskMachineKey) -> Option<f64> {
-        self.history(key)
-            .iter()
-            .map(|r| r.peak_memory_bytes)
-            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+        self.inner.read().max_peak_by_key.get(key).copied()
     }
 
-    /// All distinct task types seen so far.
+    /// All distinct task types seen so far (including evicted ones).
     pub fn task_types(&self) -> Vec<TaskTypeId> {
         let inner = self.inner.read();
         let mut types: Vec<TaskTypeId> = inner.by_task_type.keys().cloned().collect();
@@ -124,7 +233,7 @@ impl ProvenanceStore {
         types
     }
 
-    /// A snapshot of every stored record in insertion order.
+    /// A snapshot of every retained record in insertion order.
     pub fn all_records(&self) -> Vec<Arc<TaskRecord>> {
         self.inner.read().records.iter().map(Arc::clone).collect()
     }
@@ -140,12 +249,16 @@ impl ProvenanceStore {
         self.inner.read().running_tasks
     }
 
-    /// Removes all records (used between simulated workflow executions).
+    /// Removes all records and resets the all-time counters (used between
+    /// simulated workflow executions). The retention limit is kept.
     pub fn clear(&self) {
         let mut inner = self.inner.write();
         inner.records.clear();
+        inner.base = 0;
         inner.by_key.clear();
         inner.by_task_type.clear();
+        inner.max_peak_by_key.clear();
+        inner.total_inserted = 0;
         inner.running_tasks = 0;
     }
 }
@@ -257,6 +370,8 @@ mod tests {
         assert!(store.is_empty());
         assert_eq!(store.running_tasks(), 0);
         assert!(store.task_types().is_empty());
+        assert_eq!(store.total_inserted(), 0);
+        assert_eq!(store.evicted(), 0);
     }
 
     #[test]
@@ -274,5 +389,70 @@ mod tests {
             }
         });
         assert_eq!(store.len(), 200);
+    }
+
+    #[test]
+    fn retention_limit_evicts_oldest_records() {
+        let store = ProvenanceStore::with_retention(5);
+        for seq in 0..12 {
+            store.insert(record("a", "m1", seq, seq as f64, TaskOutcome::Succeeded));
+        }
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.total_inserted(), 12);
+        assert_eq!(store.evicted(), 7);
+        let hist = store.history(&TaskMachineKey::new("a", "m1"));
+        let seqs: Vec<u64> = hist.iter().map(|r| r.sequence).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10, 11]);
+        assert_eq!(store.count(&TaskMachineKey::new("a", "m1")), 5);
+    }
+
+    #[test]
+    fn max_peak_and_task_types_survive_eviction() {
+        let store = ProvenanceStore::with_retention(2);
+        let key = TaskMachineKey::new("a", "m1");
+        store.insert(record("a", "m1", 0, 9e9, TaskOutcome::FailedOutOfMemory));
+        store.insert(record("b", "m1", 1, 1e9, TaskOutcome::Succeeded));
+        store.insert(record("b", "m1", 2, 2e9, TaskOutcome::Succeeded));
+        store.insert(record("b", "m1", 3, 3e9, TaskOutcome::Succeeded));
+        // The "a" record (and its 9 GB peak) has been evicted...
+        assert!(store.history(&key).is_empty());
+        // ...but the safety-critical answers survive.
+        assert_eq!(store.max_observed_peak(&key), Some(9e9));
+        assert!(store.knows_task_type(&TaskTypeId::new("a")));
+    }
+
+    #[test]
+    fn set_retention_trims_immediately_and_can_be_lifted() {
+        let store = ProvenanceStore::new();
+        for seq in 0..10 {
+            store.insert(record("a", "m1", seq, 1.0, TaskOutcome::Succeeded));
+        }
+        store.set_retention(Some(3));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.evicted(), 7);
+        store.set_retention(None);
+        for seq in 10..20 {
+            store.insert(record("a", "m1", seq, 1.0, TaskOutcome::Succeeded));
+        }
+        assert_eq!(store.len(), 13);
+        assert_eq!(store.retention(), None);
+    }
+
+    #[test]
+    fn bounded_and_unbounded_agree_on_retained_suffix() {
+        let bounded = ProvenanceStore::with_retention(4);
+        let unbounded = ProvenanceStore::new();
+        for seq in 0..9 {
+            let r = record("a", "m1", seq, (seq + 1) as f64, TaskOutcome::Succeeded);
+            bounded.insert(r.clone());
+            unbounded.insert(r);
+        }
+        let full = unbounded.history(&TaskMachineKey::new("a", "m1"));
+        let tail = bounded.history(&TaskMachineKey::new("a", "m1"));
+        assert_eq!(&full[full.len() - 4..], &tail[..]);
+        assert_eq!(
+            bounded.max_observed_peak(&TaskMachineKey::new("a", "m1")),
+            unbounded.max_observed_peak(&TaskMachineKey::new("a", "m1")),
+        );
     }
 }

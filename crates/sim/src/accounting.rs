@@ -165,6 +165,196 @@ impl ReplayReport {
     }
 }
 
+/// Where the replay engines deliver per-attempt events.
+///
+/// The streaming pipeline aggregates online and only retains full event
+/// traces when a collecting sink is supplied — `Vec<AttemptEvent>` collects,
+/// [`NullSink`] discards, and closures `FnMut(&AttemptEvent)` adapt to
+/// arbitrary destinations (e.g. an incremental trace file writer).
+pub trait AttemptSink {
+    /// Called once per attempt, in replay order.
+    fn record(&mut self, event: &AttemptEvent);
+}
+
+/// Discards every event — the bounded-memory default of the streaming
+/// pipeline (aggregates are maintained separately and online).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl AttemptSink for NullSink {
+    fn record(&mut self, _event: &AttemptEvent) {}
+}
+
+impl AttemptSink for Vec<AttemptEvent> {
+    fn record(&mut self, event: &AttemptEvent) {
+        self.push(event.clone());
+    }
+}
+
+impl<F: FnMut(&AttemptEvent)> AttemptSink for F {
+    fn record(&mut self, event: &AttemptEvent) {
+        self(event);
+    }
+}
+
+/// Where the streaming engines deliver finished provenance records (the
+/// exact records fed to `observe`). The opt-in `--trace` sink forwards them
+/// to an incremental
+/// [`TraceWriter`](sizey_provenance::trace_io::TraceWriter); the default
+/// [`NullRecordSink`] discards them.
+pub trait RecordSink {
+    /// Called once per finished attempt, in completion order.
+    fn record(&mut self, record: &sizey_provenance::TaskRecord);
+}
+
+/// Discards every record — the default when no trace is requested.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecordSink;
+
+impl RecordSink for NullRecordSink {
+    fn record(&mut self, _record: &sizey_provenance::TaskRecord) {}
+}
+
+impl<F: FnMut(&sizey_provenance::TaskRecord)> RecordSink for F {
+    fn record(&mut self, record: &sizey_provenance::TaskRecord) {
+        self(record);
+    }
+}
+
+/// Online replay aggregates: every headline metric of a [`ReplayReport`],
+/// computed incrementally from the event stream in `O(#task_types)` memory
+/// instead of `O(#attempts)`.
+///
+/// Folding the events **in replay order** produces bit-identical sums to the
+/// corresponding `ReplayReport` derivations (same `f64` additions in the
+/// same order); the differential harness pins
+/// `ReplayAggregates::from_report(&report) == streaming_aggregates`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReplayAggregates {
+    /// Number of attempts observed.
+    pub attempts: u64,
+    /// Number of failed attempts.
+    pub failures: u64,
+    /// Sum of per-attempt wastage in GBh (Fig. 8a/8b).
+    pub total_wastage_gbh: f64,
+    /// Sum of attempt durations in seconds (Fig. 8d is this over 3600).
+    pub total_duration_seconds: f64,
+    /// Sum of queue delays in seconds.
+    pub total_queue_delay_seconds: f64,
+    /// Largest single queue delay in seconds.
+    pub max_queue_delay_seconds: f64,
+    /// Failed attempts per task type (Fig. 8c).
+    pub failures_by_task_type: BTreeMap<TaskTypeId, usize>,
+    /// Wastage per task type in GBh.
+    pub wastage_by_task_type: BTreeMap<TaskTypeId, f64>,
+    /// Selected-model counts over first attempts that reported one (Fig. 11).
+    pub model_selections: BTreeMap<String, usize>,
+    /// Number of first attempts that reported a selected model.
+    pub model_selection_total: usize,
+    /// Number of task instances replayed (maintained by the engine).
+    pub instances: usize,
+    /// Instances that never succeeded within the attempt budget.
+    pub unfinished_instances: usize,
+    /// End of the latest attempt seen, in simulated seconds.
+    pub makespan_seconds: f64,
+}
+
+impl ReplayAggregates {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        ReplayAggregates::default()
+    }
+
+    /// Folds one attempt event into the aggregates. Must be called in
+    /// replay order for bit-identity with the materialised report.
+    pub fn observe_event(&mut self, e: &AttemptEvent) {
+        self.attempts += 1;
+        self.total_wastage_gbh += e.wastage_gbh;
+        self.total_duration_seconds += e.duration_seconds;
+        self.total_queue_delay_seconds += e.queue_delay_seconds;
+        self.max_queue_delay_seconds = self.max_queue_delay_seconds.max(e.queue_delay_seconds);
+        *self
+            .wastage_by_task_type
+            .entry(e.task_type.clone())
+            .or_insert(0.0) += e.wastage_gbh;
+        if !e.success {
+            self.failures += 1;
+            *self
+                .failures_by_task_type
+                .entry(e.task_type.clone())
+                .or_insert(0) += 1;
+        }
+        if e.attempt == 0 {
+            if let Some(model) = &e.selected_model {
+                *self.model_selections.entry(model.clone()).or_insert(0) += 1;
+                self.model_selection_total += 1;
+            }
+        }
+        self.makespan_seconds = self
+            .makespan_seconds
+            .max(e.submit_time_seconds + e.duration_seconds);
+    }
+
+    /// Records the terminal state of one instance (the engine calls this once
+    /// per instance).
+    pub fn observe_instance(&mut self, finished: bool) {
+        self.instances += 1;
+        if !finished {
+            self.unfinished_instances += 1;
+        }
+    }
+
+    /// Rebuilds the aggregates from a materialised report by folding its
+    /// events in order — the reference the streaming pipeline is pinned
+    /// against.
+    pub fn from_report(report: &ReplayReport) -> Self {
+        let mut agg = ReplayAggregates::new();
+        for e in &report.events {
+            agg.observe_event(e);
+        }
+        agg.instances = report.instances;
+        agg.unfinished_instances = report.unfinished_instances;
+        agg.makespan_seconds = report.makespan_seconds;
+        agg
+    }
+
+    /// Total task runtime (all attempts) in hours — the Fig. 8d metric.
+    pub fn total_runtime_hours(&self) -> f64 {
+        self.total_duration_seconds / 3600.0
+    }
+
+    /// Mean queue delay per attempt in seconds (zero for an empty replay).
+    pub fn mean_queue_delay_seconds(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.total_queue_delay_seconds / self.attempts as f64
+        }
+    }
+
+    /// Share of selected models among first attempts that reported one,
+    /// sorted by descending share (Fig. 11).
+    pub fn model_selection_share(&self) -> Vec<(String, f64)> {
+        let mut shares: Vec<(String, f64)> = self
+            .model_selections
+            .iter()
+            .map(|(m, c)| {
+                (
+                    m.clone(),
+                    *c as f64 / self.model_selection_total.max(1) as f64,
+                )
+            })
+            .collect();
+        shares.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite shares"));
+        shares
+    }
+
+    /// Number of successfully finished instances.
+    pub fn finished_instances(&self) -> usize {
+        self.instances - self.unfinished_instances
+    }
+}
+
 /// Aggregates reports of the same method across workflows (Fig. 8a/8b/8d).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MethodAggregate {

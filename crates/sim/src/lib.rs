@@ -58,14 +58,21 @@ pub mod queue;
 pub mod replay;
 pub mod scheduler;
 
-pub use accounting::{aggregate_method, AttemptEvent, MethodAggregate, ReplayReport};
+pub use accounting::{
+    aggregate_method, AttemptEvent, AttemptSink, MethodAggregate, NullRecordSink, NullSink,
+    RecordSink, ReplayAggregates, ReplayReport,
+};
 pub use cluster::{Cluster, Node, Placement, FIT_TOLERANCE};
 pub use config::{NodePoolSpec, SimulationConfig};
 pub use inflight::RetryLedger;
-pub use lifecycle::{CheckpointPredictor, PredictorState, StateError};
+pub use lifecycle::{CheckpointPredictor, CompactedCheckpoint, PredictorState, StateError};
 pub use predictor::{AttemptContext, MemoryPredictor, Prediction, PresetPredictor, TaskSubmission};
-pub use replay::{replay_with, replay_workflow, replay_workflow_occupancy, MIN_ALLOCATION_BYTES};
+pub use replay::{
+    replay_with, replay_workflow, replay_workflow_occupancy, replay_workflow_streaming,
+    MIN_ALLOCATION_BYTES,
+};
 pub use scheduler::{
-    schedule_workflows, MultiReplayReport, SchedulePolicy, ScheduledAttempt, Scheduler,
-    SchedulerStats, WorkflowTenant,
+    schedule_workflows, schedule_workflows_streaming, MultiReplayReport, SchedulePolicy,
+    ScheduledAttempt, Scheduler, SchedulerStats, StreamingReplayReport, StreamingTenant,
+    StreamingTenantReport, WorkflowTenant,
 };

@@ -22,38 +22,43 @@
 //! with no queueing. The property suite asserts that it and the scheduler
 //! produce identical wastage under unbounded capacity.
 
-use crate::accounting::{AttemptEvent, ReplayReport};
+use crate::accounting::{AttemptEvent, AttemptSink, ReplayAggregates, ReplayReport};
 use crate::cluster::Cluster;
 use crate::config::SimulationConfig;
 use crate::predictor::{AttemptContext, MemoryPredictor, TaskSubmission};
 use crate::scheduler::Scheduler;
 use sizey_provenance::{TaskOutcome, TaskRecord};
 use sizey_workflows::TaskInstance;
+use std::borrow::Borrow;
 use std::collections::BinaryHeap;
 
 /// Minimum allocation the resource manager accepts (64 MB), so degenerate
 /// predictions cannot request zero memory.
 pub const MIN_ALLOCATION_BYTES: f64 = 64e6;
 
-/// Replays one workflow against one sizing method.
-///
-/// All first attempts are submitted at virtual time zero in instance order
-/// (the paper replays a finished trace, not a timed arrival process); a
-/// retry is submitted when its failed predecessor finishes. The scheduler
-/// dispatches FIFO in that submission order under the configured policy.
-pub fn replay_workflow(
+/// The sequential replay core shared by the materialised
+/// ([`replay_workflow`]) and streaming ([`replay_workflow_streaming`])
+/// entry points: consumes instances from any iterator, delivers every
+/// attempt event to `sink` and folds it into `agg` in replay order.
+/// Returns the simulated makespan.
+fn replay_core<I>(
     workflow: &str,
-    instances: &[TaskInstance],
+    instances: I,
     predictor: &mut dyn MemoryPredictor,
     config: &SimulationConfig,
-) -> ReplayReport {
+    sink: &mut dyn AttemptSink,
+    agg: &mut ReplayAggregates,
+) -> f64
+where
+    I: IntoIterator,
+    I::Item: Borrow<TaskInstance>,
+{
     let mut scheduler = Scheduler::new(config);
     let largest_node = config.largest_node_memory_bytes();
     let mut makespan = 0.0_f64;
-    let mut events = Vec::with_capacity(instances.len());
-    let mut unfinished = 0usize;
 
     for inst in instances {
+        let inst = inst.borrow();
         let submission = TaskSubmission {
             workflow: inst.workflow.clone(),
             task_type: inst.task_type.clone(),
@@ -106,7 +111,7 @@ pub fn replay_workflow(
             };
             makespan = makespan.max(scheduled.finish_seconds);
 
-            events.push(AttemptEvent {
+            let event = AttemptEvent {
                 task_type: inst.task_type.clone(),
                 sequence: inst.sequence,
                 attempt,
@@ -119,7 +124,9 @@ pub fn replay_workflow(
                 selected_model: prediction.selected_model,
                 submit_time_seconds: scheduled.start_seconds,
                 queue_delay_seconds: scheduled.queue_delay_seconds,
-            });
+            };
+            agg.observe_event(&event);
+            sink.record(&event);
 
             // Feed the monitoring record back for online learning. On
             // failure the monitored "peak" is the allocation that was
@@ -154,20 +161,73 @@ pub fn replay_workflow(
             submit_time = scheduled.finish_seconds;
             attempt += 1;
         }
-        if !finished {
-            unfinished += 1;
-        }
+        agg.observe_instance(finished);
     }
+    makespan
+}
+
+/// Replays one workflow against one sizing method.
+///
+/// All first attempts are submitted at virtual time zero in instance order
+/// (the paper replays a finished trace, not a timed arrival process); a
+/// retry is submitted when its failed predecessor finishes. The scheduler
+/// dispatches FIFO in that submission order under the configured policy.
+pub fn replay_workflow(
+    workflow: &str,
+    instances: &[TaskInstance],
+    predictor: &mut dyn MemoryPredictor,
+    config: &SimulationConfig,
+) -> ReplayReport {
+    let mut events: Vec<AttemptEvent> = Vec::with_capacity(instances.len());
+    let mut agg = ReplayAggregates::new();
+    let makespan = replay_core(
+        workflow,
+        instances,
+        predictor,
+        config,
+        &mut events,
+        &mut agg,
+    );
 
     ReplayReport {
         method: predictor.name(),
         workflow: workflow.to_string(),
         time_to_failure: config.time_to_failure,
         events,
-        instances: instances.len(),
-        unfinished_instances: unfinished,
+        instances: agg.instances,
+        unfinished_instances: agg.unfinished_instances,
         makespan_seconds: makespan,
     }
+}
+
+/// Streaming counterpart of [`replay_workflow`]: consumes instances lazily
+/// from any iterator (e.g. a
+/// [`WorkflowStream`](sizey_workflows::WorkflowStream)), aggregates online
+/// and retains **no** per-attempt events of its own — memory stays
+/// `O(#task_types)` however long the trace is. Full trace retention is
+/// opt-in through the `sink` (pass
+/// [`NullSink`](crate::accounting::NullSink) to discard, a
+/// `Vec<AttemptEvent>` to collect, or a closure to forward events to e.g. an
+/// incremental trace writer).
+///
+/// Over the same instances the aggregates are bit-identical to folding the
+/// materialised report's events (`ReplayAggregates::from_report`); the
+/// differential harness pins this.
+pub fn replay_workflow_streaming<I>(
+    workflow: &str,
+    instances: I,
+    predictor: &mut dyn MemoryPredictor,
+    config: &SimulationConfig,
+    sink: &mut dyn AttemptSink,
+) -> ReplayAggregates
+where
+    I: IntoIterator,
+    I::Item: Borrow<TaskInstance>,
+{
+    let mut agg = ReplayAggregates::new();
+    let makespan = replay_core(workflow, instances, predictor, config, sink, &mut agg);
+    agg.makespan_seconds = makespan;
+    agg
 }
 
 /// Replays a workflow with a fresh predictor produced by `make_predictor` —
@@ -553,6 +613,30 @@ mod tests {
         });
         assert_eq!(report.method, "Workflow-Presets");
         assert_eq!(report.instances, 1);
+    }
+
+    #[test]
+    fn streaming_replay_matches_materialised_report() {
+        use crate::accounting::NullSink;
+        let instances: Vec<TaskInstance> = (0..15)
+            .map(|i| instance(i, 1e9 * (i + 1) as f64, 3e9 + i as f64 * 1e8, 600.0, 4e9))
+            .collect();
+        let config = SimulationConfig::default().with_nodes(1, 10e9, 4);
+        let mut a = Fixed { bytes: 2e9 };
+        let report = replay_workflow("wf", &instances, &mut a, &config);
+
+        let mut b = Fixed { bytes: 2e9 };
+        let mut sink = NullSink;
+        let streamed =
+            replay_workflow_streaming("wf", instances.iter(), &mut b, &config, &mut sink);
+        assert_eq!(streamed, ReplayAggregates::from_report(&report));
+        assert_eq!(streamed.makespan_seconds, report.makespan_seconds);
+
+        // A collecting sink reproduces the full event trace.
+        let mut c = Fixed { bytes: 2e9 };
+        let mut events: Vec<AttemptEvent> = Vec::new();
+        let _ = replay_workflow_streaming("wf", instances.iter(), &mut c, &config, &mut events);
+        assert_eq!(events, report.events);
     }
 
     #[test]

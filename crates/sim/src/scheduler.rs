@@ -29,7 +29,7 @@
 //! completion, and tenants interleave arbitrarily — the decision order is
 //! whatever the virtual clock makes it.
 
-use crate::accounting::{AttemptEvent, ReplayReport};
+use crate::accounting::{AttemptEvent, AttemptSink, RecordSink, ReplayAggregates, ReplayReport};
 use crate::cluster::{Cluster, Node};
 use crate::config::SimulationConfig;
 use crate::inflight::RetryLedger;
@@ -38,6 +38,7 @@ use crate::queue::{EventHeap, PendingQueue, PendingTask};
 use crate::replay::MIN_ALLOCATION_BYTES;
 use sizey_provenance::{TaskOutcome, TaskRecord};
 use sizey_workflows::TaskInstance;
+use std::collections::HashMap;
 
 /// Scheduling policy for picking when and where a pending task starts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -778,6 +779,556 @@ fn dispatch(
     );
 }
 
+/// One workflow sharing the cluster in a **streaming** multi-tenant replay:
+/// like [`WorkflowTenant`], but task instances are produced lazily by an
+/// iterator (e.g. [`stream_workflow`](sizey_workflows::stream_workflow))
+/// instead of a materialised `Vec`, so a million-instance tenant costs a few
+/// in-flight instances of memory rather than the whole workload.
+pub struct StreamingTenant {
+    /// Workflow (tenant) name used in the per-tenant report.
+    pub workflow: String,
+    /// Lazily produced task instances, in submission order.
+    pub instances: Box<dyn Iterator<Item = TaskInstance>>,
+    /// The sizing method deciding this tenant's allocations.
+    pub predictor: Box<dyn MemoryPredictor>,
+    /// Virtual time at which the tenant's first task arrives.
+    pub arrival_offset_seconds: f64,
+}
+
+impl StreamingTenant {
+    /// Creates a streaming tenant arriving at time zero.
+    pub fn new(
+        workflow: impl Into<String>,
+        instances: impl Iterator<Item = TaskInstance> + 'static,
+        predictor: Box<dyn MemoryPredictor>,
+    ) -> Self {
+        StreamingTenant {
+            workflow: workflow.into(),
+            instances: Box::new(instances),
+            predictor,
+            arrival_offset_seconds: 0.0,
+        }
+    }
+
+    /// Returns the tenant with a different arrival offset.
+    pub fn with_arrival_offset(mut self, seconds: f64) -> Self {
+        self.arrival_offset_seconds = seconds;
+        self
+    }
+}
+
+impl From<WorkflowTenant> for StreamingTenant {
+    /// Wraps a materialised tenant; the differential harness replays the
+    /// same workload through both engines this way.
+    fn from(tenant: WorkflowTenant) -> Self {
+        StreamingTenant {
+            workflow: tenant.workflow,
+            instances: Box::new(tenant.instances.into_iter()),
+            predictor: tenant.predictor,
+            arrival_offset_seconds: tenant.arrival_offset_seconds,
+        }
+    }
+}
+
+/// Per-tenant result of a streaming multi-tenant replay: the online
+/// aggregates stand in for the materialised event list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingTenantReport {
+    /// Workflow (tenant) name.
+    pub workflow: String,
+    /// Name of the sizing method.
+    pub method: String,
+    /// Online aggregates, bit-identical to
+    /// [`ReplayAggregates::from_report`] over the materialised engine's
+    /// report for the same workload.
+    pub aggregates: ReplayAggregates,
+}
+
+/// Result of a streaming multi-tenant replay ([`schedule_workflows_streaming`]).
+#[derive(Debug)]
+pub struct StreamingReplayReport {
+    /// Per-tenant reports, in the order the tenants were passed in.
+    pub reports: Vec<StreamingTenantReport>,
+    /// End of the last attempt across all tenants, in seconds.
+    pub makespan_seconds: f64,
+    /// Cluster-wide scheduler telemetry (identical to the materialised
+    /// engine's for the same workload).
+    pub stats: SchedulerStats,
+    /// Final node states, including per-node high-water marks.
+    pub nodes: Vec<Node>,
+    /// High-water mark of simultaneously in-flight task instances — the
+    /// streaming engine's working set (arrived but not yet terminal).
+    pub peak_inflight_instances: usize,
+    /// In-flight instances still resident when the replay drained. Always
+    /// zero: instances are evicted on success and on terminal failure alike.
+    pub leaked_inflight_instances: usize,
+}
+
+/// Replays several workflows concurrently against one shared cluster,
+/// **streaming**: task instances are pulled from each tenant's iterator as
+/// virtual time reaches their arrival, held only while in flight, and
+/// dropped at their terminal state. Attempt events fold into per-tenant
+/// [`ReplayAggregates`] online and are offered to `sink`; finished
+/// provenance records (the exact records fed to `observe`) are offered to
+/// `records`. With [`NullSink`](crate::NullSink) /
+/// [`NullRecordSink`](crate::NullRecordSink) the engine's memory is bounded
+/// by the in-flight working set, independent of total workload size.
+///
+/// The scheduling decisions are **bit-identical** to
+/// [`schedule_workflows`] on the same workload: arrivals are injected in
+/// exactly the order the materialised engine's seeded submit events pop
+/// (time, then arrival index, then tenant index — and arrivals win ties
+/// against completions/retries, which the materialised engine guarantees by
+/// seeding first-submits before any retry is pushed). The differential
+/// harness pins aggregates, telemetry, node peaks and makespan equal across
+/// both engines.
+///
+/// ```
+/// use sizey_sim::{
+///     schedule_workflows_streaming, NullRecordSink, NullSink, PresetPredictor,
+///     SimulationConfig, StreamingTenant,
+/// };
+/// use sizey_workflows::{profiles, stream_workflow, GeneratorConfig};
+///
+/// let make = |seed| stream_workflow(&profiles::iwd(), &GeneratorConfig::scaled(0.02, seed));
+/// let tenants = vec![
+///     StreamingTenant::new("iwd-a", make(1), Box::new(PresetPredictor)),
+///     StreamingTenant::new("iwd-b", make(2), Box::new(PresetPredictor))
+///         .with_arrival_offset(1800.0),
+/// ];
+/// let result = schedule_workflows_streaming(
+///     tenants,
+///     &SimulationConfig::default(),
+///     &mut NullSink,
+///     &mut NullRecordSink,
+/// );
+/// assert_eq!(result.reports.len(), 2);
+/// assert_eq!(result.leaked_inflight_instances, 0);
+/// assert_eq!(result.stats.forced_placements, 0);
+/// ```
+pub fn schedule_workflows_streaming(
+    mut tenants: Vec<StreamingTenant>,
+    config: &SimulationConfig,
+    sink: &mut dyn AttemptSink,
+    records: &mut dyn RecordSink,
+) -> StreamingReplayReport {
+    let mut cluster = Cluster::new(config);
+    assert!(
+        cluster.node_count() > 0,
+        "simulation config describes a cluster with no nodes"
+    );
+    let largest_node = cluster.largest_node_memory_bytes();
+    let mut events: EventHeap<Event> = EventHeap::new();
+    let mut pending: PendingQueue<QueuedAttempt> = PendingQueue::new();
+    let mut stats = SchedulerStats::default();
+    let mut makespan = 0.0_f64;
+    let mut retries: RetryLedger<(usize, usize)> = RetryLedger::new();
+    let mut aggs: Vec<ReplayAggregates> = tenants.iter().map(|_| ReplayAggregates::new()).collect();
+
+    // Arrival frontier: the next not-yet-arrived instance of each tenant,
+    // pulled eagerly so "does this tenant have more work?" is answerable
+    // without consuming. Holds at most one instance per tenant.
+    let mut next_idx: Vec<usize> = vec![0; tenants.len()];
+    let mut peeked: Vec<Option<TaskInstance>> =
+        tenants.iter_mut().map(|t| t.instances.next()).collect();
+    // Instances between arrival and terminal state — the engine's working
+    // set. Evicted on success and on terminal failure alike, together with
+    // the retry ledger entry.
+    let mut inflight: HashMap<(usize, usize), TaskInstance> = HashMap::new();
+    let mut peak_inflight = 0usize;
+
+    // The earliest pending arrival as (time, tenant): minimal by
+    // (time, arrival index, tenant index) — exactly the order the
+    // materialised engine's idx-major seeding loop assigns heap sequence
+    // numbers, so same-time arrivals inject in the same relative order.
+    let next_arrival = |peeked: &[Option<TaskInstance>],
+                        next_idx: &[usize],
+                        tenants: &[StreamingTenant]|
+     -> Option<(f64, usize)> {
+        let mut best: Option<(f64, usize, usize)> = None;
+        for (ti, slot) in peeked.iter().enumerate() {
+            if slot.is_none() {
+                continue;
+            }
+            let idx = next_idx[ti];
+            let time =
+                tenants[ti].arrival_offset_seconds + idx as f64 * config.submit_interval_seconds;
+            let better = match best {
+                None => true,
+                Some((bt, bidx, _)) => time < bt || (time == bt && idx < bidx),
+            };
+            if better {
+                best = Some((time, idx, ti));
+            }
+        }
+        best.map(|(time, _, ti)| (time, ti))
+    };
+
+    loop {
+        let arrival = next_arrival(&peeked, &next_idx, &tenants);
+        // Arrivals win time-ties against heap events (completions/retries):
+        // in the materialised engine every first-submit is seeded before any
+        // Finish/retry is pushed, so its heap sequence number is lower and
+        // it pops first on equal times.
+        let take_arrival = match (arrival, events.peek_time()) {
+            (Some((at, _)), Some(ht)) => at <= ht,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+
+        if take_arrival {
+            let (at, ti) = arrival.expect("checked above");
+            let idx = next_idx[ti];
+            let inst = peeked[ti].take().expect("arrival has an instance");
+            peeked[ti] = tenants[ti].instances.next();
+            next_idx[ti] += 1;
+            inflight.insert((ti, idx), inst);
+            peak_inflight = peak_inflight.max(inflight.len());
+            submit_streaming(
+                at,
+                ti,
+                idx,
+                0,
+                &mut tenants,
+                &inflight,
+                &retries,
+                &mut pending,
+                largest_node,
+                config,
+            );
+            try_dispatch_streaming(
+                at,
+                config,
+                &mut cluster,
+                &mut pending,
+                &mut events,
+                &mut stats,
+                &mut aggs,
+                sink,
+                &inflight,
+            );
+        } else if let Some((now, event)) = events.pop() {
+            match event {
+                Event::Submit {
+                    tenant: ti,
+                    instance,
+                    attempt,
+                } => {
+                    submit_streaming(
+                        now,
+                        ti,
+                        instance,
+                        attempt,
+                        &mut tenants,
+                        &inflight,
+                        &retries,
+                        &mut pending,
+                        largest_node,
+                        config,
+                    );
+                    try_dispatch_streaming(
+                        now,
+                        config,
+                        &mut cluster,
+                        &mut pending,
+                        &mut events,
+                        &mut stats,
+                        &mut aggs,
+                        sink,
+                        &inflight,
+                    );
+                }
+                Event::Finish(run) => {
+                    cluster.release(
+                        crate::cluster::Placement { node: run.node },
+                        run.task.allocation_bytes,
+                    );
+                    makespan = makespan.max(now);
+                    let ti = run.task.tenant;
+                    let key = (ti, run.task.instance);
+                    let inst = &inflight[&key];
+                    let record = TaskRecord {
+                        workflow: tenants[ti].workflow.clone(),
+                        task_type: inst.task_type.clone(),
+                        machine: inst.machine.clone(),
+                        sequence: inst.sequence,
+                        input_bytes: inst.input_bytes,
+                        peak_memory_bytes: if run.task.success {
+                            inst.true_peak_bytes
+                        } else {
+                            run.task.allocation_bytes
+                        },
+                        allocated_memory_bytes: run.task.allocation_bytes,
+                        runtime_seconds: run.task.duration_seconds,
+                        concurrent_tasks: run.concurrent_at_start as u32,
+                        queue_delay_seconds: run.start_time - run.submit_time,
+                        outcome: if run.task.success {
+                            TaskOutcome::Succeeded
+                        } else {
+                            TaskOutcome::FailedOutOfMemory
+                        },
+                    };
+                    records.record(&record);
+                    tenants[ti].predictor.observe(&record);
+                    if run.task.success {
+                        // Terminal state: retire the retry baseline and the
+                        // in-flight instance together.
+                        retries.finish(key);
+                        inflight.remove(&key);
+                        aggs[ti].observe_instance(true);
+                    } else {
+                        let next_attempt = run.task.attempt + 1;
+                        if next_attempt < config.max_attempts {
+                            retries.record_failure(key, run.task.allocation_bytes);
+                            events.push(
+                                now,
+                                Event::Submit {
+                                    tenant: ti,
+                                    instance: run.task.instance,
+                                    attempt: next_attempt,
+                                },
+                            );
+                        } else {
+                            // Attempt budget exhausted: equally terminal, so
+                            // the instance must leave the working set *now* —
+                            // a stranded entry here is a leak the regression
+                            // suite would catch at scale.
+                            retries.finish(key);
+                            inflight.remove(&key);
+                            aggs[ti].observe_instance(false);
+                        }
+                    }
+                    try_dispatch_streaming(
+                        now,
+                        config,
+                        &mut cluster,
+                        &mut pending,
+                        &mut events,
+                        &mut stats,
+                        &mut aggs,
+                        sink,
+                        &inflight,
+                    );
+                }
+            }
+        } else {
+            break;
+        }
+
+        // Defensive: nothing left to arrive or finish but tasks still
+        // pending means the head can never fit (caller bypassed the clamp).
+        // Force it through so the replay terminates.
+        if events.is_empty() && peeked.iter().all(Option::is_none) && !pending.is_empty() {
+            let queued = pending.remove(0).expect("non-empty queue");
+            stats.forced_placements += 1;
+            dispatch_streaming(
+                queued,
+                0,
+                makespan,
+                &mut cluster,
+                &mut events,
+                &mut stats,
+                &mut aggs,
+                sink,
+                &inflight,
+            );
+        }
+    }
+
+    stats.peak_pending_tasks = pending.peak_len();
+    stats.peak_inflight_retries = retries.peak_entries();
+    stats.leaked_inflight_retries = retries.len();
+    debug_assert_eq!(
+        stats.leaked_inflight_retries, 0,
+        "every task reaches a terminal state, so the retry ledger must drain"
+    );
+    let leaked_inflight_instances = inflight.len();
+    debug_assert_eq!(
+        leaked_inflight_instances, 0,
+        "every task reaches a terminal state, so the in-flight set must drain"
+    );
+
+    let reports = tenants
+        .iter()
+        .zip(aggs)
+        .map(|(tenant, aggregates)| StreamingTenantReport {
+            workflow: tenant.workflow.clone(),
+            method: tenant.predictor.name(),
+            aggregates,
+        })
+        .collect();
+
+    StreamingReplayReport {
+        reports,
+        makespan_seconds: makespan,
+        stats,
+        nodes: cluster.nodes().to_vec(),
+        peak_inflight_instances: peak_inflight,
+        leaked_inflight_instances,
+    }
+}
+
+/// Sizes and enqueues one attempt in the streaming engine — the exact
+/// Submit-branch logic of [`schedule_workflows`], reading the instance from
+/// the in-flight working set.
+#[allow(clippy::too_many_arguments)]
+fn submit_streaming(
+    now: f64,
+    ti: usize,
+    instance: usize,
+    attempt: u32,
+    tenants: &mut [StreamingTenant],
+    inflight: &HashMap<(usize, usize), TaskInstance>,
+    retries: &RetryLedger<(usize, usize)>,
+    pending: &mut PendingQueue<QueuedAttempt>,
+    largest_node: f64,
+    config: &SimulationConfig,
+) {
+    let inst = &inflight[&(ti, instance)];
+    let submission = TaskSubmission {
+        workflow: inst.workflow.clone(),
+        task_type: inst.task_type.clone(),
+        machine: inst.machine.clone(),
+        sequence: inst.sequence,
+        input_bytes: inst.input_bytes,
+        preset_memory_bytes: inst.preset_memory_bytes,
+    };
+    let ctx = AttemptContext {
+        attempt,
+        last_allocation_bytes: retries.last_allocation((ti, instance)),
+    };
+    let prediction = tenants[ti].predictor.predict(&submission, ctx);
+    let allocation = prediction
+        .allocation_bytes
+        .clamp(MIN_ALLOCATION_BYTES, largest_node);
+    let success = allocation + 1e-6 >= inst.true_peak_bytes;
+    let duration = if success {
+        inst.base_runtime_seconds
+    } else {
+        inst.base_runtime_seconds * config.time_to_failure
+    };
+    let queued = PendingTask {
+        submit_time: now,
+        allocation_bytes: allocation,
+        payload: QueuedAttempt {
+            tenant: ti,
+            instance,
+            attempt,
+            allocation_bytes: allocation,
+            raw_estimate_bytes: prediction.raw_estimate_bytes,
+            selected_model: prediction.selected_model,
+            success,
+            duration_seconds: duration,
+        },
+    };
+    if attempt == 0 {
+        pending.push_back(queued);
+    } else {
+        // Retries re-enter with their original priority (head of the
+        // queue), matching the synchronous engine's `run_retry` semantics.
+        pending.push_front(queued);
+    }
+}
+
+/// Dispatches every queued task the policy allows at virtual time `now` —
+/// the streaming twin of the materialised engine's `try_dispatch` closure.
+#[allow(clippy::too_many_arguments)]
+fn try_dispatch_streaming(
+    now: f64,
+    config: &SimulationConfig,
+    cluster: &mut Cluster,
+    pending: &mut PendingQueue<QueuedAttempt>,
+    events: &mut EventHeap<Event>,
+    stats: &mut SchedulerStats,
+    aggs: &mut [ReplayAggregates],
+    sink: &mut dyn AttemptSink,
+    inflight: &HashMap<(usize, usize), TaskInstance>,
+) {
+    loop {
+        // Head of the queue first: every policy dispatches it if it fits.
+        let head_node = pending
+            .front()
+            .and_then(|t| cluster.select_node(t.allocation_bytes, config.policy));
+        let picked = if let Some(node) = head_node {
+            Some((0, node))
+        } else if config.policy == SchedulePolicy::Backfill {
+            // Head blocked: scan a bounded window behind it for a task
+            // that fits right now.
+            pending
+                .iter()
+                .enumerate()
+                .skip(1)
+                .take(config.backfill_window)
+                .find_map(|(idx, t)| {
+                    cluster
+                        .select_node(t.allocation_bytes, config.policy)
+                        .map(|node| (idx, node))
+                })
+        } else {
+            None
+        };
+        let Some((idx, node)) = picked else { break };
+        let queued = pending.remove(idx).expect("picked index exists");
+        dispatch_streaming(
+            queued, node, now, cluster, events, stats, aggs, sink, inflight,
+        );
+    }
+}
+
+/// Starts a queued attempt on `node` at virtual time `now` in the streaming
+/// engine: places it, folds the attempt event into its tenant's aggregates,
+/// offers it to the sink, and schedules its completion.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_streaming(
+    queued: PendingTask<QueuedAttempt>,
+    node: usize,
+    now: f64,
+    cluster: &mut Cluster,
+    events: &mut EventHeap<Event>,
+    stats: &mut SchedulerStats,
+    aggs: &mut [ReplayAggregates],
+    sink: &mut dyn AttemptSink,
+    inflight: &HashMap<(usize, usize), TaskInstance>,
+) {
+    let mut task = queued.payload;
+    cluster.place_on(node, task.allocation_bytes);
+    let queue_delay = (now - queued.submit_time).max(0.0);
+    stats.record_dispatch(queue_delay, cluster);
+    let inst = &inflight[&(task.tenant, task.instance)];
+    let wasted_bytes = if task.success {
+        (task.allocation_bytes - inst.true_peak_bytes).max(0.0)
+    } else {
+        task.allocation_bytes
+    };
+    let event = AttemptEvent {
+        task_type: inst.task_type.clone(),
+        sequence: inst.sequence,
+        attempt: task.attempt,
+        allocated_bytes: task.allocation_bytes,
+        true_peak_bytes: inst.true_peak_bytes,
+        duration_seconds: task.duration_seconds,
+        success: task.success,
+        wastage_gbh: wasted_bytes / 1e9 * task.duration_seconds / 3600.0,
+        raw_estimate_bytes: task.raw_estimate_bytes,
+        selected_model: task.selected_model.take(),
+        submit_time_seconds: now,
+        queue_delay_seconds: queue_delay,
+    };
+    aggs[task.tenant].observe_event(&event);
+    sink.record(&event);
+    let concurrent = cluster.running_tasks();
+    events.push(
+        now + task.duration_seconds,
+        Event::Finish(RunningAttempt {
+            node,
+            submit_time: queued.submit_time,
+            start_time: now,
+            concurrent_at_start: concurrent,
+            task,
+        }),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1074,6 +1625,78 @@ mod tests {
                 .sum::<f64>(),
             100.0
         );
+    }
+
+    #[test]
+    fn streaming_engine_matches_materialised_engine() {
+        use crate::accounting::{NullRecordSink, ReplayAggregates};
+
+        // Mixed workload with retries (peak 7 GB vs preset 2 GB doubles
+        // up to success), arrival offsets, and contention on a tiny node.
+        let mk_tenants = || {
+            let a: Vec<TaskInstance> = (0..6).map(|i| instance(i, 1e9, 100.0, 4e9)).collect();
+            let mut b: Vec<TaskInstance> = (0..4).map(|i| instance(i, 1e9, 80.0, 2e9)).collect();
+            b.push(instance(4, 7e9, 100.0, 2e9));
+            vec![
+                WorkflowTenant::new("a", a, Box::new(PresetPredictor)),
+                WorkflowTenant::new("b", b, Box::new(PresetPredictor)).with_arrival_offset(50.0),
+            ]
+        };
+        for policy in SchedulePolicy::ALL {
+            let config = tiny_cluster(policy);
+            let materialised = schedule_workflows(mk_tenants(), &config);
+            let mut streamed_events: Vec<AttemptEvent> = Vec::new();
+            let streaming = schedule_workflows_streaming(
+                mk_tenants()
+                    .into_iter()
+                    .map(StreamingTenant::from)
+                    .collect(),
+                &config,
+                &mut streamed_events,
+                &mut NullRecordSink,
+            );
+            assert_eq!(streaming.makespan_seconds, materialised.makespan_seconds);
+            assert_eq!(streaming.stats, materialised.stats);
+            assert_eq!(streaming.nodes, materialised.nodes);
+            assert_eq!(streaming.leaked_inflight_instances, 0);
+            for (s, m) in streaming.reports.iter().zip(&materialised.reports) {
+                assert_eq!(s.workflow, m.workflow);
+                assert_eq!(s.method, m.method);
+                assert_eq!(s.aggregates, ReplayAggregates::from_report(m));
+            }
+            // The collecting sink sees every attempt the materialised
+            // engine recorded.
+            let total: usize = materialised.reports.iter().map(|r| r.events.len()).sum();
+            assert_eq!(streamed_events.len(), total);
+        }
+    }
+
+    #[test]
+    fn streaming_engine_evicts_terminally_failed_instances() {
+        use crate::accounting::{NullRecordSink, NullSink};
+
+        let config = SimulationConfig {
+            max_attempts: 2,
+            ..tiny_cluster(SchedulePolicy::FirstFit)
+        };
+        // Peak beyond the node: clamped attempts can never succeed, so every
+        // instance exhausts its budget — the path that used to strand
+        // in-flight state.
+        let instances: Vec<TaskInstance> = (0..5).map(|i| instance(i, 50e9, 10.0, 1e9)).collect();
+        let result = schedule_workflows_streaming(
+            vec![StreamingTenant::new(
+                "wf",
+                instances.into_iter(),
+                Box::new(PresetPredictor),
+            )],
+            &config,
+            &mut NullSink,
+            &mut NullRecordSink,
+        );
+        assert_eq!(result.reports[0].aggregates.unfinished_instances, 5);
+        assert_eq!(result.leaked_inflight_instances, 0);
+        assert_eq!(result.stats.leaked_inflight_retries, 0);
+        assert!(result.peak_inflight_instances >= 1);
     }
 
     #[test]

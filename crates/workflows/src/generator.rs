@@ -116,6 +116,159 @@ pub fn generate_workflow(spec: &WorkflowSpec, config: &GeneratorConfig) -> Vec<T
     ordered
 }
 
+/// A lazily evaluated, allocation-bounded stream of the exact instances
+/// [`generate_workflow`] would materialise — same spec, same config, same
+/// seed, same arrival order, **bit-identical** values.
+///
+/// The materialised generator works in two phases over a single RNG: phase 1
+/// draws every instance type-by-type, phase 2 interleaves them into waves
+/// using the *same* RNG for the per-wave shuffles. The stream reproduces this
+/// without retaining the drawn instances: the constructor clones the RNG
+/// state at the start of each type's draw block (one small `[u64; 4]` state
+/// per type), advances the main RNG past all draws by drawing-and-discarding,
+/// and then re-draws each instance on demand from its type's cloned RNG in
+/// the original draw order while the advanced main RNG replays the wave
+/// shuffles. Peak memory is `O(#task_types)` regardless of how many instances
+/// the workflow has; the constructor costs one extra pass of RNG work.
+///
+/// The differential harness (`tests/streaming_equivalence.rs`) pins
+/// `WorkflowStream::collect::<Vec<_>>() == generate_workflow(..)` across
+/// profiles, seeds and scales.
+#[derive(Debug, Clone)]
+pub struct WorkflowStream {
+    spec: WorkflowSpec,
+    machine: MachineId,
+    /// Main RNG, advanced past every phase-1 draw; replays the wave shuffles.
+    rng: StdRng,
+    /// Per task type: the RNG state at the start of the type's draw block.
+    type_rngs: Vec<StdRng>,
+    /// Per task type: total instances to emit.
+    counts: Vec<usize>,
+    /// Per task type: instances emitted so far.
+    cursors: Vec<usize>,
+    /// When true, emit wave-interleaved; when false, grouped by type.
+    interleave: bool,
+    /// Flattened emission plan of the current wave: one type index per
+    /// pending instance (bounded by `#types * 16`).
+    wave: std::collections::VecDeque<usize>,
+    /// Next submission sequence number, assigned in arrival order.
+    next_sequence: u64,
+    /// Instances still to be emitted across all types.
+    remaining_total: usize,
+}
+
+impl WorkflowStream {
+    /// Builds the stream for one workflow execution. Equivalent to
+    /// [`generate_workflow`] with the same arguments, but lazy.
+    pub fn new(spec: &WorkflowSpec, config: &GeneratorConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ hash_name(&spec.name));
+        let machine = MachineId::new(MACHINE_NAME);
+        let mut type_rngs = Vec::with_capacity(spec.task_types.len());
+        let mut counts = Vec::with_capacity(spec.task_types.len());
+        for task_type in &spec.task_types {
+            let count = scaled_count(task_type.instances, config);
+            type_rngs.push(rng.clone());
+            // Advance the main RNG past this type's draw block; the drawn
+            // instances are discarded (they will be re-drawn on demand from
+            // the cloned state).
+            for _ in 0..count {
+                let _ = instantiate(spec, task_type, &machine, &mut rng);
+            }
+            counts.push(count);
+        }
+        let remaining_total = counts.iter().sum();
+        WorkflowStream {
+            spec: spec.clone(),
+            machine,
+            rng,
+            type_rngs,
+            cursors: vec![0; counts.len()],
+            counts,
+            interleave: config.interleave,
+            wave: std::collections::VecDeque::new(),
+            next_sequence: 0,
+            remaining_total,
+        }
+    }
+
+    /// Total number of instances the stream will emit (constant; does not
+    /// decrease as the stream is consumed).
+    pub fn total_instances(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Plans the next wave of the interleaved order, mirroring one iteration
+    /// of the materialised generator's wave loop (shuffle the type order,
+    /// then burst `clamp(remaining / 8, 1, 16)` instances per type).
+    fn plan_wave(&mut self) {
+        let mut order: Vec<usize> = (0..self.counts.len()).collect();
+        order.shuffle(&mut self.rng);
+        for &ti in &order {
+            let remaining = self.counts[ti] - self.cursors[ti];
+            if remaining == 0 {
+                continue;
+            }
+            let burst = (remaining / 8).clamp(1, 16);
+            for _ in 0..burst {
+                self.wave.push_back(ti);
+            }
+            // Reserve the burst so the next type's `remaining` in this wave
+            // matches the materialised generator (cursors only advance for
+            // the type being visited, exactly once per wave).
+            self.cursors[ti] += burst;
+        }
+    }
+
+    /// Draws the next instance of type `ti` from its cloned RNG state.
+    fn emit(&mut self, ti: usize) -> TaskInstance {
+        let mut inst = instantiate(
+            &self.spec,
+            &self.spec.task_types[ti],
+            &self.machine,
+            &mut self.type_rngs[ti],
+        );
+        inst.sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.remaining_total -= 1;
+        inst
+    }
+}
+
+impl Iterator for WorkflowStream {
+    type Item = TaskInstance;
+
+    fn next(&mut self) -> Option<TaskInstance> {
+        if self.remaining_total == 0 {
+            return None;
+        }
+        if self.interleave {
+            while self.wave.is_empty() {
+                self.plan_wave();
+            }
+            let ti = self.wave.pop_front().expect("planned wave is non-empty");
+            Some(self.emit(ti))
+        } else {
+            // Grouped order: first type with instances left. `cursors` here
+            // counts emissions directly (no wave reservations).
+            let ti = (0..self.counts.len()).find(|&ti| self.cursors[ti] < self.counts[ti])?;
+            self.cursors[ti] += 1;
+            Some(self.emit(ti))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining_total, Some(self.remaining_total))
+    }
+}
+
+impl ExactSizeIterator for WorkflowStream {}
+
+/// Streaming counterpart of [`generate_workflow`]: yields the identical
+/// instance sequence without materialising it.
+pub fn stream_workflow(spec: &WorkflowSpec, config: &GeneratorConfig) -> WorkflowStream {
+    WorkflowStream::new(spec, config)
+}
+
 /// Generates all six evaluation workflows with the same configuration.
 pub fn generate_all(
     specs: &[WorkflowSpec],
@@ -285,6 +438,41 @@ mod tests {
                 assert_eq!(inst.workflow, spec.name);
             }
         }
+    }
+
+    #[test]
+    fn stream_matches_materialised_generation() {
+        for spec in profiles::all_workflows() {
+            for interleave in [true, false] {
+                let cfg = GeneratorConfig {
+                    scale: 0.03,
+                    seed: 91,
+                    min_instances: 4,
+                    interleave,
+                };
+                let materialised = generate_workflow(&spec, &cfg);
+                let stream = stream_workflow(&spec, &cfg);
+                assert_eq!(stream.len(), materialised.len());
+                assert_eq!(stream.total_instances(), materialised.len());
+                let streamed: Vec<TaskInstance> = stream.collect();
+                assert_eq!(
+                    streamed, materialised,
+                    "{} interleave={interleave}",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_size_hint_counts_down() {
+        let spec = profiles::iwd();
+        let mut stream = stream_workflow(&spec, &GeneratorConfig::scaled(0.05, 3));
+        let total = stream.len();
+        assert!(total > 0);
+        stream.next().unwrap();
+        assert_eq!(stream.len(), total - 1);
+        assert_eq!(stream.total_instances(), total);
     }
 
     #[test]

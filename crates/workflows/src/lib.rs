@@ -40,7 +40,9 @@ pub mod profiles;
 pub mod sampling;
 pub mod stats;
 
-pub use generator::{generate_all, generate_workflow, GeneratorConfig};
+pub use generator::{
+    generate_all, generate_workflow, stream_workflow, GeneratorConfig, WorkflowStream,
+};
 pub use memfn::{InputModel, MemoryModel, RuntimeModel};
 pub use model::{ResourceFootprint, TaskInstance, TaskTypeSpec, WorkflowSpec};
 pub use profiles::{

@@ -33,13 +33,17 @@ pub mod prelude {
         MachineId, ProvenanceStore, TaskMachineKey, TaskOutcome, TaskRecord, TaskTypeId,
     };
     pub use sizey_sim::{
-        aggregate_method, replay_workflow, replay_workflow_occupancy, schedule_workflows,
-        AttemptContext, CheckpointPredictor, MemoryPredictor, MultiReplayReport, NodePoolSpec,
-        Prediction, PredictorState, ReplayReport, SchedulePolicy, Scheduler, SchedulerStats,
-        SimulationConfig, StateError, TaskSubmission, WorkflowTenant,
+        aggregate_method, replay_workflow, replay_workflow_occupancy, replay_workflow_streaming,
+        schedule_workflows, schedule_workflows_streaming, AttemptContext, AttemptSink,
+        CheckpointPredictor, CompactedCheckpoint, MemoryPredictor, MultiReplayReport, NodePoolSpec,
+        NullRecordSink, NullSink, Prediction, PredictorState, RecordSink, ReplayAggregates,
+        ReplayReport, SchedulePolicy, Scheduler, SchedulerStats, SimulationConfig, StateError,
+        StreamingReplayReport, StreamingTenant, StreamingTenantReport, TaskSubmission,
+        WorkflowTenant,
     };
     pub use sizey_workflows::{
-        all_workflows, generate_workflow, profiles, GeneratorConfig, TaskInstance, WorkflowSpec,
+        all_workflows, generate_workflow, profiles, stream_workflow, GeneratorConfig, TaskInstance,
+        WorkflowSpec, WorkflowStream,
     };
 }
 

@@ -11,6 +11,7 @@
 //! pools plus the context the engine hands in.
 
 use sizey_suite::prelude::*;
+use std::sync::{Arc, Mutex};
 
 fn impossible(seq: u64) -> TaskInstance {
     TaskInstance {
@@ -83,4 +84,77 @@ fn sizey_retry_state_stays_bounded_when_tasks_terminally_fail() {
         last_allocation_bytes: None,
     };
     assert_eq!(service.service().predict(&task, ctx).allocation_bytes, 8e9);
+}
+
+/// A predictor handle shared with the test so the streaming replay (which
+/// consumes its tenants) can be inspected afterwards.
+struct Shared(Arc<Mutex<SizeyPredictor>>);
+
+impl MemoryPredictor for Shared {
+    fn name(&self) -> String {
+        self.0.lock().expect("predictor lock").name()
+    }
+
+    fn predict(&self, task: &TaskSubmission, ctx: AttemptContext) -> Prediction {
+        self.0.lock().expect("predictor lock").predict(task, ctx)
+    }
+
+    fn observe(&mut self, record: &TaskRecord) {
+        self.0.lock().expect("predictor lock").observe(record)
+    }
+}
+
+/// Streaming-engine regression: instances that exhaust `max_attempts` are
+/// evicted from the in-flight working set *and* the retry ledger at their
+/// terminal failure — before any record could be compacted away — so a long
+/// stream of hopeless tasks leaves no stranded entries. With arrivals spaced
+/// wider than a full retry cascade, the working set never holds more than
+/// one instance, and a bounded predictor's provenance store stays at its
+/// retention window while still having seen every record.
+#[test]
+fn streaming_replay_evicts_terminal_failures_and_stays_bounded() {
+    let n = 40u64;
+    let window = 8usize;
+    let config = SimulationConfig {
+        max_attempts: 5,
+        // Five failed attempts take 5 x 30 s; arrivals every 200 s mean each
+        // instance reaches its terminal failure before the next arrives.
+        submit_interval_seconds: 200.0,
+        ..SimulationConfig::default()
+    };
+    let predictor = Arc::new(Mutex::new(SizeyPredictor::new(
+        SizeyConfig::default().with_history_window(window),
+    )));
+    let mut observed_records = 0usize;
+    let mut record_sink = |_: &TaskRecord| observed_records += 1;
+
+    let result = schedule_workflows_streaming(
+        vec![StreamingTenant::new(
+            "wf",
+            (0..n).map(impossible),
+            Box::new(Shared(Arc::clone(&predictor))),
+        )],
+        &config,
+        &mut NullSink,
+        &mut record_sink,
+    );
+
+    let aggregates = &result.reports[0].aggregates;
+    assert_eq!(aggregates.instances, n as usize);
+    assert_eq!(aggregates.unfinished_instances, n as usize);
+    assert_eq!(aggregates.attempts, 5 * n);
+
+    // No stranded in-flight state, and the working set stayed at one
+    // instance despite 40 terminally failing ones streaming through.
+    assert_eq!(result.leaked_inflight_instances, 0);
+    assert_eq!(result.stats.leaked_inflight_retries, 0);
+    assert_eq!(result.peak_inflight_instances, 1);
+    assert_eq!(result.stats.peak_inflight_retries, 1);
+
+    // Every finished record reached the sink and the predictor, but the
+    // bounded provenance store retained only its window.
+    assert_eq!(observed_records, 5 * n as usize);
+    let sizey = predictor.lock().expect("predictor lock");
+    assert_eq!(sizey.provenance().total_inserted(), 5 * n);
+    assert_eq!(sizey.provenance().len(), window);
 }

@@ -25,6 +25,17 @@ fn small_workload(name: &str, seed: u64) -> Vec<TaskInstance> {
 /// outcome — and returns every prediction made. Failures exercise the
 /// journal's failed-record path.
 fn drive(predictor: &mut dyn CheckpointPredictor, inst: &TaskInstance) -> Vec<Prediction> {
+    drive_with(predictor, inst, |_| {})
+}
+
+/// [`drive`], additionally offering every observed record to `on_record`
+/// just before the predictor sees it — the hook the compaction tests use to
+/// append the post-checkpoint journal tail.
+fn drive_with(
+    predictor: &mut dyn CheckpointPredictor,
+    inst: &TaskInstance,
+    mut on_record: impl FnMut(&TaskRecord),
+) -> Vec<Prediction> {
     let submission = TaskSubmission {
         workflow: inst.workflow.clone(),
         task_type: inst.task_type.clone(),
@@ -65,6 +76,7 @@ fn drive(predictor: &mut dyn CheckpointPredictor, inst: &TaskInstance) -> Vec<Pr
                 TaskOutcome::FailedOutOfMemory
             },
         };
+        on_record(&record);
         predictor.observe(&record);
         last_allocation = Some(allocation);
         if success {
@@ -194,6 +206,71 @@ proptest! {
             .restore(&state)
             .map_err(|e| TestCaseError::fail(format!("restore failed: {e}")))?;
         prop_assert_eq!(restored.since_full_retrain(), counters);
+    }
+
+    /// Satellite: journal compaction. For **every** predictor class in the
+    /// default suite, restoring from a mid-workflow base checkpoint plus the
+    /// journal tail observed afterwards is bit-identical to restoring from
+    /// the full journal — same resolved state (for journaling predictors),
+    /// same lockstep predictions, same final snapshots.
+    #[test]
+    fn compacted_checkpoint_restore_is_bit_identical(
+        seed in 0u64..3000,
+        wf_idx in 0usize..6,
+        cut_permille in 0usize..1000,
+        method_idx in 0usize..6,
+    ) {
+        let suite = MethodSpec::default_suite();
+        let method = &suite[method_idx];
+        let name = sizey_workflows::WORKFLOW_NAMES[wf_idx];
+        let instances = small_workload(name, seed);
+        let cut = cut_permille * instances.len() / 1000;
+
+        let mut original = method.build();
+        for inst in &instances[..cut] {
+            drive(original.as_mut(), inst);
+        }
+        let mut compacted = CompactedCheckpoint::new(original.snapshot());
+        for inst in &instances[cut..] {
+            drive_with(original.as_mut(), inst, |record| {
+                compacted.append(std::sync::Arc::new(record.clone()));
+            });
+        }
+        let full = original.snapshot();
+        compacted.seal_counters(full.counters.clone());
+
+        // Journaling predictors: base + tail resolves to the exact full
+        // state. (The stateless preset baseline journals nothing, so its
+        // resolved tail is deliberately richer than its empty snapshot.)
+        if method.id() != "preset" {
+            prop_assert_eq!(
+                compacted.resolve(),
+                full.clone(),
+                "base + tail did not resolve to the full journal"
+            );
+        }
+
+        let mut from_full = method
+            .restore(&full)
+            .map_err(|e| TestCaseError::fail(format!("full restore failed: {e}")))?;
+        let mut from_compacted = method.build();
+        compacted
+            .restore_into(from_compacted.as_mut())
+            .map_err(|e| TestCaseError::fail(format!("compacted restore failed: {e}")))?;
+        prop_assert_eq!(
+            from_compacted.snapshot(),
+            from_full.snapshot(),
+            "restored snapshots diverged"
+        );
+
+        // Lockstep continuation: both restored predictors must keep making
+        // identical predictions on further work.
+        for inst in instances.iter().take(24) {
+            let a = drive(from_full.as_mut(), inst);
+            let b = drive(from_compacted.as_mut(), inst);
+            prop_assert_eq!(a, b, "post-restore predictions diverged");
+        }
+        prop_assert_eq!(from_full.snapshot(), from_compacted.snapshot());
     }
 
     /// The serialised text form itself round-trips losslessly for states

@@ -57,7 +57,7 @@ fn main() {
             failures += report.total_failures();
             train_ms.extend(sizey.training_times().iter().map(|d| d.as_secs_f64() * 1e3));
         }
-        train_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        train_ms.sort_by(|a, b| a.total_cmp(b));
         let median_ms = train_ms.get(train_ms.len() / 2).copied().unwrap_or(0.0);
         rows.push(vec![
             label,

@@ -16,7 +16,7 @@ fn median_ms(times: &[std::time::Duration]) -> f64 {
         return 0.0;
     }
     let mut ms: Vec<f64> = times.iter().map(|d| d.as_secs_f64() * 1e3).collect();
-    ms.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    ms.sort_by(|a, b| a.total_cmp(b));
     ms[ms.len() / 2]
 }
 

@@ -47,7 +47,7 @@ fn main() {
                         .unwrap_or(f64::INFINITY),
                 )
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite wastage"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("at least one baseline");
         let reduction = (1.0 - sizey_w / best_w) * 100.0;
         reductions.push(reduction);

@@ -65,7 +65,12 @@ fn note_alloc(size: usize) {
     PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
 }
 
+// SAFETY: a pure passthrough to the [`System`] allocator — layout
+// contracts are forwarded untouched, so the GlobalAlloc invariants hold
+// exactly as they do for `System` itself; the atomic counters never
+// allocate and cannot re-enter the allocator.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: delegates to `System.alloc` with the caller's layout.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let ptr = System.alloc(layout);
         if !ptr.is_null() {
@@ -74,6 +79,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
         ptr
     }
 
+    // SAFETY: delegates to `System.alloc_zeroed` with the caller's layout.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         let ptr = System.alloc_zeroed(layout);
         if !ptr.is_null() {
@@ -82,11 +88,15 @@ unsafe impl GlobalAlloc for CountingAllocator {
         ptr
     }
 
+    // SAFETY: delegates to `System.dealloc`; `ptr`/`layout` come from a
+    // prior alloc on this same (passthrough) allocator.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
+    // SAFETY: delegates to `System.realloc` under the caller's contract
+    // (live `ptr`, matching `layout`, non-zero rounded `new_size`).
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let out = System.realloc(ptr, layout, new_size);
         if !out.is_null() {

@@ -25,6 +25,28 @@ pub struct GatingDecision {
 /// Panics if `estimates` and `raq_scores` have different lengths or are
 /// empty — the pool never calls the gate without at least one fitted model.
 pub fn gate(strategy: GatingStrategy, estimates: &[f64], raq_scores: &[f64]) -> GatingDecision {
+    let mut weights = Vec::new();
+    let (estimate, dominant_model) = gate_with(strategy, estimates, raq_scores, &mut weights);
+    GatingDecision {
+        estimate,
+        weights,
+        dominant_model,
+    }
+}
+
+/// [`gate`] into a caller-owned weights buffer — the allocation-free twin
+/// used by the predict hot path. On return `weights` holds one weight per
+/// pool member; the aggregate estimate and the index of the dominant model
+/// are returned directly. Identical arithmetic to [`gate`].
+///
+/// # Panics
+/// Same contract as [`gate`].
+pub fn gate_with(
+    strategy: GatingStrategy,
+    estimates: &[f64],
+    raq_scores: &[f64],
+    weights: &mut Vec<f64>,
+) -> (f64, usize) {
     assert_eq!(
         estimates.len(),
         raq_scores.len(),
@@ -35,28 +57,20 @@ pub fn gate(strategy: GatingStrategy, estimates: &[f64], raq_scores: &[f64]) -> 
     match strategy {
         GatingStrategy::Argmax => {
             let best = argmax(raq_scores);
-            let mut weights = vec![0.0; estimates.len()];
+            weights.clear();
+            weights.resize(estimates.len(), 0.0);
             weights[best] = 1.0;
-            GatingDecision {
-                estimate: estimates[best],
-                weights,
-                dominant_model: best,
-            }
+            (estimates[best], best)
         }
         GatingStrategy::Interpolation { beta } => {
             let beta = beta.max(1.0);
-            let weights = softmax(raq_scores, beta);
+            softmax_into(raq_scores, beta, weights);
             let estimate = estimates
                 .iter()
                 .zip(weights.iter())
                 .map(|(e, w)| e * w)
                 .sum();
-            let dominant_model = argmax(&weights);
-            GatingDecision {
-                estimate,
-                weights,
-                dominant_model,
-            }
+            (estimate, argmax(weights))
         }
     }
 }
@@ -72,12 +86,17 @@ fn argmax(values: &[f64]) -> usize {
     best
 }
 
-/// Numerically stable softmax with sharpness `beta` (Eq. 4).
-fn softmax(scores: &[f64], beta: f64) -> Vec<f64> {
+/// Numerically stable softmax with sharpness `beta` (Eq. 4), written into a
+/// caller-owned buffer. Same values and summation order as collecting the
+/// exponentials into a fresh vector.
+fn softmax_into(scores: &[f64], beta: f64, out: &mut Vec<f64>) {
     let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = scores.iter().map(|s| (beta * (s - max)).exp()).collect();
-    let sum: f64 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    out.clear();
+    out.extend(scores.iter().map(|s| (beta * (s - max)).exp()));
+    let sum: f64 = out.iter().sum();
+    for w in out.iter_mut() {
+        *w /= sum;
+    }
 }
 
 #[cfg(test)]

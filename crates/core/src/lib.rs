@@ -55,9 +55,12 @@ pub mod sizey;
 
 pub use config::{GatingStrategy, OffsetMode, OnlineMode, SizeyConfig};
 pub use failure::{failure_allocation, failure_allocation_clamped};
-pub use gating::{gate, GatingDecision};
-pub use offset::{hypothetical_wastage, select_dynamic_offset, OffsetStrategy};
-pub use pool::{ModelPool, RetrainJob, RetrainPolicy, RetrainedModels};
+pub use gating::{gate, gate_with, GatingDecision};
+pub use offset::{
+    hypothetical_wastage, select_dynamic_offset, select_dynamic_offset_with, OffsetScratch,
+    OffsetStrategy,
+};
+pub use pool::{GatedOutcome, ModelPool, PoolScratch, RetrainJob, RetrainPolicy, RetrainedModels};
 pub use raq::{accuracy_score, efficiency_scores, pool_raq_scores, raq_score};
 pub use serve::{
     BatchRequest, ConcurrentPredictor, ConcurrentSizey, ServiceCheckpoint, SharedPredictor,

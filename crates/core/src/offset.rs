@@ -9,10 +9,10 @@
 //! *would have* caused the least wastage on the already executed tasks is
 //! selected.
 
-use sizey_ml::metrics::{median, std_dev};
+use sizey_ml::metrics::{percentile_in_place, std_dev};
 
 /// The four offset strategies of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OffsetStrategy {
     /// Standard deviation of all prediction errors.
     StdDev,
@@ -46,26 +46,51 @@ impl OffsetStrategy {
     /// Computes the offset (in bytes) this strategy derives from the history
     /// of `(prediction, actual)` pairs.
     pub fn offset(&self, history: &[(f64, f64)]) -> f64 {
+        let mut scratch = OffsetScratch::default();
+        self.offset_with(history, &mut scratch)
+    }
+
+    /// [`OffsetStrategy::offset`] over caller-owned buffers — the
+    /// allocation-free twin used by the predict hot path. Identical
+    /// arithmetic: the same error values in the same order, the median
+    /// strategies sort the scratch buffer in place instead of a fresh copy.
+    pub fn offset_with(&self, history: &[(f64, f64)], scratch: &mut OffsetScratch) -> f64 {
         if history.is_empty() {
             return 0.0;
         }
         // error > 0 means the model under-predicted (actual above estimate).
-        let errors: Vec<f64> = history
-            .iter()
-            .map(|&(pred, actual)| actual - pred)
-            .collect();
-        let under: Vec<f64> = errors.iter().copied().filter(|e| *e > 0.0).collect();
+        let errors = &mut scratch.errors;
+        errors.clear();
+        errors.extend(history.iter().map(|&(pred, actual)| actual - pred));
+        let values = &mut scratch.values;
+        values.clear();
         let value = match self {
-            OffsetStrategy::StdDev => std_dev(&errors),
-            OffsetStrategy::StdDevUnderpredictions => std_dev(&under),
-            OffsetStrategy::MedianError => {
-                let abs: Vec<f64> = errors.iter().map(|e| e.abs()).collect();
-                median(&abs)
+            OffsetStrategy::StdDev => std_dev(errors),
+            OffsetStrategy::StdDevUnderpredictions => {
+                values.extend(errors.iter().copied().filter(|e| *e > 0.0));
+                std_dev(values)
             }
-            OffsetStrategy::MedianErrorUnderpredictions => median(&under),
+            OffsetStrategy::MedianError => {
+                values.extend(errors.iter().map(|e| e.abs()));
+                percentile_in_place(values, 50.0)
+            }
+            OffsetStrategy::MedianErrorUnderpredictions => {
+                values.extend(errors.iter().copied().filter(|e| *e > 0.0));
+                percentile_in_place(values, 50.0)
+            }
         };
         value.max(0.0)
     }
+}
+
+/// Reusable buffers for the offset computations on the predict hot path.
+#[derive(Debug, Default, Clone)]
+pub struct OffsetScratch {
+    /// Signed prediction errors (`actual - pred`).
+    errors: Vec<f64>,
+    /// Strategy-specific working set (under-predictions or absolute errors);
+    /// the median strategies sort it in place.
+    values: Vec<f64>,
 }
 
 impl std::fmt::Display for OffsetStrategy {
@@ -98,13 +123,24 @@ pub fn hypothetical_wastage(history: &[(f64, f64)], offset: f64) -> f64 {
 /// the observed history (the paper's dynamic offset selection), together with
 /// the offset value it yields.
 pub fn select_dynamic_offset(history: &[(f64, f64)]) -> (OffsetStrategy, f64) {
+    let mut scratch = OffsetScratch::default();
+    select_dynamic_offset_with(history, &mut scratch)
+}
+
+/// [`select_dynamic_offset`] over caller-owned buffers — the allocation-free
+/// twin used by the predict hot path. Identical candidate order and
+/// tie-breaking.
+pub fn select_dynamic_offset_with(
+    history: &[(f64, f64)],
+    scratch: &mut OffsetScratch,
+) -> (OffsetStrategy, f64) {
     let mut best = (
         OffsetStrategy::StdDev,
-        OffsetStrategy::StdDev.offset(history),
+        OffsetStrategy::StdDev.offset_with(history, scratch),
     );
     let mut best_cost = f64::INFINITY;
     for strategy in OffsetStrategy::ALL {
-        let offset = strategy.offset(history);
+        let offset = strategy.offset_with(history, scratch);
         let cost = hypothetical_wastage(history, offset);
         if cost < best_cost {
             best_cost = cost;

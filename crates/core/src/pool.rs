@@ -19,16 +19,21 @@
 //! slices use saturating arithmetic), so a misbehaving model class can
 //! degrade a pool's estimates but never abort a replay or a serving thread.
 
+// Every prediction funnels through this module's gated pipeline; the
+// marker opts it into the no-panic-hot-path lint rule.
+#![doc = "lint:hot-path"]
+
 use crate::config::{OnlineMode, SizeyConfig};
-use crate::gating::{gate, GatingDecision};
-use crate::raq::{accuracy_score_cached, pair_accuracy, pool_raq_scores_from_accuracy};
+use crate::gating::{gate_with, GatingDecision};
+use crate::offset::OffsetScratch;
+use crate::raq::{accuracy_score_cached, pair_accuracy, pool_raq_scores_into};
 use sizey_ml::dataset::Dataset;
 use sizey_ml::forest::{ForestConfig, RandomForestRegression};
 use sizey_ml::hpo::{grid_search, ModelSpec};
 use sizey_ml::knn::KnnRegression;
 use sizey_ml::linear::LinearRegression;
 use sizey_ml::mlp::{MlpConfig, MlpRegression};
-use sizey_ml::model::{ModelClass, Regressor};
+use sizey_ml::model::{ModelClass, PredictScratch, Regressor};
 use std::time::{Duration, Instant};
 
 /// Number of most recent prequential accuracy contributions entering the
@@ -114,6 +119,40 @@ struct PoolMember {
     /// themselves are not retained (the score is the only thing Eq. 1
     /// ever reads).
     accuracy_scores: Vec<f64>,
+}
+
+/// Reusable buffers for one full prediction pipeline pass
+/// ([`ModelPool::gated_estimate_with`]) plus the offset computation that
+/// follows it — everything the read path needs, owned by the caller and
+/// recycled across predictions so the steady state allocates nothing.
+#[derive(Debug, Default)]
+pub struct PoolScratch {
+    /// Per-model buffers shared by every member's
+    /// [`Regressor::predict_with`].
+    pub(crate) ml: PredictScratch,
+    /// `(class, estimate)` pairs of the members that produced an estimate.
+    pub(crate) estimates: Vec<(ModelClass, f64)>,
+    /// Windowed Eq. 1 accuracy score per estimating member.
+    pub(crate) accuracies: Vec<f64>,
+    /// Bare estimate values, aligned with `accuracies`.
+    pub(crate) values: Vec<f64>,
+    /// Eq. 3 RAQ scores.
+    pub(crate) raq: Vec<f64>,
+    /// Gating weights (Eq. 4).
+    pub(crate) weights: Vec<f64>,
+    /// Offset-strategy working buffers.
+    pub(crate) offset: OffsetScratch,
+}
+
+/// The allocation-free result of [`ModelPool::gated_estimate_with`]: the
+/// aggregate estimate plus the dominant model class, with no owned
+/// per-member vectors (those stay in the [`PoolScratch`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatedOutcome {
+    /// The aggregated memory estimate in bytes.
+    pub estimate: f64,
+    /// The model class holding the largest gating weight.
+    pub dominant: ModelClass,
 }
 
 /// The model pool of one (task type, machine) combination.
@@ -302,58 +341,117 @@ impl ModelPool {
     /// Produces each fitted member's estimate for the given features,
     /// clamped to be non-negative. Returns `None` when no member can predict.
     pub fn individual_estimates(&self, features: &[f64]) -> Option<Vec<(ModelClass, f64)>> {
-        let estimates: Vec<(ModelClass, f64)> = self
-            .members
-            .iter()
-            .filter(|m| m.model.is_fitted())
-            .filter_map(|m| {
-                m.model
-                    .predict(features)
-                    .ok()
-                    .filter(|p| p.is_finite())
-                    .map(|p| (m.class, p.max(0.0)))
-            })
-            .collect();
-        if estimates.is_empty() {
+        let mut scratch = PoolScratch::default();
+        self.individual_estimates_into(features, &mut scratch)?;
+        Some(std::mem::take(&mut scratch.estimates))
+    }
+
+    /// Fills `scratch.estimates` with each fitted member's non-negative
+    /// estimate. Returns `None` (leaving the buffer empty) when no member
+    /// can predict — same filtering as [`ModelPool::individual_estimates`].
+    fn individual_estimates_into(&self, features: &[f64], scratch: &mut PoolScratch) -> Option<()> {
+        scratch.estimates.clear();
+        for m in &self.members {
+            if !m.model.is_fitted() {
+                continue;
+            }
+            if let Some(p) = m
+                .model
+                .predict_with(features, &mut scratch.ml)
+                .ok()
+                .filter(|p| p.is_finite())
+            {
+                scratch.estimates.push((m.class, p.max(0.0)));
+            }
+        }
+        if scratch.estimates.is_empty() {
             None
         } else {
-            Some(estimates)
+            Some(())
         }
     }
 
     /// Runs the full prediction pipeline for one query: individual estimates,
     /// RAQ scores, gating. Returns `None` when the pool is not ready.
+    ///
+    /// Reference entry point delegating to
+    /// [`ModelPool::gated_estimate_with`]; the hot path calls the latter
+    /// directly with a recycled [`PoolScratch`].
     pub fn gated_estimate(
         &self,
         features: &[f64],
         config: &SizeyConfig,
     ) -> Option<(GatingDecision, Vec<(ModelClass, f64)>)> {
+        let mut scratch = PoolScratch::default();
+        let outcome = self.gated_estimate_with(features, config, &mut scratch)?;
+        let dominant_model = scratch
+            .estimates
+            .iter()
+            .position(|(class, _)| *class == outcome.dominant)?;
+        Some((
+            GatingDecision {
+                estimate: outcome.estimate,
+                weights: std::mem::take(&mut scratch.weights),
+                dominant_model,
+            },
+            std::mem::take(&mut scratch.estimates),
+        ))
+    }
+
+    /// [`ModelPool::gated_estimate`] over caller-owned buffers — the
+    /// allocation-free pipeline the predict hot path runs. Identical
+    /// arithmetic at every stage (estimates, accuracy window, RAQ, gating);
+    /// the per-member details stay in `scratch` instead of being returned.
+    pub fn gated_estimate_with(
+        &self,
+        features: &[f64],
+        config: &SizeyConfig,
+        scratch: &mut PoolScratch,
+    ) -> Option<GatedOutcome> {
         if !self.is_ready(config.min_history) {
             return None;
         }
-        let estimates = self.individual_estimates(features)?;
+        self.individual_estimates_into(features, scratch)?;
         // The accuracy score follows the model's *current* quality: only the
         // most recent prequential errors enter Eq. 1, so a model that drifts
         // (or recovers) is re-rated quickly. The per-pair contributions were
         // cached when the pairs were recorded (`accuracy_scores`), so this
         // sums a bounded window of cached values — no per-predict re-scoring
         // of the history, no cloned window buffers.
-        let accuracies: Vec<f64> = estimates
-            .iter()
-            .map(|(class, _)| {
-                self.members
-                    .iter()
-                    .find(|m| m.class == *class)
-                    .map(|m| {
-                        let s = &m.accuracy_scores;
-                        accuracy_score_cached(&s[s.len().saturating_sub(ACCURACY_WINDOW)..])
-                    })
-                    .unwrap_or(0.0)
-            })
-            .collect();
-        let values: Vec<f64> = estimates.iter().map(|(_, v)| *v).collect();
-        let raq = pool_raq_scores_from_accuracy(&accuracies, &values, config.alpha);
-        Some((gate(config.gating, &values, &raq), estimates))
+        scratch.accuracies.clear();
+        for (class, _) in &scratch.estimates {
+            let accuracy = self
+                .members
+                .iter()
+                .find(|m| m.class == *class)
+                .map(|m| {
+                    let s = &m.accuracy_scores;
+                    // lint:allow(no-panic-hot-path): the range start is
+                    // saturating_sub-clamped to at most s.len(), so the
+                    // window slice cannot be out of bounds.
+                    accuracy_score_cached(&s[s.len().saturating_sub(ACCURACY_WINDOW)..])
+                })
+                .unwrap_or(0.0);
+            scratch.accuracies.push(accuracy);
+        }
+        scratch.values.clear();
+        scratch
+            .values
+            .extend(scratch.estimates.iter().map(|(_, v)| *v));
+        pool_raq_scores_into(
+            &scratch.accuracies,
+            &scratch.values,
+            config.alpha,
+            &mut scratch.raq,
+        );
+        let (estimate, dominant_idx) = gate_with(
+            config.gating,
+            &scratch.values,
+            &scratch.raq,
+            &mut scratch.weights,
+        );
+        let dominant = scratch.estimates.get(dominant_idx).map(|(c, _)| *c)?;
+        Some(GatedOutcome { estimate, dominant })
     }
 
     /// Records the observed peak of a *failed* attempt (the exhausted
@@ -430,6 +528,9 @@ impl ModelPool {
         // 4. Online model update. The single-point and recent-window update
         // datasets live in pool-owned scratch buffers, reused across
         // observations instead of being reallocated on every completion.
+        // lint:allow(no-wallclock-in-sim): measures real training latency for
+        // the fig. 9 diagnostics only — the value never feeds back into
+        // predictions or the virtual clock, so determinism is unaffected.
         let start = Instant::now();
         self.data.tail_into(1, &mut self.point_scratch);
         if trimmed {

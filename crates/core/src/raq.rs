@@ -100,13 +100,28 @@ pub fn pool_raq_scores_from_accuracy(
     estimates: &[f64],
     alpha: f64,
 ) -> Vec<f64> {
+    let mut out = Vec::new();
+    pool_raq_scores_into(accuracies, estimates, alpha, &mut out);
+    out
+}
+
+/// [`pool_raq_scores_from_accuracy`] written into a caller-owned buffer —
+/// the allocation-free twin used by the predict hot path. The Eq. 2
+/// efficiency score is computed inline from the same pool maximum instead of
+/// materialising an intermediate vector; values and order are identical.
+pub fn pool_raq_scores_into(accuracies: &[f64], estimates: &[f64], alpha: f64, out: &mut Vec<f64>) {
     debug_assert_eq!(accuracies.len(), estimates.len());
-    let efficiencies = efficiency_scores(estimates);
-    accuracies
-        .iter()
-        .zip(efficiencies.iter())
-        .map(|(&acc, &eff)| raq_score(acc, eff, alpha))
-        .collect()
+    let max = estimates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let degenerate = estimates.is_empty() || !max.is_finite() || max <= 0.0;
+    out.clear();
+    out.extend(accuracies.iter().zip(estimates.iter()).map(|(&acc, &e)| {
+        let eff = if degenerate {
+            0.0
+        } else {
+            (1.0 - e / max).clamp(0.0, 1.0)
+        };
+        raq_score(acc, eff, alpha)
+    }));
 }
 
 #[cfg(test)]

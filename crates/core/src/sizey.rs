@@ -24,23 +24,43 @@
 //! of in-flight bookkeeping structurally impossible (terminally failed
 //! tasks used to strand an `inflight_allocations` entry forever).
 
+// Serving threads size tasks through this module on every submission;
+// the marker opts it into the no-panic-hot-path lint rule.
+#![doc = "lint:hot-path"]
+
 use crate::config::{OffsetMode, SizeyConfig};
 use crate::failure::{failure_allocation, failure_allocation_clamped};
-use crate::offset::{select_dynamic_offset, OffsetStrategy};
-use crate::pool::{ModelPool, RetrainJob, RetrainPolicy, RetrainedModels};
-use sizey_provenance::{ProvenanceStore, TaskMachineKey, TaskOutcome, TaskRecord};
+use crate::offset::{select_dynamic_offset_with, OffsetScratch, OffsetStrategy};
+use crate::pool::{ModelPool, PoolScratch, RetrainJob, RetrainPolicy, RetrainedModels};
+use sizey_provenance::{
+    KeyQuery, KeyRef, ProvenanceStore, TaskMachineKey, TaskOutcome, TaskRecord,
+};
 use sizey_sim::{
     AttemptContext, CheckpointPredictor, MemoryPredictor, Prediction, PredictorState, StateError,
     TaskSubmission,
 };
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
+
+thread_local! {
+    /// Scratch buffers for the read path. `predict` is `&self` and may run
+    /// on any number of threads concurrently, so the buffers are recycled
+    /// per thread rather than per predictor; after the first prediction on a
+    /// thread the steady-state predict path performs zero heap allocations
+    /// (asserted by the counting-allocator harness behind
+    /// `cargo xtask lint --dynamic`).
+    static PREDICT_SCRATCH: RefCell<PoolScratch> = RefCell::new(PoolScratch::default());
+}
 
 /// The Sizey online memory predictor.
 pub struct SizeyPredictor {
     config: SizeyConfig,
-    pools: HashMap<TaskMachineKey, ModelPool>,
+    // A BTreeMap, not HashMap: snapshot/install/drain paths iterate the
+    // pools, and the deterministic-replay contract needs a stable,
+    // platform-independent order (enforced by the no-hash-iter lint).
+    pools: BTreeMap<TaskMachineKey, ModelPool>,
     /// Retrain policy applied to every pool (existing and future). Serial
     /// engines keep the default [`RetrainPolicy::Inline`]; the concurrent
     /// serving layer opts pools into deferred retrains so the training runs
@@ -89,7 +109,7 @@ impl SizeyPredictor {
         };
         SizeyPredictor {
             config,
-            pools: HashMap::new(),
+            pools: BTreeMap::new(),
             retrain_policy: RetrainPolicy::default(),
             store,
             training_times: Vec::new(),
@@ -122,7 +142,7 @@ impl SizeyPredictor {
 
     /// How often each offset strategy won the dynamic selection (strategies
     /// that never won are omitted).
-    pub fn offset_selections(&self) -> HashMap<OffsetStrategy, usize> {
+    pub fn offset_selections(&self) -> BTreeMap<OffsetStrategy, usize> {
         OffsetStrategy::ALL
             .iter()
             .zip(&self.offset_selections)
@@ -181,7 +201,7 @@ impl SizeyPredictor {
     /// Per-pool completions since the last full retrain (diagnostics; also
     /// exercised by the lifecycle round-trip tests to pin the counter's
     /// snapshot/restore behaviour).
-    pub fn since_full_retrain(&self) -> HashMap<TaskMachineKey, usize> {
+    pub fn since_full_retrain(&self) -> BTreeMap<TaskMachineKey, usize> {
         self.pools
             .iter()
             .map(|(key, pool)| (key.clone(), pool.since_full_retrain()))
@@ -204,40 +224,43 @@ impl SizeyPredictor {
         }
     }
 
-    fn key(task: &TaskSubmission) -> TaskMachineKey {
-        TaskMachineKey {
-            task_type: task.task_type.clone(),
-            machine: task.machine.clone(),
-        }
+    /// Looks the task's pool up without cloning the two key `String`s: the
+    /// `BTreeMap` is probed through the [`KeyQuery`] borrowed-key view.
+    fn pool_for(&self, task: &TaskSubmission) -> Option<&ModelPool> {
+        let probe = KeyRef {
+            task_type: task.task_type.as_str(),
+            machine: task.machine.as_str(),
+        };
+        self.pools.get(&probe as &dyn KeyQuery)
     }
 
-    /// Computes the offset for the current pool state. Read-path method: the
-    /// selection diagnostics are the only thing written, through an atomic.
-    /// The offset window ([`crate::pool::OFFSET_HISTORY_WINDOW`]) is
-    /// borrowed straight from the pool's aggregate history — no per-predict
-    /// copy of the window.
-    fn offset_for(&self, key: &TaskMachineKey) -> f64 {
-        let history: &[(f64, f64)] = self
-            .pools
-            .get(key)
-            .map(|p| {
-                let h = p.aggregate_history();
-                &h[h.len().saturating_sub(crate::pool::OFFSET_HISTORY_WINDOW)..]
-            })
-            .unwrap_or_default();
+    /// Computes the offset for the given pool's current state. Read-path
+    /// method: the selection diagnostics are the only thing written, through
+    /// an atomic. The offset window
+    /// ([`crate::pool::OFFSET_HISTORY_WINDOW`]) is borrowed straight from
+    /// the pool's aggregate history — no per-predict copy of the window.
+    fn offset_for(&self, pool: &ModelPool, scratch: &mut OffsetScratch) -> f64 {
+        let h = pool.aggregate_history();
+        // lint:allow(no-panic-hot-path): the range start is
+        // saturating_sub-clamped to at most h.len(), so the window slice
+        // cannot be out of bounds for any history length.
+        let history = &h[h.len().saturating_sub(crate::pool::OFFSET_HISTORY_WINDOW)..];
         if history.is_empty() {
             return 0.0;
         }
         match self.config.offset {
             OffsetMode::None => 0.0,
-            OffsetMode::Fixed(strategy) => strategy.offset(history),
+            OffsetMode::Fixed(strategy) => strategy.offset_with(history, scratch),
             OffsetMode::Dynamic => {
-                let (strategy, offset) = select_dynamic_offset(history);
-                // `select_dynamic_offset` only returns candidates drawn from
-                // `OffsetStrategy::ALL`, so the lookup always succeeds; the
-                // telemetry is best-effort either way, so a (impossible)
+                let (strategy, offset) = select_dynamic_offset_with(history, scratch);
+                // `select_dynamic_offset_with` only returns candidates drawn
+                // from `OffsetStrategy::ALL`, so the lookup always succeeds;
+                // the telemetry is best-effort either way, so a (impossible)
                 // miss skips the tally instead of panicking the hot path.
                 if let Some(idx) = OffsetStrategy::ALL.iter().position(|s| *s == strategy) {
+                    // lint:allow(no-panic-hot-path): idx comes from
+                    // position() over ALL, and the counter array is sized
+                    // ALL.len() — always in bounds.
                     self.offset_selections[idx].fetch_add(1, Ordering::Relaxed);
                 }
                 offset
@@ -252,8 +275,6 @@ impl MemoryPredictor for SizeyPredictor {
     }
 
     fn predict(&self, task: &TaskSubmission, ctx: AttemptContext) -> Prediction {
-        let key = Self::key(task);
-
         if ctx.attempt > 0 {
             // Failure handling: maximum ever observed, then doubling —
             // saturating at the largest node when the capacity is known. The
@@ -263,7 +284,7 @@ impl MemoryPredictor for SizeyPredictor {
             let last = ctx
                 .last_allocation_bytes
                 .unwrap_or(task.preset_memory_bytes);
-            let max_observed = self.pools.get(&key).and_then(ModelPool::max_observed);
+            let max_observed = self.pool_for(task).and_then(ModelPool::max_observed);
             let allocation = match self.config.node_capacity_bytes {
                 Some(capacity) => {
                     failure_allocation_clamped(max_observed, last, ctx.attempt, capacity)
@@ -277,49 +298,55 @@ impl MemoryPredictor for SizeyPredictor {
             };
         }
 
-        let decision = self
-            .pools
-            .get(&key)
-            .and_then(|pool| pool.gated_estimate(&task.features(), &self.config));
-
-        match decision {
-            None => {
-                // Unknown task type (or not enough history): submit with the
-                // user-provided, usually conservative estimate.
-                Prediction {
-                    allocation_bytes: task.preset_memory_bytes,
-                    raw_estimate_bytes: None,
-                    selected_model: None,
-                }
-            }
-            Some((gating, estimates)) => {
-                let offset = self.offset_for(&key);
-                let mut allocation = (gating.estimate + offset).max(0.0);
-                // Cold-start guard: while the offset histories are still too
-                // short to be trustworthy, keep a relative head-room above
-                // the raw estimate. A failure of a large, long-running task
-                // costs far more than a few percent of temporary
-                // over-allocation, and the regular offsets take over once
-                // enough history exists. `OffsetMode::None` promises the raw
-                // estimate untouched, so the guard only applies when an
-                // offset policy is active.
-                if self.config.offset != OffsetMode::None {
-                    if let Some(pool) = self.pools.get(&key) {
-                        if pool.n_observations() < self.config.cold_start_observations {
-                            allocation = allocation.max(gating.estimate * 1.15);
-                        }
+        // One pool lookup serves the whole first-attempt path; the feature
+        // vector lives on the stack (same single value
+        // `TaskSubmission::features` would box).
+        let Some(pool) = self.pool_for(task) else {
+            // Unknown task type: submit with the user-provided, usually
+            // conservative estimate.
+            return Prediction {
+                allocation_bytes: task.preset_memory_bytes,
+                raw_estimate_bytes: None,
+                selected_model: None,
+            };
+        };
+        let features = [task.input_bytes];
+        PREDICT_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            match pool.gated_estimate_with(&features, &self.config, scratch) {
+                None => {
+                    // Not enough history yet: fall back to the preset.
+                    Prediction {
+                        allocation_bytes: task.preset_memory_bytes,
+                        raw_estimate_bytes: None,
+                        selected_model: None,
                     }
                 }
-                let selected_class = estimates
-                    .get(gating.dominant_model)
-                    .map(|(class, _)| class.name().to_string());
-                Prediction {
-                    allocation_bytes: allocation,
-                    raw_estimate_bytes: Some(gating.estimate),
-                    selected_model: selected_class,
+                Some(gating) => {
+                    let offset = self.offset_for(pool, &mut scratch.offset);
+                    let mut allocation = (gating.estimate + offset).max(0.0);
+                    // Cold-start guard: while the offset histories are still
+                    // too short to be trustworthy, keep a relative head-room
+                    // above the raw estimate. A failure of a large,
+                    // long-running task costs far more than a few percent of
+                    // temporary over-allocation, and the regular offsets
+                    // take over once enough history exists.
+                    // `OffsetMode::None` promises the raw estimate
+                    // untouched, so the guard only applies when an offset
+                    // policy is active.
+                    if self.config.offset != OffsetMode::None
+                        && pool.n_observations() < self.config.cold_start_observations
+                    {
+                        allocation = allocation.max(gating.estimate * 1.15);
+                    }
+                    Prediction {
+                        allocation_bytes: allocation,
+                        raw_estimate_bytes: Some(gating.estimate),
+                        selected_model: Some(gating.dominant.name()),
+                    }
                 }
             }
-        }
+        })
     }
 
     fn observe(&mut self, record: &TaskRecord) {
@@ -408,6 +435,8 @@ impl CheckpointPredictor for SizeyPredictor {
                 .strip_prefix(OFFSET_COUNTER_PREFIX)
                 .and_then(|n| OffsetStrategy::ALL.iter().position(|s| s.name() == n))
                 .ok_or_else(|| StateError::UnknownCounter { name: name.clone() })?;
+            // lint:allow(no-panic-hot-path): idx comes from position() over
+            // ALL, and the counter array is sized ALL.len() — in bounds.
             self.offset_selections[idx].store(*value as usize, Ordering::Relaxed);
         }
         Ok(())
@@ -575,7 +604,7 @@ mod tests {
                 "mlp-regression",
                 "random-forest-regression"
             ]
-            .contains(&model.as_str()),
+            .contains(&model),
             "unexpected model name {model}"
         );
     }

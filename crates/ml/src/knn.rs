@@ -18,7 +18,9 @@
 
 use crate::dataset::Dataset;
 use crate::matrix::squared_distance;
-use crate::model::{validate_query, validate_training_data, ModelClass, ModelError, Regressor};
+use crate::model::{
+    validate_query, validate_training_data, ModelClass, ModelError, PredictScratch, Regressor,
+};
 use crate::scaler::{Scaler, ScalerKind};
 
 /// How neighbour targets are combined into a prediction.
@@ -155,14 +157,26 @@ impl KnnRegression {
     /// ties break by insertion index, matching the stable full sort this
     /// replaces bit for bit.
     fn nearest(&self, query: &[f64]) -> Vec<(usize, f64)> {
+        let mut scratch = PredictScratch::default();
+        self.nearest_with(query, &mut scratch);
+        std::mem::take(&mut scratch.dists)
+    }
+
+    /// [`Self::nearest`] into caller-owned buffers: the scaled query and the
+    /// distance table live in `scratch`, so the steady-state path performs
+    /// no allocations. On return `scratch.dists` holds the k neighbours.
+    fn nearest_with(&self, query: &[f64], scratch: &mut PredictScratch) {
         let width = self.n_features.max(1);
-        let scaled_query = self.scaler.transform(query);
-        let mut dists: Vec<(usize, f64)> = self
-            .scaled
-            .chunks_exact(width)
-            .enumerate()
-            .map(|(i, row)| (i, squared_distance(row, &scaled_query)))
-            .collect();
+        self.scaler.transform_into(query, &mut scratch.scaled_query);
+        let scaled_query = &scratch.scaled_query;
+        let dists = &mut scratch.dists;
+        dists.clear();
+        dists.extend(
+            self.scaled
+                .chunks_exact(width)
+                .enumerate()
+                .map(|(i, row)| (i, squared_distance(row, scaled_query))),
+        );
         let k = self.config.k.max(1).min(dists.len());
         let by_distance_then_index =
             |a: &(usize, f64), b: &(usize, f64)| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0));
@@ -171,7 +185,43 @@ impl KnnRegression {
             dists.truncate(k);
         }
         dists.sort_unstable_by(by_distance_then_index);
-        dists
+    }
+
+    /// Combines the selected neighbours into one estimate. Allocation-free:
+    /// the inverse-distance exact-match handling streams over the slice in
+    /// the same order the old index-collecting version did, so results stay
+    /// bit-identical.
+    fn aggregate(&self, neighbours: &[(usize, f64)]) -> f64 {
+        match self.config.weighting {
+            KnnWeighting::Uniform => {
+                let sum: f64 = neighbours.iter().map(|&(i, _)| self.targets[i]).sum();
+                sum / neighbours.len() as f64
+            }
+            KnnWeighting::InverseDistance => {
+                // If any neighbour is an exact match, average the exact
+                // matches (mirrors scikit-learn's behaviour and avoids
+                // dividing by zero).
+                let mut exact_sum = 0.0;
+                let mut exact_n = 0usize;
+                for &(i, d2) in neighbours {
+                    if d2 == 0.0 {
+                        exact_sum += self.targets[i];
+                        exact_n += 1;
+                    }
+                }
+                if exact_n > 0 {
+                    return exact_sum / exact_n as f64;
+                }
+                let mut weight_sum = 0.0;
+                let mut value_sum = 0.0;
+                for &(i, d2) in neighbours {
+                    let w = 1.0 / d2.sqrt();
+                    weight_sum += w;
+                    value_sum += w * self.targets[i];
+                }
+                value_sum / weight_sum
+            }
+        }
     }
 }
 
@@ -248,34 +298,20 @@ impl Regressor for KnnRegression {
         }
         validate_query(features, self.n_features)?;
         let neighbours = self.nearest(features);
-        match self.config.weighting {
-            KnnWeighting::Uniform => {
-                let sum: f64 = neighbours.iter().map(|&(i, _)| self.targets[i]).sum();
-                Ok(sum / neighbours.len() as f64)
-            }
-            KnnWeighting::InverseDistance => {
-                // If any neighbour is an exact match, average the exact
-                // matches (mirrors scikit-learn's behaviour and avoids
-                // dividing by zero).
-                let exact: Vec<usize> = neighbours
-                    .iter()
-                    .filter(|(_, d)| *d == 0.0)
-                    .map(|&(i, _)| i)
-                    .collect();
-                if !exact.is_empty() {
-                    let sum: f64 = exact.iter().map(|&i| self.targets[i]).sum();
-                    return Ok(sum / exact.len() as f64);
-                }
-                let mut weight_sum = 0.0;
-                let mut value_sum = 0.0;
-                for &(i, d2) in &neighbours {
-                    let w = 1.0 / d2.sqrt();
-                    weight_sum += w;
-                    value_sum += w * self.targets[i];
-                }
-                Ok(value_sum / weight_sum)
-            }
+        Ok(self.aggregate(&neighbours))
+    }
+
+    fn predict_with(
+        &self,
+        features: &[f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<f64, ModelError> {
+        if !self.fitted || self.targets.is_empty() {
+            return Err(ModelError::NotFitted);
         }
+        validate_query(features, self.n_features)?;
+        self.nearest_with(features, scratch);
+        Ok(self.aggregate(&scratch.dists))
     }
 
     fn is_fitted(&self) -> bool {

@@ -55,7 +55,7 @@ pub use knn::{KnnConfig, KnnRegression, KnnWeighting};
 pub use linear::{LinearConfig, LinearRegression};
 pub use metrics::SummaryStats;
 pub use mlp::{Activation, MlpConfig, MlpRegression};
-pub use model::{ModelClass, ModelError, Regressor};
+pub use model::{ModelClass, ModelError, PredictScratch, Regressor};
 pub use scaler::{Scaler, ScalerKind, TargetScaler};
 pub use tree::{RegressionTree, TreeConfig};
 

@@ -9,7 +9,9 @@
 
 use crate::dataset::Dataset;
 use crate::matrix::Matrix;
-use crate::model::{validate_query, validate_training_data, ModelClass, ModelError, Regressor};
+use crate::model::{
+    validate_query, validate_training_data, ModelClass, ModelError, PredictScratch, Regressor,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::RwLock;
 
@@ -125,17 +127,6 @@ impl LinearRegression {
     /// Number of observations incorporated in the sufficient statistics.
     pub fn n_observations(&self) -> usize {
         self.n_observations
-    }
-
-    fn augment(&self, features: &[f64]) -> Vec<f64> {
-        if self.config.fit_intercept {
-            let mut row = Vec::with_capacity(features.len() + 1);
-            row.push(1.0);
-            row.extend_from_slice(features);
-            row
-        } else {
-            features.to_vec()
-        }
     }
 
     fn accumulate(&mut self, data: &Dataset) {
@@ -261,6 +252,15 @@ impl Regressor for LinearRegression {
     }
 
     fn predict(&self, features: &[f64]) -> Result<f64, ModelError> {
+        let mut scratch = PredictScratch::default();
+        self.predict_with(features, &mut scratch)
+    }
+
+    fn predict_with(
+        &self,
+        features: &[f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<f64, ModelError> {
         if !self.fitted {
             return Err(ModelError::NotFitted);
         }
@@ -272,7 +272,14 @@ impl Regressor for LinearRegression {
             // update was degenerate) — there is no usable state to serve.
             return Err(ModelError::NotFitted);
         }
-        let row = self.augment(features);
+        // The augmented row ([1, features…] with an intercept) lives in the
+        // caller's scratch buffer; same values as the old `augment`.
+        let row = &mut scratch.row;
+        row.clear();
+        if self.config.fit_intercept {
+            row.push(1.0);
+        }
+        row.extend_from_slice(features);
         Ok(row
             .iter()
             .zip(coefficients.iter())

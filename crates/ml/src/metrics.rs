@@ -126,23 +126,30 @@ pub fn median(values: &[f64]) -> f64 {
 /// default behaviour of `numpy.percentile`. `p` is in `[0, 100]`.
 /// Returns 0 for an empty slice.
 pub fn percentile(values: &[f64], p: f64) -> f64 {
+    let mut sorted: Vec<f64> = values.to_vec();
+    percentile_in_place(&mut sorted, p)
+}
+
+/// [`percentile`] over a caller-owned buffer, sorting it in place — the
+/// allocation-free twin used by the predict hot path (offset strategies).
+/// Identical arithmetic: same total-order sort, same interpolation.
+pub fn percentile_in_place(values: &mut [f64], p: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite value in percentile"));
+    values.sort_by(|a, b| a.total_cmp(b));
     let p = p.clamp(0.0, 100.0);
-    if sorted.len() == 1 {
-        return sorted[0];
+    if values.len() == 1 {
+        return values[0];
     }
-    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let rank = p / 100.0 * (values.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     if lo == hi {
-        sorted[lo]
+        values[lo]
     } else {
         let frac = rank - lo as f64;
-        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        values[lo] * (1.0 - frac) + values[hi] * frac
     }
 }
 

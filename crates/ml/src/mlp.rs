@@ -8,7 +8,9 @@
 //! (warm start), which is what keeps the incremental Sizey variant fast.
 
 use crate::dataset::Dataset;
-use crate::model::{validate_query, validate_training_data, ModelClass, ModelError, Regressor};
+use crate::model::{
+    validate_query, validate_training_data, ModelClass, ModelError, PredictScratch, Regressor,
+};
 use crate::scaler::{Scaler, ScalerKind, TargetScaler};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -228,21 +230,28 @@ impl MlpRegression {
     }
 
     /// Forward pass returning only the output value, ping-ponging two
-    /// buffers. The training pass needs every layer's activations
+    /// caller-owned activation buffers (cleared and refilled layer by
+    /// layer). The training pass needs every layer's activations
     /// ([`MlpRegression::forward_all`]); the predict hot path does not, so
     /// it skips the per-layer activation vectors entirely. Arithmetic is
-    /// identical, so predictions match `forward_all` bit for bit.
-    fn forward_scalar(&self, input: &[f64]) -> f64 {
-        let mut current = input.to_vec();
-        let mut next = Vec::new();
+    /// identical, so predictions match `forward_all` bit for bit — and no
+    /// allocations happen once the buffers have grown to the widest layer.
+    fn forward_scalar_into(
+        &self,
+        input: &[f64],
+        current: &mut Vec<f64>,
+        next: &mut Vec<f64>,
+    ) -> f64 {
+        current.clear();
+        current.extend_from_slice(input);
         for (li, layer) in self.layers.iter().enumerate() {
-            layer.forward(&current, &mut next);
+            layer.forward(current, next);
             if li != self.layers.len() - 1 {
                 for z in next.iter_mut() {
                     *z = self.config.activation.forward(*z);
                 }
             }
-            std::mem::swap(&mut current, &mut next);
+            std::mem::swap(current, next);
         }
         current[0]
     }
@@ -403,12 +412,27 @@ impl Regressor for MlpRegression {
     }
 
     fn predict(&self, features: &[f64]) -> Result<f64, ModelError> {
+        let mut scratch = PredictScratch::default();
+        self.predict_with(features, &mut scratch)
+    }
+
+    fn predict_with(
+        &self,
+        features: &[f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<f64, ModelError> {
         if !self.fitted || self.layers.is_empty() {
             return Err(ModelError::NotFitted);
         }
         validate_query(features, self.n_features)?;
-        let scaled = self.feature_scaler.transform(features);
-        let out = self.forward_scalar(&scaled);
+        let PredictScratch {
+            scaled_query,
+            act_a,
+            act_b,
+            ..
+        } = scratch;
+        self.feature_scaler.transform_into(features, scaled_query);
+        let out = self.forward_scalar_into(scaled_query, act_a, act_b);
         if !out.is_finite() {
             return Err(ModelError::Numerical(
                 "MLP produced a non-finite prediction".to_string(),

@@ -75,6 +75,28 @@ impl fmt::Display for ModelClass {
     }
 }
 
+/// Reusable buffers for [`Regressor::predict_with`]: every intermediate
+/// vector a model prediction needs, owned by the caller and recycled across
+/// calls so the steady-state predict path performs zero heap allocations.
+///
+/// The fields are per-model working sets, not a shared pool — a single
+/// prediction may use several of them at once (e.g. the MLP borrows
+/// `scaled_query` and both activation buffers simultaneously), so they must
+/// stay distinct.
+#[derive(Debug, Default, Clone)]
+pub struct PredictScratch {
+    /// Scaled copy of the query row (KNN and MLP feature scalers).
+    pub scaled_query: Vec<f64>,
+    /// `(row index, squared distance)` table for KNN neighbour selection.
+    pub dists: Vec<(usize, f64)>,
+    /// MLP forward-pass activation ping buffer.
+    pub act_a: Vec<f64>,
+    /// MLP forward-pass activation pong buffer.
+    pub act_b: Vec<f64>,
+    /// Augmented regression row (`[1, features…]`) for the linear model.
+    pub row: Vec<f64>,
+}
+
 /// A trainable regression model mapping a feature vector to a scalar target.
 ///
 /// All Sizey pool members implement this trait. The contract mirrors the
@@ -99,6 +121,24 @@ pub trait Regressor: Send + Sync {
 
     /// Predicts the target for a single feature vector.
     fn predict(&self, features: &[f64]) -> Result<f64, ModelError>;
+
+    /// Predicts the target for a single feature vector using caller-owned
+    /// scratch buffers — the allocation-free twin of [`Regressor::predict`].
+    ///
+    /// Implementations that need intermediate vectors (scaled queries,
+    /// distance tables, layer activations) borrow them from `scratch`
+    /// instead of allocating, and must return bit-identical results to
+    /// `predict` (asserted by per-model equivalence tests and the dynamic
+    /// `cargo xtask lint --dynamic` harness). The default delegates to
+    /// `predict` for models whose prediction is naturally allocation-free.
+    fn predict_with(
+        &self,
+        features: &[f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<f64, ModelError> {
+        let _ = scratch;
+        self.predict(features)
+    }
 
     /// Predicts the targets for a batch of feature vectors.
     fn predict_batch(&self, features: &[Vec<f64>]) -> Result<Vec<f64>, ModelError> {

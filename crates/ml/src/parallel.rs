@@ -82,7 +82,13 @@ impl<T> Clone for SendPtr<T> {
     }
 }
 impl<T> Copy for SendPtr<T> {}
+// SAFETY: SendPtr is only constructed inside `parallel_map`, pointing at a
+// results vector that outlives every worker (enforced by `thread::scope`),
+// and workers write strictly disjoint slots claimed through an atomic
+// counter — so sharing the pointer across threads cannot race.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: as above — `&SendPtr` only exposes a raw pointer whose disjoint,
+// scope-bounded use is guaranteed by `parallel_map`'s index claiming.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]

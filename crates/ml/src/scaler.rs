@@ -271,19 +271,27 @@ impl Scaler {
 
     /// Transforms one feature row into scaled space.
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(row.len());
+        self.transform_into(row, &mut out);
+        out
+    }
+
+    /// Transforms one feature row into a caller-owned buffer (cleared
+    /// first) — the allocation-free twin of [`Scaler::transform`], with
+    /// identical arithmetic.
+    pub fn transform_into(&self, row: &[f64], out: &mut Vec<f64>) {
+        out.clear();
         if !self.fitted || self.kind == ScalerKind::Identity {
-            return row.to_vec();
+            out.extend_from_slice(row);
+            return;
         }
-        row.iter()
-            .enumerate()
-            .map(|(c, &v)| {
-                if c < self.shift.len() {
-                    (v - self.shift[c]) / self.scale[c]
-                } else {
-                    v
-                }
-            })
-            .collect()
+        out.extend(row.iter().enumerate().map(|(c, &v)| {
+            if c < self.shift.len() {
+                (v - self.shift[c]) / self.scale[c]
+            } else {
+                v
+            }
+        }));
     }
 
     /// Transforms a batch of rows.

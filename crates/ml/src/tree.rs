@@ -169,9 +169,7 @@ impl RegressionTree {
             // Sort indices by this feature value.
             let mut order: Vec<usize> = indices.to_vec();
             order.sort_by(|&a, &b| {
-                data.features()[a][feature]
-                    .partial_cmp(&data.features()[b][feature])
-                    .expect("finite feature values")
+                data.features()[a][feature].total_cmp(&data.features()[b][feature])
             });
             let mut left_sum = 0.0;
             let mut left_sq = 0.0;

@@ -95,6 +95,65 @@ impl fmt::Display for TaskMachineKey {
     }
 }
 
+/// Unifies owned [`TaskMachineKey`]s and borrowed [`KeyRef`] views for
+/// ordered-map lookups: `BTreeMap<TaskMachineKey, _>` can be probed with
+/// `&KeyRef { .. } as &dyn KeyQuery`, so the predict hot path never clones
+/// the two key `String`s just to look a pool up.
+pub trait KeyQuery {
+    /// The `(task type, machine)` pair this key denotes.
+    fn key_parts(&self) -> (&str, &str);
+}
+
+impl KeyQuery for TaskMachineKey {
+    fn key_parts(&self) -> (&str, &str) {
+        (self.task_type.as_str(), self.machine.as_str())
+    }
+}
+
+/// A borrowed `(task type, machine)` key for clone-free map lookups.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyRef<'a> {
+    /// The abstract task type.
+    pub task_type: &'a str,
+    /// The machine configuration.
+    pub machine: &'a str,
+}
+
+impl KeyQuery for KeyRef<'_> {
+    fn key_parts(&self) -> (&str, &str) {
+        (self.task_type, self.machine)
+    }
+}
+
+impl PartialEq for dyn KeyQuery + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.key_parts() == other.key_parts()
+    }
+}
+
+impl Eq for dyn KeyQuery + '_ {}
+
+impl PartialOrd for dyn KeyQuery + '_ {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// This order must agree with `TaskMachineKey`'s derived `Ord` — it does,
+// because the derive is lexicographic over the two `String` newtypes, which
+// compare exactly like their `&str` views.
+impl Ord for dyn KeyQuery + '_ {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key_parts().cmp(&other.key_parts())
+    }
+}
+
+impl<'a> std::borrow::Borrow<dyn KeyQuery + 'a> for TaskMachineKey {
+    fn borrow(&self) -> &(dyn KeyQuery + 'a) {
+        self
+    }
+}
+
 /// Outcome of a physical task execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TaskOutcome {

@@ -143,7 +143,7 @@ impl ReplayReport {
             .into_iter()
             .map(|(m, c)| (m, c as f64 / total.max(1) as f64))
             .collect();
-        shares.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite shares"));
+        shares.sort_by(|a, b| b.1.total_cmp(&a.1));
         shares
     }
 
@@ -345,7 +345,7 @@ impl ReplayAggregates {
                 )
             })
             .collect();
-        shares.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite shares"));
+        shares.sort_by(|a, b| b.1.total_cmp(&a.1));
         shares
     }
 

@@ -7,6 +7,10 @@
 //! nodes in index order, best fit picks the node that would be left with the
 //! least free memory (tightest packing).
 
+// The event-driven scheduler consults the cluster on every placement and
+// release; the marker opts it into the no-panic-hot-path lint rule.
+#![doc = "lint:hot-path"]
+
 use crate::config::SimulationConfig;
 use crate::scheduler::SchedulePolicy;
 use std::collections::BTreeSet;
@@ -159,18 +163,27 @@ impl FreeIndex {
             f64::NEG_INFINITY
         };
         let mut i = self.base + id;
+        // lint:allow(no-panic-hot-path): the tree is sized 2·base with
+        // base >= node count, so the leaf base + id and every ancestor pair
+        // (2i, 2i + 1 for i < base) are in bounds by construction.
         self.tree[i] = eff;
         while i > 1 {
             i /= 2;
+            // lint:allow(no-panic-hot-path): i < base here, so both
+            // children 2i and 2i + 1 are below 2·base — in bounds.
             self.tree[i] = self.tree[2 * i].max(self.tree[2 * i + 1]);
         }
         // Ordered-by-free set.
+        // lint:allow(no-panic-hot-path): keys has one slot per node and
+        // node ids are assigned densely below the node count.
         if let Some(old) = self.keys[id].take() {
             self.by_free.remove(&(old, id));
         }
         if has_slot {
             let key = total_order_key(node.free_bytes());
             self.by_free.insert((key, id));
+            // lint:allow(no-panic-hot-path): same dense node-id invariant
+            // as the take() above.
             self.keys[id] = Some(key);
         }
     }
@@ -186,12 +199,17 @@ impl FreeIndex {
     fn first_fit(&self, allocation_bytes: f64) -> Option<usize> {
         // NaN allocations compare false against every subtree max, exactly
         // like `fits` rejecting them node by node.
+        // lint:allow(no-panic-hot-path): a non-empty index has base >= 1,
+        // so the root tree[1] exists; the descent doubles i while
+        // i < base, keeping i + 1 below 2·base — in bounds throughout.
         if self.len == 0 || !(allocation_bytes <= self.tree[1]) {
             return None;
         }
         let mut i = 1;
         while i < self.base {
             i *= 2;
+            // lint:allow(no-panic-hot-path): i <= 2·base - 1 after the
+            // doubling, within the 2·base-sized tree.
             if !(allocation_bytes <= self.tree[i]) {
                 i += 1;
             }
@@ -211,6 +229,9 @@ impl FreeIndex {
         let start = if start.is_nan() { 0.0 } else { start };
         self.by_free
             .range((total_order_key(start), 0)..)
+            // lint:allow(no-panic-hot-path): the set only ever holds ids
+            // inserted by update(), which are node.id values below the
+            // node count.
             .find(|&&(_, id)| nodes[id].fits(allocation_bytes))
             .map(|&(_, id)| id)
     }
@@ -291,11 +312,17 @@ impl Cluster {
     /// Places a task on a specific node (chosen via [`Cluster::select_node`])
     /// and updates the high-water marks.
     pub fn place_on(&mut self, node: usize, allocation_bytes: f64) -> Placement {
+        // lint:allow(no-panic-hot-path): the documented contract is that
+        // `node` comes from select_node, which only returns valid indices;
+        // a silent no-op on a bad index would hide scheduler corruption,
+        // so the bounds check stays a hard error.
         let n = &mut self.nodes[node];
         n.allocated_bytes += allocation_bytes;
         n.used_slots += 1;
         n.peak_allocated_bytes = n.peak_allocated_bytes.max(n.allocated_bytes);
         n.peak_used_slots = n.peak_used_slots.max(n.used_slots);
+        // lint:allow(no-panic-hot-path): same select_node contract as the
+        // placement above.
         self.index.update(&self.nodes[node]);
         Placement { node }
     }
@@ -309,9 +336,13 @@ impl Cluster {
 
     /// Releases a placement obtained from one of the placement methods.
     pub fn release(&mut self, placement: Placement, allocation_bytes: f64) {
+        // lint:allow(no-panic-hot-path): a Placement is only minted by the
+        // placement methods with an in-bounds node index, and node indices
+        // never change after construction.
         let node = &mut self.nodes[placement.node];
         node.allocated_bytes = (node.allocated_bytes - allocation_bytes).max(0.0);
         node.used_slots = node.used_slots.saturating_sub(1);
+        // lint:allow(no-panic-hot-path): same Placement invariant as above.
         self.index.update(&self.nodes[placement.node]);
     }
 

@@ -54,8 +54,10 @@ pub struct Prediction {
     /// notion of a raw estimate (e.g. presets).
     pub raw_estimate_bytes: Option<f64>,
     /// Name of the model (class) that produced the estimate, when the method
-    /// selects among several (used by the Fig. 11 analysis).
-    pub selected_model: Option<String>,
+    /// selects among several (used by the Fig. 11 analysis). A `&'static
+    /// str` rather than an owned `String`: predictions are minted on the
+    /// hot path, and every producer picks from a fixed set of model names.
+    pub selected_model: Option<&'static str>,
 }
 
 impl Prediction {

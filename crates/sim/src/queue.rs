@@ -33,8 +33,7 @@ impl<T> Ord for HeapEntry<T> {
         // Reversed so the BinaryHeap pops the earliest (time, seq) first.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("finite event times")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }

@@ -121,7 +121,7 @@ where
                 success,
                 wastage_gbh,
                 raw_estimate_bytes: prediction.raw_estimate_bytes,
-                selected_model: prediction.selected_model,
+                selected_model: prediction.selected_model.map(String::from),
                 submit_time_seconds: scheduled.start_seconds,
                 queue_delay_seconds: scheduled.queue_delay_seconds,
             };
@@ -261,10 +261,7 @@ impl Eq for RunningTask {}
 impl Ord for RunningTask {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reverse so the BinaryHeap pops the earliest finish time first.
-        other
-            .finish_time
-            .partial_cmp(&self.finish_time)
-            .expect("finite finish times")
+        other.finish_time.total_cmp(&self.finish_time)
     }
 }
 
@@ -370,7 +367,7 @@ pub fn replay_workflow_occupancy(
                 success,
                 wastage_gbh,
                 raw_estimate_bytes: prediction.raw_estimate_bytes,
-                selected_model: prediction.selected_model,
+                selected_model: prediction.selected_model.map(String::from),
                 submit_time_seconds: clock,
                 queue_delay_seconds: 0.0,
             });
@@ -455,7 +452,7 @@ mod tests {
             Prediction {
                 allocation_bytes: self.bytes * 2.0_f64.powi(ctx.attempt as i32),
                 raw_estimate_bytes: Some(self.bytes),
-                selected_model: Some("fixed".to_string()),
+                selected_model: Some("fixed"),
             }
         }
         fn observe(&mut self, _record: &TaskRecord) {}

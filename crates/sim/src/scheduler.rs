@@ -583,7 +583,7 @@ pub fn schedule_workflows(
                         attempt,
                         allocation_bytes: allocation,
                         raw_estimate_bytes: prediction.raw_estimate_bytes,
-                        selected_model: prediction.selected_model,
+                        selected_model: prediction.selected_model.map(String::from),
                         success,
                         duration_seconds: duration,
                     },
@@ -1216,7 +1216,7 @@ fn submit_streaming(
             attempt,
             allocation_bytes: allocation,
             raw_estimate_bytes: prediction.raw_estimate_bytes,
-            selected_model: prediction.selected_model,
+            selected_model: prediction.selected_model.map(String::from),
             success,
             duration_seconds: duration,
         },

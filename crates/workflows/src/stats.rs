@@ -44,7 +44,7 @@ impl Distribution {
             };
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let q = |p: f64| -> f64 {
             let rank = p * (sorted.len() - 1) as f64;
             let lo = rank.floor() as usize;

@@ -1,0 +1,365 @@
+//! A minimal line-oriented lexer for Rust source: splits every line into
+//! *code* (with string/char literal contents blanked so patterns inside
+//! literals never match) and *comment* text (so `// SAFETY:` and
+//! `// lint:allow(...)` markers can be read), then marks the line ranges
+//! belonging to `#[cfg(test)]` modules and `#[test]` functions so rules can
+//! skip them.
+//!
+//! This is intentionally not a full Rust lexer — it only needs to be exact
+//! about the things that would otherwise produce false findings: line and
+//! (nested) block comments, string/byte-string literals, raw strings with
+//! arbitrary `#` fences, and the char-literal vs. lifetime ambiguity.
+
+/// One source line after lexing.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code with comments removed and literal contents replaced by spaces
+    /// (the delimiting quotes are kept, so `""` still reads as a string).
+    pub code: String,
+    /// Concatenated comment text on this line (line + block comments).
+    pub comment: String,
+}
+
+impl Line {
+    fn is_blank(&self) -> bool {
+        self.code.trim().is_empty() && self.comment.trim().is_empty()
+    }
+
+    /// True when the line carries comment text but no code.
+    pub fn is_comment_only(&self) -> bool {
+        self.code.trim().is_empty() && !self.comment.trim().is_empty()
+    }
+}
+
+/// A lexed source file.
+pub struct Lexed {
+    pub lines: Vec<Line>,
+    /// Per line: true when the line sits inside `#[cfg(test)]` or `#[test]`
+    /// item bodies (rules skip these).
+    pub in_test: Vec<bool>,
+}
+
+pub fn lex(source: &str) -> Lexed {
+    let lines = split_lines(source);
+    let in_test = mark_test_lines(&lines);
+    Lexed { lines, in_test }
+}
+
+fn split_lines(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut i = 0usize;
+
+    macro_rules! newline {
+        () => {
+            lines.push(std::mem::take(&mut cur))
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                newline!();
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment: capture text until end of line.
+                i += 2;
+                while i < chars.len() && chars[i] != '\n' {
+                    cur.comment.push(chars[i]);
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, possibly nested, possibly multi-line.
+                i += 2;
+                let mut depth = 1usize;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            newline!();
+                        } else {
+                            cur.comment.push(chars[i]);
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => i = consume_string(&chars, i, &mut cur, &mut lines),
+            'r' | 'b' if starts_raw_or_byte_string(&chars, i) => {
+                i = consume_raw_or_byte(&chars, i, &mut cur, &mut lines);
+            }
+            '\'' => {
+                // Char literal vs. lifetime. A lifetime is `'` + ident not
+                // followed by a closing `'`; a char literal always closes.
+                if let Some(end) = char_literal_end(&chars, i) {
+                    cur.code.push('\'');
+                    for _ in i + 1..end {
+                        cur.code.push(' ');
+                    }
+                    cur.code.push('\'');
+                    i = end + 1;
+                } else {
+                    cur.code.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                cur.code.push(c);
+                i += 1;
+            }
+        }
+    }
+    if !cur.is_blank() || !cur.code.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// `i` points at `"`. Consumes an ordinary (escaped) string literal,
+/// pushing blanked content into `cur` and handling embedded newlines.
+fn consume_string(chars: &[char], mut i: usize, cur: &mut Line, lines: &mut Vec<Line>) -> usize {
+    cur.code.push('"');
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2, // skip the escaped char (incl. \" and \\)
+            '"' => {
+                cur.code.push('"');
+                return i + 1;
+            }
+            '\n' => {
+                lines.push(std::mem::take(cur));
+                i += 1;
+            }
+            _ => {
+                cur.code.push(' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Does `chars[i..]` start a raw string (`r"`, `r#"`, ...) or byte string
+/// (`b"`, `br#"`, ...)? Plain identifiers beginning with r/b fall through.
+fn starts_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'"') {
+            return true;
+        }
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    // chars[j] == 'r'
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn consume_raw_or_byte(
+    chars: &[char],
+    mut i: usize,
+    cur: &mut Line,
+    lines: &mut Vec<Line>,
+) -> usize {
+    // Emit the prefix (r/b/br + fences) as code so the token stays visible.
+    if chars[i] == 'b' {
+        cur.code.push('b');
+        i += 1;
+    }
+    if chars.get(i) == Some(&'r') {
+        cur.code.push('r');
+        i += 1;
+        let mut fences = 0usize;
+        while chars.get(i) == Some(&'#') {
+            cur.code.push('#');
+            fences += 1;
+            i += 1;
+        }
+        // Opening quote.
+        cur.code.push('"');
+        i += 1;
+        // Raw string: no escapes; closes on `"` + fences `#`s.
+        while i < chars.len() {
+            if chars[i] == '"' {
+                let mut ok = true;
+                for k in 0..fences {
+                    if chars.get(i + 1 + k) != Some(&'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    cur.code.push('"');
+                    for _ in 0..fences {
+                        cur.code.push('#');
+                    }
+                    return i + 1 + fences;
+                }
+            }
+            if chars[i] == '\n' {
+                lines.push(std::mem::take(cur));
+            } else {
+                cur.code.push(' ');
+            }
+            i += 1;
+        }
+        i
+    } else {
+        // Plain byte string b"..."
+        consume_string(chars, i, cur, lines)
+    }
+}
+
+/// If `chars[i]` (a `'`) opens a char literal, returns the index of the
+/// closing `'`; returns None for lifetimes.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1)? {
+        '\\' => {
+            // Escaped char: scan to the closing quote (handles \', \u{..}).
+            let mut j = i + 2;
+            while j < chars.len() {
+                if chars[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if chars[j] == '\'' {
+                    return Some(j);
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => {
+            if chars.get(i + 2) == Some(&'\'') {
+                Some(i + 2)
+            } else {
+                None // lifetime like 'a or loop label
+            }
+        }
+    }
+}
+
+/// Marks line ranges covered by `#[cfg(test)]` items and `#[test]`
+/// functions by matching the braces of the item that follows the attribute.
+fn mark_test_lines(lines: &[Line]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut idx = 0usize;
+    while idx < lines.len() {
+        let code = &lines[idx].code;
+        if code.contains("#[cfg(test)]") || code.contains("#[test]") {
+            // Find the opening brace of the annotated item (skipping further
+            // attribute lines and the signature) and mark through its close.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = idx;
+            while j < lines.len() {
+                in_test[j] = true;
+                for c in lines[j].code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        // An un-braced annotated item (e.g. `#[cfg(test)]
+                        // mod fixtures;`) ends at the semicolon.
+                        ';' if !opened && depth == 0 => {
+                            depth = -1;
+                        }
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                if !opened && depth < 0 {
+                    break;
+                }
+                j += 1;
+            }
+            idx = j + 1;
+        } else {
+            idx += 1;
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_blanked_but_quotes_kept() {
+        let lexed = lex("let x = \"Instant::now()\";\n");
+        assert!(!lexed.lines[0].code.contains("Instant"));
+        assert!(lexed.lines[0].code.contains('"'));
+    }
+
+    #[test]
+    fn line_comments_go_to_comment_channel() {
+        let lexed = lex("foo(); // SAFETY: fine\n");
+        assert!(lexed.lines[0].code.contains("foo()"));
+        assert!(lexed.lines[0].comment.contains("SAFETY: fine"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let lexed = lex("a /* one\ntwo */ b\n");
+        assert!(lexed.lines[0].comment.contains("one"));
+        assert!(lexed.lines[1].comment.contains("two"));
+        assert!(lexed.lines[1].code.contains('b'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let lexed = lex("let s = r#\"x.partial_cmp(y)\"#;\n");
+        assert!(!lexed.lines[0].code.contains("partial_cmp"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(lexed.lines[0].code.contains("&'a str"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let lexed = lex("let c = '\\''; let d = 'x';\n");
+        let code = &lexed.lines[0].code;
+        assert!(!code.contains('x') || code.contains("let"));
+        assert!(!code.contains("'x'"));
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let lexed = lex(src);
+        assert!(!lexed.in_test[0]);
+        assert!(lexed.in_test[1] && lexed.in_test[2] && lexed.in_test[3] && lexed.in_test[4]);
+        assert!(!lexed.in_test[5]);
+    }
+
+    #[test]
+    fn test_fn_blocks_are_marked() {
+        let src = "#[test]\nfn t() {\n    body();\n}\nfn live() {}\n";
+        let lexed = lex(src);
+        assert!(lexed.in_test[0] && lexed.in_test[2]);
+        assert!(!lexed.in_test[4]);
+    }
+}

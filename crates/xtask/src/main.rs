@@ -1,0 +1,316 @@
+//! `cargo xtask` — workspace task runner.
+//!
+//! The one task today is `lint`: a determinism & safety static-analysis
+//! pass over every workspace `.rs` source (vendored third-party stand-ins
+//! under `vendor/` are out of scope). See [`rules`] for the rule catalogue
+//! and the README "Static analysis" section for the workflow.
+//!
+//! ```text
+//! cargo xtask lint                  # run all rules, non-zero exit on findings
+//! cargo xtask lint --rule <id>      # run a single rule
+//! cargo xtask lint --list-allows    # audit every lint:allow suppression
+//! cargo xtask lint --dynamic        # also run the zero-allocation predict check
+//! ```
+
+mod lexer;
+mod rules;
+
+use rules::{AllowEntry, Finding, RULES};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown task `{other}`; available: lint");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: cargo xtask lint [--rule <id>] [--list-allows] [--dynamic]\n\
+         rules: {}",
+        RULES.join(", ")
+    );
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut enabled: Vec<&str> = RULES.to_vec();
+    let mut list_allows = false;
+    let mut dynamic = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--rule" => {
+                let Some(rule) = it.next() else {
+                    eprintln!("--rule needs a rule id");
+                    usage();
+                    return ExitCode::from(2);
+                };
+                let Some(known) = RULES.iter().find(|r| **r == rule.as_str()) else {
+                    eprintln!("unknown rule `{rule}`; rules: {}", RULES.join(", "));
+                    return ExitCode::from(2);
+                };
+                enabled = vec![known];
+            }
+            "--list-allows" => list_allows = true,
+            "--dynamic" => dynamic = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = workspace_root();
+    let files = workspace_sources(&root);
+    if files.is_empty() {
+        eprintln!("no workspace sources found under {}", root.display());
+        return ExitCode::from(2);
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut allows: Vec<AllowEntry> = Vec::new();
+    for file in &files {
+        let Ok(source) = std::fs::read_to_string(file) else {
+            eprintln!("warning: unreadable source {}", file.display());
+            continue;
+        };
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let (mut f, a) = rules::scan_source(&rel, &source, &enabled);
+        findings.append(&mut f);
+        allows.extend(a);
+    }
+
+    if list_allows {
+        if allows.is_empty() {
+            println!("no lint:allow suppressions in the workspace");
+        }
+        for a in &allows {
+            match &a.justification {
+                Some(j) => println!("{}:{} {} — {}", a.file, a.line, a.rule, j),
+                None => println!("{}:{} {} — (NO JUSTIFICATION)", a.file, a.line, a.rule),
+            }
+        }
+        // Auditing mode still fails on bare suppressions so CI can gate it.
+        let bare = allows.iter().filter(|a| a.justification.is_none()).count();
+        return if bare == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    for f in &findings {
+        println!("{f}");
+    }
+
+    let mut failed = !findings.is_empty();
+    if failed {
+        eprintln!(
+            "\ncargo xtask lint: {} finding(s) across {} file(s) scanned",
+            findings.len(),
+            files.len()
+        );
+    } else {
+        println!(
+            "cargo xtask lint: clean ({} files, rules: {})",
+            files.len(),
+            enabled.join(", ")
+        );
+    }
+
+    if dynamic {
+        println!("\nrunning dynamic zero-allocation check (cargo test -p sizey-bench --test zero_alloc_predict)...");
+        let status = std::process::Command::new(env!("CARGO"))
+            .args([
+                "test",
+                "--package",
+                "sizey-bench",
+                "--test",
+                "zero_alloc_predict",
+                "--quiet",
+            ])
+            .current_dir(&root)
+            .status();
+        match status {
+            Ok(s) if s.success() => {
+                println!("dynamic check: clean (steady-state predict performs 0 heap allocations)")
+            }
+            Ok(_) => {
+                eprintln!("dynamic check FAILED: steady-state predict allocated");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("dynamic check could not run: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR` is this crate's dir when run
+/// via `cargo xtask`, two levels below the root.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+/// Every `.rs` file belonging to workspace members (per the root
+/// `Cargo.toml` member globs) plus the root package's `src/` and `tests/`.
+/// `vendor/*` members are third-party stand-ins and are excluded, as are
+/// build artefacts under `target/`.
+fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut dirs: Vec<PathBuf> = vec![root.join("src"), root.join("tests")];
+    for member in workspace_members(root) {
+        if member.starts_with("vendor") {
+            continue;
+        }
+        dirs.push(root.join(member));
+    }
+    let mut files = Vec::new();
+    for dir in dirs {
+        collect_rs(&dir, &mut files);
+    }
+    files.sort();
+    files.dedup();
+    files
+}
+
+/// Member dirs from the root manifest's `members = [..]` list, with a
+/// trailing `/*` glob expanded one level.
+fn workspace_members(root: &Path) -> Vec<PathBuf> {
+    let manifest = std::fs::read_to_string(root.join("Cargo.toml")).unwrap_or_default();
+    let mut members = Vec::new();
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with("members") {
+            in_members = true;
+        }
+        if in_members {
+            for piece in line.split('"').skip(1).step_by(2) {
+                if let Some(prefix) = piece.strip_suffix("/*") {
+                    if let Ok(entries) = std::fs::read_dir(root.join(prefix)) {
+                        for e in entries.flatten() {
+                            if e.path().is_dir() {
+                                members.push(PathBuf::from(prefix).join(e.file_name()));
+                            }
+                        }
+                    }
+                } else {
+                    members.push(PathBuf::from(piece));
+                }
+            }
+            if line.contains(']') {
+                break;
+            }
+        }
+    }
+    members
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod self_scan {
+    use super::*;
+
+    /// The committed tree must be lint-clean: this is the same scan
+    /// `cargo xtask lint` runs, asserted as a plain test so `cargo test`
+    /// alone also guards the invariants.
+    #[test]
+    fn workspace_is_clean() {
+        let root = workspace_root();
+        let files = workspace_sources(&root);
+        assert!(
+            files.len() > 20,
+            "workspace walk looks broken: only {} files found",
+            files.len()
+        );
+        let mut findings = Vec::new();
+        for file in &files {
+            let source = std::fs::read_to_string(file).expect("readable source");
+            let rel = file
+                .strip_prefix(&root)
+                .unwrap_or(file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let (f, _) = rules::scan_source(&rel, &source, &RULES);
+            findings.extend(f);
+        }
+        assert!(
+            findings.is_empty(),
+            "committed tree has lint findings:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    /// Every suppression in the tree must carry a justification.
+    #[test]
+    fn all_suppressions_are_justified() {
+        let root = workspace_root();
+        for file in workspace_sources(&root) {
+            let source = std::fs::read_to_string(&file).expect("readable source");
+            let rel = file
+                .strip_prefix(&root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let (_, allows) = rules::scan_source(&rel, &source, &[]);
+            for a in allows {
+                assert!(
+                    a.justification.is_some(),
+                    "{}:{} lint:allow({}) has no justification",
+                    a.file,
+                    a.line,
+                    a.rule
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,737 @@
+//! The lint rules. Each rule is a pure function over a lexed file; the
+//! scanner in [`scan_source`] wires them to path-based applicability,
+//! hot-path markers and `// lint:allow(rule): why` suppressions.
+//!
+//! Rule catalogue (ids are what `--rule` and `lint:allow(..)` accept):
+//!
+//! * `float-total-order` — `.partial_cmp()` on floats panics or silently
+//!   reorders on NaN (the bug fixed by hand in PRs 4 and 5); use
+//!   `total_cmp`.
+//! * `no-hash-iter` — iterating a `HashMap`/`HashSet` in the deterministic
+//!   crates (`sim`, `workflows`, `core`) yields platform/seed-dependent
+//!   order and breaks bit-identical replay; use `BTreeMap`/`BTreeSet` or
+//!   sort explicitly.
+//! * `no-wallclock-in-sim` — `Instant::now`/`SystemTime` must not leak into
+//!   the virtual-clock simulator; wall-clock reads live in `crates/bench`.
+//! * `no-panic-hot-path` — in modules annotated `#![doc = "lint:hot-path"]`
+//!   (predict/observe/select_node), no `unwrap`/`expect`/`panic!`-family
+//!   macros or panicking `[..]` indexing; use `get`/pattern matching.
+//! * `safety-comments` — every `unsafe` keyword must be covered by a
+//!   `// SAFETY:` comment on the same line or the comment block directly
+//!   above it.
+
+use crate::lexer::{lex, Lexed, Line};
+
+pub const RULES: [&str; 5] = [
+    "float-total-order",
+    "no-hash-iter",
+    "no-wallclock-in-sim",
+    "no-panic-hot-path",
+    "safety-comments",
+];
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    /// 1-based.
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{} {} {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One `// lint:allow(rule): justification` marker.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub file: String,
+    /// 1-based line of the comment carrying the marker.
+    pub line: usize,
+    pub rule: String,
+    /// `None` when the marker carries no justification text (itself a
+    /// finding: suppressions must say why).
+    pub justification: Option<String>,
+}
+
+/// Scans one file. `rel` is the workspace-relative path (used both for
+/// reporting and for path-scoped rule applicability). Returns the findings
+/// that survive suppression plus every `lint:allow` marker found.
+pub fn scan_source(rel: &str, source: &str, enabled: &[&str]) -> (Vec<Finding>, Vec<AllowEntry>) {
+    let lexed = lex(source);
+    let hot_path = source
+        .lines()
+        .any(|l| l.trim_start().starts_with("#![doc") && l.contains("lint:hot-path"));
+
+    let allows = collect_allows(rel, &lexed);
+    let mut findings: Vec<Finding> = Vec::new();
+
+    let on = |rule: &str| enabled.contains(&rule);
+
+    if on("float-total-order") {
+        float_total_order(rel, &lexed, &mut findings);
+    }
+    if on("no-hash-iter") && is_deterministic_path(rel) {
+        no_hash_iter(rel, &lexed, &mut findings);
+    }
+    if on("no-wallclock-in-sim") && !is_wallclock_allowlisted(rel) {
+        no_wallclock(rel, &lexed, &mut findings);
+    }
+    if on("no-panic-hot-path") && hot_path {
+        no_panic_hot_path(rel, &lexed, &mut findings);
+    }
+    if on("safety-comments") {
+        safety_comments(rel, &lexed, &mut findings);
+    }
+
+    // Apply suppressions: a finding is silenced by a justified allow for its
+    // rule on the same line or anywhere in the contiguous comment block
+    // directly above it (so multi-line justifications work).
+    findings.retain(|f| {
+        let mut first_covered = f.line; // 1-based; block start line
+        while first_covered >= 2 && lexed.lines[first_covered - 2].is_comment_only() {
+            first_covered -= 1;
+        }
+        !allows.iter().any(|a| {
+            a.rule == f.rule
+                && a.justification.is_some()
+                && a.line >= first_covered
+                && a.line <= f.line
+        })
+    });
+
+    // Suppressions without a justification are findings themselves (and
+    // cannot be suppressed away).
+    for a in &allows {
+        if a.justification.is_none() {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: a.line,
+                rule: "lint-allow",
+                message: format!(
+                    "suppression lint:allow({}) has no justification; write \
+                     `// lint:allow({}): <why this is sound>`",
+                    a.rule, a.rule
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    (findings, allows)
+}
+
+/// Crates whose iteration order is part of the bit-identical replay
+/// contract.
+fn is_deterministic_path(rel: &str) -> bool {
+    rel.starts_with("crates/sim/")
+        || rel.starts_with("crates/workflows/")
+        || rel.starts_with("crates/core/")
+}
+
+/// Paths allowed to read the wall clock: the bench harness (it measures
+/// real time by design) and this linter itself.
+fn is_wallclock_allowlisted(rel: &str) -> bool {
+    rel.starts_with("crates/bench/") || rel.starts_with("crates/xtask/")
+}
+
+fn collect_allows(rel: &str, lexed: &Lexed) -> Vec<AllowEntry> {
+    let mut allows = Vec::new();
+    for (i, line) in lexed.lines.iter().enumerate() {
+        let text = &line.comment;
+        let mut rest = text.as_str();
+        while let Some(start) = rest.find("lint:allow(") {
+            let after = &rest[start + "lint:allow(".len()..];
+            let Some(close) = after.find(')') else { break };
+            let rule = after[..close].trim().to_string();
+            // Only known rule ids count as suppressions; prose like
+            // `lint:allow(...)` in docs is ignored. A typo'd id is still
+            // visible because the finding it meant to silence keeps firing.
+            if !RULES.contains(&rule.as_str()) {
+                rest = &after[close + 1..];
+                continue;
+            }
+            let tail = &after[close + 1..];
+            let justification = tail
+                .strip_prefix(':')
+                .map(str::trim)
+                .filter(|j| !j.is_empty())
+                .map(str::to_string);
+            allows.push(AllowEntry {
+                file: rel.to_string(),
+                line: i + 1,
+                rule,
+                justification,
+            });
+            rest = tail;
+        }
+    }
+    allows
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers over the blanked code channel.
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Byte offsets where `word` occurs in `code` with identifier boundaries on
+/// both sides.
+fn word_positions(code: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1] as char);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_char(bytes[end] as char);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + word.len();
+    }
+    out
+}
+
+/// The last non-whitespace char before byte offset `at`, if any.
+fn prev_nonspace(code: &str, at: usize) -> Option<char> {
+    code[..at].chars().rev().find(|c| !c.is_whitespace())
+}
+
+/// The identifier ending right before byte offset `at` (skipping
+/// whitespace), if the preceding token is an identifier.
+fn prev_word(code: &str, at: usize) -> Option<&str> {
+    let trimmed = code[..at].trim_end();
+    let end = trimmed.len();
+    let start = trimmed
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| is_ident_char(*c))
+        .last()
+        .map(|(i, _)| i)?;
+    if start == end {
+        return None;
+    }
+    Some(&trimmed[start..end])
+}
+
+/// The identifier starting right after byte offset `at` (skipping
+/// whitespace), if the next token is an identifier.
+fn next_word(code: &str, at: usize) -> Option<&str> {
+    let rest = code[at..].trim_start();
+    let end = rest
+        .char_indices()
+        .take_while(|(_, c)| is_ident_char(*c))
+        .last()
+        .map(|(i, c)| i + c.len_utf8())?;
+    Some(&rest[..end])
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+
+fn float_total_order(rel: &str, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    for (i, line) in live_lines(lexed) {
+        for at in word_positions(&line.code, "partial_cmp") {
+            // `.partial_cmp(..)` is a call; `fn partial_cmp` (a PartialOrd
+            // impl forwarding to Ord/total_cmp) is fine.
+            if prev_nonspace(&line.code, at) == Some('.') {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    rule: "float-total-order",
+                    message: "call to .partial_cmp() — use f64::total_cmp (NaN-safe, \
+                              deterministic total order)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+const HASH_ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "values",
+    "values_mut",
+    "keys",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_values",
+    "into_keys",
+];
+
+fn no_hash_iter(rel: &str, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    // Pass 1: names bound to HashMap/HashSet in this file (fields, lets).
+    let mut names: Vec<String> = Vec::new();
+    for (_, line) in live_lines(lexed) {
+        for ty in ["HashMap", "HashSet"] {
+            for at in word_positions(&line.code, ty) {
+                let name = match prev_nonspace(&line.code, at) {
+                    // `pools: HashMap<..>` (field or typed let)
+                    Some(':') => {
+                        let before_colon = line.code[..at].trim_end();
+                        // Skip the `::` of a fully qualified path like
+                        // `std::collections::HashMap`.
+                        if before_colon.ends_with("::") {
+                            let path_start = before_colon.len() - 2;
+                            match prev_nonspace(&line.code, path_start) {
+                                Some(c) if is_ident_char(c) => {
+                                    // `x: std::collections::HashMap<..>` —
+                                    // walk back over the path segments to
+                                    // the binding name before the first `:`.
+                                    binding_before_path(&line.code, path_start)
+                                }
+                                _ => None,
+                            }
+                        } else {
+                            prev_word(&line.code, before_colon.len() - 1).map(str::to_string)
+                        }
+                    }
+                    // `let x = HashMap::new()`
+                    Some('=') => {
+                        let eq = line.code[..at].trim_end().len() - 1;
+                        prev_word(&line.code, eq).map(str::to_string)
+                    }
+                    _ => None,
+                };
+                if let Some(n) = name {
+                    if !n.is_empty() && n != "mut" && !names.contains(&n) {
+                        names.push(n);
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: iteration over any tracked name.
+    let live: Vec<(usize, &Line)> = live_lines(lexed).collect();
+    for (k, (i, line)) in live.iter().enumerate() {
+        for name in &names {
+            for at in word_positions(&line.code, name) {
+                let end = at + name.len();
+                let mut rest = line.code[end..].trim_start();
+                // rustfmt splits long chains: `self.pools\n    .iter()`.
+                if rest.is_empty() {
+                    if let Some((_, next)) = live.get(k + 1) {
+                        rest = next.code.trim_start();
+                    }
+                }
+                // `name.iter()` and friends.
+                if let Some(m) = rest.strip_prefix('.').and_then(|r| next_word(r, 0)) {
+                    if HASH_ITER_METHODS.contains(&m) {
+                        findings.push(Finding {
+                            file: rel.to_string(),
+                            line: i + 1,
+                            rule: "no-hash-iter",
+                            message: format!(
+                                "iteration over hash-ordered `{name}` (.{m}) in a \
+                                 deterministic module — use BTreeMap/BTreeSet or sort \
+                                 explicitly; escape hatch: // lint:allow(no-hash-iter): why"
+                            ),
+                        });
+                        continue;
+                    }
+                }
+                // `for x in name` / `in &name` / `in &mut self.name`.
+                let mut before = line.code[..at].trim_end();
+                if let Some(b) = before.strip_suffix("self.") {
+                    before = b.trim_end();
+                }
+                while before.ends_with('&') || before.ends_with("mut") {
+                    before = before
+                        .strip_suffix("mut")
+                        .unwrap_or_else(|| &before[..before.len() - 1])
+                        .trim_end();
+                }
+                if before.ends_with("in") && prev_word(before, before.len()) == Some("in") {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: i + 1,
+                        rule: "no-hash-iter",
+                        message: format!(
+                            "for-loop over hash-ordered `{name}` in a deterministic \
+                             module — use BTreeMap/BTreeSet or sort explicitly; escape \
+                             hatch: // lint:allow(no-hash-iter): why"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// For `x: std::collections::HashMap<..>`, walks back from the final path
+/// separator to the binding name before the type's first `:`.
+fn binding_before_path(code: &str, mut at: usize) -> Option<String> {
+    loop {
+        let word_start = {
+            let trimmed = code[..at].trim_end();
+            let mut start = trimmed.len();
+            for (idx, c) in trimmed.char_indices().rev() {
+                if is_ident_char(c) {
+                    start = idx;
+                } else {
+                    break;
+                }
+            }
+            start
+        };
+        if word_start == code[..at].trim_end().len() {
+            return None;
+        }
+        let before = code[..word_start].trim_end();
+        if before.ends_with("::") {
+            at = before.len() - 2;
+        } else if before.ends_with(':') {
+            return prev_word(code, before.len() - 1).map(str::to_string);
+        } else {
+            return None;
+        }
+    }
+}
+
+fn no_wallclock(rel: &str, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    for (i, line) in live_lines(lexed) {
+        for at in word_positions(&line.code, "Instant") {
+            let rest = line.code[at + "Instant".len()..].trim_start();
+            if rest.starts_with("::") && next_word(rest, 2) == Some("now") {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    rule: "no-wallclock-in-sim",
+                    message: "Instant::now() outside the bench allowlist — the simulator \
+                              runs on a virtual clock; thread time through explicitly"
+                        .to_string(),
+                });
+            }
+        }
+        if !word_positions(&line.code, "SystemTime").is_empty() {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: "no-wallclock-in-sim",
+                message: "SystemTime outside the bench allowlist — the simulator runs \
+                          on a virtual clock"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn no_panic_hot_path(rel: &str, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    let mut push = |i: usize, what: &str| {
+        findings.push(Finding {
+            file: rel.to_string(),
+            line: i + 1,
+            rule: "no-panic-hot-path",
+            message: format!(
+                "{what} in a lint:hot-path module — the predict/observe/select_node \
+                 paths must not panic; use get()/pattern matching or justify with \
+                 // lint:allow(no-panic-hot-path): why"
+            ),
+        });
+    };
+    for (i, line) in live_lines(lexed) {
+        for word in ["unwrap", "expect"] {
+            for at in word_positions(&line.code, word) {
+                if prev_nonspace(&line.code, at) == Some('.') {
+                    push(i, &format!(".{word}()"));
+                }
+            }
+        }
+        for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+            for at in word_positions(&line.code, mac) {
+                if line.code[at + mac.len()..].trim_start().starts_with('!') {
+                    push(i, &format!("{mac}! macro"));
+                }
+            }
+        }
+        // Panicking index/slice expressions: `[` directly after an
+        // identifier, `)` or `]`. Attribute (`#[`), macro-bang (`vec![`),
+        // type (`: [f64; 4]`) and literal (`= [..]`) brackets all have a
+        // different preceding char and are not flagged.
+        for (at, c) in line.code.char_indices() {
+            if c == '[' {
+                match prev_nonspace(&line.code, at) {
+                    Some(p) if is_ident_char(p) || p == ')' || p == ']' => {
+                        push(i, "panicking index/slice expression ([..] without get)");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn safety_comments(rel: &str, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    for (i, line) in live_lines(lexed) {
+        if word_positions(&line.code, "unsafe").is_empty() {
+            continue;
+        }
+        // Covered when the unsafe line itself, or the contiguous
+        // comment-only block directly above it, says SAFETY:.
+        let mut covered = line.comment.contains("SAFETY:");
+        let mut j = i;
+        while !covered && j > 0 && lexed.lines[j - 1].is_comment_only() {
+            j -= 1;
+            covered = lexed.lines[j].comment.contains("SAFETY:");
+        }
+        if !covered {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: "safety-comments",
+                message: "`unsafe` without a `// SAFETY:` comment on the same line or \
+                          directly above — state the invariant that makes this sound"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Lines that rules should look at: everything outside `#[cfg(test)]` /
+/// `#[test]` regions.
+fn live_lines(lexed: &Lexed) -> impl Iterator<Item = (usize, &Line)> {
+    lexed
+        .lines
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !lexed.in_test[*i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(rel: &str, src: &str, rule: &str) -> Vec<Finding> {
+        scan_source(rel, src, &[rule]).0
+    }
+
+    // --- float-total-order -------------------------------------------------
+
+    #[test]
+    fn flags_partial_cmp_calls() {
+        let src = "fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        let f = findings("crates/ml/src/x.rs", src, "float-total-order");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].rule, "float-total-order");
+    }
+
+    #[test]
+    fn ignores_partial_cmp_definitions_and_total_cmp() {
+        let src = "impl PartialOrd for T {\n    fn partial_cmp(&self, o: &T) -> Option<Ordering> {\n        Some(self.cmp(o))\n    }\n}\nfn g(a: f64, b: f64) -> Ordering { a.total_cmp(&b) }\n";
+        assert!(findings("crates/ml/src/x.rs", src, "float-total-order").is_empty());
+    }
+
+    #[test]
+    fn ignores_partial_cmp_in_comments_and_strings() {
+        let src = "/// docs mention partial_cmp(..).expect() here\nfn f() { let s = \"a.partial_cmp(b)\"; }\n";
+        assert!(findings("crates/sim/src/x.rs", src, "float-total-order").is_empty());
+    }
+
+    // --- no-hash-iter ------------------------------------------------------
+
+    #[test]
+    fn flags_hashmap_method_iteration_in_deterministic_crate() {
+        let src = "struct S { pools: HashMap<K, V> }\nimpl S {\n    fn f(&self) { for v in self.pools.values() {} }\n}\n";
+        let f = findings("crates/core/src/x.rs", src, "no-hash-iter");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn flags_for_loop_over_hashmap_binding() {
+        let src = "fn f() {\n    let mut m = HashMap::new();\n    for (k, v) in &mut m {}\n}\n";
+        let f = findings("crates/sim/src/x.rs", src, "no-hash-iter");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn lookup_only_hashmap_is_clean() {
+        let src = "struct S { cache: HashMap<K, V> }\nimpl S {\n    fn get(&self, k: &K) -> Option<&V> { self.cache.get(k) }\n    fn put(&mut self, k: K, v: V) { self.cache.insert(k, v); }\n}\n";
+        assert!(findings("crates/sim/src/x.rs", src, "no-hash-iter").is_empty());
+    }
+
+    #[test]
+    fn btreemap_iteration_is_clean() {
+        let src = "struct S { pools: BTreeMap<K, V> }\nimpl S {\n    fn f(&self) { for v in self.pools.values() {} }\n}\n";
+        assert!(findings("crates/core/src/x.rs", src, "no-hash-iter").is_empty());
+    }
+
+    #[test]
+    fn hashmap_iteration_outside_deterministic_crates_is_clean() {
+        let src = "struct S { m: HashMap<K, V> }\nimpl S {\n    fn f(&self) { for v in self.m.values() {} }\n}\n";
+        assert!(findings("crates/ml/src/x.rs", src, "no-hash-iter").is_empty());
+    }
+
+    #[test]
+    fn justified_allow_suppresses_and_is_listed() {
+        let src = "struct S { m: HashMap<K, V> }\nimpl S {\n    // lint:allow(no-hash-iter): drained into a Vec that is key-sorted below\n    fn f(&self) { for v in self.m.values() {} }\n}\n";
+        let (f, allows) = scan_source("crates/sim/src/x.rs", src, &["no-hash-iter"]);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(allows.len(), 1);
+        assert!(allows[0].justification.is_some());
+    }
+
+    #[test]
+    fn multi_line_justification_block_suppresses() {
+        let src = "fn f() {\n    // lint:allow(no-wallclock-in-sim): measures real latency for\n    // diagnostics only; never feeds the virtual clock.\n    let t = Instant::now();\n}\n";
+        let (f, _) = scan_source("crates/sim/src/x.rs", src, &["no-wallclock-in-sim"]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unjustified_allow_is_a_finding() {
+        let src = "struct S { m: HashMap<K, V> }\nimpl S {\n    // lint:allow(no-hash-iter)\n    fn f(&self) { for v in self.m.values() {} }\n}\n";
+        let (f, _) = scan_source("crates/sim/src/x.rs", src, &["no-hash-iter"]);
+        // The iteration finding stays AND the bare allow is flagged.
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|x| x.rule == "lint-allow"));
+        assert!(f.iter().any(|x| x.rule == "no-hash-iter"));
+    }
+
+    #[test]
+    fn flags_for_loop_over_self_qualified_field() {
+        let src = "struct S { pools: HashMap<K, V> }\nimpl S {\n    fn f(&mut self) { for (k, p) in &mut self.pools {} }\n}\n";
+        let f = findings("crates/core/src/x.rs", src, "no-hash-iter");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn flags_method_chain_split_across_lines() {
+        let src = "struct S { pools: HashMap<K, V> }\nimpl S {\n    fn f(&self) -> usize {\n        self.pools\n            .iter()\n            .count()\n    }\n}\n";
+        let f = findings("crates/core/src/x.rs", src, "no-hash-iter");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn fully_qualified_hashmap_field_is_tracked() {
+        let src = "struct S { m: std::collections::HashMap<K, V> }\nimpl S {\n    fn f(&self) { for v in self.m.keys() {} }\n}\n";
+        let f = findings("crates/sim/src/x.rs", src, "no-hash-iter");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    // --- no-wallclock-in-sim ----------------------------------------------
+
+    #[test]
+    fn flags_instant_now_in_sim() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let f = findings("crates/sim/src/x.rs", src, "no-wallclock-in-sim");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn flags_system_time() {
+        let src = "fn f() { let t = SystemTime::now(); }\n";
+        assert_eq!(
+            findings("crates/core/src/x.rs", src, "no-wallclock-in-sim").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn bench_crate_may_read_wall_clock() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(findings("crates/bench/src/bin/x.rs", src, "no-wallclock-in-sim").is_empty());
+    }
+
+    #[test]
+    fn instant_type_annotation_is_clean() {
+        let src = "struct S { started: Instant }\n";
+        assert!(findings("crates/sim/src/x.rs", src, "no-wallclock-in-sim").is_empty());
+    }
+
+    // --- no-panic-hot-path -------------------------------------------------
+
+    const HOT: &str = "#![doc = \"lint:hot-path\"]\n";
+
+    #[test]
+    fn flags_unwrap_expect_panic_and_indexing_in_hot_path() {
+        let src = format!(
+            "{HOT}fn f(v: &[f64], i: usize) -> f64 {{\n    let a = v.first().unwrap();\n    let b = v.iter().next().expect(\"x\");\n    if i > v.len() {{ panic!(\"oob\"); }}\n    v[i] + a + b\n}}\n"
+        );
+        let f = findings("crates/core/src/x.rs", &src, "no-panic-hot-path");
+        let lines: Vec<usize> = f.iter().map(|x| x.line).collect();
+        assert_eq!(lines, vec![3, 4, 5, 6], "{f:?}");
+    }
+
+    #[test]
+    fn unmarked_module_is_exempt() {
+        let src = "fn f(v: &[f64]) -> f64 { v[0] + v.first().unwrap() }\n";
+        assert!(findings("crates/core/src/x.rs", src, "no-panic-hot-path").is_empty());
+    }
+
+    #[test]
+    fn get_based_access_is_clean_in_hot_path() {
+        let src = format!(
+            "{HOT}fn f(v: &[f64]) -> f64 {{\n    let x: [f64; 2] = [1.0, 2.0];\n    v.get(0).copied().unwrap_or(x.len() as f64)\n}}\n"
+        );
+        let f = findings("crates/core/src/x.rs", &src, "no-panic-hot-path");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn attributes_and_macros_are_not_indexing() {
+        let src = format!(
+            "{HOT}#[derive(Clone)]\nstruct S;\nfn f(n: usize) -> Vec<f64> {{ vec![0.0; n] }}\n"
+        );
+        assert!(findings("crates/core/src/x.rs", &src, "no-panic-hot-path").is_empty());
+    }
+
+    // --- safety-comments ---------------------------------------------------
+
+    #[test]
+    fn flags_undocumented_unsafe() {
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let f = findings("crates/ml/src/x.rs", src, "safety-comments");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_directly_above_covers() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}\n";
+        assert!(findings("crates/ml/src/x.rs", src, "safety-comments").is_empty());
+    }
+
+    #[test]
+    fn multi_line_safety_block_covers() {
+        let src = "// SAFETY: the pointer is derived from a live &mut and\n// the range is within bounds.\nunsafe impl Send for P {}\n";
+        assert!(findings("crates/ml/src/x.rs", src, "safety-comments").is_empty());
+    }
+
+    #[test]
+    fn unrelated_comment_does_not_cover() {
+        let src = "// fast path\nunsafe impl Send for P {}\n";
+        assert_eq!(
+            findings("crates/ml/src/x.rs", src, "safety-comments").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn test_code_is_skipped_by_all_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let m = HashMap::new();\n        for v in m.values() {}\n        let x = 1.0f64.partial_cmp(&2.0).unwrap();\n        let t = Instant::now();\n    }\n}\n";
+        for rule in RULES {
+            assert!(
+                findings("crates/sim/src/x.rs", src, rule).is_empty(),
+                "rule {rule} leaked into test code"
+            );
+        }
+    }
+}

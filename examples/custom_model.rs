@@ -91,7 +91,7 @@ impl MemoryPredictor for MedianRatioSizer {
         Prediction {
             allocation_bytes: base * 2.0_f64.powi(ctx.attempt as i32),
             raw_estimate_bytes: raw,
-            selected_model: Some("median-ratio".to_string()),
+            selected_model: Some("median-ratio"),
         }
     }
 

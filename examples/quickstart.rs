@@ -56,7 +56,7 @@ fn main() {
         "after 30 tasks : allocate {:>6.2} GB (raw estimate {:.2} GB, model: {}, true peak {:.2} GB)",
         warm.allocation_bytes / 1e9,
         warm.raw_estimate_bytes.unwrap_or(0.0) / 1e9,
-        warm.selected_model.as_deref().unwrap_or("-"),
+        warm.selected_model.unwrap_or("-"),
         truth / 1e9
     );
     println!(

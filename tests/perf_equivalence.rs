@@ -65,7 +65,7 @@ fn naive_knn_predict(config: KnnConfig, rows: &[Vec<f64>], targets: &[f64], quer
             (i, d2)
         })
         .collect();
-    dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+    dists.sort_by(|a, b| a.1.total_cmp(&b.1));
     let k = config.k.max(1).min(dists.len());
     dists.truncate(k);
     match config.weighting {

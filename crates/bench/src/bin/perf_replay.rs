@@ -9,7 +9,9 @@
 //!   event-driven scheduler with one online-learning Sizey predictor per
 //!   tenant, reporting end-to-end throughput in dispatched attempts per
 //!   second and per-call latency percentiles of `MemoryPredictor::predict`
-//!   and `MemoryPredictor::observe` (p50 / p90 / p99 / max, microseconds).
+//!   and `MemoryPredictor::observe` (p50 / p90 / p99 / p999 / max,
+//!   microseconds), plus the number of full model-pool retrains behind the
+//!   observe tail.
 //! * **scale** (`--scale`): a million-instance, 50-tenant workload through
 //!   the *streaming* engine ([`schedule_workflows_streaming`]) with
 //!   bounded-history predictors and null sinks. The harness runs the same
@@ -33,6 +35,7 @@
 //! cargo run --release -p sizey-bench --bin perf_replay -- --out /tmp/bench.json
 //! ```
 
+use sizey_bench::perf_json::{json_latency, print_latency, summarize, write_bench_json};
 use sizey_core::{SizeyConfig, SizeyPredictor};
 use sizey_sim::{
     schedule_workflows, schedule_workflows_streaming, AttemptContext, MemoryPredictor,
@@ -42,7 +45,7 @@ use sizey_sim::{
 use sizey_workflows::{all_workflows, generate_workflow, stream_workflow, GeneratorConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -227,16 +230,20 @@ const HEAP_GROWTH_SLACK: f64 = 3.0;
 // Predictor timing (replay scenario).
 // ---------------------------------------------------------------------------
 
-/// Wraps a predictor and records the wall-clock duration of every `predict`
-/// and `observe` call in nanoseconds. The handles are shared with the
-/// harness, which reads them back after the replay consumed the tenants.
-struct TimedPredictor<P> {
-    inner: P,
+/// Wraps a Sizey predictor and records the wall-clock duration of every
+/// `predict` and `observe` call in nanoseconds. The handles are shared with
+/// the harness, which reads them back after the replay consumed the tenants;
+/// on drop each wrapper also folds its predictor's full-retrain count into
+/// the shared total, so the harness can report how many model-pool retrains
+/// the observe tail paid for.
+struct TimedPredictor {
+    inner: SizeyPredictor,
     predict_ns: Arc<Mutex<Vec<u64>>>,
     observe_ns: Arc<Mutex<Vec<u64>>>,
+    full_retrains: Arc<AtomicU64>,
 }
 
-impl<P: MemoryPredictor> MemoryPredictor for TimedPredictor<P> {
+impl MemoryPredictor for TimedPredictor {
     fn name(&self) -> String {
         self.inner.name()
     }
@@ -257,114 +264,11 @@ impl<P: MemoryPredictor> MemoryPredictor for TimedPredictor<P> {
     }
 }
 
-/// Latency percentiles over one timer series, in microseconds.
-struct LatencySummary {
-    count: usize,
-    p50_us: f64,
-    p90_us: f64,
-    p99_us: f64,
-    max_us: f64,
-}
-
-fn summarize(mut nanos: Vec<u64>) -> LatencySummary {
-    nanos.sort_unstable();
-    let pick = |q: f64| -> f64 {
-        if nanos.is_empty() {
-            return 0.0;
-        }
-        let idx = (q * (nanos.len() - 1) as f64).round() as usize;
-        nanos[idx.min(nanos.len() - 1)] as f64 / 1_000.0
-    };
-    LatencySummary {
-        count: nanos.len(),
-        p50_us: pick(0.50),
-        p90_us: pick(0.90),
-        p99_us: pick(0.99),
-        max_us: nanos.last().map_or(0.0, |&n| n as f64 / 1_000.0),
+impl Drop for TimedPredictor {
+    fn drop(&mut self) {
+        self.full_retrains
+            .fetch_add(self.inner.total_full_retrains(), Ordering::Relaxed);
     }
-}
-
-fn json_latency(s: &LatencySummary) -> String {
-    format!(
-        "{{\"count\": {}, \"p50_us\": {:.3}, \"p90_us\": {:.3}, \"p99_us\": {:.3}, \"max_us\": {:.3}}}",
-        s.count, s.p50_us, s.p90_us, s.p99_us, s.max_us
-    )
-}
-
-// ---------------------------------------------------------------------------
-// BENCH_replay.json (schema v2): one file, one object per scenario.
-// ---------------------------------------------------------------------------
-
-/// Extracts the JSON object following `"name":` from `text` (brace-matched,
-/// string-aware), so a run of one scenario can preserve the other scenario's
-/// committed measurement verbatim. Matches only the top-level scenario entry
-/// as emitted by [`write_bench_json`] (newline + four-space indent) so scalar
-/// fields like the workload's `"scale": 0.5` inside a scenario body cannot be
-/// mistaken for the `"scale"` scenario itself. Returns `None` when the key is
-/// absent — e.g. on a pre-v2 file, which carried only the replay scenario
-/// inline at a different indent.
-fn extract_scenario(text: &str, name: &str) -> Option<String> {
-    let key = format!("\n    \"{name}\": ");
-    let key_at = text.find(&key)?;
-    let after_key = &text[key_at + key.len()..];
-    let open = after_key.find('{')?;
-    let body = &after_key[open..];
-    let mut depth = 0usize;
-    let mut in_string = false;
-    let mut escaped = false;
-    for (i, c) in body.char_indices() {
-        if in_string {
-            match c {
-                _ if escaped => escaped = false,
-                '\\' => escaped = true,
-                '"' => in_string = false,
-                _ => {}
-            }
-            continue;
-        }
-        match c {
-            '"' => in_string = true,
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(body[..=i].to_string());
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Writes `BENCH_replay.json` with `scenario` replaced by `body`, keeping the
-/// other scenario from the existing file (when present). Scenarios are
-/// emitted in a fixed order so reruns produce stable diffs.
-fn write_bench_json(out_path: &Path, scenario: &str, body: &str) {
-    let other = if scenario == "replay" {
-        "scale"
-    } else {
-        "replay"
-    };
-    let preserved = std::fs::read_to_string(out_path)
-        .ok()
-        .and_then(|text| extract_scenario(&text, other));
-    let mut entries: Vec<(&str, &str)> = vec![(scenario, body)];
-    if let Some(ref kept) = preserved {
-        entries.push((other, kept));
-    }
-    entries.sort_by_key(|(name, _)| *name); // "replay" before "scale"
-    let scenarios = entries
-        .iter()
-        .map(|(name, body)| format!("    \"{name}\": {body}"))
-        .collect::<Vec<_>>()
-        .join(",\n");
-    let json = format!(
-        "{{\n  \"schema\": \"sizey-perf-replay/v2\",\n  \"scenarios\": {{\n{scenarios}\n  }}\n}}\n"
-    );
-    std::fs::write(out_path, json).expect("write BENCH_replay.json");
-    println!();
-    println!("wrote {}", out_path.display());
 }
 
 // ---------------------------------------------------------------------------
@@ -388,6 +292,7 @@ fn run_replay(smoke: bool, out_path: &Path) {
     let workflows = all_workflows();
     let predict_ns = Arc::new(Mutex::new(Vec::new()));
     let observe_ns = Arc::new(Mutex::new(Vec::new()));
+    let full_retrains = Arc::new(AtomicU64::new(0));
 
     let tenants: Vec<WorkflowTenant> = workflows
         .iter()
@@ -403,6 +308,7 @@ fn run_replay(smoke: bool, out_path: &Path) {
                     inner: SizeyPredictor::with_defaults(),
                     predict_ns: Arc::clone(&predict_ns),
                     observe_ns: Arc::clone(&observe_ns),
+                    full_retrains: Arc::clone(&full_retrains),
                 }),
             )
             .with_arrival_offset(i as f64 * spec.arrival_stagger_seconds)
@@ -433,20 +339,16 @@ fn run_replay(smoke: bool, out_path: &Path) {
             .into_inner()
             .expect("timer lock"),
     );
+    let retrains = full_retrains.load(Ordering::Relaxed);
 
     println!();
     println!(
         "replayed {total_instances} instances / {attempts} attempts in {wall_seconds:.3} s \
          ({throughput:.0} attempts/s)"
     );
-    println!(
-        "predict latency: p50 {:.1} us, p90 {:.1} us, p99 {:.1} us, max {:.1} us ({} calls)",
-        predict.p50_us, predict.p90_us, predict.p99_us, predict.max_us, predict.count
-    );
-    println!(
-        "observe latency: p50 {:.1} us, p90 {:.1} us, p99 {:.1} us, max {:.1} us ({} calls)",
-        observe.p50_us, observe.p90_us, observe.p99_us, observe.max_us, observe.count
-    );
+    print_latency("predict", &predict);
+    print_latency("observe", &observe);
+    println!("full model-pool retrains: {retrains} (the spikes behind the observe p99/p999 tail)");
 
     let body = format!(
         "{{\"mode\": \"{}\", \
@@ -455,7 +357,7 @@ fn run_replay(smoke: bool, out_path: &Path) {
          \"arrival_stagger_seconds\": {}}}, \
          \"instances\": {}, \"attempts\": {}, \"wall_seconds\": {:.6}, \
          \"throughput_attempts_per_sec\": {:.3}, \
-         \"makespan_seconds\": {:.3}, \
+         \"makespan_seconds\": {:.3}, \"full_retrains\": {}, \
          \"predict_latency_us\": {}, \"observe_latency_us\": {}}}",
         spec.mode,
         spec.tenants,
@@ -468,6 +370,7 @@ fn run_replay(smoke: bool, out_path: &Path) {
         wall_seconds,
         throughput,
         result.makespan_seconds,
+        retrains,
         json_latency(&predict),
         json_latency(&observe),
     );
@@ -681,37 +584,5 @@ fn main() {
         run_scale(smoke, &out_path);
     } else {
         run_replay(smoke, &out_path);
-    }
-}
-
-#[cfg(test)]
-mod extract_tests {
-    use super::extract_scenario;
-
-    #[test]
-    fn matches_only_top_level_scenario_entries() {
-        let text = "{\n  \"schema\": \"sizey-perf-replay/v2\",\n  \"scenarios\": {\n    \
-                    \"replay\": {\"workload\": {\"scale\": 0.5}, \"observe_latency_us\": {\"p50\": 1.0}},\n    \
-                    \"scale\": {\"workload\": {\"scale\": 10.0}, \"peak_heap_bytes\": 42}\n  }\n}\n";
-        assert_eq!(
-            extract_scenario(text, "replay").as_deref(),
-            Some("{\"workload\": {\"scale\": 0.5}, \"observe_latency_us\": {\"p50\": 1.0}}")
-        );
-        // The replay body's inner `"scale": 0.5` must not shadow the scenario.
-        assert_eq!(
-            extract_scenario(text, "scale").as_deref(),
-            Some("{\"workload\": {\"scale\": 10.0}, \"peak_heap_bytes\": 42}")
-        );
-    }
-
-    #[test]
-    fn legacy_v1_file_yields_none() {
-        // Pre-v2 files inlined the replay measurement at two-space indent and
-        // carried a scalar "scale" in the workload; neither may match.
-        let text =
-            "{\n  \"schema\": \"sizey-perf-replay/v1\",\n  \"workload\": {\"scale\": 0.5},\n  \
-                    \"observe_latency_us\": {\"p50\": 1.0}\n}\n";
-        assert_eq!(extract_scenario(text, "replay"), None);
-        assert_eq!(extract_scenario(text, "scale"), None);
     }
 }

@@ -1,0 +1,551 @@
+//! `serve_bench` — closed-loop load generator for the async serving
+//! front-end ([`AsyncSizey`]): latency-vs-offered-load curves for the
+//! lock-free snapshot predict path under live observe traffic.
+//!
+//! The harness drives thousands of simulated tenants — distinct
+//! (task type, machine) keys with their own model pools — from a small pool
+//! of client threads (the bench boxes are CPU-scarce; each thread
+//! multiplexes many tenants round-robin). Every client loop iteration
+//! issues one `predict` through the wait-free snapshot path and, every
+//! `observe_every`-th iteration, submits a completion record to the async
+//! observe queues — so the read path is measured *while* micro-batches,
+//! snapshot publications and deferred retrains run against the same shards.
+//!
+//! The run is pinned (fixed tenants, seed, service knobs — deliberately
+//! independent of `SIZEY_BENCH_*`) and walks a ladder of offered predict
+//! rates, closed-loop with pacing: each client issues its next request
+//! after the previous one completes, sleeping to hit the level's target
+//! rate (`0` = unthrottled). Per level it reports achieved throughput,
+//! predict latency percentiles (p50/p90/p99/p999/max, post-warmup),
+//! observe-submit latency, shed counts and the service's retrain telemetry.
+//! A quiescent single-threaded **baseline** level runs first: the
+//! uncontended predict percentiles the loaded levels are compared against —
+//! the headline claim is that the snapshot path's p99 does not degrade when
+//! observe load arrives, because predicts never take a lock.
+//!
+//! The measurement lands as the `serve` scenario in `BENCH_replay.json`
+//! (schema `sizey-perf-replay/v2`), next to `replay` and `scale`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p sizey-bench --bin serve_bench              # full ladder
+//! cargo run --release -p sizey-bench --bin serve_bench -- --smoke  # CI smoke + self-check
+//! cargo run --release -p sizey-bench --bin serve_bench -- --out /tmp/bench.json
+//! ```
+
+use sizey_bench::perf_json::{
+    extract_scenario, json_latency, print_latency, summarize, write_bench_json, LatencySummary,
+};
+use sizey_core::{
+    AdmissionPolicy, AsyncService, AsyncSizey, ConcurrentPredictor, ServiceConfig, ServiceStats,
+    SizeyConfig, SizeyPredictor,
+};
+use sizey_provenance::{MachineId, TaskOutcome, TaskRecord, TaskTypeId};
+use sizey_sim::AttemptContext;
+use sizey_sim::TaskSubmission;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Pinned specs.
+// ---------------------------------------------------------------------------
+
+/// The pinned parameters of one serve-bench mode.
+struct ServeSpec {
+    mode: &'static str,
+    /// Shards of the service (= worker threads).
+    shards: usize,
+    /// Client threads; each multiplexes `tenants / client_threads` tenants.
+    client_threads: usize,
+    /// Simulated tenants — distinct (task type, machine) keys.
+    tenants: usize,
+    /// Warm-up records per tenant before the clock starts.
+    seed_records: u64,
+    /// `SizeyConfig::history_window` of the shard predictors.
+    history_window: usize,
+    /// One observe submission per this many predicts.
+    observe_every: u64,
+    /// Offered predict rates (per second, all clients combined); `0` is the
+    /// unthrottled closed-loop level.
+    levels: &'static [u64],
+    /// Wall-clock seconds per level.
+    level_seconds: f64,
+    /// Leading fraction of each level discarded as warm-up.
+    warmup_fraction: f64,
+}
+
+const FULL: ServeSpec = ServeSpec {
+    mode: "full",
+    shards: 4,
+    client_threads: 4,
+    tenants: 2000,
+    seed_records: 4,
+    history_window: 64,
+    observe_every: 5,
+    levels: &[2_000, 10_000, 50_000, 0],
+    level_seconds: 2.0,
+    warmup_fraction: 0.25,
+};
+
+const SMOKE: ServeSpec = ServeSpec {
+    mode: "smoke",
+    shards: 2,
+    client_threads: 2,
+    tenants: 64,
+    seed_records: 4,
+    history_window: 64,
+    observe_every: 5,
+    levels: &[2_000, 0],
+    level_seconds: 0.3,
+    warmup_fraction: 0.25,
+};
+
+/// The pinned service knobs of the benched front-end. Shed admission keeps
+/// the load generator honest under overload (drops are counted, clients are
+/// never parked on a full queue), and deferred retrains exercise the whole
+/// subsystem: retrain work runs on the shard workers, capped per batch,
+/// while the predict path keeps reading published snapshots.
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        queue_capacity: 4096,
+        batch_max: 128,
+        batch_window: Duration::from_micros(100),
+        admission: AdmissionPolicy::Shed,
+        deferred_retrains: true,
+        retrain_cap_per_batch: 2,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload: tenants and their records.
+// ---------------------------------------------------------------------------
+
+/// One simulated tenant: a distinct (task type, machine) key with a linear
+/// input→memory relation the models can learn.
+struct Tenant {
+    task_type: TaskTypeId,
+    machine: MachineId,
+    /// Memory = `factor * input + 0.5 GB`; varies per tenant so pools learn
+    /// genuinely different models.
+    factor: f64,
+}
+
+fn build_tenants(count: usize) -> Vec<Tenant> {
+    (0..count)
+        .map(|i| Tenant {
+            task_type: TaskTypeId::new(format!("tenant-{i:04}")),
+            machine: MachineId::new(format!("node-{:02}", i % 16)),
+            factor: 1.5 + (i % 7) as f64 * 0.25,
+        })
+        .collect()
+}
+
+fn input_gb(iteration: u64) -> f64 {
+    1.0 + (iteration % 8) as f64
+}
+
+fn record_for(tenant: &Tenant, sequence: u64, iteration: u64) -> TaskRecord {
+    let input = input_gb(iteration) * 1e9;
+    let peak = tenant.factor * input + 5e8;
+    TaskRecord {
+        workflow: "serve".into(),
+        task_type: tenant.task_type.clone(),
+        machine: tenant.machine.clone(),
+        sequence,
+        input_bytes: input,
+        peak_memory_bytes: peak,
+        allocated_memory_bytes: peak * 1.5,
+        runtime_seconds: 60.0,
+        concurrent_tasks: 1,
+        queue_delay_seconds: 0.0,
+        outcome: TaskOutcome::Succeeded,
+    }
+}
+
+fn submission_for(tenant: &Tenant, sequence: u64, iteration: u64) -> TaskSubmission {
+    TaskSubmission {
+        workflow: "serve".into(),
+        task_type: tenant.task_type.clone(),
+        machine: tenant.machine.clone(),
+        sequence,
+        input_bytes: input_gb(iteration) * 1e9,
+        preset_memory_bytes: 20e9,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The closed loop.
+// ---------------------------------------------------------------------------
+
+/// One client thread's measured output for one level.
+struct ClientRun {
+    predict_ns: Vec<u64>,
+    observe_submit_ns: Vec<u64>,
+    /// Predicts issued inside the post-warmup measurement window.
+    measured_predicts: u64,
+}
+
+/// Measured results of one ladder level.
+struct LevelResult {
+    offered_per_sec: u64,
+    achieved_per_sec: f64,
+    predict: LatencySummary,
+    observe_submit: LatencySummary,
+    /// Service-counter deltas across the level.
+    accepted: u64,
+    shed: u64,
+    observed: u64,
+    snapshots_published: u64,
+    retrains_installed: u64,
+    retrain_backlog: u64,
+}
+
+/// Runs one level: `threads` clients issue paced predicts (plus one observe
+/// per `observe_every` predicts when `with_observes`) against `service` for
+/// `seconds`, measuring latencies after the warm-up window.
+#[allow(clippy::too_many_arguments)]
+fn run_level(
+    service: &AsyncSizey,
+    tenants: &[Tenant],
+    spec: &ServeSpec,
+    threads: usize,
+    offered_per_sec: u64,
+    seconds: f64,
+    with_observes: bool,
+    sequence: &AtomicU64,
+) -> (Vec<ClientRun>, f64) {
+    let interval = (offered_per_sec > 0)
+        .then(|| Duration::from_secs_f64(threads as f64 / offered_per_sec as f64));
+    let warmup = Duration::from_secs_f64(seconds * spec.warmup_fraction);
+    let duration = Duration::from_secs_f64(seconds);
+    let started = Instant::now();
+    let runs = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let sequence = &*sequence;
+                scope.spawn(move || {
+                    let mut run = ClientRun {
+                        predict_ns: Vec::with_capacity(1 << 16),
+                        observe_submit_ns: Vec::with_capacity(1 << 13),
+                        measured_predicts: 0,
+                    };
+                    // This thread's tenant slice: t, t + threads, ...
+                    let mine: Vec<&Tenant> = tenants.iter().skip(t).step_by(threads).collect();
+                    let start = Instant::now();
+                    let measure_at = start + warmup;
+                    let end = start + duration;
+                    let mut next_slot = start;
+                    let mut iteration = t as u64;
+                    loop {
+                        let now = Instant::now();
+                        if now >= end {
+                            break;
+                        }
+                        let measuring = now >= measure_at;
+                        let tenant = mine[(iteration as usize / threads) % mine.len()];
+                        let seq = sequence.fetch_add(1, Ordering::Relaxed);
+
+                        let task = submission_for(tenant, seq, iteration);
+                        let t0 = Instant::now();
+                        let prediction = service.predict(&task, AttemptContext::first());
+                        let dt = t0.elapsed().as_nanos() as u64;
+                        assert!(prediction.allocation_bytes > 0.0);
+                        if measuring {
+                            run.predict_ns.push(dt);
+                            run.measured_predicts += 1;
+                        }
+
+                        if with_observes && iteration.is_multiple_of(spec.observe_every) {
+                            let record = record_for(tenant, seq, iteration);
+                            let t0 = Instant::now();
+                            let _ = service.observe(&record);
+                            let dt = t0.elapsed().as_nanos() as u64;
+                            if measuring {
+                                run.observe_submit_ns.push(dt);
+                            }
+                        }
+
+                        iteration += threads as u64;
+                        if let Some(step) = interval {
+                            next_slot += step;
+                            let now = Instant::now();
+                            if next_slot > now {
+                                std::thread::sleep(next_slot - now);
+                            } else {
+                                // Behind schedule: don't bank the deficit.
+                                next_slot = now;
+                            }
+                        }
+                    }
+                    run
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect::<Vec<_>>()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    // The measurement window is the level minus its warm-up.
+    let measured_seconds = (elapsed - warmup.as_secs_f64()).max(1e-9);
+    (runs, measured_seconds)
+}
+
+fn stats_delta(before: &ServiceStats, after: &ServiceStats) -> ServiceStats {
+    ServiceStats {
+        predicts: after.predicts - before.predicts,
+        submitted: after.submitted - before.submitted,
+        accepted: after.accepted - before.accepted,
+        shed: after.shed - before.shed,
+        observed: after.observed - before.observed,
+        batches: after.batches - before.batches,
+        snapshots_published: after.snapshots_published - before.snapshots_published,
+        retrains_installed: after.retrains_installed - before.retrains_installed,
+        retrain_backlog: after.retrain_backlog, // a gauge, not a counter
+    }
+}
+
+fn json_level(level: &LevelResult) -> String {
+    format!(
+        "{{\"offered_predicts_per_sec\": {}, \"achieved_predicts_per_sec\": {:.1}, \
+         \"predict_latency_us\": {}, \"observe_submit_latency_us\": {}, \
+         \"accepted\": {}, \"shed\": {}, \"observed\": {}, \
+         \"snapshots_published\": {}, \"retrains_installed\": {}, \
+         \"retrain_backlog\": {}}}",
+        level.offered_per_sec,
+        level.achieved_per_sec,
+        json_latency(&level.predict),
+        json_latency(&level.observe_submit),
+        level.accepted,
+        level.shed,
+        level.observed,
+        level.snapshots_published,
+        level.retrains_installed,
+        level.retrain_backlog,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // crates/bench/../../ == repository root.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("BENCH_replay.json")
+        });
+    let spec = if smoke { SMOKE } else { FULL };
+    run_serve(&spec, &out_path, smoke);
+}
+
+fn run_serve(spec: &ServeSpec, out_path: &Path, smoke: bool) {
+    let config = service_config();
+    println!("=== serve_bench ({} spec) ===", spec.mode);
+    println!(
+        "pinned workload: {} tenants over {} client threads, {} shards, \
+         1 observe per {} predicts, {:.1} s per level",
+        spec.tenants, spec.client_threads, spec.shards, spec.observe_every, spec.level_seconds
+    );
+    println!(
+        "service: queue capacity {}, batch max {}, window {} us, shed admission, \
+         deferred retrains (cap {}/batch)",
+        config.queue_capacity,
+        config.batch_max,
+        config.batch_window.as_micros(),
+        config.retrain_cap_per_batch
+    );
+
+    let tenants = build_tenants(spec.tenants);
+    let sequence = AtomicU64::new(1);
+
+    // Seed every tenant's pool before the clock starts, directly on the
+    // sharded service (batched, no queue in the way), then wrap it: the
+    // AsyncService publishes the warm state as its initial snapshots.
+    let sizey_config = SizeyConfig::default().with_history_window(spec.history_window);
+    let inner =
+        ConcurrentPredictor::new(spec.shards, |_| SizeyPredictor::new(sizey_config.clone()));
+    let seeds: Vec<TaskRecord> = tenants
+        .iter()
+        .flat_map(|tenant| {
+            (0..spec.seed_records)
+                .map(|i| record_for(tenant, sequence.fetch_add(1, Ordering::Relaxed), i * 3 + 1))
+        })
+        .collect();
+    inner.observe_batch(&seeds);
+    let service = AsyncService::new(inner, config);
+    println!(
+        "seeded {} records across {} tenants",
+        seeds.len(),
+        spec.tenants
+    );
+
+    // Baseline: quiescent service, one client, no observe traffic — the
+    // uncontended snapshot predict percentiles.
+    service.flush();
+    let (runs, measured_seconds) = run_level(
+        &service,
+        &tenants,
+        spec,
+        1,
+        0,
+        spec.level_seconds / 2.0,
+        false,
+        &sequence,
+    );
+    let baseline_count: u64 = runs.iter().map(|r| r.measured_predicts).sum();
+    let baseline_rate = baseline_count as f64 / measured_seconds;
+    let baseline = summarize(runs.into_iter().flat_map(|r| r.predict_ns).collect());
+    println!();
+    println!("baseline (uncontended, 1 thread): {baseline_rate:.0} predicts/s");
+    print_latency("baseline predict", &baseline);
+
+    // The ladder: paced levels with live observe traffic.
+    let mut levels: Vec<LevelResult> = Vec::new();
+    for &offered in spec.levels {
+        let before = service.stats();
+        let (runs, measured_seconds) = run_level(
+            &service,
+            &tenants,
+            spec,
+            spec.client_threads,
+            offered,
+            spec.level_seconds,
+            true,
+            &sequence,
+        );
+        // Quiesce between levels so one level's backlog doesn't bleed into
+        // the next level's measurement.
+        service.flush();
+        let after = service.stats();
+        let delta = stats_delta(&before, &after);
+        let measured: u64 = runs.iter().map(|r| r.measured_predicts).sum();
+        let mut predict_ns = Vec::new();
+        let mut observe_ns = Vec::new();
+        for run in runs {
+            predict_ns.extend(run.predict_ns);
+            observe_ns.extend(run.observe_submit_ns);
+        }
+        let level = LevelResult {
+            offered_per_sec: offered,
+            achieved_per_sec: measured as f64 / measured_seconds,
+            predict: summarize(predict_ns),
+            observe_submit: summarize(observe_ns),
+            accepted: delta.accepted,
+            shed: delta.shed,
+            observed: delta.observed,
+            snapshots_published: delta.snapshots_published,
+            retrains_installed: delta.retrains_installed,
+            retrain_backlog: delta.retrain_backlog,
+        };
+        println!();
+        if offered == 0 {
+            println!(
+                "level unthrottled: achieved {:.0} predicts/s",
+                level.achieved_per_sec
+            );
+        } else {
+            println!(
+                "level {offered} predicts/s offered: achieved {:.0} predicts/s",
+                level.achieved_per_sec
+            );
+        }
+        print_latency("predict", &level.predict);
+        print_latency("observe submit", &level.observe_submit);
+        println!(
+            "observes: {} accepted, {} shed, {} applied; {} snapshots, \
+             {} retrains installed, backlog {}",
+            level.accepted,
+            level.shed,
+            level.observed,
+            level.snapshots_published,
+            level.retrains_installed,
+            level.retrain_backlog,
+        );
+        levels.push(level);
+    }
+
+    // Accounting invariants — the run is wrong, not slow, if these fail.
+    let stats = service.stats();
+    assert_eq!(
+        stats.accepted + stats.shed,
+        stats.submitted,
+        "every observe submission must be accepted or shed"
+    );
+    let final_stats = service.shutdown();
+    assert_eq!(
+        final_stats.observed, final_stats.accepted,
+        "accepted observes were lost across shutdown"
+    );
+    for level in &levels {
+        assert!(level.predict.count > 0, "a level measured zero predicts");
+    }
+
+    let worst_loaded_p99 = levels
+        .iter()
+        .map(|l| l.predict.p99_us)
+        .fold(0.0f64, f64::max);
+    println!();
+    println!(
+        "headline: uncontended predict p99 {:.1} us vs worst loaded p99 {:.1} us \
+         (observe traffic {} records applied, {} retrains)",
+        baseline.p99_us, worst_loaded_p99, final_stats.observed, final_stats.retrains_installed
+    );
+
+    let body = format!(
+        "{{\"mode\": \"{}\", \
+         \"workload\": {{\"tenants\": {}, \"client_threads\": {}, \"shards\": {}, \
+         \"observe_every\": {}, \"seed_records\": {}, \"history_window\": {}, \
+         \"level_seconds\": {}, \"warmup_fraction\": {}}}, \
+         \"service\": {{\"queue_capacity\": {}, \"batch_max\": {}, \
+         \"batch_window_us\": {}, \"admission\": \"shed\", \
+         \"deferred_retrains\": true, \"retrain_cap_per_batch\": {}}}, \
+         \"baseline_uncontended\": {{\"achieved_predicts_per_sec\": {:.1}, \
+         \"predict_latency_us\": {}}}, \
+         \"levels\": [{}], \
+         \"totals\": {{\"submitted\": {}, \"accepted\": {}, \"shed\": {}, \
+         \"observed\": {}, \"snapshots_published\": {}, \"retrains_installed\": {}}}}}",
+        spec.mode,
+        spec.tenants,
+        spec.client_threads,
+        spec.shards,
+        spec.observe_every,
+        spec.seed_records,
+        spec.history_window,
+        spec.level_seconds,
+        spec.warmup_fraction,
+        service_config().queue_capacity,
+        service_config().batch_max,
+        service_config().batch_window.as_micros(),
+        service_config().retrain_cap_per_batch,
+        baseline_rate,
+        json_latency(&baseline),
+        levels.iter().map(json_level).collect::<Vec<_>>().join(", "),
+        final_stats.submitted,
+        final_stats.accepted,
+        final_stats.shed,
+        final_stats.observed,
+        final_stats.snapshots_published,
+        final_stats.retrains_installed,
+    );
+    write_bench_json(out_path, "serve", &body);
+
+    if smoke {
+        // CI self-check: the scenario round-trips through the extractor the
+        // other harnesses use to preserve it, i.e. the file stays a valid
+        // multi-scenario document.
+        let text = std::fs::read_to_string(out_path).expect("re-read BENCH_replay.json");
+        let serve = extract_scenario(&text, "serve").expect("serve scenario must round-trip");
+        assert!(serve.contains("\"levels\": ["));
+        assert!(serve.contains("\"baseline_uncontended\""));
+        println!("smoke self-check: serve scenario round-trips through the extractor");
+    }
+}

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod perf_json;
 pub mod registry;
 pub mod sweep;
 pub mod toml_lite;
@@ -29,9 +30,9 @@ use sizey_workflows::{
 pub use experiment::{Experiment, ExperimentBuilder, ExperimentSpec};
 pub use registry::{MethodSpec, SpecError};
 pub use sweep::{
-    aggregate_sweep, run_sweep, run_sweep_shared_sizey, run_sweep_shared_sizey_with_threads,
-    run_sweep_with_states, run_sweep_with_states_and_threads, run_sweep_with_threads, SweepCell,
-    SweepRow, SweepSpec,
+    aggregate_sweep, run_sweep, run_sweep_async_sizey, run_sweep_async_sizey_with_threads,
+    run_sweep_shared_sizey, run_sweep_shared_sizey_with_threads, run_sweep_with_states,
+    run_sweep_with_states_and_threads, run_sweep_with_threads, SweepCell, SweepRow, SweepSpec,
 };
 
 /// Harness-wide settings read from the environment.

@@ -1,0 +1,235 @@
+//! Shared machinery of the pinned performance harnesses (`perf_replay`,
+//! `serve_bench`): latency summarisation and the `BENCH_replay.json`
+//! read-modify-write cycle.
+//!
+//! `BENCH_replay.json` (schema `sizey-perf-replay/v2`) holds one object per
+//! scenario — `replay`, `scale` and `serve` — and each harness run rewrites
+//! *its* scenario while preserving the other scenarios' committed
+//! measurements verbatim. That keeps the file a perf trajectory tracked
+//! across commits instead of a scratchpad the last-run harness wipes.
+
+use std::path::Path;
+
+/// The scenarios `BENCH_replay.json` tracks, in their fixed emission order.
+pub const SCENARIOS: [&str; 3] = ["replay", "scale", "serve"];
+
+/// Latency percentiles over one timer series, in microseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Number of timed calls in the series.
+    pub count: usize,
+    /// Median latency.
+    pub p50_us: f64,
+    /// 90th percentile latency.
+    pub p90_us: f64,
+    /// 99th percentile latency.
+    pub p99_us: f64,
+    /// 99.9th percentile latency — the serving tail the async front-end is
+    /// designed to decouple from retrain spikes.
+    pub p999_us: f64,
+    /// Worst observed latency.
+    pub max_us: f64,
+}
+
+/// Sorts a nanosecond series and reduces it to microsecond percentiles.
+/// An empty series yields all-zero percentiles (count 0).
+pub fn summarize(mut nanos: Vec<u64>) -> LatencySummary {
+    nanos.sort_unstable();
+    let pick = |q: f64| -> f64 {
+        if nanos.is_empty() {
+            return 0.0;
+        }
+        let idx = (q * (nanos.len() - 1) as f64).round() as usize;
+        nanos[idx.min(nanos.len() - 1)] as f64 / 1_000.0
+    };
+    LatencySummary {
+        count: nanos.len(),
+        p50_us: pick(0.50),
+        p90_us: pick(0.90),
+        p99_us: pick(0.99),
+        p999_us: pick(0.999),
+        max_us: nanos.last().map_or(0.0, |&n| n as f64 / 1_000.0),
+    }
+}
+
+/// Renders a [`LatencySummary`] as the JSON object embedded in scenario
+/// bodies.
+pub fn json_latency(s: &LatencySummary) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_us\": {:.3}, \"p90_us\": {:.3}, \"p99_us\": {:.3}, \
+         \"p999_us\": {:.3}, \"max_us\": {:.3}}}",
+        s.count, s.p50_us, s.p90_us, s.p99_us, s.p999_us, s.max_us
+    )
+}
+
+/// Renders a [`LatencySummary`] as the human-readable harness output line.
+pub fn print_latency(label: &str, s: &LatencySummary) {
+    println!(
+        "{label} latency: p50 {:.1} us, p90 {:.1} us, p99 {:.1} us, p999 {:.1} us, \
+         max {:.1} us ({} calls)",
+        s.p50_us, s.p90_us, s.p99_us, s.p999_us, s.max_us, s.count
+    );
+}
+
+/// Extracts the JSON object following `"name":` from `text` (brace-matched,
+/// string-aware), so a run of one scenario can preserve the other scenarios'
+/// committed measurements verbatim. Matches only the top-level scenario
+/// entry as emitted by [`write_bench_json`] (newline + four-space indent) so
+/// scalar fields like the workload's `"scale": 0.5` inside a scenario body
+/// cannot be mistaken for the `"scale"` scenario itself. Returns `None` when
+/// the key is absent — e.g. on a pre-v2 file, which carried only the replay
+/// scenario inline at a different indent.
+pub fn extract_scenario(text: &str, name: &str) -> Option<String> {
+    let key = format!("\n    \"{name}\": ");
+    let key_at = text.find(&key)?;
+    let after_key = &text[key_at + key.len()..];
+    let open = after_key.find('{')?;
+    let body = &after_key[open..];
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(body[..=i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Writes `BENCH_replay.json` with `scenario` replaced by `body`, keeping
+/// every other known scenario from the existing file (when present).
+/// Scenarios are emitted in the fixed [`SCENARIOS`] order so reruns produce
+/// stable diffs.
+///
+/// # Panics
+///
+/// Panics when `scenario` is not one of [`SCENARIOS`] or the file cannot be
+/// written — a harness misconfiguration, not a runtime condition.
+pub fn write_bench_json(out_path: &Path, scenario: &str, body: &str) {
+    assert!(
+        SCENARIOS.contains(&scenario),
+        "unknown scenario {scenario:?}; known: {SCENARIOS:?}"
+    );
+    let existing = std::fs::read_to_string(out_path).ok();
+    let scenarios = SCENARIOS
+        .iter()
+        .filter_map(|&name| {
+            let kept = if name == scenario {
+                Some(body.to_string())
+            } else {
+                existing
+                    .as_deref()
+                    .and_then(|text| extract_scenario(text, name))
+            };
+            kept.map(|b| format!("    \"{name}\": {b}"))
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"schema\": \"sizey-perf-replay/v2\",\n  \"scenarios\": {{\n{scenarios}\n  }}\n}}\n"
+    );
+    std::fs::write(out_path, json).expect("write BENCH_replay.json");
+    println!();
+    println!("wrote {}", out_path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_only_top_level_scenario_entries() {
+        let text = "{\n  \"schema\": \"sizey-perf-replay/v2\",\n  \"scenarios\": {\n    \
+                    \"replay\": {\"workload\": {\"scale\": 0.5}, \"observe_latency_us\": {\"p50\": 1.0}},\n    \
+                    \"scale\": {\"workload\": {\"scale\": 10.0}, \"peak_heap_bytes\": 42}\n  }\n}\n";
+        assert_eq!(
+            extract_scenario(text, "replay").as_deref(),
+            Some("{\"workload\": {\"scale\": 0.5}, \"observe_latency_us\": {\"p50\": 1.0}}")
+        );
+        // The replay body's inner `"scale": 0.5` must not shadow the scenario.
+        assert_eq!(
+            extract_scenario(text, "scale").as_deref(),
+            Some("{\"workload\": {\"scale\": 10.0}, \"peak_heap_bytes\": 42}")
+        );
+        assert_eq!(extract_scenario(text, "serve"), None);
+    }
+
+    #[test]
+    fn legacy_v1_file_yields_none() {
+        // Pre-v2 files inlined the replay measurement at two-space indent and
+        // carried a scalar "scale" in the workload; neither may match.
+        let text =
+            "{\n  \"schema\": \"sizey-perf-replay/v1\",\n  \"workload\": {\"scale\": 0.5},\n  \
+                    \"observe_latency_us\": {\"p50\": 1.0}\n}\n";
+        assert_eq!(extract_scenario(text, "replay"), None);
+        assert_eq!(extract_scenario(text, "scale"), None);
+    }
+
+    #[test]
+    fn write_preserves_the_other_scenarios_verbatim() {
+        let dir = std::env::temp_dir().join("sizey-perf-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_replay.json");
+        let _ = std::fs::remove_file(&path);
+
+        write_bench_json(&path, "replay", "{\"a\": 1}");
+        write_bench_json(&path, "serve", "{\"b\": {\"nested\": \"x}\"}}");
+        write_bench_json(&path, "scale", "{\"c\": 3}");
+        // Rewriting one scenario keeps the other two.
+        write_bench_json(&path, "replay", "{\"a\": 2}");
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            extract_scenario(&text, "replay").as_deref(),
+            Some("{\"a\": 2}")
+        );
+        assert_eq!(
+            extract_scenario(&text, "scale").as_deref(),
+            Some("{\"c\": 3}")
+        );
+        assert_eq!(
+            extract_scenario(&text, "serve").as_deref(),
+            Some("{\"b\": {\"nested\": \"x}\"}}"),
+            "brace inside a string must not break extraction"
+        );
+        // Fixed emission order: replay, scale, serve.
+        let (r, s, v) = (
+            text.find("\"replay\":").unwrap(),
+            text.find("\"scale\":").unwrap(),
+            text.find("\"serve\":").unwrap(),
+        );
+        assert!(r < s && s < v, "scenario order must be stable");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn summarize_orders_percentiles_and_handles_empty() {
+        let series: Vec<u64> = (1..=1000).map(|i| i * 1_000).collect();
+        let s = summarize(series);
+        assert_eq!(s.count, 1000);
+        assert!(s.p50_us <= s.p90_us && s.p90_us <= s.p99_us);
+        assert!(s.p99_us <= s.p999_us && s.p999_us <= s.max_us);
+        assert_eq!(s.max_us, 1000.0);
+
+        let empty = summarize(Vec::new());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.max_us, 0.0);
+    }
+}

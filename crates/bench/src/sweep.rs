@@ -15,11 +15,15 @@
 
 use crate::registry::MethodSpec;
 use crate::HarnessSettings;
-use sizey_core::{SharedSizey, SizeyConfig};
+use sizey_core::{
+    AdmissionPolicy, AsyncSizey, AsyncSizeyHandle, ServiceConfig, SharedSizey, SizeyConfig,
+};
 use sizey_ml::parallel::{default_parallelism, parallel_map};
+use sizey_provenance::TaskRecord;
 use sizey_sim::{
-    replay_workflow_streaming, schedule_workflows_streaming, CheckpointPredictor, NullRecordSink,
-    NullSink, PredictorState, SchedulePolicy, SimulationConfig, StreamingTenant,
+    replay_workflow_streaming, schedule_workflows_streaming, AttemptContext, CheckpointPredictor,
+    MemoryPredictor, NullRecordSink, NullSink, Prediction, PredictorState, SchedulePolicy,
+    SimulationConfig, StreamingTenant, TaskSubmission,
 };
 use sizey_workflows::{stream_workflow, workflow_by_name, GeneratorConfig};
 
@@ -263,6 +267,110 @@ pub fn run_sweep_shared_sizey(spec: &SweepSpec, shards: usize) -> Vec<SweepCell>
     run_sweep_shared_sizey_with_threads(spec, shards, default_parallelism())
 }
 
+/// A replay tenant over the async serving front-end that flushes after every
+/// observe: the simulator's online-learning contract (an observe is visible
+/// to the next predict) holds exactly, so replay results are deterministic
+/// and bit-identical to the locked [`SharedSizey`] path — the drop-in proof
+/// for [`run_sweep_async_sizey`]. A deployment would skip the per-observe
+/// flush and accept snapshot staleness of one micro-batch.
+struct SyncedAsyncTenant {
+    handle: AsyncSizeyHandle,
+}
+
+impl MemoryPredictor for SyncedAsyncTenant {
+    fn name(&self) -> String {
+        self.handle.name()
+    }
+
+    fn predict(&self, task: &TaskSubmission, ctx: AttemptContext) -> Prediction {
+        // The lock-free snapshot path — what the service would serve live.
+        self.handle.service().predict(task, ctx)
+    }
+
+    fn observe(&mut self, record: &TaskRecord) {
+        let service = self.handle.service();
+        service.observe(record);
+        service.flush();
+    }
+}
+
+/// The sweep's **async-service mode**: like [`run_sweep_shared_sizey`], but
+/// every tenant shares one [`AsyncSizey`] front-end — observes go through
+/// the per-shard request queues and micro-batchers, predictions come off the
+/// lock-free snapshots. Tenants flush after each observe (an internal
+/// `SyncedAsyncTenant` adapter), so each cell's replay stays deterministic and the
+/// emitted cells are bit-identical to the shared-Sizey sweep — pinned by the
+/// crate's tests; this mode exists to prove the async front-end is a
+/// drop-in, not to benchmark it (that is `serve_bench`'s job).
+pub fn run_sweep_async_sizey_with_threads(
+    spec: &SweepSpec,
+    shards: usize,
+    threads: usize,
+) -> Vec<SweepCell> {
+    let mut cells: Vec<(u64, SchedulePolicy)> = Vec::new();
+    for &seed in &spec.seeds {
+        for &policy in &spec.policies {
+            cells.push((seed, policy));
+        }
+    }
+    let grouped = parallel_map(&cells, threads, |(seed, policy)| {
+        // A zero-length batch window: the replay flushes after every
+        // observe, so there are no stragglers to wait for.
+        let config = ServiceConfig {
+            batch_window: std::time::Duration::ZERO,
+            admission: AdmissionPolicy::Block,
+            ..ServiceConfig::default()
+        };
+        let handle = AsyncSizey::sizey(SizeyConfig::default(), shards, config).into_handle();
+        let tenants: Vec<StreamingTenant> = spec
+            .workflows
+            .iter()
+            .map(|wf| {
+                let wf_spec = workflow_by_name(wf).expect("sweep names a known workflow");
+                StreamingTenant::new(
+                    wf.clone(),
+                    stream_workflow(
+                        &wf_spec,
+                        &GeneratorConfig {
+                            scale: spec.scale,
+                            seed: *seed,
+                            ..GeneratorConfig::default()
+                        },
+                    ),
+                    Box::new(SyncedAsyncTenant {
+                        handle: handle.clone(),
+                    }),
+                )
+            })
+            .collect();
+        let sim = spec.sim.clone().with_policy(*policy);
+        let result =
+            schedule_workflows_streaming(tenants, &sim, &mut NullSink, &mut NullRecordSink);
+        result
+            .reports
+            .iter()
+            .map(|report| SweepCell {
+                workflow: report.workflow.clone(),
+                method: MethodSpec::sizey_defaults(),
+                seed: *seed,
+                policy: *policy,
+                wastage_gbh: report.aggregates.total_wastage_gbh,
+                failures: report.aggregates.failures as usize,
+                unfinished: report.aggregates.unfinished_instances,
+                makespan_hours: report.aggregates.makespan_seconds / 3600.0,
+                mean_queue_delay_seconds: report.aggregates.mean_queue_delay_seconds(),
+                runtime_hours: report.aggregates.total_runtime_hours(),
+            })
+            .collect::<Vec<_>>()
+    });
+    grouped.into_iter().flatten().collect()
+}
+
+/// [`run_sweep_async_sizey_with_threads`] on the default thread pool.
+pub fn run_sweep_async_sizey(spec: &SweepSpec, shards: usize) -> Vec<SweepCell> {
+    run_sweep_async_sizey_with_threads(spec, shards, default_parallelism())
+}
+
 /// One aggregated row of a sweep: a (method, policy) pair summed over
 /// workflows and averaged over seeds.
 #[derive(Debug, Clone)]
@@ -428,6 +536,32 @@ mod tests {
             assert_eq!(a.wastage_gbh, b.wastage_gbh);
             assert_eq!(a.failures, b.failures);
             assert_eq!(a.makespan_hours, b.makespan_hours);
+        }
+    }
+
+    /// The async front-end is a drop-in for the locked shared service: the
+    /// same sweep through `SyncedAsyncTenant`s (snapshot predicts, queued
+    /// observes, flush-per-observe) emits bit-identical cells.
+    #[test]
+    fn async_sizey_sweep_is_bit_identical_to_shared_sizey_sweep() {
+        let spec = SweepSpec {
+            workflows: vec!["iwd".to_string(), "rnaseq".to_string()],
+            methods: vec![],
+            seeds: vec![3],
+            policies: vec![SchedulePolicy::FirstFit],
+            scale: 0.02,
+            sim: SimulationConfig::default(),
+        };
+        let shared = run_sweep_shared_sizey(&spec, 4);
+        let asynced = run_sweep_async_sizey(&spec, 4);
+        assert_eq!(shared.len(), asynced.len());
+        for (a, b) in shared.iter().zip(&asynced) {
+            assert_eq!(a.workflow, b.workflow);
+            assert_eq!(a.wastage_gbh, b.wastage_gbh, "{}", a.workflow);
+            assert_eq!(a.failures, b.failures);
+            assert_eq!(a.unfinished, b.unfinished);
+            assert_eq!(a.makespan_hours, b.makespan_hours);
+            assert_eq!(a.runtime_hours, b.runtime_hours);
         }
     }
 

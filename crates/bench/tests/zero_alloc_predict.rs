@@ -15,7 +15,7 @@
 //! in the default debug profile — the release optimiser can elide dead
 //! allocations, which would make the gate vacuous.
 
-use sizey_core::SizeyPredictor;
+use sizey_core::{AsyncSizey, ServiceConfig, SizeyConfig, SizeyPredictor};
 use sizey_provenance::{MachineId, TaskOutcome, TaskRecord, TaskTypeId};
 use sizey_sim::{AttemptContext, MemoryPredictor, TaskSubmission};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -163,6 +163,37 @@ fn steady_state_predict_performs_zero_heap_allocations() {
         allocs, 0,
         "retry and preset-fallback predictions must not touch the heap"
     );
+
+    // The async serving front-end's snapshot path is the same predict hot
+    // path behind a wait-free snapshot load: once the service is quiescent
+    // (flushed, workers parked) and this thread is warm, a snapshot predict
+    // must be allocation-free too — the load is two atomic bumps and an
+    // `Arc` refcount, never a clone of model state.
+    let service = AsyncSizey::sizey(SizeyConfig::default(), 2, ServiceConfig::default());
+    for i in 1..=30u64 {
+        let input = (i % 10 + 1) as f64 * 1e9;
+        assert!(service.observe(&success(i, input, 2.0 * input + 1e9)));
+    }
+    service.flush();
+    // Warm-up: scratch growth and the published snapshot's lazy re-solve.
+    for task in &tasks {
+        let p = service.predict(task, AttemptContext::first());
+        assert!(p.raw_estimate_bytes.is_some(), "snapshot must be warm");
+    }
+    let _ = service.predict(&unknown, AttemptContext::first());
+    let (allocs, _) = allocations_during(|| {
+        for _ in 0..100 {
+            for task in &tasks {
+                let _ = service.predict(task, AttemptContext::first());
+            }
+            let _ = service.predict(&unknown, AttemptContext::first());
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state snapshot predicts must not touch the heap ({allocs} allocations in 900 calls)"
+    );
+    drop(service);
 
     // Sanity check on the instrument itself: the counter must actually see
     // heap traffic, or the assertions above prove nothing.

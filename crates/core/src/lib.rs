@@ -26,7 +26,12 @@
 //! * [`serve`] — the concurrent serving layer: [`ConcurrentPredictor`]
 //!   shards predictors by (task type, machine) behind per-shard read-write
 //!   locks and batches predictions across a thread pool;
-//!   [`SharedPredictor`] handles let several tenants share one service.
+//!   [`SharedPredictor`] handles let several tenants share one service,
+//! * [`service`] — the async serving front-end: [`AsyncService`] puts
+//!   bounded per-shard request queues with micro-batching and admission
+//!   control in front of the write path, and serves predictions lock-free
+//!   from epoch-swapped immutable model snapshots
+//!   ([`service::snapshot::SnapshotCell`]).
 //!
 //! ## Example
 //!
@@ -51,6 +56,7 @@ pub mod offset;
 pub mod pool;
 pub mod raq;
 pub mod serve;
+pub mod service;
 pub mod sizey;
 
 pub use config::{GatingStrategy, OffsetMode, OnlineMode, SizeyConfig};
@@ -65,6 +71,10 @@ pub use raq::{accuracy_score, efficiency_scores, pool_raq_scores, raq_score};
 pub use serve::{
     BatchRequest, ConcurrentPredictor, ConcurrentSizey, ServiceCheckpoint, SharedPredictor,
     SharedSizey, DEFAULT_SHARDS,
+};
+pub use service::{
+    AdmissionPolicy, AsyncHandle, AsyncService, AsyncSizey, AsyncSizeyHandle, ServePredictor,
+    ServiceConfig, ServiceStats,
 };
 pub use sizey::SizeyPredictor;
 

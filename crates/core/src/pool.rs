@@ -121,6 +121,16 @@ struct PoolMember {
     accuracy_scores: Vec<f64>,
 }
 
+impl Clone for PoolMember {
+    fn clone(&self) -> Self {
+        PoolMember {
+            class: self.class,
+            model: self.model.clone_box(),
+            accuracy_scores: self.accuracy_scores.clone(),
+        }
+    }
+}
+
 /// Reusable buffers for one full prediction pipeline pass
 /// ([`ModelPool::gated_estimate_with`]) plus the offset computation that
 /// follows it — everything the read path needs, owned by the caller and
@@ -184,6 +194,31 @@ pub struct ModelPool {
     /// Reused buffer for the recent-window dataset of the MLP's warm-start
     /// update.
     tail_scratch: Dataset,
+}
+
+/// Cloning a pool deep-copies its models (via [`Regressor::clone_box`]) and
+/// histories. This is the basis of the serving layer's immutable predictor
+/// snapshots: the clone predicts bit-identically to the original because
+/// every input to the prediction pipeline — models, training data, accuracy
+/// and offset histories — is carried over. The transient scratch buffers are
+/// reset to empty; they are recycled capacity, not state.
+impl Clone for ModelPool {
+    fn clone(&self) -> Self {
+        ModelPool {
+            members: self.members.clone(),
+            data: self.data.clone(),
+            aggregate_history: self.aggregate_history.clone(),
+            since_full_retrain: self.since_full_retrain,
+            since_mlp_update: self.since_mlp_update,
+            retrain_policy: self.retrain_policy,
+            pending_retrain: self.pending_retrain,
+            model_epoch: self.model_epoch,
+            max_observed: self.max_observed,
+            last_training_time: self.last_training_time,
+            point_scratch: Dataset::new(),
+            tail_scratch: Dataset::new(),
+        }
+    }
 }
 
 impl std::fmt::Debug for ModelPool {

@@ -6,13 +6,15 @@
 //! adds the serving layer for heavy multi-tenant traffic:
 //!
 //! * **Sharding** — the key space is partitioned across `shards` independent
-//!   predictor instances by a deterministic hash of
+//!   predictor instances by a **stable FNV-1a hash** of
 //!   [`TaskMachineKey`] (task type ×
 //!   machine). All learned state in Sizey
 //!   and the baselines is keyed per (task type, machine), so routing every
 //!   predict *and* observe of a key to the same shard reproduces the serial
 //!   predictor's decisions bit for bit while letting unrelated keys proceed
-//!   in parallel.
+//!   in parallel. The hash is pinned by this crate (not borrowed from std),
+//!   so shard assignments are identical across binaries, rustc releases and
+//!   platforms — which is what makes [`ServiceCheckpoint`]s portable.
 //! * **Locking discipline** — each shard sits behind its own
 //!   `parking_lot::RwLock`. Predictions take the shard's read lock (many
 //!   concurrent readers); model updates take its write lock. A write stalls
@@ -41,9 +43,37 @@ use crate::sizey::SizeyPredictor;
 use parking_lot::RwLock;
 use sizey_ml::parallel::{default_parallelism, parallel_map};
 use sizey_provenance::TaskMachineKey;
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Stable FNV-1a 64-bit hash of a (task type, machine) key.
+///
+/// The algorithm is pinned here by constant, so the value — and therefore
+/// every shard assignment derived from it — is identical across binaries,
+/// rustc releases and platforms. (The previous `DefaultHasher` routing was
+/// only stable within one binary: std does not pin SipHash's parameters
+/// across releases, which made per-shard checkpoint restores non-portable.)
+///
+/// The two components are separated by a `0xFF` byte, which cannot occur in
+/// UTF-8, so `("ab", "c")` and `("a", "bc")` hash differently.
+fn fnv1a_key(task_type: &TaskTypeId, machine: &MachineId) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in task_type.as_str().as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash ^= 0xFF;
+    hash = hash.wrapping_mul(FNV_PRIME);
+    for &byte in machine.as_str().as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
 
 /// Default number of shards: enough to keep a 16-thread pool busy without
 /// fragmenting small key spaces.
@@ -110,26 +140,25 @@ impl<P: MemoryPredictor + Sync> ConcurrentPredictor<P> {
 
     /// Deterministic shard routing: every predict and observe of one
     /// (task type, machine) key lands on the same shard for the lifetime of
-    /// the service ([`DefaultHasher::new`] is unkeyed, unlike `RandomState`).
-    /// Std does not pin the algorithm across Rust releases, so shard indices
-    /// must never be persisted or compared across binaries.
+    /// the service. The underlying FNV-1a key hash is pinned by this
+    /// crate, so the assignment is also stable across binaries and rustc
+    /// releases — shard indices may be persisted (see [`ServiceCheckpoint`])
+    /// and external routers (the async serving layer's per-shard queues)
+    /// can compute them independently.
     ///
-    /// Hashing the two components directly is equivalent to hashing a
-    /// [`TaskMachineKey`] (derived `Hash`
-    /// feeds the fields in declaration
-    /// order) but avoids cloning two `String`s per request on the hot path.
-    fn shard_of_parts(&self, task_type: &TaskTypeId, machine: &MachineId) -> usize {
-        let mut hasher = DefaultHasher::new();
-        task_type.hash(&mut hasher);
-        machine.hash(&mut hasher);
-        (hasher.finish() % self.shards.len() as u64) as usize
+    /// Hashing the two components directly avoids cloning two `String`s into
+    /// a [`TaskMachineKey`] per request on the hot path.
+    pub fn shard_of_parts(&self, task_type: &TaskTypeId, machine: &MachineId) -> usize {
+        (fnv1a_key(task_type, machine) % self.shards.len() as u64) as usize
     }
 
-    fn shard_of_task(&self, task: &TaskSubmission) -> usize {
+    /// The shard a submission's key routes to.
+    pub fn shard_of_task(&self, task: &TaskSubmission) -> usize {
         self.shard_of_parts(&task.task_type, &task.machine)
     }
 
-    fn shard_of_record(&self, record: &TaskRecord) -> usize {
+    /// The shard a monitoring record's key routes to.
+    pub fn shard_of_record(&self, record: &TaskRecord) -> usize {
         self.shard_of_parts(&record.task_type, &record.machine)
     }
 
@@ -196,10 +225,30 @@ impl<P: MemoryPredictor + Sync> ConcurrentPredictor<P> {
         });
     }
 
+    /// Applies records to one specific shard, in order, under a single
+    /// write-lock hold. The caller is responsible for routing: every record
+    /// must belong to `shard` per [`ConcurrentPredictor::shard_of_record`]
+    /// — the async serving layer's
+    /// per-shard micro-batchers uphold this by construction. Panics when
+    /// `shard >= shard_count()`.
+    pub fn observe_shard(&self, shard: usize, records: &[TaskRecord]) {
+        let mut guard = self.shards[shard].write();
+        for record in records {
+            guard.observe(record);
+        }
+    }
+
     /// Runs `f` on every shard under its read lock, in shard order —
     /// aggregation hook for telemetry (e.g. summing provenance sizes).
     pub fn map_shards<R>(&self, f: impl Fn(&P) -> R) -> Vec<R> {
         self.shards.iter().map(|shard| f(&shard.read())).collect()
+    }
+
+    /// Runs `f` on one shard's predictor under its write lock — the
+    /// maintenance hook of the async serving layer (deferred-retrain drains
+    /// between micro-batches). Panics when `shard >= shard_count()`.
+    pub fn with_shard_mut<R>(&self, shard: usize, f: impl FnOnce(&mut P) -> R) -> R {
+        f(&mut self.shards[shard].write())
     }
 
     /// Wraps the service in a cheap cloneable [`SharedPredictor`] handle.
@@ -208,16 +257,38 @@ impl<P: MemoryPredictor + Sync> ConcurrentPredictor<P> {
     }
 }
 
+impl<P: Clone> ConcurrentPredictor<P> {
+    /// Deep-clones one shard's predictor under its read lock. This is the
+    /// snapshot primitive of the lock-free serving path: the clone shares no
+    /// mutable state with the shard, so it can be published behind an
+    /// immutable pointer and read without any lock while the shard keeps
+    /// learning. Panics when `shard >= shard_count()`.
+    pub fn clone_shard(&self, shard: usize) -> P {
+        self.shards[shard].read().clone()
+    }
+}
+
 /// A checkpoint of a whole sharded service: one [`PredictorState`] per
 /// shard, in shard order.
 ///
-/// Shard routing hashes with [`DefaultHasher`], which is stable within one
-/// binary but not across Rust releases — so a service checkpoint restored
-/// **shard-by-shard** ([`ConcurrentPredictor::from_checkpoint`]) is only
-/// bit-exact when restored by the same binary with the same shard count.
-/// [`ServiceCheckpoint::merged`] folds the checkpoint into one re-shardable
-/// state for every other situation (different shard count, different build,
-/// warm-starting a single serial predictor).
+/// Shard routing hashes with a stable FNV-1a hash pinned by this crate, so a
+/// checkpoint restored **shard-by-shard**
+/// ([`ConcurrentPredictor::from_checkpoint`]) is bit-exact across binaries,
+/// rustc releases and platforms — the only requirement is the same shard
+/// count. [`ServiceCheckpoint::merged`] folds the checkpoint into one
+/// re-shardable state for re-sharding or warm-starting a single serial
+/// predictor.
+///
+/// **Migration note (pre-FNV checkpoints):** checkpoints written by builds
+/// that still routed with `std`'s `DefaultHasher` placed each key's history
+/// on a shard the FNV routing may not agree with. Restoring such a file
+/// shard-by-shard would strand histories on shards their keys no longer
+/// route to; restore it once through [`ServiceCheckpoint::merged`] into a
+/// fresh predictor (or replay it through
+/// [`ConcurrentPredictor::observe_batch`]) and re-checkpoint. The text
+/// format itself is unchanged (`sizey-service-checkpoint v1` — the format
+/// never encoded the hash, which is exactly why the old files stay
+/// parseable).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceCheckpoint {
     /// Per-shard snapshots, indexed by shard.
@@ -417,11 +488,29 @@ impl ConcurrentSizey {
     /// retraining bit for bit; larger batches only delay *when* the retrain
     /// runs, never which data it sees at execution time.
     pub fn observe_batch_retraining(&self, records: &[TaskRecord]) -> usize {
+        self.observe_batch_retraining_capped(records, usize::MAX)
+    }
+
+    /// [`observe_batch_retraining`](ConcurrentSizey::observe_batch_retraining)
+    /// with a ceiling on the retrain work attributed to this call: at most
+    /// `cap` staged jobs are drained (shard order, key order within a shard
+    /// — deterministic), and pools whose jobs were left behind keep them
+    /// staged for the next call. This bounds the worst-case latency of an
+    /// observe batch — without a cap, one unlucky batch can absorb *every*
+    /// pool's periodic retrain at once, which is the observe p99 tail the
+    /// serving layer's micro-batcher needs to avoid. The backlog left behind
+    /// is visible through
+    /// [`pending_retrains`](ConcurrentSizey::pending_retrains).
+    pub fn observe_batch_retraining_capped(&self, records: &[TaskRecord], cap: usize) -> usize {
         self.observe_batch(records);
         let mut staged: Vec<(usize, TaskMachineKey, RetrainJob)> = Vec::new();
         for (i, shard) in self.shards.iter().enumerate() {
+            let remaining = cap - staged.len();
+            if remaining == 0 {
+                break;
+            }
             let mut guard = shard.write();
-            for (key, job) in guard.drain_retrain_jobs() {
+            for (key, job) in guard.drain_retrain_jobs_capped(remaining) {
                 staged.push((i, key, job));
             }
         }
@@ -436,6 +525,12 @@ impl ConcurrentSizey {
             }
         }
         installed
+    }
+
+    /// Staged-but-not-yet-drained retrains across all shards — the backlog a
+    /// capped drain left behind (retrain-stall telemetry).
+    pub fn pending_retrains(&self) -> usize {
+        self.map_shards(|p| p.pending_retrains()).iter().sum()
     }
 }
 
@@ -504,7 +599,7 @@ impl<P: MemoryPredictor + Sync> MemoryPredictor for SharedPredictor<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sizey_provenance::{MachineId, TaskMachineKey, TaskOutcome, TaskTypeId};
+    use sizey_provenance::{MachineId, TaskOutcome, TaskTypeId};
 
     fn submission(task_type: &str, seq: u64, input: f64) -> TaskSubmission {
         TaskSubmission {
@@ -677,16 +772,100 @@ mod tests {
             let shard = service.shard_of_task(&task);
             assert!(shard < 7);
             assert_eq!(shard, service.shard_of_task(&task));
-            // Component hashing must agree with hashing the struct key —
-            // the allocation-free routing relies on derived `Hash` feeding
-            // the fields in declaration order.
-            let mut hasher = DefaultHasher::new();
-            TaskMachineKey {
-                task_type: task.task_type.clone(),
-                machine: task.machine.clone(),
+            // Submission and record routing must agree — otherwise a key's
+            // observations and predictions could land on different shards.
+            let r = record(&format!("t{i}"), i, 1e9, 2e9);
+            assert_eq!(shard, service.shard_of_record(&r));
+            assert_eq!(
+                shard,
+                service.shard_of_parts(&task.task_type, &task.machine)
+            );
+        }
+    }
+
+    /// Golden shard assignments: the FNV-1a routing hash is part of the
+    /// [`ServiceCheckpoint`] portability contract, so its exact values are
+    /// pinned here. If this test ever fails, the hash changed — which
+    /// silently strands every persisted checkpoint's per-key history on
+    /// shards their keys no longer route to. Bump the checkpoint header and
+    /// write a migration before touching these constants.
+    #[test]
+    fn shard_routing_matches_golden_fnv_assignments() {
+        // (task type, machine, fnv1a_key, key % 16, key % 7) — values
+        // computed independently from the FNV-1a reference algorithm
+        // (offset basis 0xcbf29ce484222325, prime 0x100000001b3, 0xFF
+        // separator between the components).
+        let golden: &[(&str, &str, u64, usize, usize)] = &[
+            ("align", "node-a", 0x4c47_1dda_64c6_62d1, 1, 1),
+            ("sort", "node-b", 0xd838_5d24_3fa9_6629, 9, 0),
+            ("merge", "m", 0x830a_f0e8_92b8_4edf, 15, 2),
+            ("variant-call", "gpu-17", 0x1e48_6c54_cd15_9963, 3, 1),
+            ("t0", "m", 0x3faf_b2ee_1ee2_015d, 13, 4),
+            ("", "", 0xaf64_724c_8602_eb6e, 14, 0),
+        ];
+        let sixteen = ConcurrentSizey::sizey(SizeyConfig::default(), 16);
+        let seven = ConcurrentSizey::sizey(SizeyConfig::default(), 7);
+        for &(task_type, machine, hash, mod16, mod7) in golden {
+            let tt = TaskTypeId::new(task_type);
+            let m = MachineId::new(machine);
+            assert_eq!(
+                fnv1a_key(&tt, &m),
+                hash,
+                "FNV-1a value changed for ({task_type:?}, {machine:?})"
+            );
+            assert_eq!(sixteen.shard_of_parts(&tt, &m), mod16);
+            assert_eq!(seven.shard_of_parts(&tt, &m), mod7);
+        }
+        // The 0xFF separator keeps component boundaries unambiguous.
+        assert_ne!(
+            fnv1a_key(&TaskTypeId::new("ab"), &MachineId::new("c")),
+            fnv1a_key(&TaskTypeId::new("a"), &MachineId::new("bc"))
+        );
+    }
+
+    /// A capped drain takes at most `cap` staged retrains per call, leaves
+    /// the rest staged (visible as `pending_retrains`), and repeated capped
+    /// calls converge to the same installed models as one uncapped drain.
+    #[test]
+    fn capped_retrain_drain_bounds_work_and_leaves_backlog_visible() {
+        let service =
+            ConcurrentSizey::sizey(SizeyConfig::default(), 4).with_background_retrains(true);
+        // Push several key pools past the default retrain interval (25) so
+        // multiple jobs are staged at once.
+        let mut records = Vec::new();
+        for task_type in ["a", "b", "c"] {
+            for i in 1..=30u64 {
+                let input = i as f64 * 1e9;
+                records.push(record(task_type, i, input, 2.0 * input + 1e9));
             }
-            .hash(&mut hasher);
-            assert_eq!(shard, (hasher.finish() % 7) as usize);
+        }
+        service.observe_batch(&records);
+        let staged = service.pending_retrains();
+        assert!(staged >= 3, "expected one staged retrain per task type");
+        // Drain one at a time; each call installs exactly one and the
+        // backlog shrinks monotonically until empty.
+        let mut installed_total = 0;
+        while service.pending_retrains() > 0 {
+            let before = service.pending_retrains();
+            let installed = service.observe_batch_retraining_capped(&[], 1);
+            assert!(installed <= 1, "cap must bound installs per call");
+            installed_total += installed;
+            assert_eq!(service.pending_retrains(), before - 1);
+        }
+        assert_eq!(installed_total, staged);
+        assert_eq!(service.observe_batch_retraining_capped(&[], 1), 0);
+
+        // The capped path lands on the same models as an uncapped drain.
+        let uncapped =
+            ConcurrentSizey::sizey(SizeyConfig::default(), 4).with_background_retrains(true);
+        uncapped.observe_batch_retraining(&records);
+        for task_type in ["a", "b", "c"] {
+            let task = submission(task_type, 900, 6e9);
+            assert_eq!(
+                service.predict(&task, AttemptContext::first()),
+                uncapped.predict(&task, AttemptContext::first()),
+                "capped drains must converge to the uncapped result"
+            );
         }
     }
 

@@ -1,0 +1,96 @@
+//! The serving subsystem: an async request-queue front-end with lock-free
+//! snapshot predicts on top of the sharded
+//! [`ConcurrentPredictor`](crate::serve::ConcurrentPredictor).
+//!
+//! The locked [`SharedSizey`](crate::serve::SharedSizey) path couples the
+//! two halves of serving: a tenant's observe holds a shard write lock while
+//! models retrain, so an unlucky predict on the same shard stalls for the
+//! whole retrain (the millisecond-scale observe tail in `BENCH_replay.json`
+//! bleeds into the microsecond predict path). This module decouples them:
+//!
+//! ```text
+//!            submit                       micro-batch (≤ batch_max,
+//! tenants ──observe──▶ per-shard bounded ──≤ batch_window)──▶ shard worker
+//!    │                 queues (admission:                        │ observe +
+//!    │                 Block | Shed)                             │ deferred
+//!    │                                                           │ retrain
+//!    └──predict──▶ SnapshotCell per shard ◀────publish clone─────┘
+//!                  (wait-free epoch-swapped reads)
+//! ```
+//!
+//! * [`queue`] — the bounded MPSC channel each shard consumes: blocking or
+//!   shedding admission, time/size-windowed batch receive, drain-on-close.
+//! * [`snapshot`] — the left-right [`SnapshotCell`]:
+//!   readers take the current immutable model snapshot wait-free, the
+//!   (serialized) writer pays the full cost of the swap.
+//! * [`server`] — [`AsyncService`] wiring the two together, with worker
+//!   threads, flush barriers, graceful drain-on-shutdown and counters.
+//!
+//! The serving layer runs on real OS threads with real time windows — it is
+//! deliberately *outside* the simulator's virtual clock. Replays stay
+//! deterministic by feeding the service through [`AsyncService::flush`]
+//! barriers at the points where equivalence is asserted.
+
+use crate::sizey::SizeyPredictor;
+use sizey_sim::MemoryPredictor;
+
+pub mod queue;
+pub mod server;
+pub mod snapshot;
+
+pub use queue::{BoundedQueue, SendError};
+pub use server::{
+    AdmissionPolicy, AsyncHandle, AsyncService, AsyncSizey, AsyncSizeyHandle, ServiceConfig,
+    ServiceStats,
+};
+pub use snapshot::SnapshotCell;
+
+/// What a predictor must provide to be served by [`AsyncService`]:
+/// the ordinary [`MemoryPredictor`] read/learn API, deep [`Clone`] for
+/// snapshot publication, and (optionally) a deferred-retrain protocol so
+/// the worker can cap retrain work per micro-batch.
+///
+/// The retrain hooks default to no-ops, so any cloneable predictor can be
+/// served; [`SizeyPredictor`] wires them to its staged-retrain machinery.
+pub trait ServePredictor: MemoryPredictor + Clone + Send + Sync + 'static {
+    /// Switch the predictor between inline retrains (every observe pays for
+    /// its own retrains — bit-identical to serial) and staged retrains the
+    /// worker drains via [`run_deferred`](ServePredictor::run_deferred).
+    fn set_deferred(&mut self, _enabled: bool) {}
+
+    /// Execute at most `cap` staged retrains and install the results.
+    /// Returns how many were installed. Called by the shard worker between
+    /// micro-batches, under the shard write lock — predicts are unaffected
+    /// (they read published snapshots), only observes on this shard wait.
+    fn run_deferred(&mut self, _cap: usize) -> usize {
+        0
+    }
+
+    /// Staged retrains not yet executed — the stall backlog surfaced in
+    /// [`ServiceStats::retrain_backlog`].
+    fn deferred_backlog(&self) -> usize {
+        0
+    }
+}
+
+impl ServePredictor for SizeyPredictor {
+    fn set_deferred(&mut self, enabled: bool) {
+        self.set_deferred_retrains(enabled);
+    }
+
+    fn run_deferred(&mut self, cap: usize) -> usize {
+        let jobs = self.drain_retrain_jobs_capped(cap);
+        let mut installed = 0;
+        for (key, job) in jobs {
+            let trained = job.execute();
+            if self.install_retrain(&key, trained) {
+                installed += 1;
+            }
+        }
+        installed
+    }
+
+    fn deferred_backlog(&self) -> usize {
+        self.pending_retrains()
+    }
+}

@@ -81,6 +81,33 @@ pub struct SizeyPredictor {
     queue_delay_observations: usize,
 }
 
+/// Cloning deep-copies every pool (models included) and snapshots the
+/// provenance store, producing an independent predictor whose `predict`
+/// results are bit-identical to the original's at the moment of the clone.
+/// This is what the serving layer publishes as an immutable snapshot for
+/// lock-free reads: the clone shares nothing mutable with the original, so
+/// readers of the clone can never observe a concurrent write. The
+/// offset-selection diagnostics are carried over by value (the counters are
+/// telemetry, not prediction inputs).
+impl Clone for SizeyPredictor {
+    fn clone(&self) -> Self {
+        let offset_selections: [AtomicUsize; OffsetStrategy::ALL.len()] = Default::default();
+        for (ours, theirs) in offset_selections.iter().zip(&self.offset_selections) {
+            ours.store(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        SizeyPredictor {
+            config: self.config.clone(),
+            pools: self.pools.clone(),
+            retrain_policy: self.retrain_policy,
+            store: self.store.clone(),
+            training_times: self.training_times.clone(),
+            offset_selections,
+            queue_delay_total_seconds: self.queue_delay_total_seconds,
+            queue_delay_observations: self.queue_delay_observations,
+        }
+    }
+}
+
 impl std::fmt::Debug for SizeyPredictor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SizeyPredictor")
@@ -187,6 +214,44 @@ impl SizeyPredictor {
         }
         jobs.sort_by(|(a, _), (b, _)| a.cmp(b));
         jobs
+    }
+
+    /// Like [`drain_retrain_jobs`](SizeyPredictor::drain_retrain_jobs) but
+    /// takes at most `cap` staged jobs, key-sorted so the selection is
+    /// deterministic. Pools whose jobs were not taken keep their staged
+    /// request for a later drain — this is how the serving layer bounds the
+    /// retrain work attributed to a single observe batch instead of letting
+    /// one unlucky batch absorb every pool's periodic retrain at once (the
+    /// observe p99 tail). `cap == usize::MAX` is equivalent to the uncapped
+    /// drain.
+    pub fn drain_retrain_jobs_capped(&mut self, cap: usize) -> Vec<(TaskMachineKey, RetrainJob)> {
+        let mut jobs: Vec<(TaskMachineKey, RetrainJob)> = Vec::new();
+        // BTreeMap iteration is already key-sorted, so taking the first `cap`
+        // staged jobs in iteration order is the deterministic selection.
+        for (key, pool) in &mut self.pools {
+            if jobs.len() >= cap {
+                break;
+            }
+            if let Some(job) = pool.take_retrain_job(&self.config) {
+                jobs.push((key.clone(), job));
+            }
+        }
+        jobs
+    }
+
+    /// Number of pools with a staged-but-not-yet-drained retrain — the
+    /// backlog a capped drain left behind (retrain-stall telemetry).
+    pub fn pending_retrains(&self) -> usize {
+        self.pools
+            .values()
+            .filter(|pool| pool.has_pending_retrain())
+            .count()
+    }
+
+    /// Total full retrains that have landed across all pools (each pool's
+    /// model epoch counts its installed or inline full retrains).
+    pub fn total_full_retrains(&self) -> u64 {
+        self.pools.values().map(|pool| pool.model_epoch()).sum()
     }
 
     /// Commits the models trained by a drained [`RetrainJob`]. Returns

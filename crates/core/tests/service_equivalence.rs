@@ -1,0 +1,203 @@
+//! Property tests for the async serving front-end.
+//!
+//! Three guarantees are pinned here:
+//!
+//! 1. **Snapshot ≡ locked ≡ SharedSizey.** After a
+//!    [`flush`](sizey_core::AsyncService::flush), the lock-free snapshot
+//!    predict path is bit-identical to the locked path on the same service,
+//!    and both are bit-identical to a locked [`SharedSizey`] fed the same
+//!    records directly — for any record stream, shard count and micro-batch
+//!    geometry. This holds because per-shard queues preserve per-key
+//!    submission order and a predictor's state is a pure function of its
+//!    per-key record sequence; snapshots are deep clones of that state.
+//! 2. **Backpressure invariants.** Queue depths never exceed the configured
+//!    capacity and every submission is accounted for:
+//!    `accepted + shed == submitted`, and after shutdown
+//!    `observed == accepted`.
+//! 3. **Shutdown drains.** Closing the service never deadlocks and never
+//!    loses an accepted observe, whatever is still queued.
+
+use proptest::prelude::*;
+use sizey_core::{AdmissionPolicy, AsyncSizey, ServiceConfig, SharedSizey, SizeyConfig};
+use sizey_provenance::{MachineId, TaskOutcome, TaskRecord, TaskTypeId};
+use sizey_sim::{AttemptContext, MemoryPredictor, TaskSubmission};
+use std::time::Duration;
+
+const TASK_TYPES: [&str; 5] = ["align", "sort", "merge", "variant-call", "qc"];
+const MACHINES: [&str; 3] = ["node-a", "node-b", "gpu-17"];
+
+fn record(type_idx: usize, machine_idx: usize, seq: u64, input_gb: f64, factor: f64) -> TaskRecord {
+    let input = input_gb * 1e9;
+    let peak = factor * input + 5e8;
+    TaskRecord {
+        workflow: "wf".into(),
+        task_type: TaskTypeId::new(TASK_TYPES[type_idx % TASK_TYPES.len()]),
+        machine: MachineId::new(MACHINES[machine_idx % MACHINES.len()]),
+        sequence: seq,
+        input_bytes: input,
+        peak_memory_bytes: peak,
+        allocated_memory_bytes: peak * 1.5,
+        runtime_seconds: 30.0 + input_gb,
+        concurrent_tasks: 1,
+        queue_delay_seconds: 0.0,
+        outcome: TaskOutcome::Succeeded,
+    }
+}
+
+fn submission(type_idx: usize, machine_idx: usize, input_gb: f64) -> TaskSubmission {
+    TaskSubmission {
+        workflow: "wf".into(),
+        task_type: TaskTypeId::new(TASK_TYPES[type_idx % TASK_TYPES.len()]),
+        machine: MachineId::new(MACHINES[machine_idx % MACHINES.len()]),
+        sequence: 9_000,
+        input_bytes: input_gb * 1e9,
+        preset_memory_bytes: 20e9,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Guarantee 1: for any record stream and service geometry, the
+    /// flushed snapshot path, the locked path and a directly-driven
+    /// `SharedSizey` agree bitwise on every prediction.
+    #[test]
+    fn snapshot_locked_and_shared_paths_are_bit_identical_after_flush(
+        stream in proptest::collection::vec(
+            (0usize..5, 0usize..3, 1.0f64..12.0, 1.2f64..3.0),
+            10..80,
+        ),
+        shards in 1usize..7,
+        batch_max in 1usize..33,
+        window_us in 0u64..500,
+    ) {
+        let config = ServiceConfig {
+            batch_max,
+            batch_window: Duration::from_micros(window_us),
+            ..ServiceConfig::default()
+        };
+        let service = AsyncSizey::sizey(SizeyConfig::default(), shards, config);
+        let mut reference = SharedSizey::sizey(SizeyConfig::default(), shards);
+
+        for (seq, &(t, m, input, factor)) in stream.iter().enumerate() {
+            let rec = record(t, m, seq as u64 + 1, input, factor);
+            prop_assert!(service.observe(&rec), "Block admission must accept");
+            reference.observe(&rec);
+        }
+        service.flush();
+
+        for t in 0..TASK_TYPES.len() {
+            for m in 0..MACHINES.len() {
+                for input_gb in [0.5, 4.0, 25.0] {
+                    let task = submission(t, m, input_gb);
+                    for ctx in [AttemptContext::first(), AttemptContext::retry(2, 8e9)] {
+                        let snap = service.predict(&task, ctx);
+                        let locked = service.predict_locked(&task, ctx);
+                        let shared = reference.predict(&task, ctx);
+                        prop_assert_eq!(&snap, &locked,
+                            "snapshot vs locked diverged on {}/{}", t, m);
+                        // Bitwise equality, not tolerance: the async service
+                        // must run the exact same arithmetic on the exact
+                        // same state as the locked reference.
+                        prop_assert_eq!(&snap, &shared,
+                            "async vs SharedSizey diverged on {}/{}", t, m);
+                    }
+                }
+            }
+        }
+        let stats = service.shutdown();
+        prop_assert_eq!(stats.accepted, stream.len() as u64);
+        prop_assert_eq!(stats.observed, stream.len() as u64);
+        prop_assert_eq!(stats.shed, 0);
+    }
+
+    /// Guarantee 2: under shed admission the queue bound is an invariant
+    /// and every submission is accounted as accepted or shed.
+    #[test]
+    fn backpressure_bounds_queues_and_accounts_for_every_submission(
+        stream in proptest::collection::vec(
+            (0usize..5, 0usize..3),
+            20..150,
+        ),
+        capacity in 1usize..9,
+        shards in 1usize..4,
+    ) {
+        let config = ServiceConfig {
+            queue_capacity: capacity,
+            // A long window keeps the workers busy waiting so queues
+            // actually fill and shed under the test's submission burst.
+            batch_max: 256,
+            batch_window: Duration::from_millis(20),
+            admission: AdmissionPolicy::Shed,
+            ..ServiceConfig::default()
+        };
+        let service = AsyncSizey::sizey(SizeyConfig::default(), shards, config);
+        let mut accepted = 0u64;
+        for (seq, &(t, m)) in stream.iter().enumerate() {
+            if service.observe(&record(t, m, seq as u64 + 1, 2.0, 2.0)) {
+                accepted += 1;
+            }
+            for depth in service.queue_depths() {
+                prop_assert!(depth <= capacity, "queue depth {} > bound {}", depth, capacity);
+            }
+        }
+        let mid = service.stats();
+        prop_assert_eq!(mid.submitted, stream.len() as u64);
+        prop_assert_eq!(mid.accepted, accepted);
+        prop_assert_eq!(mid.accepted + mid.shed, mid.submitted);
+
+        let fin = service.shutdown();
+        prop_assert_eq!(fin.observed, fin.accepted, "accepted observes were lost");
+    }
+
+    /// Guarantee 3: shutdown with arbitrarily full queues neither
+    /// deadlocks nor drops accepted work, and post-shutdown submissions
+    /// are shed, not silently swallowed.
+    #[test]
+    fn shutdown_drains_everything_accepted_without_deadlock(
+        n in 1usize..120,
+        shards in 1usize..5,
+        batch_max in 1usize..17,
+    ) {
+        let config = ServiceConfig {
+            batch_max,
+            batch_window: Duration::from_micros(50),
+            ..ServiceConfig::default()
+        };
+        let service = AsyncSizey::sizey(SizeyConfig::default(), shards, config);
+        for seq in 0..n {
+            service.observe(&record(seq, seq, seq as u64 + 1, 1.0, 2.0));
+        }
+        // No flush on purpose: shutdown itself must drain the queues.
+        let stats = service.shutdown();
+        prop_assert_eq!(stats.accepted, n as u64);
+        prop_assert_eq!(stats.observed, n as u64);
+    }
+}
+
+/// A shed-mode handle keeps serving predictions while its queues overflow:
+/// the read path is independent of write-path congestion.
+#[test]
+fn predicts_keep_flowing_while_queues_overflow() {
+    let config = ServiceConfig {
+        queue_capacity: 2,
+        batch_max: 512,
+        batch_window: Duration::from_millis(50),
+        admission: AdmissionPolicy::Shed,
+        ..ServiceConfig::default()
+    };
+    let service = AsyncSizey::sizey(SizeyConfig::default(), 2, config);
+    let mut sheds = 0u64;
+    for seq in 0..500u64 {
+        if !service.observe(&record(0, 0, seq + 1, 2.0, 2.0)) {
+            sheds += 1;
+        }
+        // Predicts must complete regardless of queue congestion.
+        let pred = service.predict(&submission(0, 0, 2.0), AttemptContext::first());
+        assert!(pred.allocation_bytes > 0.0);
+    }
+    assert!(sheds > 0, "the test never actually congested the queues");
+    let stats = service.shutdown();
+    assert_eq!(stats.predicts, 500);
+    assert_eq!(stats.observed, stats.accepted);
+}

@@ -36,7 +36,19 @@ pub struct ProvenanceStore {
     inner: RwLock<StoreInner>,
 }
 
-#[derive(Debug, Default)]
+/// Cloning takes a consistent snapshot of the whole store under its read
+/// lock. Records are `Arc`-shared, so the deep part of the clone is the
+/// index maps, not the monitoring data — this is what makes periodic
+/// predictor snapshots (the lock-free serving path) affordable.
+impl Clone for ProvenanceStore {
+    fn clone(&self) -> Self {
+        ProvenanceStore {
+            inner: RwLock::new(self.inner.read().clone()),
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
 struct StoreInner {
     /// Retained records in insertion order. Record `i` of the deque has the
     /// stable id `base + i`.

@@ -24,9 +24,10 @@ pub mod prelude {
         SpecError, SweepCell, SweepRow, SweepSpec,
     };
     pub use sizey_core::{
-        BatchRequest, ConcurrentPredictor, ConcurrentSizey, GatingStrategy, OffsetMode,
-        OffsetStrategy, OnlineMode, ServiceCheckpoint, SharedPredictor, SharedSizey, SizeyConfig,
-        SizeyPredictor,
+        AdmissionPolicy, AsyncHandle, AsyncService, AsyncSizey, AsyncSizeyHandle, BatchRequest,
+        ConcurrentPredictor, ConcurrentSizey, GatingStrategy, OffsetMode, OffsetStrategy,
+        OnlineMode, ServePredictor, ServiceCheckpoint, ServiceConfig, ServiceStats,
+        SharedPredictor, SharedSizey, SizeyConfig, SizeyPredictor,
     };
     pub use sizey_ml::{Dataset, ModelClass, Regressor};
     pub use sizey_provenance::{

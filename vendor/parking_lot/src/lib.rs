@@ -85,6 +85,65 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Result of a timed [`Condvar`] wait: reports whether the wait ended
+/// because the timeout elapsed.
+pub type WaitTimeoutResult = sync::WaitTimeoutResult;
+
+/// Condition variable with `parking_lot`'s non-poisoning behaviour.
+///
+/// The guard passing follows `std` style (by value, returned back) because
+/// [`MutexGuard`] is a type alias for `std`'s guard; poisoning is recovered
+/// rather than propagated, like the other primitives in this shim.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Blocks until notified, releasing the mutex while parked.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0
+            .wait(guard)
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        self.0
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Blocks until notified or the wall-clock `deadline` passes.
+    pub fn wait_until<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        deadline: std::time::Instant,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        self.0
+            .wait_timeout(guard, remaining)
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +161,31 @@ mod tests {
         let m = Mutex::new(String::from("a"));
         m.lock().push('b');
         assert_eq!(m.into_inner(), "ab");
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let signaller = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            *signaller.0.lock() = true;
+            signaller.1.notify_all();
+        });
+        let mut ready = pair.0.lock();
+        while !*ready {
+            ready = pair.1.wait(ready);
+        }
+        drop(ready);
+        handle.join().expect("signaller thread panicked");
+    }
+
+    #[test]
+    fn condvar_wait_until_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(5);
+        let (_guard, result) = cv.wait_until(m.lock(), deadline);
+        assert!(result.timed_out());
     }
 }

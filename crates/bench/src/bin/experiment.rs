@@ -132,6 +132,53 @@ fn main() -> ExitCode {
         )
     );
 
+    // Drift scenarios: one greppable time_to_recover line per cell.
+    if spec.drift.is_some() {
+        for c in &cells {
+            let ttr = c
+                .time_to_recover_seconds
+                .expect("drift specs track recovery");
+            let rendered = if ttr.is_finite() {
+                fmt(ttr, 1)
+            } else {
+                "never".to_string()
+            };
+            println!(
+                "time_to_recover: workflow={} method={} seed={} policy={} seconds={rendered}",
+                c.workflow,
+                c.method.name(),
+                c.seed,
+                c.policy.name()
+            );
+        }
+        println!();
+    }
+
+    // Fault scenarios: per-cell accounting of requeues and the retry-ledger
+    // leak invariant (must be zero even when faults strand attempts).
+    if spec.sim.faults.as_ref().is_some_and(|f| !f.is_empty()) {
+        let mut stranded = 0usize;
+        for c in &cells {
+            println!(
+                "fault_accounting: workflow={} method={} seed={} policy={} requeued={} leaked_inflight_retries={} unfinished={}",
+                c.workflow,
+                c.method.name(),
+                c.seed,
+                c.policy.name(),
+                c.requeued_attempts,
+                c.leaked_inflight_retries,
+                c.unfinished
+            );
+            stranded += c.leaked_inflight_retries + c.unfinished;
+        }
+        println!();
+        if stranded > 0 {
+            eprintln!("fault run stranded {stranded} tasks/retries");
+            return ExitCode::FAILURE;
+        }
+        println!("fault run completed with zero stranded tasks");
+    }
+
     let Some(dir) = checkpoint_dir else {
         return ExitCode::SUCCESS;
     };

@@ -39,6 +39,7 @@ fn main() {
         seeds: vec![settings.seed, settings.seed + 1],
         policies: SchedulePolicy::ALL.to_vec(),
         scale: settings.scale,
+        drift: None,
         sim,
     };
     println!(

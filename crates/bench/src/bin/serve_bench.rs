@@ -473,12 +473,67 @@ fn run_serve(spec: &ServeSpec, out_path: &Path, smoke: bool) {
         levels.push(level);
     }
 
+    // Chaos level: pause one shard worker mid-level while full load
+    // continues. The shard's queue backs up (shedding under the Shed policy),
+    // the other shards keep serving, and after the resume a flush must drain
+    // the backlog with exact accounting — nothing accepted is ever lost.
+    let chaos_before = service.stats();
+    let (chaos_runs, chaos_measured_seconds) = std::thread::scope(|scope| {
+        let service = &service;
+        scope.spawn(move || {
+            let third = Duration::from_secs_f64(spec.level_seconds / 3.0);
+            std::thread::sleep(third);
+            service.pause_shard(0);
+            std::thread::sleep(third);
+            let backlog = service.queue_depths()[0];
+            service.resume_shard(0);
+            println!();
+            println!("chaos: shard 0 paused for {third:?} mid-level, queue backlog {backlog}");
+        });
+        run_level(
+            service,
+            &tenants,
+            spec,
+            spec.client_threads,
+            0,
+            spec.level_seconds,
+            true,
+            &sequence,
+        )
+    });
+    service.flush();
+    assert!(
+        service.queue_depths().iter().all(|&d| d == 0),
+        "flush must drain every queue after the chaos resume"
+    );
+    let chaos_delta = stats_delta(&chaos_before, &service.stats());
+    assert_eq!(
+        chaos_delta.accepted + chaos_delta.shed,
+        chaos_delta.submitted,
+        "chaos level accounting must stay exact"
+    );
+    let chaos_predicts: u64 = chaos_runs.iter().map(|r| r.measured_predicts).sum();
+    let chaos_rate = chaos_predicts as f64 / chaos_measured_seconds;
+    println!(
+        "chaos level: achieved {:.0} predicts/s; observes {} submitted = {} accepted + {} shed, \
+         {} applied after flush",
+        chaos_rate,
+        chaos_delta.submitted,
+        chaos_delta.accepted,
+        chaos_delta.shed,
+        chaos_delta.observed,
+    );
+
     // Accounting invariants — the run is wrong, not slow, if these fail.
     let stats = service.stats();
     assert_eq!(
         stats.accepted + stats.shed,
         stats.submitted,
         "every observe submission must be accepted or shed"
+    );
+    assert_eq!(
+        stats.observed, stats.accepted,
+        "after the final flush every accepted observe must be applied"
     );
     let final_stats = service.shutdown();
     assert_eq!(
@@ -511,6 +566,9 @@ fn run_serve(spec: &ServeSpec, out_path: &Path, smoke: bool) {
          \"baseline_uncontended\": {{\"achieved_predicts_per_sec\": {:.1}, \
          \"predict_latency_us\": {}}}, \
          \"levels\": [{}], \
+         \"chaos\": {{\"paused_shard\": 0, \"achieved_predicts_per_sec\": {:.1}, \
+         \"submitted\": {}, \"accepted\": {}, \"shed\": {}, \"observed\": {}, \
+         \"flush_drained\": true}}, \
          \"totals\": {{\"submitted\": {}, \"accepted\": {}, \"shed\": {}, \
          \"observed\": {}, \"snapshots_published\": {}, \"retrains_installed\": {}}}}}",
         spec.mode,
@@ -529,6 +587,11 @@ fn run_serve(spec: &ServeSpec, out_path: &Path, smoke: bool) {
         baseline_rate,
         json_latency(&baseline),
         levels.iter().map(json_level).collect::<Vec<_>>().join(", "),
+        chaos_rate,
+        chaos_delta.submitted,
+        chaos_delta.accepted,
+        chaos_delta.shed,
+        chaos_delta.observed,
         final_stats.submitted,
         final_stats.accepted,
         final_stats.shed,
@@ -546,6 +609,7 @@ fn run_serve(spec: &ServeSpec, out_path: &Path, smoke: bool) {
         let serve = extract_scenario(&text, "serve").expect("serve scenario must round-trip");
         assert!(serve.contains("\"levels\": ["));
         assert!(serve.contains("\"baseline_uncontended\""));
+        assert!(serve.contains("\"chaos\""));
         println!("smoke self-check: serve scenario round-trips through the extractor");
     }
 }

@@ -32,6 +32,31 @@
 //! time_to_failure = 1.0
 //! max_attempts = 12
 //!
+//! [drift]                   # optional mid-run workload drift
+//! changepoint = 200         # instance sequence where the regime changes
+//! memory_scale = 2.0
+//! slope_delta_bytes_per_input_byte = 1.5
+//!
+//! [[node_crash]]            # optional fault injection (event-driven engine)
+//! time_seconds = 600.0
+//! node = 0
+//! down_seconds = inf
+//!
+//! [[crash_storm]]
+//! time_seconds = 1200.0
+//! nodes = 3
+//! down_seconds = 900.0
+//! seed = 7
+//!
+//! [[pool_preemption]]
+//! pool = 1
+//! time_seconds = 1800.0
+//! return_after_seconds = 600.0
+//!
+//! [[task_kill]]
+//! time_seconds = 300.0
+//! tasks = 4
+//!
 //! [[method]]
 //! kind = "sizey"            # any registry kind; omitted keys keep defaults
 //! alpha = 0.0
@@ -47,7 +72,11 @@
 use crate::registry::{invalid, need_float, need_str, need_usize, MethodSpec, SpecError};
 use crate::sweep::{run_sweep, run_sweep_with_states, SweepCell, SweepSpec};
 use crate::toml_lite::{write as toml_write, TomlDocument, TomlTable};
-use sizey_sim::{NodePoolSpec, PredictorState, SchedulePolicy, SimulationConfig};
+use sizey_sim::{
+    CrashStorm, FaultPlan, NodeCrash, NodePoolSpec, PoolPreemption, PredictorState, SchedulePolicy,
+    SimulationConfig, TaskKillBurst,
+};
+use sizey_workflows::DriftSpec;
 use std::path::Path;
 
 /// A complete, validated experiment description. See the [module
@@ -67,8 +96,14 @@ pub struct ExperimentSpec {
     pub policies: Vec<SchedulePolicy>,
     /// Fraction of the paper's task volume to generate per workload.
     pub scale: f64,
+    /// Optional mid-run workload drift applied to every workload; also turns
+    /// on per-cell [`time_to_recover`](crate::recovery::RecoveryTracker)
+    /// tracking. Parsed from the `[drift]` table.
+    pub drift: Option<DriftSpec>,
     /// Simulated cluster configuration (the policy field is overridden per
-    /// cell by `policies`).
+    /// cell by `policies`). Fault injection rides in
+    /// [`SimulationConfig::faults`], parsed from the `[[node_crash]]`,
+    /// `[[crash_storm]]`, `[[pool_preemption]]` and `[[task_kill]]` tables.
     pub sim: SimulationConfig,
 }
 
@@ -90,6 +125,7 @@ impl Default for ExperimentSpec {
             seeds: vec![42],
             policies: vec![SchedulePolicy::FirstFit],
             scale: 0.1,
+            drift: None,
             sim: SimulationConfig::default(),
         }
     }
@@ -143,6 +179,7 @@ impl ExperimentSpec {
             seeds: self.seeds.clone(),
             policies: self.policies.clone(),
             scale: self.scale,
+            drift: self.drift,
             sim: self.sim.clone(),
         }
     }
@@ -237,16 +274,31 @@ impl ExperimentSpec {
         } else if !doc.array_of("node_pool").is_empty() {
             spec.sim = sim_from_table(&TomlTable::default(), doc.array_of("node_pool"))?;
         }
+        if let Some(drift_table) = doc.table("drift") {
+            spec.drift = Some(drift_from_table(drift_table)?);
+        }
+        let faults = faults_from_doc(&doc)?;
+        if !faults.is_empty() {
+            spec.sim.faults = Some(faults);
+        }
         for (name, _) in &doc.tables {
-            if name != "sim" {
+            if name != "sim" && name != "drift" {
                 return Err(SpecError::UnknownKey {
                     context: "the document".to_string(),
                     key: format!("[{name}]"),
                 });
             }
         }
+        const ARRAY_TABLES: [&str; 6] = [
+            "method",
+            "node_pool",
+            "node_crash",
+            "crash_storm",
+            "pool_preemption",
+            "task_kill",
+        ];
         for (name, _) in &doc.array_tables {
-            if name != "method" && name != "node_pool" {
+            if !ARRAY_TABLES.contains(&name.as_str()) {
                 return Err(SpecError::UnknownKey {
                     context: "the document".to_string(),
                     key: format!("[[{name}]]"),
@@ -318,12 +370,196 @@ impl ExperimentSpec {
             ));
             out.push_str(&format!("slots = {}\n", pool.slots));
         }
+        if let Some(drift) = &self.drift {
+            out.push('\n');
+            out.push_str("[drift]\n");
+            out.push_str(&format!("changepoint = {}\n", drift.changepoint));
+            out.push_str(&format!(
+                "memory_scale = {}\n",
+                toml_write::float(drift.memory_scale)
+            ));
+            out.push_str(&format!(
+                "slope_delta_bytes_per_input_byte = {}\n",
+                toml_write::float(drift.slope_delta_bytes_per_input_byte)
+            ));
+        }
+        if let Some(faults) = &self.sim.faults {
+            for crash in &faults.node_crashes {
+                out.push('\n');
+                out.push_str("[[node_crash]]\n");
+                out.push_str(&format!(
+                    "time_seconds = {}\n",
+                    toml_write::float(crash.time_seconds)
+                ));
+                out.push_str(&format!("node = {}\n", crash.node));
+                out.push_str(&format!(
+                    "down_seconds = {}\n",
+                    toml_write::float(crash.down_seconds)
+                ));
+            }
+            for storm in &faults.storms {
+                out.push('\n');
+                out.push_str("[[crash_storm]]\n");
+                out.push_str(&format!(
+                    "time_seconds = {}\n",
+                    toml_write::float(storm.time_seconds)
+                ));
+                out.push_str(&format!("nodes = {}\n", storm.nodes));
+                out.push_str(&format!(
+                    "down_seconds = {}\n",
+                    toml_write::float(storm.down_seconds)
+                ));
+                out.push_str(&format!("seed = {}\n", storm.seed));
+            }
+            for preemption in &faults.pool_preemptions {
+                out.push('\n');
+                out.push_str("[[pool_preemption]]\n");
+                out.push_str(&format!("pool = {}\n", preemption.pool));
+                out.push_str(&format!(
+                    "time_seconds = {}\n",
+                    toml_write::float(preemption.time_seconds)
+                ));
+                out.push_str(&format!(
+                    "return_after_seconds = {}\n",
+                    toml_write::float(preemption.return_after_seconds)
+                ));
+            }
+            for burst in &faults.task_kills {
+                out.push('\n');
+                out.push_str("[[task_kill]]\n");
+                out.push_str(&format!(
+                    "time_seconds = {}\n",
+                    toml_write::float(burst.time_seconds)
+                ));
+                out.push_str(&format!("tasks = {}\n", burst.tasks));
+            }
+        }
         for method in &self.methods {
             out.push('\n');
             out.push_str(&method.to_toml());
         }
         out
     }
+}
+
+fn drift_from_table(table: &TomlTable) -> Result<DriftSpec, SpecError> {
+    let context = "[drift]";
+    let mut drift = DriftSpec {
+        changepoint: 0,
+        memory_scale: 1.0,
+        slope_delta_bytes_per_input_byte: 0.0,
+    };
+    for (key, value) in &table.entries {
+        match key.as_str() {
+            "changepoint" => drift.changepoint = need_usize(context, key, value)? as u64,
+            "memory_scale" => drift.memory_scale = need_float(context, key, value)?,
+            "slope_delta_bytes_per_input_byte" => {
+                drift.slope_delta_bytes_per_input_byte = need_float(context, key, value)?
+            }
+            _ => {
+                return Err(SpecError::UnknownKey {
+                    context: context.to_string(),
+                    key: key.clone(),
+                })
+            }
+        }
+    }
+    Ok(drift)
+}
+
+fn faults_from_doc(doc: &TomlDocument) -> Result<FaultPlan, SpecError> {
+    let mut faults = FaultPlan::default();
+    for table in doc.array_of("node_crash") {
+        let context = "[[node_crash]]";
+        let mut crash = NodeCrash {
+            time_seconds: 0.0,
+            node: 0,
+            down_seconds: f64::INFINITY,
+        };
+        for (key, value) in &table.entries {
+            match key.as_str() {
+                "time_seconds" => crash.time_seconds = need_float(context, key, value)?,
+                "node" => crash.node = need_usize(context, key, value)?,
+                "down_seconds" => crash.down_seconds = need_float(context, key, value)?,
+                _ => {
+                    return Err(SpecError::UnknownKey {
+                        context: context.to_string(),
+                        key: key.clone(),
+                    })
+                }
+            }
+        }
+        faults.node_crashes.push(crash);
+    }
+    for table in doc.array_of("crash_storm") {
+        let context = "[[crash_storm]]";
+        let mut storm = CrashStorm {
+            time_seconds: 0.0,
+            nodes: 1,
+            down_seconds: f64::INFINITY,
+            seed: 0,
+        };
+        for (key, value) in &table.entries {
+            match key.as_str() {
+                "time_seconds" => storm.time_seconds = need_float(context, key, value)?,
+                "nodes" => storm.nodes = need_usize(context, key, value)?,
+                "down_seconds" => storm.down_seconds = need_float(context, key, value)?,
+                "seed" => storm.seed = need_usize(context, key, value)? as u64,
+                _ => {
+                    return Err(SpecError::UnknownKey {
+                        context: context.to_string(),
+                        key: key.clone(),
+                    })
+                }
+            }
+        }
+        faults.storms.push(storm);
+    }
+    for table in doc.array_of("pool_preemption") {
+        let context = "[[pool_preemption]]";
+        let mut preemption = PoolPreemption {
+            pool: 0,
+            time_seconds: 0.0,
+            return_after_seconds: f64::INFINITY,
+        };
+        for (key, value) in &table.entries {
+            match key.as_str() {
+                "pool" => preemption.pool = need_usize(context, key, value)?,
+                "time_seconds" => preemption.time_seconds = need_float(context, key, value)?,
+                "return_after_seconds" => {
+                    preemption.return_after_seconds = need_float(context, key, value)?
+                }
+                _ => {
+                    return Err(SpecError::UnknownKey {
+                        context: context.to_string(),
+                        key: key.clone(),
+                    })
+                }
+            }
+        }
+        faults.pool_preemptions.push(preemption);
+    }
+    for table in doc.array_of("task_kill") {
+        let context = "[[task_kill]]";
+        let mut burst = TaskKillBurst {
+            time_seconds: 0.0,
+            tasks: 1,
+        };
+        for (key, value) in &table.entries {
+            match key.as_str() {
+                "time_seconds" => burst.time_seconds = need_float(context, key, value)?,
+                "tasks" => burst.tasks = need_usize(context, key, value)?,
+                _ => {
+                    return Err(SpecError::UnknownKey {
+                        context: context.to_string(),
+                        key: key.clone(),
+                    })
+                }
+            }
+        }
+        faults.task_kills.push(burst);
+    }
+    Ok(faults)
 }
 
 fn sim_from_table(
@@ -405,6 +641,7 @@ pub struct ExperimentBuilder {
     seeds: Vec<u64>,
     policies: Vec<SchedulePolicy>,
     scale: Option<f64>,
+    drift: Option<DriftSpec>,
     sim: Option<SimulationConfig>,
 }
 
@@ -469,6 +706,12 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Sets the mid-run workload drift.
+    pub fn drift(mut self, drift: DriftSpec) -> Self {
+        self.drift = Some(drift);
+        self
+    }
+
     /// Sets the simulated cluster configuration.
     pub fn sim(mut self, sim: SimulationConfig) -> Self {
         self.sim = Some(sim);
@@ -501,6 +744,7 @@ impl ExperimentBuilder {
                 self.policies
             },
             scale: self.scale.unwrap_or(defaults.scale),
+            drift: self.drift,
             sim: self.sim.unwrap_or(defaults.sim),
         };
         spec.validate()?;
@@ -568,6 +812,11 @@ mod tests {
             seeds: vec![1, 2, 3],
             policies: vec![SchedulePolicy::BestFit, SchedulePolicy::Backfill],
             scale: 0.02,
+            drift: Some(DriftSpec {
+                changepoint: 150,
+                memory_scale: 2.5,
+                slope_delta_bytes_per_input_byte: 0.75,
+            }),
             sim: SimulationConfig {
                 time_to_failure: 0.5,
                 node_count: 2,
@@ -577,7 +826,30 @@ mod tests {
                 count: 1,
                 memory_bytes: 512e9,
                 slots: 64,
-            }),
+            })
+            .with_faults(
+                FaultPlan::default()
+                    .with_node_crash(NodeCrash {
+                        time_seconds: 600.0,
+                        node: 1,
+                        down_seconds: f64::INFINITY,
+                    })
+                    .with_storm(CrashStorm {
+                        time_seconds: 1200.0,
+                        nodes: 2,
+                        down_seconds: 900.0,
+                        seed: 7,
+                    })
+                    .with_pool_preemption(PoolPreemption {
+                        pool: 1,
+                        time_seconds: 1800.0,
+                        return_after_seconds: 600.0,
+                    })
+                    .with_task_kills(TaskKillBurst {
+                        time_seconds: 300.0,
+                        tasks: 4,
+                    }),
+            ),
         };
         let text = spec.to_toml();
         let parsed = ExperimentSpec::from_toml(&text).unwrap_or_else(|e| panic!("{text}\n{e}"));
@@ -590,6 +862,43 @@ mod tests {
         assert_eq!(spec.methods, MethodSpec::default_suite());
         assert_eq!(spec.seeds, vec![42]);
         assert_eq!(spec.sim, SimulationConfig::default());
+        assert_eq!(spec.drift, None);
+        assert_eq!(spec.sim.faults, None);
+    }
+
+    #[test]
+    fn from_toml_rejects_unknown_drift_and_fault_keys() {
+        assert!(matches!(
+            ExperimentSpec::from_toml("[drift]\nchange_point = 5\n"),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            ExperimentSpec::from_toml("[[node_crash]]\nnode_index = 0\n"),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            ExperimentSpec::from_toml("[[crash_storm]]\nvictims = 2\n"),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            ExperimentSpec::from_toml("[[preemption]]\npool = 0\n"),
+            Err(SpecError::UnknownKey { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_tables_parse_into_the_sim_config() {
+        let spec = ExperimentSpec::from_toml(
+            "profiles = [\"iwd\"]\nscale = 0.02\n\n[[node_crash]]\ntime_seconds = 60.0\nnode = 1\ndown_seconds = inf\n\n[[task_kill]]\ntime_seconds = 30.0\ntasks = 2\n",
+        )
+        .unwrap();
+        let faults = spec.sim.faults.expect("fault tables populate sim.faults");
+        assert_eq!(faults.node_crashes.len(), 1);
+        assert_eq!(faults.node_crashes[0].node, 1);
+        assert!(faults.node_crashes[0].down_seconds.is_infinite());
+        assert_eq!(faults.task_kills.len(), 1);
+        assert_eq!(faults.task_kills[0].tasks, 2);
+        assert!(faults.storms.is_empty());
     }
 
     #[test]

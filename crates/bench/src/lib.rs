@@ -17,6 +17,7 @@
 
 pub mod experiment;
 pub mod perf_json;
+pub mod recovery;
 pub mod registry;
 pub mod sweep;
 pub mod toml_lite;
@@ -28,6 +29,7 @@ use sizey_workflows::{
 };
 
 pub use experiment::{Experiment, ExperimentBuilder, ExperimentSpec};
+pub use recovery::{RecoveryTracker, RECOVERY_BAND, RECOVERY_WINDOW};
 pub use registry::{MethodSpec, SpecError};
 pub use sweep::{
     aggregate_sweep, run_sweep, run_sweep_async_sizey, run_sweep_async_sizey_with_threads,

@@ -1,0 +1,222 @@
+//! The time-to-recover metric for drift scenarios.
+//!
+//! When a workload drifts mid-run (see
+//! [`DriftSpec`](sizey_workflows::DriftSpec)), a sizing method's wastage
+//! spikes: its models keep predicting the old regime, tasks fail out of
+//! memory, retries double allocations, and offsets widen. A good drift
+//! response brings the method back to its pre-drift efficiency quickly. The
+//! [`RecoveryTracker`] measures exactly that from the attempt-event stream:
+//!
+//! * **pre-drift level** — the mean *normalised* wastage per attempt over
+//!   every attempt whose submission sequence precedes the changepoint.
+//!   Wastage is normalised by the attempt's true-peak cost
+//!   (`wastage_gbh / (true_peak_gb * duration_h)`), so the level is
+//!   scale-free: a regime that doubles every peak does not move the
+//!   recovered baseline, only genuine over-allocation and failures do.
+//! * **recovery** — the first post-changepoint attempt at which the rolling
+//!   mean of the last [`window`](RecoveryTracker::new) normalised wastages
+//!   re-enters the band `pre_level * (1 + band)`. The reported
+//!   time-to-recover is that attempt's virtual submit time minus the first
+//!   post-changepoint submit time, in simulated seconds.
+//! * a method that never re-enters the band reports
+//!   [`f64::INFINITY`] — "did not recover".
+//!
+//! The tracker is an [`AttemptSink`], so it rides along any replay for free
+//! and keys the pre/post split on the instance *sequence* (not on wall
+//! time), matching how [`DriftSpec`](sizey_workflows::DriftSpec) injects
+//! the changepoint.
+
+use sizey_sim::{AttemptEvent, AttemptSink};
+use std::collections::VecDeque;
+
+/// Default rolling window (attempts) of the recovery detector.
+pub const RECOVERY_WINDOW: usize = 25;
+
+/// Default tolerance band around the pre-drift wastage level.
+pub const RECOVERY_BAND: f64 = 0.25;
+
+/// Streaming time-to-recover tracker. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct RecoveryTracker {
+    changepoint: u64,
+    band: f64,
+    window: usize,
+    pre_total: f64,
+    pre_count: u64,
+    first_post_time: Option<f64>,
+    recent: VecDeque<f64>,
+    recovered_at: Option<f64>,
+}
+
+/// Normalised wastage of one attempt: GBh wasted per GBh of true-peak cost.
+/// A perfectly sized successful attempt scores 0; a failed attempt scores
+/// its full allocation cost relative to the peak cost (everything a failed
+/// attempt consumed is waste, and the retries that follow add their own
+/// events on top).
+fn normalised_wastage(event: &AttemptEvent) -> f64 {
+    let peak_cost_gbh = (event.true_peak_bytes / 1e9) * (event.duration_seconds / 3600.0);
+    if peak_cost_gbh > 0.0 {
+        (event.wastage_gbh / peak_cost_gbh).max(0.0)
+    } else {
+        0.0
+    }
+}
+
+impl RecoveryTracker {
+    /// Creates a tracker for a drift at `changepoint` (submission-sequence
+    /// index), with a rolling `window` of attempts and a relative tolerance
+    /// `band` around the pre-drift level. `window` is clamped to at least 1.
+    pub fn new(changepoint: u64, window: usize, band: f64) -> Self {
+        RecoveryTracker {
+            changepoint,
+            band,
+            window: window.max(1),
+            pre_total: 0.0,
+            pre_count: 0,
+            first_post_time: None,
+            recent: VecDeque::new(),
+            recovered_at: None,
+        }
+    }
+
+    /// A tracker with the default window and band.
+    pub fn with_defaults(changepoint: u64) -> Self {
+        RecoveryTracker::new(changepoint, RECOVERY_WINDOW, RECOVERY_BAND)
+    }
+
+    /// Mean normalised wastage per attempt before the changepoint, or `None`
+    /// when no pre-drift attempt was seen.
+    pub fn pre_drift_level(&self) -> Option<f64> {
+        (self.pre_count > 0).then(|| self.pre_total / self.pre_count as f64)
+    }
+
+    /// Virtual seconds from the first post-changepoint submission until the
+    /// rolling wastage re-entered the pre-drift band; [`f64::INFINITY`] when
+    /// it never did (or when the replay never reached the changepoint).
+    pub fn time_to_recover_seconds(&self) -> f64 {
+        match (self.recovered_at, self.first_post_time) {
+            (Some(recovered), Some(start)) => (recovered - start).max(0.0),
+            _ => f64::INFINITY,
+        }
+    }
+}
+
+impl AttemptSink for RecoveryTracker {
+    fn record(&mut self, event: &AttemptEvent) {
+        let score = normalised_wastage(event);
+        if event.sequence < self.changepoint {
+            self.pre_total += score;
+            self.pre_count += 1;
+            return;
+        }
+        if self.first_post_time.is_none() {
+            self.first_post_time = Some(event.submit_time_seconds);
+        }
+        if self.recovered_at.is_some() {
+            return;
+        }
+        self.recent.push_back(score);
+        if self.recent.len() > self.window {
+            self.recent.pop_front();
+        }
+        if self.recent.len() < self.window {
+            return;
+        }
+        // No pre-drift attempts (changepoint 0) degenerates to "the first
+        // full window counts as recovered": there is no baseline to beat.
+        let pre_level = self.pre_drift_level().unwrap_or(f64::INFINITY);
+        let rolling = self.recent.iter().sum::<f64>() / self.window as f64;
+        if rolling <= pre_level * (1.0 + self.band) {
+            self.recovered_at = Some(event.submit_time_seconds);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sizey_provenance::TaskTypeId;
+
+    fn event(sequence: u64, time: f64, allocated: f64, peak: f64, success: bool) -> AttemptEvent {
+        let duration = 60.0;
+        let wasted = if success {
+            (allocated - peak).max(0.0)
+        } else {
+            allocated
+        };
+        AttemptEvent {
+            task_type: TaskTypeId::new("t"),
+            sequence,
+            attempt: 0,
+            allocated_bytes: allocated,
+            true_peak_bytes: peak,
+            duration_seconds: duration,
+            success,
+            wastage_gbh: (wasted / 1e9) * (duration / 3600.0),
+            raw_estimate_bytes: None,
+            selected_model: None,
+            submit_time_seconds: time,
+            queue_delay_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn recovers_once_rolling_wastage_reenters_the_band() {
+        let mut tracker = RecoveryTracker::new(10, 4, 0.25);
+        // Pre-drift: 20 % over-allocation -> level 0.2.
+        for i in 0..10u64 {
+            tracker.record(&event(i, i as f64 * 10.0, 1.2e9, 1e9, true));
+        }
+        assert!((tracker.pre_drift_level().unwrap() - 0.2).abs() < 1e-12);
+        // Drift hits at sequence 10: failures and gross over-allocation.
+        for i in 10..16u64 {
+            tracker.record(&event(i, i as f64 * 10.0, 2e9, 4e9, false));
+        }
+        assert!(tracker.time_to_recover_seconds().is_infinite());
+        // The method adapts: back to ~20 % over-allocation on the new peaks.
+        for i in 16..24u64 {
+            tracker.record(&event(i, i as f64 * 10.0, 4.8e9, 4e9, true));
+        }
+        let ttr = tracker.time_to_recover_seconds();
+        assert!(ttr.is_finite());
+        // First post-drift submit at t=100; the window (4) of clean attempts
+        // completes at sequence 19, t=190.
+        assert!((ttr - 90.0).abs() < 1e-9, "ttr = {ttr}");
+    }
+
+    #[test]
+    fn never_recovering_reports_infinity() {
+        let mut tracker = RecoveryTracker::new(5, 3, 0.25);
+        for i in 0..5u64 {
+            tracker.record(&event(i, i as f64, 1.1e9, 1e9, true));
+        }
+        for i in 5..50u64 {
+            // Permanently doubled relative wastage.
+            tracker.record(&event(i, i as f64, 3e9, 1e9, true));
+        }
+        assert!(tracker.time_to_recover_seconds().is_infinite());
+    }
+
+    #[test]
+    fn normalisation_makes_the_level_scale_free() {
+        // Same 20 % over-allocation at 10x the peak: identical level, so a
+        // method that adapts perfectly to bigger peaks recovers.
+        let mut tracker = RecoveryTracker::new(4, 2, 0.1);
+        for i in 0..4u64 {
+            tracker.record(&event(i, i as f64, 1.2e9, 1e9, true));
+        }
+        for i in 4..8u64 {
+            tracker.record(&event(i, i as f64, 12e9, 10e9, true));
+        }
+        assert!(tracker.time_to_recover_seconds().is_finite());
+    }
+
+    #[test]
+    fn a_replay_that_never_reaches_the_changepoint_is_unrecovered() {
+        let mut tracker = RecoveryTracker::new(100, 3, 0.25);
+        for i in 0..10u64 {
+            tracker.record(&event(i, i as f64, 1.2e9, 1e9, true));
+        }
+        assert!(tracker.time_to_recover_seconds().is_infinite());
+    }
+}

@@ -30,7 +30,9 @@ use sizey_baselines::{
     TovarPpm, TovarPpmConfig, WittLr, WittLrConfig, WittPercentile, WittPercentileConfig,
     WittWastage, WittWastageConfig,
 };
-use sizey_core::{GatingStrategy, OffsetMode, OnlineMode, SizeyConfig, SizeyPredictor};
+use sizey_core::{
+    DriftPolicy, GatingStrategy, OffsetMode, OnlineMode, SizeyConfig, SizeyPredictor,
+};
 use sizey_ml::model::ModelClass;
 use sizey_sim::lifecycle::{CheckpointPredictor, PredictorState, StateError};
 use sizey_sim::PresetPredictor;
@@ -479,6 +481,19 @@ impl MethodSpec {
                 if let Some(window) = c.history_window {
                     out.push_str(&format!("history_window = {window}\n"));
                 }
+                if let DriftPolicy::Retrain {
+                    window,
+                    threshold,
+                    keep_recent,
+                } = c.drift
+                {
+                    out.push_str(&format!("drift_window = {window}\n"));
+                    out.push_str(&format!(
+                        "drift_threshold = {}\n",
+                        toml_write::float(threshold)
+                    ));
+                    out.push_str(&format!("drift_keep_recent = {keep_recent}\n"));
+                }
             }
             MethodSpec::WittWastage(c) => {
                 let quantiles: Vec<String> = c
@@ -532,6 +547,9 @@ fn sizey_config_from_table(table: &TomlTable) -> Result<SizeyConfig, SpecError> 
     let mut online: Option<&str> = None;
     let mut retrain_interval: Option<usize> = None;
     let mut mlp_update_interval: Option<usize> = None;
+    let mut drift_window: Option<usize> = None;
+    let mut drift_threshold: Option<f64> = None;
+    let mut drift_keep_recent: Option<usize> = None;
     for (key, value) in &table.entries {
         match key.as_str() {
             "kind" => {}
@@ -605,6 +623,9 @@ fn sizey_config_from_table(table: &TomlTable) -> Result<SizeyConfig, SpecError> 
                     .ok_or_else(|| invalid(context, key, "expected a positive integer window"))?;
                 config.history_window = Some(window as usize);
             }
+            "drift_window" => drift_window = Some(need_usize(context, key, value)?),
+            "drift_threshold" => drift_threshold = Some(need_float(context, key, value)?),
+            "drift_keep_recent" => drift_keep_recent = Some(need_usize(context, key, value)?),
             _ => {
                 return Err(SpecError::UnknownKey {
                     context: context.to_string(),
@@ -687,6 +708,23 @@ fn sizey_config_from_table(table: &TomlTable) -> Result<SizeyConfig, SpecError> 
         }
         (None, None, None) => {}
     }
+    // The three drift_* keys configure one DriftPolicy together; any one of
+    // them arms the detector, the others fall back to the policy defaults.
+    if drift_window.is_some() || drift_threshold.is_some() || drift_keep_recent.is_some() {
+        let (dw, dt, dk) = match DriftPolicy::retrain_defaults() {
+            DriftPolicy::Retrain {
+                window,
+                threshold,
+                keep_recent,
+            } => (window, threshold, keep_recent),
+            DriftPolicy::Off => (20, 0.6, 30),
+        };
+        config.drift = DriftPolicy::Retrain {
+            window: drift_window.unwrap_or(dw),
+            threshold: drift_threshold.unwrap_or(dt),
+            keep_recent: drift_keep_recent.unwrap_or(dk),
+        };
+    }
     Ok(config)
 }
 
@@ -738,6 +776,13 @@ mod tests {
         variants.push(MethodSpec::Sizey(
             SizeyConfig::default().with_history_window(128),
         ));
+        variants.push(MethodSpec::Sizey(SizeyConfig::default().with_drift_policy(
+            sizey_core::DriftPolicy::Retrain {
+                window: 16,
+                threshold: 0.5,
+                keep_recent: 24,
+            },
+        )));
         variants.push(MethodSpec::WittPercentile(WittPercentileConfig {
             percentile: 99.5,
             min_history: 4,

@@ -13,6 +13,7 @@
 //! back the trained predictor's [`PredictorState`] for the checkpoint
 //! directory of the spec-driven `experiment` binary.
 
+use crate::recovery::RecoveryTracker;
 use crate::registry::MethodSpec;
 use crate::HarnessSettings;
 use sizey_core::{
@@ -21,11 +22,12 @@ use sizey_core::{
 use sizey_ml::parallel::{default_parallelism, parallel_map};
 use sizey_provenance::TaskRecord;
 use sizey_sim::{
-    replay_workflow_streaming, schedule_workflows_streaming, AttemptContext, CheckpointPredictor,
-    MemoryPredictor, NullRecordSink, NullSink, Prediction, PredictorState, SchedulePolicy,
-    SimulationConfig, StreamingTenant, TaskSubmission,
+    replay_workflow_streaming, schedule_workflows_streaming, AttemptContext, AttemptEvent,
+    AttemptSink, CheckpointPredictor, MemoryPredictor, NullRecordSink, NullSink, Prediction,
+    PredictorState, SchedulePolicy, SimulationConfig, StreamingTenant, TaskSubmission,
 };
-use sizey_workflows::{stream_workflow, workflow_by_name, GeneratorConfig};
+use sizey_workflows::{stream_workflow, workflow_by_name, DriftSpec, GeneratorConfig};
+use std::sync::{Arc, Mutex};
 
 /// One cartesian sweep over workflows × methods × seeds × policies.
 #[derive(Debug, Clone)]
@@ -41,6 +43,10 @@ pub struct SweepSpec {
     pub policies: Vec<SchedulePolicy>,
     /// Fraction of the paper's task volume to generate per workload.
     pub scale: f64,
+    /// Optional mid-run workload drift applied to every generated workload;
+    /// when set, each cell also tracks the [`time_to_recover`](RecoveryTracker)
+    /// metric around the drift changepoint.
+    pub drift: Option<DriftSpec>,
     /// Base simulation configuration; the policy field is overridden per
     /// cell.
     pub sim: SimulationConfig,
@@ -59,6 +65,7 @@ impl SweepSpec {
             seeds: vec![settings.seed],
             policies: SchedulePolicy::ALL.to_vec(),
             scale: settings.scale,
+            drift: None,
             sim,
         }
     }
@@ -98,6 +105,54 @@ pub struct SweepCell {
     pub mean_queue_delay_seconds: f64,
     /// Total task runtime in hours.
     pub runtime_hours: f64,
+    /// Seconds from the drift changepoint until the method's rolling wastage
+    /// re-entered its pre-drift band ([`f64::INFINITY`] = never recovered).
+    /// `None` when the sweep has no [`SweepSpec::drift`] axis.
+    pub time_to_recover_seconds: Option<f64>,
+    /// Attempts requeued by injected faults without consuming retry budget.
+    /// Cluster-wide (not per-tenant) in the shared/async service modes.
+    pub requeued_attempts: usize,
+    /// Retry-ledger entries still marked in flight at the end of the replay;
+    /// must stay 0 even when faults strand attempts mid-run. Cluster-wide in
+    /// the shared/async service modes.
+    pub leaked_inflight_retries: usize,
+}
+
+/// Forwards attempt events to a [`RecoveryTracker`] when the sweep has a
+/// drift axis, and is a null sink otherwise.
+struct TrackerSink<'a>(Option<&'a mut RecoveryTracker>);
+
+impl AttemptSink for TrackerSink<'_> {
+    fn record(&mut self, event: &AttemptEvent) {
+        if let Some(tracker) = self.0.as_mut() {
+            tracker.record(event);
+        }
+    }
+}
+
+/// Shares one cell's checkpoint predictor with the multi-tenant engine.
+/// Fault injection lives only in the event-driven engines (the synchronous
+/// replay core has no virtual clock to crash against), so a faulted cell
+/// runs its workflow as the sole tenant of [`schedule_workflows_streaming`];
+/// the tenant consumes its predictor box, so the cell keeps the real one
+/// behind this handle and unwraps it after the run for checkpointing.
+struct SharedCellPredictor(Arc<Mutex<Box<dyn CheckpointPredictor>>>);
+
+impl MemoryPredictor for SharedCellPredictor {
+    fn name(&self) -> String {
+        self.0.lock().expect("cell predictor lock").name()
+    }
+
+    fn predict(&self, task: &TaskSubmission, ctx: AttemptContext) -> Prediction {
+        self.0
+            .lock()
+            .expect("cell predictor lock")
+            .predict(task, ctx)
+    }
+
+    fn observe(&mut self, record: &TaskRecord) {
+        self.0.lock().expect("cell predictor lock").observe(record)
+    }
 }
 
 /// Replays one sweep cell and returns its result row plus the trained
@@ -111,25 +166,62 @@ fn run_cell(
 ) -> (SweepCell, Box<dyn CheckpointPredictor>) {
     let wf_spec = workflow_by_name(workflow).expect("sweep names a known workflow");
     let sim = spec.sim.clone().with_policy(policy);
-    let mut predictor = method.build();
-    // Streaming replay: instances are generated lazily and attempt events
-    // fold into the aggregates online, so a cell's memory is bounded by the
-    // in-flight working set — the differential suite pins the aggregates
-    // bit-identical to the former materialised report.
-    let aggregates = replay_workflow_streaming(
-        workflow,
-        stream_workflow(
-            &wf_spec,
-            &GeneratorConfig {
-                scale: spec.scale,
-                seed,
-                ..GeneratorConfig::default()
-            },
-        ),
-        predictor.as_mut(),
-        &sim,
-        &mut NullSink,
-    );
+    let generator = GeneratorConfig {
+        scale: spec.scale,
+        seed,
+        drift: spec.drift,
+        ..GeneratorConfig::default()
+    };
+    let mut tracker = spec
+        .drift
+        .map(|drift| RecoveryTracker::with_defaults(drift.changepoint));
+    let mut sink = TrackerSink(tracker.as_mut());
+    let faulted = sim.faults.as_ref().is_some_and(|plan| !plan.is_empty());
+    let (aggregates, requeued, leaked, predictor) = if faulted || spec.drift.is_some() {
+        // Faults need the event-driven engine (the synchronous replay core
+        // has no virtual clock to crash against), and drift cells need its
+        // submission cadence — the sync core submits every first attempt at
+        // t=0, which would collapse the time-to-recover axis to zero. Run
+        // the workflow as the sole tenant and hand the shared predictor back
+        // out afterwards.
+        let shared: Arc<Mutex<Box<dyn CheckpointPredictor>>> = Arc::new(Mutex::new(method.build()));
+        let tenant = StreamingTenant::new(
+            workflow.to_string(),
+            stream_workflow(&wf_spec, &generator),
+            Box::new(SharedCellPredictor(Arc::clone(&shared))),
+        );
+        let result =
+            schedule_workflows_streaming(vec![tenant], &sim, &mut sink, &mut NullRecordSink);
+        let report = result
+            .reports
+            .into_iter()
+            .next()
+            .expect("one tenant, one report");
+        let predictor = match Arc::try_unwrap(shared) {
+            Ok(mutex) => mutex.into_inner().expect("cell predictor lock"),
+            Err(_) => unreachable!("the engine dropped its tenants"),
+        };
+        (
+            report.aggregates,
+            result.stats.requeued_attempts,
+            result.stats.leaked_inflight_retries,
+            predictor,
+        )
+    } else {
+        let mut predictor = method.build();
+        // Streaming replay: instances are generated lazily and attempt events
+        // fold into the aggregates online, so a cell's memory is bounded by
+        // the in-flight working set — the differential suite pins the
+        // aggregates bit-identical to the former materialised report.
+        let aggregates = replay_workflow_streaming(
+            workflow,
+            stream_workflow(&wf_spec, &generator),
+            predictor.as_mut(),
+            &sim,
+            &mut sink,
+        );
+        (aggregates, 0, 0, predictor)
+    };
     let cell = SweepCell {
         workflow: workflow.to_string(),
         method: method.clone(),
@@ -141,6 +233,9 @@ fn run_cell(
         makespan_hours: aggregates.makespan_seconds / 3600.0,
         mean_queue_delay_seconds: aggregates.mean_queue_delay_seconds(),
         runtime_hours: aggregates.total_runtime_hours(),
+        time_to_recover_seconds: tracker.map(|t| t.time_to_recover_seconds()),
+        requeued_attempts: requeued,
+        leaked_inflight_retries: leaked,
     };
     (cell, predictor)
 }
@@ -232,6 +327,7 @@ pub fn run_sweep_shared_sizey_with_threads(
                         &GeneratorConfig {
                             scale: spec.scale,
                             seed: *seed,
+                            drift: spec.drift,
                             ..GeneratorConfig::default()
                         },
                     ),
@@ -256,6 +352,9 @@ pub fn run_sweep_shared_sizey_with_threads(
                 makespan_hours: report.aggregates.makespan_seconds / 3600.0,
                 mean_queue_delay_seconds: report.aggregates.mean_queue_delay_seconds(),
                 runtime_hours: report.aggregates.total_runtime_hours(),
+                time_to_recover_seconds: None,
+                requeued_attempts: result.stats.requeued_attempts,
+                leaked_inflight_retries: result.stats.leaked_inflight_retries,
             })
             .collect::<Vec<_>>()
     });
@@ -334,6 +433,7 @@ pub fn run_sweep_async_sizey_with_threads(
                         &GeneratorConfig {
                             scale: spec.scale,
                             seed: *seed,
+                            drift: spec.drift,
                             ..GeneratorConfig::default()
                         },
                     ),
@@ -360,6 +460,9 @@ pub fn run_sweep_async_sizey_with_threads(
                 makespan_hours: report.aggregates.makespan_seconds / 3600.0,
                 mean_queue_delay_seconds: report.aggregates.mean_queue_delay_seconds(),
                 runtime_hours: report.aggregates.total_runtime_hours(),
+                time_to_recover_seconds: None,
+                requeued_attempts: result.stats.requeued_attempts,
+                leaked_inflight_retries: result.stats.leaked_inflight_retries,
             })
             .collect::<Vec<_>>()
     });
@@ -452,6 +555,7 @@ mod tests {
             seeds: vec![3, 4],
             policies: vec![SchedulePolicy::FirstFit, SchedulePolicy::BestFit],
             scale: 0.02,
+            drift: None,
             sim: SimulationConfig::default(),
         }
     }
@@ -490,6 +594,7 @@ mod tests {
             seeds: vec![3],
             policies: vec![SchedulePolicy::FirstFit],
             scale: 0.02,
+            drift: None,
             sim: SimulationConfig::default(),
         };
         let with_states = run_sweep_with_states(&spec);
@@ -519,6 +624,7 @@ mod tests {
             seeds: vec![3],
             policies: vec![SchedulePolicy::FirstFit, SchedulePolicy::Backfill],
             scale: 0.02,
+            drift: None,
             sim: SimulationConfig::default(),
         };
         let cells = run_sweep_shared_sizey(&spec, 4);
@@ -550,6 +656,7 @@ mod tests {
             seeds: vec![3],
             policies: vec![SchedulePolicy::FirstFit],
             scale: 0.02,
+            drift: None,
             sim: SimulationConfig::default(),
         };
         let shared = run_sweep_shared_sizey(&spec, 4);
@@ -596,6 +703,9 @@ mod tests {
                 makespan_hours: 1.0,
                 mean_queue_delay_seconds: 0.0,
                 runtime_hours: 1.0,
+                time_to_recover_seconds: None,
+                requeued_attempts: 0,
+                leaked_inflight_retries: 0,
             }
         }
         let alpha_sizey = MethodSpec::Sizey(SizeyConfig::default().with_alpha(0.5));

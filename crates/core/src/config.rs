@@ -80,6 +80,55 @@ impl Default for OnlineMode {
     }
 }
 
+/// How the predictor responds to concept drift in a task type's memory
+/// behaviour (a workload update shifting peaks mid-run).
+///
+/// The detector watches, per model pool, a rolling window of recent
+/// observations and flags each as *under-predicted* (the pool's raw
+/// aggregate estimate fell below the actual peak, or the attempt ran out of
+/// memory). When the under-prediction rate over a full window reaches the
+/// threshold, the pool discards its stale pre-drift history (optionally) and
+/// forces a full retrain, then the window restarts. Detection state is a
+/// deterministic function of the observation stream, so snapshot/restore by
+/// journal replay reconstructs it exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DriftPolicy {
+    /// No drift detection (the paper's setup). Bit-identical to a detector
+    /// that never fires.
+    #[default]
+    Off,
+    /// Rolling under-prediction-rate detector with a triggered full retrain.
+    Retrain {
+        /// Number of recent observations the under-prediction rate is
+        /// measured over (clamped to at least 1). The detector only fires on
+        /// a full window, so it cannot trip during the first few
+        /// observations after a reset.
+        window: usize,
+        /// Under-prediction rate in `[0, 1]` at or above which the detector
+        /// fires. Values above 1 make the detector unreachable (useful for
+        /// pinning the off-equivalence).
+        threshold: f64,
+        /// On trigger, keep only this many most recent successful
+        /// observations as training data before retraining (0 keeps
+        /// everything). Trimming is what lets the retrained models track the
+        /// *new* regime instead of averaging it with the stale one.
+        keep_recent: usize,
+    },
+}
+
+impl DriftPolicy {
+    /// A reasonable default detector: fires when 60 % of the last 20
+    /// observations were under-predicted, retraining on the 30 most recent
+    /// observations.
+    pub fn retrain_defaults() -> Self {
+        DriftPolicy::Retrain {
+            window: 20,
+            threshold: 0.6,
+            keep_recent: 30,
+        }
+    }
+}
+
 /// Complete configuration of the Sizey predictor.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SizeyConfig {
@@ -132,6 +181,9 @@ pub struct SizeyConfig {
     /// [`CompactedCheckpoint`](sizey_sim::CompactedCheckpoint) capturing the
     /// stream from the start).
     pub history_window: Option<usize>,
+    /// Drift response: off by default (bit-identical to the paper setup);
+    /// see [`DriftPolicy`].
+    pub drift: DriftPolicy,
 }
 
 impl Default for SizeyConfig {
@@ -148,6 +200,7 @@ impl Default for SizeyConfig {
             seed: 42,
             node_capacity_bytes: None,
             history_window: None,
+            drift: DriftPolicy::Off,
         }
     }
 }
@@ -201,6 +254,12 @@ impl SizeyConfig {
         self.history_window = Some(window.max(1));
         self
     }
+
+    /// Returns a copy with a different drift-response policy.
+    pub fn with_drift_policy(mut self, drift: DriftPolicy) -> Self {
+        self.drift = drift;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -241,5 +300,19 @@ mod tests {
     fn with_model_classes_restricts_pool() {
         let c = SizeyConfig::default().with_model_classes(vec![ModelClass::Linear]);
         assert_eq!(c.model_classes, vec![ModelClass::Linear]);
+    }
+
+    #[test]
+    fn drift_response_is_off_by_default() {
+        assert_eq!(SizeyConfig::default().drift, DriftPolicy::Off);
+        let c = SizeyConfig::default().with_drift_policy(DriftPolicy::retrain_defaults());
+        assert!(matches!(
+            c.drift,
+            DriftPolicy::Retrain {
+                window: 20,
+                keep_recent: 30,
+                ..
+            }
+        ));
     }
 }

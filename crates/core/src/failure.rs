@@ -99,6 +99,50 @@ mod tests {
         }
     }
 
+    /// Fault-injection regression: a preempted/crash-killed attempt is
+    /// requeued by the engines with an **unchanged** `AttemptContext`
+    /// (attempt 0, no last allocation), so it must re-predict the same
+    /// allocation — only a genuine OOM (attempt >= 1) enters the
+    /// max-observed-then-double escalation this module implements.
+    #[test]
+    fn preemption_requeue_is_not_an_oom_escalation() {
+        use crate::sizey::SizeyPredictor;
+        use sizey_provenance::{MachineId, TaskTypeId};
+        use sizey_sim::{AttemptContext, MemoryPredictor, TaskSubmission};
+
+        let sizey = SizeyPredictor::with_defaults();
+        let task = TaskSubmission {
+            workflow: "wf".into(),
+            task_type: TaskTypeId::new("t"),
+            machine: MachineId::new("m"),
+            sequence: 0,
+            input_bytes: 2e9,
+            preset_memory_bytes: 8e9,
+        };
+        let first = AttemptContext {
+            attempt: 0,
+            last_allocation_bytes: None,
+        };
+        let original = sizey.predict(&task, first).allocation_bytes;
+        // The requeue after a fault kill: same context, same allocation.
+        assert_eq!(sizey.predict(&task, first).allocation_bytes, original);
+        // A real OOM retry escalates (never below the failed allocation) and
+        // then doubles per further attempt.
+        let oom_retry = |attempt: u32| {
+            sizey
+                .predict(
+                    &task,
+                    AttemptContext {
+                        attempt,
+                        last_allocation_bytes: Some(original),
+                    },
+                )
+                .allocation_bytes
+        };
+        assert!(oom_retry(1) >= original);
+        assert_eq!(oom_retry(2), 2.0 * oom_retry(1));
+    }
+
     #[test]
     fn clamp_at_exact_boundary_is_stable() {
         // Base exactly at capacity: every retry allocates the full node.

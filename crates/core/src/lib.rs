@@ -59,7 +59,7 @@ pub mod serve;
 pub mod service;
 pub mod sizey;
 
-pub use config::{GatingStrategy, OffsetMode, OnlineMode, SizeyConfig};
+pub use config::{DriftPolicy, GatingStrategy, OffsetMode, OnlineMode, SizeyConfig};
 pub use failure::{failure_allocation, failure_allocation_clamped};
 pub use gating::{gate, gate_with, GatingDecision};
 pub use offset::{

@@ -23,7 +23,7 @@
 // marker opts it into the no-panic-hot-path lint rule.
 #![doc = "lint:hot-path"]
 
-use crate::config::{OnlineMode, SizeyConfig};
+use crate::config::{DriftPolicy, OnlineMode, SizeyConfig};
 use crate::gating::{gate_with, GatingDecision};
 use crate::offset::OffsetScratch;
 use crate::raq::{accuracy_score_cached, pair_accuracy, pool_raq_scores_into};
@@ -34,6 +34,7 @@ use sizey_ml::knn::KnnRegression;
 use sizey_ml::linear::LinearRegression;
 use sizey_ml::mlp::{MlpConfig, MlpRegression};
 use sizey_ml::model::{ModelClass, PredictScratch, Regressor};
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 /// Number of most recent prequential accuracy contributions entering the
@@ -187,6 +188,9 @@ pub struct ModelPool {
     model_epoch: u64,
     /// Largest peak ever observed (successful or exhausted allocation).
     max_observed: Option<f64>,
+    /// Rolling under-prediction flags of the drift detector (empty and
+    /// untouched while [`DriftPolicy::Off`] is configured).
+    drift_flags: VecDeque<bool>,
     /// Wall-clock time spent in the most recent model update.
     last_training_time: Duration,
     /// Reused buffer for the single-observation update dataset.
@@ -214,6 +218,7 @@ impl Clone for ModelPool {
             pending_retrain: self.pending_retrain,
             model_epoch: self.model_epoch,
             max_observed: self.max_observed,
+            drift_flags: self.drift_flags.clone(),
             last_training_time: self.last_training_time,
             point_scratch: Dataset::new(),
             tail_scratch: Dataset::new(),
@@ -283,6 +288,7 @@ impl ModelPool {
             pending_retrain: false,
             model_epoch: 0,
             max_observed: None,
+            drift_flags: VecDeque::new(),
             last_training_time: Duration::ZERO,
             point_scratch: Dataset::new(),
             tail_scratch: Dataset::new(),
@@ -490,12 +496,64 @@ impl ModelPool {
     }
 
     /// Records the observed peak of a *failed* attempt (the exhausted
-    /// allocation) so that failure handling can escalate above it.
-    pub fn observe_failure(&mut self, exhausted_allocation: f64) {
+    /// allocation) so that failure handling can escalate above it. An
+    /// out-of-memory failure is an under-prediction by definition, so it
+    /// also feeds the drift detector — but only once the pool is ready
+    /// (during the cold start the preset drives allocations and a failure
+    /// says nothing about the models).
+    pub fn observe_failure(&mut self, exhausted_allocation: f64, config: &SizeyConfig) {
         self.max_observed = Some(
             self.max_observed
                 .map_or(exhausted_allocation, |m| m.max(exhausted_allocation)),
         );
+        if self.is_ready(config.min_history) && self.note_drift_observation(true, config) {
+            self.drift_retrain(config);
+        }
+    }
+
+    /// Feeds one under-prediction flag to the rolling drift detector and
+    /// reports whether it fired. A no-op returning `false` while
+    /// [`DriftPolicy::Off`] is configured, so the off path stays
+    /// bit-identical. Firing clears the window, so consecutive triggers are
+    /// at least one full window apart.
+    fn note_drift_observation(&mut self, under_predicted: bool, config: &SizeyConfig) -> bool {
+        let DriftPolicy::Retrain {
+            window, threshold, ..
+        } = config.drift
+        else {
+            return false;
+        };
+        let window = window.max(1);
+        self.drift_flags.push_back(under_predicted);
+        while self.drift_flags.len() > window {
+            self.drift_flags.pop_front();
+        }
+        if self.drift_flags.len() < window {
+            return false;
+        }
+        let under = self.drift_flags.iter().filter(|&&f| f).count();
+        if (under as f64) < threshold * window as f64 {
+            return false;
+        }
+        self.drift_flags.clear();
+        true
+    }
+
+    /// The drift response: optionally drop the stale pre-drift history so
+    /// the refit tracks the new regime, then force a full retrain through
+    /// the configured [`RetrainPolicy`] (inline trains now; deferred stages
+    /// a [`RetrainJob`] that snapshots the already-trimmed data when
+    /// drained).
+    fn drift_retrain(&mut self, config: &SizeyConfig) {
+        if let DriftPolicy::Retrain { keep_recent, .. } = config.drift {
+            if keep_recent > 0 && self.data.len() > keep_recent {
+                self.data.drain_front(self.data.len() - keep_recent);
+            }
+        }
+        match self.retrain_policy {
+            RetrainPolicy::Inline => self.full_retrain(config),
+            RetrainPolicy::Deferred => self.stage_retrain(),
+        }
     }
 
     /// Incorporates a successful execution: prequential score bookkeeping,
@@ -522,9 +580,14 @@ impl ModelPool {
                 }
             }
         }
-        // 2. Offset bookkeeping with the aggregate estimate.
+        // 2. Offset bookkeeping with the aggregate estimate. The same
+        // pre-learning estimate feeds the drift detector: the observation is
+        // under-predicted when the raw aggregate fell below the actual peak.
+        // No estimate (cold start) → no detector update.
+        let mut drift_under = None;
         if let Some((decision, _)) = self.gated_estimate(features, config) {
             self.aggregate_history.push((decision.estimate, peak_bytes));
+            drift_under = Some(decision.estimate < peak_bytes);
         }
 
         // 3. Grow the training data.
@@ -595,6 +658,14 @@ impl ModelPool {
                         self.incremental_update(mlp_update_interval);
                     }
                 }
+            }
+        }
+        // 5. Drift response: runs after the regular online update so the
+        // triggered retrain supersedes whatever lighter update just
+        // happened, on data that already includes this observation.
+        if let Some(under) = drift_under {
+            if self.note_drift_observation(under, config) {
+                self.drift_retrain(config);
             }
         }
         self.last_training_time = start.elapsed();
@@ -782,7 +853,7 @@ mod tests {
         let mut pool = ModelPool::new(&cfg);
         pool.observe_success(&[1e9], 3e9, &cfg);
         assert_eq!(pool.max_observed(), Some(3e9));
-        pool.observe_failure(8e9);
+        pool.observe_failure(8e9, &cfg);
         assert_eq!(pool.max_observed(), Some(8e9));
         pool.observe_success(&[1e9], 5e9, &cfg);
         assert_eq!(pool.max_observed(), Some(8e9));
@@ -952,5 +1023,181 @@ mod tests {
                 "draining immediately after each observe must be bit-identical to inline retrains (observe {i})"
             );
         }
+    }
+
+    /// Online mode with no scheduled full retrains: the model epoch can only
+    /// move when the drift detector fires, which makes triggers observable.
+    fn no_scheduled_retrains() -> OnlineMode {
+        OnlineMode::Incremental {
+            retrain_interval: 0,
+            mlp_update_interval: 1,
+        }
+    }
+
+    #[test]
+    fn unreachable_drift_detector_is_bit_identical_to_off() {
+        let off = config();
+        // threshold > 1 can never be reached (at most window of window flags
+        // are under-predictions), so only the detector bookkeeping runs.
+        let armed = config().with_drift_policy(DriftPolicy::Retrain {
+            window: 5,
+            threshold: 1.1,
+            keep_recent: 1,
+        });
+        let mut a = ModelPool::new(&off);
+        let mut b = ModelPool::new(&armed);
+        for i in 1..=20 {
+            let input = i as f64 * 1e9;
+            // A drifting regime: plenty of genuine under-predictions.
+            let peak = if i <= 10 {
+                2.0 * input + 1e9
+            } else {
+                6.0 * input + 8e9
+            };
+            a.observe_success(&[input], peak, &off);
+            b.observe_success(&[input], peak, &armed);
+            let query = [input + 5e8];
+            let ea = a.gated_estimate(&query, &off).map(|(d, _)| d.estimate);
+            let eb = b.gated_estimate(&query, &armed).map(|(d, _)| d.estimate);
+            assert_eq!(
+                ea.map(f64::to_bits),
+                eb.map(f64::to_bits),
+                "an unfired detector must not perturb predictions (observe {i})"
+            );
+        }
+        assert_eq!(a.model_epoch(), b.model_epoch());
+        assert_eq!(a.n_observations(), b.n_observations());
+    }
+
+    #[test]
+    fn underprediction_burst_triggers_a_full_retrain() {
+        let cfg = SizeyConfig {
+            online: no_scheduled_retrains(),
+            ..SizeyConfig::default()
+        }
+        .with_drift_policy(DriftPolicy::Retrain {
+            window: 4,
+            threshold: 0.75,
+            keep_recent: 0,
+        });
+        let off = SizeyConfig {
+            online: no_scheduled_retrains(),
+            ..SizeyConfig::default()
+        };
+        let mut drifting = ModelPool::new(&cfg);
+        let mut control = ModelPool::new(&off);
+        feed_linear(&mut drifting, &cfg, 10);
+        feed_linear(&mut control, &off, 10);
+        let epoch_before = drifting.model_epoch();
+        // Regime change: peaks jump far above anything the regime-A models
+        // predict, so every observation is an under-prediction.
+        for i in 11..=18 {
+            let input = i as f64 * 1e9;
+            let peak = 6.0 * input + 8e9;
+            drifting.observe_success(&[input], peak, &cfg);
+            control.observe_success(&[input], peak, &off);
+        }
+        assert!(
+            drifting.model_epoch() > epoch_before,
+            "the under-prediction burst must force a full retrain"
+        );
+        assert_eq!(
+            control.model_epoch(),
+            0,
+            "without a drift policy nothing retrains in this online mode"
+        );
+    }
+
+    #[test]
+    fn drift_trigger_trims_history_to_keep_recent() {
+        let cfg = SizeyConfig {
+            online: no_scheduled_retrains(),
+            ..SizeyConfig::default()
+        }
+        .with_drift_policy(DriftPolicy::Retrain {
+            window: 3,
+            threshold: 0.5,
+            keep_recent: 5,
+        });
+        let mut pool = ModelPool::new(&cfg);
+        feed_linear(&mut pool, &cfg, 10);
+        let epoch_before = pool.model_epoch();
+        let mut fired = false;
+        for i in 11..=20 {
+            let input = i as f64 * 1e9;
+            pool.observe_success(&[input], 6.0 * input + 8e9, &cfg);
+            if pool.model_epoch() > epoch_before {
+                fired = true;
+                assert_eq!(
+                    pool.n_observations(),
+                    5,
+                    "the trigger must trim the training data to keep_recent"
+                );
+                break;
+            }
+        }
+        assert!(fired, "the regime change must fire the detector");
+    }
+
+    #[test]
+    fn oom_failures_feed_the_detector_once_the_pool_is_ready() {
+        let cfg = SizeyConfig {
+            online: no_scheduled_retrains(),
+            ..SizeyConfig::default()
+        }
+        .with_drift_policy(DriftPolicy::Retrain {
+            window: 3,
+            threshold: 1.0,
+            keep_recent: 0,
+        });
+        // Cold pool: failures say nothing about the models and must not
+        // accumulate detector state.
+        let mut cold = ModelPool::new(&cfg);
+        for _ in 0..5 {
+            cold.observe_failure(64e9, &cfg);
+        }
+        assert_eq!(cold.model_epoch(), 0);
+        // Ready pool: three consecutive OOMs fill the window at rate 1.0.
+        let mut ready = ModelPool::new(&cfg);
+        feed_linear(&mut ready, &cfg, 6);
+        let epoch_before = ready.model_epoch();
+        for _ in 0..3 {
+            ready.observe_failure(64e9, &cfg);
+        }
+        assert!(ready.model_epoch() > epoch_before);
+    }
+
+    #[test]
+    fn drift_trigger_respects_the_deferred_retrain_policy() {
+        let cfg = SizeyConfig {
+            online: no_scheduled_retrains(),
+            ..SizeyConfig::default()
+        }
+        .with_drift_policy(DriftPolicy::Retrain {
+            window: 3,
+            threshold: 1.0,
+            keep_recent: 0,
+        });
+        let mut pool = ModelPool::new(&cfg);
+        pool.set_retrain_policy(RetrainPolicy::Deferred);
+        feed_linear(&mut pool, &cfg, 6);
+        // The warm-up itself may under-predict enough to fire; drain any
+        // staged job so the next trigger is unambiguously the failure burst.
+        if let Some(job) = pool.take_retrain_job(&cfg) {
+            assert!(pool.install_retrain(job.execute()));
+        }
+        let epoch_before = pool.model_epoch();
+        assert!(!pool.has_pending_retrain());
+        for _ in 0..3 {
+            pool.observe_failure(64e9, &cfg);
+        }
+        assert!(
+            pool.has_pending_retrain(),
+            "a deferred pool stages the drift retrain instead of training inline"
+        );
+        assert_eq!(pool.model_epoch(), epoch_before);
+        let job = pool.take_retrain_job(&cfg).expect("staged drift retrain");
+        assert!(pool.install_retrain(job.execute()));
+        assert_eq!(pool.model_epoch(), epoch_before + 1);
     }
 }

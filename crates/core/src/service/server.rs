@@ -179,6 +179,39 @@ impl FlushGate {
     }
 }
 
+/// A per-shard pause switch for chaos testing: the worker checks its gate
+/// between micro-batches and parks while paused. Pausing never drops work —
+/// the queue keeps accepting (or shedding, per admission policy) and the
+/// worker drains everything once resumed.
+struct PauseGate {
+    paused: Mutex<bool>,
+    resumed: Condvar,
+}
+
+impl PauseGate {
+    fn new() -> Self {
+        PauseGate {
+            paused: Mutex::new(false),
+            resumed: Condvar::new(),
+        }
+    }
+
+    fn set(&self, paused: bool) {
+        let mut flag = self.paused.lock();
+        *flag = paused;
+        if !paused {
+            self.resumed.notify_all();
+        }
+    }
+
+    fn wait_while_paused(&self) {
+        let mut flag = self.paused.lock();
+        while *flag {
+            flag = self.resumed.wait(flag);
+        }
+    }
+}
+
 /// One message on a shard's submission queue.
 enum ShardMsg {
     /// A monitoring record to learn from.
@@ -192,6 +225,7 @@ struct ServiceInner<P> {
     service: ConcurrentPredictor<P>,
     queues: Vec<BoundedQueue<ShardMsg>>,
     snapshots: Vec<SnapshotCell<P>>,
+    pauses: Vec<PauseGate>,
     config: ServiceConfig,
     counters: Counters,
 }
@@ -223,10 +257,12 @@ impl<P: ServePredictor> AsyncService<P> {
         let queues = (0..shards)
             .map(|_| BoundedQueue::new(config.queue_capacity))
             .collect();
+        let pauses = (0..shards).map(|_| PauseGate::new()).collect();
         let inner = Arc::new(ServiceInner {
             service,
             queues,
             snapshots,
+            pauses,
             config,
             counters: Counters::default(),
         });
@@ -323,6 +359,28 @@ impl<P: ServePredictor> AsyncService<P> {
         self.inner.queues.iter().map(BoundedQueue::len).collect()
     }
 
+    /// Chaos/fault-injection hook: parks `shard`'s worker before its next
+    /// micro-batch. The shard's queue keeps admitting (or shedding, per the
+    /// admission policy) while paused — nothing accepted is lost, the
+    /// backlog just waits. A [`flush`](AsyncService::flush) issued while a
+    /// worker is paused blocks until that worker is resumed; call
+    /// [`resume_shard`](AsyncService::resume_shard) first. Shutdown resumes
+    /// every shard itself, so a paused service still drains on drop.
+    /// Out-of-range shards are ignored.
+    pub fn pause_shard(&self, shard: usize) {
+        if let Some(gate) = self.inner.pauses.get(shard) {
+            gate.set(true);
+        }
+    }
+
+    /// Releases a [`pause_shard`](AsyncService::pause_shard): the worker
+    /// wakes and drains whatever queued up behind the pause.
+    pub fn resume_shard(&self, shard: usize) {
+        if let Some(gate) = self.inner.pauses.get(shard) {
+            gate.set(false);
+        }
+    }
+
     /// A point-in-time reading of the service counters.
     pub fn stats(&self) -> ServiceStats {
         let c = &self.inner.counters;
@@ -368,6 +426,11 @@ impl<P: ServePredictor> AsyncService<P> {
     }
 
     fn close_and_join(&mut self) {
+        // Wake any paused workers first: the drain guarantee holds even if a
+        // chaos hook left a shard parked.
+        for gate in &self.inner.pauses {
+            gate.set(false);
+        }
         for queue in &self.inner.queues {
             queue.close();
         }
@@ -396,13 +459,19 @@ impl<P: ServePredictor> Drop for AsyncService<P> {
 
 fn worker_loop<P: ServePredictor>(inner: &ServiceInner<P>, shard: usize) {
     let config = &inner.config;
-    let (Some(queue), Some(cell)) = (inner.queues.get(shard), inner.snapshots.get(shard)) else {
+    let (Some(queue), Some(cell), Some(pause)) = (
+        inner.queues.get(shard),
+        inner.snapshots.get(shard),
+        inner.pauses.get(shard),
+    ) else {
         return;
     };
     let mut messages: Vec<ShardMsg> = Vec::with_capacity(config.batch_max);
     let mut records: Vec<TaskRecord> = Vec::with_capacity(config.batch_max);
     let mut gates: Vec<Arc<FlushGate>> = Vec::new();
     loop {
+        // Chaos hook: park between micro-batches while the shard is paused.
+        pause.wait_while_paused();
         messages.clear();
         // Blocks for the first message, then drains the micro-batch window.
         // 0 means closed-and-drained: every accepted message was processed.
@@ -640,6 +709,53 @@ mod tests {
         assert_eq!(reader.name(), "Sizey");
         drop(writer);
         drop(reader); // last handle: drains and joins without deadlock
+    }
+
+    #[test]
+    fn paused_shard_backs_up_then_drains_with_exact_accounting() {
+        let config = ServiceConfig {
+            queue_capacity: 8,
+            admission: AdmissionPolicy::Shed,
+            ..ServiceConfig::default()
+        };
+        // Single shard: the pause stalls the whole service.
+        let service = AsyncSizey::sizey(SizeyConfig::default(), 1, config);
+        service.pause_shard(0);
+        // Give the worker a moment to park so the queue genuinely backs up.
+        std::thread::sleep(Duration::from_millis(20));
+        let mut accepted = 0u64;
+        for i in 1..=100u64 {
+            if service.observe(&record("chaos", i, 1e9, 2e9)) {
+                accepted += 1;
+            }
+        }
+        let stalled = service.stats();
+        assert_eq!(stalled.submitted, 100);
+        assert_eq!(stalled.accepted, accepted);
+        assert_eq!(stalled.accepted + stalled.shed, stalled.submitted);
+        assert!(stalled.shed > 0, "a paused worker must back the queue up");
+        // Resume: flush must drain the backlog, nothing accepted is lost.
+        service.resume_shard(0);
+        service.flush();
+        let drained = service.stats();
+        assert_eq!(drained.observed, drained.accepted);
+        assert!(service.queue_depths().iter().all(|&d| d == 0));
+        let final_stats = service.shutdown();
+        assert_eq!(final_stats.observed, accepted);
+    }
+
+    #[test]
+    fn shutdown_resumes_paused_workers_and_still_drains() {
+        let service = AsyncSizey::sizey(SizeyConfig::default(), 2, ServiceConfig::default());
+        for i in 1..=30u64 {
+            service.observe(&record("park", i, 1e9, 2e9));
+        }
+        service.pause_shard(0);
+        service.pause_shard(1);
+        // No resume: shutdown itself must wake the workers and drain.
+        let stats = service.shutdown();
+        assert_eq!(stats.observed, stats.accepted);
+        assert_eq!(stats.accepted + stats.shed, stats.submitted);
     }
 
     #[test]

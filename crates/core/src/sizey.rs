@@ -443,7 +443,7 @@ impl MemoryPredictor for SizeyPredictor {
             }
             TaskOutcome::FailedOutOfMemory => {
                 // The exhausted allocation is a lower bound on the true peak.
-                pool.observe_failure(record.allocated_memory_bytes);
+                pool.observe_failure(record.allocated_memory_bytes, &self.config);
             }
         }
     }
@@ -618,6 +618,48 @@ mod tests {
             truth
         );
         assert!(pred.selected_model.is_some());
+    }
+
+    #[test]
+    fn drift_policy_adapts_faster_after_a_regime_change() {
+        use crate::config::DriftPolicy;
+        let mut adaptive = SizeyPredictor::new(SizeyConfig::default().with_drift_policy(
+            DriftPolicy::Retrain {
+                window: 8,
+                threshold: 0.6,
+                keep_recent: 20,
+            },
+        ));
+        let mut frozen = SizeyPredictor::with_defaults();
+        // Regime A: peak = 2·input + 1 GB over inputs 1..=15 GB.
+        train(&mut adaptive, 15);
+        train(&mut frozen, 15);
+        // Regime B: the same input range suddenly needs 6·input + 9 GB.
+        let mut seq = 16;
+        for round in 0..2 {
+            for i in 1..=15u64 {
+                let input = i as f64 * 1e9;
+                let record = success(seq + round * 15 + i, input, 6.0 * input + 9e9);
+                adaptive.observe(&record);
+                frozen.observe(&record);
+            }
+        }
+        seq += 31;
+        let query = submission(seq, 8e9);
+        let truth = 6.0 * 8e9 + 9e9;
+        let a = adaptive.predict(&query, AttemptContext::first());
+        let f = frozen.predict(&query, AttemptContext::first());
+        let a_raw = a.raw_estimate_bytes.unwrap();
+        let f_raw = f.raw_estimate_bytes.unwrap();
+        assert!(
+            a_raw > f_raw,
+            "the drift-aware predictor ({a_raw:.3e}) should sit above the frozen one \
+             ({f_raw:.3e}) after the regime change"
+        );
+        assert!(
+            a_raw >= 0.75 * truth,
+            "drift-aware raw estimate {a_raw:.3e} still far below the new-regime truth {truth:.3e}"
+        );
     }
 
     #[test]

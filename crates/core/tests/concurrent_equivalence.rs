@@ -37,6 +37,7 @@ proptest! {
                 seed,
                 min_instances: 6,
                 interleave: true,
+                drift: None,
             },
         );
         let sim = SimulationConfig::default();

@@ -42,6 +42,11 @@ pub struct Node {
     pub peak_allocated_bytes: f64,
     /// High-water mark of `used_slots` over the simulation.
     pub peak_used_slots: usize,
+    /// True while the node is down (crashed or preempted by fault
+    /// injection). An offline node accepts no placements; its occupancy
+    /// counters keep working so the engines can release the attempts that
+    /// were killed on it.
+    pub offline: bool,
 }
 
 impl Node {
@@ -55,6 +60,7 @@ impl Node {
             used_slots: 0,
             peak_allocated_bytes: 0.0,
             peak_used_slots: 0,
+            offline: false,
         }
     }
 
@@ -63,12 +69,14 @@ impl Node {
         (self.memory_bytes - self.allocated_bytes).max(0.0)
     }
 
-    /// True when the node can host a task with the given allocation. The
-    /// memory check uses a tolerance *relative* to the node capacity (see
-    /// [`FIT_TOLERANCE`]) so float drift in the occupancy counters cannot
-    /// reject an exact fit, while any real over-subscription is refused.
+    /// True when the node can host a task with the given allocation. Offline
+    /// nodes host nothing. The memory check uses a tolerance *relative* to
+    /// the node capacity (see [`FIT_TOLERANCE`]) so float drift in the
+    /// occupancy counters cannot reject an exact fit, while any real
+    /// over-subscription is refused.
     pub fn fits(&self, allocation_bytes: f64) -> bool {
-        self.used_slots < self.slots
+        !self.offline
+            && self.used_slots < self.slots
             && allocation_bytes <= self.free_bytes() + self.memory_bytes * FIT_TOLERANCE
     }
 }
@@ -155,7 +163,7 @@ impl FreeIndex {
     /// Re-syncs one node after its occupancy changed.
     fn update(&mut self, node: &Node) {
         let id = node.id;
-        let has_slot = node.used_slots < node.slots;
+        let has_slot = !node.offline && node.used_slots < node.slots;
         // Segment-tree leaf + path to the root.
         let eff = if has_slot {
             node.free_bytes() + node.memory_bytes * FIT_TOLERANCE
@@ -346,6 +354,20 @@ impl Cluster {
         self.index.update(&self.nodes[placement.node]);
     }
 
+    /// Marks a node offline (fault injection) or back online, keeping the
+    /// free-capacity index in sync. Out-of-range indices are ignored —
+    /// fault plans are user data, not scheduler invariants.
+    pub fn set_offline(&mut self, node: usize, offline: bool) {
+        if let Some(n) = self.nodes.get_mut(node) {
+            n.offline = offline;
+        } else {
+            return;
+        }
+        // lint:allow(no-panic-hot-path): the get_mut above proved the index
+        // is in bounds, and nodes never shrink.
+        self.index.update(&self.nodes[node]);
+    }
+
     /// View of all nodes.
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
@@ -525,6 +547,26 @@ mod tests {
         assert!(c.try_place(f64::NAN).is_none());
         // Infinite requests are equally unplaceable on finite nodes.
         assert_eq!(c.select_node(f64::INFINITY, SchedulePolicy::BestFit), None);
+    }
+
+    #[test]
+    fn offline_nodes_accept_no_placements_until_back_online() {
+        let mut c = small_cluster();
+        c.set_offline(0, true);
+        for policy in SchedulePolicy::ALL {
+            assert_eq!(c.select_node(1e9, policy), Some(1), "{policy:?}");
+        }
+        assert!(!c.nodes()[0].fits(1e9));
+        // Releasing a killed attempt's lease on an offline node still works.
+        let p = Placement { node: 0 };
+        c.place_on(0, 2e9); // forced placement bypasses fits() by design
+        c.release(p, 2e9);
+        assert_eq!(c.nodes()[0].allocated_bytes, 0.0);
+        // Back online: first fit prefers it again.
+        c.set_offline(0, false);
+        assert_eq!(c.select_node(1e9, SchedulePolicy::FirstFit), Some(0));
+        // Out-of-range indices are ignored, not a panic.
+        c.set_offline(99, true);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Simulation parameters.
 
+use crate::faults::FaultPlan;
 use crate::scheduler::SchedulePolicy;
 use sizey_workflows::profiles::{NODE_COUNT, NODE_MEMORY_BYTES};
 
@@ -54,6 +55,13 @@ pub struct SimulationConfig {
     /// upfront (0.0); multi-tenant experiments can use a positive value to
     /// spread arrivals.
     pub submit_interval_seconds: f64,
+    /// Optional fault-injection scenario (node crashes, storms, spot-pool
+    /// preemptions, task kills) driven by the engines' virtual clock. `None`
+    /// — the default — is bit-identical to a plan that injects nothing.
+    /// Honoured by the event-driven engines (`schedule_workflows` and
+    /// `schedule_workflows_streaming`); the synchronous per-attempt replay
+    /// engine has no virtual-clock event loop and ignores it.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimulationConfig {
@@ -68,6 +76,7 @@ impl Default for SimulationConfig {
             policy: SchedulePolicy::FirstFit,
             backfill_window: 64,
             submit_interval_seconds: 0.0,
+            faults: None,
         }
     }
 }
@@ -97,6 +106,12 @@ impl SimulationConfig {
     /// Returns a copy with an additional heterogeneous node pool.
     pub fn with_extra_pool(mut self, pool: NodePoolSpec) -> Self {
         self.extra_node_pools.push(pool);
+        self
+    }
+
+    /// Returns a copy with a fault-injection plan attached.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
         self
     }
 

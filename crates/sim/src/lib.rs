@@ -17,6 +17,10 @@
 //!   8-node / 128 GB cluster dimensions, heterogeneous extra node pools and
 //!   the scheduling policy,
 //! * [`cluster`] — per-node occupancy with policy-driven node selection,
+//! * [`faults`] — deterministic fault injection: node crashes, correlated
+//!   crash storms, spot-pool preemptions and task kills compiled into
+//!   virtual-clock events processed identically by both event-driven
+//!   engines; killed attempts are requeued without consuming retry budget,
 //! * [`queue`] — the virtual-time event heap and the pending-task queue,
 //! * [`scheduler`] — the event-driven scheduler: tasks wait when no node
 //!   fits (over-allocation costs makespan), [`SchedulePolicy`] picks how the
@@ -51,6 +55,7 @@
 pub mod accounting;
 pub mod cluster;
 pub mod config;
+pub mod faults;
 pub mod inflight;
 pub mod lifecycle;
 pub mod predictor;
@@ -64,6 +69,10 @@ pub use accounting::{
 };
 pub use cluster::{Cluster, Node, Placement, FIT_TOLERANCE};
 pub use config::{NodePoolSpec, SimulationConfig};
+pub use faults::{
+    CrashStorm, FaultAction, FaultCause, FaultEvent, FaultPlan, NodeCrash, PoolPreemption,
+    TaskKillBurst,
+};
 pub use inflight::RetryLedger;
 pub use lifecycle::{CheckpointPredictor, CompactedCheckpoint, PredictorState, StateError};
 pub use predictor::{AttemptContext, MemoryPredictor, Prediction, PresetPredictor, TaskSubmission};

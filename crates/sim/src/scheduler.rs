@@ -32,13 +32,14 @@
 use crate::accounting::{AttemptEvent, AttemptSink, RecordSink, ReplayAggregates, ReplayReport};
 use crate::cluster::{Cluster, Node};
 use crate::config::SimulationConfig;
+use crate::faults::{FaultAction, FaultCause};
 use crate::inflight::RetryLedger;
 use crate::predictor::{AttemptContext, MemoryPredictor, TaskSubmission};
 use crate::queue::{EventHeap, PendingQueue, PendingTask};
 use crate::replay::MIN_ALLOCATION_BYTES;
 use sizey_provenance::{TaskOutcome, TaskRecord};
 use sizey_workflows::TaskInstance;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Scheduling policy for picking when and where a pending task starts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,6 +121,18 @@ pub struct SchedulerStats {
     /// terminal failure alike (the regression suite asserts this for
     /// workloads where *every* task exhausts its attempt budget).
     pub leaked_inflight_retries: usize,
+    /// Attempts killed mid-run by fault injection and requeued. A requeued
+    /// attempt re-enters the pending queue with an **unchanged** attempt
+    /// number and an untouched retry ledger: a fault is not an OOM failure,
+    /// so it neither consumes [`SimulationConfig::max_attempts`] budget nor
+    /// triggers the predictors' max-then-double escalation.
+    pub requeued_attempts: usize,
+    /// Subset of `requeued_attempts` whose node crashed (single crash or
+    /// storm).
+    pub crash_lost_attempts: usize,
+    /// Subset of `requeued_attempts` whose node pool was preempted (spot
+    /// reclaim).
+    pub preempted_attempts: usize,
 }
 
 impl SchedulerStats {
@@ -402,6 +415,9 @@ struct RunningAttempt {
     submit_time: f64,
     start_time: f64,
     concurrent_at_start: usize,
+    /// Ticket into the running registry; a Finish whose ticket is gone
+    /// belongs to an attempt a fault already killed (stale completion).
+    dispatch_id: u64,
 }
 
 /// An event in the multi-tenant engine.
@@ -415,6 +431,108 @@ enum Event {
     },
     /// A running attempt completes and releases its resources.
     Finish(RunningAttempt),
+    /// A fault-injection action fires (node down/up, task kills).
+    Fault(FaultAction),
+}
+
+/// What the running registry remembers about a dispatched attempt — enough
+/// to release its resources and requeue it if a fault kills it.
+#[derive(Debug, Clone, Copy)]
+struct RunningRef {
+    tenant: usize,
+    instance: usize,
+    attempt: u32,
+    node: usize,
+    allocation_bytes: f64,
+}
+
+/// Registry of currently running attempts keyed by a monotonically
+/// increasing dispatch id. Fault events drain victims in dispatch order
+/// (deterministic and identical in both engines); a completion whose id is
+/// absent is stale — its attempt was fault-killed, released and requeued
+/// when the fault fired.
+#[derive(Debug, Default)]
+struct RunningRegistry {
+    map: BTreeMap<u64, RunningRef>,
+    next_id: u64,
+}
+
+impl RunningRegistry {
+    fn insert(&mut self, entry: RunningRef) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.map.insert(id, entry);
+        id
+    }
+
+    /// Removes an entry on completion; `None` flags a stale completion of a
+    /// fault-killed attempt.
+    fn finish(&mut self, id: u64) -> Option<RunningRef> {
+        self.map.remove(&id)
+    }
+
+    /// Drains every attempt running on `node`, oldest dispatch first.
+    fn drain_node(&mut self, node: usize) -> Vec<RunningRef> {
+        let ids: Vec<u64> = self
+            .map
+            .iter()
+            .filter(|(_, r)| r.node == node)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.iter().filter_map(|id| self.map.remove(id)).collect()
+    }
+
+    /// Drains the `count` oldest running attempts.
+    fn drain_oldest(&mut self, count: usize) -> Vec<RunningRef> {
+        let ids: Vec<u64> = self.map.keys().take(count).copied().collect();
+        ids.iter().filter_map(|id| self.map.remove(id)).collect()
+    }
+}
+
+/// Applies one fault action at virtual time `now`, identically in both
+/// event-driven engines. Killed attempts have their resources released and
+/// are requeued as Submit events at `now` with an **unchanged** attempt
+/// number; the retry ledger is deliberately left untouched, so a fault kill
+/// neither consumes attempt budget nor looks like an OOM to the predictors.
+fn apply_fault(
+    action: FaultAction,
+    now: f64,
+    cluster: &mut Cluster,
+    running: &mut RunningRegistry,
+    events: &mut EventHeap<Event>,
+    stats: &mut SchedulerStats,
+) {
+    let (killed, cause) = match action {
+        FaultAction::NodeDown { node, cause } => {
+            cluster.set_offline(node, true);
+            (running.drain_node(node), Some(cause))
+        }
+        FaultAction::NodeUp { node } => {
+            cluster.set_offline(node, false);
+            (Vec::new(), None)
+        }
+        FaultAction::KillTasks { tasks } => (running.drain_oldest(tasks), None),
+    };
+    for r in killed {
+        cluster.release(
+            crate::cluster::Placement { node: r.node },
+            r.allocation_bytes,
+        );
+        events.push(
+            now,
+            Event::Submit {
+                tenant: r.tenant,
+                instance: r.instance,
+                attempt: r.attempt,
+            },
+        );
+        stats.requeued_attempts += 1;
+        match cause {
+            Some(FaultCause::Crash) => stats.crash_lost_attempts += 1,
+            Some(FaultCause::Preemption) => stats.preempted_attempts += 1,
+            None => {}
+        }
+    }
 }
 
 /// Replays several workflows **concurrently** against one shared cluster.
@@ -471,6 +589,7 @@ pub fn schedule_workflows(
     // and on terminal failure alike, so the ledger drains to empty with the
     // event heap.
     let mut retries: RetryLedger<(usize, usize)> = RetryLedger::new();
+    let mut running = RunningRegistry::default();
 
     let mut tenant_events: Vec<Vec<AttemptEvent>> = tenants.iter().map(|_| Vec::new()).collect();
     let mut unfinished: Vec<usize> = vec![0; tenants.len()];
@@ -495,6 +614,17 @@ pub fn schedule_workflows(
         }
     }
 
+    // Fault events enter the heap *after* the seeded first-submits (arrivals
+    // win time-ties against faults, in both engines) and *before* anything
+    // the run itself pushes (faults win time-ties against completions and
+    // retries — again in both engines, since the streaming engine also
+    // seeds them before its main loop).
+    if let Some(plan) = &config.faults {
+        for fe in plan.compile(config) {
+            events.push(fe.time_seconds, Event::Fault(fe.action));
+        }
+    }
+
     // Dispatches every queued task the policy allows at virtual time `now`.
     let try_dispatch = |now: f64,
                         cluster: &mut Cluster,
@@ -502,7 +632,8 @@ pub fn schedule_workflows(
                         events: &mut EventHeap<Event>,
                         stats: &mut SchedulerStats,
                         tenant_events: &mut [Vec<AttemptEvent>],
-                        tenants: &[WorkflowTenant]| {
+                        tenants: &[WorkflowTenant],
+                        running: &mut RunningRegistry| {
         loop {
             // Head of the queue first: every policy dispatches it if it fits.
             let head_node = pending
@@ -537,6 +668,7 @@ pub fn schedule_workflows(
                 stats,
                 tenant_events,
                 tenants,
+                running,
             );
         }
     };
@@ -604,9 +736,13 @@ pub fn schedule_workflows(
                     &mut stats,
                     &mut tenant_events,
                     &tenants,
+                    &mut running,
                 );
             }
-            Event::Finish(run) => {
+            // A Finish whose dispatch ticket is gone is the stale completion
+            // of a fault-killed attempt: its resources were released and it
+            // was requeued when the fault fired — ignore it.
+            Event::Finish(run) if running.finish(run.dispatch_id).is_some() => {
                 cluster.release(
                     crate::cluster::Placement { node: run.node },
                     run.task.allocation_bytes,
@@ -667,6 +803,28 @@ pub fn schedule_workflows(
                     &mut stats,
                     &mut tenant_events,
                     &tenants,
+                    &mut running,
+                );
+            }
+            Event::Finish(_) => {}
+            Event::Fault(action) => {
+                apply_fault(
+                    action,
+                    now,
+                    &mut cluster,
+                    &mut running,
+                    &mut events,
+                    &mut stats,
+                );
+                try_dispatch(
+                    now,
+                    &mut cluster,
+                    &mut pending,
+                    &mut events,
+                    &mut stats,
+                    &mut tenant_events,
+                    &tenants,
+                    &mut running,
                 );
             }
         }
@@ -686,6 +844,7 @@ pub fn schedule_workflows(
                 &mut stats,
                 &mut tenant_events,
                 &tenants,
+                &mut running,
             );
         }
     }
@@ -739,6 +898,7 @@ fn dispatch(
     stats: &mut SchedulerStats,
     tenant_events: &mut [Vec<AttemptEvent>],
     tenants: &[WorkflowTenant],
+    running: &mut RunningRegistry,
 ) {
     let mut task = queued.payload;
     cluster.place_on(node, task.allocation_bytes);
@@ -767,6 +927,13 @@ fn dispatch(
         queue_delay_seconds: queue_delay,
     });
     let concurrent = cluster.running_tasks();
+    let dispatch_id = running.insert(RunningRef {
+        tenant: task.tenant,
+        instance: task.instance,
+        attempt: task.attempt,
+        node,
+        allocation_bytes: task.allocation_bytes,
+    });
     events.push(
         now + task.duration_seconds,
         Event::Finish(RunningAttempt {
@@ -775,6 +942,7 @@ fn dispatch(
             start_time: now,
             concurrent_at_start: concurrent,
             task,
+            dispatch_id,
         }),
     );
 }
@@ -923,7 +1091,17 @@ pub fn schedule_workflows_streaming(
     let mut stats = SchedulerStats::default();
     let mut makespan = 0.0_f64;
     let mut retries: RetryLedger<(usize, usize)> = RetryLedger::new();
+    let mut running = RunningRegistry::default();
     let mut aggs: Vec<ReplayAggregates> = tenants.iter().map(|_| ReplayAggregates::new()).collect();
+
+    // Same relative order as the materialised engine: faults enter the heap
+    // before the run pushes any completion or retry (so faults win those
+    // time-ties), while arrivals win time-ties against heap events below.
+    if let Some(plan) = &config.faults {
+        for fe in plan.compile(config) {
+            events.push(fe.time_seconds, Event::Fault(fe.action));
+        }
+    }
 
     // Arrival frontier: the next not-yet-arrived instance of each tenant,
     // pulled eagerly so "does this tenant have more work?" is answerable
@@ -1006,6 +1184,7 @@ pub fn schedule_workflows_streaming(
                 &mut aggs,
                 sink,
                 &inflight,
+                &mut running,
             );
         } else if let Some((now, event)) = events.pop() {
             match event {
@@ -1036,9 +1215,12 @@ pub fn schedule_workflows_streaming(
                         &mut aggs,
                         sink,
                         &inflight,
+                        &mut running,
                     );
                 }
-                Event::Finish(run) => {
+                // Stale completion of a fault-killed attempt: released and
+                // requeued when the fault fired — ignore it.
+                Event::Finish(run) if running.finish(run.dispatch_id).is_some() => {
                     cluster.release(
                         crate::cluster::Placement { node: run.node },
                         run.task.allocation_bytes,
@@ -1108,6 +1290,30 @@ pub fn schedule_workflows_streaming(
                         &mut aggs,
                         sink,
                         &inflight,
+                        &mut running,
+                    );
+                }
+                Event::Finish(_) => {}
+                Event::Fault(action) => {
+                    apply_fault(
+                        action,
+                        now,
+                        &mut cluster,
+                        &mut running,
+                        &mut events,
+                        &mut stats,
+                    );
+                    try_dispatch_streaming(
+                        now,
+                        config,
+                        &mut cluster,
+                        &mut pending,
+                        &mut events,
+                        &mut stats,
+                        &mut aggs,
+                        sink,
+                        &inflight,
+                        &mut running,
                     );
                 }
             }
@@ -1131,6 +1337,7 @@ pub fn schedule_workflows_streaming(
                 &mut aggs,
                 sink,
                 &inflight,
+                &mut running,
             );
         }
     }
@@ -1243,6 +1450,7 @@ fn try_dispatch_streaming(
     aggs: &mut [ReplayAggregates],
     sink: &mut dyn AttemptSink,
     inflight: &HashMap<(usize, usize), TaskInstance>,
+    running: &mut RunningRegistry,
 ) {
     loop {
         // Head of the queue first: every policy dispatches it if it fits.
@@ -1270,7 +1478,7 @@ fn try_dispatch_streaming(
         let Some((idx, node)) = picked else { break };
         let queued = pending.remove(idx).expect("picked index exists");
         dispatch_streaming(
-            queued, node, now, cluster, events, stats, aggs, sink, inflight,
+            queued, node, now, cluster, events, stats, aggs, sink, inflight, running,
         );
     }
 }
@@ -1289,6 +1497,7 @@ fn dispatch_streaming(
     aggs: &mut [ReplayAggregates],
     sink: &mut dyn AttemptSink,
     inflight: &HashMap<(usize, usize), TaskInstance>,
+    running: &mut RunningRegistry,
 ) {
     let mut task = queued.payload;
     cluster.place_on(node, task.allocation_bytes);
@@ -1317,6 +1526,13 @@ fn dispatch_streaming(
     aggs[task.tenant].observe_event(&event);
     sink.record(&event);
     let concurrent = cluster.running_tasks();
+    let dispatch_id = running.insert(RunningRef {
+        tenant: task.tenant,
+        instance: task.instance,
+        attempt: task.attempt,
+        node,
+        allocation_bytes: task.allocation_bytes,
+    });
     events.push(
         now + task.duration_seconds,
         Event::Finish(RunningAttempt {
@@ -1325,6 +1541,7 @@ fn dispatch_streaming(
             start_time: now,
             concurrent_at_start: concurrent,
             task,
+            dispatch_id,
         }),
     );
 }
@@ -1697,6 +1914,194 @@ mod tests {
         assert_eq!(result.leaked_inflight_instances, 0);
         assert_eq!(result.stats.leaked_inflight_retries, 0);
         assert!(result.peak_inflight_instances >= 1);
+    }
+
+    #[test]
+    fn node_crash_requeues_running_attempts_without_consuming_budget() {
+        use crate::faults::{FaultPlan, NodeCrash};
+
+        // 6 identical tasks on a 2-slot node: two run at a time. The node
+        // crashes at t = 50 (mid-run) and returns at t = 75.
+        let instances: Vec<TaskInstance> = (0..6).map(|i| instance(i, 1e9, 100.0, 2e9)).collect();
+        let config = tiny_cluster(SchedulePolicy::FirstFit).with_faults(
+            FaultPlan::default().with_node_crash(NodeCrash {
+                time_seconds: 50.0,
+                node: 0,
+                down_seconds: 25.0,
+            }),
+        );
+        let result = schedule_workflows(
+            vec![WorkflowTenant::new(
+                "wf",
+                instances,
+                Box::new(PresetPredictor),
+            )],
+            &config,
+        );
+        let report = &result.reports[0];
+        assert_eq!(report.unfinished_instances, 0);
+        assert_eq!(result.stats.requeued_attempts, 2);
+        assert_eq!(result.stats.crash_lost_attempts, 2);
+        assert_eq!(result.stats.preempted_attempts, 0);
+        assert_eq!(result.stats.leaked_inflight_retries, 0);
+        assert_eq!(result.stats.forced_placements, 0);
+        // A fault kill is not an OOM: every attempt event (including the
+        // two re-dispatches of the killed attempts) carries attempt == 0.
+        assert_eq!(report.events.len(), 8);
+        assert!(report.events.iter().all(|e| e.attempt == 0));
+        // Queue [2,3,4,5,0,1] drains in 2-slot batches from the node's
+        // return at 75: completions at 175, 275, 375.
+        assert_eq!(result.makespan_seconds, 375.0);
+    }
+
+    #[test]
+    fn pool_preemption_requeues_onto_surviving_capacity() {
+        use crate::faults::{FaultPlan, PoolPreemption};
+
+        // Pool 0: two 1-slot nodes (ids 0, 1); pool 1: one 1-slot node (2).
+        let config = SimulationConfig::default()
+            .with_nodes(2, 10e9, 1)
+            .with_extra_pool(crate::config::NodePoolSpec {
+                count: 1,
+                memory_bytes: 10e9,
+                slots: 1,
+            })
+            .with_faults(FaultPlan::default().with_pool_preemption(PoolPreemption {
+                pool: 0,
+                time_seconds: 50.0,
+                return_after_seconds: 200.0,
+            }));
+        let instances: Vec<TaskInstance> = (0..4).map(|i| instance(i, 1e9, 100.0, 2e9)).collect();
+        let result = schedule_workflows(
+            vec![WorkflowTenant::new(
+                "wf",
+                instances,
+                Box::new(PresetPredictor),
+            )],
+            &config,
+        );
+        assert_eq!(result.reports[0].unfinished_instances, 0);
+        assert_eq!(result.stats.preempted_attempts, 2);
+        assert_eq!(result.stats.crash_lost_attempts, 0);
+        assert_eq!(result.stats.requeued_attempts, 2);
+        assert_eq!(result.stats.forced_placements, 0);
+        assert_eq!(result.stats.leaked_inflight_retries, 0);
+    }
+
+    #[test]
+    fn task_kill_burst_requeues_the_oldest_running_attempt() {
+        use crate::faults::{FaultPlan, TaskKillBurst};
+
+        let instances: Vec<TaskInstance> = (0..3).map(|i| instance(i, 1e9, 100.0, 2e9)).collect();
+        let config = tiny_cluster(SchedulePolicy::FirstFit).with_faults(
+            FaultPlan::default().with_task_kills(TaskKillBurst {
+                time_seconds: 50.0,
+                tasks: 1,
+            }),
+        );
+        let result = schedule_workflows(
+            vec![WorkflowTenant::new(
+                "wf",
+                instances,
+                Box::new(PresetPredictor),
+            )],
+            &config,
+        );
+        assert_eq!(result.reports[0].unfinished_instances, 0);
+        assert_eq!(result.stats.requeued_attempts, 1);
+        assert_eq!(result.stats.crash_lost_attempts, 0);
+        assert_eq!(result.stats.preempted_attempts, 0);
+        assert_eq!(result.stats.leaked_inflight_retries, 0);
+    }
+
+    #[test]
+    fn permanent_crash_storm_strands_no_tasks() {
+        use crate::faults::{CrashStorm, FaultPlan};
+
+        // Every node goes down forever mid-run. Capacity-liveness: the
+        // forced-placement guard still drives every task to a terminal
+        // state, and no retry-ledger entry leaks.
+        let instances: Vec<TaskInstance> = (0..6).map(|i| instance(i, 1e9, 100.0, 4e9)).collect();
+        let config = SimulationConfig::default()
+            .with_nodes(2, 10e9, 2)
+            .with_faults(FaultPlan::default().with_storm(CrashStorm {
+                time_seconds: 50.0,
+                nodes: 2,
+                down_seconds: f64::INFINITY,
+                seed: 3,
+            }));
+        let result = schedule_workflows(
+            vec![WorkflowTenant::new(
+                "wf",
+                instances,
+                Box::new(PresetPredictor),
+            )],
+            &config,
+        );
+        assert_eq!(result.reports[0].unfinished_instances, 0);
+        assert_eq!(result.stats.requeued_attempts, 4);
+        assert_eq!(result.stats.crash_lost_attempts, 4);
+        assert_eq!(result.stats.forced_placements, 6);
+        assert_eq!(result.stats.leaked_inflight_retries, 0);
+    }
+
+    #[test]
+    fn fault_plans_are_bit_identical_across_engines() {
+        use crate::accounting::{NullRecordSink, ReplayAggregates};
+        use crate::faults::{CrashStorm, FaultPlan, NodeCrash, TaskKillBurst};
+
+        let plan = FaultPlan::default()
+            .with_task_kills(TaskKillBurst {
+                time_seconds: 40.0,
+                tasks: 1,
+            })
+            .with_node_crash(NodeCrash {
+                time_seconds: 120.0,
+                node: 0,
+                down_seconds: 60.0,
+            })
+            .with_storm(CrashStorm {
+                time_seconds: 260.0,
+                nodes: 1,
+                down_seconds: 40.0,
+                seed: 11,
+            });
+        let mk_tenants = || {
+            let a: Vec<TaskInstance> = (0..6).map(|i| instance(i, 1e9, 100.0, 4e9)).collect();
+            let mut b: Vec<TaskInstance> = (0..4).map(|i| instance(i, 1e9, 80.0, 2e9)).collect();
+            b.push(instance(4, 7e9, 100.0, 2e9));
+            vec![
+                WorkflowTenant::new("a", a, Box::new(PresetPredictor)),
+                WorkflowTenant::new("b", b, Box::new(PresetPredictor)).with_arrival_offset(50.0),
+            ]
+        };
+        for policy in SchedulePolicy::ALL {
+            let config = SimulationConfig::default()
+                .with_nodes(2, 10e9, 2)
+                .with_policy(policy)
+                .with_faults(plan.clone());
+            let materialised = schedule_workflows(mk_tenants(), &config);
+            assert!(materialised.stats.requeued_attempts > 0, "{policy:?}");
+            let mut streamed_events: Vec<AttemptEvent> = Vec::new();
+            let streaming = schedule_workflows_streaming(
+                mk_tenants()
+                    .into_iter()
+                    .map(StreamingTenant::from)
+                    .collect(),
+                &config,
+                &mut streamed_events,
+                &mut NullRecordSink,
+            );
+            assert_eq!(streaming.makespan_seconds, materialised.makespan_seconds);
+            assert_eq!(streaming.stats, materialised.stats);
+            assert_eq!(streaming.nodes, materialised.nodes);
+            assert_eq!(streaming.leaked_inflight_instances, 0);
+            for (s, m) in streaming.reports.iter().zip(&materialised.reports) {
+                assert_eq!(s.aggregates, ReplayAggregates::from_report(m));
+            }
+            let total: usize = materialised.reports.iter().map(|r| r.events.len()).sum();
+            assert_eq!(streamed_events.len(), total);
+        }
     }
 
     #[test]

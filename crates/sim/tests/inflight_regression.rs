@@ -9,7 +9,8 @@
 //! genuinely been used, per its high-water mark).
 
 use sizey_sim::{
-    schedule_workflows, PresetPredictor, SchedulePolicy, SimulationConfig, WorkflowTenant,
+    schedule_workflows, FaultPlan, PresetPredictor, SchedulePolicy, SimulationConfig,
+    TaskKillBurst, WorkflowTenant,
 };
 use sizey_workflows::TaskInstance;
 
@@ -96,5 +97,47 @@ fn mixed_success_retry_and_terminal_failure_all_evict() {
     let unfinished: usize = result.reports.iter().map(|r| r.unfinished_instances).sum();
     assert_eq!(unfinished, 20, "10 impossible tasks per tenant");
     assert!(result.stats.peak_inflight_retries >= 1);
+    assert_eq!(result.stats.leaked_inflight_retries, 0);
+}
+
+/// Fault-injection regression: a fault-killed attempt is requeued with an
+/// unchanged attempt number and must NOT look like an OOM — no retry budget
+/// consumed, no max-observed-then-double escalation, no failure recorded.
+/// Before the fault layer's requeue path bypassed the retry ledger, the
+/// killed attempts would have re-entered as doubled attempt-1 retries here.
+#[test]
+fn fault_killed_attempts_requeue_without_consuming_budget_or_doubling() {
+    let n = 20u64;
+    // Every task succeeds first try (preset 4 GB covers the 1 GB peak) and
+    // runs for 60 s; the kill burst at t=30 lands mid-flight.
+    let instances: Vec<TaskInstance> = (0..n).map(|i| instance(i, 1e9, 60.0, 4e9)).collect();
+    let config = SimulationConfig {
+        max_attempts: 3,
+        ..SimulationConfig::default()
+    }
+    .with_faults(FaultPlan::default().with_task_kills(TaskKillBurst {
+        time_seconds: 30.0,
+        tasks: 5,
+    }));
+    let result = schedule_workflows(
+        vec![WorkflowTenant::new(
+            "wf",
+            instances,
+            Box::new(PresetPredictor),
+        )],
+        &config,
+    );
+    let report = &result.reports[0];
+    assert_eq!(result.stats.requeued_attempts, 5);
+    assert_eq!(report.unfinished_instances, 0);
+    // The engine records one event per *dispatch*, so each killed attempt
+    // shows up twice: once for the interrupted run and once for the requeue.
+    // Crucially every event — including the five re-dispatches — is attempt
+    // 0 at the original preset allocation; a doubling escalation would show
+    // 8 GB attempt-1 events here, and a budget leak would drop instances.
+    assert_eq!(report.events.len(), n as usize + 5);
+    assert!(report.events.iter().all(|e| e.attempt == 0 && e.success));
+    assert!(report.events.iter().all(|e| e.allocated_bytes == 4e9));
+    assert_eq!(report.total_failures(), 0, "a fault kill is not a failure");
     assert_eq!(result.stats.leaked_inflight_retries, 0);
 }

@@ -7,6 +7,7 @@
 //! different types arrive roughly round-robin instead of one type at a time,
 //! which is what makes *online* learning across types meaningful.
 
+use crate::memfn::DriftSpec;
 use crate::model::{TaskInstance, TaskTypeSpec, WorkflowSpec};
 use crate::profiles::MACHINE_NAME;
 use crate::sampling;
@@ -33,6 +34,12 @@ pub struct GeneratorConfig {
     /// like a data-parallel DAG); when false, instances arrive grouped by
     /// task type.
     pub interleave: bool,
+    /// Optional mid-run regime change applied to every instance's true peak
+    /// memory past a changepoint in arrival order (see [`DriftSpec`]). The
+    /// transform happens after all sampling, so it consumes no RNG draws and
+    /// the materialised and streaming generators stay bit-identical. `None`
+    /// (the default) reproduces the stationary workload exactly.
+    pub drift: Option<DriftSpec>,
 }
 
 impl Default for GeneratorConfig {
@@ -42,6 +49,7 @@ impl Default for GeneratorConfig {
             scale: 1.0,
             min_instances: 4,
             interleave: true,
+            drift: None,
         }
     }
 }
@@ -54,6 +62,12 @@ impl GeneratorConfig {
             scale,
             ..GeneratorConfig::default()
         }
+    }
+
+    /// Returns a copy with a mid-run drift applied (see [`DriftSpec`]).
+    pub fn with_drift(mut self, drift: DriftSpec) -> Self {
+        self.drift = Some(drift);
+        self
     }
 }
 
@@ -109,9 +123,15 @@ pub fn generate_workflow(spec: &WorkflowSpec, config: &GeneratorConfig) -> Vec<T
         }
     }
 
-    // Assign the submission sequence in arrival order.
+    // Assign the submission sequence in arrival order, then apply the
+    // optional drift — a pure post-transform keyed on the sequence, so it
+    // cannot perturb any RNG draw above.
     for (i, inst) in ordered.iter_mut().enumerate() {
         inst.sequence = i as u64;
+        if let Some(drift) = &config.drift {
+            inst.true_peak_bytes =
+                drift.apply(inst.sequence, inst.input_bytes, inst.true_peak_bytes);
+        }
     }
     ordered
 }
@@ -155,6 +175,8 @@ pub struct WorkflowStream {
     next_sequence: u64,
     /// Instances still to be emitted across all types.
     remaining_total: usize,
+    /// Optional mid-run drift, applied on emission (post-sampling).
+    drift: Option<DriftSpec>,
 }
 
 impl WorkflowStream {
@@ -188,6 +210,7 @@ impl WorkflowStream {
             wave: std::collections::VecDeque::new(),
             next_sequence: 0,
             remaining_total,
+            drift: config.drift,
         }
     }
 
@@ -228,6 +251,10 @@ impl WorkflowStream {
             &mut self.type_rngs[ti],
         );
         inst.sequence = self.next_sequence;
+        if let Some(drift) = &self.drift {
+            inst.true_peak_bytes =
+                drift.apply(inst.sequence, inst.input_bytes, inst.true_peak_bytes);
+        }
         self.next_sequence += 1;
         self.remaining_total -= 1;
         inst
@@ -449,6 +476,7 @@ mod tests {
                     seed: 91,
                     min_instances: 4,
                     interleave,
+                    drift: None,
                 };
                 let materialised = generate_workflow(&spec, &cfg);
                 let stream = stream_workflow(&spec, &cfg);
@@ -462,6 +490,55 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn drift_changes_only_post_changepoint_peaks_and_keeps_streams_identical() {
+        let spec = profiles::iwd();
+        let stationary_cfg = GeneratorConfig::scaled(0.05, 17);
+        let changepoint = 40;
+        let drift = DriftSpec {
+            changepoint,
+            memory_scale: 1.5,
+            slope_delta_bytes_per_input_byte: 0.5,
+        };
+        let drifted_cfg = stationary_cfg.with_drift(drift);
+
+        let stationary = generate_workflow(&spec, &stationary_cfg);
+        let drifted = generate_workflow(&spec, &drifted_cfg);
+        assert_eq!(stationary.len(), drifted.len());
+        assert!(
+            stationary.len() as u64 > changepoint,
+            "need a changepoint inside the run"
+        );
+        let mut shifted = 0;
+        for (s, d) in stationary.iter().zip(&drifted) {
+            // Only the peak may differ; everything else (including the RNG
+            // draws that produced it) is untouched.
+            assert_eq!(s.input_bytes, d.input_bytes);
+            assert_eq!(s.base_runtime_seconds, d.base_runtime_seconds);
+            assert_eq!(s.sequence, d.sequence);
+            if s.sequence < changepoint {
+                assert_eq!(s.true_peak_bytes, d.true_peak_bytes);
+            } else {
+                assert_eq!(
+                    d.true_peak_bytes,
+                    drift.apply(s.sequence, s.input_bytes, s.true_peak_bytes)
+                );
+                if s.true_peak_bytes != d.true_peak_bytes {
+                    shifted += 1;
+                }
+            }
+        }
+        assert!(shifted > 0, "drift shifted no peaks");
+
+        // The streaming generator applies the same transform bit-identically.
+        let streamed: Vec<TaskInstance> = stream_workflow(&spec, &drifted_cfg).collect();
+        assert_eq!(streamed, drifted);
+
+        // The identity drift is bit-identical to no drift at all.
+        let identity = stationary_cfg.with_drift(DriftSpec::scale_shift(0, 1.0));
+        assert_eq!(generate_workflow(&spec, &identity), stationary);
     }
 
     #[test]

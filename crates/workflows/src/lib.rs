@@ -43,7 +43,7 @@ pub mod stats;
 pub use generator::{
     generate_all, generate_workflow, stream_workflow, GeneratorConfig, WorkflowStream,
 };
-pub use memfn::{InputModel, MemoryModel, RuntimeModel};
+pub use memfn::{DriftSpec, InputModel, MemoryModel, RuntimeModel};
 pub use model::{ResourceFootprint, TaskInstance, TaskTypeSpec, WorkflowSpec};
 pub use profiles::{
     all_workflows, workflow_by_name, MACHINE_NAME, NODE_COUNT, NODE_MEMORY_BYTES, WORKFLOW_NAMES,

@@ -181,6 +181,59 @@ impl MemoryModel {
     }
 }
 
+/// A mid-run regime change composed onto any [`MemoryModel`].
+///
+/// Real workloads are not stationary: a pipeline upgrade, a reference-data
+/// refresh, or a dataset shift can change a task type's memory response in
+/// the middle of a run (cf. the paper's error-over-time analysis, Fig. 12).
+/// A `DriftSpec` models that as a deterministic changepoint in *arrival
+/// order*: every instance whose submission [`sequence`] is at or past
+/// [`changepoint`](DriftSpec::changepoint) has its true peak transformed by
+///
+/// ```text
+/// peak' = max(peak * memory_scale + slope_delta_bytes_per_input_byte * input, 16 MB)
+/// ```
+///
+/// The transform is applied *after* sampling, so it consumes no RNG draws —
+/// the materialised generator and [`WorkflowStream`](crate::WorkflowStream)
+/// stay bit-identical by construction, and a drifted workload with
+/// `memory_scale = 1.0, slope_delta = 0.0` is bit-identical to a stationary
+/// one.
+///
+/// [`sequence`]: crate::TaskInstance::sequence
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftSpec {
+    /// Arrival-sequence index of the first drifted instance. `0` drifts the
+    /// whole run; an index past the workload length never fires.
+    pub changepoint: u64,
+    /// Multiplicative shift of the post-changepoint peak (scale shift).
+    pub memory_scale: f64,
+    /// Additional bytes of peak memory per byte of input after the
+    /// changepoint (slope change). May be negative.
+    pub slope_delta_bytes_per_input_byte: f64,
+}
+
+impl DriftSpec {
+    /// A pure scale shift at `changepoint`.
+    pub fn scale_shift(changepoint: u64, memory_scale: f64) -> Self {
+        DriftSpec {
+            changepoint,
+            memory_scale,
+            slope_delta_bytes_per_input_byte: 0.0,
+        }
+    }
+
+    /// Transforms a sampled peak if `sequence` is past the changepoint.
+    /// Floored at 16 MB like [`MemoryModel::sample`].
+    pub fn apply(&self, sequence: u64, input_bytes: f64, true_peak_bytes: f64) -> f64 {
+        if sequence < self.changepoint {
+            return true_peak_bytes;
+        }
+        (true_peak_bytes * self.memory_scale + self.slope_delta_bytes_per_input_byte * input_bytes)
+            .max(16e6)
+    }
+}
+
 /// Mapping from input size to task runtime (seconds).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeModel {
@@ -329,6 +382,24 @@ mod tests {
         let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(max / min > 1.5, "noise should spread samples: {min}..{max}");
+    }
+
+    #[test]
+    fn drift_spec_is_identity_before_the_changepoint_and_transforms_after() {
+        let drift = DriftSpec {
+            changepoint: 10,
+            memory_scale: 2.0,
+            slope_delta_bytes_per_input_byte: 1.0,
+        };
+        assert_eq!(drift.apply(9, 1e9, 4e9), 4e9);
+        assert_eq!(drift.apply(10, 1e9, 4e9), 9e9);
+        assert_eq!(drift.apply(11, 0.0, 4e9), 8e9);
+        // The 16 MB floor holds even under shrinking drift.
+        let shrink = DriftSpec::scale_shift(0, 0.0);
+        assert_eq!(shrink.apply(5, 1e9, 4e9), 16e6);
+        // The identity drift really is the identity.
+        let id = DriftSpec::scale_shift(0, 1.0);
+        assert_eq!(id.apply(0, 123.0, 7.5e9), 7.5e9);
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod prelude {
     pub use sizey_baselines::{PresetPredictor, TovarPpm, WittLr, WittPercentile, WittWastage};
     pub use sizey_bench::{
         aggregate_sweep, run_sweep, Experiment, ExperimentBuilder, ExperimentSpec, MethodSpec,
-        SpecError, SweepCell, SweepRow, SweepSpec,
+        RecoveryTracker, SpecError, SweepCell, SweepRow, SweepSpec, RECOVERY_BAND, RECOVERY_WINDOW,
     };
     pub use sizey_core::{
         AdmissionPolicy, AsyncHandle, AsyncService, AsyncSizey, AsyncSizeyHandle, BatchRequest,
@@ -36,15 +36,15 @@ pub mod prelude {
     pub use sizey_sim::{
         aggregate_method, replay_workflow, replay_workflow_occupancy, replay_workflow_streaming,
         schedule_workflows, schedule_workflows_streaming, AttemptContext, AttemptSink,
-        CheckpointPredictor, CompactedCheckpoint, MemoryPredictor, MultiReplayReport, NodePoolSpec,
-        NullRecordSink, NullSink, Prediction, PredictorState, RecordSink, ReplayAggregates,
-        ReplayReport, SchedulePolicy, Scheduler, SchedulerStats, SimulationConfig, StateError,
-        StreamingReplayReport, StreamingTenant, StreamingTenantReport, TaskSubmission,
-        WorkflowTenant,
+        CheckpointPredictor, CompactedCheckpoint, CrashStorm, FaultPlan, MemoryPredictor,
+        MultiReplayReport, NodeCrash, NodePoolSpec, NullRecordSink, NullSink, PoolPreemption,
+        Prediction, PredictorState, RecordSink, ReplayAggregates, ReplayReport, SchedulePolicy,
+        Scheduler, SchedulerStats, SimulationConfig, StateError, StreamingReplayReport,
+        StreamingTenant, StreamingTenantReport, TaskKillBurst, TaskSubmission, WorkflowTenant,
     };
     pub use sizey_workflows::{
-        all_workflows, generate_workflow, profiles, stream_workflow, GeneratorConfig, TaskInstance,
-        WorkflowSpec, WorkflowStream,
+        all_workflows, generate_workflow, profiles, stream_workflow, DriftSpec, GeneratorConfig,
+        TaskInstance, WorkflowSpec, WorkflowStream,
     };
 }
 

@@ -46,6 +46,7 @@ fn experiment_spec_reproduces_run_sweep() {
         seeds: vec![3, 4],
         policies: vec![SchedulePolicy::FirstFit, SchedulePolicy::BestFit],
         scale: 0.02,
+        drift: None,
         sim: SimulationConfig::default(),
     };
     let from_sweep = run_sweep(&sweep);
@@ -111,6 +112,34 @@ fn experiment_aggregate_rows_are_ordered() {
             ("Workflow-Presets", "best-fit"),
         ]
     );
+}
+
+/// The four checked-in fault/drift scenario specs stay loadable, and each
+/// actually exercises the axis it is named for.
+#[test]
+fn checked_in_scenario_specs_parse() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/crates/bench/specs");
+    let drift = ExperimentSpec::from_toml_file(format!("{dir}/drift.toml")).unwrap();
+    assert!(drift.drift.is_some(), "drift.toml carries a [drift] table");
+    assert_eq!(
+        ExperimentSpec::from_toml(&drift.to_toml()).unwrap(),
+        drift,
+        "drift spec round-trips"
+    );
+    for name in ["crash_storm", "spot_pool", "diurnal"] {
+        let spec = ExperimentSpec::from_toml_file(format!("{dir}/{name}.toml")).unwrap();
+        let faults = spec
+            .sim
+            .faults
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name}.toml injects faults"));
+        assert!(!faults.is_empty(), "{name}.toml has a non-empty fault plan");
+        assert_eq!(
+            ExperimentSpec::from_toml(&spec.to_toml()).unwrap(),
+            spec,
+            "{name} spec round-trips"
+        );
+    }
 }
 
 /// The checked-in CI smoke spec stays loadable and small.

@@ -16,6 +16,7 @@ fn small_workload(name: &str, seed: u64) -> Vec<TaskInstance> {
             seed,
             min_instances: 8,
             interleave: true,
+            drift: None,
         },
     )
 }
@@ -192,6 +193,7 @@ proptest! {
                 seed,
                 min_instances: 30,
                 interleave: true,
+                drift: None,
             },
         );
         let mut original = SizeyPredictor::with_defaults();

@@ -14,6 +14,7 @@ fn tiny_config() -> GeneratorConfig {
         seed: 1234,
         min_instances: 2,
         interleave: true,
+        drift: None,
     }
 }
 

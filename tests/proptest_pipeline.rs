@@ -13,6 +13,7 @@ fn small_workload(name: &str, seed: u64) -> Vec<TaskInstance> {
             seed,
             min_instances: 4,
             interleave: true,
+            drift: None,
         },
     )
 }

@@ -20,6 +20,7 @@ fn workload(wf_idx: usize, seed: u64) -> (WorkflowSpec, GeneratorConfig) {
         seed,
         min_instances: 10,
         interleave: true,
+        drift: None,
     };
     (spec, config)
 }

@@ -3,8 +3,10 @@
 //! The build environment has no network access to crates.io, so this crate
 //! implements the slice of the proptest API the workspace's property tests
 //! use: the [`proptest!`] macro with an optional `#![proptest_config(..)]`
-//! attribute, range / tuple / `prop::collection::vec` strategies, and the
-//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//! attribute, range / tuple / `prop::collection::vec` strategies, the
+//! [`Strategy::prop_map`](strategy::Strategy::prop_map) combinator and
+//! weighted [`prop_oneof!`] unions,
+//! and the [`prop_assert!`] / [`prop_assert_eq!`] macros.
 //!
 //! Differences from upstream, chosen deliberately for CI determinism:
 //!
@@ -39,6 +41,71 @@ pub mod strategy {
 
         /// Draws one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (proptest's `prop_map`).
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map {
+                source: self,
+                map: f,
+            }
+        }
+    }
+
+    /// Strategy adapter returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// Weighted union over same-valued strategies, built by
+    /// [`prop_oneof!`](crate::prop_oneof): each draw picks one branch with
+    /// probability proportional to its weight, then delegates to it.
+    pub struct Union<T> {
+        branches: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` branches; weights must
+        /// not all be zero.
+        pub fn new(branches: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            assert!(
+                branches.iter().map(|(w, _)| *w as u64).sum::<u64>() > 0,
+                "prop_oneof! needs at least one positive weight"
+            );
+            Union { branches }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.branches.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (weight, strategy) in &self.branches {
+                if pick < *weight as u64 {
+                    return strategy.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            unreachable!("pick is below the summed weights by construction")
+        }
+    }
+
+    /// Boxes a strategy for storage in a [`Union`] (used by
+    /// [`prop_oneof!`](crate::prop_oneof)).
+    pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(strategy)
     }
 
     macro_rules! impl_range_strategy {
@@ -186,11 +253,26 @@ pub mod test_runner {
     }
 }
 
+/// Picks one of several strategies per draw, optionally weighted
+/// (`prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`). All branches must
+/// produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
 /// One-stop imports for property tests (`use proptest::prelude::*`).
 pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// Namespace mirror of upstream's `prelude::prop` module.
     pub mod prop {
@@ -341,6 +423,29 @@ mod tests {
         #[test]
         fn tuples_compose(pair in (0usize..4, 10u64..20)) {
             prop_assert!(pair.0 < 4 && pair.1 >= 10);
+        }
+
+        #[test]
+        fn prop_map_transforms_draws(doubled in (0u64..50).prop_map(|x| x * 2)) {
+            prop_assert!(doubled < 100);
+            prop_assert!(doubled % 2 == 0);
+        }
+
+        #[test]
+        fn oneof_draws_only_from_its_branches(
+            x in prop_oneof![4 => 0.0f64..1.0, 1 => Just(f64::INFINITY)],
+        ) {
+            prop_assert!((0.0..1.0).contains(&x) || x == f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_weights() {
+        use crate::strategy::Strategy;
+        let strategy = prop_oneof![0 => 5u64..6, 1 => 7u64..8];
+        let mut rng = crate::test_runner::rng_for("oneof_respects_zero_weights");
+        for _ in 0..64 {
+            assert_eq!(strategy.generate(&mut rng), 7);
         }
     }
 
